@@ -1,0 +1,45 @@
+//! Micro-benchmarks of the processor-set bitset — the innermost data
+//! structure of victim selection and allocation (hundreds of operations
+//! per scheduling decision).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sps_cluster::ProcSet;
+
+const UNIVERSE: u32 = 430;
+
+fn sets() -> (ProcSet, ProcSet) {
+    let a = ProcSet::from_indices(UNIVERSE, (0..UNIVERSE).filter(|i| i % 3 == 0));
+    let b = ProcSet::from_indices(UNIVERSE, (0..UNIVERSE).filter(|i| i % 5 == 0));
+    (a, b)
+}
+
+fn bench_algebra(c: &mut Criterion) {
+    let (a, b) = sets();
+    c.bench_function("procset_union", |bench| {
+        bench.iter(|| std::hint::black_box(a.union(&b)).count())
+    });
+    c.bench_function("procset_is_subset", |bench| {
+        bench.iter(|| std::hint::black_box(a.is_subset(&b)))
+    });
+    c.bench_function("procset_overlaps", |bench| {
+        bench.iter(|| std::hint::black_box(a.overlaps(&b)))
+    });
+    c.bench_function("procset_count", |bench| bench.iter(|| std::hint::black_box(a.count())));
+}
+
+fn bench_allocation(c: &mut Criterion) {
+    let free = ProcSet::full(UNIVERSE);
+    c.bench_function("procset_take_lowest_32", |bench| {
+        bench.iter(|| std::hint::black_box(free.take_lowest(32)))
+    });
+    c.bench_function("procset_take_lowest_336", |bench| {
+        bench.iter(|| std::hint::black_box(free.take_lowest(336)))
+    });
+    let (a, _) = sets();
+    c.bench_function("procset_iter_collect", |bench| {
+        bench.iter(|| a.iter().collect::<Vec<u32>>().len())
+    });
+}
+
+criterion_group!(benches, bench_algebra, bench_allocation);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Simulator throughput: wall time to schedule a full CTC-scale trace
+//! under each policy. This is the "can you actually use this simulator"
+//! benchmark — a month of machine time should simulate in well under a
+//! second.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sps_core::experiment::SchedulerKind;
+use sps_core::sim::Simulator;
+use sps_workload::traces::{CTC, SDSC};
+use sps_workload::{Job, SyntheticConfig};
+
+fn trace(n: usize) -> Vec<Job> {
+    SyntheticConfig::new(CTC, 42).with_jobs(n).generate()
+}
+
+fn sdsc_trace(n: usize) -> Vec<Job> {
+    SyntheticConfig::new(SDSC, 42).with_jobs(n).generate()
+}
+
+fn policies() -> Vec<SchedulerKind> {
+    vec![
+        SchedulerKind::Fcfs,
+        SchedulerKind::Conservative,
+        SchedulerKind::Easy,
+        SchedulerKind::ImmediateService,
+        SchedulerKind::Ss { sf: 2.0 },
+        SchedulerKind::Tss { sf: 2.0 },
+    ]
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let jobs = trace(2_000);
+    let mut group = c.benchmark_group("ctc_2000_jobs");
+    group.sample_size(10);
+    for kind in policies() {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, kind| {
+            b.iter(|| {
+                let res = Simulator::new(jobs.clone(), CTC.procs, kind.build()).run();
+                std::hint::black_box(res.outcomes.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_small_machine(c: &mut Criterion) {
+    // The 128-processor machine exercises the preemption paths far more
+    // (its synthetic mix suspends an order of magnitude more often).
+    let jobs = sdsc_trace(2_000);
+    let mut group = c.benchmark_group("sdsc_2000_jobs");
+    group.sample_size(10);
+    for kind in [SchedulerKind::Easy, SchedulerKind::Ss { sf: 1.5 }, SchedulerKind::Tss { sf: 2.0 }]
+    {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, kind| {
+            b.iter(|| {
+                let res = Simulator::new(jobs.clone(), SDSC.procs, kind.build()).run();
+                std::hint::black_box(res.preemptions)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_small_machine);
+criterion_main!(benches);

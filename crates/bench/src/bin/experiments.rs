@@ -1,0 +1,62 @@
+//! Command-line entry point for the reproduction harness.
+//!
+//! ```text
+//! experiments list            # show every artifact id
+//! experiments all             # regenerate everything into results/
+//! experiments fig9 table4 …   # regenerate specific artifacts
+//! ```
+//!
+//! Output goes to stdout and, when a `results/` directory exists (or can
+//! be created), to `results/<id>.txt`.
+
+use std::io::Write as _;
+
+use sps_bench::{all_ids, describe, run_experiment};
+
+fn usage() -> ! {
+    eprintln!("usage: experiments <list|all|ID...>");
+    eprintln!("known ids:");
+    for id in all_ids() {
+        eprintln!("  {:<28} {}", id, describe(id).unwrap_or(""));
+    }
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    if args[0] == "list" {
+        for id in all_ids() {
+            println!("{:<28} {}", id, describe(id).unwrap_or(""));
+        }
+        return;
+    }
+    let ids: Vec<&str> = if args[0] == "all" {
+        all_ids()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let out_dir = std::path::Path::new("results");
+    let write_files = std::fs::create_dir_all(out_dir).is_ok();
+    for id in ids {
+        let started = std::time::Instant::now();
+        let Some(text) = run_experiment(id) else {
+            eprintln!("unknown experiment id: {id}");
+            usage();
+        };
+        println!("----------------------------------------------------------------------");
+        println!("{text}");
+        eprintln!("[{id} done in {:.1?}]", started.elapsed());
+        if write_files {
+            let path = out_dir.join(format!("{id}.txt"));
+            match std::fs::File::create(&path) {
+                Ok(mut f) => {
+                    let _ = f.write_all(text.as_bytes());
+                }
+                Err(err) => eprintln!("warning: could not write {}: {err}", path.display()),
+            }
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! # sps-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper's evaluation, plus the ablation studies for the design decisions
+//! called out in DESIGN.md.
+//!
+//! Run `cargo run --release -p sps-bench --bin experiments -- all` to
+//! reproduce everything into `results/`, or pass a single id (`table4`,
+//! `fig9`, `ablation_sf_sweep`, …). The Criterion benches under
+//! `benches/` measure the simulator itself (events/sec, scaling, hot
+//! paths).
+
+pub mod experiments;
+pub mod registry;
+
+pub use registry::{all_ids, describe, run_experiment};

@@ -1,0 +1,136 @@
+//! Experiment registry: id → (description, runner).
+
+use crate::experiments as x;
+
+/// One reproducible artifact.
+pub struct Entry {
+    /// Command-line id.
+    pub id: &'static str,
+    /// One-line description (paper artifact it regenerates).
+    pub description: &'static str,
+    /// Renderer.
+    pub run: fn() -> String,
+}
+
+/// The full registry, in paper order.
+pub fn entries() -> Vec<Entry> {
+    macro_rules! e {
+        ($id:ident, $desc:expr) => {
+            Entry { id: stringify!($id), description: $desc, run: x::$id }
+        };
+    }
+    vec![
+        e!(table1, "Table I: 16-category criteria"),
+        e!(table2, "Table II: CTC job mix vs calibration target"),
+        e!(table3, "Table III: SDSC job mix vs calibration target"),
+        e!(table4, "Table IV: NS average slowdowns per category, CTC"),
+        e!(table5, "Table V: NS average slowdowns per category, SDSC"),
+        e!(fig4_6, "Figs 4-6: two-task alternation vs suspension factor"),
+        e!(fig7, "Fig 7: average slowdown, SS vs NS vs IS, CTC"),
+        e!(fig8, "Fig 8: average turnaround, SS vs NS vs IS, CTC"),
+        e!(fig9, "Fig 9: average slowdown, SS vs NS vs IS, SDSC"),
+        e!(fig10, "Fig 10: average turnaround, SS vs NS vs IS, SDSC"),
+        e!(fig11, "Fig 11: worst-case slowdown, CTC"),
+        e!(fig12, "Fig 12: worst-case turnaround, CTC"),
+        e!(fig13, "Fig 13: TSS worst-case slowdown, CTC"),
+        e!(fig14, "Fig 14: TSS worst-case turnaround, CTC"),
+        e!(fig15, "Fig 15: worst-case slowdown, SDSC"),
+        e!(fig16, "Fig 16: worst-case turnaround, SDSC"),
+        e!(fig17, "Fig 17: TSS worst-case slowdown, SDSC"),
+        e!(fig18, "Fig 18: TSS worst-case turnaround, SDSC"),
+        e!(fig19, "Fig 19: slowdown, inaccurate estimates, CTC"),
+        e!(fig20, "Fig 20: slowdown, well estimated jobs, CTC"),
+        e!(fig21, "Fig 21: slowdown, badly estimated jobs, CTC"),
+        e!(fig22, "Fig 22: turnaround, inaccurate estimates, CTC"),
+        e!(fig23, "Fig 23: turnaround, well estimated jobs, CTC"),
+        e!(fig24, "Fig 24: turnaround, badly estimated jobs, CTC"),
+        e!(fig25, "Fig 25: slowdown, inaccurate estimates, SDSC"),
+        e!(fig26, "Fig 26: slowdown, well estimated jobs, SDSC"),
+        e!(fig27, "Fig 27: slowdown, badly estimated jobs, SDSC"),
+        e!(fig28, "Fig 28: turnaround, inaccurate estimates, SDSC"),
+        e!(fig29, "Fig 29: turnaround, well estimated jobs, SDSC"),
+        e!(fig30, "Fig 30: turnaround, badly estimated jobs, SDSC"),
+        e!(fig31, "Fig 31: slowdown with suspension overhead, CTC"),
+        e!(fig32, "Fig 32: turnaround with suspension overhead, CTC"),
+        e!(fig33, "Fig 33: slowdown with suspension overhead, SDSC"),
+        e!(fig34, "Fig 34: turnaround with suspension overhead, SDSC"),
+        e!(table6, "Table VI: 4-category criteria"),
+        e!(table7, "Table VII: coarse job mix, CTC"),
+        e!(table8, "Table VIII: coarse job mix, SDSC"),
+        e!(fig35, "Fig 35: utilization vs load, CTC"),
+        e!(fig36, "Fig 36: slowdown vs load per category, CTC"),
+        e!(fig37, "Fig 37: turnaround vs load per category, CTC"),
+        e!(fig38, "Fig 38: utilization vs load, SDSC"),
+        e!(fig39, "Fig 39: slowdown vs load per category, SDSC"),
+        e!(fig40, "Fig 40: turnaround vs load per category, SDSC"),
+        e!(fig41, "Fig 41: slowdown vs utilization, CTC"),
+        e!(fig42, "Fig 42: turnaround vs utilization, CTC"),
+        e!(fig43, "Fig 43: slowdown vs utilization, SDSC"),
+        e!(fig44, "Fig 44: turnaround vs utilization, SDSC"),
+        e!(kth_trends, "KTH trace: trend check (paper reports 'similar trends')"),
+        e!(timeline, "Occupancy-over-time sparklines per scheme"),
+        e!(percentiles, "Slowdown tail percentiles per scheme"),
+        e!(ablation_sf_sweep, "Ablation: fine suspension-factor sweep"),
+        e!(ablation_width_restriction, "Ablation: the half-width suspend rule"),
+        e!(ablation_tss_limit_source, "Ablation: TSS limit source"),
+        e!(ablation_preemption_period, "Ablation: preemption-routine period"),
+        e!(ablation_gang, "Ablation: gang scheduling baseline"),
+        e!(ablation_migration, "Ablation: local restart vs free migration"),
+        e!(ablation_diurnal, "Ablation: diurnal arrival burstiness"),
+        e!(ablation_reservation_depth, "Ablation: backfilling reservation depth"),
+    ]
+}
+
+/// Ids of all registered experiments, in paper order.
+pub fn all_ids() -> Vec<&'static str> {
+    entries().iter().map(|e| e.id).collect()
+}
+
+/// Description of an experiment id.
+pub fn describe(id: &str) -> Option<&'static str> {
+    entries().into_iter().find(|e| e.id == id).map(|e| e.description)
+}
+
+/// Run one experiment, returning its rendered text. `None` for unknown
+/// ids.
+pub fn run_experiment(id: &str) -> Option<String> {
+    entries().into_iter().find(|e| e.id == id).map(|e| (e.run)())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_paper_artifact() {
+        let ids = all_ids();
+        // 8 tables + figs 4-6 + figs 7-44 + KTH + timeline + 7 ablations.
+        assert_eq!(ids.len(), 8 + 1 + 38 + 3 + 8);
+        // No duplicates.
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len());
+        for fig in 7..=44 {
+            assert!(ids.contains(&format!("fig{fig}").as_str()), "fig{fig} missing");
+        }
+        for t in 1..=8 {
+            assert!(ids.contains(&format!("table{t}").as_str()), "table{t} missing");
+        }
+    }
+
+    #[test]
+    fn describe_and_unknown() {
+        assert!(describe("table4").unwrap().contains("Table IV"));
+        assert!(describe("nope").is_none());
+        assert!(run_experiment("nope").is_none());
+    }
+
+    #[test]
+    fn static_tables_render_without_simulation() {
+        let t1 = run_experiment("table1").unwrap();
+        assert!(t1.contains("VS Seq") && t1.contains("VL VW"));
+        let t6 = run_experiment("table6").unwrap();
+        assert!(t6.contains("SN") && t6.contains("LW"));
+    }
+}

@@ -1,0 +1,24 @@
+//! # sps-cluster
+//!
+//! The machine substrate for the selective-preemption simulator: a
+//! distributed-memory cluster of identical processors on which rigid
+//! parallel jobs run.
+//!
+//! The paper's preemption model is *local*: a suspended job must later be
+//! restarted **on exactly the same set of processors** it was suspended on
+//! (no process migration). That makes processor *identity* matter, so this
+//! crate tracks allocations as explicit processor sets rather than counts:
+//!
+//! * [`ProcSet`] — a compact fixed-universe bitset of processor indices,
+//! * [`Cluster`] — free-set bookkeeping with checked allocate/release,
+//! * [`Profile`] — the future-availability profile (processor *counts* over
+//!   time) that backfilling schedulers use to compute "anchor points" and
+//!   reservations.
+
+pub mod machine;
+pub mod procset;
+pub mod profile;
+
+pub use machine::Cluster;
+pub use procset::ProcSet;
+pub use profile::{Profile, Reservation};

@@ -1,0 +1,157 @@
+//! Cluster free-set bookkeeping.
+//!
+//! [`Cluster`] owns the ground truth of which processors are free *right
+//! now*. Ownership of busy processors (which job holds which set, drain
+//! states during suspension overhead) lives in the simulator core; the
+//! cluster's job is to make double-allocation and double-release impossible
+//! to miss — every transition is checked.
+
+use crate::procset::ProcSet;
+
+/// A homogeneous cluster of `total` processors with checked allocation.
+#[derive(Clone, Debug)]
+pub struct Cluster {
+    total: u32,
+    free: ProcSet,
+}
+
+impl Cluster {
+    /// A cluster with all `total` processors free.
+    pub fn new(total: u32) -> Self {
+        assert!(total > 0, "a cluster needs at least one processor");
+        Cluster { total, free: ProcSet::full(total) }
+    }
+
+    /// Total processor count.
+    #[inline]
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// Number of currently free processors.
+    #[inline]
+    pub fn free_count(&self) -> u32 {
+        self.free.count()
+    }
+
+    /// Number of currently busy processors.
+    #[inline]
+    pub fn busy_count(&self) -> u32 {
+        self.total - self.free_count()
+    }
+
+    /// The current free set.
+    #[inline]
+    pub fn free_set(&self) -> &ProcSet {
+        &self.free
+    }
+
+    /// Allocate the `n` lowest-numbered free processors.
+    ///
+    /// Returns the allocated set, or `None` if fewer than `n` are free.
+    /// Lowest-numbered-first keeps simulations deterministic.
+    pub fn allocate(&mut self, n: u32) -> Option<ProcSet> {
+        let set = self.free.take_lowest(n)?;
+        self.free.subtract(&set);
+        Some(set)
+    }
+
+    /// Allocate exactly `set` (used when a suspended job re-enters on its
+    /// original processors). Panics if any processor of `set` is busy —
+    /// schedulers must check [`Cluster::can_allocate_exact`] first; getting
+    /// here otherwise is a scheduler bug worth crashing on.
+    pub fn allocate_exact(&mut self, set: &ProcSet) {
+        assert!(
+            set.is_subset(&self.free),
+            "allocate_exact of a non-free set: {set:?}, free {:?}",
+            self.free
+        );
+        self.free.subtract(set);
+    }
+
+    /// Whether `set` is entirely free right now.
+    pub fn can_allocate_exact(&self, set: &ProcSet) -> bool {
+        set.is_subset(&self.free)
+    }
+
+    /// Return `set` to the free pool. Panics if any processor of `set` is
+    /// already free (double release — always a simulator bug).
+    pub fn release(&mut self, set: &ProcSet) {
+        assert!(
+            set.is_disjoint(&self.free),
+            "double release: {set:?} overlaps free {:?}",
+            self.free
+        );
+        self.free.union_with(set);
+        debug_assert!(self.free.count() <= self.total);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_lowest_numbered() {
+        let mut c = Cluster::new(16);
+        let a = c.allocate(4).unwrap();
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        let b = c.allocate(2).unwrap();
+        assert_eq!(b.iter().collect::<Vec<_>>(), vec![4, 5]);
+        assert_eq!(c.free_count(), 10);
+        assert_eq!(c.busy_count(), 6);
+    }
+
+    #[test]
+    fn allocate_fails_when_insufficient() {
+        let mut c = Cluster::new(4);
+        assert!(c.allocate(5).is_none());
+        let _ = c.allocate(3).unwrap();
+        assert!(c.allocate(2).is_none());
+        assert!(c.allocate(1).is_some());
+        assert_eq!(c.free_count(), 0);
+    }
+
+    #[test]
+    fn release_restores_exact_processors() {
+        let mut c = Cluster::new(8);
+        let a = c.allocate(3).unwrap();
+        let b = c.allocate(3).unwrap();
+        c.release(&a);
+        assert_eq!(c.free_count(), 5);
+        // The freed low-numbered procs are preferred again.
+        let a2 = c.allocate(3).unwrap();
+        assert_eq!(a2, a);
+        c.release(&b);
+        c.release(&a2);
+        assert_eq!(c.free_count(), 8);
+    }
+
+    #[test]
+    fn exact_allocation_for_reentry() {
+        let mut c = Cluster::new(8);
+        let mine = c.allocate(4).unwrap();
+        c.release(&mine);
+        assert!(c.can_allocate_exact(&mine));
+        c.allocate_exact(&mine);
+        assert!(!c.can_allocate_exact(&mine));
+        assert_eq!(c.free_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "double release")]
+    fn double_release_panics() {
+        let mut c = Cluster::new(8);
+        let a = c.allocate(2).unwrap();
+        c.release(&a);
+        c.release(&a);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-free")]
+    fn exact_allocation_of_busy_set_panics() {
+        let mut c = Cluster::new(8);
+        let a = c.allocate(2).unwrap();
+        c.allocate_exact(&a);
+    }
+}

@@ -1,0 +1,288 @@
+//! Fixed-universe processor bitsets.
+//!
+//! The largest machine in the study is the 430-processor CTC SP2, so a
+//! processor set is a handful of `u64` words. All set algebra is branch-
+//! free word-wise arithmetic; the scheduler's hot loops (victim selection,
+//! overlap tests) run on these.
+
+use std::fmt;
+
+/// A set of processor indices drawn from a fixed universe `0..universe`.
+///
+/// Two sets participating in a binary operation must share a universe size;
+/// this is enforced with `debug_assert!` (scheduler code never mixes
+/// machines).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct ProcSet {
+    universe: u32,
+    words: Vec<u64>,
+}
+
+impl ProcSet {
+    /// The empty set over `0..universe`.
+    pub fn empty(universe: u32) -> Self {
+        let n_words = (universe as usize).div_ceil(64);
+        ProcSet { universe, words: vec![0; n_words] }
+    }
+
+    /// The full set `{0, 1, …, universe-1}`.
+    pub fn full(universe: u32) -> Self {
+        let mut s = Self::empty(universe);
+        for (i, w) in s.words.iter_mut().enumerate() {
+            let base = (i * 64) as u32;
+            let in_universe = universe.saturating_sub(base).min(64);
+            *w = if in_universe == 64 { u64::MAX } else { (1u64 << in_universe) - 1 };
+        }
+        s
+    }
+
+    /// Build from an iterator of processor indices.
+    pub fn from_indices(universe: u32, indices: impl IntoIterator<Item = u32>) -> Self {
+        let mut s = Self::empty(universe);
+        for i in indices {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Universe size this set is defined over.
+    #[inline]
+    pub fn universe(&self) -> u32 {
+        self.universe
+    }
+
+    /// Add processor `i` to the set.
+    #[inline]
+    pub fn insert(&mut self, i: u32) {
+        debug_assert!(i < self.universe, "proc {i} outside universe {}", self.universe);
+        self.words[(i / 64) as usize] |= 1u64 << (i % 64);
+    }
+
+    /// Remove processor `i` from the set.
+    #[inline]
+    pub fn remove(&mut self, i: u32) {
+        debug_assert!(i < self.universe, "proc {i} outside universe {}", self.universe);
+        self.words[(i / 64) as usize] &= !(1u64 << (i % 64));
+    }
+
+    /// Whether processor `i` is in the set.
+    #[inline]
+    pub fn contains(&self, i: u32) -> bool {
+        if i >= self.universe {
+            return false;
+        }
+        self.words[(i / 64) as usize] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of processors in the set.
+    #[inline]
+    pub fn count(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// In-place union: `self ∪= other`.
+    pub fn union_with(&mut self, other: &ProcSet) {
+        debug_assert_eq!(self.universe, other.universe);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection: `self ∩= other`.
+    pub fn intersect_with(&mut self, other: &ProcSet) {
+        debug_assert_eq!(self.universe, other.universe);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place difference: `self −= other`.
+    pub fn subtract(&mut self, other: &ProcSet) {
+        debug_assert_eq!(self.universe, other.universe);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// `self ∪ other` as a new set.
+    pub fn union(&self, other: &ProcSet) -> ProcSet {
+        let mut s = self.clone();
+        s.union_with(other);
+        s
+    }
+
+    /// `self ∩ other` as a new set.
+    pub fn intersection(&self, other: &ProcSet) -> ProcSet {
+        let mut s = self.clone();
+        s.intersect_with(other);
+        s
+    }
+
+    /// `self − other` as a new set.
+    pub fn difference(&self, other: &ProcSet) -> ProcSet {
+        let mut s = self.clone();
+        s.subtract(other);
+        s
+    }
+
+    /// Whether the two sets share no processor.
+    pub fn is_disjoint(&self, other: &ProcSet) -> bool {
+        debug_assert_eq!(self.universe, other.universe);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// Whether the two sets share at least one processor.
+    #[inline]
+    pub fn overlaps(&self, other: &ProcSet) -> bool {
+        !self.is_disjoint(other)
+    }
+
+    /// Whether every processor of `self` is also in `other`.
+    pub fn is_subset(&self, other: &ProcSet) -> bool {
+        debug_assert_eq!(self.universe, other.universe);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// The `n` lowest-indexed processors of the set, as a new set.
+    ///
+    /// Returns `None` if the set holds fewer than `n` processors. This is
+    /// the simulator's allocation policy: deterministic lowest-numbered
+    /// first, which keeps runs reproducible.
+    pub fn take_lowest(&self, n: u32) -> Option<ProcSet> {
+        if self.count() < n {
+            return None;
+        }
+        let mut out = Self::empty(self.universe);
+        let mut remaining = n;
+        for (wi, &w) in self.words.iter().enumerate() {
+            if remaining == 0 {
+                break;
+            }
+            let mut word = w;
+            let take = remaining.min(word.count_ones());
+            // Keep the `take` lowest set bits of this word.
+            let mut kept = 0u64;
+            for _ in 0..take {
+                let lowest = word & word.wrapping_neg();
+                kept |= lowest;
+                word ^= lowest;
+            }
+            out.words[wi] = kept;
+            remaining -= take;
+        }
+        debug_assert_eq!(out.count(), n);
+        Some(out)
+    }
+
+    /// Iterate over the processor indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut word = w;
+            std::iter::from_fn(move || {
+                if word == 0 {
+                    return None;
+                }
+                let bit = word.trailing_zeros();
+                word &= word - 1;
+                Some(wi as u32 * 64 + bit)
+            })
+        })
+    }
+}
+
+impl fmt::Debug for ProcSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ProcSet{{")?;
+        let mut first = true;
+        for i in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{i}")?;
+            first = false;
+        }
+        write!(f, "}}/{}", self.universe)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_full() {
+        let e = ProcSet::empty(430);
+        assert_eq!(e.count(), 0);
+        assert!(e.is_empty());
+        let f = ProcSet::full(430);
+        assert_eq!(f.count(), 430);
+        assert!(f.contains(0));
+        assert!(f.contains(429));
+        assert!(!f.contains(430));
+        // Word-boundary universes.
+        assert_eq!(ProcSet::full(64).count(), 64);
+        assert_eq!(ProcSet::full(65).count(), 65);
+        assert_eq!(ProcSet::full(128).count(), 128);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = ProcSet::empty(100);
+        s.insert(0);
+        s.insert(63);
+        s.insert(64);
+        s.insert(99);
+        assert_eq!(s.count(), 4);
+        assert!(s.contains(63) && s.contains(64));
+        s.remove(63);
+        assert!(!s.contains(63));
+        assert_eq!(s.count(), 3);
+        s.remove(63); // removing absent element is a no-op
+        assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = ProcSet::from_indices(100, [1, 2, 3, 64]);
+        let b = ProcSet::from_indices(100, [3, 64, 65]);
+        assert_eq!(a.union(&b).count(), 5);
+        assert_eq!(a.intersection(&b).count(), 2);
+        assert_eq!(a.difference(&b).count(), 2);
+        assert!(a.overlaps(&b));
+        assert!(!a.is_subset(&b));
+        assert!(a.intersection(&b).is_subset(&a));
+        assert!(a.intersection(&b).is_subset(&b));
+        let empty = ProcSet::empty(100);
+        assert!(empty.is_subset(&a));
+        assert!(empty.is_disjoint(&a));
+    }
+
+    #[test]
+    fn take_lowest_picks_ascending() {
+        let s = ProcSet::from_indices(200, [5, 70, 10, 130, 199]);
+        let t = s.take_lowest(3).unwrap();
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![5, 10, 70]);
+        assert!(t.is_subset(&s));
+        assert!(s.take_lowest(6).is_none());
+        assert_eq!(s.take_lowest(0).unwrap().count(), 0);
+        assert_eq!(s.take_lowest(5).unwrap(), s);
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let s = ProcSet::from_indices(430, [429, 0, 64, 63, 128]);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 128, 429]);
+    }
+
+    #[test]
+    fn debug_render() {
+        let s = ProcSet::from_indices(8, [1, 3]);
+        assert_eq!(format!("{s:?}"), "ProcSet{1,3}/8");
+    }
+}

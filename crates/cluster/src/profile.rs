@@ -1,0 +1,264 @@
+//! Future-availability profiles for backfilling.
+//!
+//! Backfilling schedulers reason about the future as a step function
+//! `avail(t)` = number of processors expected to be free at time `t`,
+//! derived from the *user-estimated* completion times of running jobs and
+//! from reservations already handed out. The classic operations are:
+//!
+//! * find the **anchor point** of a job — the earliest time at which
+//!   `procs` processors are available for `duration` seconds, and
+//! * **reserve** a `(start, duration, procs)` block, carving it out of the
+//!   profile so later anchors respect it.
+//!
+//! Only processor *counts* live here; the identity of processors is decided
+//! when a job actually starts (reservations in the paper's schedulers are
+//! count-based, exactly as in EASY and conservative backfilling).
+
+use sps_simcore::{Secs, SimTime};
+
+/// A reservation handed to a queued job: `procs` processors for
+/// `[start, start + duration)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Reservation {
+    /// Guaranteed start time (the anchor point).
+    pub start: SimTime,
+    /// Reserved duration (the job's user estimate).
+    pub duration: Secs,
+    /// Number of processors reserved.
+    pub procs: u32,
+}
+
+/// Step function of expected processor availability from `now` onwards.
+///
+/// Internally a sorted list of `(time, avail)` breakpoints; the last
+/// breakpoint's availability extends to infinity.
+#[derive(Clone, Debug)]
+pub struct Profile {
+    total: u32,
+    steps: Vec<(SimTime, u32)>,
+}
+
+impl Profile {
+    /// Build a profile from the current instant.
+    ///
+    /// * `free_now` — processors free right now,
+    /// * `releases` — `(expected_end, procs)` for every running job, using
+    ///   user estimates. Ends at or before `now` are clamped to `now + 1`
+    ///   (the job is still occupying its processors, whatever the estimate
+    ///   said).
+    pub fn new(now: SimTime, total: u32, free_now: u32, releases: &[(SimTime, u32)]) -> Self {
+        debug_assert!(free_now <= total);
+        let mut ends: Vec<(SimTime, u32)> = releases
+            .iter()
+            .map(|&(end, procs)| (if end <= now { now + 1 } else { end }, procs))
+            .collect();
+        ends.sort_unstable_by_key(|&(t, _)| t);
+        let mut steps = Vec::with_capacity(ends.len() + 1);
+        steps.push((now, free_now));
+        let mut avail = free_now;
+        for (end, procs) in ends {
+            avail += procs;
+            match steps.last_mut() {
+                Some((t, a)) if *t == end => *a = avail,
+                _ => steps.push((end, avail)),
+            }
+        }
+        debug_assert!(avail <= total, "released more processors than exist");
+        Profile { total, steps }
+    }
+
+    /// Total processors in the machine.
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// Expected availability at time `t` (clamped to the profile start).
+    pub fn avail_at(&self, t: SimTime) -> u32 {
+        match self.steps.binary_search_by_key(&t, |&(bt, _)| bt) {
+            Ok(i) => self.steps[i].1,
+            Err(0) => self.steps[0].1,
+            Err(i) => self.steps[i - 1].1,
+        }
+    }
+
+    /// Minimum availability over the window `[start, start + duration)`.
+    pub fn min_avail(&self, start: SimTime, duration: Secs) -> u32 {
+        let end = start.saturating_add(duration);
+        let mut min = self.avail_at(start);
+        for &(t, a) in &self.steps {
+            if t > start && t < end {
+                min = min.min(a);
+            }
+        }
+        min
+    }
+
+    /// Earliest time `t ≥ earliest` with `procs` processors available for
+    /// the whole of `[t, t + duration)`.
+    ///
+    /// Always succeeds for `procs ≤ total`: after the last breakpoint the
+    /// availability is constant, so the final breakpoint is a valid anchor
+    /// whenever its availability suffices (reservations only *reduce*
+    /// availability over finite windows).
+    pub fn find_anchor(&self, procs: u32, duration: Secs, earliest: SimTime) -> Option<SimTime> {
+        if procs > self.total {
+            return None;
+        }
+        // Candidate anchors: `earliest` itself and every breakpoint after it.
+        let mut candidates: Vec<SimTime> = vec![earliest];
+        candidates.extend(self.steps.iter().map(|&(t, _)| t).filter(|&t| t > earliest));
+        candidates.into_iter().find(|&t| self.avail_at(t) >= procs && self.min_avail(t, duration) >= procs)
+    }
+
+    /// Carve `procs` processors out of `[start, start + duration)`.
+    ///
+    /// Panics if the window lacks capacity (callers must anchor first).
+    pub fn reserve(&mut self, start: SimTime, duration: Secs, procs: u32) {
+        let end = start.saturating_add(duration);
+        self.ensure_breakpoint(start);
+        if end < SimTime::MAX {
+            self.ensure_breakpoint(end);
+        }
+        for (t, a) in self.steps.iter_mut() {
+            if *t >= start && *t < end {
+                assert!(*a >= procs, "reservation overflows profile at {t:?}: {a} < {procs}");
+                *a -= procs;
+            }
+        }
+    }
+
+    /// Convenience: anchor + reserve in one step, returning the reservation.
+    pub fn reserve_earliest(
+        &mut self,
+        procs: u32,
+        duration: Secs,
+        earliest: SimTime,
+    ) -> Option<Reservation> {
+        let start = self.find_anchor(procs, duration, earliest)?;
+        self.reserve(start, duration, procs);
+        Some(Reservation { start, duration, procs })
+    }
+
+    /// Insert a breakpoint at `t` (if missing) carrying the availability in
+    /// force at `t`, so later per-step edits can change `[t, …)` only.
+    fn ensure_breakpoint(&mut self, t: SimTime) {
+        if t < self.steps[0].0 {
+            // Reservation windows never start before the profile.
+            return;
+        }
+        if let Err(i) = self.steps.binary_search_by_key(&t, |&(bt, _)| bt) {
+            let avail = self.steps[i - 1].1;
+            self.steps.insert(i, (t, avail));
+        }
+    }
+
+    /// The breakpoints `(time, avail)` — exposed for tests and debugging.
+    pub fn steps(&self) -> &[(SimTime, u32)] {
+        &self.steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: i64) -> SimTime {
+        SimTime::new(s)
+    }
+
+    /// 10-proc machine, 4 free now, jobs releasing 2 at t=100 and 4 at t=200.
+    fn sample() -> Profile {
+        Profile::new(t(0), 10, 4, &[(t(100), 2), (t(200), 4)])
+    }
+
+    #[test]
+    fn availability_steps_up_at_estimated_ends() {
+        let p = sample();
+        assert_eq!(p.avail_at(t(0)), 4);
+        assert_eq!(p.avail_at(t(99)), 4);
+        assert_eq!(p.avail_at(t(100)), 6);
+        assert_eq!(p.avail_at(t(200)), 10);
+        assert_eq!(p.avail_at(t(10_000)), 10);
+    }
+
+    #[test]
+    fn expired_estimates_clamp_to_now() {
+        let p = Profile::new(t(50), 10, 4, &[(t(40), 6)]);
+        assert_eq!(p.avail_at(t(50)), 4, "overrun job still occupies its procs");
+        assert_eq!(p.avail_at(t(51)), 10);
+    }
+
+    #[test]
+    fn anchor_now_when_enough_free() {
+        let p = sample();
+        assert_eq!(p.find_anchor(4, 1_000, t(0)), Some(t(0)));
+        assert_eq!(p.find_anchor(3, 50, t(0)), Some(t(0)));
+    }
+
+    #[test]
+    fn anchor_waits_for_releases() {
+        let p = sample();
+        assert_eq!(p.find_anchor(5, 100, t(0)), Some(t(100)));
+        assert_eq!(p.find_anchor(7, 100, t(0)), Some(t(200)));
+        assert_eq!(p.find_anchor(10, 1_000_000, t(0)), Some(t(200)));
+        assert_eq!(p.find_anchor(11, 10, t(0)), None, "wider than the machine");
+    }
+
+    #[test]
+    fn anchor_respects_earliest_bound() {
+        let p = sample();
+        assert_eq!(p.find_anchor(2, 10, t(150)), Some(t(150)));
+        assert_eq!(p.find_anchor(7, 10, t(150)), Some(t(200)));
+    }
+
+    #[test]
+    fn reservation_blocks_window() {
+        let mut p = sample();
+        // Reserve all 4 free procs for [0, 100).
+        p.reserve(t(0), 100, 4);
+        assert_eq!(p.avail_at(t(0)), 0);
+        assert_eq!(p.avail_at(t(99)), 0);
+        assert_eq!(p.avail_at(t(100)), 6);
+        // A 1-proc job must now anchor at 100.
+        assert_eq!(p.find_anchor(1, 10, t(0)), Some(t(100)));
+    }
+
+    #[test]
+    fn reservation_splits_segments() {
+        let mut p = sample();
+        p.reserve(t(50), 30, 2); // carve [50, 80) out of the 4-free segment
+        assert_eq!(p.avail_at(t(49)), 4);
+        assert_eq!(p.avail_at(t(50)), 2);
+        assert_eq!(p.avail_at(t(79)), 2);
+        assert_eq!(p.avail_at(t(80)), 4);
+        // A 3-proc 100s job can't fit across the carve-out before t=80.
+        assert_eq!(p.find_anchor(3, 100, t(0)), Some(t(80)));
+    }
+
+    #[test]
+    fn reserve_earliest_chains() {
+        let mut p = sample();
+        let r1 = p.reserve_earliest(4, 100, t(0)).unwrap();
+        assert_eq!(r1.start, t(0));
+        let r2 = p.reserve_earliest(4, 100, t(0)).unwrap();
+        assert_eq!(r2.start, t(100), "second reservation queues behind the first");
+        let r3 = p.reserve_earliest(10, 100, t(0)).unwrap();
+        assert_eq!(r3.start, t(200));
+    }
+
+    #[test]
+    fn min_avail_over_window() {
+        let p = sample();
+        assert_eq!(p.min_avail(t(0), 100), 4);
+        assert_eq!(p.min_avail(t(0), 101), 4);
+        assert_eq!(p.min_avail(t(100), 200), 6);
+        assert_eq!(p.min_avail(t(250), 10), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn overbooked_reservation_panics() {
+        let mut p = sample();
+        p.reserve(t(0), 10, 5);
+    }
+}

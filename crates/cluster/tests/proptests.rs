@@ -1,0 +1,150 @@
+//! Property tests for processor sets, cluster allocation, and profiles.
+
+use proptest::prelude::*;
+use sps_cluster::{Cluster, ProcSet, Profile};
+use sps_simcore::SimTime;
+
+const UNIVERSE: u32 = 430; // the CTC SP2
+
+fn indices() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0u32..UNIVERSE, 0..64)
+}
+
+proptest! {
+    /// De Morgan-ish algebra: |A ∪ B| + |A ∩ B| = |A| + |B|.
+    #[test]
+    fn inclusion_exclusion(a in indices(), b in indices()) {
+        let a = ProcSet::from_indices(UNIVERSE, a);
+        let b = ProcSet::from_indices(UNIVERSE, b);
+        prop_assert_eq!(
+            a.union(&b).count() + a.intersection(&b).count(),
+            a.count() + b.count()
+        );
+    }
+
+    /// Difference removes exactly the intersection.
+    #[test]
+    fn difference_is_partition(a in indices(), b in indices()) {
+        let a = ProcSet::from_indices(UNIVERSE, a);
+        let b = ProcSet::from_indices(UNIVERSE, b);
+        let diff = a.difference(&b);
+        prop_assert!(diff.is_disjoint(&b));
+        prop_assert_eq!(diff.count() + a.intersection(&b).count(), a.count());
+        prop_assert!(diff.is_subset(&a));
+    }
+
+    /// iter() round-trips through from_indices and stays sorted.
+    #[test]
+    fn iter_roundtrip(a in indices()) {
+        let s = ProcSet::from_indices(UNIVERSE, a.clone());
+        let collected: Vec<u32> = s.iter().collect();
+        let mut dedup = a;
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(collected, dedup);
+    }
+
+    /// take_lowest returns a subset of the requested size containing the
+    /// smallest elements.
+    #[test]
+    fn take_lowest_properties(a in indices(), n in 0u32..64) {
+        let s = ProcSet::from_indices(UNIVERSE, a);
+        match s.take_lowest(n) {
+            None => prop_assert!(s.count() < n),
+            Some(t) => {
+                prop_assert_eq!(t.count(), n);
+                prop_assert!(t.is_subset(&s));
+                // Every element excluded from t is larger than every kept one.
+                let kept_max = t.iter().max();
+                let dropped_min = s.difference(&t).iter().min();
+                if let (Some(km), Some(dm)) = (kept_max, dropped_min) {
+                    prop_assert!(km < dm);
+                }
+            }
+        }
+    }
+
+    /// Any sequence of allocate/release keeps the free count consistent and
+    /// never double-books a processor.
+    #[test]
+    fn cluster_conservation(ops in prop::collection::vec(0u32..40, 1..60)) {
+        let mut c = Cluster::new(64);
+        let mut held: Vec<ProcSet> = Vec::new();
+        for op in ops {
+            if op < 20 || held.is_empty() {
+                // allocate `op % 17` procs
+                let n = op % 17;
+                if let Some(set) = c.allocate(n) {
+                    prop_assert_eq!(set.count(), n);
+                    for other in &held {
+                        prop_assert!(set.is_disjoint(other), "double-booked processor");
+                    }
+                    held.push(set);
+                }
+            } else {
+                let set = held.remove((op as usize) % held.len());
+                c.release(&set);
+            }
+            let held_total: u32 = held.iter().map(|s| s.count()).sum();
+            prop_assert_eq!(c.free_count() + held_total, 64);
+        }
+    }
+
+    /// Profile anchors always satisfy the requested window, and the anchor
+    /// is minimal among breakpoint candidates.
+    #[test]
+    fn anchor_is_valid_and_minimal(
+        free in 0u32..32,
+        releases in prop::collection::vec((1i64..1_000, 1u32..8), 0..12),
+        procs in 1u32..32,
+        dur in 1i64..500,
+    ) {
+        let total = 32u32;
+        let released: u32 = releases.iter().map(|&(_, p)| p).sum();
+        prop_assume!(free + released <= total);
+        let rel: Vec<(SimTime, u32)> =
+            releases.iter().map(|&(t, p)| (SimTime::new(t), p)).collect();
+        let p = Profile::new(SimTime::new(0), total, free, &rel);
+        if procs > free + released {
+            // May still be feasible only if procs <= final availability.
+        }
+        match p.find_anchor(procs, dur, SimTime::new(0)) {
+            None => prop_assert!(procs > free + released),
+            Some(anchor) => {
+                prop_assert!(p.min_avail(anchor, dur) >= procs, "window violated");
+                // No earlier breakpoint candidate satisfies the window.
+                for &(t, _) in p.steps() {
+                    if t < anchor {
+                        prop_assert!(p.min_avail(t, dur) < procs,
+                            "anchor not minimal: breakpoint {:?} earlier than {:?}", t, anchor);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reservations never increase availability anywhere, and outside the
+    /// reserved window availability is unchanged.
+    #[test]
+    fn reservation_monotone(
+        free in 4u32..32,
+        start in 0i64..200,
+        dur in 1i64..200,
+        procs in 1u32..4,
+    ) {
+        let total = 32u32;
+        let before = Profile::new(SimTime::new(0), total, free, &[]);
+        let mut after = before.clone();
+        after.reserve(SimTime::new(start), dur, procs);
+        for probe in 0..500i64 {
+            let t = SimTime::new(probe);
+            let b = before.avail_at(t);
+            let a = after.avail_at(t);
+            if probe >= start && probe < start + dur {
+                prop_assert_eq!(a, b - procs);
+            } else {
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+}

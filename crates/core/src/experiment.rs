@@ -1,0 +1,293 @@
+//! Experiment driver: configuration → simulation → per-category report.
+//!
+//! One [`ExperimentConfig`] fully determines a run (machine, synthetic
+//! trace seed, load factor, estimate model, overhead model, scheduler),
+//! so every number in EXPERIMENTS.md is reproducible bit-for-bit. The
+//! harness compares several schedulers on the *same* trace by varying only
+//! [`ExperimentConfig::scheduler`]. [`run_many`] fans a batch of
+//! configurations out over OS threads (simulations are independent and
+//! CPU-bound).
+
+use sps_metrics::{CategoryReport, JobOutcome};
+use sps_simcore::Secs;
+use sps_workload::{EstimateModel, Job, SyntheticConfig, SystemPreset};
+
+use crate::overhead::OverheadModel;
+use crate::policy::Policy;
+use crate::sched::{
+    Conservative, Easy, Fcfs, FlexBackfill, GangScheduling, ImmediateService, SelectiveSuspension,
+};
+use crate::sim::{SimResult, Simulator, DEFAULT_TICK_PERIOD};
+
+/// Which scheduler to run.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum SchedulerKind {
+    /// First-come-first-served, no backfilling.
+    Fcfs,
+    /// Conservative backfilling.
+    Conservative,
+    /// Aggressive (EASY) backfilling — the paper's NS baseline.
+    Easy,
+    /// Backfilling with reservations for the first `depth` queued jobs
+    /// (the EASY ↔ conservative spectrum).
+    Flex {
+        /// Number of protected queue positions.
+        depth: usize,
+    },
+    /// Immediate Service (Chiang & Vernon).
+    ImmediateService,
+    /// Time-sliced gang scheduling (Ousterhout matrix, 10-minute
+    /// quantum) — Section II's classical preemptive alternative.
+    Gang,
+    /// Selective Suspension with the given suspension factor.
+    Ss {
+        /// Suspension factor.
+        sf: f64,
+    },
+    /// Tunable Selective Suspension (SS + per-category limits).
+    Tss {
+        /// Suspension factor.
+        sf: f64,
+    },
+}
+
+impl SchedulerKind {
+    /// Instantiate the policy.
+    pub fn build(&self) -> Box<dyn Policy> {
+        match *self {
+            SchedulerKind::Fcfs => Box::new(Fcfs),
+            SchedulerKind::Conservative => Box::<Conservative>::default(),
+            SchedulerKind::Easy => Box::new(Easy),
+            SchedulerKind::Flex { depth } => Box::new(FlexBackfill::new(depth)),
+            SchedulerKind::ImmediateService => Box::new(ImmediateService::new()),
+            SchedulerKind::Gang => Box::<GangScheduling>::default(),
+            SchedulerKind::Ss { sf } => Box::new(SelectiveSuspension::ss(sf)),
+            SchedulerKind::Tss { sf } => Box::new(SelectiveSuspension::tss(sf)),
+        }
+    }
+
+    /// Short label for table columns.
+    pub fn label(&self) -> String {
+        match *self {
+            SchedulerKind::Fcfs => "FCFS".into(),
+            SchedulerKind::Conservative => "Cons".into(),
+            SchedulerKind::Easy => "NS".into(),
+            SchedulerKind::Flex { depth } => format!("Flex-{depth}"),
+            SchedulerKind::ImmediateService => "IS".into(),
+            SchedulerKind::Gang => "Gang".into(),
+            SchedulerKind::Ss { sf } => format!("SS {sf}"),
+            SchedulerKind::Tss { sf } => format!("SF={sf} Tuned"),
+        }
+    }
+}
+
+/// Everything needed to reproduce one simulation.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// Machine and calibrated job mix.
+    pub system: SystemPreset,
+    /// Trace length in jobs.
+    pub n_jobs: usize,
+    /// Trace RNG seed (same seed + system + load → same trace across
+    /// schedulers).
+    pub seed: u64,
+    /// Load factor relative to the preset's baseline (Section VI).
+    pub load_factor: f64,
+    /// User-estimate model (Section V).
+    pub estimates: EstimateModel,
+    /// Suspension/restart overhead model (Section V-A).
+    pub overhead: OverheadModel,
+    /// The scheduler under test.
+    pub scheduler: SchedulerKind,
+    /// Preemption-routine period, seconds (paper: one minute).
+    pub tick_period: Secs,
+}
+
+impl ExperimentConfig {
+    /// Baseline configuration: preset defaults, accurate estimates, no
+    /// overhead, load factor 1.
+    pub fn new(system: SystemPreset, scheduler: SchedulerKind) -> Self {
+        ExperimentConfig {
+            system,
+            n_jobs: system.default_jobs,
+            seed: 42,
+            load_factor: 1.0,
+            estimates: EstimateModel::Accurate,
+            overhead: OverheadModel::None,
+            scheduler,
+            tick_period: DEFAULT_TICK_PERIOD,
+        }
+    }
+
+    /// Builder-style mutators.
+    pub fn with_jobs(mut self, n: usize) -> Self {
+        self.n_jobs = n;
+        self
+    }
+
+    /// Set the trace seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the load factor.
+    pub fn with_load_factor(mut self, f: f64) -> Self {
+        self.load_factor = f;
+        self
+    }
+
+    /// Set the estimate model.
+    pub fn with_estimates(mut self, e: EstimateModel) -> Self {
+        self.estimates = e;
+        self
+    }
+
+    /// Set the overhead model.
+    pub fn with_overhead(mut self, o: OverheadModel) -> Self {
+        self.overhead = o;
+        self
+    }
+
+    /// Generate this experiment's trace (scheduler-independent).
+    pub fn trace(&self) -> Vec<Job> {
+        let mut jobs = SyntheticConfig::new(self.system, self.seed)
+            .with_jobs(self.n_jobs)
+            .with_load_factor(self.load_factor)
+            .generate();
+        self.estimates.apply(&mut jobs, self.seed.wrapping_add(1));
+        jobs
+    }
+
+    /// Run the simulation and aggregate reports.
+    pub fn run(&self) -> RunResult {
+        let jobs = self.trace();
+        let sim = Simulator::with_overhead_and_tick(
+            jobs,
+            self.system.procs,
+            self.scheduler.build(),
+            self.overhead,
+            self.tick_period,
+        );
+        RunResult::from_sim(self.clone(), sim.run())
+    }
+}
+
+/// A finished experiment with its aggregations.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// The configuration that produced it.
+    pub config: ExperimentConfig,
+    /// Raw simulation result.
+    pub sim: SimResult,
+    /// Per-category report over all jobs.
+    pub report: CategoryReport,
+    /// Report restricted to well-estimated jobs (estimate ≤ 2× run).
+    pub report_well: CategoryReport,
+    /// Report restricted to badly estimated jobs.
+    pub report_badly: CategoryReport,
+}
+
+impl RunResult {
+    fn from_sim(config: ExperimentConfig, sim: SimResult) -> Self {
+        let report = CategoryReport::from_outcomes(&sim.outcomes);
+        let report_well =
+            CategoryReport::from_filtered(&sim.outcomes, JobOutcome::well_estimated);
+        let report_badly =
+            CategoryReport::from_filtered(&sim.outcomes, |o| !o.well_estimated());
+        RunResult { config, sim, report, report_well, report_badly }
+    }
+
+    /// Productive utilization, percent.
+    pub fn utilization_pct(&self) -> f64 {
+        self.sim.utilization * 100.0
+    }
+}
+
+/// Run a batch of experiments in parallel across OS threads. Results come
+/// back in input order.
+pub fn run_many(configs: Vec<ExperimentConfig>) -> Vec<RunResult> {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let mut results: Vec<Option<RunResult>> = (0..configs.len()).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let configs_ref = &configs;
+    let results_mutex = std::sync::Mutex::new(&mut results);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(configs_ref.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= configs_ref.len() {
+                    break;
+                }
+                let result = configs_ref[i].run();
+                let mut guard = results_mutex.lock().expect("no poisoned result writers");
+                guard[i] = Some(result);
+            });
+        }
+    });
+    results.into_iter().map(|r| r.expect("every experiment ran")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sps_workload::traces::SDSC;
+
+    fn small(scheduler: SchedulerKind) -> ExperimentConfig {
+        ExperimentConfig::new(SDSC, scheduler).with_jobs(300).with_seed(7)
+    }
+
+    #[test]
+    fn trace_is_scheduler_independent() {
+        let a = small(SchedulerKind::Easy).trace();
+        let b = small(SchedulerKind::Ss { sf: 2.0 }).trace();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn run_produces_full_reports() {
+        let r = small(SchedulerKind::Easy).run();
+        assert_eq!(r.report.overall.count, 300);
+        assert_eq!(
+            r.report_well.overall.count + r.report_badly.overall.count,
+            300,
+            "estimate split partitions the trace"
+        );
+        assert!(r.sim.utilization > 0.0 && r.sim.utilization <= 1.0);
+        assert_eq!(r.sim.preemptions, 0, "NS never suspends");
+    }
+
+    #[test]
+    fn estimate_split_matches_model() {
+        let cfg = small(SchedulerKind::Easy)
+            .with_estimates(EstimateModel::Mixture { well_fraction: 0.5, max_factor: 30.0 });
+        let r = cfg.run();
+        assert!(r.report_well.overall.count > 60);
+        assert!(r.report_badly.overall.count > 60);
+    }
+
+    #[test]
+    fn run_many_matches_sequential_and_keeps_order() {
+        let configs = vec![
+            small(SchedulerKind::Easy),
+            small(SchedulerKind::Ss { sf: 2.0 }),
+            small(SchedulerKind::Fcfs),
+        ];
+        let parallel = run_many(configs.clone());
+        for (cfg, par) in configs.iter().zip(&parallel) {
+            let seq = cfg.run();
+            assert_eq!(par.sim.policy, seq.sim.policy);
+            assert_eq!(par.report.overall.count, seq.report.overall.count);
+            assert!((par.report.overall.mean_slowdown - seq.report.overall.mean_slowdown).abs() < 1e-12);
+        }
+        assert_eq!(parallel[0].sim.policy, "NS (EASY)");
+        assert_eq!(parallel[2].sim.policy, "FCFS");
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(SchedulerKind::Ss { sf: 2.0 }.label(), "SS 2");
+        assert_eq!(SchedulerKind::Tss { sf: 1.5 }.label(), "SF=1.5 Tuned");
+        assert_eq!(SchedulerKind::Easy.label(), "NS");
+    }
+}

@@ -1,0 +1,35 @@
+//! # sps-core
+//!
+//! The paper's contribution and the simulator that evaluates it.
+//!
+//! *Selective Suspension* (SS) lets an idle job preempt running jobs whose
+//! suspension priority — the expansion factor ("xfactor") — is lower by at
+//! least a tunable *suspension factor* (SF). *Tunable Selective Suspension*
+//! (TSS) additionally disables preemption of any job whose priority has
+//! exceeded 1.5× the average slowdown of its category, repairing worst-case
+//! behaviour. Both are implemented in [`sched::ss`], alongside the
+//! baselines the paper compares against:
+//!
+//! * [`sched::fcfs`] — first-come-first-served without backfilling,
+//! * [`sched::conservative`] — conservative backfilling with reservations
+//!   for every queued job and schedule compression,
+//! * [`sched::easy`] — aggressive (EASY) backfilling, the paper's
+//!   No-Suspension (NS) baseline,
+//! * [`sched::is`] — the Immediate Service preemptive baseline of Chiang &
+//!   Vernon,
+//!
+//! all running on the event-driven simulator in [`sim`], with the
+//! suspension/restart cost model in [`overhead`], closed-form two-task
+//! analysis in [`theory`] (Figs. 4–6), and the experiment driver in
+//! [`experiment`].
+
+pub mod experiment;
+pub mod overhead;
+pub mod policy;
+pub mod sched;
+pub mod sim;
+pub mod theory;
+
+pub use overhead::OverheadModel;
+pub use policy::{Action, DecideCtx, Policy};
+pub use sim::{SimResult, SimState, Simulator};

@@ -1,0 +1,107 @@
+//! Suspension/restart overhead (Section V-A).
+//!
+//! "The overhead for suspension is calculated as the time taken to write
+//! the main memory used by the job to the disk. … with a commodity local
+//! disk for every node, with each node being a quad, the transfer rate per
+//! processor was assumed to be 2 MB/s."
+//!
+//! The job's memory image (uniform 100 MB – 1 GB) is distributed across
+//! its processors, and every processor drains its share to its local disk
+//! in parallel, so the wall-clock cost of suspending (and again of
+//! restarting) is `(mem / procs) / rate_per_proc`. A sequential job with
+//! 1 GB pays ~512 s per transition; a 64-way job with the same footprint
+//! pays 8 s — which is why the paper finds the overhead's impact minimal:
+//! the usual suspension victims are wide.
+
+use sps_simcore::Secs;
+use sps_workload::Job;
+
+/// Cost model for one suspend (or restart) transition.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub enum OverheadModel {
+    /// Free suspension — the idealized Section IV setting.
+    #[default]
+    None,
+    /// Memory-drain model: each processor writes/reads its share of the
+    /// job's memory at `mb_per_sec` megabytes per second.
+    MemoryDrain {
+        /// Per-processor disk bandwidth, MB/s (the paper uses 2.0).
+        mb_per_sec: f64,
+    },
+}
+
+impl OverheadModel {
+    /// The paper's Section V-A configuration: 2 MB/s per processor.
+    pub fn paper() -> Self {
+        OverheadModel::MemoryDrain { mb_per_sec: 2.0 }
+    }
+
+    /// Seconds the job's processors stay occupied while its state drains
+    /// to disk on suspension.
+    pub fn suspend_secs(&self, job: &Job) -> Secs {
+        match *self {
+            OverheadModel::None => 0,
+            OverheadModel::MemoryDrain { mb_per_sec } => {
+                assert!(mb_per_sec > 0.0, "drain rate must be positive");
+                let per_proc = job.mem_mb as f64 / job.procs as f64;
+                (per_proc / mb_per_sec).ceil() as Secs
+            }
+        }
+    }
+
+    /// Seconds to reload the image before computation resumes on restart.
+    /// Symmetric with [`OverheadModel::suspend_secs`] (read back what was
+    /// written).
+    pub fn restart_secs(&self, job: &Job) -> Secs {
+        self.suspend_secs(job)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job_with_mem(mem: u32, procs: u32) -> Job {
+        let mut j = Job::new(0, 0, 1_000, 1_000, procs);
+        j.mem_mb = mem;
+        j
+    }
+
+    #[test]
+    fn none_is_free() {
+        let j = job_with_mem(1_024, 8);
+        assert_eq!(OverheadModel::None.suspend_secs(&j), 0);
+        assert_eq!(OverheadModel::None.restart_secs(&j), 0);
+    }
+
+    #[test]
+    fn paper_rates() {
+        // 100 MB at 2 MB/s → 50 s; 1024 MB → 512 s.
+        assert_eq!(OverheadModel::paper().suspend_secs(&job_with_mem(100, 1)), 50);
+        assert_eq!(OverheadModel::paper().suspend_secs(&job_with_mem(1_024, 1)), 512);
+    }
+
+    #[test]
+    fn wide_jobs_drain_faster() {
+        // The image is spread across processors draining in parallel.
+        let narrow = job_with_mem(512, 1);
+        let wide = job_with_mem(512, 128);
+        let m = OverheadModel::paper();
+        assert_eq!(m.suspend_secs(&narrow), 256);
+        assert_eq!(m.suspend_secs(&wide), 2);
+    }
+
+    #[test]
+    fn suspend_restart_symmetry() {
+        let j = job_with_mem(321, 4);
+        let m = OverheadModel::paper();
+        assert_eq!(m.suspend_secs(&j), m.restart_secs(&j));
+    }
+
+    #[test]
+    fn fractional_rates_round_up() {
+        let m = OverheadModel::MemoryDrain { mb_per_sec: 3.0 };
+        assert_eq!(m.suspend_secs(&job_with_mem(100, 1)), 34); // ceil(33.3)
+        assert_eq!(m.suspend_secs(&job_with_mem(100, 7)), 5); // ceil(4.76)
+    }
+}

@@ -1,0 +1,77 @@
+//! The scheduler-policy interface.
+//!
+//! The simulator owns all mechanics (allocation, suspension drains,
+//! completion events, metrics); a [`Policy`] is a pure decision module. At
+//! every event instant — after all completions, drain finishes, and
+//! arrivals at that instant have been applied — the simulator calls
+//! [`Policy::decide`], and the policy returns an ordered list of
+//! [`Action`]s. Actions are applied in order against live state; an action
+//! whose precondition no longer holds (e.g. a start planned against
+//! processors still draining under a non-zero overhead model) is *dropped*
+//! and counted, and the policy simply re-decides at the next instant (the
+//! drain completion is itself an event). With zero overhead, a plan
+//! computed by a policy that tracks its own hypothetical free set — as the
+//! paper's pseudocode does — never drops.
+
+use sps_cluster::ProcSet;
+use sps_metrics::JobOutcome;
+use sps_workload::JobId;
+
+use crate::sim::SimState;
+
+/// One scheduling decision.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Action {
+    /// Dispatch a never-started queued job onto the lowest-numbered free
+    /// processors.
+    Start(JobId),
+    /// Dispatch a never-started queued job onto an explicit processor
+    /// set. Selective Suspension uses this to steer fresh jobs away from
+    /// processors that suspended jobs are waiting to reclaim — without
+    /// placement awareness, every allocation tramples some pending
+    /// re-entry set and the scheduler drowns in reassembly preemptions.
+    StartOn(JobId, ProcSet),
+    /// Re-enter a suspended job on exactly the processor set it held when
+    /// suspended (the paper's local-preemption constraint).
+    Resume(JobId),
+    /// Re-enter a suspended job on a *different* processor set of the same
+    /// size — process migration, which the paper's distributed-memory
+    /// model forbids. Only the `ablation_migration` experiment uses this,
+    /// to price the local-restart constraint.
+    ResumeOn(JobId, ProcSet),
+    /// Preempt a running job: stop computation, drain its memory image
+    /// (per the overhead model), then free its processors.
+    Suspend(JobId),
+}
+
+/// Per-instant context handed to [`Policy::decide`].
+#[derive(Clone, Copy, Debug)]
+pub struct DecideCtx<'a> {
+    /// Jobs that arrived at this instant (already present in the queued
+    /// list), in arrival order.
+    pub arrivals: &'a [JobId],
+    /// Whether this instant includes a periodic tick — the paper's
+    /// schedulers run the preemption routine only on ticks ("the scheduler
+    /// periodically (after every minute) invokes the preemption routine").
+    pub tick: bool,
+}
+
+/// A job-scheduling policy.
+pub trait Policy {
+    /// Human-readable name used in reports ("EASY", "SS (SF=2)", …).
+    fn name(&self) -> String;
+
+    /// Whether the simulator should deliver periodic ticks while work is
+    /// pending. Preemptive policies return `true`.
+    fn needs_tick(&self) -> bool {
+        false
+    }
+
+    /// Produce scheduling actions for this instant. Called once per event
+    /// instant, after state updates. Actions are applied in order.
+    fn decide(&mut self, state: &SimState, ctx: &DecideCtx<'_>, actions: &mut Vec<Action>);
+
+    /// Observe a job completing (TSS uses this to maintain per-category
+    /// average slowdowns for its preemption-disable limits).
+    fn on_completion(&mut self, _outcome: &JobOutcome) {}
+}

@@ -1,0 +1,188 @@
+//! Aggressive (EASY) backfilling — the paper's **No-Suspension (NS)**
+//! baseline.
+//!
+//! Section II-A.2: the scheduler gives a reservation only to the *first*
+//! job in the queue that cannot start. Any other queued job may backfill
+//! onto currently free processors provided it cannot delay that head job,
+//! which holds if either
+//!
+//! 1. it will terminate (by its estimate) before the head job's
+//!    reservation ("shadow time"), or
+//! 2. it uses no more processors than will still be free at the shadow
+//!    time after the head job starts (the "extra" processors).
+
+use crate::policy::{Action, DecideCtx, Policy};
+use crate::sim::SimState;
+
+/// EASY backfilling dispatcher.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Easy;
+
+impl Policy for Easy {
+    fn name(&self) -> String {
+        "NS (EASY)".into()
+    }
+
+    fn decide(&mut self, state: &SimState, _ctx: &DecideCtx<'_>, actions: &mut Vec<Action>) {
+        plan_easy(state, actions);
+    }
+}
+
+/// Shared EASY planning: fills `actions` with starts. Exposed for reuse by
+/// the tests and by hybrid policies.
+pub(crate) fn plan_easy(state: &SimState, actions: &mut Vec<Action>) {
+    let mut free = state.free_count();
+    let queued = state.queued();
+    let mut idx = 0;
+
+    // Phase 1: start jobs from the head while they fit.
+    while idx < queued.len() {
+        let id = queued[idx];
+        let need = state.job(id).procs;
+        if need > free {
+            break;
+        }
+        free -= need;
+        actions.push(Action::Start(id));
+        idx += 1;
+    }
+    if idx >= queued.len() {
+        return; // everything started
+    }
+
+    // Phase 2: the head job `queued[idx]` cannot start. Find its shadow
+    // time from the availability profile — accounting for the phase-1
+    // starts, which occupy `started` processors until their estimates.
+    let head = queued[idx];
+    let head_procs = state.job(head).procs;
+    let mut profile = state.profile();
+    for a in actions.iter() {
+        let Action::Start(id) = a else { continue };
+        let job = state.job(*id);
+        profile.reserve(state.now(), job.estimate, job.procs);
+    }
+    let Some(shadow) = profile.find_anchor(head_procs, state.job(head).estimate, state.now())
+    else {
+        return; // wider than the machine — construction forbids this
+    };
+    // Processors free at the shadow time beyond what the head job needs.
+    let mut extra = profile.avail_at(shadow).saturating_sub(head_procs);
+
+    // Phase 3: backfill the remaining queue in arrival order.
+    for &id in &queued[idx + 1..] {
+        let job = state.job(id);
+        if job.procs > free {
+            continue;
+        }
+        let ends_by_shadow = state.now() + job.estimate <= shadow;
+        if ends_by_shadow {
+            free -= job.procs;
+            actions.push(Action::Start(id));
+        } else if job.procs <= extra {
+            free -= job.procs;
+            extra -= job.procs;
+            actions.push(Action::Start(id));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+    use sps_workload::{Job, JobId};
+
+    fn run(jobs: Vec<Job>, procs: u32) -> crate::sim::SimResult {
+        Simulator::new(jobs, procs, Box::new(Easy)).run()
+    }
+
+    #[test]
+    fn backfills_short_job_into_hole() {
+        // j0: 8 procs 100 s; j1: 8 procs (blocked, reserved at t=100);
+        // j2: 1 proc 50 s — terminates before the shadow, backfills at t=0.
+        let jobs = vec![
+            Job::new(0, 0, 100, 100, 8),
+            Job::new(1, 1, 100, 100, 8),
+            Job::new(2, 2, 50, 50, 1),
+        ];
+        // Machine of 9: j0 leaves 1 free.
+        let res = run(jobs, 9);
+        let j2 = res.outcomes.iter().find(|o| o.id == JobId(2)).unwrap();
+        assert_eq!(j2.first_start.secs(), 2, "short job backfills immediately");
+        let j1 = res.outcomes.iter().find(|o| o.id == JobId(1)).unwrap();
+        assert_eq!(j1.first_start.secs(), 100, "head job not delayed");
+    }
+
+    #[test]
+    fn backfill_must_not_delay_head_job() {
+        // j2's estimate (200 s) crosses the shadow (t=100) and it needs the
+        // 1 free proc that the head job will need — so it must NOT backfill.
+        let jobs = vec![
+            Job::new(0, 0, 100, 100, 8),
+            Job::new(1, 1, 100, 100, 9),
+            Job::new(2, 2, 200, 200, 1),
+        ];
+        let res = run(jobs, 9);
+        let j1 = res.outcomes.iter().find(|o| o.id == JobId(1)).unwrap();
+        assert_eq!(j1.first_start.secs(), 100, "head reservation honoured");
+        let j2 = res.outcomes.iter().find(|o| o.id == JobId(2)).unwrap();
+        assert!(j2.first_start.secs() >= 200, "long narrow job waits for the head");
+    }
+
+    #[test]
+    fn backfill_on_extra_processors_allowed() {
+        // Head needs 8 of 9; one "extra" processor remains at the shadow,
+        // so a 1-proc job of any length may backfill.
+        let jobs = vec![
+            Job::new(0, 0, 100, 100, 8),
+            Job::new(1, 1, 100, 100, 8),
+            Job::new(2, 2, 10_000, 10_000, 1),
+        ];
+        let res = run(jobs, 9);
+        let j2 = res.outcomes.iter().find(|o| o.id == JobId(2)).unwrap();
+        assert_eq!(j2.first_start.secs(), 2, "extra-node rule admits the long narrow job");
+        let j1 = res.outcomes.iter().find(|o| o.id == JobId(1)).unwrap();
+        assert_eq!(j1.first_start.secs(), 100);
+    }
+
+    #[test]
+    fn early_completion_compresses_schedule() {
+        // Estimates are exact here, but a completion event still triggers a
+        // fresh decision: when j0 finishes, j1 starts immediately.
+        let jobs = vec![Job::new(0, 0, 60, 60, 9), Job::new(1, 5, 60, 60, 9)];
+        let res = run(jobs, 9);
+        let j1 = res.outcomes.iter().find(|o| o.id == JobId(1)).unwrap();
+        assert_eq!(j1.first_start.secs(), 60);
+    }
+
+    #[test]
+    fn no_starvation_of_wide_jobs() {
+        // A stream of short narrow jobs must not push the wide head job
+        // back indefinitely: the shadow reservation protects it.
+        let mut jobs = vec![Job::new(0, 0, 100, 100, 8), Job::new(1, 1, 1_000, 1_000, 9)];
+        for i in 0..20 {
+            jobs.push(Job::new(2 + i, 2 + i as i64, 300, 300, 1));
+        }
+        let res = run(jobs, 9);
+        let wide = res.outcomes.iter().find(|o| o.id == JobId(1)).unwrap();
+        assert_eq!(wide.first_start.secs(), 100, "wide job starts at its reservation");
+        assert_eq!(res.dropped_actions, 0);
+    }
+
+    #[test]
+    fn utilization_beats_fcfs_on_fragmented_mix() {
+        use crate::sched::fcfs::Fcfs;
+        let mut jobs = Vec::new();
+        for i in 0..40u32 {
+            // Alternating full-machine and tiny jobs fragment FCFS badly.
+            if i % 2 == 0 {
+                jobs.push(Job::new(i, i as i64 * 10, 500, 500, 16));
+            } else {
+                jobs.push(Job::new(i, i as i64 * 10, 100, 100, 2));
+            }
+        }
+        let easy = Simulator::new(jobs.clone(), 16, Box::new(Easy)).run();
+        let fcfs = Simulator::new(jobs, 16, Box::new(Fcfs)).run();
+        assert!(easy.makespan <= fcfs.makespan, "EASY should not lengthen the schedule");
+    }
+}

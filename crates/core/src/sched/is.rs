@@ -1,0 +1,301 @@
+//! Immediate Service (IS) — the preemptive baseline of Chiang & Vernon.
+//!
+//! Section II-C: "each arriving job is given an immediate timeslice of 10
+//! minutes, by suspending one or more running jobs if needed. The
+//! selection of jobs for suspension is based on their instantaneous-
+//! xfactor … Jobs with the lowest instantaneous-xfactor are suspended."
+//!
+//! Port to the paper's local-preemption cluster model (the original was
+//! formulated for shared-memory machines):
+//!
+//! * a job is *protected* — not preemptible — for the first 10 minutes
+//!   after its initial dispatch (so jobs shorter than the timeslice always
+//!   run to completion once started, which is what gives IS its excellent
+//!   very-short-job behaviour). Resumed jobs get no fresh protection: the
+//!   timeslice is an arrival grant, not a recurring one — re-protecting
+//!   every resume would leave arrivals nothing to preempt,
+//! * when capacity frees up, suspended jobs re-enter (highest
+//!   instantaneous xfactor first) subject to the same-processors
+//!   constraint, then queued jobs start in arrival order.
+
+use std::collections::HashMap;
+
+use sps_cluster::ProcSet;
+use sps_metrics::JobOutcome;
+use sps_simcore::{Secs, SimTime};
+use sps_workload::JobId;
+
+use crate::policy::{Action, DecideCtx, Policy};
+use crate::sim::SimState;
+
+/// The 10-minute arrival timeslice from the paper.
+pub const DEFAULT_TIMESLICE: Secs = 600;
+
+/// Immediate Service dispatcher.
+#[derive(Clone, Debug)]
+pub struct ImmediateService {
+    timeslice: Secs,
+    protected_until: HashMap<JobId, SimTime>,
+}
+
+impl Default for ImmediateService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ImmediateService {
+    /// IS with the paper's 10-minute timeslice.
+    pub fn new() -> Self {
+        Self::with_timeslice(DEFAULT_TIMESLICE)
+    }
+
+    /// IS with a custom protection timeslice (for sensitivity studies).
+    pub fn with_timeslice(timeslice: Secs) -> Self {
+        assert!(timeslice > 0);
+        ImmediateService { timeslice, protected_until: HashMap::new() }
+    }
+
+    fn is_protected(&self, id: JobId, now: SimTime) -> bool {
+        self.protected_until.get(&id).is_some_and(|&t| now < t)
+    }
+}
+
+/// Local planning mirror of machine state, updated as actions are chosen
+/// so that several decisions in one instant stay consistent.
+struct Mirror {
+    free: ProcSet,
+    /// (id, procs, set) of currently running jobs still standing.
+    running: Vec<(JobId, u32, ProcSet)>,
+}
+
+impl Mirror {
+    fn new(state: &SimState) -> Self {
+        // Draining processors are promised back within one drain time;
+        // planning against them avoids cascading extra suspensions while
+        // a previous victim is still writing its image out (the simulator
+        // drops actions that race the drain and the policy re-decides at
+        // the drain-done event).
+        let mut free = state.free_set().clone();
+        free.union_with(&state.draining_set());
+        Mirror {
+            free,
+            running: state
+                .running()
+                .iter()
+                .map(|&id| {
+                    (
+                        id,
+                        state.job(id).procs,
+                        state.assigned_set(id).expect("running job has a set").clone(),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    fn free_count(&self) -> u32 {
+        self.free.count()
+    }
+
+    /// Mirror a fresh start (lowest-numbered allocation, like the
+    /// simulator's).
+    fn start(&mut self, procs: u32) {
+        let set = self.free.take_lowest(procs).expect("checked by caller");
+        self.free.subtract(&set);
+    }
+
+    /// Mirror a suspension (assumes zero-overhead release; under a drain
+    /// model the dependent start is dropped and retried at drain end).
+    fn suspend(&mut self, idx: usize) -> JobId {
+        let (id, _, set) = self.running.swap_remove(idx);
+        self.free.union_with(&set);
+        id
+    }
+}
+
+impl Policy for ImmediateService {
+    fn name(&self) -> String {
+        "IS".into()
+    }
+
+    fn needs_tick(&self) -> bool {
+        true
+    }
+
+    fn decide(&mut self, state: &SimState, ctx: &DecideCtx<'_>, actions: &mut Vec<Action>) {
+        let now = state.now();
+        let mut mirror = Mirror::new(state);
+        let mut started: Vec<JobId> = Vec::new();
+
+        // 1. Immediate (and retried) service for waiting jobs: arrivals of
+        // this instant first, then earlier arrivals oldest first — the
+        // oldest waiter has the highest instantaneous xfactor, so this is
+        // IS's own priority order for jobs that have never run.
+        let mut waiting: Vec<JobId> = ctx.arrivals.to_vec();
+        waiting.extend(state.queued().iter().filter(|id| !ctx.arrivals.contains(id)));
+        for a in waiting {
+            let need = state.job(a).procs;
+            if need <= mirror.free_count() {
+                mirror.start(need);
+                actions.push(Action::Start(a));
+                started.push(a);
+                self.protected_until.insert(a, now + self.timeslice);
+                continue;
+            }
+            // Pick unprotected victims, lowest instantaneous xfactor first
+            // (long-running jobs that never waited sit at the bottom).
+            let mut victims: Vec<(f64, usize)> = mirror
+                .running
+                .iter()
+                .enumerate()
+                .filter(|(_, (id, _, _))| !self.is_protected(*id, now) && !started.contains(id))
+                .map(|(i, (id, _, _))| (state.inst_xfactor(*id), i))
+                .collect();
+            victims.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let mut gain = mirror.free_count();
+            let mut chosen: Vec<usize> = Vec::new();
+            for &(_, idx) in &victims {
+                if gain >= need {
+                    break;
+                }
+                gain += mirror.running[idx].1;
+                chosen.push(idx);
+            }
+            if gain < need {
+                continue; // not servable this instant; retried next tick
+            }
+            // Suspend (highest index first so swap_remove keeps indices valid).
+            chosen.sort_unstable_by(|a, b| b.cmp(a));
+            for idx in chosen {
+                let victim = mirror.suspend(idx);
+                actions.push(Action::Suspend(victim));
+            }
+            debug_assert!(mirror.free_count() >= need);
+            mirror.start(need);
+            actions.push(Action::Start(a));
+            started.push(a);
+            self.protected_until.insert(a, now + self.timeslice);
+        }
+
+        // 2. Re-enter suspended jobs, highest instantaneous xfactor first.
+        // Re-entry is *not* preemptive: a suspended job waits until its
+        // exact processors fall free, which is what makes wide and long
+        // jobs suffer so badly under IS (Section IV-D). A fresh quantum of
+        // protection on resume keeps the scheme from re-suspending a job
+        // it just restored.
+        let mut suspended: Vec<(f64, JobId)> =
+            state.suspended().iter().map(|&id| (state.inst_xfactor(id), id)).collect();
+        suspended.sort_by(|a, b| b.0.total_cmp(&a.0));
+        for (_, id) in suspended {
+            let set = state.assigned_set(id).expect("suspended job keeps its set");
+            if set.is_subset(&mirror.free) {
+                mirror.free.subtract(set);
+                actions.push(Action::Resume(id));
+                self.protected_until.insert(id, now + self.timeslice);
+            }
+        }
+    }
+
+    fn on_completion(&mut self, outcome: &JobOutcome) {
+        self.protected_until.remove(&outcome.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+    use sps_workload::Job;
+
+    fn run(jobs: Vec<Job>, procs: u32) -> crate::sim::SimResult {
+        Simulator::new(jobs, procs, Box::new(ImmediateService::new())).run()
+    }
+
+    #[test]
+    fn arrival_preempts_low_xfactor_job() {
+        // j0 has run 2000 s with no wait (inst-xfactor → 1); j1 arrives and
+        // gets immediate service by suspending j0.
+        let jobs = vec![Job::new(0, 0, 10_000, 10_000, 8), Job::new(1, 2_000, 300, 300, 8)];
+        let res = run(jobs, 8);
+        let j1 = res.outcomes.iter().find(|o| o.id == JobId(1)).unwrap();
+        assert_eq!(j1.first_start.secs(), 2_000, "immediate service on arrival");
+        assert_eq!(j1.wait(), 0);
+        let j0 = res.outcomes.iter().find(|o| o.id == JobId(0)).unwrap();
+        assert_eq!(j0.suspensions, 1);
+        assert_eq!(res.preemptions, 1);
+    }
+
+    #[test]
+    fn protection_shields_young_jobs_until_quantum_expires() {
+        // j0 starts at t=100 (protected until 700); j1 arrives at t=200
+        // and cannot preempt it during the quantum. The first tick after
+        // protection lapses (t=720) serves j1 by suspending j0.
+        let jobs = vec![Job::new(0, 100, 2_000, 2_000, 8), Job::new(1, 200, 100, 100, 8)];
+        let res = run(jobs, 8);
+        let j1 = res.outcomes.iter().find(|o| o.id == JobId(1)).unwrap();
+        assert_eq!(j1.first_start.secs(), 720, "served at the first post-quantum tick");
+        let j0 = res.outcomes.iter().find(|o| o.id == JobId(0)).unwrap();
+        assert_eq!(j0.suspensions, 1);
+        // j0 ran [100,720) = 620 s, resumes at j1's completion (820) and
+        // finishes its remaining 1380 s.
+        assert_eq!(j0.completion.secs(), 820 + 1_380);
+        assert_eq!(res.preemptions, 1);
+    }
+
+    #[test]
+    fn very_short_jobs_never_preempted() {
+        // A 300 s job (shorter than the timeslice) is dispatched and a new
+        // arrival lands while it is protected: the newcomer waits.
+        let jobs = vec![
+            Job::new(0, 0, 300, 300, 8),
+            Job::new(1, 100, 300, 300, 8), // arrives during j0's protection
+        ];
+        let res = run(jobs, 8);
+        let j0 = res.outcomes.iter().find(|o| o.id == JobId(0)).unwrap();
+        assert_eq!(j0.suspensions, 0);
+        assert_eq!(j0.wait(), 0);
+        let j1 = res.outcomes.iter().find(|o| o.id == JobId(1)).unwrap();
+        assert_eq!(j1.first_start.secs(), 300);
+    }
+
+    #[test]
+    fn queued_job_is_served_by_retried_preemption() {
+        // j0 (all 8 procs) is suspended by j1's arrival at t=1000. j2
+        // arrives at t=1500 while j1 is protected (until 1600); the first
+        // tick after that (1620) serves j2 by suspending j1 — IS retries
+        // immediate service for waiting jobs at every tick.
+        let jobs = vec![
+            Job::new(0, 0, 5_000, 5_000, 8),
+            Job::new(1, 1_000, 2_000, 2_000, 8), // preempts j0 on arrival
+            Job::new(2, 1_500, 4_000, 4_000, 2), // served at t=1620
+        ];
+        let res = run(jobs, 8);
+        let j1 = res.outcomes.iter().find(|o| o.id == JobId(1)).unwrap();
+        let j2 = res.outcomes.iter().find(|o| o.id == JobId(2)).unwrap();
+        assert_eq!(j2.first_start.secs(), 1_620);
+        assert_eq!(j2.wait(), 120);
+        assert_eq!(j1.suspensions, 1, "the 8-proc job was the only victim available");
+        // Wide suspended jobs wait for their exact processors: j1 resumes
+        // only when j2 releases procs 0-1 at 5620, j0 after j1 at 7000.
+        assert_eq!(j1.completion.secs(), 5_620 + 1_380);
+        let j0 = res.outcomes.iter().find(|o| o.id == JobId(0)).unwrap();
+        assert_eq!(j0.completion.secs(), 7_000 + 4_000);
+        assert_eq!(res.dropped_actions, 0);
+    }
+
+    #[test]
+    fn all_jobs_complete_under_churn() {
+        let mut jobs = Vec::new();
+        for i in 0..50u32 {
+            let run = 100 + (i as i64 * 97) % 2_000;
+            let procs = 1 + (i % 8);
+            jobs.push(Job::new(i, (i as i64) * 50, run, run, procs));
+        }
+        let res = run(jobs, 8);
+        assert_eq!(res.outcomes.len(), 50);
+        for o in &res.outcomes {
+            assert!(o.turnaround() >= o.run);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Tunable Selective Suspension limits (Section IV-E).
+//!
+//! TSS "involves controlling the variance in the slowdowns and turnaround
+//! times by associating a limit with each job. Preemption of a job is
+//! disabled when its priority exceeds this limit. This limit is set to 1.5
+//! times the average slowdown of the category that the job belongs to."
+//!
+//! The paper does not say how the per-category average is obtained; this
+//! implementation supports both natural readings, compared by the
+//! `ablation_tss_limit_source` bench:
+//!
+//! * **running averages** (default) — the mean bounded slowdown of jobs of
+//!   the category that have completed *in this simulation so far*; a
+//!   category with no completions yet imposes no limit (pure SS
+//!   behaviour), and
+//! * **static limits** — supplied from outside (e.g. the per-category
+//!   averages of a prior NS run).
+//!
+//! Because the scheduler only knows the user estimate while a job runs,
+//! categories here are keyed by *estimated* run time (and true width);
+//! with accurate estimates this coincides with the paper's actual-runtime
+//! categorization.
+
+use sps_metrics::JobOutcome;
+use sps_workload::Category;
+
+/// Per-category preemption-disable limits for TSS.
+#[derive(Clone, Debug)]
+pub struct TssLimits {
+    /// Limit = `multiplier ×` category average slowdown (paper: 1.5).
+    multiplier: f64,
+    sums: [f64; 16],
+    counts: [u64; 16],
+    static_limits: Option<[f64; 16]>,
+    /// Completions required in a category before its running average is
+    /// trusted. During a simulation's warm-up the first finishers are
+    /// no-wait jobs whose slowdowns sit at 1.0; activating a limit of 1.5
+    /// then would protect nearly every running job and strangle
+    /// preemption entirely.
+    min_samples: u64,
+}
+
+/// The paper's limit multiplier.
+pub const DEFAULT_MULTIPLIER: f64 = 1.5;
+
+/// Completions per category before a running-average limit engages.
+pub const DEFAULT_MIN_SAMPLES: u64 = 25;
+
+impl Default for TssLimits {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TssLimits {
+    /// Running-average limits with the paper's 1.5× multiplier.
+    pub fn new() -> Self {
+        Self::with_multiplier(DEFAULT_MULTIPLIER)
+    }
+
+    /// Running-average limits with a custom multiplier.
+    pub fn with_multiplier(multiplier: f64) -> Self {
+        assert!(multiplier > 0.0);
+        TssLimits {
+            multiplier,
+            sums: [0.0; 16],
+            counts: [0; 16],
+            static_limits: None,
+            min_samples: DEFAULT_MIN_SAMPLES,
+        }
+    }
+
+    /// Fixed per-category average slowdowns (e.g. from an NS run); the
+    /// limit is still `multiplier ×` the supplied average.
+    pub fn with_static_averages(avgs: [f64; 16], multiplier: f64) -> Self {
+        assert!(multiplier > 0.0);
+        TssLimits {
+            multiplier,
+            sums: [0.0; 16],
+            counts: [0; 16],
+            static_limits: Some(avgs),
+            min_samples: 0,
+        }
+    }
+
+    /// Override the warm-up sample requirement (0 = trust immediately).
+    pub fn with_min_samples(mut self, min_samples: u64) -> Self {
+        self.min_samples = min_samples;
+        self
+    }
+
+    /// Record a completion into the running averages.
+    pub fn record(&mut self, outcome: &JobOutcome) {
+        // Key by the scheduler-visible (estimate-based) category so the
+        // limit lookup and the average use the same key space.
+        let cat = Category::classify(outcome.estimate, outcome.procs);
+        self.sums[cat.index()] += outcome.slowdown();
+        self.counts[cat.index()] += 1;
+    }
+
+    /// The preemption-disable threshold for a job of `cat`: a running job
+    /// whose suspension priority exceeds this cannot be preempted.
+    /// Infinite (no protection) while the category average is unknown.
+    pub fn limit_for(&self, cat: Category) -> f64 {
+        if let Some(avgs) = &self.static_limits {
+            return self.multiplier * avgs[cat.index()];
+        }
+        let i = cat.index();
+        if self.counts[i] < self.min_samples.max(1) {
+            f64::INFINITY
+        } else {
+            self.multiplier * self.sums[i] / self.counts[i] as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sps_simcore::SimTime;
+    use sps_workload::Job;
+
+    fn outcome(run: i64, procs: u32, wait: i64) -> JobOutcome {
+        let job = Job::new(0, 0, run, run, procs);
+        JobOutcome::new(&job, SimTime::new(wait), SimTime::new(wait + run), 0, 0)
+    }
+
+    #[test]
+    fn unknown_category_has_no_limit() {
+        let l = TssLimits::new();
+        let cat = Category::classify(60, 1);
+        assert!(l.limit_for(cat).is_infinite());
+    }
+
+    #[test]
+    fn warmup_requires_min_samples() {
+        let mut l = TssLimits::new().with_min_samples(3);
+        let cat = Category::classify(100, 1);
+        l.record(&outcome(100, 1, 100));
+        l.record(&outcome(100, 1, 100));
+        assert!(l.limit_for(cat).is_infinite(), "2 of 3 samples: still open");
+        l.record(&outcome(100, 1, 100));
+        assert!(l.limit_for(cat).is_finite(), "3rd sample engages the limit");
+    }
+
+    #[test]
+    fn running_average_tracks_completions() {
+        let mut l = TssLimits::new().with_min_samples(1);
+        // Two VS-Seq completions with slowdowns 1 and 3 → average 2,
+        // limit 3.
+        l.record(&outcome(100, 1, 0));
+        l.record(&outcome(100, 1, 200));
+        let cat = Category::classify(100, 1);
+        assert!((l.limit_for(cat) - 3.0).abs() < 1e-12);
+        // Other categories unaffected.
+        assert!(l.limit_for(Category::classify(10_000, 64)).is_infinite());
+    }
+
+    #[test]
+    fn static_limits_ignore_recordings() {
+        let mut avgs = [1.0f64; 16];
+        let cat = Category::classify(60, 1);
+        avgs[cat.index()] = 10.0;
+        let mut l = TssLimits::with_static_averages(avgs, 1.5);
+        l.record(&outcome(60, 1, 6_000)); // would skew a running average
+        assert!((l.limit_for(cat) - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimate_based_keying() {
+        let mut l = TssLimits::new().with_min_samples(1);
+        // A badly estimated short job (run 60, estimate 30000) is recorded
+        // under the *estimated* (Very Long) category.
+        let job = Job::new(0, 0, 60, 30_000, 1);
+        let o = JobOutcome::new(&job, SimTime::new(0), SimTime::new(60), 0, 0);
+        l.record(&o);
+        assert!(l.limit_for(Category::classify(60, 1)).is_infinite());
+        assert!(l.limit_for(Category::classify(30_000, 1)).is_finite());
+    }
+}

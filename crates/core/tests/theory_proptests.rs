@@ -1,0 +1,81 @@
+//! Property tests for the two-task analysis (Section IV-A): the closed
+//! form and the alternation simulation must agree for arbitrary lengths,
+//! factors, and routine granularities.
+
+use proptest::prelude::*;
+use sps_core::theory::{max_suspensions, min_sf_for_at_most, two_task_alternation, Task};
+
+proptest! {
+    /// Work conservation and perfect tiling for arbitrary parameters.
+    #[test]
+    fn alternation_conserves_work(
+        length in 60i64..20_000,
+        sf in 1.0f64..5.0,
+        gran in 1i64..600,
+    ) {
+        let trace = two_task_alternation(length, sf, gran);
+        let total: f64 = trace.segments.iter().map(|s| s.end - s.start).sum();
+        prop_assert!((total - 2.0 * length as f64).abs() < 1e-6);
+        // Segments tile without gaps or overlap.
+        for w in trace.segments.windows(2) {
+            prop_assert!((w[0].end - w[1].start).abs() < 1e-9);
+        }
+        prop_assert!((trace.last_completion - 2.0 * length as f64).abs() < 1e-6);
+        prop_assert!(trace.first_completion <= trace.last_completion);
+        // Per-task work: each task executes exactly `length`.
+        for task in [Task::T1, Task::T2] {
+            let t: f64 = trace
+                .segments
+                .iter()
+                .filter(|s| s.task == task)
+                .map(|s| s.end - s.start)
+                .sum();
+            prop_assert!((t - length as f64).abs() < 1e-6, "{task:?} ran {t}");
+        }
+    }
+
+    /// The simulated suspension count never exceeds the analytic bound
+    /// (granularity can only *delay* preemptions, reducing the count).
+    #[test]
+    fn suspensions_bounded_by_analysis(
+        length in 600i64..20_000,
+        sf in 1.01f64..5.0,
+        gran in 1i64..600,
+    ) {
+        let trace = two_task_alternation(length, sf, gran);
+        let bound = max_suspensions(sf).expect("sf > 1 has a bound");
+        prop_assert!(
+            trace.suspensions <= bound,
+            "sf={sf}: simulated {} > analytic bound {bound}",
+            trace.suspensions
+        );
+    }
+
+    /// With fine granularity relative to the task length, the analytic
+    /// bound is achieved exactly.
+    #[test]
+    fn fine_granularity_achieves_bound(sf in 1.05f64..1.95) {
+        let length = 100_000;
+        let trace = two_task_alternation(length, sf, 1);
+        let bound = max_suspensions(sf).expect("bounded");
+        prop_assert_eq!(
+            trace.suspensions, bound,
+            "sf={}: got {}, analysis says {}", sf, trace.suspensions, bound
+        );
+    }
+
+    /// min_sf_for_at_most inverts max_suspensions: at the boundary factor
+    /// for n, at most n suspensions happen; just below it, more can.
+    #[test]
+    fn boundary_factors_consistent(n in 0u32..8) {
+        let s = min_sf_for_at_most(n);
+        if s > 1.0 {
+            prop_assert!(max_suspensions(s).expect("s > 1") <= n);
+        }
+        // Slightly below the boundary the bound must exceed n.
+        let below = s - 1e-6;
+        if below > 1.0 {
+            prop_assert!(max_suspensions(below).expect("s > 1") >= n);
+        }
+    }
+}

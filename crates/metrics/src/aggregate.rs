@@ -1,0 +1,264 @@
+//! Per-category aggregation.
+//!
+//! Reproduces the shape of the paper's figures: for each of the 16
+//! categories (and the coarse 4), the mean and worst bounded slowdown and
+//! turnaround time, plus the overall aggregate the paper quotes in the
+//! text ("the overall slowdown for the CTC trace was 3.58").
+
+use sps_workload::{Category, CoarseCategory};
+
+use crate::outcome::JobOutcome;
+
+/// Aggregate statistics for one set of jobs.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Stats {
+    /// Number of jobs aggregated.
+    pub count: usize,
+    /// Mean bounded slowdown.
+    pub mean_slowdown: f64,
+    /// Maximum bounded slowdown.
+    pub worst_slowdown: f64,
+    /// Mean turnaround time, seconds.
+    pub mean_turnaround: f64,
+    /// Maximum turnaround time, seconds.
+    pub worst_turnaround: f64,
+}
+
+impl Stats {
+    /// Aggregate an iterator of outcomes.
+    pub fn aggregate<'a>(outcomes: impl IntoIterator<Item = &'a JobOutcome>) -> Stats {
+        let mut count = 0usize;
+        let (mut sum_sd, mut max_sd) = (0.0f64, 0.0f64);
+        let (mut sum_tat, mut max_tat) = (0.0f64, 0.0f64);
+        for o in outcomes {
+            count += 1;
+            let sd = o.slowdown();
+            sum_sd += sd;
+            max_sd = max_sd.max(sd);
+            let tat = o.turnaround() as f64;
+            sum_tat += tat;
+            max_tat = max_tat.max(tat);
+        }
+        if count == 0 {
+            return Stats::default();
+        }
+        Stats {
+            count,
+            mean_slowdown: sum_sd / count as f64,
+            worst_slowdown: max_sd,
+            mean_turnaround: sum_tat / count as f64,
+            worst_turnaround: max_tat,
+        }
+    }
+}
+
+/// Nearest-rank percentile of a **sorted ascending** slice
+/// (`q` in `[0, 100]`); `NaN` for an empty slice.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&q), "percentile out of range: {q}");
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.max(1) - 1]
+}
+
+/// All bounded slowdowns of a run, sorted ascending — the input to
+/// [`percentile`] for tail analysis beyond the paper's mean/worst pair.
+pub fn slowdown_distribution(outcomes: &[JobOutcome]) -> Vec<f64> {
+    let mut v: Vec<f64> = outcomes.iter().map(JobOutcome::slowdown).collect();
+    v.sort_by(f64::total_cmp);
+    v
+}
+
+/// Full per-category breakdown of a run.
+#[derive(Clone, Debug, Default)]
+pub struct CategoryReport {
+    /// Stats per Table I cell, indexed by [`Category::index`].
+    pub per_category: [Stats; 16],
+    /// Stats per Table VI cell, indexed by [`CoarseCategory::index`].
+    pub per_coarse: [Stats; 4],
+    /// All jobs together.
+    pub overall: Stats,
+}
+
+impl CategoryReport {
+    /// Aggregate every outcome.
+    pub fn from_outcomes(outcomes: &[JobOutcome]) -> Self {
+        Self::from_filtered(outcomes, |_| true)
+    }
+
+    /// Aggregate only outcomes matching `keep` — used for the Section V
+    /// well/badly-estimated splits.
+    pub fn from_filtered(outcomes: &[JobOutcome], keep: impl Fn(&JobOutcome) -> bool) -> Self {
+        let mut buckets: [Vec<&JobOutcome>; 16] = Default::default();
+        let mut coarse: [Vec<&JobOutcome>; 4] = Default::default();
+        let mut all: Vec<&JobOutcome> = Vec::new();
+        for o in outcomes.iter().filter(|o| keep(o)) {
+            buckets[o.category().index()].push(o);
+            coarse[o.coarse_category().index()].push(o);
+            all.push(o);
+        }
+        let mut report = CategoryReport::default();
+        for (i, b) in buckets.iter().enumerate() {
+            report.per_category[i] = Stats::aggregate(b.iter().copied());
+        }
+        for (i, b) in coarse.iter().enumerate() {
+            report.per_coarse[i] = Stats::aggregate(b.iter().copied());
+        }
+        report.overall = Stats::aggregate(all);
+        report
+    }
+
+    /// Stats for one Table I category.
+    pub fn category(&self, cat: Category) -> &Stats {
+        &self.per_category[cat.index()]
+    }
+
+    /// Stats for one Table VI category.
+    pub fn coarse(&self, cat: CoarseCategory) -> &Stats {
+        &self.per_coarse[cat.index()]
+    }
+
+    /// Mean slowdown per category as a row-major `[f64; 16]` (the layout
+    /// the table renderer and the experiment harness consume). Empty
+    /// categories yield `NaN`, which the renderer prints as `-`.
+    pub fn mean_slowdown_grid(&self) -> [f64; 16] {
+        self.grid_of(|s| s.mean_slowdown)
+    }
+
+    /// Worst slowdown per category, row-major (`NaN` when empty).
+    pub fn worst_slowdown_grid(&self) -> [f64; 16] {
+        self.grid_of(|s| s.worst_slowdown)
+    }
+
+    /// Mean turnaround per category, row-major (`NaN` when empty).
+    pub fn mean_turnaround_grid(&self) -> [f64; 16] {
+        self.grid_of(|s| s.mean_turnaround)
+    }
+
+    /// Worst turnaround per category, row-major (`NaN` when empty).
+    pub fn worst_turnaround_grid(&self) -> [f64; 16] {
+        self.grid_of(|s| s.worst_turnaround)
+    }
+
+    fn grid_of(&self, f: impl Fn(&Stats) -> f64) -> [f64; 16] {
+        std::array::from_fn(|i| {
+            let s = &self.per_category[i];
+            if s.count == 0 {
+                f64::NAN
+            } else {
+                f(s)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sps_simcore::SimTime;
+    use sps_workload::{Job, RuntimeClass, WidthClass};
+
+    fn outcome(id: u32, submit: i64, run: i64, procs: u32, wait: i64) -> JobOutcome {
+        let job = Job::new(id, submit, run, run, procs);
+        JobOutcome::new(
+            &job,
+            SimTime::new(submit + wait),
+            SimTime::new(submit + wait + run),
+            0,
+            0,
+        )
+    }
+
+    #[test]
+    fn stats_mean_and_worst() {
+        let outs =
+            vec![outcome(0, 0, 100, 1, 0), outcome(1, 0, 100, 1, 100), outcome(2, 0, 100, 1, 300)];
+        let s = Stats::aggregate(&outs);
+        assert_eq!(s.count, 3);
+        // Slowdowns: 1, 2, 4 → mean 7/3, worst 4.
+        assert!((s.mean_slowdown - 7.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.worst_slowdown, 4.0);
+        // Turnarounds: 100, 200, 400.
+        assert!((s.mean_turnaround - 700.0 / 3.0).abs() < 1e-9);
+        assert_eq!(s.worst_turnaround, 400.0);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = Stats::aggregate([]);
+        assert_eq!(s, Stats::default());
+    }
+
+    #[test]
+    fn report_buckets_by_category() {
+        let outs = vec![
+            outcome(0, 0, 60, 1, 0),      // VS Seq
+            outcome(1, 0, 60, 64, 60),    // VS VW
+            outcome(2, 0, 7_200, 16, 0),  // L W
+            outcome(3, 0, 7_200, 16, 7_200), // L W
+        ];
+        let r = CategoryReport::from_outcomes(&outs);
+        let vs_seq = Category { runtime: RuntimeClass::VeryShort, width: WidthClass::Sequential };
+        assert_eq!(r.category(vs_seq).count, 1);
+        let l_w = Category { runtime: RuntimeClass::Long, width: WidthClass::Wide };
+        assert_eq!(r.category(l_w).count, 2);
+        assert!((r.category(l_w).mean_slowdown - 1.5).abs() < 1e-12);
+        assert_eq!(r.overall.count, 4);
+        // Coarse: two short-narrow? 60s/1p → SN; 60s/64p → SW; both 7200s/16p → LW.
+        assert_eq!(r.coarse(CoarseCategory::ShortNarrow).count, 1);
+        assert_eq!(r.coarse(CoarseCategory::ShortWide).count, 1);
+        assert_eq!(r.coarse(CoarseCategory::LongWide).count, 2);
+        assert_eq!(r.coarse(CoarseCategory::LongNarrow).count, 0);
+    }
+
+    #[test]
+    fn filtered_report_subsets() {
+        let outs: Vec<JobOutcome> = (0..10).map(|i| outcome(i, 0, 100, 1, i as i64 * 10)).collect();
+        let all = CategoryReport::from_outcomes(&outs);
+        let some = CategoryReport::from_filtered(&outs, |o| o.wait() >= 50);
+        assert_eq!(all.overall.count, 10);
+        assert_eq!(some.overall.count, 5);
+        assert!(some.overall.mean_slowdown > all.overall.mean_slowdown);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 25.0), 1.0);
+        assert_eq!(percentile(&v, 50.0), 2.0);
+        assert_eq!(percentile(&v, 75.0), 3.0);
+        assert_eq!(percentile(&v, 100.0), 4.0);
+        assert!(percentile(&[], 50.0).is_nan());
+        let one = vec![7.0];
+        assert_eq!(percentile(&one, 1.0), 7.0);
+        assert_eq!(percentile(&one, 99.0), 7.0);
+    }
+
+    #[test]
+    fn distribution_is_sorted_and_complete() {
+        let outs: Vec<JobOutcome> =
+            (0..5).map(|i| outcome(i, 0, 100, 1, (5 - i as i64) * 100)).collect();
+        let d = slowdown_distribution(&outs);
+        assert_eq!(d.len(), 5);
+        for w in d.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert_eq!(percentile(&d, 100.0), 6.0); // worst: wait 500 on run 100
+    }
+
+    #[test]
+    fn grids_match_cells() {
+        let outs = vec![outcome(0, 0, 60, 1, 60)];
+        let r = CategoryReport::from_outcomes(&outs);
+        let grid = r.mean_slowdown_grid();
+        let idx = Category::classify(60, 1).index();
+        assert_eq!(grid[idx], r.per_category[idx].mean_slowdown);
+        assert_eq!(grid.iter().filter(|&&v| v > 0.0).count(), 1);
+        // Empty cells are NaN so tables render them as '-'.
+        assert_eq!(grid.iter().filter(|v| v.is_nan()).count(), 15);
+    }
+}

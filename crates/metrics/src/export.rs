@@ -1,0 +1,87 @@
+//! Per-job CSV export for external analysis (pandas/R/gnuplot).
+//!
+//! One row per completed job with everything the paper's metrics derive
+//! from, so downstream analyses don't need to re-run the simulator.
+
+use std::fmt::Write as _;
+
+use crate::outcome::JobOutcome;
+
+/// Header of [`outcomes_csv`].
+pub const CSV_HEADER: &str = "job,procs,run_s,estimate_s,submit_s,first_start_s,completion_s,\
+wait_s,turnaround_s,bounded_slowdown,suspensions,overhead_s,category,coarse,well_estimated";
+
+/// Serialize outcomes as CSV (with header).
+pub fn outcomes_csv(outcomes: &[JobOutcome]) -> String {
+    let mut out = String::with_capacity(outcomes.len() * 96 + CSV_HEADER.len() + 1);
+    out.push_str(CSV_HEADER);
+    out.push('\n');
+    for o in outcomes {
+        writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{:.4},{},{},{},{},{}",
+            o.id.0,
+            o.procs,
+            o.run,
+            o.estimate,
+            o.submit.secs(),
+            o.first_start.secs(),
+            o.completion.secs(),
+            o.wait(),
+            o.turnaround(),
+            o.slowdown(),
+            o.suspensions,
+            o.overhead,
+            o.category().name().replace(' ', "-"),
+            o.coarse_category().abbrev(),
+            o.well_estimated(),
+        )
+        .expect("writing to String cannot fail");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sps_simcore::SimTime;
+    use sps_workload::Job;
+
+    fn outcome(id: u32, run: i64, procs: u32, wait: i64) -> JobOutcome {
+        let job = Job::new(id, 0, run, run * 2, procs);
+        JobOutcome::new(&job, SimTime::new(wait), SimTime::new(wait + run), 1, 0)
+    }
+
+    #[test]
+    fn header_column_count_matches_rows() {
+        let csv = outcomes_csv(&[outcome(0, 600, 4, 300)]);
+        let mut lines = csv.lines();
+        let header = lines.next().expect("header");
+        let row = lines.next().expect("row");
+        assert_eq!(header.split(',').count(), row.split(',').count());
+        assert!(lines.next().is_none());
+    }
+
+    #[test]
+    fn row_contents() {
+        let csv = outcomes_csv(&[outcome(7, 600, 4, 300)]);
+        let row = csv.lines().nth(1).expect("one row");
+        let fields: Vec<&str> = row.split(',').collect();
+        assert_eq!(fields[0], "7");
+        assert_eq!(fields[1], "4");
+        assert_eq!(fields[2], "600");
+        assert_eq!(fields[3], "1200"); // estimate = 2× run
+        assert_eq!(fields[7], "300"); // wait
+        assert_eq!(fields[8], "900"); // turnaround
+        assert_eq!(fields[9], "1.5000"); // slowdown
+        assert_eq!(fields[12], "VS-N");
+        assert_eq!(fields[13], "SN");
+        assert_eq!(fields[14], "true");
+    }
+
+    #[test]
+    fn empty_export_is_just_header() {
+        let csv = outcomes_csv(&[]);
+        assert_eq!(csv.trim_end(), CSV_HEADER);
+    }
+}

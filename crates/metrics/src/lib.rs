@@ -1,0 +1,32 @@
+//! # sps-metrics
+//!
+//! Measurement and reporting for the scheduling study.
+//!
+//! The paper evaluates schedulers on two metrics — **average turnaround
+//! time** and **average bounded slowdown** (10-second threshold, Eq. 1) —
+//! broken down per job category, plus their **worst-case** variants
+//! (Figs. 11–18) and overall **system utilization** (Figs. 35/38).
+//!
+//! * [`JobOutcome`] — what the simulator records about each completed job,
+//! * [`slowdown`] — the bounded-slowdown formula,
+//! * [`CategoryReport`] — per-category and overall aggregation, with
+//!   well/badly-estimated splits (Section V),
+//! * [`util`] — utilization over the trace makespan,
+//! * [`table`] — fixed-width text rendering of the paper's 4×4 grids and
+//!   multi-scheme comparison tables,
+//! * [`timeline`] — occupancy timelines, sparklines, and Gantt rendering
+//!   from the simulator's per-dispatch segment record,
+//! * [`export`] — per-job CSV export for external analysis.
+
+pub mod aggregate;
+pub mod export;
+pub mod outcome;
+pub mod slowdown;
+pub mod table;
+pub mod timeline;
+pub mod util;
+
+pub use aggregate::{CategoryReport, Stats};
+pub use outcome::JobOutcome;
+pub use slowdown::{bounded_slowdown, SLOWDOWN_THRESHOLD};
+pub use util::utilization;

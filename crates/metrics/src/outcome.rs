@@ -1,0 +1,143 @@
+//! Per-job outcome records.
+//!
+//! The simulator emits one [`JobOutcome`] per completed job. Everything the
+//! paper's figures need — turnaround, bounded slowdown, category, estimate
+//! quality, suspension count — derives from this record.
+
+use sps_simcore::{Secs, SimTime};
+use sps_workload::{Category, CoarseCategory, Job, JobId};
+
+use crate::slowdown::bounded_slowdown;
+
+/// The completed life of one job.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobOutcome {
+    /// Which job this is.
+    pub id: JobId,
+    /// Processors the job occupied.
+    pub procs: u32,
+    /// Actual (productive) run time, seconds.
+    pub run: Secs,
+    /// The user estimate the scheduler saw.
+    pub estimate: Secs,
+    /// Submission time.
+    pub submit: SimTime,
+    /// First time the job began executing.
+    pub first_start: SimTime,
+    /// Final completion time.
+    pub completion: SimTime,
+    /// How many times the job was suspended.
+    pub suspensions: u32,
+    /// Seconds spent in suspension overhead (memory drain on suspend plus
+    /// reload on restart) — counted as waiting in the metrics.
+    pub overhead: Secs,
+}
+
+impl JobOutcome {
+    /// Construct the outcome for `job` given its simulated life.
+    pub fn new(
+        job: &Job,
+        first_start: SimTime,
+        completion: SimTime,
+        suspensions: u32,
+        overhead: Secs,
+    ) -> Self {
+        debug_assert!(first_start >= job.submit);
+        debug_assert!(completion - job.submit >= job.run + overhead);
+        JobOutcome {
+            id: job.id,
+            procs: job.procs,
+            run: job.run,
+            estimate: job.estimate,
+            submit: job.submit,
+            first_start,
+            completion,
+            suspensions,
+            overhead,
+        }
+    }
+
+    /// Turnaround time: completion − submission (includes all waiting,
+    /// suspension gaps, and overhead).
+    #[inline]
+    pub fn turnaround(&self) -> Secs {
+        self.completion - self.submit
+    }
+
+    /// Total time not spent computing (queued + suspended + overhead).
+    #[inline]
+    pub fn wait(&self) -> Secs {
+        self.turnaround() - self.run
+    }
+
+    /// Bounded slowdown per Eq. 1.
+    #[inline]
+    pub fn slowdown(&self) -> f64 {
+        bounded_slowdown(self.wait(), self.run)
+    }
+
+    /// Table I category (by actual run time and width).
+    #[inline]
+    pub fn category(&self) -> Category {
+        Category::classify(self.run, self.procs)
+    }
+
+    /// Table VI coarse category.
+    #[inline]
+    pub fn coarse_category(&self) -> CoarseCategory {
+        CoarseCategory::classify(self.run, self.procs)
+    }
+
+    /// Section V split: estimate within 2× of the actual run time.
+    #[inline]
+    pub fn well_estimated(&self) -> bool {
+        self.estimate <= 2 * self.run
+    }
+
+    /// Productive work, processor-seconds.
+    #[inline]
+    pub fn work(&self) -> i64 {
+        self.run * self.procs as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sps_workload::RuntimeClass;
+
+    fn job() -> Job {
+        Job::new(3, 100, 1_200, 2_000, 16)
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let j = job();
+        let o = JobOutcome::new(&j, SimTime::new(400), SimTime::new(1_700), 1, 0);
+        assert_eq!(o.turnaround(), 1_600);
+        assert_eq!(o.wait(), 400);
+        let expect = (400.0 + 1_200.0) / 1_200.0;
+        assert!((o.slowdown() - expect).abs() < 1e-12);
+        assert_eq!(o.category().runtime, RuntimeClass::Short);
+        assert!(o.well_estimated());
+        assert_eq!(o.work(), 1_200 * 16);
+    }
+
+    #[test]
+    fn zero_wait_job() {
+        let j = Job::new(0, 0, 600, 600, 1);
+        let o = JobOutcome::new(&j, SimTime::new(0), SimTime::new(600), 0, 0);
+        assert_eq!(o.wait(), 0);
+        assert_eq!(o.slowdown(), 1.0);
+    }
+
+    #[test]
+    fn overhead_counts_as_wait() {
+        let j = Job::new(0, 0, 600, 600, 4);
+        // Suspended once: 600s run + 100s queued + 50s overhead → completes
+        // at 750.
+        let o = JobOutcome::new(&j, SimTime::new(10), SimTime::new(750), 1, 50);
+        assert_eq!(o.wait(), 150);
+        assert_eq!(o.overhead, 50);
+    }
+}

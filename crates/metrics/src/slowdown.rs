@@ -1,0 +1,57 @@
+//! Bounded slowdown (Eq. 1 of the paper).
+//!
+//! ```text
+//! bounded slowdown = max( (wait + run) / max(run, 10s), 1 )
+//! ```
+//!
+//! "The threshold of 10 seconds is used to limit the influence of very
+//! short jobs on the metric." The `max(…, 1)` clamp keeps a job that
+//! starts instantly from reporting a slowdown below one.
+
+use sps_simcore::Secs;
+
+/// The 10-second threshold from Eq. 1.
+pub const SLOWDOWN_THRESHOLD: Secs = 10;
+
+/// Bounded slowdown of a job that waited `wait` seconds in total (queued
+/// plus suspended) and ran for `run` seconds.
+pub fn bounded_slowdown(wait: Secs, run: Secs) -> f64 {
+    debug_assert!(wait >= 0, "negative wait {wait}");
+    debug_assert!(run > 0, "non-positive run {run}");
+    let denom = run.max(SLOWDOWN_THRESHOLD) as f64;
+    ((wait + run) as f64 / denom).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_wait_gives_unity() {
+        assert_eq!(bounded_slowdown(0, 100), 1.0);
+        assert_eq!(bounded_slowdown(0, 5), 1.0, "threshold clamps to 1, not 0.5");
+    }
+
+    #[test]
+    fn threshold_limits_short_jobs() {
+        // A 1-second job waiting 60 seconds: unbounded slowdown would be
+        // 61; the threshold caps the denominator at 10.
+        assert_eq!(bounded_slowdown(60, 1), 6.1);
+        // At exactly the threshold the two definitions agree.
+        assert_eq!(bounded_slowdown(90, 10), 10.0);
+    }
+
+    #[test]
+    fn long_jobs_unaffected_by_threshold() {
+        let s = bounded_slowdown(3_600, 3_600);
+        assert!((s - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_example() {
+        // Section V: a job queued 1 hour that aborts after one minute has
+        // slowdown (3600 + 60) / 60 = 61 ≈ the paper's "60".
+        let s = bounded_slowdown(3_600, 60);
+        assert!((s - 61.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,182 @@
+//! Fixed-width text rendering of the paper's tables and figure data.
+//!
+//! The experiment harness prints each table/figure as plain text so
+//! paper-vs-measured comparison is a diff away. Three layouts cover the
+//! paper:
+//!
+//! * [`render_grid`] — one 4×4 Table I grid (Tables IV/V, the synthetic
+//!   mix tables),
+//! * [`render_comparison`] — the bar-chart figures: one row per category,
+//!   one column per scheme (Figs. 7–34),
+//! * [`render_series`] — the load/utilization sweeps: one row per x value,
+//!   one column per scheme (Figs. 35–44).
+
+use sps_workload::{Category, CoarseCategory, RuntimeClass, WidthClass};
+
+/// Format a value compactly: integers for large magnitudes, two decimals
+/// for small ones, `-` for empty cells (NaN).
+fn fmt_val(v: f64) -> String {
+    if v.is_nan() {
+        "-".to_string()
+    } else if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1_000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Render a 16-value grid (row-major per [`Category::index`]) as the
+/// paper's 4×4 runtime × width table.
+pub fn render_grid(title: &str, values: &[f64; 16]) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&format!("{:<14}", ""));
+    for w in WidthClass::ALL {
+        out.push_str(&format!("{:>12}", w.label()));
+    }
+    out.push('\n');
+    for (r, rt) in RuntimeClass::ALL.into_iter().enumerate() {
+        out.push_str(&format!("{:<14}", rt.label()));
+        for c in 0..4 {
+            out.push_str(&format!("{:>12}", fmt_val(values[r * 4 + c])));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render one row per Table I category and one column per scheme — the
+/// textual equivalent of the paper's grouped bar charts.
+pub fn render_comparison(title: &str, schemes: &[(&str, [f64; 16])]) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&format!("{:<10}", "category"));
+    for (name, _) in schemes {
+        out.push_str(&format!("{:>14}", name));
+    }
+    out.push('\n');
+    for cat in Category::all() {
+        out.push_str(&format!("{:<10}", cat.name()));
+        for (_, values) in schemes {
+            out.push_str(&format!("{:>14}", fmt_val(values[cat.index()])));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render one row per coarse (Table VI) category and one column per scheme.
+pub fn render_coarse_comparison(title: &str, schemes: &[(&str, [f64; 4])]) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&format!("{:<14}", "category"));
+    for (name, _) in schemes {
+        out.push_str(&format!("{:>14}", name));
+    }
+    out.push('\n');
+    for cat in CoarseCategory::ALL {
+        out.push_str(&format!("{:<14}", cat.label()));
+        for (_, values) in schemes {
+            out.push_str(&format!("{:>14}", fmt_val(values[cat.index()])));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render an x-sweep: one row per x value, one column per scheme series.
+/// `series` holds `(name, values)` with `values.len() == xs.len()`.
+pub fn render_series(title: &str, x_label: &str, xs: &[f64], series: &[(&str, Vec<f64>)]) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&format!("{x_label:<12}"));
+    for (name, values) in series {
+        assert_eq!(values.len(), xs.len(), "series {name} length mismatch");
+        out.push_str(&format!("{:>14}", name));
+    }
+    out.push('\n');
+    for (i, x) in xs.iter().enumerate() {
+        out.push_str(&format!("{:<12}", fmt_val(*x)));
+        for (_, values) in series {
+            out.push_str(&format!("{:>14}", fmt_val(values[i])));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_layout() {
+        let mut values = [0.0f64; 16];
+        values[0] = 2.6; // VS Seq — Table IV's top-left
+        values[15] = 1.15; // VL VW — bottom-right
+        let s = render_grid("Table IV", &values);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 6, "title + header + 4 rows");
+        assert!(lines[0].contains("Table IV"));
+        assert!(lines[1].contains("1 Proc") && lines[1].contains("> 32 Procs"));
+        assert!(lines[2].starts_with("0 - 10 min") && lines[2].contains("2.60"));
+        assert!(lines[5].starts_with("> 8 hr") && lines[5].contains("1.15"));
+    }
+
+    #[test]
+    fn comparison_layout() {
+        let a = [1.0f64; 16];
+        let mut b = [2.0f64; 16];
+        b[3] = 113.3;
+        let s = render_comparison("Fig 9", &[("NS", a), ("SS SF=2", b)]);
+        assert!(s.contains("VS VW"));
+        assert!(s.contains("113.3"));
+        assert!(s.lines().count() == 18);
+    }
+
+    #[test]
+    fn series_layout() {
+        let xs = vec![1.0, 1.2, 1.4];
+        let s = render_series(
+            "Fig 35",
+            "load",
+            &xs,
+            &[("SS", vec![60.0, 70.0, 80.0]), ("NS", vec![58.0, 66.0, 74.0])],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[1].contains("SS") && lines[1].contains("NS"));
+        assert!(lines[2].contains("1.00") && lines[2].contains("60.0") && lines[2].contains("58.0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn series_length_checked() {
+        render_series("x", "x", &[1.0, 2.0], &[("a", vec![1.0])]);
+    }
+
+    #[test]
+    fn value_formatting() {
+        assert_eq!(fmt_val(f64::NAN), "-");
+        assert_eq!(fmt_val(0.0), "0");
+        assert_eq!(fmt_val(3.579), "3.58");
+        assert_eq!(fmt_val(34.07), "34.1");
+        assert_eq!(fmt_val(113_310.0), "113310");
+    }
+
+    #[test]
+    fn coarse_comparison_layout() {
+        let s = render_coarse_comparison("Fig 36", &[("SS", [1.0, 2.0, 3.0, 4.0])]);
+        assert!(s.contains("Short Narrow"));
+        assert!(s.contains("Long Wide"));
+        assert_eq!(s.lines().count(), 6);
+    }
+}

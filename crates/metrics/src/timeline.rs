@@ -1,0 +1,166 @@
+//! Machine-occupancy timelines and Gantt rendering.
+//!
+//! The simulator records one occupancy interval per dispatch; this module
+//! turns interval lists into utilization-over-time series and compact
+//! text visualizations. Inputs are plain `(start, end, procs)` tuples so
+//! the renderer stays independent of the simulator's types.
+
+use sps_simcore::Secs;
+
+/// Average busy-processor fraction per bucket over `[t0, t1)`, from
+/// occupancy intervals `(start, end, procs)`.
+pub fn busy_timeline(
+    intervals: &[(Secs, Secs, u32)],
+    total_procs: u32,
+    t0: Secs,
+    t1: Secs,
+    buckets: usize,
+) -> Vec<f64> {
+    assert!(buckets > 0 && t1 > t0 && total_procs > 0);
+    let width = (t1 - t0) as f64 / buckets as f64;
+    let mut busy = vec![0.0f64; buckets];
+    for &(start, end, procs) in intervals {
+        if end <= t0 || start >= t1 {
+            continue;
+        }
+        let s = (start.max(t0) - t0) as f64 / width;
+        let e = (end.min(t1) - t0) as f64 / width;
+        let (first, last) = (s.floor() as usize, (e.ceil() as usize).min(buckets));
+        for (b, slot) in busy.iter_mut().enumerate().take(last).skip(first) {
+            let lo = (b as f64).max(s);
+            let hi = ((b + 1) as f64).min(e);
+            if hi > lo {
+                *slot += (hi - lo) * procs as f64;
+            }
+        }
+    }
+    for b in busy.iter_mut() {
+        *b /= total_procs as f64;
+    }
+    busy
+}
+
+/// Render a series of fractions (0..=1) as a unicode sparkline.
+pub fn render_sparkline(values: &[f64]) -> String {
+    const LEVELS: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    values
+        .iter()
+        .map(|&v| {
+            let idx = (v.clamp(0.0, 1.0) * 8.0).round() as usize;
+            LEVELS[idx]
+        })
+        .collect()
+}
+
+/// Render a small Gantt chart: one row per labelled interval set, `cols`
+/// character columns spanning `[t0, t1)`. Intervals outside the window are
+/// clipped; a cell is drawn when any interval covers ≥ half of it.
+pub fn render_gantt(
+    rows: &[(String, Vec<(Secs, Secs)>)],
+    t0: Secs,
+    t1: Secs,
+    cols: usize,
+) -> String {
+    assert!(cols > 0 && t1 > t0);
+    let width = (t1 - t0) as f64 / cols as f64;
+    let mut out = String::new();
+    for (label, intervals) in rows {
+        let mut cover = vec![0.0f64; cols];
+        for &(start, end) in intervals {
+            if end <= t0 || start >= t1 {
+                continue;
+            }
+            let s = (start.max(t0) - t0) as f64 / width;
+            let e = (end.min(t1) - t0) as f64 / width;
+            let (first, last) = (s.floor() as usize, (e.ceil() as usize).min(cols));
+            for (c, slot) in cover.iter_mut().enumerate().take(last).skip(first) {
+                let lo = (c as f64).max(s);
+                let hi = ((c + 1) as f64).min(e);
+                if hi > lo {
+                    *slot += hi - lo;
+                }
+            }
+        }
+        out.push_str(&format!("{label:<12}|"));
+        for c in cover {
+            out.push(if c >= 0.5 {
+                '█'
+            } else if c > 0.0 {
+                '▒'
+            } else {
+                ' '
+            });
+        }
+        out.push_str("|\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_occupancy_is_one() {
+        // One interval using all 4 procs over the whole window.
+        let v = busy_timeline(&[(0, 100, 4)], 4, 0, 100, 10);
+        assert_eq!(v.len(), 10);
+        for x in v {
+            assert!((x - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn half_machine_half_time() {
+        // 2 of 4 procs during the second half only.
+        let v = busy_timeline(&[(50, 100, 2)], 4, 0, 100, 4);
+        assert!((v[0] - 0.0).abs() < 1e-9);
+        assert!((v[1] - 0.0).abs() < 1e-9);
+        assert!((v[2] - 0.5).abs() < 1e-9);
+        assert!((v[3] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_bucket_coverage_weighted() {
+        // 4/4 procs over [0, 25) of a 2-bucket window [0, 100).
+        let v = busy_timeline(&[(0, 25, 4)], 4, 0, 100, 2);
+        assert!((v[0] - 0.5).abs() < 1e-9, "half of the first bucket busy");
+        assert!((v[1] - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlapping_intervals_accumulate() {
+        let v = busy_timeline(&[(0, 100, 2), (0, 100, 2)], 4, 0, 100, 1);
+        assert!((v[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clipping_outside_window() {
+        let v = busy_timeline(&[(-50, 50, 4), (150, 250, 4)], 4, 0, 100, 2);
+        assert!((v[0] - 1.0).abs() < 1e-9);
+        assert!((v[1] - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sparkline_levels() {
+        let s = render_sparkline(&[0.0, 0.5, 1.0]);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars.len(), 3);
+        assert_eq!(chars[0], ' ');
+        assert_eq!(chars[1], '▄');
+        assert_eq!(chars[2], '█');
+    }
+
+    #[test]
+    fn gantt_rows() {
+        let rows = vec![
+            ("j0".to_string(), vec![(0, 50)]),
+            ("j1".to_string(), vec![(50, 100)]),
+        ];
+        let g = render_gantt(&rows, 0, 100, 10);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("█████     "));
+        assert!(lines[1].contains("     █████"));
+    }
+}

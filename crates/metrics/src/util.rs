@@ -1,0 +1,74 @@
+//! System utilization.
+//!
+//! Figures 35 and 38 plot "overall system utilization" against load: the
+//! fraction of the machine's capacity spent on *productive* execution over
+//! the schedule's makespan. Suspension-overhead drain time is excluded
+//! from the numerator (it is not useful work), which is how the IS scheme
+//! ends up with visibly lower utilization than NS/SS in the paper.
+
+use sps_simcore::SimTime;
+
+use crate::outcome::JobOutcome;
+
+/// Utilization of a completed run on a machine of `total_procs`:
+/// `Σ (run × procs) / (total_procs × makespan)`, with makespan measured
+/// from the first submission to the last completion.
+pub fn utilization(outcomes: &[JobOutcome], total_procs: u32) -> f64 {
+    if outcomes.is_empty() {
+        return 0.0;
+    }
+    let first_submit: SimTime = outcomes.iter().map(|o| o.submit).min().expect("non-empty");
+    let last_completion: SimTime =
+        outcomes.iter().map(|o| o.completion).max().expect("non-empty");
+    let makespan = last_completion - first_submit;
+    if makespan <= 0 {
+        return 0.0;
+    }
+    let work: i64 = outcomes.iter().map(JobOutcome::work).sum();
+    work as f64 / (total_procs as f64 * makespan as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sps_workload::Job;
+
+    fn outcome(submit: i64, start: i64, run: i64, procs: u32) -> JobOutcome {
+        let job = Job::new(0, submit, run, run, procs);
+        JobOutcome::new(&job, SimTime::new(start), SimTime::new(start + run), 0, 0)
+    }
+
+    #[test]
+    fn single_job_fully_packs() {
+        // One job using the whole 10-proc machine for its whole makespan.
+        let outs = vec![outcome(0, 0, 100, 10)];
+        assert!((utilization(&outs, 10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_capacity_lowers_utilization() {
+        let outs = vec![outcome(0, 0, 100, 5)];
+        assert!((utilization(&outs, 10) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn waiting_stretches_makespan() {
+        // Job runs [100, 200) but was submitted at 0 → makespan 200.
+        let outs = vec![outcome(0, 100, 100, 10)];
+        assert!((utilization(&outs, 10) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        assert_eq!(utilization(&[], 10), 0.0);
+    }
+
+    #[test]
+    fn multiple_jobs_sum_work() {
+        let outs = vec![outcome(0, 0, 100, 4), outcome(0, 0, 100, 6)];
+        assert!((utilization(&outs, 10) - 1.0).abs() < 1e-12);
+        let outs2 = vec![outcome(0, 0, 100, 4), outcome(0, 100, 100, 4)];
+        // 800 work over 10 procs × 200 s = 0.4.
+        assert!((utilization(&outs2, 10) - 0.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,217 @@
+//! The batch-delivering simulation driver.
+//!
+//! [`Engine::run`] repeatedly pops the earliest *instant* from the event
+//! queue (all events sharing that timestamp, in class order) and hands the
+//! batch to the [`Simulation`]. Delivering whole instants rather than single
+//! events lets a scheduler make one decision per instant, after every
+//! completion and arrival at that instant has been applied — exactly how
+//! batch schedulers behave.
+
+use crate::queue::EventQueue;
+use crate::time::SimTime;
+
+/// Behaviour plugged into the [`Engine`].
+pub trait Simulation {
+    /// Event payload type.
+    type Event;
+
+    /// Handle every event that fires at `now`, in delivery order. New
+    /// events (at `now` or later) may be pushed onto `queue`; events pushed
+    /// *at* `now` are delivered in a follow-up batch for the same instant.
+    fn handle_batch(
+        &mut self,
+        now: SimTime,
+        batch: &mut Vec<Self::Event>,
+        queue: &mut EventQueue<Self::Event>,
+    );
+}
+
+/// Why [`Engine::run`] returned.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunOutcome {
+    /// The event queue drained completely.
+    Drained,
+    /// The configured horizon was reached with events still pending.
+    HorizonReached,
+    /// The configured maximum batch count was exceeded (livelock guard).
+    BatchLimit,
+}
+
+/// The driver loop. Owns the clock; the caller owns the queue and state.
+pub struct Engine {
+    now: SimTime,
+    horizon: SimTime,
+    max_batches: u64,
+    batches: u64,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// An engine with no horizon and a generous livelock guard.
+    pub fn new() -> Self {
+        Engine { now: SimTime::ZERO, horizon: SimTime::MAX, max_batches: u64::MAX, batches: 0 }
+    }
+
+    /// Stop (returning [`RunOutcome::HorizonReached`]) before delivering any
+    /// batch whose instant is strictly past `horizon`.
+    pub fn with_horizon(mut self, horizon: SimTime) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Abort after `max` delivered batches — a guard against schedulers that
+    /// reschedule themselves forever without making progress.
+    pub fn with_batch_limit(mut self, max: u64) -> Self {
+        self.max_batches = max;
+        self
+    }
+
+    /// Current simulated time (the instant of the last delivered batch).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of batches delivered so far.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Drive `sim` until the queue drains, the horizon passes, or the batch
+    /// limit trips. Time never moves backwards: pushing an event earlier
+    /// than the current instant panics in debug builds and is delivered at
+    /// the current instant otherwise.
+    pub fn run<S: Simulation>(
+        &mut self,
+        sim: &mut S,
+        queue: &mut EventQueue<S::Event>,
+    ) -> RunOutcome {
+        let mut batch: Vec<S::Event> = Vec::new();
+        loop {
+            let Some(t) = queue.peek().map(|(t, _)| t) else {
+                return RunOutcome::Drained;
+            };
+            if t > self.horizon {
+                return RunOutcome::HorizonReached;
+            }
+            debug_assert!(t >= self.now, "event scheduled in the past: {t:?} < {:?}", self.now);
+            self.now = t.max(self.now);
+            batch.clear();
+            queue.pop_batch(&mut batch);
+            self.batches += 1;
+            if self.batches > self.max_batches {
+                return RunOutcome::BatchLimit;
+            }
+            sim.handle_batch(self.now, &mut batch, queue);
+        }
+    }
+}
+
+/// Convenience: run a closure-based simulation (used by tests).
+pub fn run_with<E>(
+    queue: &mut EventQueue<E>,
+    mut f: impl FnMut(SimTime, &mut Vec<E>, &mut EventQueue<E>),
+) -> (SimTime, RunOutcome) {
+    struct Fn_<E, F>(F, std::marker::PhantomData<E>);
+    impl<E, F: FnMut(SimTime, &mut Vec<E>, &mut EventQueue<E>)> Simulation for Fn_<E, F> {
+        type Event = E;
+        fn handle_batch(&mut self, now: SimTime, batch: &mut Vec<E>, queue: &mut EventQueue<E>) {
+            (self.0)(now, batch, queue)
+        }
+    }
+    let mut sim = Fn_(&mut f, std::marker::PhantomData);
+    let mut engine = Engine::new();
+    let outcome = engine.run(&mut sim, queue);
+    (engine.now(), outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventClass;
+
+    fn t(s: i64) -> SimTime {
+        SimTime::new(s)
+    }
+
+    #[test]
+    fn delivers_batches_per_instant() {
+        let mut q = EventQueue::new();
+        q.push(t(1), EventClass::Arrival, 'a');
+        q.push(t(1), EventClass::Arrival, 'b');
+        q.push(t(2), EventClass::Arrival, 'c');
+        let mut seen: Vec<(i64, Vec<char>)> = Vec::new();
+        let (end, outcome) = run_with(&mut q, |now, batch, _| {
+            seen.push((now.secs(), batch.clone()));
+        });
+        assert_eq!(outcome, RunOutcome::Drained);
+        assert_eq!(end, t(2));
+        assert_eq!(seen, vec![(1, vec!['a', 'b']), (2, vec!['c'])]);
+    }
+
+    #[test]
+    fn events_pushed_at_now_form_followup_batch() {
+        let mut q = EventQueue::new();
+        q.push(t(5), EventClass::Arrival, 0u32);
+        let mut batches = Vec::new();
+        run_with(&mut q, |now, batch, queue| {
+            batches.push(batch.clone());
+            if batch == &[0] {
+                queue.push(now, EventClass::Epilogue, 1);
+            }
+        });
+        assert_eq!(batches, vec![vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn horizon_stops_delivery() {
+        let mut q = EventQueue::new();
+        q.push(t(1), EventClass::Arrival, ());
+        q.push(t(100), EventClass::Arrival, ());
+        let mut engine = Engine::new().with_horizon(t(10));
+        struct Noop;
+        impl Simulation for Noop {
+            type Event = ();
+            fn handle_batch(&mut self, _: SimTime, _: &mut Vec<()>, _: &mut EventQueue<()>) {}
+        }
+        let outcome = engine.run(&mut Noop, &mut q);
+        assert_eq!(outcome, RunOutcome::HorizonReached);
+        assert_eq!(engine.now(), t(1));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn batch_limit_trips_on_self_rescheduling() {
+        let mut q = EventQueue::new();
+        q.push(t(1), EventClass::Tick, ());
+        let mut engine = Engine::new().with_batch_limit(50);
+        struct Resched;
+        impl Simulation for Resched {
+            type Event = ();
+            fn handle_batch(&mut self, now: SimTime, _: &mut Vec<()>, q: &mut EventQueue<()>) {
+                q.push(now + 1, EventClass::Tick, ());
+            }
+        }
+        let outcome = engine.run(&mut Resched, &mut q);
+        assert_eq!(outcome, RunOutcome::BatchLimit);
+        assert_eq!(engine.batches(), 51);
+    }
+
+    #[test]
+    fn clock_is_monotone() {
+        let mut q = EventQueue::new();
+        for s in [3, 1, 2, 9, 4] {
+            q.push(t(s), EventClass::Arrival, s);
+        }
+        let mut last = i64::MIN;
+        run_with(&mut q, |now, _, _| {
+            assert!(now.secs() > last);
+            last = now.secs();
+        });
+        assert_eq!(last, 9);
+    }
+}

@@ -1,0 +1,63 @@
+//! Event ordering classes.
+//!
+//! When several events are scheduled for the same instant, the order in
+//! which they are *delivered* matters to a scheduler: a completion that
+//! frees processors at time `t` must be visible to the scheduling decision
+//! made at `t`, and the periodic preemption tick should observe the final
+//! state of the instant. [`EventClass`] encodes that delivery priority;
+//! within a class, events are delivered in insertion order (FIFO), which
+//! makes the whole simulation deterministic.
+
+/// Delivery priority for simultaneous events (lower fires first).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[repr(u8)]
+pub enum EventClass {
+    /// A job finished and its processors are being released.
+    Completion = 0,
+    /// A suspension drain finished; processors become free.
+    ProcsFreed = 1,
+    /// A new job entered the system.
+    Arrival = 2,
+    /// Periodic scheduler activity (e.g. the preemption routine).
+    Tick = 3,
+    /// Anything that must run after all state changes of the instant.
+    Epilogue = 4,
+}
+
+impl EventClass {
+    /// All classes, in delivery order.
+    pub const ALL: [EventClass; 5] = [
+        EventClass::Completion,
+        EventClass::ProcsFreed,
+        EventClass::Arrival,
+        EventClass::Tick,
+        EventClass::Epilogue,
+    ];
+
+    /// Numeric delivery rank (lower fires first).
+    #[inline]
+    pub const fn rank(self) -> u8 {
+        self as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_are_strictly_increasing() {
+        let ranks: Vec<u8> = EventClass::ALL.iter().map(|c| c.rank()).collect();
+        for w in ranks.windows(2) {
+            assert!(w[0] < w[1], "ranks must be strictly increasing: {ranks:?}");
+        }
+    }
+
+    #[test]
+    fn completion_fires_before_arrival_before_tick() {
+        assert!(EventClass::Completion < EventClass::Arrival);
+        assert!(EventClass::Arrival < EventClass::Tick);
+        assert!(EventClass::ProcsFreed < EventClass::Arrival);
+        assert!(EventClass::Tick < EventClass::Epilogue);
+    }
+}

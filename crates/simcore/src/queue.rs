@@ -1,0 +1,155 @@
+//! The deterministic event queue.
+//!
+//! A thin wrapper over [`std::collections::BinaryHeap`] that orders events
+//! by `(time, class, sequence number)`. The monotonically increasing
+//! sequence number gives FIFO delivery for events with identical time and
+//! class, which — unlike a bare binary heap — makes simulation results
+//! independent of heap internals and therefore reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::event::EventClass;
+use crate::time::SimTime;
+
+struct Entry<E> {
+    time: SimTime,
+    class: EventClass,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap and we want the earliest
+        // (time, class, seq) triple on top.
+        (other.time, other.class, other.seq).cmp(&(self.time, self.class, self.seq))
+    }
+}
+
+/// A priority queue of timestamped events with stable, deterministic order.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// An empty queue with room for `cap` events.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue { heap: BinaryHeap::with_capacity(cap), next_seq: 0 }
+    }
+
+    /// Schedule `payload` to fire at `time` within ordering `class`.
+    pub fn push(&mut self, time: SimTime, class: EventClass, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, class, seq, payload });
+    }
+
+    /// Time and class of the next event to fire, if any.
+    pub fn peek(&self) -> Option<(SimTime, EventClass)> {
+        self.heap.peek().map(|e| (e.time, e.class))
+    }
+
+    /// Remove and return the next event as `(time, class, payload)`.
+    pub fn pop(&mut self) -> Option<(SimTime, EventClass, E)> {
+        self.heap.pop().map(|e| (e.time, e.class, e.payload))
+    }
+
+    /// Pop *all* events scheduled for the earliest pending instant into
+    /// `batch` (in delivery order) and return that instant.
+    ///
+    /// Returns `None` (leaving `batch` untouched) when the queue is empty.
+    pub fn pop_batch(&mut self, batch: &mut Vec<E>) -> Option<SimTime> {
+        let (t, _) = self.peek()?;
+        while self.peek().is_some_and(|(time, _)| time == t) {
+            let (_, _, payload) = self.pop().expect("peeked entry must pop");
+            batch.push(payload);
+        }
+        Some(t)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: i64) -> SimTime {
+        SimTime::new(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(30), EventClass::Arrival, "c");
+        q.push(t(10), EventClass::Arrival, "a");
+        q.push(t(20), EventClass::Arrival, "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, _, p)| p).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn class_breaks_time_ties() {
+        let mut q = EventQueue::new();
+        q.push(t(5), EventClass::Tick, "tick");
+        q.push(t(5), EventClass::Arrival, "arrival");
+        q.push(t(5), EventClass::Completion, "completion");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, _, p)| p).collect();
+        assert_eq!(order, vec!["completion", "arrival", "tick"]);
+    }
+
+    #[test]
+    fn fifo_within_same_time_and_class() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(t(7), EventClass::Arrival, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, _, p)| p).collect();
+        let expect: Vec<_> = (0..100).collect();
+        assert_eq!(order, expect);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        q.push(t(42), EventClass::Completion, ());
+        assert_eq!(q.peek(), Some((t(42), EventClass::Completion)));
+        assert_eq!(q.len(), 1);
+        let (time, class, ()) = q.pop().unwrap();
+        assert_eq!((time, class), (t(42), EventClass::Completion));
+        assert!(q.is_empty());
+        assert_eq!(q.peek(), None);
+    }
+}

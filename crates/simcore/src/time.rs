@@ -1,0 +1,182 @@
+//! Simulated time.
+//!
+//! Supercomputer job traces (and the Standard Workload Format) record all
+//! timestamps in whole seconds, so the simulator uses an `i64` count of
+//! seconds since the start of the trace. Durations are plain [`Secs`]
+//! values; only *points* in time get the [`SimTime`] newtype, which keeps
+//! the two from being mixed up in scheduler arithmetic.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A duration in whole seconds.
+pub type Secs = i64;
+
+/// One simulated minute, in seconds.
+pub const MINUTE: Secs = 60;
+/// One simulated hour, in seconds.
+pub const HOUR: Secs = 3_600;
+/// One simulated day, in seconds.
+pub const DAY: Secs = 86_400;
+
+/// A point in simulated time: whole seconds since the start of the trace.
+///
+/// `SimTime` is `Copy`, totally ordered, and supports `time + secs`,
+/// `time - secs` and `time - time` (yielding [`Secs`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(i64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// A time later than every event; used as an "infinite" horizon.
+    pub const MAX: SimTime = SimTime(i64::MAX);
+
+    /// Construct from a second count.
+    #[inline]
+    pub const fn new(secs: i64) -> Self {
+        SimTime(secs)
+    }
+
+    /// Seconds since the start of the trace.
+    #[inline]
+    pub const fn secs(self) -> i64 {
+        self.0
+    }
+
+    /// The earlier of two times.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The later of two times.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Saturating addition of a duration (never overflows past
+    /// [`SimTime::MAX`]).
+    #[inline]
+    pub fn saturating_add(self, d: Secs) -> SimTime {
+        SimTime(self.0.saturating_add(d))
+    }
+}
+
+impl Add<Secs> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: Secs) -> SimTime {
+        SimTime(self.0 + rhs)
+    }
+}
+
+impl AddAssign<Secs> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: Secs) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Secs> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: Secs) -> SimTime {
+        SimTime(self.0 - rhs)
+    }
+}
+
+impl SubAssign<Secs> for SimTime {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Secs) {
+        self.0 -= rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Secs;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> Secs {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    /// Renders as `d+hh:mm:ss` for readability in logs and test output.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 == i64::MAX {
+            return write!(f, "inf");
+        }
+        let neg = self.0 < 0;
+        let s = self.0.unsigned_abs();
+        let (d, rem) = (s / DAY as u64, s % DAY as u64);
+        let (h, rem) = (rem / HOUR as u64, rem % HOUR as u64);
+        let (m, sec) = (rem / MINUTE as u64, rem % MINUTE as u64);
+        if neg {
+            write!(f, "-")?;
+        }
+        write!(f, "{d}+{h:02}:{m:02}:{sec:02}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_round_trips() {
+        let t = SimTime::new(100);
+        assert_eq!((t + 50).secs(), 150);
+        assert_eq!((t - 50).secs(), 50);
+        assert_eq!((t + 50) - t, 50);
+        let mut u = t;
+        u += 10;
+        u -= 4;
+        assert_eq!(u.secs(), 106);
+    }
+
+    #[test]
+    fn ordering_and_min_max() {
+        let a = SimTime::new(5);
+        let b = SimTime::new(9);
+        assert!(a < b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.min(b), b);
+    }
+
+    #[test]
+    fn saturating_add_caps_at_max() {
+        assert_eq!(SimTime::MAX.saturating_add(100), SimTime::MAX);
+        assert_eq!(SimTime::new(1).saturating_add(2), SimTime::new(3));
+    }
+
+    #[test]
+    fn display_formats_days_hours() {
+        assert_eq!(SimTime::new(0).to_string(), "0+00:00:00");
+        assert_eq!(SimTime::new(DAY + HOUR + MINUTE + 1).to_string(), "1+01:01:01");
+        assert_eq!(SimTime::new(-MINUTE).to_string(), "-0+00:01:00");
+        assert_eq!(SimTime::MAX.to_string(), "inf");
+    }
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(HOUR, 60 * MINUTE);
+        assert_eq!(DAY, 24 * HOUR);
+    }
+}

@@ -1,0 +1,64 @@
+//! Property tests for the event queue and engine invariants.
+
+use proptest::prelude::*;
+use sps_simcore::engine::run_with;
+use sps_simcore::{EventClass, EventQueue, SimTime};
+
+fn class_strategy() -> impl Strategy<Value = EventClass> {
+    prop_oneof![
+        Just(EventClass::Completion),
+        Just(EventClass::ProcsFreed),
+        Just(EventClass::Arrival),
+        Just(EventClass::Tick),
+        Just(EventClass::Epilogue),
+    ]
+}
+
+proptest! {
+    /// Popping yields a sequence sorted by (time, class) with FIFO ties.
+    #[test]
+    fn pop_order_is_sorted_and_stable(events in prop::collection::vec((0i64..1_000, class_strategy()), 0..200)) {
+        let mut q = EventQueue::new();
+        for (i, (time, class)) in events.iter().enumerate() {
+            q.push(SimTime::new(*time), *class, i);
+        }
+        let mut popped = Vec::new();
+        while let Some((t, c, idx)) = q.pop() {
+            popped.push((t, c, idx));
+        }
+        prop_assert_eq!(popped.len(), events.len());
+        for w in popped.windows(2) {
+            let k0 = (w[0].0, w[0].1, w[0].2);
+            let k1 = (w[1].0, w[1].1, w[1].2);
+            // (time, class) nondecreasing; same (time, class) preserves
+            // insertion order — i.e. the full triple is strictly increasing.
+            prop_assert!(k0 < k1, "out of order: {:?} then {:?}", k0, k1);
+        }
+    }
+
+    /// Batch delivery visits every event exactly once, grouped by instant,
+    /// at strictly increasing instants.
+    #[test]
+    fn batches_partition_events(times in prop::collection::vec(0i64..50, 1..120)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.push(SimTime::new(*t), EventClass::Arrival, i);
+        }
+        let mut delivered: Vec<(i64, Vec<usize>)> = Vec::new();
+        run_with(&mut q, |now, batch, _| {
+            delivered.push((now.secs(), batch.clone()));
+        });
+        let mut seen = vec![false; times.len()];
+        for (instant, batch) in &delivered {
+            for &idx in batch {
+                prop_assert!(!seen[idx], "event {} delivered twice", idx);
+                seen[idx] = true;
+                prop_assert_eq!(times[idx], *instant, "event delivered at wrong instant");
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "every event must be delivered");
+        for w in delivered.windows(2) {
+            prop_assert!(w[0].0 < w[1].0, "instants must be strictly increasing");
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Job categorization.
+//!
+//! The paper analyses performance per *category* rather than in aggregate,
+//! because "any analysis that is based only on the average slowdown or
+//! turnaround time of all jobs in the system cannot provide insights into
+//! the variability within different job categories."
+//!
+//! * Table I defines a 16-way grid: run time ∈ {Very Short, Short, Long,
+//!   Very Long} × width ∈ {Sequential, Narrow, Wide, Very Wide}.
+//! * Table VI defines the coarser 4-way grid used in the load-variation
+//!   study: {Short, Long} × {Narrow, Wide}.
+//!
+//! Classification uses the job's **actual** run time (Section III groups
+//! jobs "based on the run time and the number of processors requested";
+//! Section V reiterates "classified ... based on their actual run time").
+
+use sps_simcore::{Secs, HOUR, MINUTE};
+
+/// Run-time class of Table I.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum RuntimeClass {
+    /// 0 – 10 minutes.
+    VeryShort,
+    /// 10 minutes – 1 hour.
+    Short,
+    /// 1 hour – 8 hours.
+    Long,
+    /// More than 8 hours.
+    VeryLong,
+}
+
+impl RuntimeClass {
+    /// All classes in table-row order.
+    pub const ALL: [RuntimeClass; 4] =
+        [RuntimeClass::VeryShort, RuntimeClass::Short, RuntimeClass::Long, RuntimeClass::VeryLong];
+
+    /// Classify an actual run time (seconds) per Table I. Boundaries are
+    /// inclusive on the upper end: a 600-second job is Very Short.
+    pub fn classify(run: Secs) -> Self {
+        if run <= 10 * MINUTE {
+            RuntimeClass::VeryShort
+        } else if run <= HOUR {
+            RuntimeClass::Short
+        } else if run <= 8 * HOUR {
+            RuntimeClass::Long
+        } else {
+            RuntimeClass::VeryLong
+        }
+    }
+
+    /// Abbreviation used in the paper's tables (VS/S/L/VL).
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            RuntimeClass::VeryShort => "VS",
+            RuntimeClass::Short => "S",
+            RuntimeClass::Long => "L",
+            RuntimeClass::VeryLong => "VL",
+        }
+    }
+
+    /// The paper's row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            RuntimeClass::VeryShort => "0 - 10 min",
+            RuntimeClass::Short => "10 min - 1 hr",
+            RuntimeClass::Long => "1 hr - 8 hr",
+            RuntimeClass::VeryLong => "> 8 hr",
+        }
+    }
+
+    /// Run-time bin `(lo, hi]` in seconds, used by the synthetic generator.
+    /// The Very Long upper bound is the generator's cap (2.5 days), chosen
+    /// to sit inside typical supercomputer-center wall-clock limits.
+    pub fn bounds(self) -> (Secs, Secs) {
+        match self {
+            RuntimeClass::VeryShort => (0, 10 * MINUTE),
+            RuntimeClass::Short => (10 * MINUTE, HOUR),
+            RuntimeClass::Long => (HOUR, 8 * HOUR),
+            RuntimeClass::VeryLong => (8 * HOUR, 60 * HOUR),
+        }
+    }
+}
+
+/// Width class of Table I.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum WidthClass {
+    /// 1 processor.
+    Sequential,
+    /// 2 – 8 processors.
+    Narrow,
+    /// 9 – 32 processors.
+    Wide,
+    /// More than 32 processors.
+    VeryWide,
+}
+
+impl WidthClass {
+    /// All classes in table-column order.
+    pub const ALL: [WidthClass; 4] =
+        [WidthClass::Sequential, WidthClass::Narrow, WidthClass::Wide, WidthClass::VeryWide];
+
+    /// Classify a processor request per Table I.
+    pub fn classify(procs: u32) -> Self {
+        match procs {
+            0 | 1 => WidthClass::Sequential,
+            2..=8 => WidthClass::Narrow,
+            9..=32 => WidthClass::Wide,
+            _ => WidthClass::VeryWide,
+        }
+    }
+
+    /// Abbreviation used in the paper (Seq/N/W/VW).
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            WidthClass::Sequential => "Seq",
+            WidthClass::Narrow => "N",
+            WidthClass::Wide => "W",
+            WidthClass::VeryWide => "VW",
+        }
+    }
+
+    /// The paper's column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            WidthClass::Sequential => "1 Proc",
+            WidthClass::Narrow => "2-8 Procs",
+            WidthClass::Wide => "9-32 Procs",
+            WidthClass::VeryWide => "> 32 Procs",
+        }
+    }
+
+    /// Width bin `[lo, hi]`; `hi` is clamped to the machine size by the
+    /// generator.
+    pub fn bounds(self) -> (u32, u32) {
+        match self {
+            WidthClass::Sequential => (1, 1),
+            WidthClass::Narrow => (2, 8),
+            WidthClass::Wide => (9, 32),
+            WidthClass::VeryWide => (33, u32::MAX),
+        }
+    }
+}
+
+/// One cell of the paper's 16-category grid (Table I).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Category {
+    /// Run-time class (table row).
+    pub runtime: RuntimeClass,
+    /// Width class (table column).
+    pub width: WidthClass,
+}
+
+impl Category {
+    /// Classify a job by actual run time and processor request.
+    pub fn classify(run: Secs, procs: u32) -> Self {
+        Category { runtime: RuntimeClass::classify(run), width: WidthClass::classify(procs) }
+    }
+
+    /// All 16 categories, row-major (VS Seq, VS N, …, VL VW).
+    pub fn all() -> impl Iterator<Item = Category> {
+        RuntimeClass::ALL
+            .into_iter()
+            .flat_map(|rt| WidthClass::ALL.into_iter().map(move |w| Category { runtime: rt, width: w }))
+    }
+
+    /// Dense index 0..16, row-major, for array-backed aggregation.
+    pub fn index(self) -> usize {
+        let r = RuntimeClass::ALL.iter().position(|&c| c == self.runtime).unwrap();
+        let w = WidthClass::ALL.iter().position(|&c| c == self.width).unwrap();
+        r * 4 + w
+    }
+
+    /// Inverse of [`Category::index`].
+    pub fn from_index(i: usize) -> Category {
+        Category { runtime: RuntimeClass::ALL[i / 4], width: WidthClass::ALL[i % 4] }
+    }
+
+    /// Paper-style name, e.g. `VS VW`.
+    pub fn name(self) -> String {
+        format!("{} {}", self.runtime.abbrev(), self.width.abbrev())
+    }
+}
+
+/// One cell of the 4-way grid used for the load-variation study (Table VI):
+/// Short = up to 1 hour, Narrow = up to 8 processors.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum CoarseCategory {
+    /// ≤ 1 h, ≤ 8 processors.
+    ShortNarrow,
+    /// ≤ 1 h, > 8 processors.
+    ShortWide,
+    /// > 1 h, ≤ 8 processors.
+    LongNarrow,
+    /// > 1 h, > 8 processors.
+    LongWide,
+}
+
+impl CoarseCategory {
+    /// All four, in the paper's SN/SW/LN/LW order.
+    pub const ALL: [CoarseCategory; 4] = [
+        CoarseCategory::ShortNarrow,
+        CoarseCategory::ShortWide,
+        CoarseCategory::LongNarrow,
+        CoarseCategory::LongWide,
+    ];
+
+    /// Classify per Table VI.
+    pub fn classify(run: Secs, procs: u32) -> Self {
+        match (run <= HOUR, procs <= 8) {
+            (true, true) => CoarseCategory::ShortNarrow,
+            (true, false) => CoarseCategory::ShortWide,
+            (false, true) => CoarseCategory::LongNarrow,
+            (false, false) => CoarseCategory::LongWide,
+        }
+    }
+
+    /// Dense index 0..4 in `ALL` order.
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|&c| c == self).unwrap()
+    }
+
+    /// Paper abbreviation (SN/SW/LN/LW).
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            CoarseCategory::ShortNarrow => "SN",
+            CoarseCategory::ShortWide => "SW",
+            CoarseCategory::LongNarrow => "LN",
+            CoarseCategory::LongWide => "LW",
+        }
+    }
+
+    /// Full label, e.g. `Short Narrow`.
+    pub fn label(self) -> &'static str {
+        match self {
+            CoarseCategory::ShortNarrow => "Short Narrow",
+            CoarseCategory::ShortWide => "Short Wide",
+            CoarseCategory::LongNarrow => "Long Narrow",
+            CoarseCategory::LongWide => "Long Wide",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_boundaries_match_table1() {
+        assert_eq!(RuntimeClass::classify(1), RuntimeClass::VeryShort);
+        assert_eq!(RuntimeClass::classify(600), RuntimeClass::VeryShort);
+        assert_eq!(RuntimeClass::classify(601), RuntimeClass::Short);
+        assert_eq!(RuntimeClass::classify(3_600), RuntimeClass::Short);
+        assert_eq!(RuntimeClass::classify(3_601), RuntimeClass::Long);
+        assert_eq!(RuntimeClass::classify(28_800), RuntimeClass::Long);
+        assert_eq!(RuntimeClass::classify(28_801), RuntimeClass::VeryLong);
+        assert_eq!(RuntimeClass::classify(1_000_000), RuntimeClass::VeryLong);
+    }
+
+    #[test]
+    fn width_boundaries_match_table1() {
+        assert_eq!(WidthClass::classify(1), WidthClass::Sequential);
+        assert_eq!(WidthClass::classify(2), WidthClass::Narrow);
+        assert_eq!(WidthClass::classify(8), WidthClass::Narrow);
+        assert_eq!(WidthClass::classify(9), WidthClass::Wide);
+        assert_eq!(WidthClass::classify(32), WidthClass::Wide);
+        assert_eq!(WidthClass::classify(33), WidthClass::VeryWide);
+        assert_eq!(WidthClass::classify(430), WidthClass::VeryWide);
+    }
+
+    #[test]
+    fn category_index_roundtrip() {
+        let mut seen = [false; 16];
+        for c in Category::all() {
+            let i = c.index();
+            assert!(!seen[i], "duplicate index {i}");
+            seen[i] = true;
+            assert_eq!(Category::from_index(i), c);
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn category_names_match_paper() {
+        assert_eq!(Category::classify(60, 1).name(), "VS Seq");
+        assert_eq!(Category::classify(100_000, 100).name(), "VL VW");
+        assert_eq!(Category::classify(2 * HOUR, 16).name(), "L W");
+    }
+
+    #[test]
+    fn coarse_boundaries_match_table6() {
+        assert_eq!(CoarseCategory::classify(HOUR, 8), CoarseCategory::ShortNarrow);
+        assert_eq!(CoarseCategory::classify(HOUR, 9), CoarseCategory::ShortWide);
+        assert_eq!(CoarseCategory::classify(HOUR + 1, 8), CoarseCategory::LongNarrow);
+        assert_eq!(CoarseCategory::classify(HOUR + 1, 9), CoarseCategory::LongWide);
+    }
+
+    #[test]
+    fn coarse_index_in_all_order() {
+        for (i, c) in CoarseCategory::ALL.into_iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn runtime_bounds_tile_the_axis() {
+        for w in RuntimeClass::ALL.windows(2) {
+            assert_eq!(w[0].bounds().1, w[1].bounds().0, "bins must be contiguous");
+        }
+        for rt in RuntimeClass::ALL {
+            let (lo, hi) = rt.bounds();
+            assert!(lo < hi);
+            // A sample from inside the bin classifies back into the bin.
+            assert_eq!(RuntimeClass::classify(hi.min(lo + 1)), rt);
+            assert_eq!(RuntimeClass::classify(hi), rt);
+        }
+    }
+
+    #[test]
+    fn width_bounds_tile_the_axis() {
+        for w in WidthClass::ALL {
+            let (lo, hi) = w.bounds();
+            assert_eq!(WidthClass::classify(lo), w);
+            assert_eq!(WidthClass::classify(hi.min(430)), w);
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! User run-time estimate models.
+//!
+//! Backfilling and the xfactor-based suspension priority both consume the
+//! *user estimate*, not the actual run time. Section V of the paper studies
+//! what happens when estimates are inaccurate, splitting jobs into
+//! **well estimated** (`estimate ≤ 2 × run`) and **badly estimated**
+//! (`estimate > 2 × run`) groups.
+//!
+//! [`EstimateModel::Mixture`] reproduces that world: a configurable
+//! fraction of jobs receives a mild overestimate (factor uniform in
+//! [1, 2]), the rest a heavy one (factor log-uniform in (2, max]),
+//! following the Mu'alem–Feitelson observation that many users request far
+//! more wall-clock time than they use. Estimates never fall below the
+//! actual run time (jobs are never killed mid-run in the paper's model).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::job::Job;
+
+/// How user estimates relate to actual run times.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub enum EstimateModel {
+    /// `estimate = run` — the idealized assumption of Section IV.
+    #[default]
+    Accurate,
+    /// The Section V mixture: `well_fraction` of jobs get a factor in
+    /// [1, 2] (well estimated), the rest a factor in (2, `max_factor`]
+    /// (badly estimated).
+    Mixture {
+        /// Fraction of jobs that end up well estimated (0..=1).
+        well_fraction: f64,
+        /// Upper bound on the overestimation factor for badly estimated
+        /// jobs.
+        max_factor: f64,
+    },
+    /// Like [`EstimateModel::Mixture`], but the resulting estimate is
+    /// rounded **up** to the nearest "round" wall-clock request (15/30 min,
+    /// 1/2/4/8/12/18/24/36/48/60 h) — real users overwhelmingly request
+    /// round values, which quantizes the estimate space backfilling and
+    /// xfactors operate on.
+    RoundedMixture {
+        /// Fraction of jobs whose pre-rounding factor is in [1, 2].
+        well_fraction: f64,
+        /// Upper bound on the pre-rounding overestimation factor.
+        max_factor: f64,
+    },
+}
+
+/// The wall-clock menus real users pick from, seconds, ascending.
+const ROUND_ESTIMATES: [i64; 12] = [
+    900, 1_800, 3_600, 7_200, 14_400, 28_800, 43_200, 64_800, 86_400, 129_600, 172_800, 216_000,
+];
+
+/// Round an estimate up to the user menu (values beyond the menu are kept
+/// as-is — an explicit special request).
+fn round_up_estimate(est: i64) -> i64 {
+    for &v in &ROUND_ESTIMATES {
+        if est <= v {
+            return v;
+        }
+    }
+    est
+}
+
+impl EstimateModel {
+    /// The paper's inaccurate-estimates setting: roughly half the jobs
+    /// well estimated, the rest overestimating by up to 30×.
+    pub fn paper_mixture() -> Self {
+        EstimateModel::Mixture { well_fraction: 0.5, max_factor: 30.0 }
+    }
+
+    /// Rewrite `jobs[*].estimate` in place according to the model.
+    /// Deterministic given `seed`.
+    pub fn apply(self, jobs: &mut [Job], seed: u64) {
+        match self {
+            EstimateModel::Accurate => {
+                for j in jobs {
+                    j.estimate = j.run;
+                }
+            }
+            EstimateModel::RoundedMixture { well_fraction, max_factor } => {
+                EstimateModel::Mixture { well_fraction, max_factor }.apply(jobs, seed);
+                for j in jobs {
+                    j.estimate = round_up_estimate(j.estimate).max(j.run);
+                }
+            }
+            EstimateModel::Mixture { well_fraction, max_factor } => {
+                assert!((0.0..=1.0).contains(&well_fraction), "well_fraction out of range");
+                assert!(max_factor > 2.0, "max_factor must exceed the 2x threshold");
+                let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+                for j in jobs {
+                    let factor = if rng.gen_bool(well_fraction) {
+                        rng.gen_range(1.0..=2.0)
+                    } else {
+                        // Log-uniform over (2, max_factor].
+                        let (lo, hi) = (2.0f64.ln(), max_factor.ln());
+                        rng.gen_range(lo..hi).exp().max(2.0 + 1e-9)
+                    };
+                    // Round up so estimate strictly covers the run and the
+                    // well/badly classification matches the drawn factor.
+                    j.estimate = ((j.run as f64) * factor).ceil() as i64;
+                    j.estimate = j.estimate.max(j.run);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticConfig;
+    use crate::traces::CTC;
+
+    fn trace(n: usize) -> Vec<Job> {
+        SyntheticConfig::new(CTC, 77).with_jobs(n).generate()
+    }
+
+    #[test]
+    fn accurate_resets_estimates() {
+        let mut jobs = trace(200);
+        EstimateModel::Mixture { well_fraction: 0.3, max_factor: 10.0 }.apply(&mut jobs, 1);
+        EstimateModel::Accurate.apply(&mut jobs, 1);
+        assert!(jobs.iter().all(|j| j.estimate == j.run));
+    }
+
+    #[test]
+    fn mixture_never_underestimates() {
+        let mut jobs = trace(2_000);
+        EstimateModel::paper_mixture().apply(&mut jobs, 9);
+        assert!(jobs.iter().all(|j| j.estimate >= j.run));
+    }
+
+    #[test]
+    fn mixture_hits_well_fraction() {
+        let mut jobs = trace(10_000);
+        EstimateModel::Mixture { well_fraction: 0.5, max_factor: 30.0 }.apply(&mut jobs, 4);
+        let well = jobs.iter().filter(|j| j.well_estimated()).count() as f64;
+        let frac = well / jobs.len() as f64;
+        assert!((frac - 0.5).abs() < 0.03, "well-estimated fraction {frac}");
+        // Badly estimated jobs exist and can be badly off.
+        let max_ratio = jobs
+            .iter()
+            .map(|j| j.estimate as f64 / j.run as f64)
+            .fold(0.0f64, f64::max);
+        assert!(max_ratio > 10.0, "expect some heavy overestimates, max {max_ratio}");
+        assert!(max_ratio <= 31.0, "factor cap respected, max {max_ratio}");
+    }
+
+    #[test]
+    fn mixture_is_deterministic() {
+        let mut a = trace(500);
+        let mut b = a.clone();
+        EstimateModel::paper_mixture().apply(&mut a, 123);
+        EstimateModel::paper_mixture().apply(&mut b, 123);
+        assert_eq!(a, b);
+        let mut c = trace(500);
+        EstimateModel::paper_mixture().apply(&mut c, 124);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rounded_mixture_lands_on_menu_values() {
+        let mut jobs = trace(2_000);
+        EstimateModel::RoundedMixture { well_fraction: 0.5, max_factor: 10.0 }
+            .apply(&mut jobs, 3);
+        let menu: std::collections::HashSet<i64> = ROUND_ESTIMATES.into_iter().collect();
+        // Every estimate within the menu's range lands exactly on a menu
+        // value; larger ones (long runs × big factors) are explicit
+        // special requests and stay as-is.
+        for j in &jobs {
+            if j.estimate <= 216_000 {
+                assert!(menu.contains(&j.estimate), "estimate {} off-menu", j.estimate);
+            }
+        }
+        let on_menu = jobs.iter().filter(|j| menu.contains(&j.estimate)).count();
+        assert!(on_menu * 10 >= jobs.len() * 9, "vast majority on the menu");
+        assert!(jobs.iter().all(|j| j.estimate >= j.run));
+        // Rounding never *reduces* an estimate below the raw mixture's.
+        let mut raw = trace(2_000);
+        EstimateModel::Mixture { well_fraction: 0.5, max_factor: 10.0 }.apply(&mut raw, 3);
+        for (a, b) in jobs.iter().zip(&raw) {
+            assert!(a.estimate >= b.estimate);
+        }
+    }
+
+    #[test]
+    fn round_up_boundaries() {
+        assert_eq!(round_up_estimate(1), 900);
+        assert_eq!(round_up_estimate(900), 900);
+        assert_eq!(round_up_estimate(901), 1_800);
+        assert_eq!(round_up_estimate(86_400), 86_400);
+        assert_eq!(round_up_estimate(500_000), 500_000, "beyond the menu: kept");
+    }
+
+    #[test]
+    fn extreme_fractions() {
+        let mut jobs = trace(300);
+        EstimateModel::Mixture { well_fraction: 1.0, max_factor: 5.0 }.apply(&mut jobs, 2);
+        assert!(jobs.iter().all(|j| j.well_estimated()));
+        EstimateModel::Mixture { well_fraction: 0.0, max_factor: 5.0 }.apply(&mut jobs, 2);
+        assert!(jobs.iter().all(|j| !j.well_estimated()));
+    }
+}

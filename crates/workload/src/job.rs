@@ -1,0 +1,162 @@
+//! The rigid parallel job.
+//!
+//! Jobs in the paper's model are *rigid*: the processor count is fixed at
+//! submission and never changes. A job record carries what a supercomputer
+//! center's accounting log records about it (Section III): submission time,
+//! actual run time, the user's wall-clock estimate, requested processors —
+//! plus the synthetic memory footprint used by the suspension-overhead
+//! model of Section V-A.
+
+use sps_simcore::{Secs, SimTime};
+
+use crate::category::{Category, CoarseCategory};
+
+/// Dense job identifier: index into the trace's job vector.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct JobId(pub u32);
+
+impl JobId {
+    /// The job's index in its trace.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "J{}", self.0)
+    }
+}
+
+/// One rigid parallel job.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Job {
+    /// Identifier (equals the job's position in the trace).
+    pub id: JobId,
+    /// Submission (arrival) time.
+    pub submit: SimTime,
+    /// Actual run time, seconds. Always positive.
+    pub run: Secs,
+    /// User-estimated run time, seconds. Our models guarantee
+    /// `estimate >= run` (over-estimation only); SWF import clamps.
+    pub estimate: Secs,
+    /// Processors requested (= used; rigid jobs). Always positive.
+    pub procs: u32,
+    /// Total resident memory of the job, MiB. Drives suspension
+    /// overhead: the paper draws job memory uniformly from [100 MB, 1 GB]
+    /// and drains it to local disk at 2 MB/s per processor — the image is
+    /// distributed across the job's processors, so wide jobs drain fast.
+    pub mem_mb: u32,
+}
+
+impl Job {
+    /// A convenience constructor with the default 512 MiB/processor memory.
+    pub fn new(id: u32, submit: i64, run: Secs, estimate: Secs, procs: u32) -> Self {
+        debug_assert!(run > 0 && procs > 0 && estimate >= run);
+        Job {
+            id: JobId(id),
+            submit: SimTime::new(submit),
+            run,
+            estimate,
+            procs,
+            mem_mb: 512,
+        }
+    }
+
+    /// Processor-seconds of useful work.
+    #[inline]
+    pub fn work(&self) -> i64 {
+        self.run * self.procs as i64
+    }
+
+    /// The paper's 16-way category (Table I), by *actual* run time.
+    #[inline]
+    pub fn category(&self) -> Category {
+        Category::classify(self.run, self.procs)
+    }
+
+    /// The paper's 4-way category for load-variation studies (Table VI).
+    #[inline]
+    pub fn coarse_category(&self) -> CoarseCategory {
+        CoarseCategory::classify(self.run, self.procs)
+    }
+
+    /// Section V's split: a job is *well estimated* when the estimate is at
+    /// most twice the actual run time.
+    #[inline]
+    pub fn well_estimated(&self) -> bool {
+        self.estimate <= 2 * self.run
+    }
+}
+
+/// Total work (processor-seconds) in a trace.
+pub fn total_work(jobs: &[Job]) -> i64 {
+    jobs.iter().map(Job::work).sum()
+}
+
+/// Time span from first submission to last submission.
+pub fn submit_span(jobs: &[Job]) -> Secs {
+    match (jobs.iter().map(|j| j.submit).min(), jobs.iter().map(|j| j.submit).max()) {
+        (Some(a), Some(b)) => b - a,
+        _ => 0,
+    }
+}
+
+/// Offered load of a trace against a machine of `procs` processors:
+/// `total work / (procs × submit span)`. The denominator uses the
+/// submission span, matching how load factors are defined in Section VI.
+pub fn offered_load(jobs: &[Job], procs: u32) -> f64 {
+    let span = submit_span(jobs);
+    if span <= 0 {
+        return f64::INFINITY;
+    }
+    total_work(jobs) as f64 / (procs as f64 * span as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::category::{RuntimeClass, WidthClass};
+
+    #[test]
+    fn job_basics() {
+        let j = Job::new(7, 100, 1_000, 1_500, 8);
+        assert_eq!(j.id.index(), 7);
+        assert_eq!(j.work(), 8_000);
+        assert!(j.well_estimated());
+        assert_eq!(j.category().runtime, RuntimeClass::Short);
+        assert_eq!(j.category().width, WidthClass::Narrow);
+        assert_eq!(j.id.to_string(), "J7");
+    }
+
+    #[test]
+    fn badly_estimated_threshold_is_exclusive() {
+        let ok = Job::new(0, 0, 100, 200, 1);
+        assert!(ok.well_estimated(), "exactly 2x is still well estimated");
+        let bad = Job::new(1, 0, 100, 201, 1);
+        assert!(!bad.well_estimated());
+    }
+
+    #[test]
+    fn trace_aggregates() {
+        let jobs = vec![
+            Job::new(0, 0, 100, 100, 10),
+            Job::new(1, 500, 200, 200, 5),
+            Job::new(2, 1_000, 50, 50, 2),
+        ];
+        assert_eq!(total_work(&jobs), 100 * 10 + 200 * 5 + 50 * 2);
+        assert_eq!(submit_span(&jobs), 1_000);
+        let load = offered_load(&jobs, 21);
+        assert!((load - (2_100.0 / (21.0 * 1_000.0))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_traces() {
+        assert_eq!(total_work(&[]), 0);
+        assert_eq!(submit_span(&[]), 0);
+        assert!(offered_load(&[], 10).is_infinite());
+        let one = vec![Job::new(0, 42, 10, 10, 1)];
+        assert_eq!(submit_span(&one), 0);
+    }
+}

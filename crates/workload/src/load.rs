@@ -1,0 +1,82 @@
+//! Load variation (Section VI).
+//!
+//! "The different loads correspond to modification of the traces by
+//! dividing the arrival times of the jobs by suitable constants, keeping
+//! their run time the same as in the original trace." A load factor of 1.1
+//! compresses arrivals by 1.1×, raising the offered load by the same
+//! factor.
+
+use crate::job::Job;
+use sps_simcore::SimTime;
+
+/// Divide every arrival time by `factor`, keeping run times, estimates,
+/// widths, and memory unchanged. `factor > 1` raises the load.
+pub fn scale_load(jobs: &mut [Job], factor: f64) {
+    assert!(factor > 0.0, "load factor must be positive, got {factor}");
+    for j in jobs.iter_mut() {
+        let scaled = (j.submit.secs() as f64 / factor).round() as i64;
+        j.submit = SimTime::new(scaled);
+    }
+    // Integer rounding can perturb ordering of near-simultaneous arrivals;
+    // re-sorting keeps the trace's submit-order invariant. Ids keep their
+    // original trace positions.
+    jobs.sort_by_key(|j| (j.submit, j.id));
+}
+
+/// Non-mutating variant of [`scale_load`].
+pub fn scaled(jobs: &[Job], factor: f64) -> Vec<Job> {
+    let mut out = jobs.to_vec();
+    scale_load(&mut out, factor);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::offered_load;
+    use crate::synthetic::SyntheticConfig;
+    use crate::traces::SDSC;
+
+    #[test]
+    fn scaling_multiplies_offered_load() {
+        let jobs = SyntheticConfig::new(SDSC, 21).with_jobs(1_000).generate();
+        let before = offered_load(&jobs, SDSC.procs);
+        let after = offered_load(&scaled(&jobs, 1.3), SDSC.procs);
+        assert!((after / before - 1.3).abs() < 0.01, "ratio {}", after / before);
+    }
+
+    #[test]
+    fn runtimes_and_widths_unchanged() {
+        let jobs = SyntheticConfig::new(SDSC, 21).with_jobs(200).generate();
+        let out = scaled(&jobs, 2.0);
+        for (a, b) in jobs.iter().zip(out.iter()) {
+            assert_eq!(a.run, b.run);
+            assert_eq!(a.procs, b.procs);
+            assert_eq!(a.estimate, b.estimate);
+            assert_eq!(a.mem_mb, b.mem_mb);
+        }
+    }
+
+    #[test]
+    fn factor_one_is_identity() {
+        let jobs = SyntheticConfig::new(SDSC, 5).with_jobs(100).generate();
+        let out = scaled(&jobs, 1.0);
+        assert_eq!(jobs, out);
+    }
+
+    #[test]
+    fn output_stays_sorted() {
+        let jobs = SyntheticConfig::new(SDSC, 5).with_jobs(500).generate();
+        let out = scaled(&jobs, 1.7);
+        for w in out.windows(2) {
+            assert!(w[0].submit <= w[1].submit);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_factor_panics() {
+        let mut jobs = vec![Job::new(0, 10, 5, 5, 1)];
+        scale_load(&mut jobs, 0.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for the workload substrate: SWF round trips over
+//! arbitrary job shapes, categorization totality, estimate-model
+//! invariants, and load-scaling arithmetic.
+
+use proptest::prelude::*;
+use sps_simcore::SimTime;
+use sps_workload::{
+    load, swf, Category, CoarseCategory, EstimateModel, Job, JobId, RuntimeClass, WidthClass,
+};
+
+fn job_strategy() -> impl Strategy<Value = Job> {
+    (0i64..10_000_000, 1i64..200_000, 1.0f64..40.0, 1u32..=430, 100u32..=1024).prop_map(
+        |(submit, run, factor, procs, mem)| {
+            let estimate = ((run as f64 * factor) as i64).max(run);
+            Job {
+                id: JobId(0),
+                submit: SimTime::new(submit),
+                run,
+                estimate,
+                procs,
+                mem_mb: mem,
+            }
+        },
+    )
+}
+
+fn jobs_strategy() -> impl Strategy<Value = Vec<Job>> {
+    prop::collection::vec(job_strategy(), 1..60).prop_map(|mut jobs| {
+        jobs.sort_by_key(|j| j.submit);
+        for (i, j) in jobs.iter_mut().enumerate() {
+            j.id = JobId(i as u32);
+        }
+        jobs
+    })
+}
+
+proptest! {
+    /// write → parse reproduces every field the simulator consumes.
+    #[test]
+    fn swf_roundtrip_preserves_jobs(jobs in jobs_strategy()) {
+        let text = swf::write(&jobs);
+        let parsed = swf::parse(&text).expect("own output must parse");
+        prop_assert_eq!(parsed.skipped, 0);
+        prop_assert_eq!(parsed.jobs.len(), jobs.len());
+        for (a, b) in jobs.iter().zip(&parsed.jobs) {
+            prop_assert_eq!(a.submit, b.submit);
+            prop_assert_eq!(a.run, b.run);
+            prop_assert_eq!(a.estimate, b.estimate);
+            prop_assert_eq!(a.procs, b.procs);
+            // Memory survives within the parser's clamp band.
+            prop_assert_eq!(a.mem_mb.clamp(100, 1024), b.mem_mb);
+        }
+    }
+
+    /// Every (run, procs) pair classifies into exactly one fine and one
+    /// coarse category, and the two grids are consistent.
+    #[test]
+    fn categorization_total_and_consistent(run in 1i64..1_000_000, procs in 1u32..2_000) {
+        let cat = Category::classify(run, procs);
+        let coarse = CoarseCategory::classify(run, procs);
+        // Fine → coarse projection: VS/S → Short iff run ≤ 1 h.
+        let fine_short = matches!(cat.runtime, RuntimeClass::VeryShort | RuntimeClass::Short);
+        let coarse_short = matches!(
+            coarse,
+            CoarseCategory::ShortNarrow | CoarseCategory::ShortWide
+        );
+        prop_assert_eq!(fine_short, coarse_short);
+        let fine_narrow =
+            matches!(cat.width, WidthClass::Sequential | WidthClass::Narrow);
+        let coarse_narrow = matches!(
+            coarse,
+            CoarseCategory::ShortNarrow | CoarseCategory::LongNarrow
+        );
+        prop_assert_eq!(fine_narrow, coarse_narrow);
+        // Round trip through the dense index.
+        prop_assert_eq!(Category::from_index(cat.index()), cat);
+    }
+
+    /// Estimate models never underestimate and are idempotent in their
+    /// guarantees (estimate ≥ run survives re-application).
+    #[test]
+    fn estimate_models_never_underestimate(
+        mut jobs in jobs_strategy(),
+        well in 0.0f64..=1.0,
+        seed in 0u64..1_000,
+    ) {
+        for model in [
+            EstimateModel::Accurate,
+            EstimateModel::Mixture { well_fraction: well, max_factor: 30.0 },
+            EstimateModel::RoundedMixture { well_fraction: well, max_factor: 30.0 },
+        ] {
+            model.apply(&mut jobs, seed);
+            for j in &jobs {
+                prop_assert!(j.estimate >= j.run, "{model:?} underestimated");
+            }
+        }
+    }
+
+    /// Load scaling divides inter-arrival gaps and preserves everything
+    /// else; factor 1 is identity.
+    #[test]
+    fn load_scaling_properties(jobs in jobs_strategy(), factor in 1.0f64..4.0) {
+        let scaled = load::scaled(&jobs, factor);
+        prop_assert_eq!(scaled.len(), jobs.len());
+        let span = |js: &[Job]| {
+            js.iter().map(|j| j.submit.secs()).max().unwrap()
+                - js.iter().map(|j| j.submit.secs()).min().unwrap()
+        };
+        let (s0, s1) = (span(&jobs), span(&scaled));
+        // Rounding gives ±1s per job; allow slack.
+        let expect = (s0 as f64 / factor).round() as i64;
+        prop_assert!((s1 - expect).abs() <= 2, "span {s1} vs expected {expect}");
+        let identity = load::scaled(&jobs, 1.0);
+        prop_assert_eq!(identity, jobs);
+    }
+}

@@ -1,0 +1,55 @@
+//! Quickstart: simulate a small workload under non-preemptive EASY
+//! backfilling (the paper's NS baseline) and under Selective Suspension,
+//! and compare what happens to short jobs.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use selective_preemption::core::experiment::{ExperimentConfig, SchedulerKind};
+use selective_preemption::workload::traces::SDSC;
+use selective_preemption::workload::{Category, RuntimeClass, WidthClass};
+
+fn main() {
+    // A 1000-job synthetic trace calibrated to the SDSC SP2's published
+    // job mix. The same seed gives both schedulers the same jobs.
+    let ns = ExperimentConfig::new(SDSC, SchedulerKind::Easy).with_jobs(1_000).run();
+    let ss = ExperimentConfig::new(SDSC, SchedulerKind::Ss { sf: 2.0 }).with_jobs(1_000).run();
+
+    println!("machine: {} processors ({})", SDSC.procs, SDSC.name);
+    println!("jobs:    {}\n", ns.report.overall.count);
+
+    println!(
+        "{:<22} {:>14} {:>14}",
+        "metric",
+        ns.sim.policy.as_str(),
+        ss.sim.policy.as_str()
+    );
+    let row = |name: &str, a: f64, b: f64| {
+        println!("{name:<22} {a:>14.2} {b:>14.2}");
+    };
+    row("overall slowdown", ns.report.overall.mean_slowdown, ss.report.overall.mean_slowdown);
+    row(
+        "overall turnaround (s)",
+        ns.report.overall.mean_turnaround,
+        ss.report.overall.mean_turnaround,
+    );
+
+    // The paper's headline category: Very Short & Very Wide jobs suffer
+    // most under pure space sharing and gain most from preemption.
+    let vs_vw = Category { runtime: RuntimeClass::VeryShort, width: WidthClass::VeryWide };
+    row(
+        "VS-VW slowdown",
+        ns.report.category(vs_vw).mean_slowdown,
+        ss.report.category(vs_vw).mean_slowdown,
+    );
+    // The price: very long jobs are suspended occasionally.
+    let vl_n = Category { runtime: RuntimeClass::VeryLong, width: WidthClass::Narrow };
+    row(
+        "VL-N slowdown",
+        ns.report.category(vl_n).mean_slowdown,
+        ss.report.category(vl_n).mean_slowdown,
+    );
+    row("utilization (%)", ns.utilization_pct(), ss.utilization_pct());
+    println!("\nselective suspension performed {} preemptions", ss.sim.preemptions);
+}

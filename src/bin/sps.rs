@@ -1,0 +1,232 @@
+//! `sps` — command-line front end to the selective-preemption simulator.
+//!
+//! ```text
+//! sps run   --system SDSC --sched tss:2 [--jobs 5000] [--load 1.0]
+//!           [--seed 42] [--estimates accurate|mixture]
+//!           [--overhead none|paper] [--diurnal 0.0] [--worst]
+//! sps replay --swf LOG.swf --procs 430 --sched ns [--sched tss:2 ...]
+//! sps schedulers
+//! ```
+//!
+//! `run` simulates a calibrated synthetic trace and prints the
+//! per-category report; `replay` does the same for a Standard Workload
+//! Format log. Multiple `--sched` flags compare schemes on the same
+//! trace. `--csv PREFIX` additionally writes one per-job CSV per scheme
+//! (`PREFIX.<scheme>.csv`) for external analysis.
+
+use selective_preemption::core::experiment::SchedulerKind;
+use selective_preemption::core::overhead::OverheadModel;
+use selective_preemption::core::sim::Simulator;
+use selective_preemption::metrics::table::render_comparison;
+use selective_preemption::metrics::CategoryReport;
+use selective_preemption::workload::{swf, EstimateModel, Job, SystemPreset, SyntheticConfig};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!();
+    usage();
+}
+
+fn usage() -> ! {
+    eprintln!("usage:");
+    eprintln!("  sps run    --system <CTC|SDSC|KTH> --sched <SPEC> [--sched <SPEC>...]");
+    eprintln!("             [--jobs N] [--load F] [--seed N] [--estimates accurate|mixture]");
+    eprintln!("             [--overhead none|paper] [--diurnal A] [--worst] [--csv PREFIX]");
+    eprintln!("  sps replay --swf FILE --procs N --sched <SPEC> [--sched <SPEC>...] [--worst]");
+    eprintln!("  sps schedulers");
+    eprintln!();
+    eprintln!("scheduler SPEC: fcfs | cons | ns | is | gang | ss:<sf> | tss:<sf>");
+    std::process::exit(2);
+}
+
+fn parse_sched(spec: &str) -> SchedulerKind {
+    let lower = spec.to_ascii_lowercase();
+    match lower.as_str() {
+        "fcfs" => SchedulerKind::Fcfs,
+        "cons" | "conservative" => SchedulerKind::Conservative,
+        "ns" | "easy" => SchedulerKind::Easy,
+        "is" => SchedulerKind::ImmediateService,
+        "gang" => SchedulerKind::Gang,
+        _ => {
+            if let Some(sf) = lower.strip_prefix("ss:") {
+                SchedulerKind::Ss { sf: parse_sf(sf) }
+            } else if let Some(sf) = lower.strip_prefix("tss:") {
+                SchedulerKind::Tss { sf: parse_sf(sf) }
+            } else {
+                fail(&format!("unknown scheduler {spec:?}"))
+            }
+        }
+    }
+}
+
+fn parse_sf(text: &str) -> f64 {
+    let sf: f64 = text.parse().unwrap_or_else(|_| fail("bad suspension factor"));
+    if !(1.0..=100.0).contains(&sf) {
+        fail(&format!("suspension factor must be in [1, 100], got {sf}"));
+    }
+    sf
+}
+
+#[derive(Default)]
+struct Args {
+    system: Option<SystemPreset>,
+    scheds: Vec<SchedulerKind>,
+    jobs: Option<usize>,
+    load: f64,
+    seed: u64,
+    estimates: EstimateModel,
+    overhead: OverheadModel,
+    diurnal: f64,
+    worst: bool,
+    swf: Option<String>,
+    procs: Option<u32>,
+    csv: Option<String>,
+}
+
+fn parse_args(mut argv: std::vec::IntoIter<String>) -> Args {
+    let mut args = Args {
+        load: 1.0,
+        seed: 42,
+        estimates: EstimateModel::Accurate,
+        overhead: OverheadModel::None,
+        ..Default::default()
+    };
+    while let Some(flag) = argv.next() {
+        let mut value = || argv.next().unwrap_or_else(|| fail(&format!("{flag} needs a value")));
+        match flag.as_str() {
+            "--system" => {
+                let name = value();
+                args.system =
+                    Some(SystemPreset::by_name(&name).unwrap_or_else(|| {
+                        fail(&format!("unknown system {name:?} (CTC, SDSC, KTH)"))
+                    }));
+            }
+            "--sched" => args.scheds.push(parse_sched(&value())),
+            "--jobs" => args.jobs = Some(value().parse().unwrap_or_else(|_| fail("bad --jobs"))),
+            "--load" => args.load = value().parse().unwrap_or_else(|_| fail("bad --load")),
+            "--seed" => args.seed = value().parse().unwrap_or_else(|_| fail("bad --seed")),
+            "--estimates" => {
+                args.estimates = match value().as_str() {
+                    "accurate" => EstimateModel::Accurate,
+                    "mixture" => EstimateModel::paper_mixture(),
+                    other => fail(&format!("unknown estimate model {other:?}")),
+                }
+            }
+            "--overhead" => {
+                args.overhead = match value().as_str() {
+                    "none" => OverheadModel::None,
+                    "paper" => OverheadModel::paper(),
+                    other => fail(&format!("unknown overhead model {other:?}")),
+                }
+            }
+            "--diurnal" => args.diurnal = value().parse().unwrap_or_else(|_| fail("bad --diurnal")),
+            "--worst" => args.worst = true,
+            "--swf" => args.swf = Some(value()),
+            "--csv" => args.csv = Some(value()),
+            "--procs" => args.procs = Some(value().parse().unwrap_or_else(|_| fail("bad --procs"))),
+            other => fail(&format!("unknown flag {other:?}")),
+        }
+    }
+    args
+}
+
+fn report(jobs: Vec<Job>, procs: u32, args: &Args) {
+    if args.scheds.is_empty() {
+        fail("at least one --sched required");
+    }
+    let mut grids: Vec<(String, [f64; 16])> = Vec::new();
+    for &kind in &args.scheds {
+        let sim = Simulator::with_overhead(jobs.clone(), procs, kind.build(), args.overhead);
+        let res = sim.run();
+        let rep = CategoryReport::from_outcomes(&res.outcomes);
+        println!(
+            "{:<14} overall slowdown {:>7.2}  mean turnaround {:>8.0} s  utilization {:>5.1}%  preemptions {:>6}",
+            kind.label(),
+            rep.overall.mean_slowdown,
+            rep.overall.mean_turnaround,
+            res.utilization * 100.0,
+            res.preemptions,
+        );
+        let grid =
+            if args.worst { rep.worst_slowdown_grid() } else { rep.mean_slowdown_grid() };
+        grids.push((kind.label(), grid));
+        if let Some(prefix) = &args.csv {
+            let path = format!(
+                "{prefix}.{}.csv",
+                kind.label().to_ascii_lowercase().replace([' ', '='], "-")
+            );
+            let csv = selective_preemption::metrics::export::outcomes_csv(&res.outcomes);
+            match std::fs::write(&path, csv) {
+                Ok(()) => eprintln!("wrote {path}"),
+                Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+            }
+        }
+    }
+    let named: Vec<(&str, [f64; 16])> = grids.iter().map(|(n, g)| (n.as_str(), *g)).collect();
+    let title =
+        if args.worst { "worst-case slowdown per category" } else { "average slowdown per category" };
+    println!("\n{}", render_comparison(title, &named));
+}
+
+fn main() {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        usage();
+    }
+    let command = argv.remove(0);
+    match command.as_str() {
+        "schedulers" => {
+            println!("fcfs        first-come-first-served, no backfilling");
+            println!("cons        conservative backfilling (reservation per job)");
+            println!("ns          EASY / aggressive backfilling (paper's No-Suspension)");
+            println!("is          Immediate Service (Chiang & Vernon)");
+            println!("gang        time-sliced gang scheduling (10-min quantum)");
+            println!("ss:<sf>     Selective Suspension at suspension factor <sf>");
+            println!("tss:<sf>    Tunable Selective Suspension at factor <sf>");
+        }
+        "run" => {
+            let args = parse_args(argv.into_iter());
+            let system = args.system.unwrap_or_else(|| fail("--system required"));
+            let n_jobs = args.jobs.unwrap_or(system.default_jobs);
+            if n_jobs == 0 {
+                fail("--jobs must be at least 1");
+            }
+            if args.load <= 0.0 {
+                fail("--load must be positive");
+            }
+            let mut synth = SyntheticConfig::new(system, args.seed)
+                .with_jobs(n_jobs)
+                .with_load_factor(args.load);
+            if args.diurnal > 0.0 {
+                synth = synth.with_diurnal(args.diurnal);
+            }
+            let mut jobs = synth.generate();
+            args.estimates.apply(&mut jobs, args.seed.wrapping_add(1));
+            println!(
+                "{}: {} jobs, load factor {:.2}, seed {}\n",
+                system.name,
+                jobs.len(),
+                args.load,
+                args.seed
+            );
+            report(jobs, system.procs, &args);
+        }
+        "replay" => {
+            let args = parse_args(argv.into_iter());
+            let path = args.swf.clone().unwrap_or_else(|| fail("--swf required"));
+            let procs = args.procs.unwrap_or_else(|| fail("--procs required"));
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+            let trace = swf::parse(&text).unwrap_or_else(|e| fail(&e.to_string()));
+            let jobs: Vec<Job> =
+                trace.jobs.into_iter().filter(|j| j.procs <= procs).collect();
+            println!(
+                "{path}: {} usable jobs ({} skipped), machine {procs} procs\n",
+                jobs.len(),
+                trace.skipped
+            );
+            report(jobs, procs, &args);
+        }
+        _ => usage(),
+    }
+}

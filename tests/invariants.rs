@@ -1,0 +1,202 @@
+//! Cross-crate invariants: every scheduler, on every kind of trace, must
+//! preserve the basic physics of the simulation — all jobs complete, no
+//! job finishes before its work is done, processors are never
+//! oversubscribed (enforced by panics inside `sps-cluster`), and runs are
+//! bit-for-bit deterministic.
+
+use selective_preemption::prelude::*;
+use sps_workload::traces::{CTC, KTH, SDSC};
+
+const ALL_SCHEDULERS: [SchedulerKind; 7] = [
+    SchedulerKind::Fcfs,
+    SchedulerKind::Conservative,
+    SchedulerKind::Easy,
+    SchedulerKind::ImmediateService,
+    SchedulerKind::Gang,
+    SchedulerKind::Ss { sf: 2.0 },
+    SchedulerKind::Tss { sf: 2.0 },
+];
+
+fn run(system: SystemPreset, kind: SchedulerKind, jobs: usize, seed: u64) -> RunResult {
+    ExperimentConfig::new(system, kind).with_jobs(jobs).with_seed(seed).run()
+}
+
+#[test]
+fn every_scheduler_completes_every_job() {
+    for kind in ALL_SCHEDULERS {
+        let r = run(SDSC, kind, 400, 11);
+        assert_eq!(r.report.overall.count, 400, "{:?} lost jobs", kind);
+        for o in &r.sim.outcomes {
+            assert!(o.completion >= o.submit + o.run, "{:?}: job {} finished too early", kind, o.id);
+            assert!(o.first_start >= o.submit);
+            assert!(o.wait() >= 0);
+            assert!(o.slowdown() >= 1.0);
+        }
+    }
+}
+
+#[test]
+fn nonpreemptive_schedulers_never_suspend() {
+    for kind in [SchedulerKind::Fcfs, SchedulerKind::Conservative, SchedulerKind::Easy] {
+        let r = run(SDSC, kind, 400, 3);
+        assert_eq!(r.sim.preemptions, 0, "{kind:?}");
+        assert!(r.sim.outcomes.iter().all(|o| o.suspensions == 0));
+        assert_eq!(r.sim.dropped_actions, 0, "{kind:?}");
+    }
+}
+
+#[test]
+fn preemptive_schedulers_drop_nothing_without_overhead() {
+    for kind in [
+        SchedulerKind::ImmediateService,
+        SchedulerKind::Ss { sf: 1.5 },
+        SchedulerKind::Ss { sf: 2.0 },
+        SchedulerKind::Tss { sf: 2.0 },
+    ] {
+        let r = run(SDSC, kind, 400, 5);
+        assert_eq!(
+            r.sim.dropped_actions, 0,
+            "{kind:?}: planning mirror must match execution under zero overhead"
+        );
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    for kind in ALL_SCHEDULERS {
+        let a = run(KTH, kind, 300, 77);
+        let b = run(KTH, kind, 300, 77);
+        let fingerprint = |r: &RunResult| {
+            r.sim
+                .outcomes
+                .iter()
+                .map(|o| (o.id, o.first_start, o.completion, o.suspensions))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(fingerprint(&a), fingerprint(&b), "{kind:?} not deterministic");
+    }
+}
+
+#[test]
+fn work_conservation_across_schedulers() {
+    // The same trace under every scheduler executes exactly the same
+    // processor-seconds of work.
+    let works: Vec<i64> = ALL_SCHEDULERS
+        .iter()
+        .map(|&kind| run(CTC, kind, 300, 9).sim.outcomes.iter().map(|o| o.work()).sum())
+        .collect();
+    for w in &works {
+        assert_eq!(*w, works[0]);
+    }
+}
+
+#[test]
+fn utilization_is_a_fraction_and_makespan_sane() {
+    for kind in ALL_SCHEDULERS {
+        let r = run(SDSC, kind, 400, 13);
+        assert!(r.sim.utilization > 0.0 && r.sim.utilization <= 1.0, "{kind:?}");
+        let total_work: i64 = r.sim.outcomes.iter().map(|o| o.work()).sum();
+        let lower_bound = total_work / SDSC.procs as i64;
+        assert!(
+            r.sim.makespan >= lower_bound,
+            "{kind:?}: makespan {} below the work bound {}",
+            r.sim.makespan,
+            lower_bound
+        );
+    }
+}
+
+#[test]
+fn overhead_never_decreases_turnaround() {
+    // Per-trace totals: adding suspension overhead can only slow jobs
+    // down on aggregate for the preemptive schedulers.
+    for kind in [SchedulerKind::Tss { sf: 2.0 }, SchedulerKind::ImmediateService] {
+        let base = ExperimentConfig::new(SDSC, kind).with_jobs(400).with_seed(21).run();
+        let with = ExperimentConfig::new(SDSC, kind)
+            .with_jobs(400)
+            .with_seed(21)
+            .with_overhead(OverheadModel::paper())
+            .run();
+        for o in &with.sim.outcomes {
+            assert!(o.overhead == 0 || o.suspensions > 0);
+            // Overhead is charged twice per suspension cycle at most.
+            let per_transition = 1_024 / 2 + 1; // worst case 1 GiB at 2 MB/s
+            assert!(o.overhead <= 2 * o.suspensions as i64 * per_transition);
+        }
+        // Aggregate slowdown with overhead should not be better by more
+        // than noise.
+        assert!(
+            with.report.overall.mean_turnaround >= base.report.overall.mean_turnaround * 0.8,
+            "{kind:?}: overhead made things dramatically faster?"
+        );
+    }
+}
+
+#[test]
+fn suspended_jobs_resume_on_their_original_processors() {
+    // Indirect check: under heavy preemption the simulator's
+    // allocate_exact path would panic if re-entry ever got the wrong
+    // processors; a high-churn run exercising thousands of suspensions
+    // acts as the stress test.
+    let r = ExperimentConfig::new(SDSC, SchedulerKind::Ss { sf: 1.5 })
+        .with_jobs(1_500)
+        .with_seed(31)
+        .with_load_factor(1.5)
+        .run();
+    assert!(r.sim.preemptions > 100, "stress test needs real churn");
+    assert_eq!(r.report.overall.count, 1_500);
+}
+
+#[test]
+fn migration_preserves_all_invariants() {
+    use selective_preemption::core::sched::ss::{SelectiveSuspension, SsConfig};
+    let jobs = ExperimentConfig::new(SDSC, SchedulerKind::Easy)
+        .with_jobs(800)
+        .with_seed(17)
+        .with_load_factor(1.4)
+        .trace();
+    let mut cfg = SsConfig::ss(1.5);
+    cfg.migration = true;
+    let res =
+        Simulator::new(jobs.clone(), SDSC.procs, Box::new(SelectiveSuspension::new(cfg))).run();
+    assert_eq!(res.outcomes.len(), jobs.len());
+    assert!(res.preemptions > 0, "migration variant still preempts");
+    for o in &res.outcomes {
+        assert!(o.completion - o.submit >= o.run);
+    }
+    // Work conservation against the local variant on the same trace.
+    let local =
+        Simulator::new(jobs, SDSC.procs, Box::new(SelectiveSuspension::ss(1.5))).run();
+    let work = |r: &SimResult| r.outcomes.iter().map(|o| o.work()).sum::<i64>();
+    assert_eq!(work(&res), work(&local));
+}
+
+#[test]
+fn gang_timeslices_conflicting_jobs() {
+    let r = run(SDSC, SchedulerKind::Gang, 400, 23);
+    assert_eq!(r.report.overall.count, 400);
+    // Gang context-switches far more than demand-driven preemption on the
+    // same trace.
+    let ss = run(SDSC, SchedulerKind::Ss { sf: 2.0 }, 400, 23);
+    assert!(
+        r.sim.preemptions > ss.sim.preemptions,
+        "gang {} vs SS {}",
+        r.sim.preemptions,
+        ss.sim.preemptions
+    );
+}
+
+#[test]
+fn load_scaling_compresses_schedule() {
+    let base = ExperimentConfig::new(CTC, SchedulerKind::Easy).with_jobs(500).with_seed(2).run();
+    let loaded = ExperimentConfig::new(CTC, SchedulerKind::Easy)
+        .with_jobs(500)
+        .with_seed(2)
+        .with_load_factor(1.6)
+        .run();
+    assert!(loaded.sim.utilization > base.sim.utilization, "higher load, higher utilization");
+    assert!(
+        loaded.report.overall.mean_slowdown >= base.report.overall.mean_slowdown,
+        "higher load cannot improve slowdowns"
+    );
+}
