@@ -2,51 +2,46 @@
 //! profiles, anchor searches, and reservation chains — executed once per
 //! scheduling decision by EASY and conservative backfilling.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sps_bench::Harness;
 use sps_cluster::Profile;
 use sps_simcore::SimTime;
 
 /// A profile shaped like a busy 430-proc machine: 40 running jobs with
 /// staggered estimated releases.
 fn busy_profile() -> Profile {
-    let releases: Vec<(SimTime, u32)> =
-        (0..40).map(|i| (SimTime::new(600 + i * 900), 8 + (i % 16) as u32)).collect();
+    let releases: Vec<(SimTime, u32)> = (0..40)
+        .map(|i| (SimTime::new(600 + i * 900), 8 + (i % 16) as u32))
+        .collect();
     Profile::new(SimTime::new(0), 430, 14, &releases)
 }
 
-fn bench_profile_build(c: &mut Criterion) {
-    let releases: Vec<(SimTime, u32)> =
-        (0..40).map(|i| (SimTime::new(600 + i * 900), 8 + (i % 16) as u32)).collect();
-    c.bench_function("profile_build_40_jobs", |b| {
-        b.iter(|| std::hint::black_box(Profile::new(SimTime::new(0), 430, 14, &releases)))
-    });
-}
+fn main() {
+    let h = Harness::new("backfill");
 
-fn bench_anchor_search(c: &mut Criterion) {
+    let releases: Vec<(SimTime, u32)> = (0..40)
+        .map(|i| (SimTime::new(600 + i * 900), 8 + (i % 16) as u32))
+        .collect();
+    h.bench("profile_build_40_jobs", || {
+        Profile::new(SimTime::new(0), 430, 14, &releases)
+    });
+
     let p = busy_profile();
-    c.bench_function("anchor_narrow_short", |b| {
-        b.iter(|| std::hint::black_box(p.find_anchor(4, 600, SimTime::new(0))))
+    h.bench("anchor_narrow_short", || {
+        p.find_anchor(4, 600, SimTime::new(0))
     });
-    c.bench_function("anchor_wide_long", |b| {
-        b.iter(|| std::hint::black_box(p.find_anchor(336, 28_800, SimTime::new(0))))
+    h.bench("anchor_wide_long", || {
+        p.find_anchor(336, 28_800, SimTime::new(0))
     });
-}
 
-fn bench_reservation_chain(c: &mut Criterion) {
     // Conservative backfilling anchors every queued job in turn: chain 30
     // reservations into one profile.
-    c.bench_function("conservative_chain_30", |b| {
-        b.iter(|| {
-            let mut p = busy_profile();
-            for i in 0..30u32 {
-                let procs = 1 + (i * 7) % 64;
-                let dur = 300 + (i as i64 * 1_717) % 20_000;
-                let r = p.reserve_earliest(procs, dur, SimTime::new(0));
-                std::hint::black_box(r);
-            }
-        })
+    h.bench("conservative_chain_30", || {
+        let mut p = busy_profile();
+        for i in 0..30u32 {
+            let procs = 1 + (i * 7) % 64;
+            let dur = 300 + (i as i64 * 1_717) % 20_000;
+            let r = p.reserve_earliest(procs, dur, SimTime::new(0));
+            std::hint::black_box(r);
+        }
     });
 }
-
-criterion_group!(benches, bench_profile_build, bench_anchor_search, bench_reservation_chain);
-criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! structure of victim selection and allocation (hundreds of operations
 //! per scheduling decision).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sps_bench::Harness;
 use sps_cluster::ProcSet;
 
 const UNIVERSE: u32 = 430;
@@ -13,33 +13,19 @@ fn sets() -> (ProcSet, ProcSet) {
     (a, b)
 }
 
-fn bench_algebra(c: &mut Criterion) {
+fn main() {
+    let h = Harness::new("procset");
+
     let (a, b) = sets();
-    c.bench_function("procset_union", |bench| {
-        bench.iter(|| std::hint::black_box(a.union(&b)).count())
-    });
-    c.bench_function("procset_is_subset", |bench| {
-        bench.iter(|| std::hint::black_box(a.is_subset(&b)))
-    });
-    c.bench_function("procset_overlaps", |bench| {
-        bench.iter(|| std::hint::black_box(a.overlaps(&b)))
-    });
-    c.bench_function("procset_count", |bench| bench.iter(|| std::hint::black_box(a.count())));
-}
+    h.bench("procset_union", || a.union(&b).count());
+    h.bench("procset_is_subset", || a.is_subset(&b));
+    h.bench("procset_overlaps", || a.overlaps(&b));
+    h.bench("procset_count", || a.count());
 
-fn bench_allocation(c: &mut Criterion) {
     let free = ProcSet::full(UNIVERSE);
-    c.bench_function("procset_take_lowest_32", |bench| {
-        bench.iter(|| std::hint::black_box(free.take_lowest(32)))
-    });
-    c.bench_function("procset_take_lowest_336", |bench| {
-        bench.iter(|| std::hint::black_box(free.take_lowest(336)))
-    });
-    let (a, _) = sets();
-    c.bench_function("procset_iter_collect", |bench| {
-        bench.iter(|| a.iter().collect::<Vec<u32>>().len())
+    h.bench("procset_take_lowest_32", || free.take_lowest(32));
+    h.bench("procset_take_lowest_336", || free.take_lowest(336));
+    h.bench("procset_iter_collect", || {
+        a.iter().collect::<Vec<u32>>().len()
     });
 }
-
-criterion_group!(benches, bench_algebra, bench_allocation);
-criterion_main!(benches);

@@ -3,56 +3,39 @@
 //! so doubling the trace should land well under 4× the wall time at these
 //! sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sps_bench::Harness;
 use sps_core::experiment::SchedulerKind;
 use sps_core::sim::Simulator;
 use sps_workload::traces::SDSC;
 use sps_workload::SyntheticConfig;
 
-fn bench_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("trace_length_scaling");
-    group.sample_size(10);
+fn main() {
+    let h = Harness::new("sched_scaling");
+
     for &n in &[500usize, 2_000, 8_000] {
         let jobs = SyntheticConfig::new(SDSC, 7).with_jobs(n).generate();
-        group.throughput(Throughput::Elements(n as u64));
         for kind in [SchedulerKind::Easy, SchedulerKind::Tss { sf: 2.0 }] {
-            group.bench_with_input(
-                BenchmarkId::new(kind.label(), n),
-                &jobs,
-                |b, jobs| {
-                    b.iter(|| {
-                        let res =
-                            Simulator::new(jobs.clone(), SDSC.procs, kind.build()).run();
-                        std::hint::black_box(res.makespan)
-                    })
-                },
-            );
+            h.bench(&format!("trace_length_scaling/{kind}/{n}"), || {
+                let res = Simulator::new(jobs.clone(), SDSC.procs, kind.build()).run();
+                res.makespan
+            });
         }
     }
-    group.finish();
-}
 
-fn bench_load_levels(c: &mut Criterion) {
     // Higher load = longer queues = more expensive decisions.
-    let mut group = c.benchmark_group("load_level_cost");
-    group.sample_size(10);
     for &lf in &[1.0f64, 1.5, 2.0] {
-        let jobs =
-            SyntheticConfig::new(SDSC, 7).with_jobs(2_000).with_load_factor(lf).generate();
-        group.bench_with_input(BenchmarkId::from_parameter(lf), &jobs, |b, jobs| {
-            b.iter(|| {
-                let res = Simulator::new(
-                    jobs.clone(),
-                    SDSC.procs,
-                    SchedulerKind::Tss { sf: 2.0 }.build(),
-                )
-                .run();
-                std::hint::black_box(res.preemptions)
-            })
+        let jobs = SyntheticConfig::new(SDSC, 7)
+            .with_jobs(2_000)
+            .with_load_factor(lf)
+            .generate();
+        h.bench(&format!("load_level_cost/{lf}"), || {
+            let res = Simulator::new(
+                jobs.clone(),
+                SDSC.procs,
+                SchedulerKind::Tss { sf: 2.0 }.build(),
+            )
+            .run();
+            res.preemptions
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_scaling, bench_load_levels);
-criterion_main!(benches);

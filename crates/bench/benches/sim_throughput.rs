@@ -1,11 +1,14 @@
 //! Simulator throughput: wall time to schedule a full CTC-scale trace
 //! under each policy. This is the "can you actually use this simulator"
 //! benchmark — a month of machine time should simulate in well under a
-//! second.
+//! second. Also times the same run with a `JsonlSink` writing to a sink
+//! buffer, to bound the tracing overhead (the `NullSink` default must be
+//! free).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sps_bench::Harness;
 use sps_core::experiment::SchedulerKind;
 use sps_core::sim::Simulator;
+use sps_trace::{JsonlSink, NullSink};
 use sps_workload::traces::{CTC, SDSC};
 use sps_workload::{Job, SyntheticConfig};
 
@@ -28,38 +31,41 @@ fn policies() -> Vec<SchedulerKind> {
     ]
 }
 
-fn bench_policies(c: &mut Criterion) {
+fn main() {
+    let h = Harness::new("sim_throughput");
+
     let jobs = trace(2_000);
-    let mut group = c.benchmark_group("ctc_2000_jobs");
-    group.sample_size(10);
     for kind in policies() {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, kind| {
-            b.iter(|| {
-                let res = Simulator::new(jobs.clone(), CTC.procs, kind.build()).run();
-                std::hint::black_box(res.outcomes.len())
-            })
+        h.bench(&format!("ctc_2000_jobs/{kind}"), || {
+            let res = Simulator::new(jobs.clone(), CTC.procs, kind.build()).run();
+            res.outcomes.len()
         });
     }
-    group.finish();
-}
 
-fn bench_small_machine(c: &mut Criterion) {
     // The 128-processor machine exercises the preemption paths far more
     // (its synthetic mix suspends an order of magnitude more often).
     let jobs = sdsc_trace(2_000);
-    let mut group = c.benchmark_group("sdsc_2000_jobs");
-    group.sample_size(10);
-    for kind in [SchedulerKind::Easy, SchedulerKind::Ss { sf: 1.5 }, SchedulerKind::Tss { sf: 2.0 }]
-    {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, kind| {
-            b.iter(|| {
-                let res = Simulator::new(jobs.clone(), SDSC.procs, kind.build()).run();
-                std::hint::black_box(res.preemptions)
-            })
+    for kind in [
+        SchedulerKind::Easy,
+        SchedulerKind::Ss { sf: 1.5 },
+        SchedulerKind::Tss { sf: 2.0 },
+    ] {
+        h.bench(&format!("sdsc_2000_jobs/{kind}"), || {
+            let res = Simulator::new(jobs.clone(), SDSC.procs, kind.build()).run();
+            res.preemptions
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_policies, bench_small_machine);
-criterion_main!(benches);
+    // Tracing overhead: NullSink (statically inlined away) vs JsonlSink
+    // writing into an in-process buffer.
+    let kind = SchedulerKind::Ss { sf: 2.0 };
+    h.bench("sdsc_2000_jobs/ss2_nullsink", || {
+        let res = Simulator::with_sink(jobs.clone(), SDSC.procs, kind.build(), NullSink).run();
+        res.preemptions
+    });
+    h.bench("sdsc_2000_jobs/ss2_jsonlsink_buffer", || {
+        let sink = JsonlSink::new(Vec::<u8>::new());
+        let res = Simulator::with_sink(jobs.clone(), SDSC.procs, kind.build(), sink).run();
+        res.preemptions
+    });
+}

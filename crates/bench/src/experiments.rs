@@ -36,7 +36,7 @@ fn key_of(cfg: &ExperimentConfig) -> String {
         cfg.load_factor,
         cfg.estimates,
         cfg.overhead,
-        cfg.scheduler.label(),
+        cfg.scheduler,
         cfg.tick_period
     )
 }
@@ -94,7 +94,10 @@ fn tss_lineup() -> Vec<SchedulerKind> {
 }
 
 fn base_configs(system: SystemPreset, schemes: &[SchedulerKind]) -> Vec<ExperimentConfig> {
-    schemes.iter().map(|&s| ExperimentConfig::new(system, s)).collect()
+    schemes
+        .iter()
+        .map(|&s| ExperimentConfig::new(system, s))
+        .collect()
 }
 
 fn inaccurate(cfg: ExperimentConfig) -> ExperimentConfig {
@@ -147,8 +150,10 @@ fn comparison_figure(
     slice: Slice,
     map: impl Fn(ExperimentConfig) -> ExperimentConfig,
 ) -> String {
-    let configs: Vec<ExperimentConfig> =
-        base_configs(system, &schemes).into_iter().map(&map).collect();
+    let configs: Vec<ExperimentConfig> = base_configs(system, &schemes)
+        .into_iter()
+        .map(&map)
+        .collect();
     let results = run_cached(configs);
     let labels: Vec<String> = results.iter().map(|r| r.config.scheduler.label()).collect();
     let schemes_data: Vec<(&str, [f64; 16])> = results
@@ -180,7 +185,10 @@ fn comparison_figure(
 /// Table I: the 16-category criteria.
 pub fn table1() -> String {
     let mut out = String::from("Table I: job categorization criteria\n");
-    out.push_str(&format!("{:<14}{:>12}{:>12}{:>12}{:>12}\n", "", "1 Proc", "2-8 Procs", "9-32 Procs", "> 32 Procs"));
+    out.push_str(&format!(
+        "{:<14}{:>12}{:>12}{:>12}{:>12}\n",
+        "", "1 Proc", "2-8 Procs", "9-32 Procs", "> 32 Procs"
+    ));
     for (row, cells) in [
         ("0 - 10 min", ["VS Seq", "VS N", "VS W", "VS VW"]),
         ("10 min - 1 hr", ["S Seq", "S N", "S W", "S VW"]),
@@ -199,8 +207,11 @@ fn mix_table(system: SystemPreset, label: &str) -> String {
     let jobs = ExperimentConfig::new(system, SchedulerKind::Easy).trace();
     let mix = synthetic::empirical_mix(&jobs);
     let mut out = render_grid(
-        &format!("{label}: job distribution by category, % of jobs ({} synthetic trace, {} jobs)",
-            system.name, jobs.len()),
+        &format!(
+            "{label}: job distribution by category, % of jobs ({} synthetic trace, {} jobs)",
+            system.name,
+            jobs.len()
+        ),
         &mix,
     );
     out.push_str(&render_grid(
@@ -234,7 +245,11 @@ fn ns_slowdown_table(system: SystemPreset, label: &str, paper: [f64; 16]) -> Str
     out.push_str(&format!(
         "\noverall slowdown: measured {:.2} (paper: {})\n",
         r.report.overall.mean_slowdown,
-        if system.name == "CTC" { "3.58" } else { "14.13" }
+        if system.name == "CTC" {
+            "3.58"
+        } else {
+            "14.13"
+        }
     ));
     out
 }
@@ -266,7 +281,10 @@ pub fn table5() -> String {
 /// Table VI: the 4-category criteria for the load-variation study.
 pub fn table6() -> String {
     let mut out = String::from("Table VI: categorization for load variation studies\n");
-    out.push_str(&format!("{:<14}{:>14}{:>14}\n", "", "<= 8 procs", "> 8 procs"));
+    out.push_str(&format!(
+        "{:<14}{:>14}{:>14}\n",
+        "", "<= 8 procs", "> 8 procs"
+    ));
     out.push_str(&format!("{:<14}{:>14}{:>14}\n", "<= 1 hr", "SN", "SW"));
     out.push_str(&format!("{:<14}{:>14}{:>14}\n", "> 1 hr", "LN", "LW"));
     out
@@ -275,10 +293,21 @@ pub fn table6() -> String {
 fn coarse_mix_table(system: SystemPreset, label: &str, paper: [f64; 4]) -> String {
     let jobs = ExperimentConfig::new(system, SchedulerKind::Easy).trace();
     let mix = synthetic::empirical_coarse_mix(&jobs);
-    let mut out = format!("{label}: 4-way job distribution, {} synthetic trace\n", system.name);
-    out.push_str(&format!("{:<14}{:>12}{:>12}\n", "", "measured %", "paper %"));
+    let mut out = format!(
+        "{label}: 4-way job distribution, {} synthetic trace\n",
+        system.name
+    );
+    out.push_str(&format!(
+        "{:<14}{:>12}{:>12}\n",
+        "", "measured %", "paper %"
+    ));
     for (i, cat) in CoarseCategory::ALL.into_iter().enumerate() {
-        out.push_str(&format!("{:<14}{:>12.1}{:>12.1}\n", cat.label(), mix[i], paper[i]));
+        out.push_str(&format!(
+            "{:<14}{:>12.1}{:>12.1}\n",
+            cat.label(),
+            mix[i],
+            paper[i]
+        ));
     }
     out
 }
@@ -321,7 +350,11 @@ pub fn fig4_6() -> String {
         let mut bar = String::new();
         for seg in trace.segments.iter() {
             let w = (((seg.end - seg.start) * scale).round() as usize).max(1);
-            let c = if seg.task == theory::Task::T1 { '1' } else { '2' };
+            let c = if seg.task == theory::Task::T1 {
+                '1'
+            } else {
+                '2'
+            };
             bar.extend(std::iter::repeat_n(c, w));
         }
         out.push_str(&format!("  |{bar}|\n"));
@@ -344,28 +377,48 @@ pub fn fig4_6() -> String {
 pub fn fig7() -> String {
     comparison_figure(
         "Fig. 7: average slowdown, SS vs NS vs IS, CTC trace (accurate estimates)",
-        CTC, ss_lineup(), Metric::MeanSlowdown, Slice::All, |c| c)
+        CTC,
+        ss_lineup(),
+        Metric::MeanSlowdown,
+        Slice::All,
+        |c| c,
+    )
 }
 
 /// Fig. 8: average turnaround time, SS scheme, CTC.
 pub fn fig8() -> String {
     comparison_figure(
         "Fig. 8: average turnaround time (s), SS vs NS vs IS, CTC trace (accurate estimates)",
-        CTC, ss_lineup(), Metric::MeanTurnaround, Slice::All, |c| c)
+        CTC,
+        ss_lineup(),
+        Metric::MeanTurnaround,
+        Slice::All,
+        |c| c,
+    )
 }
 
 /// Fig. 9: average slowdown, SS scheme, SDSC.
 pub fn fig9() -> String {
     comparison_figure(
         "Fig. 9: average slowdown, SS vs NS vs IS, SDSC trace (accurate estimates)",
-        SDSC, ss_lineup(), Metric::MeanSlowdown, Slice::All, |c| c)
+        SDSC,
+        ss_lineup(),
+        Metric::MeanSlowdown,
+        Slice::All,
+        |c| c,
+    )
 }
 
 /// Fig. 10: average turnaround time, SS scheme, SDSC.
 pub fn fig10() -> String {
     comparison_figure(
         "Fig. 10: average turnaround time (s), SS vs NS vs IS, SDSC trace (accurate estimates)",
-        SDSC, ss_lineup(), Metric::MeanTurnaround, Slice::All, |c| c)
+        SDSC,
+        ss_lineup(),
+        Metric::MeanTurnaround,
+        Slice::All,
+        |c| c,
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -373,7 +426,11 @@ pub fn fig10() -> String {
 // ---------------------------------------------------------------------
 
 fn worst_lineup() -> Vec<SchedulerKind> {
-    vec![SchedulerKind::Ss { sf: 2.0 }, SchedulerKind::Easy, SchedulerKind::ImmediateService]
+    vec![
+        SchedulerKind::Ss { sf: 2.0 },
+        SchedulerKind::Easy,
+        SchedulerKind::ImmediateService,
+    ]
 }
 
 fn tuned_worst_lineup() -> Vec<SchedulerKind> {
@@ -387,50 +444,98 @@ fn tuned_worst_lineup() -> Vec<SchedulerKind> {
 
 /// Fig. 11: worst-case slowdown, SS, CTC.
 pub fn fig11() -> String {
-    comparison_figure("Fig. 11: worst-case slowdown, SS(SF=2) vs NS vs IS, CTC trace",
-        CTC, worst_lineup(), Metric::WorstSlowdown, Slice::All, |c| c)
+    comparison_figure(
+        "Fig. 11: worst-case slowdown, SS(SF=2) vs NS vs IS, CTC trace",
+        CTC,
+        worst_lineup(),
+        Metric::WorstSlowdown,
+        Slice::All,
+        |c| c,
+    )
 }
 
 /// Fig. 12: worst-case turnaround, SS, CTC.
 pub fn fig12() -> String {
-    comparison_figure("Fig. 12: worst-case turnaround time (s), SS(SF=2) vs NS vs IS, CTC trace",
-        CTC, worst_lineup(), Metric::WorstTurnaround, Slice::All, |c| c)
+    comparison_figure(
+        "Fig. 12: worst-case turnaround time (s), SS(SF=2) vs NS vs IS, CTC trace",
+        CTC,
+        worst_lineup(),
+        Metric::WorstTurnaround,
+        Slice::All,
+        |c| c,
+    )
 }
 
 /// Fig. 13: worst-case slowdown with TSS, CTC.
 pub fn fig13() -> String {
-    comparison_figure("Fig. 13: worst-case slowdown, TSS tuning, CTC trace",
-        CTC, tuned_worst_lineup(), Metric::WorstSlowdown, Slice::All, |c| c)
+    comparison_figure(
+        "Fig. 13: worst-case slowdown, TSS tuning, CTC trace",
+        CTC,
+        tuned_worst_lineup(),
+        Metric::WorstSlowdown,
+        Slice::All,
+        |c| c,
+    )
 }
 
 /// Fig. 14: worst-case turnaround with TSS, CTC.
 pub fn fig14() -> String {
-    comparison_figure("Fig. 14: worst-case turnaround time (s), TSS tuning, CTC trace",
-        CTC, tuned_worst_lineup(), Metric::WorstTurnaround, Slice::All, |c| c)
+    comparison_figure(
+        "Fig. 14: worst-case turnaround time (s), TSS tuning, CTC trace",
+        CTC,
+        tuned_worst_lineup(),
+        Metric::WorstTurnaround,
+        Slice::All,
+        |c| c,
+    )
 }
 
 /// Fig. 15: worst-case slowdown, SS, SDSC.
 pub fn fig15() -> String {
-    comparison_figure("Fig. 15: worst-case slowdown, SS(SF=2) vs NS vs IS, SDSC trace",
-        SDSC, worst_lineup(), Metric::WorstSlowdown, Slice::All, |c| c)
+    comparison_figure(
+        "Fig. 15: worst-case slowdown, SS(SF=2) vs NS vs IS, SDSC trace",
+        SDSC,
+        worst_lineup(),
+        Metric::WorstSlowdown,
+        Slice::All,
+        |c| c,
+    )
 }
 
 /// Fig. 16: worst-case turnaround, SS, SDSC.
 pub fn fig16() -> String {
-    comparison_figure("Fig. 16: worst-case turnaround time (s), SS(SF=2) vs NS vs IS, SDSC trace",
-        SDSC, worst_lineup(), Metric::WorstTurnaround, Slice::All, |c| c)
+    comparison_figure(
+        "Fig. 16: worst-case turnaround time (s), SS(SF=2) vs NS vs IS, SDSC trace",
+        SDSC,
+        worst_lineup(),
+        Metric::WorstTurnaround,
+        Slice::All,
+        |c| c,
+    )
 }
 
 /// Fig. 17: worst-case slowdown with TSS, SDSC.
 pub fn fig17() -> String {
-    comparison_figure("Fig. 17: worst-case slowdown, TSS tuning, SDSC trace",
-        SDSC, tuned_worst_lineup(), Metric::WorstSlowdown, Slice::All, |c| c)
+    comparison_figure(
+        "Fig. 17: worst-case slowdown, TSS tuning, SDSC trace",
+        SDSC,
+        tuned_worst_lineup(),
+        Metric::WorstSlowdown,
+        Slice::All,
+        |c| c,
+    )
 }
 
 /// Fig. 18: worst-case turnaround with TSS, SDSC.
 pub fn fig18() -> String {
-    comparison_figure("Fig. 18: worst-case turnaround time (s), TSS tuning, SDSC trace",
-        SDSC, tuned_worst_lineup(), Metric::WorstTurnaround, Slice::All, |c| c)
+    comparison_figure(
+        "Fig. 18: worst-case turnaround time (s), TSS tuning, SDSC trace",
+        SDSC,
+        tuned_worst_lineup(),
+        Metric::WorstTurnaround,
+        Slice::All,
+        |c| c,
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -446,30 +551,90 @@ macro_rules! estimate_fig {
     };
 }
 
-estimate_fig!(fig19, "Fig. 19: average slowdown, inaccurate estimates, CTC trace",
-    CTC, Metric::MeanSlowdown, Slice::All);
-estimate_fig!(fig20, "Fig. 20: average slowdown of well estimated jobs, CTC trace",
-    CTC, Metric::MeanSlowdown, Slice::Well);
-estimate_fig!(fig21, "Fig. 21: average slowdown of badly estimated jobs, CTC trace",
-    CTC, Metric::MeanSlowdown, Slice::Badly);
-estimate_fig!(fig22, "Fig. 22: average turnaround time (s), inaccurate estimates, CTC trace",
-    CTC, Metric::MeanTurnaround, Slice::All);
-estimate_fig!(fig23, "Fig. 23: average turnaround time (s) of well estimated jobs, CTC trace",
-    CTC, Metric::MeanTurnaround, Slice::Well);
-estimate_fig!(fig24, "Fig. 24: average turnaround time (s) of badly estimated jobs, CTC trace",
-    CTC, Metric::MeanTurnaround, Slice::Badly);
-estimate_fig!(fig25, "Fig. 25: average slowdown, inaccurate estimates, SDSC trace",
-    SDSC, Metric::MeanSlowdown, Slice::All);
-estimate_fig!(fig26, "Fig. 26: average slowdown of well estimated jobs, SDSC trace",
-    SDSC, Metric::MeanSlowdown, Slice::Well);
-estimate_fig!(fig27, "Fig. 27: average slowdown of badly estimated jobs, SDSC trace",
-    SDSC, Metric::MeanSlowdown, Slice::Badly);
-estimate_fig!(fig28, "Fig. 28: average turnaround time (s), inaccurate estimates, SDSC trace",
-    SDSC, Metric::MeanTurnaround, Slice::All);
-estimate_fig!(fig29, "Fig. 29: average turnaround time (s) of well estimated jobs, SDSC trace",
-    SDSC, Metric::MeanTurnaround, Slice::Well);
-estimate_fig!(fig30, "Fig. 30: average turnaround time (s) of badly estimated jobs, SDSC trace",
-    SDSC, Metric::MeanTurnaround, Slice::Badly);
+estimate_fig!(
+    fig19,
+    "Fig. 19: average slowdown, inaccurate estimates, CTC trace",
+    CTC,
+    Metric::MeanSlowdown,
+    Slice::All
+);
+estimate_fig!(
+    fig20,
+    "Fig. 20: average slowdown of well estimated jobs, CTC trace",
+    CTC,
+    Metric::MeanSlowdown,
+    Slice::Well
+);
+estimate_fig!(
+    fig21,
+    "Fig. 21: average slowdown of badly estimated jobs, CTC trace",
+    CTC,
+    Metric::MeanSlowdown,
+    Slice::Badly
+);
+estimate_fig!(
+    fig22,
+    "Fig. 22: average turnaround time (s), inaccurate estimates, CTC trace",
+    CTC,
+    Metric::MeanTurnaround,
+    Slice::All
+);
+estimate_fig!(
+    fig23,
+    "Fig. 23: average turnaround time (s) of well estimated jobs, CTC trace",
+    CTC,
+    Metric::MeanTurnaround,
+    Slice::Well
+);
+estimate_fig!(
+    fig24,
+    "Fig. 24: average turnaround time (s) of badly estimated jobs, CTC trace",
+    CTC,
+    Metric::MeanTurnaround,
+    Slice::Badly
+);
+estimate_fig!(
+    fig25,
+    "Fig. 25: average slowdown, inaccurate estimates, SDSC trace",
+    SDSC,
+    Metric::MeanSlowdown,
+    Slice::All
+);
+estimate_fig!(
+    fig26,
+    "Fig. 26: average slowdown of well estimated jobs, SDSC trace",
+    SDSC,
+    Metric::MeanSlowdown,
+    Slice::Well
+);
+estimate_fig!(
+    fig27,
+    "Fig. 27: average slowdown of badly estimated jobs, SDSC trace",
+    SDSC,
+    Metric::MeanSlowdown,
+    Slice::Badly
+);
+estimate_fig!(
+    fig28,
+    "Fig. 28: average turnaround time (s), inaccurate estimates, SDSC trace",
+    SDSC,
+    Metric::MeanTurnaround,
+    Slice::All
+);
+estimate_fig!(
+    fig29,
+    "Fig. 29: average turnaround time (s) of well estimated jobs, SDSC trace",
+    SDSC,
+    Metric::MeanTurnaround,
+    Slice::Well
+);
+estimate_fig!(
+    fig30,
+    "Fig. 30: average turnaround time (s) of badly estimated jobs, SDSC trace",
+    SDSC,
+    Metric::MeanTurnaround,
+    Slice::Badly
+);
 
 // ---------------------------------------------------------------------
 // Figs. 31-34: suspension overhead
@@ -477,11 +642,20 @@ estimate_fig!(fig30, "Fig. 30: average turnaround time (s) of badly estimated jo
 
 fn overhead_figure(title: &str, system: SystemPreset, metric: Metric) -> String {
     let mut configs = vec![
-        inaccurate(ExperimentConfig::new(system, SchedulerKind::Tss { sf: 2.0 })),
-        inaccurate(ExperimentConfig::new(system, SchedulerKind::Tss { sf: 2.0 }))
-            .with_overhead(OverheadModel::paper()),
+        inaccurate(ExperimentConfig::new(
+            system,
+            SchedulerKind::Tss { sf: 2.0 },
+        )),
+        inaccurate(ExperimentConfig::new(
+            system,
+            SchedulerKind::Tss { sf: 2.0 },
+        ))
+        .with_overhead(OverheadModel::paper()),
         inaccurate(ExperimentConfig::new(system, SchedulerKind::Easy)),
-        inaccurate(ExperimentConfig::new(system, SchedulerKind::ImmediateService)),
+        inaccurate(ExperimentConfig::new(
+            system,
+            SchedulerKind::ImmediateService,
+        )),
     ];
     // IS pays overhead too when it is modelled; the paper's "SF = 2 OH"
     // bar isolates the effect on the proposed scheme.
@@ -511,28 +685,36 @@ fn overhead_figure(title: &str, system: SystemPreset, metric: Metric) -> String 
 pub fn fig31() -> String {
     overhead_figure(
         "Fig. 31: average slowdown with suspension/restart overhead (2 MB/s per proc), CTC trace",
-        CTC, Metric::MeanSlowdown)
+        CTC,
+        Metric::MeanSlowdown,
+    )
 }
 
 /// Fig. 32: turnaround with suspension overhead, CTC.
 pub fn fig32() -> String {
     overhead_figure(
         "Fig. 32: average turnaround time (s) with suspension/restart overhead, CTC trace",
-        CTC, Metric::MeanTurnaround)
+        CTC,
+        Metric::MeanTurnaround,
+    )
 }
 
 /// Fig. 33: slowdown with suspension overhead, SDSC.
 pub fn fig33() -> String {
     overhead_figure(
         "Fig. 33: average slowdown with suspension/restart overhead (2 MB/s per proc), SDSC trace",
-        SDSC, Metric::MeanSlowdown)
+        SDSC,
+        Metric::MeanSlowdown,
+    )
 }
 
 /// Fig. 34: turnaround with suspension overhead, SDSC.
 pub fn fig34() -> String {
     overhead_figure(
         "Fig. 34: average turnaround time (s) with suspension/restart overhead, SDSC trace",
-        SDSC, Metric::MeanTurnaround)
+        SDSC,
+        Metric::MeanTurnaround,
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -551,7 +733,11 @@ fn load_factors(system: SystemPreset) -> Vec<f64> {
 }
 
 fn sweep_lineup() -> Vec<SchedulerKind> {
-    vec![SchedulerKind::Tss { sf: 2.0 }, SchedulerKind::Easy, SchedulerKind::ImmediateService]
+    vec![
+        SchedulerKind::Tss { sf: 2.0 },
+        SchedulerKind::Easy,
+        SchedulerKind::ImmediateService,
+    ]
 }
 
 /// All (scheme × load) runs for one system's sweep, cached.
@@ -581,19 +767,27 @@ fn utilization_figure(title: &str, system: SystemPreset) -> String {
             )
         })
         .collect();
-    let named: Vec<(&str, Vec<f64>)> =
-        series.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+    let named: Vec<(&str, Vec<f64>)> = series
+        .iter()
+        .map(|(n, v)| (n.as_str(), v.clone()))
+        .collect();
     render_series(title, "load factor", &loads, &named)
 }
 
 /// Fig. 35: utilization vs load, CTC.
 pub fn fig35() -> String {
-    utilization_figure("Fig. 35: overall system utilization (%) under different loads, CTC trace", CTC)
+    utilization_figure(
+        "Fig. 35: overall system utilization (%) under different loads, CTC trace",
+        CTC,
+    )
 }
 
 /// Fig. 38: utilization vs load, SDSC.
 pub fn fig38() -> String {
-    utilization_figure("Fig. 38: overall system utilization (%) under different loads, SDSC trace", SDSC)
+    utilization_figure(
+        "Fig. 38: overall system utilization (%) under different loads, SDSC trace",
+        SDSC,
+    )
 }
 
 fn coarse_metric(r: &RunResult, cat: CoarseCategory, slowdown: bool) -> f64 {
@@ -615,12 +809,17 @@ fn load_sweep_figure(title: &str, system: SystemPreset, slowdown: bool) -> Strin
             .map(|per_scheme| {
                 (
                     per_scheme[0].config.scheduler.label(),
-                    per_scheme.iter().map(|r| coarse_metric(r, cat, slowdown)).collect(),
+                    per_scheme
+                        .iter()
+                        .map(|r| coarse_metric(r, cat, slowdown))
+                        .collect(),
                 )
             })
             .collect();
-        let named: Vec<(&str, Vec<f64>)> =
-            series.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+        let named: Vec<(&str, Vec<f64>)> = series
+            .iter()
+            .map(|(n, v)| (n.as_str(), v.clone()))
+            .collect();
         out.push('\n');
         out.push_str(&render_series(cat.label(), "load factor", &loads, &named));
     }
@@ -634,7 +833,11 @@ pub fn fig36() -> String {
 
 /// Fig. 37: turnaround vs load per coarse category, CTC.
 pub fn fig37() -> String {
-    load_sweep_figure("Fig. 37: average turnaround time (s) vs load, CTC trace", CTC, false)
+    load_sweep_figure(
+        "Fig. 37: average turnaround time (s) vs load, CTC trace",
+        CTC,
+        false,
+    )
 }
 
 /// Fig. 39: slowdown vs load per coarse category, SDSC.
@@ -644,7 +847,11 @@ pub fn fig39() -> String {
 
 /// Fig. 40: turnaround vs load per coarse category, SDSC.
 pub fn fig40() -> String {
-    load_sweep_figure("Fig. 40: average turnaround time (s) vs load, SDSC trace", SDSC, false)
+    load_sweep_figure(
+        "Fig. 40: average turnaround time (s) vs load, SDSC trace",
+        SDSC,
+        false,
+    )
 }
 
 fn util_scatter_figure(title: &str, system: SystemPreset, slowdown: bool) -> String {
@@ -677,22 +884,38 @@ fn util_scatter_figure(title: &str, system: SystemPreset, slowdown: bool) -> Str
 
 /// Fig. 41: slowdown vs utilization, CTC.
 pub fn fig41() -> String {
-    util_scatter_figure("Fig. 41: average slowdown vs system utilization, CTC trace", CTC, true)
+    util_scatter_figure(
+        "Fig. 41: average slowdown vs system utilization, CTC trace",
+        CTC,
+        true,
+    )
 }
 
 /// Fig. 42: turnaround vs utilization, CTC.
 pub fn fig42() -> String {
-    util_scatter_figure("Fig. 42: average turnaround time vs system utilization, CTC trace", CTC, false)
+    util_scatter_figure(
+        "Fig. 42: average turnaround time vs system utilization, CTC trace",
+        CTC,
+        false,
+    )
 }
 
 /// Fig. 43: slowdown vs utilization, SDSC.
 pub fn fig43() -> String {
-    util_scatter_figure("Fig. 43: average slowdown vs system utilization, SDSC trace", SDSC, true)
+    util_scatter_figure(
+        "Fig. 43: average slowdown vs system utilization, SDSC trace",
+        SDSC,
+        true,
+    )
 }
 
 /// Fig. 44: turnaround vs utilization, SDSC.
 pub fn fig44() -> String {
-    util_scatter_figure("Fig. 44: average turnaround time vs system utilization, SDSC trace", SDSC, false)
+    util_scatter_figure(
+        "Fig. 44: average turnaround time vs system utilization, SDSC trace",
+        SDSC,
+        false,
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -702,15 +925,16 @@ pub fn fig44() -> String {
 /// Fine sweep of the suspension factor (extends Figs. 7-10).
 pub fn ablation_sf_sweep() -> String {
     let sfs = [1.1, 1.25, 1.5, 2.0, 3.0, 5.0];
-    let mut out = String::from(
-        "Ablation: suspension-factor sweep, SS on CTC (accurate estimates)\n",
-    );
+    let mut out =
+        String::from("Ablation: suspension-factor sweep, SS on CTC (accurate estimates)\n");
     out.push_str(&format!(
         "{:<8}{:>14}{:>14}{:>14}{:>14}{:>14}\n",
         "SF", "overall sd", "VS mean sd", "VL mean sd", "preemptions", "util %"
     ));
-    let configs: Vec<ExperimentConfig> =
-        sfs.iter().map(|&sf| ExperimentConfig::new(CTC, SchedulerKind::Ss { sf })).collect();
+    let configs: Vec<ExperimentConfig> = sfs
+        .iter()
+        .map(|&sf| ExperimentConfig::new(CTC, SchedulerKind::Ss { sf }))
+        .collect();
     let results = run_cached(configs);
     for (sf, r) in sfs.iter().zip(&results) {
         // Aggregate the four VS and four VL cells, weighted by count.
@@ -750,7 +974,8 @@ fn aggregate_row(report: &CategoryReport, row: usize) -> f64 {
 pub fn ablation_width_restriction() -> String {
     use sps_core::sched::ss::{SelectiveSuspension, SsConfig};
     use sps_core::sim::Simulator;
-    let mut out = String::from("Ablation: the width restriction (suspender >= half the victim's width)\n");
+    let mut out =
+        String::from("Ablation: the width restriction (suspender >= half the victim's width)\n");
     for system in [CTC, SDSC] {
         let jobs = ExperimentConfig::new(system, SchedulerKind::Easy).trace();
         let with = Simulator::new(
@@ -765,7 +990,10 @@ pub fn ablation_width_restriction() -> String {
             Simulator::new(jobs, system.procs, Box::new(SelectiveSuspension::new(cfg))).run();
         let rep_with = CategoryReport::from_outcomes(&with.outcomes);
         let rep_without = CategoryReport::from_outcomes(&without.outcomes);
-        out.push_str(&format!("\n{} trace: mean slowdown per width class\n", system.name));
+        out.push_str(&format!(
+            "\n{} trace: mean slowdown per width class\n",
+            system.name
+        ));
         out.push_str(&format!(
             "{:<16}{:>12}{:>12}{:>14}\n",
             "width class", "with rule", "without", "paper keeps?"
@@ -812,16 +1040,18 @@ pub fn ablation_tss_limit_source() -> String {
     let variants: Vec<(&str, SsConfig)> = vec![
         ("SS (no limit)", SsConfig::ss(2.0)),
         ("TSS running avg", SsConfig::tss(2.0)),
-        ("TSS static (NS)", SsConfig {
-            sf: 2.0,
-            width_restriction: true,
-            migration: false,
-            limits: Some(TssLimits::with_static_averages(ns_avgs, 1.5)),
-        }),
+        (
+            "TSS static (NS)",
+            SsConfig {
+                sf: 2.0,
+                width_restriction: true,
+                migration: false,
+                limits: Some(TssLimits::with_static_averages(ns_avgs, 1.5)),
+            },
+        ),
     ];
-    let mut out = String::from(
-        "Ablation: where TSS's per-category average slowdown comes from (CTC)\n",
-    );
+    let mut out =
+        String::from("Ablation: where TSS's per-category average slowdown comes from (CTC)\n");
     out.push_str(&format!(
         "{:<18}{:>12}{:>14}{:>14}{:>14}{:>16}\n",
         "variant", "overall sd", "worst sd", "VL worst sd", "preemptions", "cells +/-"
@@ -835,7 +1065,9 @@ pub fn ablation_tss_limit_source() -> String {
         )
         .run();
         let rep = CategoryReport::from_outcomes(&res.outcomes);
-        let vl_worst = (12..16).map(|i| rep.per_category[i].worst_slowdown).fold(0.0, f64::max);
+        let vl_worst = (12..16)
+            .map(|i| rep.per_category[i].worst_slowdown)
+            .fold(0.0, f64::max);
         let grid = rep.worst_slowdown_grid();
         let cells = match &baseline {
             None => {
@@ -843,10 +1075,16 @@ pub fn ablation_tss_limit_source() -> String {
                 "(baseline)".to_string()
             }
             Some(base) => {
-                let better =
-                    grid.iter().zip(base).filter(|(b, a)| **b < **a * 0.95).count();
-                let worse =
-                    grid.iter().zip(base).filter(|(b, a)| **b > **a * 1.05).count();
+                let better = grid
+                    .iter()
+                    .zip(base)
+                    .filter(|(b, a)| **b < **a * 0.95)
+                    .count();
+                let worse = grid
+                    .iter()
+                    .zip(base)
+                    .filter(|(b, a)| **b > **a * 1.05)
+                    .count();
                 format!("{better}+/{worse}-")
             }
         };
@@ -886,7 +1124,10 @@ pub fn ablation_reservation_depth() -> String {
             .map(|&d| ExperimentConfig::new(system, SchedulerKind::Flex { depth: d }))
             .collect();
         configs.push(ExperimentConfig::new(system, SchedulerKind::Conservative));
-        configs.push(ExperimentConfig::new(system, SchedulerKind::Tss { sf: 2.0 }));
+        configs.push(ExperimentConfig::new(
+            system,
+            SchedulerKind::Tss { sf: 2.0 },
+        ));
         for r in run_cached(configs) {
             // Count-weighted very-wide column mean.
             let mut vw_sum = 0.0;
@@ -951,10 +1192,11 @@ pub fn percentiles() -> String {
 pub fn timeline() -> String {
     use sps_core::sim::Simulator;
     use sps_metrics::timeline::{busy_timeline, render_sparkline};
-    let mut out = String::from(
-        "Machine occupancy over time (CTC trace, load factor 1.4, 120 buckets)\n\n",
-    );
-    let jobs = ExperimentConfig::new(CTC, SchedulerKind::Easy).with_load_factor(1.4).trace();
+    let mut out =
+        String::from("Machine occupancy over time (CTC trace, load factor 1.4, 120 buckets)\n\n");
+    let jobs = ExperimentConfig::new(CTC, SchedulerKind::Easy)
+        .with_load_factor(1.4)
+        .trace();
     let kinds = [
         SchedulerKind::Easy,
         SchedulerKind::Tss { sf: 2.0 },
@@ -967,7 +1209,11 @@ pub fn timeline() -> String {
     for kind in kinds {
         let res = Simulator::new(jobs.clone(), CTC.procs, kind.build()).run();
         horizon = horizon.max(
-            res.outcomes.iter().map(|o| o.completion.secs()).max().unwrap_or(0),
+            res.outcomes
+                .iter()
+                .map(|o| o.completion.secs())
+                .max()
+                .unwrap_or(0),
         );
         runs.push((kind.label(), res));
     }
@@ -993,9 +1239,8 @@ pub fn timeline() -> String {
 /// scheduling as the classical preemptive alternative; this quantifies
 /// why the paper pursued selective suspension instead).
 pub fn ablation_gang() -> String {
-    let mut out = String::from(
-        "Ablation: time-sliced gang scheduling (10-min quantum) vs NS / TSS (CTC)\n",
-    );
+    let mut out =
+        String::from("Ablation: time-sliced gang scheduling (10-min quantum) vs NS / TSS (CTC)\n");
     let configs = vec![
         ExperimentConfig::new(CTC, SchedulerKind::Easy),
         ExperimentConfig::new(CTC, SchedulerKind::Tss { sf: 2.0 }),
@@ -1032,9 +1277,8 @@ pub fn ablation_gang() -> String {
 pub fn ablation_migration() -> String {
     use sps_core::sched::ss::{SelectiveSuspension, SsConfig};
     use sps_core::sim::Simulator;
-    let mut out = String::from(
-        "Ablation: local preemption (paper's model) vs free migration, SS SF=2\n",
-    );
+    let mut out =
+        String::from("Ablation: local preemption (paper's model) vs free migration, SS SF=2\n");
     out.push_str(&format!(
         "{:<10}{:<12}{:>12}{:>12}{:>14}{:>14}\n",
         "system", "restart", "overall sd", "util %", "worst sd", "preemptions"
@@ -1088,7 +1332,9 @@ pub fn ablation_diurnal() -> String {
         "amplitude", "scheme", "overall sd", "VS mean sd", "util %"
     ));
     for amplitude in [0.0, 0.4, 0.8] {
-        let jobs = SyntheticConfig::new(CTC, 42).with_diurnal(amplitude).generate();
+        let jobs = SyntheticConfig::new(CTC, 42)
+            .with_diurnal(amplitude)
+            .generate();
         for kind in [SchedulerKind::Easy, SchedulerKind::Tss { sf: 2.0 }] {
             let res = Simulator::new(jobs.clone(), CTC.procs, kind.build()).run();
             let rep = CategoryReport::from_outcomes(&res.outcomes);
@@ -1115,8 +1361,7 @@ pub fn ablation_diurnal() -> String {
 /// machine too.
 pub fn kth_trends() -> String {
     use sps_workload::traces::KTH;
-    let mut out =
-        String::from("KTH (100 procs): the paper's third trace — trend check\n");
+    let mut out = String::from("KTH (100 procs): the paper's third trace — trend check\n");
     let configs = vec![
         ExperimentConfig::new(KTH, SchedulerKind::Easy),
         ExperimentConfig::new(KTH, SchedulerKind::Ss { sf: 2.0 }),
@@ -1150,9 +1395,8 @@ pub fn ablation_preemption_period() -> String {
     use sps_core::sim::Simulator;
     let system = CTC;
     let jobs = ExperimentConfig::new(system, SchedulerKind::Easy).trace();
-    let mut out = String::from(
-        "Ablation: preemption-routine period (paper: 60 s), SS SF=2 on CTC\n",
-    );
+    let mut out =
+        String::from("Ablation: preemption-routine period (paper: 60 s), SS SF=2 on CTC\n");
     out.push_str(&format!(
         "{:<12}{:>14}{:>14}{:>14}\n",
         "period (s)", "overall sd", "VS mean sd", "preemptions"

@@ -1,0 +1,117 @@
+//! Minimal wall-clock benchmark harness.
+//!
+//! The workspace builds fully offline, so the Criterion dependency was
+//! replaced by this hand-rolled harness: warm up, time `iters`
+//! executions per sample, take several samples, and report min / median
+//! / mean. Output is one line per benchmark —
+//!
+//! ```text
+//! sim_throughput/ctc_2000_jobs/easy   median 12.431 ms   min 12.102 ms   mean 12.633 ms
+//! ```
+//!
+//! Use `Harness::new("group")` in a `fn main()` bench target (all bench
+//! targets set `harness = false`). Pass `--quick` on the command line to
+//! cut samples for a fast smoke run, or a substring filter to run only
+//! matching benchmarks (mirrors `cargo bench -- <filter>`).
+
+use std::time::{Duration, Instant};
+
+/// One benchmark group; prints results as benchmarks run.
+pub struct Harness {
+    group: String,
+    filter: Option<String>,
+    samples: usize,
+    min_sample_time: Duration,
+}
+
+impl Harness {
+    /// Create a harness, reading `--quick` and an optional substring
+    /// filter from the process arguments.
+    pub fn new(group: &str) -> Self {
+        let mut filter = None;
+        let mut quick = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--quick" => quick = true,
+                "--bench" | "--test" => {} // flags cargo bench passes through
+                s if s.starts_with("--") => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Harness {
+            group: group.to_string(),
+            filter,
+            samples: if quick { 3 } else { 10 },
+            min_sample_time: if quick {
+                Duration::from_millis(20)
+            } else {
+                Duration::from_millis(100)
+            },
+        }
+    }
+
+    /// Time `f`, printing a one-line summary. The closure's return value
+    /// is passed through `std::hint::black_box` so work is not optimized
+    /// away.
+    pub fn bench<T>(&self, name: &str, mut f: impl FnMut() -> T) {
+        let full = format!("{}/{}", self.group, name);
+        if let Some(filter) = &self.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Warm up and size the per-sample iteration count so each sample
+        // runs for at least `min_sample_time`.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters =
+            (self.min_sample_time.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as usize;
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            per_iter.push(start.elapsed().as_secs_f64() / iters as f64);
+        }
+        per_iter.sort_by(f64::total_cmp);
+        let min = per_iter[0];
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        println!(
+            "{full:<48} median {:>12}   min {:>12}   mean {:>12}   ({iters} iters x {} samples)",
+            fmt_time(median),
+            fmt_time(min),
+            fmt_time(mean),
+            self.samples,
+        );
+    }
+}
+
+/// Render seconds with an auto-selected unit.
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fmt_time;
+
+    #[test]
+    fn time_units_scale() {
+        assert_eq!(fmt_time(2.5), "2.500 s");
+        assert_eq!(fmt_time(0.0025), "2.500 ms");
+        assert_eq!(fmt_time(0.0000025), "2.500 µs");
+        assert_eq!(fmt_time(0.0000000025), "2.5 ns");
+    }
+}

@@ -6,11 +6,13 @@
 //!
 //! Run `cargo run --release -p sps-bench --bin experiments -- all` to
 //! reproduce everything into `results/`, or pass a single id (`table4`,
-//! `fig9`, `ablation_sf_sweep`, …). The Criterion benches under
+//! `fig9`, `ablation_sf_sweep`, …). The wall-clock benches under
 //! `benches/` measure the simulator itself (events/sec, scaling, hot
-//! paths).
+//! paths) on the hand-rolled [`harness`].
 
 pub mod experiments;
+pub mod harness;
 pub mod registry;
 
+pub use harness::Harness;
 pub use registry::{all_ids, describe, run_experiment};

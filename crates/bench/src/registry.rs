@@ -16,7 +16,11 @@ pub struct Entry {
 pub fn entries() -> Vec<Entry> {
     macro_rules! e {
         ($id:ident, $desc:expr) => {
-            Entry { id: stringify!($id), description: $desc, run: x::$id }
+            Entry {
+                id: stringify!($id),
+                description: $desc,
+                run: x::$id,
+            }
         };
     }
     vec![
@@ -25,7 +29,10 @@ pub fn entries() -> Vec<Entry> {
         e!(table3, "Table III: SDSC job mix vs calibration target"),
         e!(table4, "Table IV: NS average slowdowns per category, CTC"),
         e!(table5, "Table V: NS average slowdowns per category, SDSC"),
-        e!(fig4_6, "Figs 4-6: two-task alternation vs suspension factor"),
+        e!(
+            fig4_6,
+            "Figs 4-6: two-task alternation vs suspension factor"
+        ),
         e!(fig7, "Fig 7: average slowdown, SS vs NS vs IS, CTC"),
         e!(fig8, "Fig 8: average turnaround, SS vs NS vs IS, CTC"),
         e!(fig9, "Fig 9: average slowdown, SS vs NS vs IS, SDSC"),
@@ -67,17 +74,32 @@ pub fn entries() -> Vec<Entry> {
         e!(fig42, "Fig 42: turnaround vs utilization, CTC"),
         e!(fig43, "Fig 43: slowdown vs utilization, SDSC"),
         e!(fig44, "Fig 44: turnaround vs utilization, SDSC"),
-        e!(kth_trends, "KTH trace: trend check (paper reports 'similar trends')"),
+        e!(
+            kth_trends,
+            "KTH trace: trend check (paper reports 'similar trends')"
+        ),
         e!(timeline, "Occupancy-over-time sparklines per scheme"),
         e!(percentiles, "Slowdown tail percentiles per scheme"),
         e!(ablation_sf_sweep, "Ablation: fine suspension-factor sweep"),
-        e!(ablation_width_restriction, "Ablation: the half-width suspend rule"),
+        e!(
+            ablation_width_restriction,
+            "Ablation: the half-width suspend rule"
+        ),
         e!(ablation_tss_limit_source, "Ablation: TSS limit source"),
-        e!(ablation_preemption_period, "Ablation: preemption-routine period"),
+        e!(
+            ablation_preemption_period,
+            "Ablation: preemption-routine period"
+        ),
         e!(ablation_gang, "Ablation: gang scheduling baseline"),
-        e!(ablation_migration, "Ablation: local restart vs free migration"),
+        e!(
+            ablation_migration,
+            "Ablation: local restart vs free migration"
+        ),
         e!(ablation_diurnal, "Ablation: diurnal arrival burstiness"),
-        e!(ablation_reservation_depth, "Ablation: backfilling reservation depth"),
+        e!(
+            ablation_reservation_depth,
+            "Ablation: backfilling reservation depth"
+        ),
     ]
 }
 
@@ -88,13 +110,19 @@ pub fn all_ids() -> Vec<&'static str> {
 
 /// Description of an experiment id.
 pub fn describe(id: &str) -> Option<&'static str> {
-    entries().into_iter().find(|e| e.id == id).map(|e| e.description)
+    entries()
+        .into_iter()
+        .find(|e| e.id == id)
+        .map(|e| e.description)
 }
 
 /// Run one experiment, returning its rendered text. `None` for unknown
 /// ids.
 pub fn run_experiment(id: &str) -> Option<String> {
-    entries().into_iter().find(|e| e.id == id).map(|e| (e.run)())
+    entries()
+        .into_iter()
+        .find(|e| e.id == id)
+        .map(|e| (e.run)())
 }
 
 #[cfg(test)]
@@ -112,10 +140,16 @@ mod tests {
         sorted.dedup();
         assert_eq!(sorted.len(), ids.len());
         for fig in 7..=44 {
-            assert!(ids.contains(&format!("fig{fig}").as_str()), "fig{fig} missing");
+            assert!(
+                ids.contains(&format!("fig{fig}").as_str()),
+                "fig{fig} missing"
+            );
         }
         for t in 1..=8 {
-            assert!(ids.contains(&format!("table{t}").as_str()), "table{t} missing");
+            assert!(
+                ids.contains(&format!("table{t}").as_str()),
+                "table{t} missing"
+            );
         }
     }
 

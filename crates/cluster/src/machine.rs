@@ -19,7 +19,10 @@ impl Cluster {
     /// A cluster with all `total` processors free.
     pub fn new(total: u32) -> Self {
         assert!(total > 0, "a cluster needs at least one processor");
-        Cluster { total, free: ProcSet::full(total) }
+        Cluster {
+            total,
+            free: ProcSet::full(total),
+        }
     }
 
     /// Total processor count.

@@ -22,7 +22,10 @@ impl ProcSet {
     /// The empty set over `0..universe`.
     pub fn empty(universe: u32) -> Self {
         let n_words = (universe as usize).div_ceil(64);
-        ProcSet { universe, words: vec![0; n_words] }
+        ProcSet {
+            universe,
+            words: vec![0; n_words],
+        }
     }
 
     /// The full set `{0, 1, …, universe-1}`.
@@ -31,7 +34,11 @@ impl ProcSet {
         for (i, w) in s.words.iter_mut().enumerate() {
             let base = (i * 64) as u32;
             let in_universe = universe.saturating_sub(base).min(64);
-            *w = if in_universe == 64 { u64::MAX } else { (1u64 << in_universe) - 1 };
+            *w = if in_universe == 64 {
+                u64::MAX
+            } else {
+                (1u64 << in_universe) - 1
+            };
         }
         s
     }
@@ -54,14 +61,22 @@ impl ProcSet {
     /// Add processor `i` to the set.
     #[inline]
     pub fn insert(&mut self, i: u32) {
-        debug_assert!(i < self.universe, "proc {i} outside universe {}", self.universe);
+        debug_assert!(
+            i < self.universe,
+            "proc {i} outside universe {}",
+            self.universe
+        );
         self.words[(i / 64) as usize] |= 1u64 << (i % 64);
     }
 
     /// Remove processor `i` from the set.
     #[inline]
     pub fn remove(&mut self, i: u32) {
-        debug_assert!(i < self.universe, "proc {i} outside universe {}", self.universe);
+        debug_assert!(
+            i < self.universe,
+            "proc {i} outside universe {}",
+            self.universe
+        );
         self.words[(i / 64) as usize] &= !(1u64 << (i % 64));
     }
 
@@ -146,7 +161,10 @@ impl ProcSet {
     /// Whether every processor of `self` is also in `other`.
     pub fn is_subset(&self, other: &ProcSet) -> bool {
         debug_assert_eq!(self.universe, other.universe);
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// The `n` lowest-indexed processors of the set, as a new set.

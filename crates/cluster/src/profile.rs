@@ -107,7 +107,9 @@ impl Profile {
         // Candidate anchors: `earliest` itself and every breakpoint after it.
         let mut candidates: Vec<SimTime> = vec![earliest];
         candidates.extend(self.steps.iter().map(|&(t, _)| t).filter(|&t| t > earliest));
-        candidates.into_iter().find(|&t| self.avail_at(t) >= procs && self.min_avail(t, duration) >= procs)
+        candidates
+            .into_iter()
+            .find(|&t| self.avail_at(t) >= procs && self.min_avail(t, duration) >= procs)
     }
 
     /// Carve `procs` processors out of `[start, start + duration)`.
@@ -121,7 +123,10 @@ impl Profile {
         }
         for (t, a) in self.steps.iter_mut() {
             if *t >= start && *t < end {
-                assert!(*a >= procs, "reservation overflows profile at {t:?}: {a} < {procs}");
+                assert!(
+                    *a >= procs,
+                    "reservation overflows profile at {t:?}: {a} < {procs}"
+                );
                 *a -= procs;
             }
         }
@@ -136,7 +141,11 @@ impl Profile {
     ) -> Option<Reservation> {
         let start = self.find_anchor(procs, duration, earliest)?;
         self.reserve(start, duration, procs);
-        Some(Reservation { start, duration, procs })
+        Some(Reservation {
+            start,
+            duration,
+            procs,
+        })
     }
 
     /// Insert a breakpoint at `t` (if missing) carrying the availability in
@@ -241,7 +250,11 @@ mod tests {
         let r1 = p.reserve_earliest(4, 100, t(0)).unwrap();
         assert_eq!(r1.start, t(0));
         let r2 = p.reserve_earliest(4, 100, t(0)).unwrap();
-        assert_eq!(r2.start, t(100), "second reservation queues behind the first");
+        assert_eq!(
+            r2.start,
+            t(100),
+            "second reservation queues behind the first"
+        );
         let r3 = p.reserve_earliest(10, 100, t(0)).unwrap();
         assert_eq!(r3.start, t(200));
     }

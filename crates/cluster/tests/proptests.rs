@@ -1,73 +1,99 @@
-//! Property tests for processor sets, cluster allocation, and profiles.
+//! Randomized property tests for processor sets, cluster allocation, and
+//! profiles. Each property runs over many seeded-random cases (offline
+//! replacement for the original `proptest` strategies); assertion messages
+//! carry the seed for deterministic reproduction.
 
-use proptest::prelude::*;
 use sps_cluster::{Cluster, ProcSet, Profile};
-use sps_simcore::SimTime;
+use sps_simcore::{SimRng, SimTime};
 
 const UNIVERSE: u32 = 430; // the CTC SP2
+const CASES: u64 = 256;
 
-fn indices() -> impl Strategy<Value = Vec<u32>> {
-    prop::collection::vec(0u32..UNIVERSE, 0..64)
+fn indices(rng: &mut SimRng) -> Vec<u32> {
+    let n = rng.index(64);
+    (0..n).map(|_| rng.range_u32(0, UNIVERSE - 1)).collect()
 }
 
-proptest! {
-    /// De Morgan-ish algebra: |A ∪ B| + |A ∩ B| = |A| + |B|.
-    #[test]
-    fn inclusion_exclusion(a in indices(), b in indices()) {
-        let a = ProcSet::from_indices(UNIVERSE, a);
-        let b = ProcSet::from_indices(UNIVERSE, b);
-        prop_assert_eq!(
+/// De Morgan-ish algebra: |A ∪ B| + |A ∩ B| = |A| + |B|.
+#[test]
+fn inclusion_exclusion() {
+    for seed in 0..CASES {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let a = ProcSet::from_indices(UNIVERSE, indices(&mut rng));
+        let b = ProcSet::from_indices(UNIVERSE, indices(&mut rng));
+        assert_eq!(
             a.union(&b).count() + a.intersection(&b).count(),
-            a.count() + b.count()
+            a.count() + b.count(),
+            "seed {seed}"
         );
     }
+}
 
-    /// Difference removes exactly the intersection.
-    #[test]
-    fn difference_is_partition(a in indices(), b in indices()) {
-        let a = ProcSet::from_indices(UNIVERSE, a);
-        let b = ProcSet::from_indices(UNIVERSE, b);
+/// Difference removes exactly the intersection.
+#[test]
+fn difference_is_partition() {
+    for seed in 0..CASES {
+        let mut rng = SimRng::seed_from_u64(seed ^ 0x1000);
+        let a = ProcSet::from_indices(UNIVERSE, indices(&mut rng));
+        let b = ProcSet::from_indices(UNIVERSE, indices(&mut rng));
         let diff = a.difference(&b);
-        prop_assert!(diff.is_disjoint(&b));
-        prop_assert_eq!(diff.count() + a.intersection(&b).count(), a.count());
-        prop_assert!(diff.is_subset(&a));
+        assert!(diff.is_disjoint(&b), "seed {seed}");
+        assert_eq!(
+            diff.count() + a.intersection(&b).count(),
+            a.count(),
+            "seed {seed}"
+        );
+        assert!(diff.is_subset(&a), "seed {seed}");
     }
+}
 
-    /// iter() round-trips through from_indices and stays sorted.
-    #[test]
-    fn iter_roundtrip(a in indices()) {
+/// iter() round-trips through from_indices and stays sorted.
+#[test]
+fn iter_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = SimRng::seed_from_u64(seed ^ 0x2000);
+        let a = indices(&mut rng);
         let s = ProcSet::from_indices(UNIVERSE, a.clone());
         let collected: Vec<u32> = s.iter().collect();
         let mut dedup = a;
         dedup.sort_unstable();
         dedup.dedup();
-        prop_assert_eq!(collected, dedup);
+        assert_eq!(collected, dedup, "seed {seed}");
     }
+}
 
-    /// take_lowest returns a subset of the requested size containing the
-    /// smallest elements.
-    #[test]
-    fn take_lowest_properties(a in indices(), n in 0u32..64) {
-        let s = ProcSet::from_indices(UNIVERSE, a);
+/// take_lowest returns a subset of the requested size containing the
+/// smallest elements.
+#[test]
+fn take_lowest_properties() {
+    for seed in 0..CASES {
+        let mut rng = SimRng::seed_from_u64(seed ^ 0x3000);
+        let s = ProcSet::from_indices(UNIVERSE, indices(&mut rng));
+        let n = rng.range_u32(0, 63);
         match s.take_lowest(n) {
-            None => prop_assert!(s.count() < n),
+            None => assert!(s.count() < n, "seed {seed}"),
             Some(t) => {
-                prop_assert_eq!(t.count(), n);
-                prop_assert!(t.is_subset(&s));
+                assert_eq!(t.count(), n, "seed {seed}");
+                assert!(t.is_subset(&s), "seed {seed}");
                 // Every element excluded from t is larger than every kept one.
                 let kept_max = t.iter().max();
                 let dropped_min = s.difference(&t).iter().min();
                 if let (Some(km), Some(dm)) = (kept_max, dropped_min) {
-                    prop_assert!(km < dm);
+                    assert!(km < dm, "seed {seed}");
                 }
             }
         }
     }
+}
 
-    /// Any sequence of allocate/release keeps the free count consistent and
-    /// never double-books a processor.
-    #[test]
-    fn cluster_conservation(ops in prop::collection::vec(0u32..40, 1..60)) {
+/// Any sequence of allocate/release keeps the free count consistent and
+/// never double-books a processor.
+#[test]
+fn cluster_conservation() {
+    for seed in 0..CASES {
+        let mut rng = SimRng::seed_from_u64(seed ^ 0x4000);
+        let n_ops = 1 + rng.index(59);
+        let ops: Vec<u32> = (0..n_ops).map(|_| rng.range_u32(0, 39)).collect();
         let mut c = Cluster::new(64);
         let mut held: Vec<ProcSet> = Vec::new();
         for op in ops {
@@ -75,9 +101,12 @@ proptest! {
                 // allocate `op % 17` procs
                 let n = op % 17;
                 if let Some(set) = c.allocate(n) {
-                    prop_assert_eq!(set.count(), n);
+                    assert_eq!(set.count(), n, "seed {seed}");
                     for other in &held {
-                        prop_assert!(set.is_disjoint(other), "double-booked processor");
+                        assert!(
+                            set.is_disjoint(other),
+                            "seed {seed}: double-booked processor"
+                        );
                     }
                     held.push(set);
                 }
@@ -86,53 +115,70 @@ proptest! {
                 c.release(&set);
             }
             let held_total: u32 = held.iter().map(|s| s.count()).sum();
-            prop_assert_eq!(c.free_count() + held_total, 64);
+            assert_eq!(c.free_count() + held_total, 64, "seed {seed}");
         }
     }
+}
 
-    /// Profile anchors always satisfy the requested window, and the anchor
-    /// is minimal among breakpoint candidates.
-    #[test]
-    fn anchor_is_valid_and_minimal(
-        free in 0u32..32,
-        releases in prop::collection::vec((1i64..1_000, 1u32..8), 0..12),
-        procs in 1u32..32,
-        dur in 1i64..500,
-    ) {
+/// Profile anchors always satisfy the requested window, and the anchor is
+/// minimal among breakpoint candidates.
+#[test]
+fn anchor_is_valid_and_minimal() {
+    let mut tested = 0u32;
+    let mut seed = 0u64;
+    while tested < CASES as u32 {
+        seed += 1;
+        let mut rng = SimRng::seed_from_u64(seed ^ 0x5000);
         let total = 32u32;
+        let free = rng.range_u32(0, 31);
+        let n_rel = rng.index(12);
+        let releases: Vec<(i64, u32)> = (0..n_rel)
+            .map(|_| (rng.range_i64(1, 999), rng.range_u32(1, 7)))
+            .collect();
+        let procs = rng.range_u32(1, 31);
+        let dur = rng.range_i64(1, 499);
         let released: u32 = releases.iter().map(|&(_, p)| p).sum();
-        prop_assume!(free + released <= total);
-        let rel: Vec<(SimTime, u32)> =
-            releases.iter().map(|&(t, p)| (SimTime::new(t), p)).collect();
-        let p = Profile::new(SimTime::new(0), total, free, &rel);
-        if procs > free + released {
-            // May still be feasible only if procs <= final availability.
+        if free + released > total {
+            continue; // infeasible setup, mirrors the original prop_assume!
         }
+        tested += 1;
+        let rel: Vec<(SimTime, u32)> = releases
+            .iter()
+            .map(|&(t, p)| (SimTime::new(t), p))
+            .collect();
+        let p = Profile::new(SimTime::new(0), total, free, &rel);
         match p.find_anchor(procs, dur, SimTime::new(0)) {
-            None => prop_assert!(procs > free + released),
+            None => assert!(procs > free + released, "seed {seed}"),
             Some(anchor) => {
-                prop_assert!(p.min_avail(anchor, dur) >= procs, "window violated");
+                assert!(
+                    p.min_avail(anchor, dur) >= procs,
+                    "seed {seed}: window violated"
+                );
                 // No earlier breakpoint candidate satisfies the window.
                 for &(t, _) in p.steps() {
                     if t < anchor {
-                        prop_assert!(p.min_avail(t, dur) < procs,
-                            "anchor not minimal: breakpoint {:?} earlier than {:?}", t, anchor);
+                        assert!(
+                            p.min_avail(t, dur) < procs,
+                            "seed {seed}: anchor not minimal: breakpoint {t:?} earlier than {anchor:?}"
+                        );
                     }
                 }
             }
         }
     }
+}
 
-    /// Reservations never increase availability anywhere, and outside the
-    /// reserved window availability is unchanged.
-    #[test]
-    fn reservation_monotone(
-        free in 4u32..32,
-        start in 0i64..200,
-        dur in 1i64..200,
-        procs in 1u32..4,
-    ) {
+/// Reservations never increase availability anywhere, and outside the
+/// reserved window availability is unchanged.
+#[test]
+fn reservation_monotone() {
+    for seed in 0..CASES {
+        let mut rng = SimRng::seed_from_u64(seed ^ 0x6000);
         let total = 32u32;
+        let free = rng.range_u32(4, 31);
+        let start = rng.range_i64(0, 199);
+        let dur = rng.range_i64(1, 199);
+        let procs = rng.range_u32(1, 3);
         let before = Profile::new(SimTime::new(0), total, free, &[]);
         let mut after = before.clone();
         after.reserve(SimTime::new(start), dur, procs);
@@ -141,9 +187,9 @@ proptest! {
             let b = before.avail_at(t);
             let a = after.avail_at(t);
             if probe >= start && probe < start + dur {
-                prop_assert_eq!(a, b - procs);
+                assert_eq!(a, b - procs, "seed {seed} probe {probe}");
             } else {
-                prop_assert_eq!(a, b);
+                assert_eq!(a, b, "seed {seed} probe {probe}");
             }
         }
     }

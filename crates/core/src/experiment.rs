@@ -8,8 +8,12 @@
 //! configurations out over OS threads (simulations are independent and
 //! CPU-bound).
 
+use std::fmt;
+use std::str::FromStr;
+
 use sps_metrics::{CategoryReport, JobOutcome};
 use sps_simcore::Secs;
+use sps_trace::{DecodeError, Json, TraceRecord, TraceSink, TRACE_VERSION};
 use sps_workload::{EstimateModel, Job, SyntheticConfig, SystemPreset};
 
 use crate::overhead::OverheadModel;
@@ -20,7 +24,13 @@ use crate::sched::{
 use crate::sim::{SimResult, Simulator, DEFAULT_TICK_PERIOD};
 
 /// Which scheduler to run.
+///
+/// Every kind has a canonical spec string — `"fcfs"`, `"cons"`, `"easy"`,
+/// `"flex:4"`, `"is"`, `"gang"`, `"ss:2.0"`, `"tss:1.5"` — produced by
+/// [`fmt::Display`] and accepted by [`FromStr`], so the CLI, trace-file
+/// headers, and config JSON all share one round-trippable grammar.
 #[derive(Clone, Copy, PartialEq, Debug)]
+#[non_exhaustive]
 pub enum SchedulerKind {
     /// First-come-first-served, no backfilling.
     Fcfs,
@@ -78,6 +88,94 @@ impl SchedulerKind {
             SchedulerKind::Ss { sf } => format!("SS {sf}"),
             SchedulerKind::Tss { sf } => format!("SF={sf} Tuned"),
         }
+    }
+}
+
+/// Render a suspension factor so that integral values keep a decimal
+/// point (`2` → `"2.0"`) — the canonical spec strings stay visibly
+/// floating-point and re-parse to the same value.
+fn fmt_sf(sf: f64) -> String {
+    if sf.fract() == 0.0 {
+        format!("{sf:.1}")
+    } else {
+        format!("{sf}")
+    }
+}
+
+impl fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SchedulerKind::Fcfs => f.write_str("fcfs"),
+            SchedulerKind::Conservative => f.write_str("cons"),
+            SchedulerKind::Easy => f.write_str("easy"),
+            SchedulerKind::Flex { depth } => write!(f, "flex:{depth}"),
+            SchedulerKind::ImmediateService => f.write_str("is"),
+            SchedulerKind::Gang => f.write_str("gang"),
+            SchedulerKind::Ss { sf } => write!(f, "ss:{}", fmt_sf(sf)),
+            SchedulerKind::Tss { sf } => write!(f, "tss:{}", fmt_sf(sf)),
+        }
+    }
+}
+
+/// A scheduler spec string that [`SchedulerKind::from_str`] rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseSchedulerError {
+    spec: String,
+    reason: &'static str,
+}
+
+impl fmt::Display for ParseSchedulerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad scheduler spec {:?}: {}", self.spec, self.reason)
+    }
+}
+
+impl std::error::Error for ParseSchedulerError {}
+
+impl FromStr for SchedulerKind {
+    type Err = ParseSchedulerError;
+
+    fn from_str(spec: &str) -> Result<Self, Self::Err> {
+        let err = |reason| ParseSchedulerError {
+            spec: spec.into(),
+            reason,
+        };
+        let lower = spec.trim().to_ascii_lowercase();
+        match lower.as_str() {
+            "fcfs" => return Ok(SchedulerKind::Fcfs),
+            "cons" | "conservative" => return Ok(SchedulerKind::Conservative),
+            "easy" | "ns" => return Ok(SchedulerKind::Easy),
+            "is" => return Ok(SchedulerKind::ImmediateService),
+            "gang" => return Ok(SchedulerKind::Gang),
+            _ => {}
+        }
+        if let Some(depth) = lower.strip_prefix("flex:") {
+            let depth: usize = depth.parse().map_err(|_| err("depth must be an integer"))?;
+            if depth == 0 {
+                return Err(err("flex depth must be at least 1"));
+            }
+            return Ok(SchedulerKind::Flex { depth });
+        }
+        let (tuned, sf_text) = if let Some(rest) = lower.strip_prefix("ss:") {
+            (false, rest)
+        } else if let Some(rest) = lower.strip_prefix("tss:") {
+            (true, rest)
+        } else {
+            return Err(err(
+                "expected fcfs | cons | easy | flex:<depth> | is | gang | ss:<sf> | tss:<sf>",
+            ));
+        };
+        let sf: f64 = sf_text
+            .parse()
+            .map_err(|_| err("suspension factor must be a number"))?;
+        if !sf.is_finite() || sf < 1.0 {
+            return Err(err("suspension factor must be a finite number ≥ 1"));
+        }
+        Ok(if tuned {
+            SchedulerKind::Tss { sf }
+        } else {
+            SchedulerKind::Ss { sf }
+        })
     }
 }
 
@@ -149,6 +247,26 @@ impl ExperimentConfig {
         self
     }
 
+    /// Set the scheduler under test.
+    pub fn with_scheduler(mut self, s: SchedulerKind) -> Self {
+        self.scheduler = s;
+        self
+    }
+
+    /// Set the preemption-routine period in seconds.
+    pub fn with_tick_period(mut self, secs: Secs) -> Self {
+        self.tick_period = secs;
+        self
+    }
+
+    /// Switch to a different machine/mix preset. The trace length stays
+    /// as configured — call [`ExperimentConfig::with_jobs`] afterwards if
+    /// the new preset's default is wanted.
+    pub fn with_system(mut self, system: SystemPreset) -> Self {
+        self.system = system;
+        self
+    }
+
     /// Generate this experiment's trace (scheduler-independent).
     pub fn trace(&self) -> Vec<Job> {
         let mut jobs = SyntheticConfig::new(self.system, self.seed)
@@ -171,6 +289,188 @@ impl ExperimentConfig {
         );
         RunResult::from_sim(self.clone(), sim.run())
     }
+
+    /// Run the simulation while streaming trace records into `sink`.
+    ///
+    /// The first record is a [`TraceRecord::Header`] embedding this
+    /// configuration as JSON, so the run is reproducible from the log
+    /// alone: `ExperimentConfig::from_json(header.config)` rebuilds it.
+    pub fn run_traced<S: TraceSink>(&self, sink: &mut S) -> RunResult {
+        if sink.enabled() {
+            sink.record(&TraceRecord::Header {
+                version: TRACE_VERSION,
+                scheduler: self.scheduler.to_string(),
+                config: self.to_json(),
+            });
+        }
+        let jobs = self.trace();
+        let sim = Simulator::traced(
+            jobs,
+            self.system.procs,
+            self.scheduler.build(),
+            self.overhead,
+            self.tick_period,
+            sink,
+        );
+        RunResult::from_sim(self.clone(), sim.run())
+    }
+
+    /// Encode as JSON (embedded in trace-file headers).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("system".into(), Json::Str(self.system.name.into())),
+            ("n_jobs".into(), Json::Int(self.n_jobs as i64)),
+            ("seed".into(), Json::Int(self.seed as i64)),
+            ("load_factor".into(), Json::Num(self.load_factor)),
+            ("estimates".into(), estimates_to_json(&self.estimates)),
+            ("overhead".into(), overhead_to_json(&self.overhead)),
+            ("scheduler".into(), Json::Str(self.scheduler.to_string())),
+            ("tick_period".into(), Json::Int(self.tick_period)),
+        ])
+    }
+
+    /// Decode a configuration previously encoded with
+    /// [`ExperimentConfig::to_json`].
+    pub fn from_json(json: &Json) -> Result<Self, DecodeError> {
+        let name = json
+            .get("system")
+            .and_then(Json::as_str)
+            .ok_or(DecodeError::Missing("system"))?;
+        let system = SystemPreset::by_name(name).ok_or(DecodeError::Bad("system"))?;
+        let scheduler: SchedulerKind = json
+            .get("scheduler")
+            .and_then(Json::as_str)
+            .ok_or(DecodeError::Missing("scheduler"))?
+            .parse()
+            .map_err(|_| DecodeError::Bad("scheduler"))?;
+        let n_jobs = json
+            .get("n_jobs")
+            .and_then(Json::as_i64)
+            .ok_or(DecodeError::Missing("n_jobs"))?;
+        let seed = json
+            .get("seed")
+            .and_then(Json::as_i64)
+            .ok_or(DecodeError::Missing("seed"))?;
+        let load_factor = json
+            .get("load_factor")
+            .and_then(Json::as_f64)
+            .ok_or(DecodeError::Missing("load_factor"))?;
+        let tick_period = json
+            .get("tick_period")
+            .and_then(Json::as_i64)
+            .ok_or(DecodeError::Missing("tick_period"))?;
+        if n_jobs < 1 || tick_period < 1 || !load_factor.is_finite() || load_factor <= 0.0 {
+            return Err(DecodeError::Bad("config"));
+        }
+        Ok(ExperimentConfig {
+            system,
+            n_jobs: n_jobs as usize,
+            seed: seed as u64,
+            load_factor,
+            estimates: estimates_from_json(
+                json.get("estimates")
+                    .ok_or(DecodeError::Missing("estimates"))?,
+            )?,
+            overhead: overhead_from_json(
+                json.get("overhead")
+                    .ok_or(DecodeError::Missing("overhead"))?,
+            )?,
+            scheduler,
+            tick_period,
+        })
+    }
+}
+
+fn estimates_to_json(e: &EstimateModel) -> Json {
+    match *e {
+        EstimateModel::Accurate => Json::Obj(vec![("model".into(), Json::Str("accurate".into()))]),
+        EstimateModel::Mixture {
+            well_fraction,
+            max_factor,
+        } => Json::Obj(vec![
+            ("model".into(), Json::Str("mixture".into())),
+            ("well_fraction".into(), Json::Num(well_fraction)),
+            ("max_factor".into(), Json::Num(max_factor)),
+        ]),
+        EstimateModel::RoundedMixture {
+            well_fraction,
+            max_factor,
+        } => Json::Obj(vec![
+            ("model".into(), Json::Str("rounded_mixture".into())),
+            ("well_fraction".into(), Json::Num(well_fraction)),
+            ("max_factor".into(), Json::Num(max_factor)),
+        ]),
+    }
+}
+
+fn estimates_from_json(json: &Json) -> Result<EstimateModel, DecodeError> {
+    let model = json
+        .get("model")
+        .and_then(Json::as_str)
+        .ok_or(DecodeError::Missing("model"))?;
+    let fractions = || -> Result<(f64, f64), DecodeError> {
+        let well = json
+            .get("well_fraction")
+            .and_then(Json::as_f64)
+            .ok_or(DecodeError::Missing("well_fraction"))?;
+        let max = json
+            .get("max_factor")
+            .and_then(Json::as_f64)
+            .ok_or(DecodeError::Missing("max_factor"))?;
+        if !(0.0..=1.0).contains(&well) || !max.is_finite() || max <= 1.0 {
+            return Err(DecodeError::Bad("estimates"));
+        }
+        Ok((well, max))
+    };
+    match model {
+        "accurate" => Ok(EstimateModel::Accurate),
+        "mixture" => {
+            let (well_fraction, max_factor) = fractions()?;
+            Ok(EstimateModel::Mixture {
+                well_fraction,
+                max_factor,
+            })
+        }
+        "rounded_mixture" => {
+            let (well_fraction, max_factor) = fractions()?;
+            Ok(EstimateModel::RoundedMixture {
+                well_fraction,
+                max_factor,
+            })
+        }
+        _ => Err(DecodeError::Bad("model")),
+    }
+}
+
+fn overhead_to_json(o: &OverheadModel) -> Json {
+    match *o {
+        OverheadModel::None => Json::Obj(vec![("model".into(), Json::Str("none".into()))]),
+        OverheadModel::MemoryDrain { mb_per_sec } => Json::Obj(vec![
+            ("model".into(), Json::Str("memory_drain".into())),
+            ("mb_per_sec".into(), Json::Num(mb_per_sec)),
+        ]),
+    }
+}
+
+fn overhead_from_json(json: &Json) -> Result<OverheadModel, DecodeError> {
+    let model = json
+        .get("model")
+        .and_then(Json::as_str)
+        .ok_or(DecodeError::Missing("model"))?;
+    match model {
+        "none" => Ok(OverheadModel::None),
+        "memory_drain" => {
+            let mb_per_sec = json
+                .get("mb_per_sec")
+                .and_then(Json::as_f64)
+                .ok_or(DecodeError::Missing("mb_per_sec"))?;
+            if !mb_per_sec.is_finite() || mb_per_sec <= 0.0 {
+                return Err(DecodeError::Bad("mb_per_sec"));
+            }
+            Ok(OverheadModel::MemoryDrain { mb_per_sec })
+        }
+        _ => Err(DecodeError::Bad("model")),
+    }
 }
 
 /// A finished experiment with its aggregations.
@@ -191,11 +491,15 @@ pub struct RunResult {
 impl RunResult {
     fn from_sim(config: ExperimentConfig, sim: SimResult) -> Self {
         let report = CategoryReport::from_outcomes(&sim.outcomes);
-        let report_well =
-            CategoryReport::from_filtered(&sim.outcomes, JobOutcome::well_estimated);
-        let report_badly =
-            CategoryReport::from_filtered(&sim.outcomes, |o| !o.well_estimated());
-        RunResult { config, sim, report, report_well, report_badly }
+        let report_well = CategoryReport::from_filtered(&sim.outcomes, JobOutcome::well_estimated);
+        let report_badly = CategoryReport::from_filtered(&sim.outcomes, |o| !o.well_estimated());
+        RunResult {
+            config,
+            sim,
+            report,
+            report_well,
+            report_badly,
+        }
     }
 
     /// Productive utilization, percent.
@@ -207,25 +511,45 @@ impl RunResult {
 /// Run a batch of experiments in parallel across OS threads. Results come
 /// back in input order.
 pub fn run_many(configs: Vec<ExperimentConfig>) -> Vec<RunResult> {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let mut results: Vec<Option<RunResult>> = (0..configs.len()).map(|_| None).collect();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    run_many_on(configs, threads)
+}
+
+/// [`run_many`] with an explicit worker count. Workers pull indices from a
+/// shared counter and send `(index, result)` pairs over a channel; the
+/// caller's thread reassembles them in input order.
+fn run_many_on(configs: Vec<ExperimentConfig>, threads: usize) -> Vec<RunResult> {
+    let n = configs.len();
     let next = std::sync::atomic::AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, RunResult)>();
     let configs_ref = &configs;
-    let results_mutex = std::sync::Mutex::new(&mut results);
+    let next_ref = &next;
     std::thread::scope(|scope| {
-        for _ in 0..threads.min(configs_ref.len()) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= configs_ref.len() {
+        for _ in 0..threads.max(1).min(n) {
+            let tx = tx.clone();
+            scope.spawn(move || loop {
+                let i = next_ref.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
                     break;
                 }
                 let result = configs_ref[i].run();
-                let mut guard = results_mutex.lock().expect("no poisoned result writers");
-                guard[i] = Some(result);
+                if tx.send((i, result)).is_err() {
+                    break;
+                }
             });
         }
-    });
-    results.into_iter().map(|r| r.expect("every experiment ran")).collect()
+        drop(tx); // the receive loop ends once every worker is done
+        let mut results: Vec<Option<RunResult>> = (0..n).map(|_| None).collect();
+        for (i, r) in rx {
+            results[i] = Some(r);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every experiment ran"))
+            .collect()
+    })
 }
 
 #[cfg(test)]
@@ -234,7 +558,9 @@ mod tests {
     use sps_workload::traces::SDSC;
 
     fn small(scheduler: SchedulerKind) -> ExperimentConfig {
-        ExperimentConfig::new(SDSC, scheduler).with_jobs(300).with_seed(7)
+        ExperimentConfig::new(SDSC, scheduler)
+            .with_jobs(300)
+            .with_seed(7)
     }
 
     #[test]
@@ -259,8 +585,10 @@ mod tests {
 
     #[test]
     fn estimate_split_matches_model() {
-        let cfg = small(SchedulerKind::Easy)
-            .with_estimates(EstimateModel::Mixture { well_fraction: 0.5, max_factor: 30.0 });
+        let cfg = small(SchedulerKind::Easy).with_estimates(EstimateModel::Mixture {
+            well_fraction: 0.5,
+            max_factor: 30.0,
+        });
         let r = cfg.run();
         assert!(r.report_well.overall.count > 60);
         assert!(r.report_badly.overall.count > 60);
@@ -278,10 +606,21 @@ mod tests {
             let seq = cfg.run();
             assert_eq!(par.sim.policy, seq.sim.policy);
             assert_eq!(par.report.overall.count, seq.report.overall.count);
-            assert!((par.report.overall.mean_slowdown - seq.report.overall.mean_slowdown).abs() < 1e-12);
+            assert!(
+                (par.report.overall.mean_slowdown - seq.report.overall.mean_slowdown).abs() < 1e-12
+            );
         }
         assert_eq!(parallel[0].sim.policy, "NS (EASY)");
         assert_eq!(parallel[2].sim.policy, "FCFS");
+    }
+
+    #[test]
+    fn run_many_keeps_order_with_more_threads_than_work() {
+        let configs = vec![small(SchedulerKind::Easy), small(SchedulerKind::Fcfs)];
+        let results = run_many_on(configs, 16);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].sim.policy, "NS (EASY)");
+        assert_eq!(results[1].sim.policy, "FCFS");
     }
 
     #[test]
@@ -289,5 +628,124 @@ mod tests {
         assert_eq!(SchedulerKind::Ss { sf: 2.0 }.label(), "SS 2");
         assert_eq!(SchedulerKind::Tss { sf: 1.5 }.label(), "SF=1.5 Tuned");
         assert_eq!(SchedulerKind::Easy.label(), "NS");
+    }
+
+    #[test]
+    fn spec_strings_are_canonical() {
+        assert_eq!(SchedulerKind::Ss { sf: 2.0 }.to_string(), "ss:2.0");
+        assert_eq!(SchedulerKind::Tss { sf: 1.5 }.to_string(), "tss:1.5");
+        assert_eq!(SchedulerKind::Flex { depth: 4 }.to_string(), "flex:4");
+        assert_eq!(
+            "easy".parse::<SchedulerKind>().unwrap(),
+            SchedulerKind::Easy
+        );
+        assert_eq!("ns".parse::<SchedulerKind>().unwrap(), SchedulerKind::Easy);
+        assert_eq!(
+            "conservative".parse::<SchedulerKind>().unwrap(),
+            SchedulerKind::Conservative
+        );
+        assert_eq!(
+            " TSS:2.5 ".parse::<SchedulerKind>().unwrap(),
+            SchedulerKind::Tss { sf: 2.5 }
+        );
+        for bad in ["", "ss:", "ss:0.5", "ss:nan", "flex:0", "flex:x", "lottery"] {
+            assert!(
+                bad.parse::<SchedulerKind>().is_err(),
+                "{bad:?} must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn spec_strings_round_trip() {
+        // Property: parse(k.to_string()) == k over randomly drawn kinds.
+        let mut rng = sps_simcore::SimRng::seed_from_u64(0x5EED);
+        for _ in 0..2_000 {
+            let sf = 1.0 + (rng.below(64_000) as f64) / 1_000.0;
+            let kind = match rng.index(8) {
+                0 => SchedulerKind::Fcfs,
+                1 => SchedulerKind::Conservative,
+                2 => SchedulerKind::Easy,
+                3 => SchedulerKind::Flex {
+                    depth: 1 + rng.index(200),
+                },
+                4 => SchedulerKind::ImmediateService,
+                5 => SchedulerKind::Gang,
+                6 => SchedulerKind::Ss { sf },
+                _ => SchedulerKind::Tss { sf },
+            };
+            let spec = kind.to_string();
+            assert_eq!(
+                spec.parse::<SchedulerKind>().unwrap(),
+                kind,
+                "spec {spec:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn config_json_round_trips() {
+        let cfg = ExperimentConfig::new(SDSC, SchedulerKind::Tss { sf: 2.0 })
+            .with_jobs(1_234)
+            .with_seed(99)
+            .with_load_factor(1.3)
+            .with_estimates(EstimateModel::Mixture {
+                well_fraction: 0.4,
+                max_factor: 30.0,
+            })
+            .with_overhead(OverheadModel::paper())
+            .with_tick_period(30);
+        let json = cfg.to_json();
+        let text = json.render();
+        let back = ExperimentConfig::from_json(&sps_trace::Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.system.name, cfg.system.name);
+        assert_eq!(back.n_jobs, cfg.n_jobs);
+        assert_eq!(back.seed, cfg.seed);
+        assert_eq!(back.load_factor, cfg.load_factor);
+        assert_eq!(back.estimates, cfg.estimates);
+        assert_eq!(back.overhead, cfg.overhead);
+        assert_eq!(back.scheduler, cfg.scheduler);
+        assert_eq!(back.tick_period, cfg.tick_period);
+        // Same trace from the round-tripped config.
+        assert_eq!(back.trace(), cfg.trace());
+    }
+
+    #[test]
+    fn builders_cover_every_field() {
+        use sps_workload::traces::CTC;
+        let cfg = ExperimentConfig::new(SDSC, SchedulerKind::Easy)
+            .with_system(CTC)
+            .with_scheduler(SchedulerKind::Ss { sf: 3.0 })
+            .with_tick_period(120);
+        assert_eq!(cfg.system.name, "CTC");
+        assert_eq!(cfg.scheduler, SchedulerKind::Ss { sf: 3.0 });
+        assert_eq!(cfg.tick_period, 120);
+    }
+
+    #[test]
+    fn run_traced_header_embeds_config() {
+        use sps_trace::{MemorySink, TraceRecord};
+        let cfg = small(SchedulerKind::Ss { sf: 2.0 }).with_jobs(120);
+        let mut sink = MemorySink::new();
+        let result = cfg.run_traced(&mut sink);
+        assert_eq!(result.report.overall.count, 120);
+        let records = sink.records();
+        let TraceRecord::Header {
+            version,
+            scheduler,
+            config,
+        } = &records[0]
+        else {
+            panic!("first record must be the header");
+        };
+        assert_eq!(*version, sps_trace::TRACE_VERSION);
+        assert_eq!(scheduler, "ss:2.0");
+        let back = ExperimentConfig::from_json(config).unwrap();
+        assert_eq!(back.scheduler, cfg.scheduler);
+        assert_eq!(back.seed, cfg.seed);
+        // The log replays cleanly under the validator.
+        let stats = sps_trace::validate_records(records, sps_trace::ReplayOptions::default())
+            .expect("trace must validate");
+        assert_eq!(stats.completions, 120);
     }
 }

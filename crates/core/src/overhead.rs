@@ -77,8 +77,14 @@ mod tests {
     #[test]
     fn paper_rates() {
         // 100 MB at 2 MB/s → 50 s; 1024 MB → 512 s.
-        assert_eq!(OverheadModel::paper().suspend_secs(&job_with_mem(100, 1)), 50);
-        assert_eq!(OverheadModel::paper().suspend_secs(&job_with_mem(1_024, 1)), 512);
+        assert_eq!(
+            OverheadModel::paper().suspend_secs(&job_with_mem(100, 1)),
+            50
+        );
+        assert_eq!(
+            OverheadModel::paper().suspend_secs(&job_with_mem(1_024, 1)),
+            512
+        );
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use sps_cluster::ProcSet;
 use sps_metrics::JobOutcome;
+use sps_trace::TraceCtx;
 use sps_workload::JobId;
 
 use crate::sim::SimState;
@@ -54,6 +55,11 @@ pub struct DecideCtx<'a> {
     /// schedulers run the preemption routine only on ticks ("the scheduler
     /// periodically (after every minute) invokes the preemption routine").
     pub tick: bool,
+    /// Emission handle for scheduler-decision trace records. With the
+    /// default `NullSink` the handle reports disabled and every emission
+    /// site (including its record construction) is skipped. Policies
+    /// built outside a simulator can use [`TraceCtx::disabled`].
+    pub trace: &'a TraceCtx<'a>,
 }
 
 /// A job-scheduling policy.

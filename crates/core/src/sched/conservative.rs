@@ -95,7 +95,11 @@ mod tests {
         let j1 = res.outcomes.iter().find(|o| o.id == JobId(1)).unwrap();
         let j2 = res.outcomes.iter().find(|o| o.id == JobId(2)).unwrap();
         assert_eq!(j1.first_start.secs(), 100);
-        assert_eq!(j2.first_start.secs(), 200, "would delay j1, must queue behind it");
+        assert_eq!(
+            j2.first_start.secs(),
+            200,
+            "would delay j1, must queue behind it"
+        );
     }
 
     #[test]
@@ -124,7 +128,12 @@ mod tests {
         let res = run(jobs, 9);
         let starts: Vec<i64> = (0..3)
             .map(|i| {
-                res.outcomes.iter().find(|o| o.id == JobId(i)).unwrap().first_start.secs()
+                res.outcomes
+                    .iter()
+                    .find(|o| o.id == JobId(i))
+                    .unwrap()
+                    .first_start
+                    .secs()
             })
             .collect();
         assert_eq!(starts, vec![0, 100, 200]);
@@ -140,7 +149,11 @@ mod tests {
         }
         let res = run(jobs, 9);
         let wide = res.outcomes.iter().find(|o| o.id == JobId(1)).unwrap();
-        assert_eq!(wide.first_start.secs(), 100, "reservation protects the wide job");
+        assert_eq!(
+            wide.first_start.secs(),
+            100,
+            "reservation protects the wide job"
+        );
         assert_eq!(res.dropped_actions, 0);
     }
 

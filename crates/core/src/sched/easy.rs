@@ -11,6 +11,8 @@
 //! 2. it uses no more processors than will still be free at the shadow
 //!    time after the head job starts (the "extra" processors).
 
+use sps_trace::Reason;
+
 use crate::policy::{Action, DecideCtx, Policy};
 use crate::sim::SimState;
 
@@ -23,14 +25,14 @@ impl Policy for Easy {
         "NS (EASY)".into()
     }
 
-    fn decide(&mut self, state: &SimState, _ctx: &DecideCtx<'_>, actions: &mut Vec<Action>) {
-        plan_easy(state, actions);
+    fn decide(&mut self, state: &SimState, ctx: &DecideCtx<'_>, actions: &mut Vec<Action>) {
+        plan_easy(state, ctx, actions);
     }
 }
 
 /// Shared EASY planning: fills `actions` with starts. Exposed for reuse by
 /// the tests and by hybrid policies.
-pub(crate) fn plan_easy(state: &SimState, actions: &mut Vec<Action>) {
+pub(crate) fn plan_easy(state: &SimState, ctx: &DecideCtx<'_>, actions: &mut Vec<Action>) {
     let mut free = state.free_count();
     let queued = state.queued();
     let mut idx = 0;
@@ -75,13 +77,27 @@ pub(crate) fn plan_easy(state: &SimState, actions: &mut Vec<Action>) {
             continue;
         }
         let ends_by_shadow = state.now() + job.estimate <= shadow;
-        if ends_by_shadow {
+        let fits = if ends_by_shadow {
             free -= job.procs;
-            actions.push(Action::Start(id));
+            true
         } else if job.procs <= extra {
             free -= job.procs;
             extra -= job.procs;
+            true
+        } else {
+            false
+        };
+        if fits {
             actions.push(Action::Start(id));
+            if ctx.trace.enabled() {
+                ctx.trace.decision(
+                    state.now().secs(),
+                    Reason::Backfilled {
+                        job: id.0,
+                        shadow: shadow.secs(),
+                    },
+                );
+            }
         }
     }
 }
@@ -126,7 +142,10 @@ mod tests {
         let j1 = res.outcomes.iter().find(|o| o.id == JobId(1)).unwrap();
         assert_eq!(j1.first_start.secs(), 100, "head reservation honoured");
         let j2 = res.outcomes.iter().find(|o| o.id == JobId(2)).unwrap();
-        assert!(j2.first_start.secs() >= 200, "long narrow job waits for the head");
+        assert!(
+            j2.first_start.secs() >= 200,
+            "long narrow job waits for the head"
+        );
     }
 
     #[test]
@@ -140,7 +159,11 @@ mod tests {
         ];
         let res = run(jobs, 9);
         let j2 = res.outcomes.iter().find(|o| o.id == JobId(2)).unwrap();
-        assert_eq!(j2.first_start.secs(), 2, "extra-node rule admits the long narrow job");
+        assert_eq!(
+            j2.first_start.secs(),
+            2,
+            "extra-node rule admits the long narrow job"
+        );
         let j1 = res.outcomes.iter().find(|o| o.id == JobId(1)).unwrap();
         assert_eq!(j1.first_start.secs(), 100);
     }
@@ -165,7 +188,11 @@ mod tests {
         }
         let res = run(jobs, 9);
         let wide = res.outcomes.iter().find(|o| o.id == JobId(1)).unwrap();
-        assert_eq!(wide.first_start.secs(), 100, "wide job starts at its reservation");
+        assert_eq!(
+            wide.first_start.secs(),
+            100,
+            "wide job starts at its reservation"
+        );
         assert_eq!(res.dropped_actions, 0);
     }
 
@@ -183,6 +210,9 @@ mod tests {
         }
         let easy = Simulator::new(jobs.clone(), 16, Box::new(Easy)).run();
         let fcfs = Simulator::new(jobs, 16, Box::new(Fcfs)).run();
-        assert!(easy.makespan <= fcfs.makespan, "EASY should not lengthen the schedule");
+        assert!(
+            easy.makespan <= fcfs.makespan,
+            "EASY should not lengthen the schedule"
+        );
     }
 }

@@ -49,7 +49,11 @@ mod tests {
         ];
         let res = Simulator::new(jobs, 8, Box::new(Fcfs)).run();
         let j2 = res.outcomes.iter().find(|o| o.id == JobId(2)).unwrap();
-        assert_eq!(j2.first_start.secs(), 200, "small job must wait behind the blocked head");
+        assert_eq!(
+            j2.first_start.secs(),
+            200,
+            "small job must wait behind the blocked head"
+        );
         assert_eq!(res.dropped_actions, 0);
     }
 

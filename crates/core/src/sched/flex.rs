@@ -63,6 +63,14 @@ impl Policy for FlexBackfill {
 }
 
 #[cfg(test)]
+impl crate::sim::SimResult {
+    /// Mean wait over all outcomes (test helper).
+    fn report_mean_wait(&self) -> f64 {
+        self.outcomes.iter().map(|o| o.wait() as f64).sum::<f64>() / self.outcomes.len() as f64
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
     use crate::sched::easy::Easy;
@@ -92,8 +100,18 @@ mod tests {
         let easy = Simulator::new(contrast_trace(), 9, Box::new(Easy)).run();
         let flex = run(contrast_trace(), 9, 1);
         for id in 0..3u32 {
-            let a = easy.outcomes.iter().find(|o| o.id == JobId(id)).unwrap().first_start;
-            let b = flex.outcomes.iter().find(|o| o.id == JobId(id)).unwrap().first_start;
+            let a = easy
+                .outcomes
+                .iter()
+                .find(|o| o.id == JobId(id))
+                .unwrap()
+                .first_start;
+            let b = flex
+                .outcomes
+                .iter()
+                .find(|o| o.id == JobId(id))
+                .unwrap()
+                .first_start;
             assert_eq!(a, b, "job {id} start differs from EASY");
         }
     }
@@ -158,13 +176,5 @@ mod tests {
             shallow.report_mean_wait(),
             deep.report_mean_wait()
         );
-    }
-}
-
-#[cfg(test)]
-impl crate::sim::SimResult {
-    /// Mean wait over all outcomes (test helper).
-    fn report_mean_wait(&self) -> f64 {
-        self.outcomes.iter().map(|o| o.wait() as f64).sum::<f64>() / self.outcomes.len() as f64
     }
 }

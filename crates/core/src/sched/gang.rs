@@ -5,9 +5,13 @@
 //!
 //! Implemented on the simulator's suspend/resume mechanics: each job is
 //! assigned to a slot on arrival (first slot with spare capacity, opening
-//! a new slot up to `max_slots`); every `quantum` seconds the active slot
-//! rotates — all running jobs of the outgoing slot are suspended and the
-//! incoming slot's jobs are resumed/started. Because jobs within one slot
+//! a new slot up to `max_slots`); every `quantum` seconds *of actual
+//! service* the active slot rotates — all running jobs of the outgoing
+//! slot are suspended and the incoming slot's jobs are resumed/started.
+//! The quantum clock starts when the incoming slot's jobs are dispatched,
+//! not at the rotation itself, so suspend/restart overheads lengthen the
+//! rotation period instead of silently eating the slot's compute time.
+//! Because jobs within one slot
 //! hold pairwise-disjoint processors, the local-preemption constraint
 //! (resume on the same processors) is always satisfiable when the slot's
 //! turn comes.
@@ -44,8 +48,16 @@ pub struct GangScheduling {
     max_slots: usize,
     slots: Vec<Slot>,
     active: usize,
-    /// When the current quantum started.
-    quantum_start: SimTime,
+    /// When the current quantum's *service* began: the first instant a
+    /// member of the active slot was observed dispatched after the last
+    /// rotation (`None` while the incoming slot is still draining in).
+    /// Anchoring the quantum to service rather than to the rotation
+    /// instant keeps suspension overheads from consuming the whole
+    /// quantum — with the paper's drain model a wide job needs several
+    /// hundred seconds to drain and reload, and a clock started at the
+    /// rotation would suspend it again before it computed anything,
+    /// alternating forever.
+    quantum_start: Option<SimTime>,
     /// Slot of each job (index into `slots`), by job id.
     slot_of: std::collections::HashMap<JobId, usize>,
 }
@@ -71,7 +83,7 @@ impl GangScheduling {
             max_slots,
             slots: vec![Slot::default()],
             active: 0,
-            quantum_start: SimTime::ZERO,
+            quantum_start: Some(SimTime::ZERO),
             slot_of: std::collections::HashMap::new(),
         }
     }
@@ -107,10 +119,7 @@ impl GangScheduling {
         if keep.len() == self.slots.len() {
             return;
         }
-        let active_new = keep
-            .iter()
-            .position(|&i| i == self.active)
-            .unwrap_or(0);
+        let active_new = keep.iter().position(|&i| i == self.active).unwrap_or(0);
         let mut new_slots = Vec::with_capacity(keep.len());
         self.slot_of.clear();
         for (new_idx, &old_idx) in keep.iter().enumerate() {
@@ -153,17 +162,28 @@ impl Policy for GangScheduling {
             // the next decision.
         }
 
+        // Start the quantum clock once the incoming slot is actually in
+        // service (some member dispatched — or nothing left to dispatch).
+        if self.quantum_start.is_none() {
+            let slot = &self.slots[self.active];
+            if slot.members.is_empty() || slot.members.iter().any(|&m| state.is_running(m)) {
+                self.quantum_start = Some(now);
+            }
+        }
+
         // Rotate when the quantum expires (tick-driven) and more than one
         // slot exists.
         let rotate = ctx.tick
             && self.slots.len() > 1
-            && now - self.quantum_start >= self.quantum;
+            && self
+                .quantum_start
+                .is_some_and(|start| now - start >= self.quantum);
         if rotate {
             self.compact();
             if self.slots.len() > 1 {
                 self.active = (self.active + 1) % self.slots.len();
             }
-            self.quantum_start = now;
+            self.quantum_start = None;
         }
 
         // Enforce the matrix: everything outside the active slot must be
@@ -201,13 +221,21 @@ mod tests {
     use sps_workload::Job;
 
     fn run(jobs: Vec<Job>, procs: u32, quantum: Secs) -> crate::sim::SimResult {
-        Simulator::new(jobs, procs, Box::new(GangScheduling::with_quantum(quantum, 8))).run()
+        Simulator::new(
+            jobs,
+            procs,
+            Box::new(GangScheduling::with_quantum(quantum, 8)),
+        )
+        .run()
     }
 
     #[test]
     fn single_slot_behaves_like_space_sharing() {
         // Two narrow jobs fit one slot: no rotation, no suspensions.
-        let jobs = vec![Job::new(0, 0, 1_000, 1_000, 4), Job::new(1, 0, 1_000, 1_000, 4)];
+        let jobs = vec![
+            Job::new(0, 0, 1_000, 1_000, 4),
+            Job::new(1, 0, 1_000, 1_000, 4),
+        ];
         let res = run(jobs, 8, 600);
         assert_eq!(res.preemptions, 0);
         assert!(res.outcomes.iter().all(|o| o.wait() == 0));
@@ -216,11 +244,18 @@ mod tests {
     #[test]
     fn conflicting_jobs_timeshare() {
         // Two full-machine jobs must alternate in 600 s quanta.
-        let jobs = vec![Job::new(0, 0, 1_800, 1_800, 8), Job::new(1, 0, 1_800, 1_800, 8)];
+        let jobs = vec![
+            Job::new(0, 0, 1_800, 1_800, 8),
+            Job::new(1, 0, 1_800, 1_800, 8),
+        ];
         let res = run(jobs, 8, 600);
         let j0 = res.outcomes.iter().find(|o| o.id == JobId(0)).unwrap();
         let j1 = res.outcomes.iter().find(|o| o.id == JobId(1)).unwrap();
-        assert!(res.preemptions >= 4, "expected sustained alternation, got {}", res.preemptions);
+        assert!(
+            res.preemptions >= 4,
+            "expected sustained alternation, got {}",
+            res.preemptions
+        );
         // Time-sharing: both finish around 2×runtime, far beyond their
         // solo runtimes, and close to each other (the first finisher lands
         // at exactly 3000 s: three 600 s quanta interleaved with the other
@@ -233,7 +268,10 @@ mod tests {
     fn short_job_gets_service_quickly_under_long_job() {
         // A long hog and a short arrival: gang gives the short job a slot
         // and it runs within ~one quantum rather than waiting 10 000 s.
-        let jobs = vec![Job::new(0, 0, 10_000, 10_000, 8), Job::new(1, 50, 300, 300, 8)];
+        let jobs = vec![
+            Job::new(0, 0, 10_000, 10_000, 8),
+            Job::new(1, 50, 300, 300, 8),
+        ];
         let res = run(jobs, 8, 600);
         let short = res.outcomes.iter().find(|o| o.id == JobId(1)).unwrap();
         assert!(
@@ -259,13 +297,45 @@ mod tests {
     fn utilization_suffers_from_uneven_slots() {
         // Slot 1: one 8-proc job; slot 2: one 1-proc job. Half the time
         // the machine runs at 1/8 capacity.
-        let jobs = vec![Job::new(0, 0, 6_000, 6_000, 8), Job::new(1, 0, 6_000, 6_000, 1)];
+        let jobs = vec![
+            Job::new(0, 0, 6_000, 6_000, 8),
+            Job::new(1, 0, 6_000, 6_000, 1),
+        ];
         let res = run(jobs, 8, 600);
         assert!(
             res.utilization < 0.75,
             "gang fragmentation should cap utilization, got {:.2}",
             res.utilization
         );
+    }
+
+    #[test]
+    fn heavy_overhead_does_not_starve_the_rotation() {
+        // Two full-machine jobs whose drain + reload exceeds the quantum
+        // (8×4096 MiB at 0.5 MB/s per processor → 1024 s each way, vs a
+        // 600 s quantum). With the quantum clock anchored at the rotation
+        // instant the incoming job would be re-suspended before its
+        // reload finished — zero progress, alternating forever. Anchored
+        // at dispatch, every cycle delivers a full quantum of compute.
+        let jobs = vec![
+            Job::new(0, 0, 3_000, 3_000, 8),
+            Job::new(1, 0, 3_000, 3_000, 8),
+        ];
+        let res = crate::sim::Simulator::with_overhead(
+            jobs,
+            8,
+            Box::new(GangScheduling::with_quantum(600, 8)),
+            crate::overhead::OverheadModel::MemoryDrain { mb_per_sec: 0.5 },
+        )
+        .run();
+        assert_eq!(res.outcomes.len(), 2);
+        // Each job: 5 quanta of 600 s compute, each preceded by ~2048 s
+        // of drain+reload overhead; the whole dance stays well under a
+        // day — unbounded growth here means the livelock is back.
+        assert!(res.makespan < 60_000, "makespan {}", res.makespan);
+        for o in &res.outcomes {
+            assert!(o.suspensions >= 2, "expected sustained alternation");
+        }
     }
 
     #[test]

@@ -23,6 +23,7 @@ use std::collections::HashMap;
 use sps_cluster::ProcSet;
 use sps_metrics::JobOutcome;
 use sps_simcore::{Secs, SimTime};
+use sps_trace::Reason;
 use sps_workload::JobId;
 
 use crate::policy::{Action, DecideCtx, Policy};
@@ -53,7 +54,10 @@ impl ImmediateService {
     /// IS with a custom protection timeslice (for sensitivity studies).
     pub fn with_timeslice(timeslice: Secs) -> Self {
         assert!(timeslice > 0);
-        ImmediateService { timeslice, protected_until: HashMap::new() }
+        ImmediateService {
+            timeslice,
+            protected_until: HashMap::new(),
+        }
     }
 
     fn is_protected(&self, id: JobId, now: SimTime) -> bool {
@@ -87,7 +91,10 @@ impl Mirror {
                     (
                         id,
                         state.job(id).procs,
-                        state.assigned_set(id).expect("running job has a set").clone(),
+                        state
+                            .assigned_set(id)
+                            .expect("running job has a set")
+                            .clone(),
                     )
                 })
                 .collect(),
@@ -133,7 +140,12 @@ impl Policy for ImmediateService {
         // oldest waiter has the highest instantaneous xfactor, so this is
         // IS's own priority order for jobs that have never run.
         let mut waiting: Vec<JobId> = ctx.arrivals.to_vec();
-        waiting.extend(state.queued().iter().filter(|id| !ctx.arrivals.contains(id)));
+        waiting.extend(
+            state
+                .queued()
+                .iter()
+                .filter(|id| !ctx.arrivals.contains(id)),
+        );
         for a in waiting {
             let need = state.job(a).procs;
             if need <= mirror.free_count() {
@@ -154,21 +166,34 @@ impl Policy for ImmediateService {
                 .collect();
             victims.sort_by(|a, b| a.0.total_cmp(&b.0));
             let mut gain = mirror.free_count();
-            let mut chosen: Vec<usize> = Vec::new();
-            for &(_, idx) in &victims {
+            let mut chosen: Vec<(f64, usize)> = Vec::new();
+            for &(xf, idx) in &victims {
                 if gain >= need {
                     break;
                 }
                 gain += mirror.running[idx].1;
-                chosen.push(idx);
+                chosen.push((xf, idx));
             }
             if gain < need {
                 continue; // not servable this instant; retried next tick
             }
             // Suspend (highest index first so swap_remove keeps indices valid).
-            chosen.sort_unstable_by(|a, b| b.cmp(a));
-            for idx in chosen {
+            chosen.sort_unstable_by_key(|&(_, idx)| std::cmp::Reverse(idx));
+            for (victim_xf, idx) in chosen {
                 let victim = mirror.suspend(idx);
+                if ctx.trace.enabled() {
+                    // IS selects on *instantaneous* xfactors (Section
+                    // II-C); those are what the record carries.
+                    ctx.trace.decision(
+                        now.secs(),
+                        Reason::PreemptedVictim {
+                            victim: victim.0,
+                            suspender: a.0,
+                            victim_xf,
+                            suspender_xf: state.inst_xfactor(a),
+                        },
+                    );
+                }
                 actions.push(Action::Suspend(victim));
             }
             debug_assert!(mirror.free_count() >= need);
@@ -184,14 +209,26 @@ impl Policy for ImmediateService {
         // jobs suffer so badly under IS (Section IV-D). A fresh quantum of
         // protection on resume keeps the scheme from re-suspending a job
         // it just restored.
-        let mut suspended: Vec<(f64, JobId)> =
-            state.suspended().iter().map(|&id| (state.inst_xfactor(id), id)).collect();
+        let mut suspended: Vec<(f64, JobId)> = state
+            .suspended()
+            .iter()
+            .map(|&id| (state.inst_xfactor(id), id))
+            .collect();
         suspended.sort_by(|a, b| b.0.total_cmp(&a.0));
         for (_, id) in suspended {
             let set = state.assigned_set(id).expect("suspended job keeps its set");
             if set.is_subset(&mirror.free) {
                 mirror.free.subtract(set);
                 actions.push(Action::Resume(id));
+                if ctx.trace.enabled() {
+                    ctx.trace.decision(
+                        now.secs(),
+                        Reason::ReentryOnOriginalProcs {
+                            job: id.0,
+                            victims: 0,
+                        },
+                    );
+                }
                 self.protected_until.insert(id, now + self.timeslice);
             }
         }
@@ -216,7 +253,10 @@ mod tests {
     fn arrival_preempts_low_xfactor_job() {
         // j0 has run 2000 s with no wait (inst-xfactor → 1); j1 arrives and
         // gets immediate service by suspending j0.
-        let jobs = vec![Job::new(0, 0, 10_000, 10_000, 8), Job::new(1, 2_000, 300, 300, 8)];
+        let jobs = vec![
+            Job::new(0, 0, 10_000, 10_000, 8),
+            Job::new(1, 2_000, 300, 300, 8),
+        ];
         let res = run(jobs, 8);
         let j1 = res.outcomes.iter().find(|o| o.id == JobId(1)).unwrap();
         assert_eq!(j1.first_start.secs(), 2_000, "immediate service on arrival");
@@ -231,10 +271,17 @@ mod tests {
         // j0 starts at t=100 (protected until 700); j1 arrives at t=200
         // and cannot preempt it during the quantum. The first tick after
         // protection lapses (t=720) serves j1 by suspending j0.
-        let jobs = vec![Job::new(0, 100, 2_000, 2_000, 8), Job::new(1, 200, 100, 100, 8)];
+        let jobs = vec![
+            Job::new(0, 100, 2_000, 2_000, 8),
+            Job::new(1, 200, 100, 100, 8),
+        ];
         let res = run(jobs, 8);
         let j1 = res.outcomes.iter().find(|o| o.id == JobId(1)).unwrap();
-        assert_eq!(j1.first_start.secs(), 720, "served at the first post-quantum tick");
+        assert_eq!(
+            j1.first_start.secs(),
+            720,
+            "served at the first post-quantum tick"
+        );
         let j0 = res.outcomes.iter().find(|o| o.id == JobId(0)).unwrap();
         assert_eq!(j0.suspensions, 1);
         // j0 ran [100,720) = 620 s, resumes at j1's completion (820) and
@@ -275,7 +322,10 @@ mod tests {
         let j2 = res.outcomes.iter().find(|o| o.id == JobId(2)).unwrap();
         assert_eq!(j2.first_start.secs(), 1_620);
         assert_eq!(j2.wait(), 120);
-        assert_eq!(j1.suspensions, 1, "the 8-proc job was the only victim available");
+        assert_eq!(
+            j1.suspensions, 1,
+            "the 8-proc job was the only victim available"
+        );
         // Wide suspended jobs wait for their exact processors: j1 resumes
         // only when j2 releases procs 0-1 at 5620, j0 after j1 at 7000.
         assert_eq!(j1.completion.secs(), 5_620 + 1_380);

@@ -30,6 +30,7 @@
 
 use sps_cluster::ProcSet;
 use sps_metrics::JobOutcome;
+use sps_trace::Reason;
 use sps_workload::{Category, JobId};
 
 use crate::policy::{Action, DecideCtx, Policy};
@@ -57,13 +58,24 @@ pub struct SsConfig {
 impl SsConfig {
     /// Plain SS with the given suspension factor.
     pub fn ss(sf: f64) -> Self {
-        assert!(sf >= 1.0, "a suspension factor below 1 thrashes unconditionally");
-        SsConfig { sf, width_restriction: true, migration: false, limits: None }
+        assert!(
+            sf >= 1.0,
+            "a suspension factor below 1 thrashes unconditionally"
+        );
+        SsConfig {
+            sf,
+            width_restriction: true,
+            migration: false,
+            limits: None,
+        }
     }
 
     /// TSS: SS plus running-average category limits.
     pub fn tss(sf: f64) -> Self {
-        SsConfig { limits: Some(TssLimits::new()), ..Self::ss(sf) }
+        SsConfig {
+            limits: Some(TssLimits::new()),
+            ..Self::ss(sf)
+        }
     }
 }
 
@@ -89,14 +101,15 @@ impl SelectiveSuspension {
         Self::new(SsConfig::tss(sf))
     }
 
-    /// Is `victim` protected from preemption (TSS limit exceeded)?
-    fn protected(&self, state: &SimState, victim: JobId) -> bool {
-        let Some(limits) = &self.cfg.limits else {
-            return false;
-        };
+    /// If `victim` is protected from preemption (TSS limit exceeded),
+    /// the category, the victim's xfactor, and the limit it exceeds.
+    fn protection(&self, state: &SimState, victim: JobId) -> Option<(Category, f64, f64)> {
+        let limits = self.cfg.limits.as_ref()?;
         let job = state.job(victim);
         let cat = Category::classify(job.estimate, job.procs);
-        state.xfactor(victim) > limits.limit_for(cat)
+        let limit = limits.limit_for(cat);
+        let xf = state.xfactor(victim);
+        (xf > limit).then_some((cat, xf, limit))
     }
 }
 
@@ -132,7 +145,11 @@ fn alloc_avoiding(free: &ProcSet, reserved: &ProcSet, need: u32) -> Option<ProcS
 
 impl Policy for SelectiveSuspension {
     fn name(&self) -> String {
-        let kind = if self.cfg.limits.is_some() { "TSS" } else { "SS" };
+        let kind = if self.cfg.limits.is_some() {
+            "TSS"
+        } else {
+            "SS"
+        };
         let mut name = format!("{kind} (SF={}", self.cfg.sf);
         if !self.cfg.width_restriction {
             name.push_str(", no width rule");
@@ -183,8 +200,11 @@ impl Policy for SelectiveSuspension {
             // With migration, suspended jobs can restart anywhere, so no
             // claims need protecting.
             for &sid in state.suspended() {
-                reserved
-                    .union_with(state.assigned_set(sid).expect("suspended job keeps its set"));
+                reserved.union_with(
+                    state
+                        .assigned_set(sid)
+                        .expect("suspended job keeps its set"),
+                );
             }
         }
 
@@ -199,7 +219,10 @@ impl Policy for SelectiveSuspension {
                     id,
                     prio: state.xfactor(id),
                     procs: state.job(id).procs,
-                    set: state.assigned_set(id).expect("running job has a set").clone(),
+                    set: state
+                        .assigned_set(id)
+                        .expect("running job has a set")
+                        .clone(),
                 })
                 .collect()
         } else {
@@ -218,6 +241,15 @@ impl Policy for SelectiveSuspension {
                     free.subtract(needed);
                     reserved.subtract(needed);
                     actions.push(Action::Resume(id));
+                    if ctx.trace.enabled() {
+                        ctx.trace.decision(
+                            state.now().secs(),
+                            Reason::ReentryOnOriginalProcs {
+                                job: id.0,
+                                victims: 0,
+                            },
+                        );
+                    }
                     continue;
                 }
                 if !ctx.tick {
@@ -251,10 +283,22 @@ impl Policy for SelectiveSuspension {
                 // Suspend every overlapping candidate (they all sit on
                 // needed processors) and re-enter.
                 victims.sort_unstable_by(|a, b| b.cmp(a));
+                let victim_count = victims.len() as u32;
                 for idx in victims {
                     let r = running.swap_remove(idx);
                     free.union_with(&r.set);
                     reserved.union_with(&r.set); // victims will want these back
+                    if ctx.trace.enabled() {
+                        ctx.trace.decision(
+                            state.now().secs(),
+                            Reason::PreemptedVictim {
+                                victim: r.id.0,
+                                suspender: id.0,
+                                victim_xf: r.prio,
+                                suspender_xf: prio_i,
+                            },
+                        );
+                    }
                     actions.push(Action::Suspend(r.id));
                 }
                 running.sort_by(|a, b| a.prio.total_cmp(&b.prio).then(a.id.cmp(&b.id)));
@@ -262,6 +306,15 @@ impl Policy for SelectiveSuspension {
                 free.subtract(needed);
                 reserved.subtract(needed);
                 actions.push(Action::Resume(id));
+                if ctx.trace.enabled() {
+                    ctx.trace.decision(
+                        state.now().secs(),
+                        Reason::ReentryOnOriginalProcs {
+                            job: id.0,
+                            victims: victim_count,
+                        },
+                    );
+                }
             } else {
                 // Fresh job (or, with migration enabled, a suspended job
                 // restarting anywhere): may use free processors outside
@@ -278,8 +331,7 @@ impl Policy for SelectiveSuspension {
                 let mut allowed = free.clone();
                 allowed.subtract(&blocked);
                 if need <= allowed.count() {
-                    let set =
-                        alloc_avoiding(&allowed, &reserved, need).expect("count checked");
+                    let set = alloc_avoiding(&allowed, &reserved, need).expect("count checked");
                     free.subtract(&set);
                     actions.push(dispatch(set));
                     continue;
@@ -305,7 +357,18 @@ impl Policy for SelectiveSuspension {
                     if self.cfg.width_restriction && r.procs > 2 * need {
                         continue;
                     }
-                    if self.protected(state, r.id) {
+                    if let Some((cat, xf, limit)) = self.protection(state, r.id) {
+                        if ctx.trace.enabled() {
+                            ctx.trace.decision(
+                                state.now().secs(),
+                                Reason::BlockedByDisableLimit {
+                                    victim: r.id.0,
+                                    category: cat.name(),
+                                    xfactor: xf,
+                                    limit,
+                                },
+                            );
+                        }
                         continue;
                     }
                     candidates.push(idx);
@@ -336,6 +399,17 @@ impl Policy for SelectiveSuspension {
                     let r = running.swap_remove(idx);
                     free.union_with(&r.set);
                     reserved.union_with(&r.set); // victims will want these back
+                    if ctx.trace.enabled() {
+                        ctx.trace.decision(
+                            state.now().secs(),
+                            Reason::PreemptedVictim {
+                                victim: r.id.0,
+                                suspender: id.0,
+                                victim_xf: r.prio,
+                                suspender_xf: prio_i,
+                            },
+                        );
+                    }
                     actions.push(Action::Suspend(r.id));
                 }
                 running.sort_by(|a, b| a.prio.total_cmp(&b.prio).then(a.id.cmp(&b.id)));
@@ -371,7 +445,10 @@ mod tests {
         // Long job (est 100 000 s) hogs the machine; a short job (est
         // 600 s) arrives at t=1000. xfactor(short) reaches SF=2 after
         // waiting 600 s; the next minute tick then preempts the long job.
-        let jobs = vec![Job::new(0, 0, 100_000, 100_000, 8), Job::new(1, 1_000, 600, 600, 8)];
+        let jobs = vec![
+            Job::new(0, 0, 100_000, 100_000, 8),
+            Job::new(1, 1_000, 600, 600, 8),
+        ];
         let res = run_ss(jobs, 8, 2.0);
         let short = res.outcomes.iter().find(|o| o.id == JobId(1)).unwrap();
         // Needs xfactor ≥ 2 × 1.0 → wait ≥ 600 → earliest tick at 1620.
@@ -389,11 +466,27 @@ mod tests {
     #[test]
     fn higher_sf_waits_longer() {
         let jobs = |_: ()| {
-            vec![Job::new(0, 0, 100_000, 100_000, 8), Job::new(1, 1_000, 600, 600, 8)]
+            vec![
+                Job::new(0, 0, 100_000, 100_000, 8),
+                Job::new(1, 1_000, 600, 600, 8),
+            ]
         };
-        let w2 = run_ss(jobs(()), 8, 2.0).outcomes.iter().find(|o| o.id == JobId(1)).unwrap().wait();
-        let w5 = run_ss(jobs(()), 8, 5.0).outcomes.iter().find(|o| o.id == JobId(1)).unwrap().wait();
-        assert!(w5 > w2, "SF=5 ({w5}) must delay preemption past SF=2 ({w2})");
+        let w2 = run_ss(jobs(()), 8, 2.0)
+            .outcomes
+            .iter()
+            .find(|o| o.id == JobId(1))
+            .unwrap()
+            .wait();
+        let w5 = run_ss(jobs(()), 8, 5.0)
+            .outcomes
+            .iter()
+            .find(|o| o.id == JobId(1))
+            .unwrap()
+            .wait();
+        assert!(
+            w5 > w2,
+            "SF=5 ({w5}) must delay preemption past SF=2 ({w2})"
+        );
         // SF=5 needs wait ≥ 4 × 600 = 2400 s.
         assert!(w5 >= 2_400);
     }
@@ -402,7 +495,10 @@ mod tests {
     fn width_restriction_blocks_narrow_suspending_wide() {
         // A 1-proc job cannot suspend an 8-proc job (8 > 2×1) no matter
         // how high its priority grows; it must wait for a natural hole.
-        let jobs = vec![Job::new(0, 0, 10_000, 10_000, 8), Job::new(1, 10, 60, 60, 1)];
+        let jobs = vec![
+            Job::new(0, 0, 10_000, 10_000, 8),
+            Job::new(1, 10, 60, 60, 1),
+        ];
         let res = run_ss(jobs, 8, 1.5);
         let narrow = res.outcomes.iter().find(|o| o.id == JobId(1)).unwrap();
         assert_eq!(narrow.first_start.secs(), 10_000, "no preemption allowed");
@@ -411,11 +507,13 @@ mod tests {
 
     #[test]
     fn without_width_restriction_narrow_preempts() {
-        let jobs = vec![Job::new(0, 0, 10_000, 10_000, 8), Job::new(1, 10, 60, 60, 1)];
+        let jobs = vec![
+            Job::new(0, 0, 10_000, 10_000, 8),
+            Job::new(1, 10, 60, 60, 1),
+        ];
         let mut cfg = SsConfig::ss(1.5);
         cfg.width_restriction = false;
-        let res =
-            Simulator::new(jobs, 8, Box::new(SelectiveSuspension::new(cfg))).run();
+        let res = Simulator::new(jobs, 8, Box::new(SelectiveSuspension::new(cfg))).run();
         let narrow = res.outcomes.iter().find(|o| o.id == JobId(1)).unwrap();
         assert!(narrow.first_start.secs() < 10_000);
         assert_eq!(res.preemptions, 1);
@@ -425,12 +523,14 @@ mod tests {
     fn wide_job_preempts_multiple_narrow_victims() {
         // Four 2-proc long jobs fill the machine; an 8-proc short job must
         // suspend all of them at once.
-        let mut jobs: Vec<Job> =
-            (0..4).map(|i| Job::new(i, 0, 50_000, 50_000, 2)).collect();
+        let mut jobs: Vec<Job> = (0..4).map(|i| Job::new(i, 0, 50_000, 50_000, 2)).collect();
         jobs.push(Job::new(4, 10, 300, 300, 8));
         let res = run_ss(jobs, 8, 2.0);
         let wide = res.outcomes.iter().find(|o| o.id == JobId(4)).unwrap();
-        assert!(wide.first_start.secs() < 50_000, "wide job got service via preemption");
+        assert!(
+            wide.first_start.secs() < 50_000,
+            "wide job got service via preemption"
+        );
         assert_eq!(res.preemptions, 4, "all four narrow victims suspended");
         // All victims eventually resume and finish.
         assert_eq!(res.outcomes.len(), 5);
@@ -492,7 +592,10 @@ mod tests {
             migration: false,
             limits: Some(TssLimits::with_static_averages(avgs, 1.5)),
         };
-        let jobs = vec![Job::new(0, 0, 100_000, 100_000, 8), Job::new(1, 1_000, 600, 600, 8)];
+        let jobs = vec![
+            Job::new(0, 0, 100_000, 100_000, 8),
+            Job::new(1, 1_000, 600, 600, 8),
+        ];
         let res = Simulator::new(jobs, 8, Box::new(SelectiveSuspension::new(cfg))).run();
         assert_eq!(res.preemptions, 0, "limit shields the victim");
         let short = res.outcomes.iter().find(|o| o.id == JobId(1)).unwrap();
@@ -503,12 +606,18 @@ mod tests {
     fn tss_behaves_like_ss_before_any_completion() {
         // Running-average limits are infinite until a completion lands, so
         // the first preemption happens exactly as under SS.
-        let jobs = vec![Job::new(0, 0, 100_000, 100_000, 8), Job::new(1, 1_000, 600, 600, 8)];
+        let jobs = vec![
+            Job::new(0, 0, 100_000, 100_000, 8),
+            Job::new(1, 1_000, 600, 600, 8),
+        ];
         let ss = run_ss(jobs.clone(), 8, 2.0);
-        let tss =
-            Simulator::new(jobs, 8, Box::new(SelectiveSuspension::tss(2.0))).run();
+        let tss = Simulator::new(jobs, 8, Box::new(SelectiveSuspension::tss(2.0))).run();
         let s = |r: &crate::sim::SimResult| {
-            r.outcomes.iter().find(|o| o.id == JobId(1)).unwrap().first_start
+            r.outcomes
+                .iter()
+                .find(|o| o.id == JobId(1))
+                .unwrap()
+                .first_start
         };
         assert_eq!(s(&ss), s(&tss));
     }
@@ -539,8 +648,7 @@ mod tests {
             Box::new(SelectiveSuspension::new(local_cfg)),
         )
         .run();
-        let migr =
-            Simulator::new(jobs, 12, Box::new(SelectiveSuspension::new(mig_cfg))).run();
+        let migr = Simulator::new(jobs, 12, Box::new(SelectiveSuspension::new(mig_cfg))).run();
         let j0_local = local.outcomes.iter().find(|o| o.id == JobId(0)).unwrap();
         let j0_migr = migr.outcomes.iter().find(|o| o.id == JobId(0)).unwrap();
         assert!(
@@ -559,7 +667,9 @@ mod tests {
         assert_eq!(SelectiveSuspension::tss(1.5).name(), "TSS (SF=1.5)");
         let mut cfg = SsConfig::ss(5.0);
         cfg.width_restriction = false;
-        assert!(SelectiveSuspension::new(cfg).name().contains("no width rule"));
+        assert!(SelectiveSuspension::new(cfg)
+            .name()
+            .contains("no width rule"));
         let mut cfg = SsConfig::ss(2.0);
         cfg.migration = true;
         assert!(SelectiveSuspension::new(cfg).name().contains("migration"));

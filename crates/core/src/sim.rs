@@ -25,6 +25,7 @@
 use sps_cluster::{Cluster, ProcSet, Profile};
 use sps_metrics::{utilization, JobOutcome};
 use sps_simcore::{Engine, EventClass, EventQueue, RunOutcome, Secs, SimTime, Simulation, Ticker};
+use sps_trace::{JobEvent, NullSink, TraceCtx, TraceRecord, TraceSink};
 use sps_workload::{Job, JobId};
 
 use crate::overhead::OverheadModel;
@@ -118,7 +119,10 @@ impl JobRt {
 
     /// Is the job in a waiting phase (queued, draining, or suspended)?
     fn is_waiting(&self) -> bool {
-        matches!(self.phase, Phase::Queued | Phase::Draining | Phase::Suspended)
+        matches!(
+            self.phase,
+            Phase::Queued | Phase::Draining | Phase::Suspended
+        )
     }
 
     /// Total wait up to `now`.
@@ -275,7 +279,12 @@ impl SimState {
             // est_end holds the drain-done instant for draining jobs.
             releases.push((rt.est_end, rt.job.procs));
         }
-        Profile::new(self.now, self.cluster.total(), self.cluster.free_count(), &releases)
+        Profile::new(
+            self.now,
+            self.cluster.total(),
+            self.cluster.free_count(),
+            &releases,
+        )
     }
 
     /// Union of the processor sets held by jobs whose suspension drain is
@@ -363,7 +372,14 @@ impl SimState {
         rt.phase = Phase::Running { compute_start: now };
         rt.est_end = now + rt.job.estimate;
         let done_at = now + rt.remaining;
-        queue.push(done_at, EventClass::Completion, Event::Completion { job: id, epoch: rt.epoch });
+        queue.push(
+            done_at,
+            EventClass::Completion,
+            Event::Completion {
+                job: id,
+                epoch: rt.epoch,
+            },
+        );
         self.queued.retain(|&q| q != id);
         self.running.push(id);
     }
@@ -374,7 +390,10 @@ impl SimState {
         if self.jobs[id.index()].phase != Phase::Suspended {
             return false;
         }
-        let set = self.jobs[id.index()].assigned.clone().expect("suspended job keeps its set");
+        let set = self.jobs[id.index()]
+            .assigned
+            .clone()
+            .expect("suspended job keeps its set");
         self.resume_on_set(id, set, queue)
     }
 
@@ -408,7 +427,14 @@ impl SimState {
         let executed = rt.job.run - rt.remaining;
         rt.est_end = compute_start + (rt.job.estimate - executed).max(1);
         let done_at = compute_start + rt.remaining;
-        queue.push(done_at, EventClass::Completion, Event::Completion { job: id, epoch: rt.epoch });
+        queue.push(
+            done_at,
+            EventClass::Completion,
+            Event::Completion {
+                job: id,
+                epoch: rt.epoch,
+            },
+        );
         self.suspended.retain(|&q| q != id);
         self.running.push(id);
         true
@@ -440,7 +466,10 @@ impl SimState {
         self.running.retain(|&q| q != id);
         self.preemptions += 1;
         if drain == 0 {
-            let set = self.jobs[id.index()].assigned.clone().expect("dispatched job has a set");
+            let set = self.jobs[id.index()]
+                .assigned
+                .clone()
+                .expect("dispatched job has a set");
             self.cluster.release(&set);
             self.close_segment(id, &set);
             self.jobs[id.index()].phase = Phase::Suspended;
@@ -458,7 +487,10 @@ impl SimState {
     /// eligible for re-entry.
     fn drain_done(&mut self, id: JobId) {
         debug_assert_eq!(self.jobs[id.index()].phase, Phase::Draining);
-        let set = self.jobs[id.index()].assigned.clone().expect("draining job has a set");
+        let set = self.jobs[id.index()]
+            .assigned
+            .clone()
+            .expect("draining job has a set");
         self.cluster.release(&set);
         self.close_segment(id, &set);
         self.jobs[id.index()].phase = Phase::Suspended;
@@ -483,7 +515,10 @@ impl SimState {
     fn complete(&mut self, id: JobId) -> JobOutcome {
         let now = self.now;
         debug_assert!(matches!(self.jobs[id.index()].phase, Phase::Running { .. }));
-        let set = self.jobs[id.index()].assigned.clone().expect("running job has a set");
+        let set = self.jobs[id.index()]
+            .assigned
+            .clone()
+            .expect("running job has a set");
         self.cluster.release(&set);
         self.close_segment(id, &set);
         self.running.retain(|&q| q != id);
@@ -539,7 +574,25 @@ pub struct SimResult {
 /// assert_eq!(result.outcomes.len(), 2);
 /// assert_eq!(result.makespan, 200);
 /// ```
-pub struct Simulator {
+///
+/// The sink type parameter follows the `HashMap` hasher pattern: the
+/// default [`NullSink`] is statically disabled, so untraced simulations
+/// (every existing call site) compile the instrumentation away. To trace,
+/// pass any [`TraceSink`] to [`Simulator::with_sink`]; pass `&mut sink`
+/// to keep ownership and read the sink after [`Simulator::run`]:
+///
+/// ```
+/// use sps_core::experiment::SchedulerKind;
+/// use sps_core::sim::Simulator;
+/// use sps_trace::MemorySink;
+/// use sps_workload::Job;
+///
+/// let jobs = vec![Job::new(0, 0, 100, 100, 8)];
+/// let mut sink = MemorySink::new();
+/// Simulator::with_sink(jobs, 8, SchedulerKind::Easy.build(), &mut sink).run();
+/// assert!(!sink.records().is_empty());
+/// ```
+pub struct Simulator<S: TraceSink = NullSink> {
     state: SimState,
     policy: Box<dyn Policy>,
     ticker: Option<Ticker>,
@@ -547,6 +600,8 @@ pub struct Simulator {
     arrivals_now: Vec<JobId>,
     /// Scratch action buffer.
     actions: Vec<Action>,
+    /// Trace record consumer.
+    sink: S,
 }
 
 /// Preemptive policies run their preemption routine once a minute
@@ -579,6 +634,34 @@ impl Simulator {
         overhead: OverheadModel,
         tick_period: Secs,
     ) -> Self {
+        Simulator::traced(jobs, procs, policy, overhead, tick_period, NullSink)
+    }
+}
+
+impl<S: TraceSink> Simulator<S> {
+    /// Build a simulator that emits trace records into `sink` (no
+    /// overhead model, default tick period). Like `HashMap::with_hasher`,
+    /// the sink argument fixes the type parameter.
+    pub fn with_sink(jobs: Vec<Job>, procs: u32, policy: Box<dyn Policy>, sink: S) -> Self {
+        Self::traced(
+            jobs,
+            procs,
+            policy,
+            OverheadModel::None,
+            DEFAULT_TICK_PERIOD,
+            sink,
+        )
+    }
+
+    /// Fully-parameterized traced constructor.
+    pub fn traced(
+        jobs: Vec<Job>,
+        procs: u32,
+        policy: Box<dyn Policy>,
+        overhead: OverheadModel,
+        tick_period: Secs,
+        sink: S,
+    ) -> Self {
         for j in &jobs {
             assert!(
                 j.procs <= procs,
@@ -587,7 +670,11 @@ impl Simulator {
                 j.procs,
                 procs
             );
-            assert!(j.run > 0 && j.estimate >= j.run, "job {} has invalid times", j.id);
+            assert!(
+                j.run > 0 && j.estimate >= j.run,
+                "job {} has invalid times",
+                j.id
+            );
         }
         let incomplete = jobs.len();
         let ticker = policy.needs_tick().then(|| Ticker::new(tick_period));
@@ -610,6 +697,7 @@ impl Simulator {
             ticker,
             arrivals_now: Vec::new(),
             actions: Vec::new(),
+            sink,
         }
     }
 
@@ -618,15 +706,54 @@ impl Simulator {
         &self.state
     }
 
+    /// Emit one job-lifecycle record at the current instant. Callers
+    /// check [`TraceSink::enabled`] first, so the untraced build never
+    /// reaches the processor-set materialization.
+    fn emit_job(&mut self, id: JobId, event: JobEvent, with_procs: bool) {
+        let procs = if with_procs {
+            Some(
+                self.state
+                    .assigned_set(id)
+                    .expect("traced job holds a set")
+                    .iter()
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        self.sink.record(&TraceRecord::Job {
+            t: self.state.now.secs(),
+            job: id.0,
+            event,
+            procs,
+        });
+    }
+
     /// Run the whole trace to completion and report.
     pub fn run(mut self) -> SimResult {
         let mut queue = EventQueue::with_capacity(self.state.jobs.len() * 2);
         for rt in &self.state.jobs {
-            queue.push(rt.job.submit, EventClass::Arrival, Event::Arrival(rt.job.id));
+            queue.push(
+                rt.job.submit,
+                EventClass::Arrival,
+                Event::Arrival(rt.job.id),
+            );
         }
         let mut engine = Engine::new();
         let outcome = engine.run(&mut self, &mut queue);
-        assert_eq!(outcome, RunOutcome::Drained, "simulation did not drain its event queue");
+        if self.sink.enabled() {
+            self.sink.record(&TraceRecord::EngineStats {
+                t: engine.now().secs(),
+                batches: engine.batches(),
+                events: engine.events(),
+            });
+            let _ = self.sink.flush();
+        }
+        assert_eq!(
+            outcome,
+            RunOutcome::Drained,
+            "simulation did not drain its event queue"
+        );
         assert_eq!(
             self.state.incomplete, 0,
             "simulation ended with {} unfinished jobs — policy deadlock",
@@ -665,13 +792,30 @@ impl Simulator {
             };
             if !ok {
                 self.state.dropped_actions += 1;
+            } else if self.sink.enabled() {
+                match &action {
+                    Action::Start(id) | Action::StartOn(id, _) => {
+                        self.emit_job(*id, JobEvent::Dispatch, true)
+                    }
+                    Action::Resume(id) | Action::ResumeOn(id, _) => {
+                        self.emit_job(*id, JobEvent::Restart, true)
+                    }
+                    Action::Suspend(id) => {
+                        self.emit_job(*id, JobEvent::Suspend, true);
+                        // A zero-overhead drain finishes instantly — there
+                        // is no DrainDone event to hang the record on.
+                        if self.state.is_suspended(*id) {
+                            self.emit_job(*id, JobEvent::Drain, false);
+                        }
+                    }
+                }
             }
         }
         self.actions.clear();
     }
 }
 
-impl Simulation for Simulator {
+impl<S: TraceSink> Simulation for Simulator<S> {
     type Event = Event;
 
     fn handle_batch(
@@ -692,16 +836,27 @@ impl Simulation for Simulator {
                     rt.wait_since = now;
                     self.state.queued.push(id);
                     self.arrivals_now.push(id);
+                    if self.sink.enabled() {
+                        self.emit_job(id, JobEvent::Arrival, false);
+                    }
                 }
                 Event::Completion { job, epoch } => {
                     let rt = &self.state.jobs[job.index()];
                     if rt.epoch == epoch && matches!(rt.phase, Phase::Running { .. }) {
                         let outcome = self.state.complete(job);
                         self.policy.on_completion(&outcome);
+                        if self.sink.enabled() {
+                            self.emit_job(job, JobEvent::Complete, false);
+                        }
                     }
                     // else: stale completion from before a suspension.
                 }
-                Event::DrainDone(id) => self.state.drain_done(id),
+                Event::DrainDone(id) => {
+                    self.state.drain_done(id);
+                    if self.sink.enabled() {
+                        self.emit_job(id, JobEvent::Drain, false);
+                    }
+                }
                 Event::Tick => {
                     if let Some(t) = &mut self.ticker {
                         tick |= t.fired(now);
@@ -712,11 +867,33 @@ impl Simulation for Simulator {
 
         // One decision per instant, with complete knowledge of the instant.
         let arrivals = std::mem::take(&mut self.arrivals_now);
-        let ctx = DecideCtx { arrivals: &arrivals, tick };
         self.actions.clear();
-        self.policy.decide(&self.state, &ctx, &mut self.actions);
+        {
+            // The sink is lent (type-erased) into the decision context so
+            // policies can record *why* they acted; the borrow ends before
+            // `apply` emits the lifecycle records those actions cause.
+            let tracer = TraceCtx::new(&mut self.sink);
+            let ctx = DecideCtx {
+                arrivals: &arrivals,
+                tick,
+                trace: &tracer,
+            };
+            self.policy.decide(&self.state, &ctx, &mut self.actions);
+        }
         self.apply(queue);
         self.arrivals_now = arrivals;
+
+        // Per-tick gauges, after the instant's decisions have been applied.
+        if tick && self.sink.enabled() {
+            self.sink.record(&TraceRecord::Gauge {
+                t: now.secs(),
+                queued: self.state.queued.len() as u32,
+                idle: self.state.free_count(),
+                draining: self.state.draining_set().count(),
+                suspended: self.state.suspended.len() as u32,
+                running: self.state.running.len() as u32,
+            });
+        }
 
         // Keep ticks flowing while any arrived job is unfinished.
         let work_pending = !self.state.queued.is_empty()
@@ -775,7 +952,11 @@ mod tests {
             }
             let mut free = state.free_count()
                 + if !ctx.arrivals.is_empty() {
-                    state.running().iter().map(|&r| state.job(r).procs).sum::<u32>()
+                    state
+                        .running()
+                        .iter()
+                        .map(|&r| state.job(r).procs)
+                        .sum::<u32>()
                 } else {
                     0
                 };
@@ -926,7 +1107,11 @@ mod tests {
         // Drive manually: push arrivals, advance to t=0.
         let mut queue = EventQueue::with_capacity(4);
         for rt in &sim.state.jobs {
-            queue.push(rt.job.submit, EventClass::Arrival, Event::Arrival(rt.job.id));
+            queue.push(
+                rt.job.submit,
+                EventClass::Arrival,
+                Event::Arrival(rt.job.id),
+            );
         }
         let mut engine = Engine::new().with_horizon(SimTime::new(50));
         let _ = engine.run(&mut sim, &mut queue);
@@ -935,7 +1120,10 @@ mod tests {
         assert_eq!(sim.state.xfactor(JobId(1)), 1.0);
         // Manually advance the clock to probe the waiting growth.
         sim.state.now = SimTime::new(50);
-        assert!((sim.state.xfactor(JobId(1)) - 1.5).abs() < 1e-12, "waited 50 of est 100");
+        assert!(
+            (sim.state.xfactor(JobId(1)) - 1.5).abs() < 1e-12,
+            "waited 50 of est 100"
+        );
         // The running job's xfactor is frozen at 1.0 (it never waited).
         assert_eq!(sim.state.xfactor(JobId(0)), 1.0);
         // Instantaneous xfactor of the running job: (0 + 50)/50 = 1.
@@ -965,17 +1153,25 @@ mod tests {
         )
         .run();
         // Productive work = 1600 proc-s; makespan far larger due to drains.
-        assert!(res.utilization < 0.7, "overhead must not count as useful work");
+        assert!(
+            res.utilization < 0.7,
+            "overhead must not count as useful work"
+        );
         assert_eq!(res.preemptions, 1);
     }
 
     #[test]
     fn trace_with_identical_arrival_instants_is_deterministic() {
-        let jobs: Vec<Job> = (0..20).map(|i| Job::new(i, 0, 50 + i as i64, 50 + i as i64, 2)).collect();
+        let jobs: Vec<Job> = (0..20)
+            .map(|i| Job::new(i, 0, 50 + i as i64, 50 + i as i64, 2))
+            .collect();
         let a = run_jobs(jobs.clone(), 8, Box::new(GreedyFifo));
         let b = run_jobs(jobs, 8, Box::new(GreedyFifo));
         let key = |r: &SimResult| {
-            r.outcomes.iter().map(|o| (o.id, o.completion)).collect::<Vec<_>>()
+            r.outcomes
+                .iter()
+                .map(|o| (o.id, o.completion))
+                .collect::<Vec<_>>()
         };
         assert_eq!(key(&a), key(&b));
     }

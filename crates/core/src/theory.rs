@@ -133,7 +133,11 @@ pub fn two_task_alternation(length: Secs, sf: f64, granularity: Secs) -> TwoTask
         match preempt_at {
             Some(p) if p < completes_at => {
                 // Suspension at p.
-                segments.push(Segment { task: task_of(runner), start: seg_start, end: p });
+                segments.push(Segment {
+                    task: task_of(runner),
+                    start: seg_start,
+                    end: p,
+                });
                 remaining[runner] -= p - now;
                 wait[waiter] += p - now;
                 suspensions += 1;

@@ -1,27 +1,37 @@
-//! Property tests for the two-task analysis (Section IV-A): the closed
-//! form and the alternation simulation must agree for arbitrary lengths,
-//! factors, and routine granularities.
+//! Randomized property tests for the two-task analysis (Section IV-A):
+//! the closed form and the alternation simulation must agree for
+//! arbitrary lengths, factors, and routine granularities. Seeded-random
+//! cases replace the original `proptest` strategies (offline build);
+//! assertion messages carry the seed for reproduction.
 
-use proptest::prelude::*;
 use sps_core::theory::{max_suspensions, min_sf_for_at_most, two_task_alternation, Task};
+use sps_simcore::SimRng;
 
-proptest! {
-    /// Work conservation and perfect tiling for arbitrary parameters.
-    #[test]
-    fn alternation_conserves_work(
-        length in 60i64..20_000,
-        sf in 1.0f64..5.0,
-        gran in 1i64..600,
-    ) {
+const CASES: u64 = 256;
+
+/// Work conservation and perfect tiling for arbitrary parameters.
+#[test]
+fn alternation_conserves_work() {
+    for seed in 0..CASES {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let length = rng.range_i64(60, 19_999);
+        let sf = rng.range_f64(1.0, 5.0);
+        let gran = rng.range_i64(1, 599);
         let trace = two_task_alternation(length, sf, gran);
         let total: f64 = trace.segments.iter().map(|s| s.end - s.start).sum();
-        prop_assert!((total - 2.0 * length as f64).abs() < 1e-6);
+        assert!((total - 2.0 * length as f64).abs() < 1e-6, "seed {seed}");
         // Segments tile without gaps or overlap.
         for w in trace.segments.windows(2) {
-            prop_assert!((w[0].end - w[1].start).abs() < 1e-9);
+            assert!((w[0].end - w[1].start).abs() < 1e-9, "seed {seed}");
         }
-        prop_assert!((trace.last_completion - 2.0 * length as f64).abs() < 1e-6);
-        prop_assert!(trace.first_completion <= trace.last_completion);
+        assert!(
+            (trace.last_completion - 2.0 * length as f64).abs() < 1e-6,
+            "seed {seed}"
+        );
+        assert!(
+            trace.first_completion <= trace.last_completion,
+            "seed {seed}"
+        );
         // Per-task work: each task executes exactly `length`.
         for task in [Task::T1, Task::T2] {
             let t: f64 = trace
@@ -30,52 +40,64 @@ proptest! {
                 .filter(|s| s.task == task)
                 .map(|s| s.end - s.start)
                 .sum();
-            prop_assert!((t - length as f64).abs() < 1e-6, "{task:?} ran {t}");
+            assert!(
+                (t - length as f64).abs() < 1e-6,
+                "seed {seed}: {task:?} ran {t}"
+            );
         }
     }
+}
 
-    /// The simulated suspension count never exceeds the analytic bound
-    /// (granularity can only *delay* preemptions, reducing the count).
-    #[test]
-    fn suspensions_bounded_by_analysis(
-        length in 600i64..20_000,
-        sf in 1.01f64..5.0,
-        gran in 1i64..600,
-    ) {
+/// The simulated suspension count never exceeds the analytic bound
+/// (granularity can only *delay* preemptions, reducing the count).
+#[test]
+fn suspensions_bounded_by_analysis() {
+    for seed in 0..CASES {
+        let mut rng = SimRng::seed_from_u64(seed ^ 0x5F);
+        let length = rng.range_i64(600, 19_999);
+        let sf = rng.range_f64(1.01, 5.0);
+        let gran = rng.range_i64(1, 599);
         let trace = two_task_alternation(length, sf, gran);
         let bound = max_suspensions(sf).expect("sf > 1 has a bound");
-        prop_assert!(
+        assert!(
             trace.suspensions <= bound,
-            "sf={sf}: simulated {} > analytic bound {bound}",
+            "seed {seed}: sf={sf}: simulated {} > analytic bound {bound}",
             trace.suspensions
         );
     }
+}
 
-    /// With fine granularity relative to the task length, the analytic
-    /// bound is achieved exactly.
-    #[test]
-    fn fine_granularity_achieves_bound(sf in 1.05f64..1.95) {
+/// With fine granularity relative to the task length, the analytic bound
+/// is achieved exactly.
+#[test]
+fn fine_granularity_achieves_bound() {
+    for seed in 0..CASES {
+        let mut rng = SimRng::seed_from_u64(seed ^ 0xF1);
+        let sf = rng.range_f64(1.05, 1.95);
         let length = 100_000;
         let trace = two_task_alternation(length, sf, 1);
         let bound = max_suspensions(sf).expect("bounded");
-        prop_assert_eq!(
+        assert_eq!(
             trace.suspensions, bound,
-            "sf={}: got {}, analysis says {}", sf, trace.suspensions, bound
+            "seed {seed}: sf={sf}: got {}, analysis says {bound}",
+            trace.suspensions
         );
     }
+}
 
-    /// min_sf_for_at_most inverts max_suspensions: at the boundary factor
-    /// for n, at most n suspensions happen; just below it, more can.
-    #[test]
-    fn boundary_factors_consistent(n in 0u32..8) {
+/// min_sf_for_at_most inverts max_suspensions: at the boundary factor for
+/// n, at most n suspensions happen; just below it, more can.
+#[test]
+fn boundary_factors_consistent() {
+    for n in 0u32..8 {
         let s = min_sf_for_at_most(n);
         if s > 1.0 {
-            prop_assert!(max_suspensions(s).expect("s > 1") <= n);
+            assert!(max_suspensions(s).expect("s > 1") <= n);
         }
         // Slightly below the boundary the bound must exceed n.
         let below = s - 1e-6;
         if below > 1.0 {
-            prop_assert!(max_suspensions(below).expect("s > 1") >= n);
+            assert!(max_suspensions(below).expect("s > 1") >= n);
         }
     }
 }

@@ -59,7 +59,10 @@ pub fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return f64::NAN;
     }
-    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "input must be sorted"
+    );
     let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
     sorted[rank.max(1) - 1]
 }
@@ -174,8 +177,11 @@ mod tests {
 
     #[test]
     fn stats_mean_and_worst() {
-        let outs =
-            vec![outcome(0, 0, 100, 1, 0), outcome(1, 0, 100, 1, 100), outcome(2, 0, 100, 1, 300)];
+        let outs = vec![
+            outcome(0, 0, 100, 1, 0),
+            outcome(1, 0, 100, 1, 100),
+            outcome(2, 0, 100, 1, 300),
+        ];
         let s = Stats::aggregate(&outs);
         assert_eq!(s.count, 3);
         // Slowdowns: 1, 2, 4 → mean 7/3, worst 4.
@@ -195,15 +201,21 @@ mod tests {
     #[test]
     fn report_buckets_by_category() {
         let outs = vec![
-            outcome(0, 0, 60, 1, 0),      // VS Seq
-            outcome(1, 0, 60, 64, 60),    // VS VW
-            outcome(2, 0, 7_200, 16, 0),  // L W
+            outcome(0, 0, 60, 1, 0),         // VS Seq
+            outcome(1, 0, 60, 64, 60),       // VS VW
+            outcome(2, 0, 7_200, 16, 0),     // L W
             outcome(3, 0, 7_200, 16, 7_200), // L W
         ];
         let r = CategoryReport::from_outcomes(&outs);
-        let vs_seq = Category { runtime: RuntimeClass::VeryShort, width: WidthClass::Sequential };
+        let vs_seq = Category {
+            runtime: RuntimeClass::VeryShort,
+            width: WidthClass::Sequential,
+        };
         assert_eq!(r.category(vs_seq).count, 1);
-        let l_w = Category { runtime: RuntimeClass::Long, width: WidthClass::Wide };
+        let l_w = Category {
+            runtime: RuntimeClass::Long,
+            width: WidthClass::Wide,
+        };
         assert_eq!(r.category(l_w).count, 2);
         assert!((r.category(l_w).mean_slowdown - 1.5).abs() < 1e-12);
         assert_eq!(r.overall.count, 4);
@@ -216,7 +228,9 @@ mod tests {
 
     #[test]
     fn filtered_report_subsets() {
-        let outs: Vec<JobOutcome> = (0..10).map(|i| outcome(i, 0, 100, 1, i as i64 * 10)).collect();
+        let outs: Vec<JobOutcome> = (0..10)
+            .map(|i| outcome(i, 0, 100, 1, i as i64 * 10))
+            .collect();
         let all = CategoryReport::from_outcomes(&outs);
         let some = CategoryReport::from_filtered(&outs, |o| o.wait() >= 50);
         assert_eq!(all.overall.count, 10);
@@ -240,8 +254,9 @@ mod tests {
 
     #[test]
     fn distribution_is_sorted_and_complete() {
-        let outs: Vec<JobOutcome> =
-            (0..5).map(|i| outcome(i, 0, 100, 1, (5 - i as i64) * 100)).collect();
+        let outs: Vec<JobOutcome> = (0..5)
+            .map(|i| outcome(i, 0, 100, 1, (5 - i as i64) * 100))
+            .collect();
         let d = slowdown_distribution(&outs);
         assert_eq!(d.len(), 5);
         for w in d.windows(2) {

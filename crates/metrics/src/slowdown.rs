@@ -29,7 +29,11 @@ mod tests {
     #[test]
     fn no_wait_gives_unity() {
         assert_eq!(bounded_slowdown(0, 100), 1.0);
-        assert_eq!(bounded_slowdown(0, 5), 1.0, "threshold clamps to 1, not 0.5");
+        assert_eq!(
+            bounded_slowdown(0, 5),
+            1.0,
+            "threshold clamps to 1, not 0.5"
+        );
     }
 
     #[test]

@@ -93,7 +93,12 @@ pub fn render_coarse_comparison(title: &str, schemes: &[(&str, [f64; 4])]) -> St
 
 /// Render an x-sweep: one row per x value, one column per scheme series.
 /// `series` holds `(name, values)` with `values.len() == xs.len()`.
-pub fn render_series(title: &str, x_label: &str, xs: &[f64], series: &[(&str, Vec<f64>)]) -> String {
+pub fn render_series(
+    title: &str,
+    x_label: &str,
+    xs: &[f64],
+    series: &[(&str, Vec<f64>)],
+) -> String {
     let mut out = String::new();
     out.push_str(title);
     out.push('\n');
@@ -149,12 +154,17 @@ mod tests {
             "Fig 35",
             "load",
             &xs,
-            &[("SS", vec![60.0, 70.0, 80.0]), ("NS", vec![58.0, 66.0, 74.0])],
+            &[
+                ("SS", vec![60.0, 70.0, 80.0]),
+                ("NS", vec![58.0, 66.0, 74.0]),
+            ],
         );
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 5);
         assert!(lines[1].contains("SS") && lines[1].contains("NS"));
-        assert!(lines[2].contains("1.00") && lines[2].contains("60.0") && lines[2].contains("58.0"));
+        assert!(
+            lines[2].contains("1.00") && lines[2].contains("60.0") && lines[2].contains("58.0")
+        );
     }
 
     #[test]

@@ -18,8 +18,11 @@ pub fn utilization(outcomes: &[JobOutcome], total_procs: u32) -> f64 {
         return 0.0;
     }
     let first_submit: SimTime = outcomes.iter().map(|o| o.submit).min().expect("non-empty");
-    let last_completion: SimTime =
-        outcomes.iter().map(|o| o.completion).max().expect("non-empty");
+    let last_completion: SimTime = outcomes
+        .iter()
+        .map(|o| o.completion)
+        .max()
+        .expect("non-empty");
     let makespan = last_completion - first_submit;
     if makespan <= 0 {
         return 0.0;

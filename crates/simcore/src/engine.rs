@@ -43,6 +43,7 @@ pub struct Engine {
     horizon: SimTime,
     max_batches: u64,
     batches: u64,
+    events: u64,
 }
 
 impl Default for Engine {
@@ -54,7 +55,13 @@ impl Default for Engine {
 impl Engine {
     /// An engine with no horizon and a generous livelock guard.
     pub fn new() -> Self {
-        Engine { now: SimTime::ZERO, horizon: SimTime::MAX, max_batches: u64::MAX, batches: 0 }
+        Engine {
+            now: SimTime::ZERO,
+            horizon: SimTime::MAX,
+            max_batches: u64::MAX,
+            batches: 0,
+            events: 0,
+        }
     }
 
     /// Stop (returning [`RunOutcome::HorizonReached`]) before delivering any
@@ -81,6 +88,11 @@ impl Engine {
         self.batches
     }
 
+    /// Number of individual events delivered so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
     /// Drive `sim` until the queue drains, the horizon passes, or the batch
     /// limit trips. Time never moves backwards: pushing an event earlier
     /// than the current instant panics in debug builds and is delivered at
@@ -98,11 +110,16 @@ impl Engine {
             if t > self.horizon {
                 return RunOutcome::HorizonReached;
             }
-            debug_assert!(t >= self.now, "event scheduled in the past: {t:?} < {:?}", self.now);
+            debug_assert!(
+                t >= self.now,
+                "event scheduled in the past: {t:?} < {:?}",
+                self.now
+            );
             self.now = t.max(self.now);
             batch.clear();
             queue.pop_batch(&mut batch);
             self.batches += 1;
+            self.events += batch.len() as u64;
             if self.batches > self.max_batches {
                 return RunOutcome::BatchLimit;
             }

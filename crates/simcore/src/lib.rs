@@ -23,11 +23,13 @@
 pub mod engine;
 pub mod event;
 pub mod queue;
+pub mod rng;
 pub mod ticker;
 pub mod time;
 
 pub use engine::{Engine, RunOutcome, Simulation};
 pub use event::EventClass;
 pub use queue::EventQueue;
+pub use rng::SimRng;
 pub use ticker::Ticker;
 pub use time::{Secs, SimTime, DAY, HOUR, MINUTE};

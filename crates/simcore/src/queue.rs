@@ -53,19 +53,30 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// An empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
     }
 
     /// An empty queue with room for `cap` events.
     pub fn with_capacity(cap: usize) -> Self {
-        EventQueue { heap: BinaryHeap::with_capacity(cap), next_seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+        }
     }
 
     /// Schedule `payload` to fire at `time` within ordering `class`.
     pub fn push(&mut self, time: SimTime, class: EventClass, payload: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, class, seq, payload });
+        self.heap.push(Entry {
+            time,
+            class,
+            seq,
+            payload,
+        });
     }
 
     /// Time and class of the next event to fire, if any.

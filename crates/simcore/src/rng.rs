@@ -1,0 +1,171 @@
+//! Small, dependency-free pseudo-random number generator.
+//!
+//! The simulator only needs a fast, deterministic, statistically decent
+//! stream — not cryptographic strength — so this module implements
+//! **xoshiro256++** (Blackman & Vigna) seeded through **SplitMix64**, the
+//! combination recommended by the algorithm's authors. Equal seeds give
+//! identical streams on every platform, which keeps synthetic traces and
+//! randomized tests reproducible without pulling in an external crate
+//! (this workspace builds fully offline).
+
+/// Deterministic xoshiro256++ generator.
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+impl SimRng {
+    /// Seed the full 256-bit state from a single `u64` via SplitMix64.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        SimRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo < hi, "empty f64 range {lo}..{hi}");
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform `u64` in `[0, n)`, bias-free (rejection sampling on the
+    /// widened multiply, à la Lemire).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0, "below(0)");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (n as u128);
+            let lo = m as u64;
+            if lo >= n || lo >= n.wrapping_neg() % n {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform `i64` in `[lo, hi]` (inclusive).
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo <= hi, "empty i64 range {lo}..={hi}");
+        let span = (hi as i128 - lo as i128 + 1) as u128;
+        if span > u64::MAX as u128 {
+            // Degenerate full-width range; a raw draw is already uniform.
+            return self.next_u64() as i64;
+        }
+        lo.wrapping_add(self.below(span as u64) as i64)
+    }
+
+    /// Uniform `u32` in `[lo, hi]` (inclusive).
+    pub fn range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        debug_assert!(lo <= hi, "empty u32 range {lo}..={hi}");
+        lo + self.below((hi - lo) as u64 + 1) as u32
+    }
+
+    /// Uniform `usize` in `[0, n)`.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.below(n as u64) as usize
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        if p >= 1.0 {
+            return true;
+        }
+        self.next_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = SimRng::seed_from_u64(42);
+        let mut b = SimRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SimRng::seed_from_u64(43);
+        assert_ne!(SimRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SimRng::seed_from_u64(7);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..10_000 {
+            let v = rng.range_i64(-5, 5);
+            assert!((-5..=5).contains(&v));
+            seen_lo |= v == -5;
+            seen_hi |= v == 5;
+            let u = rng.range_u32(100, 1024);
+            assert!((100..=1024).contains(&u));
+            let f = rng.range_f64(2.0, 3.0);
+            assert!((2.0..3.0).contains(&f));
+        }
+        assert!(seen_lo && seen_hi, "inclusive endpoints must be reachable");
+        assert_eq!(rng.range_i64(9, 9), 9);
+    }
+
+    #[test]
+    fn chance_extremes_and_rate() {
+        let mut rng = SimRng::seed_from_u64(5);
+        assert!((0..100).all(|_| rng.chance(1.0)));
+        assert!((0..100).all(|_| !rng.chance(0.0)));
+        let hits = (0..10_000).filter(|_| rng.chance(0.6)).count() as f64;
+        assert!((hits / 10_000.0 - 0.6).abs() < 0.02);
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut rng = SimRng::seed_from_u64(11);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[rng.below(10) as usize] += 1;
+        }
+        for c in counts {
+            assert!((9_000..11_000).contains(&c), "bucket count {c}");
+        }
+    }
+}

@@ -22,7 +22,10 @@ impl Ticker {
     /// A ticker firing every `period` seconds. `period` must be positive.
     pub fn new(period: Secs) -> Self {
         assert!(period > 0, "tick period must be positive, got {period}");
-        Ticker { period, pending: None }
+        Ticker {
+            period,
+            pending: None,
+        }
     }
 
     /// The tick period in seconds.

@@ -169,7 +169,10 @@ mod tests {
     #[test]
     fn display_formats_days_hours() {
         assert_eq!(SimTime::new(0).to_string(), "0+00:00:00");
-        assert_eq!(SimTime::new(DAY + HOUR + MINUTE + 1).to_string(), "1+01:01:01");
+        assert_eq!(
+            SimTime::new(DAY + HOUR + MINUTE + 1).to_string(),
+            "1+01:01:01"
+        );
         assert_eq!(SimTime::new(-MINUTE).to_string(), "-0+00:01:00");
         assert_eq!(SimTime::MAX.to_string(), "inf");
     }

@@ -1,23 +1,34 @@
-//! Property tests for the event queue and engine invariants.
+//! Randomized property tests for the event queue and engine invariants.
+//!
+//! These were originally written against the `proptest` crate; the
+//! workspace now builds fully offline, so each property is exercised over
+//! many seeded-random cases drawn from [`SimRng`] instead. Failures print
+//! the seed, which reproduces the case deterministically.
 
-use proptest::prelude::*;
 use sps_simcore::engine::run_with;
-use sps_simcore::{EventClass, EventQueue, SimTime};
+use sps_simcore::{EventClass, EventQueue, SimRng, SimTime};
 
-fn class_strategy() -> impl Strategy<Value = EventClass> {
-    prop_oneof![
-        Just(EventClass::Completion),
-        Just(EventClass::ProcsFreed),
-        Just(EventClass::Arrival),
-        Just(EventClass::Tick),
-        Just(EventClass::Epilogue),
-    ]
+const CASES: u64 = 256;
+
+fn random_class(rng: &mut SimRng) -> EventClass {
+    match rng.index(5) {
+        0 => EventClass::Completion,
+        1 => EventClass::ProcsFreed,
+        2 => EventClass::Arrival,
+        3 => EventClass::Tick,
+        _ => EventClass::Epilogue,
+    }
 }
 
-proptest! {
-    /// Popping yields a sequence sorted by (time, class) with FIFO ties.
-    #[test]
-    fn pop_order_is_sorted_and_stable(events in prop::collection::vec((0i64..1_000, class_strategy()), 0..200)) {
+/// Popping yields a sequence sorted by (time, class) with FIFO ties.
+#[test]
+fn pop_order_is_sorted_and_stable() {
+    for seed in 0..CASES {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let n = rng.index(200);
+        let events: Vec<(i64, EventClass)> = (0..n)
+            .map(|_| (rng.range_i64(0, 999), random_class(&mut rng)))
+            .collect();
         let mut q = EventQueue::new();
         for (i, (time, class)) in events.iter().enumerate() {
             q.push(SimTime::new(*time), *class, i);
@@ -26,20 +37,25 @@ proptest! {
         while let Some((t, c, idx)) = q.pop() {
             popped.push((t, c, idx));
         }
-        prop_assert_eq!(popped.len(), events.len());
+        assert_eq!(popped.len(), events.len(), "seed {seed}");
         for w in popped.windows(2) {
             let k0 = (w[0].0, w[0].1, w[0].2);
             let k1 = (w[1].0, w[1].1, w[1].2);
             // (time, class) nondecreasing; same (time, class) preserves
             // insertion order — i.e. the full triple is strictly increasing.
-            prop_assert!(k0 < k1, "out of order: {:?} then {:?}", k0, k1);
+            assert!(k0 < k1, "seed {seed}: out of order: {k0:?} then {k1:?}");
         }
     }
+}
 
-    /// Batch delivery visits every event exactly once, grouped by instant,
-    /// at strictly increasing instants.
-    #[test]
-    fn batches_partition_events(times in prop::collection::vec(0i64..50, 1..120)) {
+/// Batch delivery visits every event exactly once, grouped by instant, at
+/// strictly increasing instants.
+#[test]
+fn batches_partition_events() {
+    for seed in 0..CASES {
+        let mut rng = SimRng::seed_from_u64(seed ^ 0xB000);
+        let n = 1 + rng.index(119);
+        let times: Vec<i64> = (0..n).map(|_| rng.range_i64(0, 49)).collect();
         let mut q = EventQueue::new();
         for (i, t) in times.iter().enumerate() {
             q.push(SimTime::new(*t), EventClass::Arrival, i);
@@ -51,14 +67,20 @@ proptest! {
         let mut seen = vec![false; times.len()];
         for (instant, batch) in &delivered {
             for &idx in batch {
-                prop_assert!(!seen[idx], "event {} delivered twice", idx);
+                assert!(!seen[idx], "seed {seed}: event {idx} delivered twice");
                 seen[idx] = true;
-                prop_assert_eq!(times[idx], *instant, "event delivered at wrong instant");
+                assert_eq!(times[idx], *instant, "seed {seed}: event at wrong instant");
             }
         }
-        prop_assert!(seen.iter().all(|&s| s), "every event must be delivered");
+        assert!(
+            seen.iter().all(|&s| s),
+            "seed {seed}: every event must be delivered"
+        );
         for w in delivered.windows(2) {
-            prop_assert!(w[0].0 < w[1].0, "instants must be strictly increasing");
+            assert!(
+                w[0].0 < w[1].0,
+                "seed {seed}: instants must be strictly increasing"
+            );
         }
     }
 }

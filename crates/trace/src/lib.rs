@@ -1,0 +1,37 @@
+//! # sps-trace
+//!
+//! Zero-cost structured tracing for the scheduler simulator.
+//!
+//! The simulator and every scheduling policy emit [`TraceRecord`]s — job
+//! lifecycle transitions with their processor sets, scheduler decisions
+//! with *reasons* (who was preempted and at what xfactors, what was
+//! backfilled past which reservation, which preemption the TSS disable
+//! limit blocked), and per-tick gauges — into a pluggable [`TraceSink`]:
+//!
+//! * [`NullSink`] — the default; statically disabled and compiled away.
+//! * [`MemorySink`] — collects records in memory for tests and analysis.
+//! * [`JsonlSink`] — one JSON object per line; round-trips losslessly.
+//! * [`CsvSink`] — flat rows for spreadsheets; drops the embedded config.
+//!
+//! The [`replay`] module re-checks scheduler invariants from a finished
+//! log alone (lifecycle order, restart-on-original-procset, allocation
+//! non-overlap, disable-limit consistency, the SF preemption threshold).
+//!
+//! This crate is dependency-free — ids are raw `u32`s and times raw
+//! seconds — so any crate in the workspace can emit records without
+//! import cycles. The [`json`] module is a self-contained codec used both
+//! here and by `sps-core` to embed experiment configs in trace headers.
+
+pub mod json;
+pub mod record;
+pub mod replay;
+pub mod scope;
+pub mod sink;
+
+pub use json::{Json, JsonError};
+pub use record::{DecodeError, JobEvent, Reason, TraceRecord, TRACE_VERSION};
+pub use replay::{
+    validate_jsonl, validate_records, ReplayOptions, ReplayStats, Validator, Violation,
+};
+pub use scope::TraceCtx;
+pub use sink::{CsvSink, JsonlSink, MemorySink, NullSink, TraceSink};

@@ -1,0 +1,684 @@
+//! Typed trace records.
+//!
+//! One [`TraceRecord`] is one line of a trace. The schema is deliberately
+//! flat — job ids are raw `u32`s and times raw seconds — so this crate has
+//! no dependencies and every downstream crate (simulator, policies, CLI,
+//! benches) can emit records without import cycles.
+//!
+//! Three record families:
+//!
+//! * **Job lifecycle** ([`JobEvent`]): arrival, dispatch, suspend, drain,
+//!   restart, completion — with the assigned processor set where one
+//!   exists, so a replay can re-check allocation invariants.
+//! * **Scheduler decisions** ([`Reason`]): *why* the scheduler did what it
+//!   did — a backfill past the reservation, a preemption with both
+//!   xfactors, a preemption blocked by the TSS disable limit, a re-entry
+//!   on the original processors.
+//! * **Gauges**: per-tick counts of queue depth, idle processors, draining
+//!   occupancy, and suspended jobs, plus end-of-run engine statistics.
+
+use crate::json::{Json, JsonError};
+
+/// Schema version written into [`TraceRecord::Header`].
+pub const TRACE_VERSION: u32 = 1;
+
+/// A job lifecycle transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobEvent {
+    /// The job entered the queue.
+    Arrival,
+    /// The job started computing on a fresh allocation.
+    Dispatch,
+    /// The scheduler decided to preempt the job; memory drain begins.
+    Suspend,
+    /// The drain finished; the job's processors are free again.
+    Drain,
+    /// The job resumed computing after a suspension.
+    Restart,
+    /// The job finished its work.
+    Complete,
+}
+
+impl JobEvent {
+    /// Wire name (snake case).
+    pub fn name(self) -> &'static str {
+        match self {
+            JobEvent::Arrival => "arrival",
+            JobEvent::Dispatch => "dispatch",
+            JobEvent::Suspend => "suspend",
+            JobEvent::Drain => "drain",
+            JobEvent::Restart => "restart",
+            JobEvent::Complete => "complete",
+        }
+    }
+
+    /// Inverse of [`JobEvent::name`].
+    pub fn from_name(s: &str) -> Option<Self> {
+        Some(match s {
+            "arrival" => JobEvent::Arrival,
+            "dispatch" => JobEvent::Dispatch,
+            "suspend" => JobEvent::Suspend,
+            "drain" => JobEvent::Drain,
+            "restart" => JobEvent::Restart,
+            "complete" => JobEvent::Complete,
+            _ => return None,
+        })
+    }
+}
+
+/// Why the scheduler made a decision.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Reason {
+    /// A queued job started ahead of the head reservation because it fits
+    /// before (or beside) the shadow time.
+    Backfilled {
+        /// The backfilled job.
+        job: u32,
+        /// The head job's reservation start ("shadow time"), seconds.
+        shadow: i64,
+    },
+    /// A running job was chosen as a preemption victim.
+    PreemptedVictim {
+        /// The job being suspended.
+        victim: u32,
+        /// The queued job whose start forced the suspension.
+        suspender: u32,
+        /// Victim's xfactor at decision time.
+        victim_xf: f64,
+        /// Suspender's xfactor at decision time.
+        suspender_xf: f64,
+    },
+    /// A preemption candidate was skipped because its category's slowdown
+    /// already exceeds the tuned disable limit (TSS).
+    BlockedByDisableLimit {
+        /// The protected running job.
+        victim: u32,
+        /// Paper-style category name, e.g. `"L W"`.
+        category: String,
+        /// The victim's xfactor at decision time.
+        xfactor: f64,
+        /// The category's current disable limit.
+        limit: f64,
+    },
+    /// A suspended job re-entered service on exactly its original
+    /// processor set (possibly suspending the jobs occupying it).
+    ReentryOnOriginalProcs {
+        /// The resuming job.
+        job: u32,
+        /// How many running jobs were suspended to clear the procset.
+        victims: u32,
+    },
+}
+
+impl Reason {
+    /// Wire name of the reason variant.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Reason::Backfilled { .. } => "backfilled",
+            Reason::PreemptedVictim { .. } => "preempted_victim",
+            Reason::BlockedByDisableLimit { .. } => "blocked_by_disable_limit",
+            Reason::ReentryOnOriginalProcs { .. } => "reentry_on_original_procs",
+        }
+    }
+}
+
+/// One line of a trace.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceRecord {
+    /// First record of a file: schema version, scheduler string (parseable
+    /// by `SchedulerKind::from_str` in `sps-core`), and the originating
+    /// experiment configuration as an embedded JSON value.
+    Header {
+        /// Schema version ([`TRACE_VERSION`]).
+        version: u32,
+        /// Canonical scheduler string, e.g. `"ss:2.0"`.
+        scheduler: String,
+        /// Experiment configuration (opaque to this crate).
+        config: Json,
+    },
+    /// A job lifecycle transition.
+    Job {
+        /// Simulated time, seconds.
+        t: i64,
+        /// Job id.
+        job: u32,
+        /// Which transition.
+        event: JobEvent,
+        /// The processor set involved (dispatch/suspend/restart); `None`
+        /// for arrival/drain/complete.
+        procs: Option<Vec<u32>>,
+    },
+    /// A scheduler decision with its reason.
+    Decision {
+        /// Simulated time, seconds.
+        t: i64,
+        /// The reason.
+        reason: Reason,
+    },
+    /// Per-tick system state.
+    Gauge {
+        /// Simulated time, seconds.
+        t: i64,
+        /// Jobs waiting in the queue.
+        queued: u32,
+        /// Idle (free) processors.
+        idle: u32,
+        /// Processors currently occupied by draining jobs.
+        draining: u32,
+        /// Jobs suspended (drained, awaiting restart).
+        suspended: u32,
+        /// Jobs actively computing.
+        running: u32,
+    },
+    /// End-of-run statistics from the discrete-event engine.
+    EngineStats {
+        /// Final simulated time, seconds.
+        t: i64,
+        /// Event batches delivered.
+        batches: u64,
+        /// Individual events delivered.
+        events: u64,
+    },
+}
+
+impl TraceRecord {
+    /// Timestamp of the record, if it has one (headers do not).
+    pub fn time(&self) -> Option<i64> {
+        match *self {
+            TraceRecord::Header { .. } => None,
+            TraceRecord::Job { t, .. }
+            | TraceRecord::Decision { t, .. }
+            | TraceRecord::Gauge { t, .. }
+            | TraceRecord::EngineStats { t, .. } => Some(t),
+        }
+    }
+
+    /// Encode as a JSON value (one JSONL line when rendered).
+    pub fn to_json(&self) -> Json {
+        let mut obj: Vec<(String, Json)> = Vec::with_capacity(8);
+        let mut put = |k: &str, v: Json| obj.push((k.to_string(), v));
+        match self {
+            TraceRecord::Header {
+                version,
+                scheduler,
+                config,
+            } => {
+                put("type", Json::Str("header".into()));
+                put("version", Json::Int(*version as i64));
+                put("scheduler", Json::Str(scheduler.clone()));
+                put("config", config.clone());
+            }
+            TraceRecord::Job {
+                t,
+                job,
+                event,
+                procs,
+            } => {
+                put("type", Json::Str("job".into()));
+                put("t", Json::Int(*t));
+                put("job", Json::Int(*job as i64));
+                put("event", Json::Str(event.name().into()));
+                if let Some(procs) = procs {
+                    put(
+                        "procs",
+                        Json::Arr(procs.iter().map(|&p| Json::Int(p as i64)).collect()),
+                    );
+                }
+            }
+            TraceRecord::Decision { t, reason } => {
+                put("type", Json::Str("decision".into()));
+                put("t", Json::Int(*t));
+                put("reason", Json::Str(reason.name().into()));
+                match reason {
+                    Reason::Backfilled { job, shadow } => {
+                        put("job", Json::Int(*job as i64));
+                        put("shadow", Json::Int(*shadow));
+                    }
+                    Reason::PreemptedVictim {
+                        victim,
+                        suspender,
+                        victim_xf,
+                        suspender_xf,
+                    } => {
+                        put("victim", Json::Int(*victim as i64));
+                        put("suspender", Json::Int(*suspender as i64));
+                        put("victim_xf", Json::Num(*victim_xf));
+                        put("suspender_xf", Json::Num(*suspender_xf));
+                    }
+                    Reason::BlockedByDisableLimit {
+                        victim,
+                        category,
+                        xfactor,
+                        limit,
+                    } => {
+                        put("victim", Json::Int(*victim as i64));
+                        put("category", Json::Str(category.clone()));
+                        put("xfactor", Json::Num(*xfactor));
+                        put("limit", Json::Num(*limit));
+                    }
+                    Reason::ReentryOnOriginalProcs { job, victims } => {
+                        put("job", Json::Int(*job as i64));
+                        put("victims", Json::Int(*victims as i64));
+                    }
+                }
+            }
+            TraceRecord::Gauge {
+                t,
+                queued,
+                idle,
+                draining,
+                suspended,
+                running,
+            } => {
+                put("type", Json::Str("gauge".into()));
+                put("t", Json::Int(*t));
+                put("queued", Json::Int(*queued as i64));
+                put("idle", Json::Int(*idle as i64));
+                put("draining", Json::Int(*draining as i64));
+                put("suspended", Json::Int(*suspended as i64));
+                put("running", Json::Int(*running as i64));
+            }
+            TraceRecord::EngineStats { t, batches, events } => {
+                put("type", Json::Str("engine".into()));
+                put("t", Json::Int(*t));
+                put("batches", Json::Int(*batches as i64));
+                put("events", Json::Int(*events as i64));
+            }
+        }
+        Json::Obj(obj)
+    }
+
+    /// Decode a record from one parsed JSONL line.
+    pub fn from_json(v: &Json) -> Result<TraceRecord, DecodeError> {
+        let ty = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or(DecodeError::Missing("type"))?;
+        let t = || {
+            v.get("t")
+                .and_then(Json::as_i64)
+                .ok_or(DecodeError::Missing("t"))
+        };
+        let u32_field = |k: &'static str| {
+            v.get(k)
+                .and_then(Json::as_i64)
+                .and_then(|i| u32::try_from(i).ok())
+                .ok_or(DecodeError::Missing(k))
+        };
+        let f64_field = |k: &'static str| {
+            v.get(k)
+                .and_then(Json::as_f64)
+                .ok_or(DecodeError::Missing(k))
+        };
+        match ty {
+            "header" => Ok(TraceRecord::Header {
+                version: u32_field("version")?,
+                scheduler: v
+                    .get("scheduler")
+                    .and_then(Json::as_str)
+                    .ok_or(DecodeError::Missing("scheduler"))?
+                    .to_string(),
+                config: v.get("config").cloned().unwrap_or(Json::Null),
+            }),
+            "job" => {
+                let event = v
+                    .get("event")
+                    .and_then(Json::as_str)
+                    .and_then(JobEvent::from_name)
+                    .ok_or(DecodeError::Missing("event"))?;
+                let procs = match v.get("procs") {
+                    None | Some(Json::Null) => None,
+                    Some(arr) => {
+                        let items = arr.as_arr().ok_or(DecodeError::Bad("procs"))?;
+                        let mut procs = Vec::with_capacity(items.len());
+                        for item in items {
+                            let p = item
+                                .as_i64()
+                                .and_then(|i| u32::try_from(i).ok())
+                                .ok_or(DecodeError::Bad("procs"))?;
+                            procs.push(p);
+                        }
+                        Some(procs)
+                    }
+                };
+                Ok(TraceRecord::Job {
+                    t: t()?,
+                    job: u32_field("job")?,
+                    event,
+                    procs,
+                })
+            }
+            "decision" => {
+                let reason = match v
+                    .get("reason")
+                    .and_then(Json::as_str)
+                    .ok_or(DecodeError::Missing("reason"))?
+                {
+                    "backfilled" => Reason::Backfilled {
+                        job: u32_field("job")?,
+                        shadow: v
+                            .get("shadow")
+                            .and_then(Json::as_i64)
+                            .ok_or(DecodeError::Missing("shadow"))?,
+                    },
+                    "preempted_victim" => Reason::PreemptedVictim {
+                        victim: u32_field("victim")?,
+                        suspender: u32_field("suspender")?,
+                        victim_xf: f64_field("victim_xf")?,
+                        suspender_xf: f64_field("suspender_xf")?,
+                    },
+                    "blocked_by_disable_limit" => Reason::BlockedByDisableLimit {
+                        victim: u32_field("victim")?,
+                        category: v
+                            .get("category")
+                            .and_then(Json::as_str)
+                            .ok_or(DecodeError::Missing("category"))?
+                            .to_string(),
+                        xfactor: f64_field("xfactor")?,
+                        limit: f64_field("limit")?,
+                    },
+                    "reentry_on_original_procs" => Reason::ReentryOnOriginalProcs {
+                        job: u32_field("job")?,
+                        victims: u32_field("victims")?,
+                    },
+                    _ => return Err(DecodeError::Bad("reason")),
+                };
+                Ok(TraceRecord::Decision { t: t()?, reason })
+            }
+            "gauge" => Ok(TraceRecord::Gauge {
+                t: t()?,
+                queued: u32_field("queued")?,
+                idle: u32_field("idle")?,
+                draining: u32_field("draining")?,
+                suspended: u32_field("suspended")?,
+                running: u32_field("running")?,
+            }),
+            "engine" => Ok(TraceRecord::EngineStats {
+                t: t()?,
+                batches: v
+                    .get("batches")
+                    .and_then(Json::as_i64)
+                    .and_then(|i| u64::try_from(i).ok())
+                    .ok_or(DecodeError::Missing("batches"))?,
+                events: v
+                    .get("events")
+                    .and_then(Json::as_i64)
+                    .and_then(|i| u64::try_from(i).ok())
+                    .ok_or(DecodeError::Missing("events"))?,
+            }),
+            _ => Err(DecodeError::Bad("type")),
+        }
+    }
+
+    /// Parse a single JSONL line into a record.
+    pub fn parse_line(line: &str) -> Result<TraceRecord, DecodeError> {
+        let v = Json::parse(line)?;
+        TraceRecord::from_json(&v)
+    }
+
+    /// Column names of the CSV encoding, in order.
+    pub const CSV_COLUMNS: &'static [&'static str] = &[
+        "record",
+        "t",
+        "job",
+        "event",
+        "procs",
+        "reason",
+        "victim",
+        "suspender",
+        "victim_xf",
+        "suspender_xf",
+        "category",
+        "xfactor",
+        "limit",
+        "shadow",
+        "victims",
+        "queued",
+        "idle",
+        "draining",
+        "suspended",
+        "running",
+        "batches",
+        "events",
+        "version",
+        "scheduler",
+    ];
+
+    /// Encode as one CSV row matching [`TraceRecord::CSV_COLUMNS`]. The
+    /// header's embedded config is omitted (CSV cannot nest; use JSONL
+    /// when the config must travel with the trace).
+    pub fn to_csv_row(&self) -> String {
+        let mut cols: Vec<String> = vec![String::new(); Self::CSV_COLUMNS.len()];
+        let idx = |name: &str| Self::CSV_COLUMNS.iter().position(|&c| c == name).unwrap();
+        let mut set = |name: &str, value: String| cols[idx(name)] = value;
+        match self {
+            TraceRecord::Header {
+                version, scheduler, ..
+            } => {
+                set("record", "header".into());
+                set("version", version.to_string());
+                set("scheduler", scheduler.clone());
+            }
+            TraceRecord::Job {
+                t,
+                job,
+                event,
+                procs,
+            } => {
+                set("record", "job".into());
+                set("t", t.to_string());
+                set("job", job.to_string());
+                set("event", event.name().into());
+                if let Some(procs) = procs {
+                    let list: Vec<String> = procs.iter().map(u32::to_string).collect();
+                    set("procs", list.join(" "));
+                }
+            }
+            TraceRecord::Decision { t, reason } => {
+                set("record", "decision".into());
+                set("t", t.to_string());
+                set("reason", reason.name().into());
+                match reason {
+                    Reason::Backfilled { job, shadow } => {
+                        set("job", job.to_string());
+                        set("shadow", shadow.to_string());
+                    }
+                    Reason::PreemptedVictim {
+                        victim,
+                        suspender,
+                        victim_xf,
+                        suspender_xf,
+                    } => {
+                        set("victim", victim.to_string());
+                        set("suspender", suspender.to_string());
+                        set("victim_xf", format!("{victim_xf}"));
+                        set("suspender_xf", format!("{suspender_xf}"));
+                    }
+                    Reason::BlockedByDisableLimit {
+                        victim,
+                        category,
+                        xfactor,
+                        limit,
+                    } => {
+                        set("victim", victim.to_string());
+                        set("category", category.clone());
+                        set("xfactor", format!("{xfactor}"));
+                        set("limit", format!("{limit}"));
+                    }
+                    Reason::ReentryOnOriginalProcs { job, victims } => {
+                        set("job", job.to_string());
+                        set("victims", victims.to_string());
+                    }
+                }
+            }
+            TraceRecord::Gauge {
+                t,
+                queued,
+                idle,
+                draining,
+                suspended,
+                running,
+            } => {
+                set("record", "gauge".into());
+                set("t", t.to_string());
+                set("queued", queued.to_string());
+                set("idle", idle.to_string());
+                set("draining", draining.to_string());
+                set("suspended", suspended.to_string());
+                set("running", running.to_string());
+            }
+            TraceRecord::EngineStats { t, batches, events } => {
+                set("record", "engine".into());
+                set("t", t.to_string());
+                set("batches", batches.to_string());
+                set("events", events.to_string());
+            }
+        }
+        let escaped: Vec<String> = cols.iter().map(|c| csv_escape(c)).collect();
+        escaped.join(",")
+    }
+}
+
+fn csv_escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Failure to decode a [`TraceRecord`] from JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The line was not valid JSON.
+    Json(JsonError),
+    /// A required field was absent or of the wrong type.
+    Missing(&'static str),
+    /// A field was present but malformed.
+    Bad(&'static str),
+}
+
+impl From<JsonError> for DecodeError {
+    fn from(e: JsonError) -> Self {
+        DecodeError::Json(e)
+    }
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Json(e) => write!(f, "{e}"),
+            DecodeError::Missing(field) => write!(f, "missing or mistyped field '{field}'"),
+            DecodeError::Bad(field) => write!(f, "malformed field '{field}'"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord::Header {
+                version: TRACE_VERSION,
+                scheduler: "ss:2.0".into(),
+                config: Json::Obj(vec![("seed".into(), Json::Int(42))]),
+            },
+            TraceRecord::Job {
+                t: 0,
+                job: 1,
+                event: JobEvent::Arrival,
+                procs: None,
+            },
+            TraceRecord::Job {
+                t: 5,
+                job: 1,
+                event: JobEvent::Dispatch,
+                procs: Some(vec![0, 1]),
+            },
+            TraceRecord::Decision {
+                t: 9,
+                reason: Reason::PreemptedVictim {
+                    victim: 1,
+                    suspender: 2,
+                    victim_xf: 1.25,
+                    suspender_xf: 3.5,
+                },
+            },
+            TraceRecord::Decision {
+                t: 9,
+                reason: Reason::Backfilled {
+                    job: 7,
+                    shadow: 1_000,
+                },
+            },
+            TraceRecord::Decision {
+                t: 11,
+                reason: Reason::BlockedByDisableLimit {
+                    victim: 4,
+                    category: "L W".into(),
+                    xfactor: 9.5,
+                    limit: 4.25,
+                },
+            },
+            TraceRecord::Decision {
+                t: 12,
+                reason: Reason::ReentryOnOriginalProcs { job: 1, victims: 2 },
+            },
+            TraceRecord::Gauge {
+                t: 12,
+                queued: 3,
+                idle: 10,
+                draining: 4,
+                suspended: 1,
+                running: 9,
+            },
+            TraceRecord::EngineStats {
+                t: 99,
+                batches: 1_234,
+                events: 5_678,
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_roundtrip_every_variant() {
+        for rec in samples() {
+            let line = rec.to_json().render();
+            let back = TraceRecord::parse_line(&line).unwrap();
+            assert_eq!(back, rec, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn csv_rows_match_column_count() {
+        for rec in samples() {
+            let row = rec.to_csv_row();
+            assert_eq!(
+                row.split(',').count(),
+                TraceRecord::CSV_COLUMNS.len(),
+                "row: {row}"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_lines() {
+        assert!(TraceRecord::parse_line("{").is_err());
+        assert!(TraceRecord::parse_line("{\"type\":\"job\"}").is_err());
+        assert!(TraceRecord::parse_line("{\"type\":\"nope\",\"t\":1}").is_err());
+        assert!(TraceRecord::parse_line(
+            "{\"type\":\"decision\",\"t\":1,\"reason\":\"backfilled\"}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn time_accessor() {
+        assert_eq!(samples()[0].time(), None);
+        assert_eq!(samples()[2].time(), Some(5));
+    }
+}

@@ -31,8 +31,12 @@ pub enum RuntimeClass {
 
 impl RuntimeClass {
     /// All classes in table-row order.
-    pub const ALL: [RuntimeClass; 4] =
-        [RuntimeClass::VeryShort, RuntimeClass::Short, RuntimeClass::Long, RuntimeClass::VeryLong];
+    pub const ALL: [RuntimeClass; 4] = [
+        RuntimeClass::VeryShort,
+        RuntimeClass::Short,
+        RuntimeClass::Long,
+        RuntimeClass::VeryLong,
+    ];
 
     /// Classify an actual run time (seconds) per Table I. Boundaries are
     /// inclusive on the upper end: a 600-second job is Very Short.
@@ -96,8 +100,12 @@ pub enum WidthClass {
 
 impl WidthClass {
     /// All classes in table-column order.
-    pub const ALL: [WidthClass; 4] =
-        [WidthClass::Sequential, WidthClass::Narrow, WidthClass::Wide, WidthClass::VeryWide];
+    pub const ALL: [WidthClass; 4] = [
+        WidthClass::Sequential,
+        WidthClass::Narrow,
+        WidthClass::Wide,
+        WidthClass::VeryWide,
+    ];
 
     /// Classify a processor request per Table I.
     pub fn classify(procs: u32) -> Self {
@@ -153,26 +161,41 @@ pub struct Category {
 impl Category {
     /// Classify a job by actual run time and processor request.
     pub fn classify(run: Secs, procs: u32) -> Self {
-        Category { runtime: RuntimeClass::classify(run), width: WidthClass::classify(procs) }
+        Category {
+            runtime: RuntimeClass::classify(run),
+            width: WidthClass::classify(procs),
+        }
     }
 
     /// All 16 categories, row-major (VS Seq, VS N, …, VL VW).
     pub fn all() -> impl Iterator<Item = Category> {
-        RuntimeClass::ALL
-            .into_iter()
-            .flat_map(|rt| WidthClass::ALL.into_iter().map(move |w| Category { runtime: rt, width: w }))
+        RuntimeClass::ALL.into_iter().flat_map(|rt| {
+            WidthClass::ALL.into_iter().map(move |w| Category {
+                runtime: rt,
+                width: w,
+            })
+        })
     }
 
     /// Dense index 0..16, row-major, for array-backed aggregation.
     pub fn index(self) -> usize {
-        let r = RuntimeClass::ALL.iter().position(|&c| c == self.runtime).unwrap();
-        let w = WidthClass::ALL.iter().position(|&c| c == self.width).unwrap();
+        let r = RuntimeClass::ALL
+            .iter()
+            .position(|&c| c == self.runtime)
+            .unwrap();
+        let w = WidthClass::ALL
+            .iter()
+            .position(|&c| c == self.width)
+            .unwrap();
         r * 4 + w
     }
 
     /// Inverse of [`Category::index`].
     pub fn from_index(i: usize) -> Category {
-        Category { runtime: RuntimeClass::ALL[i / 4], width: WidthClass::ALL[i % 4] }
+        Category {
+            runtime: RuntimeClass::ALL[i / 4],
+            width: WidthClass::ALL[i % 4],
+        }
     }
 
     /// Paper-style name, e.g. `VS VW`.
@@ -288,10 +311,19 @@ mod tests {
 
     #[test]
     fn coarse_boundaries_match_table6() {
-        assert_eq!(CoarseCategory::classify(HOUR, 8), CoarseCategory::ShortNarrow);
+        assert_eq!(
+            CoarseCategory::classify(HOUR, 8),
+            CoarseCategory::ShortNarrow
+        );
         assert_eq!(CoarseCategory::classify(HOUR, 9), CoarseCategory::ShortWide);
-        assert_eq!(CoarseCategory::classify(HOUR + 1, 8), CoarseCategory::LongNarrow);
-        assert_eq!(CoarseCategory::classify(HOUR + 1, 9), CoarseCategory::LongWide);
+        assert_eq!(
+            CoarseCategory::classify(HOUR + 1, 8),
+            CoarseCategory::LongNarrow
+        );
+        assert_eq!(
+            CoarseCategory::classify(HOUR + 1, 9),
+            CoarseCategory::LongWide
+        );
     }
 
     #[test]

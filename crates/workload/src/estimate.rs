@@ -13,10 +13,8 @@
 //! more wall-clock time than they use. Estimates never fall below the
 //! actual run time (jobs are never killed mid-run in the paper's model).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::job::Job;
+use sps_simcore::SimRng;
 
 /// How user estimates relate to actual run times.
 #[derive(Clone, Copy, Debug, PartialEq, Default)]
@@ -67,7 +65,10 @@ impl EstimateModel {
     /// The paper's inaccurate-estimates setting: roughly half the jobs
     /// well estimated, the rest overestimating by up to 30×.
     pub fn paper_mixture() -> Self {
-        EstimateModel::Mixture { well_fraction: 0.5, max_factor: 30.0 }
+        EstimateModel::Mixture {
+            well_fraction: 0.5,
+            max_factor: 30.0,
+        }
     }
 
     /// Rewrite `jobs[*].estimate` in place according to the model.
@@ -79,23 +80,36 @@ impl EstimateModel {
                     j.estimate = j.run;
                 }
             }
-            EstimateModel::RoundedMixture { well_fraction, max_factor } => {
-                EstimateModel::Mixture { well_fraction, max_factor }.apply(jobs, seed);
+            EstimateModel::RoundedMixture {
+                well_fraction,
+                max_factor,
+            } => {
+                EstimateModel::Mixture {
+                    well_fraction,
+                    max_factor,
+                }
+                .apply(jobs, seed);
                 for j in jobs {
                     j.estimate = round_up_estimate(j.estimate).max(j.run);
                 }
             }
-            EstimateModel::Mixture { well_fraction, max_factor } => {
-                assert!((0.0..=1.0).contains(&well_fraction), "well_fraction out of range");
+            EstimateModel::Mixture {
+                well_fraction,
+                max_factor,
+            } => {
+                assert!(
+                    (0.0..=1.0).contains(&well_fraction),
+                    "well_fraction out of range"
+                );
                 assert!(max_factor > 2.0, "max_factor must exceed the 2x threshold");
-                let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+                let mut rng = SimRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
                 for j in jobs {
-                    let factor = if rng.gen_bool(well_fraction) {
-                        rng.gen_range(1.0..=2.0)
+                    let factor = if rng.chance(well_fraction) {
+                        rng.range_f64(1.0, 2.0)
                     } else {
                         // Log-uniform over (2, max_factor].
                         let (lo, hi) = (2.0f64.ln(), max_factor.ln());
-                        rng.gen_range(lo..hi).exp().max(2.0 + 1e-9)
+                        rng.range_f64(lo, hi).exp().max(2.0 + 1e-9)
                     };
                     // Round up so estimate strictly covers the run and the
                     // well/badly classification matches the drawn factor.
@@ -120,7 +134,11 @@ mod tests {
     #[test]
     fn accurate_resets_estimates() {
         let mut jobs = trace(200);
-        EstimateModel::Mixture { well_fraction: 0.3, max_factor: 10.0 }.apply(&mut jobs, 1);
+        EstimateModel::Mixture {
+            well_fraction: 0.3,
+            max_factor: 10.0,
+        }
+        .apply(&mut jobs, 1);
         EstimateModel::Accurate.apply(&mut jobs, 1);
         assert!(jobs.iter().all(|j| j.estimate == j.run));
     }
@@ -135,7 +153,11 @@ mod tests {
     #[test]
     fn mixture_hits_well_fraction() {
         let mut jobs = trace(10_000);
-        EstimateModel::Mixture { well_fraction: 0.5, max_factor: 30.0 }.apply(&mut jobs, 4);
+        EstimateModel::Mixture {
+            well_fraction: 0.5,
+            max_factor: 30.0,
+        }
+        .apply(&mut jobs, 4);
         let well = jobs.iter().filter(|j| j.well_estimated()).count() as f64;
         let frac = well / jobs.len() as f64;
         assert!((frac - 0.5).abs() < 0.03, "well-estimated fraction {frac}");
@@ -144,7 +166,10 @@ mod tests {
             .iter()
             .map(|j| j.estimate as f64 / j.run as f64)
             .fold(0.0f64, f64::max);
-        assert!(max_ratio > 10.0, "expect some heavy overestimates, max {max_ratio}");
+        assert!(
+            max_ratio > 10.0,
+            "expect some heavy overestimates, max {max_ratio}"
+        );
         assert!(max_ratio <= 31.0, "factor cap respected, max {max_ratio}");
     }
 
@@ -163,15 +188,22 @@ mod tests {
     #[test]
     fn rounded_mixture_lands_on_menu_values() {
         let mut jobs = trace(2_000);
-        EstimateModel::RoundedMixture { well_fraction: 0.5, max_factor: 10.0 }
-            .apply(&mut jobs, 3);
+        EstimateModel::RoundedMixture {
+            well_fraction: 0.5,
+            max_factor: 10.0,
+        }
+        .apply(&mut jobs, 3);
         let menu: std::collections::HashSet<i64> = ROUND_ESTIMATES.into_iter().collect();
         // Every estimate within the menu's range lands exactly on a menu
         // value; larger ones (long runs × big factors) are explicit
         // special requests and stay as-is.
         for j in &jobs {
             if j.estimate <= 216_000 {
-                assert!(menu.contains(&j.estimate), "estimate {} off-menu", j.estimate);
+                assert!(
+                    menu.contains(&j.estimate),
+                    "estimate {} off-menu",
+                    j.estimate
+                );
             }
         }
         let on_menu = jobs.iter().filter(|j| menu.contains(&j.estimate)).count();
@@ -179,7 +211,11 @@ mod tests {
         assert!(jobs.iter().all(|j| j.estimate >= j.run));
         // Rounding never *reduces* an estimate below the raw mixture's.
         let mut raw = trace(2_000);
-        EstimateModel::Mixture { well_fraction: 0.5, max_factor: 10.0 }.apply(&mut raw, 3);
+        EstimateModel::Mixture {
+            well_fraction: 0.5,
+            max_factor: 10.0,
+        }
+        .apply(&mut raw, 3);
         for (a, b) in jobs.iter().zip(&raw) {
             assert!(a.estimate >= b.estimate);
         }
@@ -197,9 +233,17 @@ mod tests {
     #[test]
     fn extreme_fractions() {
         let mut jobs = trace(300);
-        EstimateModel::Mixture { well_fraction: 1.0, max_factor: 5.0 }.apply(&mut jobs, 2);
+        EstimateModel::Mixture {
+            well_fraction: 1.0,
+            max_factor: 5.0,
+        }
+        .apply(&mut jobs, 2);
         assert!(jobs.iter().all(|j| j.well_estimated()));
-        EstimateModel::Mixture { well_fraction: 0.0, max_factor: 5.0 }.apply(&mut jobs, 2);
+        EstimateModel::Mixture {
+            well_fraction: 0.0,
+            max_factor: 5.0,
+        }
+        .apply(&mut jobs, 2);
         assert!(jobs.iter().all(|j| !j.well_estimated()));
     }
 }

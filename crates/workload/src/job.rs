@@ -97,7 +97,10 @@ pub fn total_work(jobs: &[Job]) -> i64 {
 
 /// Time span from first submission to last submission.
 pub fn submit_span(jobs: &[Job]) -> Secs {
-    match (jobs.iter().map(|j| j.submit).min(), jobs.iter().map(|j| j.submit).max()) {
+    match (
+        jobs.iter().map(|j| j.submit).min(),
+        jobs.iter().map(|j| j.submit).max(),
+    ) {
         (Some(a), Some(b)) => b - a,
         _ => 0,
     }

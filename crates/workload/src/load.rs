@@ -42,7 +42,11 @@ mod tests {
         let jobs = SyntheticConfig::new(SDSC, 21).with_jobs(1_000).generate();
         let before = offered_load(&jobs, SDSC.procs);
         let after = offered_load(&scaled(&jobs, 1.3), SDSC.procs);
-        assert!((after / before - 1.3).abs() < 0.01, "ratio {}", after / before);
+        assert!(
+            (after / before - 1.3).abs() < 0.01,
+            "ratio {}",
+            after / before
+        );
     }
 
     #[test]

@@ -18,13 +18,10 @@
 //! *accurate* (`estimate = run`); apply an
 //! [`EstimateModel`](crate::estimate::EstimateModel) to study inaccuracy.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::category::Category;
 use crate::job::{Job, JobId};
 use crate::traces::SystemPreset;
-use sps_simcore::SimTime;
+use sps_simcore::{SimRng, SimTime};
 
 /// Configuration for one synthetic trace.
 ///
@@ -96,13 +93,13 @@ impl SyntheticConfig {
 }
 
 /// Draw an integer log-uniformly from `[lo, hi]` (both positive).
-fn log_uniform_int(rng: &mut StdRng, lo: i64, hi: i64) -> i64 {
+fn log_uniform_int(rng: &mut SimRng, lo: i64, hi: i64) -> i64 {
     debug_assert!(0 < lo && lo <= hi);
     if lo == hi {
         return lo;
     }
     let (ln_lo, ln_hi) = ((lo as f64).ln(), ((hi + 1) as f64).ln());
-    let x = rng.gen_range(ln_lo..ln_hi).exp();
+    let x = rng.range_f64(ln_lo, ln_hi).exp();
     (x as i64).clamp(lo, hi)
 }
 
@@ -110,7 +107,7 @@ fn log_uniform_int(rng: &mut StdRng, lo: i64, hi: i64) -> i64 {
 /// of SP2 workloads where users request 2/4/8/16/…). Wide bins get an
 /// extra low-end bias (`double draw`): near-full-machine jobs were rare on
 /// the real SP2s, and a fat very-wide tail serializes the whole schedule.
-fn sample_width(rng: &mut StdRng, lo: u32, hi: u32) -> u32 {
+fn sample_width(rng: &mut SimRng, lo: u32, hi: u32) -> u32 {
     debug_assert!(lo <= hi);
     if lo == hi {
         return lo;
@@ -120,7 +117,7 @@ fn sample_width(rng: &mut StdRng, lo: u32, hi: u32) -> u32 {
         let second = log_uniform_int(rng, lo as i64, hi as i64) as u32;
         raw = raw.min(second);
     }
-    if rng.gen_bool(0.6) {
+    if rng.chance(0.6) {
         // Snap to the nearest power of two inside the bin.
         let p = (raw as f64).log2().round() as u32;
         let snapped = 1u32 << p;
@@ -178,7 +175,7 @@ impl DiurnalCdf {
 pub fn generate(cfg: &SyntheticConfig) -> Vec<Job> {
     assert!(cfg.n_jobs > 0, "cannot generate an empty trace");
     assert!(cfg.load > 0.0, "offered load must be positive");
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = SimRng::seed_from_u64(cfg.seed);
     let sys = &cfg.system;
 
     // Cumulative mix for category sampling.
@@ -198,7 +195,7 @@ pub fn generate(cfg: &SyntheticConfig) -> Vec<Job> {
     }
     let mut shapes = Vec::with_capacity(cfg.n_jobs);
     for _ in 0..cfg.n_jobs {
-        let u: f64 = rng.gen();
+        let u: f64 = rng.next_f64();
         let idx = cum.iter().position(|&c| u <= c).unwrap_or(15);
         let cat = Category::from_index(idx);
         let (rlo, rhi) = cat.runtime.bounds();
@@ -211,7 +208,7 @@ pub fn generate(cfg: &SyntheticConfig) -> Vec<Job> {
         let max_w = sys.max_width.min(sys.procs);
         let procs = sample_width(&mut rng, wlo.min(max_w), whi.min(max_w));
         // Paper's memory model: job memory uniform 100 MB – 1 GB.
-        let mem = rng.gen_range(100..=1024u32);
+        let mem = rng.range_u32(100, 1024);
         shapes.push(Shape { run, procs, mem });
     }
 
@@ -222,14 +219,16 @@ pub fn generate(cfg: &SyntheticConfig) -> Vec<Job> {
     let total_work: i64 = shapes.iter().map(|s| s.run * s.procs as i64).sum();
     let span = (total_work as f64 / (sys.procs as f64 * cfg.load)).ceil() as i64;
     let mut arrivals: Vec<i64> = if cfg.diurnal == 0.0 {
-        (0..cfg.n_jobs).map(|_| rng.gen_range(0..=span)).collect()
+        (0..cfg.n_jobs).map(|_| rng.range_i64(0, span)).collect()
     } else {
         // Inhomogeneous Poisson: draw uniforms and push them through the
         // inverse of the cumulative diurnal intensity (tabulated hourly,
         // linearly interpolated). Determinism and the load target are
         // preserved — only *when* within the span jobs arrive changes.
         let inv = DiurnalCdf::new(span, cfg.diurnal);
-        (0..cfg.n_jobs).map(|_| inv.sample(rng.gen::<f64>())).collect()
+        (0..cfg.n_jobs)
+            .map(|_| inv.sample(rng.next_f64()))
+            .collect()
     };
     arrivals.sort_unstable();
     if let Some(first) = arrivals.first_mut() {
@@ -361,7 +360,7 @@ mod tests {
 
     #[test]
     fn log_uniform_respects_bounds() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SimRng::seed_from_u64(1);
         for _ in 0..1_000 {
             let v = log_uniform_int(&mut rng, 601, 3_600);
             assert!((601..=3_600).contains(&v));
@@ -372,11 +371,17 @@ mod tests {
     #[test]
     fn diurnal_modulation_shifts_mass_to_daytime() {
         let flat = SyntheticConfig::new(CTC, 4).with_jobs(20_000).generate();
-        let wavy = SyntheticConfig::new(CTC, 4).with_jobs(20_000).with_diurnal(0.8).generate();
+        let wavy = SyntheticConfig::new(CTC, 4)
+            .with_jobs(20_000)
+            .with_diurnal(0.8)
+            .generate();
         // Same load target, same span (within rounding).
         let lf = offered_load(&flat, CTC.procs);
         let lw = offered_load(&wavy, CTC.procs);
-        assert!((lf - lw).abs() / lf < 0.05, "load must be preserved: {lf} vs {lw}");
+        assert!(
+            (lf - lw).abs() / lf < 0.05,
+            "load must be preserved: {lf} vs {lw}"
+        );
         // Count arrivals in the 6h-18h daytime window: the modulated
         // trace concentrates them there.
         let daytime = |jobs: &[Job]| {
@@ -390,14 +395,23 @@ mod tests {
         };
         let df = daytime(&flat);
         let dw = daytime(&wavy);
-        assert!((df - 0.5).abs() < 0.03, "uniform trace splits evenly, got {df}");
+        assert!(
+            (df - 0.5).abs() < 0.03,
+            "uniform trace splits evenly, got {df}"
+        );
         assert!(dw > 0.65, "diurnal trace must peak in daytime, got {dw}");
     }
 
     #[test]
     fn diurnal_is_deterministic_and_sorted() {
-        let a = SyntheticConfig::new(SDSC, 9).with_jobs(500).with_diurnal(0.5).generate();
-        let b = SyntheticConfig::new(SDSC, 9).with_jobs(500).with_diurnal(0.5).generate();
+        let a = SyntheticConfig::new(SDSC, 9)
+            .with_jobs(500)
+            .with_diurnal(0.5)
+            .generate();
+        let b = SyntheticConfig::new(SDSC, 9)
+            .with_jobs(500)
+            .with_diurnal(0.5)
+            .generate();
         assert_eq!(a, b);
         for w in a.windows(2) {
             assert!(w[0].submit <= w[1].submit);

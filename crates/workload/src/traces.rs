@@ -126,21 +126,39 @@ mod tests {
 
     #[test]
     fn ctc_mix_matches_table2_spot_checks() {
-        let vs_seq = Category { runtime: RuntimeClass::VeryShort, width: WidthClass::Sequential };
+        let vs_seq = Category {
+            runtime: RuntimeClass::VeryShort,
+            width: WidthClass::Sequential,
+        };
         assert_eq!(CTC.mix_of(vs_seq), 14.0);
-        let s_seq = Category { runtime: RuntimeClass::Short, width: WidthClass::Sequential };
+        let s_seq = Category {
+            runtime: RuntimeClass::Short,
+            width: WidthClass::Sequential,
+        };
         assert_eq!(CTC.mix_of(s_seq), 18.0);
-        let l_w = Category { runtime: RuntimeClass::Long, width: WidthClass::Wide };
+        let l_w = Category {
+            runtime: RuntimeClass::Long,
+            width: WidthClass::Wide,
+        };
         assert_eq!(CTC.mix_of(l_w), 9.0);
-        let vl_vw = Category { runtime: RuntimeClass::VeryLong, width: WidthClass::VeryWide };
+        let vl_vw = Category {
+            runtime: RuntimeClass::VeryLong,
+            width: WidthClass::VeryWide,
+        };
         assert_eq!(CTC.mix_of(vl_vw), 1.0);
     }
 
     #[test]
     fn sdsc_mix_matches_table3_spot_checks() {
-        let vs_n = Category { runtime: RuntimeClass::VeryShort, width: WidthClass::Narrow };
+        let vs_n = Category {
+            runtime: RuntimeClass::VeryShort,
+            width: WidthClass::Narrow,
+        };
         assert_eq!(SDSC.mix_of(vs_n), 29.0);
-        let vl_n = Category { runtime: RuntimeClass::VeryLong, width: WidthClass::Narrow };
+        let vl_n = Category {
+            runtime: RuntimeClass::VeryLong,
+            width: WidthClass::Narrow,
+        };
         assert_eq!(SDSC.mix_of(vl_n), 5.0);
     }
 

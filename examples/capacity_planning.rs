@@ -27,7 +27,10 @@ fn main() {
     let results = run_many(configs);
     let (ns, tss) = results.split_at(loads.len());
 
-    println!("demand growth study, {}-processor machine ({})\n", SDSC.procs, SDSC.name);
+    println!(
+        "demand growth study, {}-processor machine ({})\n",
+        SDSC.procs, SDSC.name
+    );
     println!(
         "{:<8}{:>12}{:>12}{:>16}{:>16}",
         "load", "NS util %", "TSS util %", "NS SN slowdown", "TSS SN slowdown"
@@ -62,6 +65,10 @@ fn main() {
     println!(
         "short-narrow jobs stay responsive under TSS well past the point\n\
          where the non-preemptive scheduler has pushed them to {:.0}x slowdowns.",
-        ns.last().expect("non-empty sweep").report.coarse(sn).mean_slowdown
+        ns.last()
+            .expect("non-empty sweep")
+            .report
+            .coarse(sn)
+            .mean_slowdown
     );
 }

@@ -13,8 +13,12 @@ use selective_preemption::workload::{Category, RuntimeClass, WidthClass};
 fn main() {
     // A 1000-job synthetic trace calibrated to the SDSC SP2's published
     // job mix. The same seed gives both schedulers the same jobs.
-    let ns = ExperimentConfig::new(SDSC, SchedulerKind::Easy).with_jobs(1_000).run();
-    let ss = ExperimentConfig::new(SDSC, SchedulerKind::Ss { sf: 2.0 }).with_jobs(1_000).run();
+    let ns = ExperimentConfig::new(SDSC, SchedulerKind::Easy)
+        .with_jobs(1_000)
+        .run();
+    let ss = ExperimentConfig::new(SDSC, SchedulerKind::Ss { sf: 2.0 })
+        .with_jobs(1_000)
+        .run();
 
     println!("machine: {} processors ({})", SDSC.procs, SDSC.name);
     println!("jobs:    {}\n", ns.report.overall.count);
@@ -28,7 +32,11 @@ fn main() {
     let row = |name: &str, a: f64, b: f64| {
         println!("{name:<22} {a:>14.2} {b:>14.2}");
     };
-    row("overall slowdown", ns.report.overall.mean_slowdown, ss.report.overall.mean_slowdown);
+    row(
+        "overall slowdown",
+        ns.report.overall.mean_slowdown,
+        ss.report.overall.mean_slowdown,
+    );
     row(
         "overall turnaround (s)",
         ns.report.overall.mean_turnaround,
@@ -37,19 +45,32 @@ fn main() {
 
     // The paper's headline category: Very Short & Very Wide jobs suffer
     // most under pure space sharing and gain most from preemption.
-    let vs_vw = Category { runtime: RuntimeClass::VeryShort, width: WidthClass::VeryWide };
+    let vs_vw = Category {
+        runtime: RuntimeClass::VeryShort,
+        width: WidthClass::VeryWide,
+    };
     row(
         "VS-VW slowdown",
         ns.report.category(vs_vw).mean_slowdown,
         ss.report.category(vs_vw).mean_slowdown,
     );
     // The price: very long jobs are suspended occasionally.
-    let vl_n = Category { runtime: RuntimeClass::VeryLong, width: WidthClass::Narrow };
+    let vl_n = Category {
+        runtime: RuntimeClass::VeryLong,
+        width: WidthClass::Narrow,
+    };
     row(
         "VL-N slowdown",
         ns.report.category(vl_n).mean_slowdown,
         ss.report.category(vl_n).mean_slowdown,
     );
-    row("utilization (%)", ns.utilization_pct(), ss.utilization_pct());
-    println!("\nselective suspension performed {} preemptions", ss.sim.preemptions);
+    row(
+        "utilization (%)",
+        ns.utilization_pct(),
+        ss.utilization_pct(),
+    );
+    println!(
+        "\nselective suspension performed {} preemptions",
+        ss.sim.preemptions
+    );
 }

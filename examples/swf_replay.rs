@@ -33,7 +33,10 @@ fn main() {
             let text = swf::write(&jobs);
             let path = std::env::temp_dir().join("sps-demo.swf");
             std::fs::write(&path, &text).expect("writable temp dir");
-            println!("(no SWF supplied; wrote a synthetic demo log to {})\n", path.display());
+            println!(
+                "(no SWF supplied; wrote a synthetic demo log to {})\n",
+                path.display()
+            );
             (text, SDSC.procs, path.display().to_string())
         }
         _ => {
@@ -50,7 +53,11 @@ fn main() {
     );
     // Drop jobs wider than the simulated machine (some archive logs
     // contain special partitions).
-    let jobs: Vec<_> = trace.jobs.into_iter().filter(|j| j.procs <= procs).collect();
+    let jobs: Vec<_> = trace
+        .jobs
+        .into_iter()
+        .filter(|j| j.procs <= procs)
+        .collect();
     println!("replaying {} jobs on {procs} processors\n", jobs.len());
 
     let mut grids = Vec::new();
@@ -66,7 +73,9 @@ fn main() {
         );
         grids.push((kind.label(), report.mean_slowdown_grid()));
     }
-    let named: Vec<(&str, [f64; 16])> =
-        grids.iter().map(|(n, g)| (n.as_str(), *g)).collect();
-    println!("\n{}", render_comparison("average slowdown per category", &named));
+    let named: Vec<(&str, [f64; 16])> = grids.iter().map(|(n, g)| (n.as_str(), *g)).collect();
+    println!(
+        "\n{}",
+        render_comparison("average slowdown per category", &named)
+    );
 }

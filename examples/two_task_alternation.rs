@@ -11,7 +11,10 @@ use selective_preemption::core::theory::{
 };
 
 fn main() {
-    let length: i64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(3_600);
+    let length: i64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(3_600);
 
     println!("two equal tasks of {length} s, preemption routine every 60 s\n");
     for sf in [1.0, 1.1, 1.2, 2f64.sqrt(), 1.6, 2.0, 5.0] {
@@ -28,7 +31,10 @@ fn main() {
         let mut bar = String::new();
         for seg in &trace.segments {
             let w = (((seg.end - seg.start) * cols).round() as usize).max(1);
-            bar.extend(std::iter::repeat_n(if seg.task == Task::T1 { '█' } else { '░' }, w));
+            bar.extend(std::iter::repeat_n(
+                if seg.task == Task::T1 { '█' } else { '░' },
+                w,
+            ));
         }
         println!("  |{bar}|");
     }

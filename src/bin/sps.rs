@@ -5,6 +5,8 @@
 //!           [--seed 42] [--estimates accurate|mixture]
 //!           [--overhead none|paper] [--diurnal 0.0] [--worst]
 //! sps replay --swf LOG.swf --procs 430 --sched ns [--sched tss:2 ...]
+//! sps trace --system SDSC --sched ss:2 --out trace.jsonl [--format csv]
+//! sps validate trace.jsonl [--allow-migration]
 //! sps schedulers
 //! ```
 //!
@@ -12,14 +14,18 @@
 //! per-category report; `replay` does the same for a Standard Workload
 //! Format log. Multiple `--sched` flags compare schemes on the same
 //! trace. `--csv PREFIX` additionally writes one per-job CSV per scheme
-//! (`PREFIX.<scheme>.csv`) for external analysis.
+//! (`PREFIX.<scheme>.csv`) for external analysis. `trace` streams the
+//! full event log of one run to disk (JSONL embeds the experiment
+//! config in a header record); `validate` replays such a log and
+//! re-checks the scheduling invariants from the file alone.
 
-use selective_preemption::core::experiment::SchedulerKind;
+use selective_preemption::core::experiment::{ExperimentConfig, SchedulerKind};
 use selective_preemption::core::overhead::OverheadModel;
 use selective_preemption::core::sim::Simulator;
 use selective_preemption::metrics::table::render_comparison;
 use selective_preemption::metrics::CategoryReport;
-use selective_preemption::workload::{swf, EstimateModel, Job, SystemPreset, SyntheticConfig};
+use selective_preemption::trace::{validate_jsonl, CsvSink, JsonlSink, ReplayOptions};
+use selective_preemption::workload::{swf, EstimateModel, Job, SyntheticConfig, SystemPreset};
 
 fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -33,38 +39,17 @@ fn usage() -> ! {
     eprintln!("             [--jobs N] [--load F] [--seed N] [--estimates accurate|mixture]");
     eprintln!("             [--overhead none|paper] [--diurnal A] [--worst] [--csv PREFIX]");
     eprintln!("  sps replay --swf FILE --procs N --sched <SPEC> [--sched <SPEC>...] [--worst]");
+    eprintln!("  sps trace  --system <CTC|SDSC|KTH> --sched <SPEC> --out FILE");
+    eprintln!("             [--format jsonl|csv] [--jobs N] [--load F] [--seed N] ...");
+    eprintln!("  sps validate FILE [--allow-migration]");
     eprintln!("  sps schedulers");
     eprintln!();
-    eprintln!("scheduler SPEC: fcfs | cons | ns | is | gang | ss:<sf> | tss:<sf>");
+    eprintln!("scheduler SPEC: fcfs | cons | ns | flex:<depth> | is | gang | ss:<sf> | tss:<sf>");
     std::process::exit(2);
 }
 
 fn parse_sched(spec: &str) -> SchedulerKind {
-    let lower = spec.to_ascii_lowercase();
-    match lower.as_str() {
-        "fcfs" => SchedulerKind::Fcfs,
-        "cons" | "conservative" => SchedulerKind::Conservative,
-        "ns" | "easy" => SchedulerKind::Easy,
-        "is" => SchedulerKind::ImmediateService,
-        "gang" => SchedulerKind::Gang,
-        _ => {
-            if let Some(sf) = lower.strip_prefix("ss:") {
-                SchedulerKind::Ss { sf: parse_sf(sf) }
-            } else if let Some(sf) = lower.strip_prefix("tss:") {
-                SchedulerKind::Tss { sf: parse_sf(sf) }
-            } else {
-                fail(&format!("unknown scheduler {spec:?}"))
-            }
-        }
-    }
-}
-
-fn parse_sf(text: &str) -> f64 {
-    let sf: f64 = text.parse().unwrap_or_else(|_| fail("bad suspension factor"));
-    if !(1.0..=100.0).contains(&sf) {
-        fail(&format!("suspension factor must be in [1, 100], got {sf}"));
-    }
-    sf
+    spec.parse().unwrap_or_else(|e| fail(&format!("{e}")))
 }
 
 #[derive(Default)]
@@ -81,6 +66,8 @@ struct Args {
     swf: Option<String>,
     procs: Option<u32>,
     csv: Option<String>,
+    out: Option<String>,
+    format: Option<String>,
 }
 
 fn parse_args(mut argv: std::vec::IntoIter<String>) -> Args {
@@ -92,7 +79,10 @@ fn parse_args(mut argv: std::vec::IntoIter<String>) -> Args {
         ..Default::default()
     };
     while let Some(flag) = argv.next() {
-        let mut value = || argv.next().unwrap_or_else(|| fail(&format!("{flag} needs a value")));
+        let mut value = || {
+            argv.next()
+                .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+        };
         match flag.as_str() {
             "--system" => {
                 let name = value();
@@ -123,6 +113,8 @@ fn parse_args(mut argv: std::vec::IntoIter<String>) -> Args {
             "--worst" => args.worst = true,
             "--swf" => args.swf = Some(value()),
             "--csv" => args.csv = Some(value()),
+            "--out" => args.out = Some(value()),
+            "--format" => args.format = Some(value()),
             "--procs" => args.procs = Some(value().parse().unwrap_or_else(|_| fail("bad --procs"))),
             other => fail(&format!("unknown flag {other:?}")),
         }
@@ -147,8 +139,11 @@ fn report(jobs: Vec<Job>, procs: u32, args: &Args) {
             res.utilization * 100.0,
             res.preemptions,
         );
-        let grid =
-            if args.worst { rep.worst_slowdown_grid() } else { rep.mean_slowdown_grid() };
+        let grid = if args.worst {
+            rep.worst_slowdown_grid()
+        } else {
+            rep.mean_slowdown_grid()
+        };
         grids.push((kind.label(), grid));
         if let Some(prefix) = &args.csv {
             let path = format!(
@@ -163,8 +158,11 @@ fn report(jobs: Vec<Job>, procs: u32, args: &Args) {
         }
     }
     let named: Vec<(&str, [f64; 16])> = grids.iter().map(|(n, g)| (n.as_str(), *g)).collect();
-    let title =
-        if args.worst { "worst-case slowdown per category" } else { "average slowdown per category" };
+    let title = if args.worst {
+        "worst-case slowdown per category"
+    } else {
+        "average slowdown per category"
+    };
     println!("\n{}", render_comparison(title, &named));
 }
 
@@ -179,6 +177,7 @@ fn main() {
             println!("fcfs        first-come-first-served, no backfilling");
             println!("cons        conservative backfilling (reservation per job)");
             println!("ns          EASY / aggressive backfilling (paper's No-Suspension)");
+            println!("flex:<d>    backfilling with reservations for the first <d> queued jobs");
             println!("is          Immediate Service (Chiang & Vernon)");
             println!("gang        time-sliced gang scheduling (10-min quantum)");
             println!("ss:<sf>     Selective Suspension at suspension factor <sf>");
@@ -218,14 +217,103 @@ fn main() {
             let text = std::fs::read_to_string(&path)
                 .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
             let trace = swf::parse(&text).unwrap_or_else(|e| fail(&e.to_string()));
-            let jobs: Vec<Job> =
-                trace.jobs.into_iter().filter(|j| j.procs <= procs).collect();
+            let jobs: Vec<Job> = trace
+                .jobs
+                .into_iter()
+                .filter(|j| j.procs <= procs)
+                .collect();
             println!(
                 "{path}: {} usable jobs ({} skipped), machine {procs} procs\n",
                 jobs.len(),
                 trace.skipped
             );
             report(jobs, procs, &args);
+        }
+        "trace" => {
+            let args = parse_args(argv.into_iter());
+            let system = args.system.unwrap_or_else(|| fail("--system required"));
+            if args.scheds.len() != 1 {
+                fail("trace needs exactly one --sched");
+            }
+            if args.diurnal > 0.0 {
+                fail("--diurnal is not supported by trace (the embedded config could not reproduce it)");
+            }
+            let out = args
+                .out
+                .clone()
+                .unwrap_or_else(|| fail("--out FILE required"));
+            let mut cfg = ExperimentConfig::new(system, args.scheds[0])
+                .with_seed(args.seed)
+                .with_load_factor(args.load)
+                .with_estimates(args.estimates)
+                .with_overhead(args.overhead);
+            if let Some(n) = args.jobs {
+                cfg = cfg.with_jobs(n);
+            }
+            let io_fail = |e: std::io::Error| -> ! { fail(&format!("cannot write {out}: {e}")) };
+            let result = match args.format.as_deref().unwrap_or("jsonl") {
+                "jsonl" => {
+                    let mut sink = JsonlSink::create(&out).unwrap_or_else(|e| io_fail(e));
+                    let r = cfg.run_traced(&mut sink);
+                    sink.finish().unwrap_or_else(|e| io_fail(e));
+                    r
+                }
+                "csv" => {
+                    let mut sink = CsvSink::create(&out).unwrap_or_else(|e| io_fail(e));
+                    let r = cfg.run_traced(&mut sink);
+                    sink.finish().unwrap_or_else(|e| io_fail(e));
+                    r
+                }
+                other => fail(&format!("unknown trace format {other:?} (jsonl, csv)")),
+            };
+            println!(
+                "{}: traced {} jobs under {} to {out}  (slowdown {:.2}, preemptions {})",
+                system.name,
+                result.report.overall.count,
+                cfg.scheduler,
+                result.report.overall.mean_slowdown,
+                result.sim.preemptions,
+            );
+        }
+        "validate" => {
+            let mut path = None;
+            let mut opts = ReplayOptions::default();
+            for arg in argv {
+                match arg.as_str() {
+                    "--allow-migration" => opts.allow_migration = true,
+                    flag if flag.starts_with("--") => fail(&format!("unknown flag {flag:?}")),
+                    p => {
+                        if path.replace(p.to_string()).is_some() {
+                            fail("validate takes exactly one FILE");
+                        }
+                    }
+                }
+            }
+            let path = path.unwrap_or_else(|| fail("validate needs a trace FILE"));
+            let file = std::fs::File::open(&path)
+                .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+            match validate_jsonl(std::io::BufReader::new(file), opts) {
+                Ok(stats) => {
+                    println!(
+                        "{path}: OK — {} records, {} arrivals, {} completions, {} suspensions, \
+                         {} decisions, peak {} procs{}",
+                        stats.records,
+                        stats.arrivals,
+                        stats.completions,
+                        stats.suspensions,
+                        stats.decisions,
+                        stats.peak_occupied,
+                        if stats.has_header { "" } else { " (no header)" },
+                    );
+                }
+                Err(violations) => {
+                    eprintln!("{path}: INVALID — {} violation(s)", violations.len());
+                    for v in &violations {
+                        eprintln!("  {v}");
+                    }
+                    std::process::exit(1);
+                }
+            }
         }
         _ => usage(),
     }

@@ -11,6 +11,8 @@
 //! * [`cluster`] — processor-set-accurate machine model,
 //! * [`workload`] — SWF traces, synthetic generators, job categorization,
 //! * [`metrics`] — bounded slowdown / turnaround / utilization reporting,
+//! * [`trace`] — zero-cost event-trace instrumentation, sinks, and the
+//!   replay validator,
 //! * [`core`] — the simulator and the schedulers themselves (FCFS,
 //!   conservative & EASY backfilling, Immediate Service, and the paper's
 //!   Selective Suspension and Tunable Selective Suspension).
@@ -33,6 +35,7 @@ pub use sps_cluster as cluster;
 pub use sps_core as core;
 pub use sps_metrics as metrics;
 pub use sps_simcore as simcore;
+pub use sps_trace as trace;
 pub use sps_workload as workload;
 
 /// Commonly used items, for glob import in examples and tests.
@@ -43,6 +46,7 @@ pub mod prelude {
     pub use sps_core::sim::{SimResult, Simulator};
     pub use sps_metrics::{CategoryReport, JobOutcome};
     pub use sps_simcore::{SimTime, HOUR, MINUTE};
+    pub use sps_trace::{CsvSink, JsonlSink, MemorySink, NullSink, TraceRecord, TraceSink};
     pub use sps_workload::{
         Category, CoarseCategory, EstimateModel, Job, JobId, RuntimeClass, SyntheticConfig,
         SystemPreset, WidthClass,

@@ -18,7 +18,10 @@ const ALL_SCHEDULERS: [SchedulerKind; 7] = [
 ];
 
 fn run(system: SystemPreset, kind: SchedulerKind, jobs: usize, seed: u64) -> RunResult {
-    ExperimentConfig::new(system, kind).with_jobs(jobs).with_seed(seed).run()
+    ExperimentConfig::new(system, kind)
+        .with_jobs(jobs)
+        .with_seed(seed)
+        .run()
 }
 
 #[test]
@@ -27,7 +30,12 @@ fn every_scheduler_completes_every_job() {
         let r = run(SDSC, kind, 400, 11);
         assert_eq!(r.report.overall.count, 400, "{:?} lost jobs", kind);
         for o in &r.sim.outcomes {
-            assert!(o.completion >= o.submit + o.run, "{:?}: job {} finished too early", kind, o.id);
+            assert!(
+                o.completion >= o.submit + o.run,
+                "{:?}: job {} finished too early",
+                kind,
+                o.id
+            );
             assert!(o.first_start >= o.submit);
             assert!(o.wait() >= 0);
             assert!(o.slowdown() >= 1.0);
@@ -37,7 +45,11 @@ fn every_scheduler_completes_every_job() {
 
 #[test]
 fn nonpreemptive_schedulers_never_suspend() {
-    for kind in [SchedulerKind::Fcfs, SchedulerKind::Conservative, SchedulerKind::Easy] {
+    for kind in [
+        SchedulerKind::Fcfs,
+        SchedulerKind::Conservative,
+        SchedulerKind::Easy,
+    ] {
         let r = run(SDSC, kind, 400, 3);
         assert_eq!(r.sim.preemptions, 0, "{kind:?}");
         assert!(r.sim.outcomes.iter().all(|o| o.suspensions == 0));
@@ -73,7 +85,11 @@ fn runs_are_deterministic() {
                 .map(|o| (o.id, o.first_start, o.completion, o.suspensions))
                 .collect::<Vec<_>>()
         };
-        assert_eq!(fingerprint(&a), fingerprint(&b), "{kind:?} not deterministic");
+        assert_eq!(
+            fingerprint(&a),
+            fingerprint(&b),
+            "{kind:?} not deterministic"
+        );
     }
 }
 
@@ -83,7 +99,14 @@ fn work_conservation_across_schedulers() {
     // processor-seconds of work.
     let works: Vec<i64> = ALL_SCHEDULERS
         .iter()
-        .map(|&kind| run(CTC, kind, 300, 9).sim.outcomes.iter().map(|o| o.work()).sum())
+        .map(|&kind| {
+            run(CTC, kind, 300, 9)
+                .sim
+                .outcomes
+                .iter()
+                .map(|o| o.work())
+                .sum()
+        })
         .collect();
     for w in &works {
         assert_eq!(*w, works[0]);
@@ -94,7 +117,10 @@ fn work_conservation_across_schedulers() {
 fn utilization_is_a_fraction_and_makespan_sane() {
     for kind in ALL_SCHEDULERS {
         let r = run(SDSC, kind, 400, 13);
-        assert!(r.sim.utilization > 0.0 && r.sim.utilization <= 1.0, "{kind:?}");
+        assert!(
+            r.sim.utilization > 0.0 && r.sim.utilization <= 1.0,
+            "{kind:?}"
+        );
         let total_work: i64 = r.sim.outcomes.iter().map(|o| o.work()).sum();
         let lower_bound = total_work / SDSC.procs as i64;
         assert!(
@@ -110,8 +136,14 @@ fn utilization_is_a_fraction_and_makespan_sane() {
 fn overhead_never_decreases_turnaround() {
     // Per-trace totals: adding suspension overhead can only slow jobs
     // down on aggregate for the preemptive schedulers.
-    for kind in [SchedulerKind::Tss { sf: 2.0 }, SchedulerKind::ImmediateService] {
-        let base = ExperimentConfig::new(SDSC, kind).with_jobs(400).with_seed(21).run();
+    for kind in [
+        SchedulerKind::Tss { sf: 2.0 },
+        SchedulerKind::ImmediateService,
+    ] {
+        let base = ExperimentConfig::new(SDSC, kind)
+            .with_jobs(400)
+            .with_seed(21)
+            .run();
         let with = ExperimentConfig::new(SDSC, kind)
             .with_jobs(400)
             .with_seed(21)
@@ -157,16 +189,19 @@ fn migration_preserves_all_invariants() {
         .trace();
     let mut cfg = SsConfig::ss(1.5);
     cfg.migration = true;
-    let res =
-        Simulator::new(jobs.clone(), SDSC.procs, Box::new(SelectiveSuspension::new(cfg))).run();
+    let res = Simulator::new(
+        jobs.clone(),
+        SDSC.procs,
+        Box::new(SelectiveSuspension::new(cfg)),
+    )
+    .run();
     assert_eq!(res.outcomes.len(), jobs.len());
     assert!(res.preemptions > 0, "migration variant still preempts");
     for o in &res.outcomes {
         assert!(o.completion - o.submit >= o.run);
     }
     // Work conservation against the local variant on the same trace.
-    let local =
-        Simulator::new(jobs, SDSC.procs, Box::new(SelectiveSuspension::ss(1.5))).run();
+    let local = Simulator::new(jobs, SDSC.procs, Box::new(SelectiveSuspension::ss(1.5))).run();
     let work = |r: &SimResult| r.outcomes.iter().map(|o| o.work()).sum::<i64>();
     assert_eq!(work(&res), work(&local));
 }
@@ -188,13 +223,19 @@ fn gang_timeslices_conflicting_jobs() {
 
 #[test]
 fn load_scaling_compresses_schedule() {
-    let base = ExperimentConfig::new(CTC, SchedulerKind::Easy).with_jobs(500).with_seed(2).run();
+    let base = ExperimentConfig::new(CTC, SchedulerKind::Easy)
+        .with_jobs(500)
+        .with_seed(2)
+        .run();
     let loaded = ExperimentConfig::new(CTC, SchedulerKind::Easy)
         .with_jobs(500)
         .with_seed(2)
         .with_load_factor(1.6)
         .run();
-    assert!(loaded.sim.utilization > base.sim.utilization, "higher load, higher utilization");
+    assert!(
+        loaded.sim.utilization > base.sim.utilization,
+        "higher load, higher utilization"
+    );
     assert!(
         loaded.report.overall.mean_slowdown >= base.report.overall.mean_slowdown,
         "higher load cannot improve slowdowns"

@@ -125,8 +125,7 @@ fn migration_changes_processors_but_never_overlaps() {
         .trace();
     let mut cfg = SsConfig::ss(1.5);
     cfg.migration = true;
-    let res =
-        Simulator::new(jobs, SDSC.procs, Box::new(SelectiveSuspension::new(cfg))).run();
+    let res = Simulator::new(jobs, SDSC.procs, Box::new(SelectiveSuspension::new(cfg))).run();
     assert_no_overlap(&res.segments, SDSC.procs);
     // At least one job actually moved.
     let mut by_job: Vec<Vec<&OccupancySegment>> = vec![Vec::new(); res.outcomes.len()];
@@ -146,9 +145,23 @@ fn migration_changes_processors_but_never_overlaps() {
 #[test]
 fn segment_utilization_matches_reported() {
     let res = run(SchedulerKind::Easy, OverheadModel::None, 13);
-    let work: i64 = res.segments.iter().map(|s| (s.end - s.start) * s.procs.count() as i64).sum();
-    let first_submit = res.outcomes.iter().map(|o| o.submit).min().expect("jobs exist");
-    let last_completion = res.outcomes.iter().map(|o| o.completion).max().expect("jobs exist");
+    let work: i64 = res
+        .segments
+        .iter()
+        .map(|s| (s.end - s.start) * s.procs.count() as i64)
+        .sum();
+    let first_submit = res
+        .outcomes
+        .iter()
+        .map(|o| o.submit)
+        .min()
+        .expect("jobs exist");
+    let last_completion = res
+        .outcomes
+        .iter()
+        .map(|o| o.completion)
+        .max()
+        .expect("jobs exist");
     let makespan = last_completion - first_submit;
     let util = work as f64 / (SDSC.procs as f64 * makespan as f64);
     assert!(
@@ -162,9 +175,17 @@ fn segment_utilization_matches_reported() {
 fn timelines_render_from_segments() {
     use selective_preemption::metrics::timeline::{busy_timeline, render_sparkline};
     let res = run(SchedulerKind::Tss { sf: 2.0 }, OverheadModel::None, 5);
-    let intervals: Vec<(i64, i64, u32)> =
-        res.segments.iter().map(|s| (s.start.secs(), s.end.secs(), s.procs.count())).collect();
-    let t1 = res.outcomes.iter().map(|o| o.completion.secs()).max().expect("jobs exist");
+    let intervals: Vec<(i64, i64, u32)> = res
+        .segments
+        .iter()
+        .map(|s| (s.start.secs(), s.end.secs(), s.procs.count()))
+        .collect();
+    let t1 = res
+        .outcomes
+        .iter()
+        .map(|o| o.completion.secs())
+        .max()
+        .expect("jobs exist");
     let series = busy_timeline(&intervals, SDSC.procs, 0, t1, 60);
     assert_eq!(series.len(), 60);
     assert!(series.iter().all(|&v| (0.0..=1.0 + 1e-9).contains(&v)));

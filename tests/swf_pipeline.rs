@@ -65,7 +65,11 @@ fn foreign_log_with_noise_is_importable() {
     assert_eq!(parsed.skipped, 1, "cancelled job 2 skipped");
     assert_eq!(parsed.jobs.len(), 3);
     // Job 4's estimate (800) is below its run time (900): clamped.
-    let j4 = parsed.jobs.iter().find(|j| j.procs == 32).expect("job 4 imported");
+    let j4 = parsed
+        .jobs
+        .iter()
+        .find(|j| j.procs == 32)
+        .expect("job 4 imported");
     assert_eq!(j4.estimate, 900);
     // And the import is simulatable.
     let res = Simulator::new(parsed.jobs, 128, SchedulerKind::Easy.build()).run();
