@@ -100,6 +100,10 @@ pub fn entries() -> Vec<Entry> {
             ablation_reservation_depth,
             "Ablation: backfilling reservation depth"
         ),
+        e!(
+            ablation_faults,
+            "Robustness: MTBF sweep over failure-recovery policies"
+        ),
     ]
 }
 
@@ -132,8 +136,9 @@ mod tests {
     #[test]
     fn registry_covers_every_paper_artifact() {
         let ids = all_ids();
-        // 8 tables + figs 4-6 + figs 7-44 + KTH + timeline + 7 ablations.
-        assert_eq!(ids.len(), 8 + 1 + 38 + 3 + 8);
+        // 8 tables + figs 4-6 + figs 7-44 + KTH + timeline/percentiles
+        // + 8 ablations + the fault-robustness sweep.
+        assert_eq!(ids.len(), 8 + 1 + 38 + 3 + 9);
         // No duplicates.
         let mut sorted = ids.clone();
         sorted.sort_unstable();

@@ -9,10 +9,16 @@
 use crate::procset::ProcSet;
 
 /// A homogeneous cluster of `total` processors with checked allocation.
+///
+/// Processors are in exactly one of three states: **free** (allocatable),
+/// **busy** (held by a job — ownership tracked by the simulator), or
+/// **down** (failed, awaiting repair). The free set never contains a down
+/// processor, so allocation paths need no failure awareness of their own.
 #[derive(Clone, Debug)]
 pub struct Cluster {
     total: u32,
     free: ProcSet,
+    down: ProcSet,
 }
 
 impl Cluster {
@@ -22,6 +28,7 @@ impl Cluster {
         Cluster {
             total,
             free: ProcSet::full(total),
+            down: ProcSet::empty(total),
         }
     }
 
@@ -37,10 +44,34 @@ impl Cluster {
         self.free.count()
     }
 
-    /// Number of currently busy processors.
+    /// Number of currently busy processors (held by jobs; excludes down).
     #[inline]
     pub fn busy_count(&self) -> u32 {
-        self.total - self.free_count()
+        self.total - self.free_count() - self.down_count()
+    }
+
+    /// Number of processors currently down.
+    #[inline]
+    pub fn down_count(&self) -> u32 {
+        self.down.count()
+    }
+
+    /// Number of processors currently up (free or busy).
+    #[inline]
+    pub fn up_count(&self) -> u32 {
+        self.total - self.down_count()
+    }
+
+    /// The set of processors currently down.
+    #[inline]
+    pub fn down_set(&self) -> &ProcSet {
+        &self.down
+    }
+
+    /// Whether processor `p` is currently down.
+    #[inline]
+    pub fn is_down(&self, p: u32) -> bool {
+        self.down.contains(p)
     }
 
     /// The current free set.
@@ -78,15 +109,49 @@ impl Cluster {
     }
 
     /// Return `set` to the free pool. Panics if any processor of `set` is
-    /// already free (double release — always a simulator bug).
+    /// already free (double release — always a simulator bug). Down
+    /// processors in `set` stay down: a job killed by a failure releases
+    /// its whole allocation, but the failed processor only rejoins the free
+    /// pool via [`Cluster::repair`].
     pub fn release(&mut self, set: &ProcSet) {
         assert!(
             set.is_disjoint(&self.free),
             "double release: {set:?} overlaps free {:?}",
             self.free
         );
-        self.free.union_with(set);
+        let up = set.difference(&self.down);
+        self.free.union_with(&up);
         debug_assert!(self.free.count() <= self.total);
+    }
+
+    /// Mark processor `p` as failed. Returns `true` if `p` was held by a
+    /// job at the time (the simulator must kill or strand the holder) and
+    /// `false` if it was free or already down.
+    pub fn fail(&mut self, p: u32) -> bool {
+        assert!(p < self.total, "processor {p} out of range");
+        if self.down.contains(p) {
+            return false;
+        }
+        let was_free = self.free.contains(p);
+        if was_free {
+            self.free.remove(p);
+        }
+        self.down.insert(p);
+        !was_free
+    }
+
+    /// Mark processor `p` as repaired, returning it to the free pool.
+    ///
+    /// Callers must have already evicted any job that held `p` when it
+    /// failed (the simulator kills running/draining holders on failure), so
+    /// a repaired processor is by construction unowned and becomes free.
+    /// Repairing an up processor is a no-op.
+    pub fn repair(&mut self, p: u32) {
+        assert!(p < self.total, "processor {p} out of range");
+        if self.down.contains(p) {
+            self.down.remove(p);
+            self.free.insert(p);
+        }
     }
 }
 
@@ -138,6 +203,50 @@ mod tests {
         assert!(c.can_allocate_exact(&mine));
         c.allocate_exact(&mine);
         assert!(!c.can_allocate_exact(&mine));
+        assert_eq!(c.free_count(), 4);
+    }
+
+    #[test]
+    fn fail_free_processor_leaves_free_pool() {
+        let mut c = Cluster::new(8);
+        assert!(!c.fail(3), "free proc: no holder to evict");
+        assert!(c.is_down(3));
+        assert_eq!(c.free_count(), 7);
+        assert_eq!(c.down_count(), 1);
+        assert_eq!(c.up_count(), 7);
+        assert_eq!(c.busy_count(), 0);
+        // The down proc is never allocated.
+        let a = c.allocate(7).unwrap();
+        assert!(!a.contains(3));
+        assert!(c.allocate(1).is_none());
+    }
+
+    #[test]
+    fn fail_busy_processor_reports_holder() {
+        let mut c = Cluster::new(8);
+        let a = c.allocate(4).unwrap();
+        assert!(c.fail(2), "proc 2 is held by the job");
+        assert_eq!(c.busy_count(), 3);
+        // The holder is killed and releases its whole set; the down proc
+        // stays out of the free pool.
+        c.release(&a);
+        assert_eq!(c.free_count(), 7);
+        assert!(c.is_down(2));
+        c.repair(2);
+        assert_eq!(c.free_count(), 8);
+        assert_eq!(c.down_count(), 0);
+    }
+
+    #[test]
+    fn fail_is_idempotent_and_repair_of_up_proc_is_noop() {
+        let mut c = Cluster::new(4);
+        assert!(!c.fail(1));
+        assert!(!c.fail(1), "already down: nothing new to evict");
+        assert_eq!(c.down_count(), 1);
+        c.repair(0); // up — no-op
+        assert_eq!(c.free_count(), 3);
+        c.repair(1);
+        c.repair(1); // now up — no-op
         assert_eq!(c.free_count(), 4);
     }
 

@@ -16,12 +16,14 @@ use sps_simcore::Secs;
 use sps_trace::{DecodeError, Json, TraceRecord, TraceSink, TRACE_VERSION};
 use sps_workload::{EstimateModel, Job, SyntheticConfig, SystemPreset};
 
+use crate::faults::{FaultModel, RecoveryPolicy};
 use crate::overhead::OverheadModel;
 use crate::policy::Policy;
 use crate::sched::{
     Conservative, Easy, Fcfs, FlexBackfill, GangScheduling, ImmediateService, SelectiveSuspension,
 };
 use crate::sim::{SimResult, Simulator, DEFAULT_TICK_PERIOD};
+use sps_simcore::Watchdog;
 
 /// Which scheduler to run.
 ///
@@ -199,7 +201,40 @@ pub struct ExperimentConfig {
     pub scheduler: SchedulerKind,
     /// Preemption-routine period, seconds (paper: one minute).
     pub tick_period: Secs,
+    /// Failure injection (off by default; the simulation is bit-identical
+    /// to a fault-free build when disabled).
+    pub faults: FaultModel,
 }
+
+/// A structurally invalid [`ExperimentConfig`], caught by
+/// [`ExperimentConfig::validate`] before any simulation work starts.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `load_factor` must be a finite number greater than zero.
+    BadLoadFactor(f64),
+    /// `tick_period` must be at least one second.
+    ZeroTickPeriod,
+    /// `n_jobs` must be at least one.
+    NoJobs,
+    /// The fault model is inconsistent (reason attached).
+    BadFaults(&'static str),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ConfigError::BadLoadFactor(v) => {
+                write!(f, "load_factor must be finite and > 0, got {v}")
+            }
+            ConfigError::ZeroTickPeriod => f.write_str("tick_period must be at least 1 second"),
+            ConfigError::NoJobs => f.write_str("n_jobs must be at least 1"),
+            ConfigError::BadFaults(reason) => write!(f, "bad fault model: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 impl ExperimentConfig {
     /// Baseline configuration: preset defaults, accurate estimates, no
@@ -214,7 +249,36 @@ impl ExperimentConfig {
             overhead: OverheadModel::None,
             scheduler,
             tick_period: DEFAULT_TICK_PERIOD,
+            faults: FaultModel::none(),
         }
+    }
+
+    /// Check the configuration for values that would make the simulation
+    /// meaningless (or hang the trace generator) before running it.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !self.load_factor.is_finite() || self.load_factor <= 0.0 {
+            return Err(ConfigError::BadLoadFactor(self.load_factor));
+        }
+        if self.tick_period < 1 {
+            return Err(ConfigError::ZeroTickPeriod);
+        }
+        if self.n_jobs == 0 {
+            return Err(ConfigError::NoJobs);
+        }
+        if let Some(mtbf) = self.faults.mtbf {
+            if mtbf < 1 {
+                return Err(ConfigError::BadFaults("mtbf must be at least 1 second"));
+            }
+            if self.faults.mttr < 1 {
+                return Err(ConfigError::BadFaults("mttr must be at least 1 second"));
+            }
+        }
+        if !(0.0..=1.0).contains(&self.faults.job_crash) {
+            return Err(ConfigError::BadFaults(
+                "job_crash must be a probability in [0, 1]",
+            ));
+        }
+        Ok(())
     }
 
     /// Builder-style mutators.
@@ -259,6 +323,12 @@ impl ExperimentConfig {
         self
     }
 
+    /// Set the failure-injection model.
+    pub fn with_faults(mut self, faults: FaultModel) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Switch to a different machine/mix preset. The trace length stays
     /// as configured — call [`ExperimentConfig::with_jobs`] afterwards if
     /// the new preset's default is wanted.
@@ -278,6 +348,12 @@ impl ExperimentConfig {
     }
 
     /// Run the simulation and aggregate reports.
+    ///
+    /// The simulator runs under a generous watchdog: a policy bug that
+    /// livelocks the event loop surfaces as [`RunStatus::Aborted`] with
+    /// partial metrics instead of hanging the process.
+    ///
+    /// [`RunStatus::Aborted`]: crate::sim::RunStatus::Aborted
     pub fn run(&self) -> RunResult {
         let jobs = self.trace();
         let sim = Simulator::with_overhead_and_tick(
@@ -286,8 +362,16 @@ impl ExperimentConfig {
             self.scheduler.build(),
             self.overhead,
             self.tick_period,
-        );
+        )
+        .with_faults(self.faults)
+        .with_watchdog(Watchdog::generous());
         RunResult::from_sim(self.clone(), sim.run())
+    }
+
+    /// [`ExperimentConfig::run`] preceded by [`ExperimentConfig::validate`].
+    pub fn run_checked(&self) -> Result<RunResult, ConfigError> {
+        self.validate()?;
+        Ok(self.run())
     }
 
     /// Run the simulation while streaming trace records into `sink`.
@@ -311,13 +395,17 @@ impl ExperimentConfig {
             self.overhead,
             self.tick_period,
             sink,
-        );
+        )
+        .with_faults(self.faults)
+        .with_watchdog(Watchdog::generous());
         RunResult::from_sim(self.clone(), sim.run())
     }
 
-    /// Encode as JSON (embedded in trace-file headers).
+    /// Encode as JSON (embedded in trace-file headers). The `faults` key
+    /// only appears when failure injection is enabled, so fault-free logs
+    /// are byte-identical to those of builds predating the fault model.
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("system".into(), Json::Str(self.system.name.into())),
             ("n_jobs".into(), Json::Int(self.n_jobs as i64)),
             ("seed".into(), Json::Int(self.seed as i64)),
@@ -326,7 +414,11 @@ impl ExperimentConfig {
             ("overhead".into(), overhead_to_json(&self.overhead)),
             ("scheduler".into(), Json::Str(self.scheduler.to_string())),
             ("tick_period".into(), Json::Int(self.tick_period)),
-        ])
+        ];
+        if self.faults.enabled() {
+            fields.push(("faults".into(), faults_to_json(&self.faults)));
+        }
+        Json::Obj(fields)
     }
 
     /// Decode a configuration previously encoded with
@@ -377,8 +469,57 @@ impl ExperimentConfig {
             )?,
             scheduler,
             tick_period,
+            faults: match json.get("faults") {
+                Some(f) => faults_from_json(f)?,
+                None => FaultModel::none(),
+            },
         })
     }
+}
+
+fn faults_to_json(m: &FaultModel) -> Json {
+    let mut fields = Vec::new();
+    if let Some(mtbf) = m.mtbf {
+        fields.push(("mtbf".into(), Json::Int(mtbf)));
+        fields.push(("mttr".into(), Json::Int(m.mttr)));
+    }
+    if m.job_crash > 0.0 {
+        fields.push(("job_crash".into(), Json::Num(m.job_crash)));
+    }
+    fields.push(("recovery".into(), Json::Str(m.recovery.name().into())));
+    fields.push(("fault_seed".into(), Json::Int(m.seed as i64)));
+    Json::Obj(fields)
+}
+
+fn faults_from_json(json: &Json) -> Result<FaultModel, DecodeError> {
+    let mut model = FaultModel::none();
+    if let Some(mtbf) = json.get("mtbf") {
+        let mtbf = mtbf.as_i64().ok_or(DecodeError::Bad("mtbf"))?;
+        let mttr = json
+            .get("mttr")
+            .and_then(Json::as_i64)
+            .ok_or(DecodeError::Missing("mttr"))?;
+        if mtbf < 1 || mttr < 1 {
+            return Err(DecodeError::Bad("faults"));
+        }
+        model.mtbf = Some(mtbf);
+        model.mttr = mttr;
+    }
+    if let Some(p) = json.get("job_crash") {
+        let p = p.as_f64().ok_or(DecodeError::Bad("job_crash"))?;
+        if !(0.0..=1.0).contains(&p) {
+            return Err(DecodeError::Bad("job_crash"));
+        }
+        model.job_crash = p;
+    }
+    if let Some(r) = json.get("recovery") {
+        let name = r.as_str().ok_or(DecodeError::Bad("recovery"))?;
+        model.recovery = RecoveryPolicy::from_name(name).ok_or(DecodeError::Bad("recovery"))?;
+    }
+    if let Some(seed) = json.get("fault_seed") {
+        model.seed = seed.as_i64().ok_or(DecodeError::Bad("fault_seed"))? as u64;
+    }
+    Ok(model)
 }
 
 fn estimates_to_json(e: &EstimateModel) -> Json {
@@ -508,24 +649,75 @@ impl RunResult {
     }
 }
 
+/// Why one configuration in a batch produced no result.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub enum RunError {
+    /// The configuration failed [`ExperimentConfig::validate`].
+    Invalid(ConfigError),
+    /// The simulation panicked; the payload message is attached. Other
+    /// configurations in the batch are unaffected.
+    Panicked(String),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Invalid(e) => write!(f, "invalid config: {e}"),
+            RunError::Panicked(msg) => write!(f, "simulation panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
 /// Run a batch of experiments in parallel across OS threads. Results come
 /// back in input order.
+///
+/// A configuration that fails validation or panics mid-simulation does not
+/// take the batch down: every other configuration still completes, and
+/// only then does this function panic with the first failure's message.
+/// Use [`run_many_checked`] to receive per-configuration `Result`s
+/// instead.
 pub fn run_many(configs: Vec<ExperimentConfig>) -> Vec<RunResult> {
+    run_many_checked(configs)
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| match r {
+            Ok(result) => result,
+            Err(e) => panic!("experiment #{i} failed: {e}"),
+        })
+        .collect()
+}
+
+/// Fallible batch runner: one `Result` per configuration, in input order.
+/// Worker panics are caught per-configuration, so a poisoned config
+/// reports [`RunError::Panicked`] while the rest of the batch completes.
+pub fn run_many_checked(configs: Vec<ExperimentConfig>) -> Vec<Result<RunResult, RunError>> {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
-    run_many_on(configs, threads)
+    run_batch(configs, threads, |cfg| cfg.run())
 }
 
-/// [`run_many`] with an explicit worker count. Workers pull indices from a
-/// shared counter and send `(index, result)` pairs over a channel; the
-/// caller's thread reassembles them in input order.
-fn run_many_on(configs: Vec<ExperimentConfig>, threads: usize) -> Vec<RunResult> {
+/// [`run_many_checked`] with an explicit worker count and runner — the
+/// seam the panic-isolation tests inject a faulty runner through. Workers
+/// pull indices from a shared counter and send `(index, result)` pairs
+/// over a channel; the caller's thread reassembles them in input order.
+fn run_batch<F>(
+    configs: Vec<ExperimentConfig>,
+    threads: usize,
+    runner: F,
+) -> Vec<Result<RunResult, RunError>>
+where
+    F: Fn(&ExperimentConfig) -> RunResult + Sync,
+{
     let n = configs.len();
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let (tx, rx) = std::sync::mpsc::channel::<(usize, RunResult)>();
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, Result<RunResult, RunError>)>();
     let configs_ref = &configs;
     let next_ref = &next;
+    let runner_ref = &runner;
     std::thread::scope(|scope| {
         for _ in 0..threads.max(1).min(n) {
             let tx = tx.clone();
@@ -534,14 +726,21 @@ fn run_many_on(configs: Vec<ExperimentConfig>, threads: usize) -> Vec<RunResult>
                 if i >= n {
                     break;
                 }
-                let result = configs_ref[i].run();
+                let cfg = &configs_ref[i];
+                let result = match cfg.validate() {
+                    Err(e) => Err(RunError::Invalid(e)),
+                    Ok(()) => {
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| runner_ref(cfg)))
+                            .map_err(|payload| RunError::Panicked(panic_message(&*payload)))
+                    }
+                };
                 if tx.send((i, result)).is_err() {
                     break;
                 }
             });
         }
         drop(tx); // the receive loop ends once every worker is done
-        let mut results: Vec<Option<RunResult>> = (0..n).map(|_| None).collect();
+        let mut results: Vec<Option<Result<RunResult, RunError>>> = (0..n).map(|_| None).collect();
         for (i, r) in rx {
             results[i] = Some(r);
         }
@@ -550,6 +749,17 @@ fn run_many_on(configs: Vec<ExperimentConfig>, threads: usize) -> Vec<RunResult>
             .map(|r| r.expect("every experiment ran"))
             .collect()
     })
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).into()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
 }
 
 #[cfg(test)]
@@ -617,10 +827,112 @@ mod tests {
     #[test]
     fn run_many_keeps_order_with_more_threads_than_work() {
         let configs = vec![small(SchedulerKind::Easy), small(SchedulerKind::Fcfs)];
-        let results = run_many_on(configs, 16);
+        let results = run_batch(configs, 16, |cfg| cfg.run());
         assert_eq!(results.len(), 2);
-        assert_eq!(results[0].sim.policy, "NS (EASY)");
-        assert_eq!(results[1].sim.policy, "FCFS");
+        assert_eq!(results[0].as_ref().unwrap().sim.policy, "NS (EASY)");
+        assert_eq!(results[1].as_ref().unwrap().sim.policy, "FCFS");
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_configs() {
+        let ok = small(SchedulerKind::Easy);
+        assert_eq!(ok.validate(), Ok(()));
+        assert!(matches!(
+            ok.clone().with_load_factor(f64::NAN).validate(),
+            Err(ConfigError::BadLoadFactor(_))
+        ));
+        assert!(matches!(
+            ok.clone().with_load_factor(-0.5).validate(),
+            Err(ConfigError::BadLoadFactor(_))
+        ));
+        assert!(matches!(
+            ok.clone().with_load_factor(0.0).validate(),
+            Err(ConfigError::BadLoadFactor(_))
+        ));
+        assert_eq!(
+            ok.clone().with_tick_period(0).validate(),
+            Err(ConfigError::ZeroTickPeriod)
+        );
+        assert_eq!(ok.clone().with_jobs(0).validate(), Err(ConfigError::NoJobs));
+        let mut bad_faults = ok.clone();
+        bad_faults.faults.job_crash = 1.5;
+        assert!(matches!(
+            bad_faults.validate(),
+            Err(ConfigError::BadFaults(_))
+        ));
+        assert!(ok.clone().with_load_factor(f64::NAN).run_checked().is_err());
+    }
+
+    #[test]
+    fn run_many_checked_reports_invalid_configs_in_place() {
+        let configs = vec![
+            small(SchedulerKind::Easy),
+            small(SchedulerKind::Fcfs).with_jobs(0),
+            small(SchedulerKind::Fcfs),
+        ];
+        let results = run_many_checked(configs);
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1],
+            Err(RunError::Invalid(ConfigError::NoJobs))
+        ));
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn worker_panic_does_not_kill_the_batch() {
+        // A runner that blows up on one specific configuration: the other
+        // configurations must still produce results, in order.
+        let configs = vec![
+            small(SchedulerKind::Easy),
+            small(SchedulerKind::Fcfs).with_seed(777),
+            small(SchedulerKind::Ss { sf: 2.0 }),
+        ];
+        let results = run_batch(configs, 2, |cfg| {
+            if cfg.seed == 777 {
+                panic!("injected failure for seed 777");
+            }
+            cfg.run()
+        });
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].as_ref().unwrap().sim.policy, "NS (EASY)");
+        match &results[1] {
+            Err(RunError::Panicked(msg)) => {
+                assert!(msg.contains("injected failure"), "got {msg:?}")
+            }
+            other => panic!("expected a caught panic, got {other:?}"),
+        }
+        assert_eq!(
+            results[2].as_ref().unwrap().report.overall.count,
+            300,
+            "the batch kept running after the panic"
+        );
+    }
+
+    #[test]
+    fn faults_json_round_trips_and_is_omitted_when_disabled() {
+        let plain = small(SchedulerKind::Easy);
+        assert!(
+            plain.to_json().get("faults").is_none(),
+            "disabled fault model must not appear in config JSON"
+        );
+        let cfg = plain.with_faults(
+            FaultModel::proc_faults(200_000, 3_600, 9)
+                .with_recovery(RecoveryPolicy::Remap)
+                .with_job_crash(0.01),
+        );
+        let text = cfg.to_json().render();
+        let back = ExperimentConfig::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.faults, cfg.faults);
+        for corrupt in [
+            r#"{"mtbf": 0, "mttr": 60}"#,
+            r#"{"mtbf": 100}"#,
+            r#"{"job_crash": 2.0}"#,
+            r#"{"recovery": "lottery"}"#,
+        ] {
+            let json = Json::parse(corrupt).unwrap();
+            assert!(faults_from_json(&json).is_err(), "{corrupt} must not parse");
+        }
     }
 
     #[test]

@@ -24,12 +24,14 @@
 //! [`experiment`].
 
 pub mod experiment;
+pub mod faults;
 pub mod overhead;
 pub mod policy;
 pub mod sched;
 pub mod sim;
 pub mod theory;
 
+pub use faults::{FaultInjector, FaultModel, RecoveryPolicy};
 pub use overhead::OverheadModel;
 pub use policy::{Action, DecideCtx, Policy};
-pub use sim::{SimResult, SimState, Simulator};
+pub use sim::{AbortReason, RunStatus, SimResult, SimState, Simulator};

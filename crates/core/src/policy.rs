@@ -55,6 +55,12 @@ pub struct DecideCtx<'a> {
     /// schedulers run the preemption routine only on ticks ("the scheduler
     /// periodically (after every minute) invokes the preemption routine").
     pub tick: bool,
+    /// Processors that failed at this instant (empty without fault
+    /// injection). The cumulative down set is [`SimState::down_set`].
+    pub failures: &'a [u32],
+    /// Processors repaired at this instant (empty without fault
+    /// injection).
+    pub repairs: &'a [u32],
     /// Emission handle for scheduler-decision trace records. With the
     /// default `NullSink` the handle reports disabled and every emission
     /// site (including its record construction) is skipped. Policies

@@ -198,8 +198,12 @@ impl Policy for SelectiveSuspension {
         let mut reserved = ProcSet::empty(state.total_procs());
         if !self.cfg.migration {
             // With migration, suspended jobs can restart anywhere, so no
-            // claims need protecting.
+            // claims need protecting. The same holds per-job for a
+            // stranded job the recovery policy marked for remapping.
             for &sid in state.suspended() {
+                if state.can_remap(sid) {
+                    continue;
+                }
                 reserved.union_with(
                     state
                         .assigned_set(sid)
@@ -232,9 +236,17 @@ impl Policy for SelectiveSuspension {
         running.sort_by(|a, b| a.prio.total_cmp(&b.prio).then(a.id.cmp(&b.id)));
 
         for &(prio_i, id) in &idle {
-            if state.is_suspended(id) && !self.cfg.migration {
+            if state.is_suspended(id) && !self.cfg.migration && !state.can_remap(id) {
                 // Re-entry: needs exactly its original processors.
                 let needed = state.assigned_set(id).expect("suspended job keeps its set");
+                if state.is_stranded(id) {
+                    // A reserved processor is down: re-entry cannot succeed
+                    // no matter how many victims are suspended, so skip the
+                    // victim scan but keep the claim protected for the
+                    // repair instant.
+                    blocked.union_with(needed);
+                    continue;
+                }
                 let mut missing = needed.clone();
                 missing.subtract(&free);
                 if missing.is_empty() {

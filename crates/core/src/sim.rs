@@ -23,11 +23,14 @@
 //!   `(wait + accumulated run) / accumulated run` (Section II-C).
 
 use sps_cluster::{Cluster, ProcSet, Profile};
-use sps_metrics::{utilization, JobOutcome};
-use sps_simcore::{Engine, EventClass, EventQueue, RunOutcome, Secs, SimTime, Simulation, Ticker};
-use sps_trace::{JobEvent, NullSink, TraceCtx, TraceRecord, TraceSink};
+use sps_metrics::{utilization, FaultSummary, JobOutcome};
+use sps_simcore::{
+    Engine, EventClass, EventQueue, RunOutcome, Secs, SimTime, Simulation, Ticker, Watchdog,
+};
+use sps_trace::{JobEvent, NullSink, ProcEvent, TraceCtx, TraceRecord, TraceSink};
 use sps_workload::{Job, JobId};
 
+use crate::faults::{FaultInjector, FaultModel, RecoveryPolicy};
 use crate::overhead::OverheadModel;
 use crate::policy::{Action, DecideCtx, Policy};
 
@@ -41,7 +44,15 @@ pub enum Event {
     /// completions after a suspension.
     Completion { job: JobId, epoch: u32 },
     /// A suspension drain finished; the victim's processors are now free.
-    DrainDone(JobId),
+    /// `epoch` invalidates the drain of a job a fault killed mid-drain.
+    DrainDone { job: JobId, epoch: u32 },
+    /// A processor failed (fault injection).
+    ProcFailed(u32),
+    /// A processor returned from repair (fault injection).
+    ProcRepaired(u32),
+    /// An injected job crash. `epoch` invalidates crashes scheduled for a
+    /// dispatch that was preempted or completed first.
+    Crash { job: JobId, epoch: u32 },
     /// Periodic scheduler activity.
     Tick,
 }
@@ -91,10 +102,23 @@ struct JobRt {
     suspensions: u32,
     /// Total drain + reload seconds charged so far.
     overhead_total: Secs,
-    /// Bumped on every suspension to invalidate in-flight completions.
+    /// Bumped on every suspension or kill to invalidate in-flight
+    /// completion/drain/crash events.
     epoch: u32,
     /// Dispatch instant of the currently open occupancy segment.
     seg_open: Option<SimTime>,
+    /// How many times a fault killed this job (work lost, resubmitted).
+    kills: u32,
+    /// Pending injected crash: the job dies once its executed work reaches
+    /// this many seconds. Cleared after firing.
+    crash_after: Option<Secs>,
+    /// When the suspended job became stranded (a processor of its reserved
+    /// set went down under `WaitForRepair`).
+    stranded_since: Option<SimTime>,
+    /// Stranded under `RecoveryPolicy::Remap`: the scheduler may restart
+    /// this job on a different processor set despite the paper's locality
+    /// rule.
+    remap: bool,
 }
 
 impl JobRt {
@@ -114,6 +138,10 @@ impl JobRt {
             overhead_total: 0,
             epoch: 0,
             seg_open: None,
+            kills: 0,
+            crash_after: None,
+            stranded_since: None,
+            remap: false,
         }
     }
 
@@ -181,6 +209,8 @@ pub struct SimState {
     segments: Vec<OccupancySegment>,
     preemptions: u64,
     dropped_actions: u64,
+    /// Fault counters (all zero without fault injection).
+    fault_stats: FaultSummary,
 }
 
 impl SimState {
@@ -235,6 +265,41 @@ impl SimState {
         self.jobs[id.index()].phase == Phase::Suspended
     }
 
+    /// The set of processors currently down (empty without fault
+    /// injection).
+    pub fn down_set(&self) -> &ProcSet {
+        self.cluster.down_set()
+    }
+
+    /// Number of processors currently down.
+    pub fn down_count(&self) -> u32 {
+        self.cluster.down_count()
+    }
+
+    /// Whether the suspended job is *stranded*: its reserved re-entry set
+    /// includes a down processor, so the paper's local-restart rule cannot
+    /// be satisfied until repair.
+    pub fn is_stranded(&self, id: JobId) -> bool {
+        let rt = &self.jobs[id.index()];
+        rt.phase == Phase::Suspended
+            && rt
+                .assigned
+                .as_ref()
+                .is_some_and(|s| s.overlaps(self.cluster.down_set()))
+    }
+
+    /// Whether the recovery policy has released this suspended job from
+    /// the local-restart rule ([`crate::faults::RecoveryPolicy::Remap`]):
+    /// the scheduler may resume it on any equally-sized free set.
+    pub fn can_remap(&self, id: JobId) -> bool {
+        self.jobs[id.index()].remap
+    }
+
+    /// Fault counters accumulated so far (all zero without faults).
+    pub fn fault_stats(&self) -> &FaultSummary {
+        &self.fault_stats
+    }
+
     /// Whether the job is currently dispatched.
     pub fn is_running(&self, id: JobId) -> bool {
         matches!(self.jobs[id.index()].phase, Phase::Running { .. })
@@ -279,9 +344,11 @@ impl SimState {
             // est_end holds the drain-done instant for draining jobs.
             releases.push((rt.est_end, rt.job.procs));
         }
+        // Down processors are masked out of the capacity: a reservation
+        // must not count on a processor that may never come back in time.
         Profile::new(
             self.now,
-            self.cluster.total(),
+            self.cluster.total() - self.cluster.down_count(),
             self.cluster.free_count(),
             &releases,
         )
@@ -415,6 +482,11 @@ impl SimState {
             return false;
         }
         self.cluster.allocate_exact(&set);
+        // Re-entering closes any fault bookkeeping on the job.
+        if let Some(since) = self.jobs[id.index()].stranded_since.take() {
+            self.fault_stats.stranded_secs += now - since;
+        }
+        self.jobs[id.index()].remap = false;
         self.jobs[id.index()].assigned = Some(set);
         self.end_wait(id);
         let reload = self.overhead.restart_secs(&self.jobs[id.index()].job);
@@ -478,7 +550,14 @@ impl SimState {
             let rt = &mut self.jobs[id.index()];
             rt.phase = Phase::Draining;
             rt.est_end = now + drain; // profile sees the drain occupancy
-            queue.push(now + drain, EventClass::ProcsFreed, Event::DrainDone(id));
+            queue.push(
+                now + drain,
+                EventClass::ProcsFreed,
+                Event::DrainDone {
+                    job: id,
+                    epoch: rt.epoch,
+                },
+            );
         }
         true
     }
@@ -495,6 +574,79 @@ impl SimState {
         self.close_segment(id, &set);
         self.jobs[id.index()].phase = Phase::Suspended;
         self.suspended.push(id);
+    }
+
+    /// Forcibly evict `id` after a fault: all accumulated work is lost and
+    /// the job re-enters the queue from scratch (its `first_start` is kept
+    /// for the metrics — the machine did start it). Returns the destroyed
+    /// work in processor-seconds. Legal from Running, Draining, and
+    /// Suspended.
+    fn kill(&mut self, id: JobId) -> Secs {
+        let now = self.now;
+        let executed = self.jobs[id.index()].executed_at(now);
+        let procs = self.jobs[id.index()].job.procs;
+        match self.jobs[id.index()].phase {
+            Phase::Running { compute_start } => {
+                let set = self.jobs[id.index()]
+                    .assigned
+                    .clone()
+                    .expect("dispatched job has a set");
+                self.cluster.release(&set);
+                self.close_segment(id, &set);
+                self.running.retain(|&q| q != id);
+                let rt = &mut self.jobs[id.index()];
+                // A job killed mid-reload never consumed the reload tail.
+                rt.overhead_total -= (compute_start - now).max(0);
+                rt.wait_since = now;
+            }
+            Phase::Draining => {
+                let set = self.jobs[id.index()]
+                    .assigned
+                    .clone()
+                    .expect("draining job has a set");
+                self.cluster.release(&set);
+                self.close_segment(id, &set);
+                // The drain tail never ran; the wait clock has been running
+                // since the suspension.
+                let rt = &mut self.jobs[id.index()];
+                rt.overhead_total -= (rt.est_end - now).max(0);
+            }
+            Phase::Suspended => {
+                self.suspended.retain(|&q| q != id);
+                if let Some(since) = self.jobs[id.index()].stranded_since.take() {
+                    self.fault_stats.stranded_secs += now - since;
+                }
+            }
+            ref phase => unreachable!("kill of job in phase {phase:?}"),
+        }
+        let rt = &mut self.jobs[id.index()];
+        debug_assert!(rt.overhead_total >= 0);
+        rt.remaining = rt.job.run;
+        rt.epoch += 1; // invalidate in-flight completion/drain/crash events
+        rt.phase = Phase::Queued;
+        rt.assigned = None;
+        rt.est_end = SimTime::MAX;
+        rt.kills += 1;
+        rt.remap = false;
+        rt.stranded_since = None;
+        self.queued.push(id);
+        let lost = executed * procs as i64;
+        self.fault_stats.lost_work += lost;
+        lost
+    }
+
+    /// Suspended jobs whose reserved re-entry set includes processor `p`.
+    fn suspended_on(&self, p: u32) -> Vec<JobId> {
+        self.suspended
+            .iter()
+            .copied()
+            .filter(|&id| {
+                self.jobs[id.index()]
+                    .assigned
+                    .as_ref()
+                    .is_some_and(|s| s.contains(p))
+            })
+            .collect()
     }
 
     /// Close the job's open occupancy segment at the current instant.
@@ -532,9 +684,38 @@ impl SimState {
             now,
             rt.suspensions,
             rt.overhead_total,
-        );
+        )
+        .with_kills(rt.kills);
         self.outcomes.push(outcome.clone());
         outcome
+    }
+}
+
+/// Which watchdog limit cut a run short.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AbortReason {
+    /// The engine's batch budget tripped.
+    BatchLimit,
+    /// The engine's event budget tripped.
+    EventLimit,
+    /// The wall-clock budget tripped.
+    WallClock,
+}
+
+/// Whether a run finished or a watchdog ended it early.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunStatus {
+    /// Every job completed and the event queue drained.
+    Completed,
+    /// A watchdog limit ended the run; metrics cover the jobs that
+    /// completed before the abort.
+    Aborted(AbortReason),
+}
+
+impl RunStatus {
+    /// Whether the run was cut short.
+    pub fn is_aborted(self) -> bool {
+        matches!(self, RunStatus::Aborted(_))
     }
 }
 
@@ -543,6 +724,12 @@ impl SimState {
 pub struct SimResult {
     /// Scheduler name (from the policy).
     pub policy: String,
+    /// Completed normally, or aborted by a watchdog with partial metrics.
+    pub status: RunStatus,
+    /// Jobs left unfinished (non-zero only for aborted runs).
+    pub unfinished: usize,
+    /// Fault-injection counters (all zero without faults).
+    pub faults: FaultSummary,
     /// One record per job, in completion order.
     pub outcomes: Vec<JobOutcome>,
     /// Productive utilization over the makespan.
@@ -598,8 +785,16 @@ pub struct Simulator<S: TraceSink = NullSink> {
     ticker: Option<Ticker>,
     /// Arrivals collected for the current instant.
     arrivals_now: Vec<JobId>,
+    /// Processor failures delivered at the current instant.
+    failures_now: Vec<u32>,
+    /// Processor repairs delivered at the current instant.
+    repairs_now: Vec<u32>,
     /// Scratch action buffer.
     actions: Vec<Action>,
+    /// The live fault process, when fault injection is enabled.
+    faults: Option<FaultInjector>,
+    /// Abort limits applied to the engine ([`Watchdog::none`] by default).
+    watchdog: Watchdog,
     /// Trace record consumer.
     sink: S,
 }
@@ -692,13 +887,40 @@ impl<S: TraceSink> Simulator<S> {
                 segments: Vec::new(),
                 preemptions: 0,
                 dropped_actions: 0,
+                fault_stats: FaultSummary::default(),
             },
             policy,
             ticker,
             arrivals_now: Vec::new(),
+            failures_now: Vec::new(),
+            repairs_now: Vec::new(),
             actions: Vec::new(),
+            faults: None,
+            watchdog: Watchdog::none(),
             sink,
         }
+    }
+
+    /// Enable fault injection (builder style). A disabled model
+    /// ([`FaultModel::none`]) is a strict no-op: the run stays
+    /// bit-identical to one without this call.
+    pub fn with_faults(mut self, model: FaultModel) -> Self {
+        if model.enabled() {
+            let mut inj = FaultInjector::new(model, self.state.cluster.total());
+            // Job-crash decisions are drawn once per job in id order, so
+            // they are independent of how the schedule unfolds.
+            for rt in &mut self.state.jobs {
+                rt.crash_after = inj.job_crash_after(rt.job.run);
+            }
+            self.faults = Some(inj);
+        }
+        self
+    }
+
+    /// Apply watchdog abort limits to the run (builder style).
+    pub fn with_watchdog(mut self, watchdog: Watchdog) -> Self {
+        self.watchdog = watchdog;
+        self
     }
 
     /// Read access to the live state (used by tests).
@@ -739,7 +961,16 @@ impl<S: TraceSink> Simulator<S> {
                 Event::Arrival(rt.job.id),
             );
         }
-        let mut engine = Engine::new();
+        // Seed the failure process: one initial failure time per
+        // processor, drawn in index order.
+        if let Some(inj) = &mut self.faults {
+            for p in 0..self.state.cluster.total() {
+                if let Some(dt) = inj.next_failure_in() {
+                    queue.push(SimTime::ZERO + dt, EventClass::Fault, Event::ProcFailed(p));
+                }
+            }
+        }
+        let mut engine = Engine::new().with_watchdog(self.watchdog);
         let outcome = engine.run(&mut self, &mut queue);
         if self.sink.enabled() {
             self.sink.record(&TraceRecord::EngineStats {
@@ -749,16 +980,28 @@ impl<S: TraceSink> Simulator<S> {
             });
             let _ = self.sink.flush();
         }
-        assert_eq!(
-            outcome,
-            RunOutcome::Drained,
-            "simulation did not drain its event queue"
-        );
-        assert_eq!(
-            self.state.incomplete, 0,
-            "simulation ended with {} unfinished jobs — policy deadlock",
-            self.state.incomplete
-        );
+        let status = match outcome {
+            RunOutcome::BatchLimit => RunStatus::Aborted(AbortReason::BatchLimit),
+            RunOutcome::EventLimit => RunStatus::Aborted(AbortReason::EventLimit),
+            RunOutcome::WallClockLimit => RunStatus::Aborted(AbortReason::WallClock),
+            _ => {
+                assert_eq!(
+                    outcome,
+                    RunOutcome::Drained,
+                    "simulation did not drain its event queue"
+                );
+                assert_eq!(
+                    self.state.incomplete, 0,
+                    "simulation ended with {} unfinished jobs — policy deadlock",
+                    self.state.incomplete
+                );
+                RunStatus::Completed
+            }
+        };
+        let mut faults = self.state.fault_stats;
+        if let Some(inj) = &self.faults {
+            faults.downtime = inj.downtime_at(self.state.now);
+        }
         let total = self.state.cluster.total();
         let outcomes = std::mem::take(&mut self.state.outcomes);
         let util = utilization(&outcomes, total);
@@ -771,6 +1014,9 @@ impl<S: TraceSink> Simulator<S> {
         };
         SimResult {
             policy: self.policy.name(),
+            status,
+            unfinished: self.state.incomplete,
+            faults,
             outcomes,
             utilization: util,
             makespan,
@@ -792,7 +1038,18 @@ impl<S: TraceSink> Simulator<S> {
             };
             if !ok {
                 self.state.dropped_actions += 1;
-            } else if self.sink.enabled() {
+                continue;
+            }
+            if self.faults.is_some() {
+                if let Action::Start(id)
+                | Action::StartOn(id, _)
+                | Action::Resume(id)
+                | Action::ResumeOn(id, _) = &action
+                {
+                    self.schedule_crash(*id, queue);
+                }
+            }
+            if self.sink.enabled() {
                 match &action {
                     Action::Start(id) | Action::StartOn(id, _) => {
                         self.emit_job(*id, JobEvent::Dispatch, true)
@@ -813,6 +1070,149 @@ impl<S: TraceSink> Simulator<S> {
         }
         self.actions.clear();
     }
+
+    /// If `id` has a pending injected crash, schedule it for the dispatch
+    /// that just happened: the crash fires when the job's executed work
+    /// reaches the drawn threshold. A suspension or kill before that
+    /// bumps the epoch and invalidates the event; the next dispatch
+    /// re-schedules it.
+    fn schedule_crash(&mut self, id: JobId, queue: &mut EventQueue<Event>) {
+        let rt = &self.state.jobs[id.index()];
+        let Some(after) = rt.crash_after else { return };
+        let Phase::Running { compute_start } = rt.phase else {
+            return;
+        };
+        let executed_before = rt.job.run - rt.remaining;
+        if after <= executed_before {
+            return;
+        }
+        queue.push(
+            compute_start + (after - executed_before),
+            EventClass::Fault,
+            Event::Crash {
+                job: id,
+                epoch: rt.epoch,
+            },
+        );
+    }
+
+    /// A processor failed: take it down, kill the dispatched job holding
+    /// it (its memory image is gone), apply the recovery policy to
+    /// suspended jobs reserving it, and schedule the repair.
+    fn on_proc_failed(&mut self, p: u32, queue: &mut EventQueue<Event>) {
+        if self.faults.is_none() || self.state.incomplete == 0 {
+            // Leftover failure events after the last completion fire
+            // harmlessly, letting the queue drain.
+            return;
+        }
+        let now = self.state.now;
+        let (recovery, repair_in) = {
+            let inj = self.faults.as_mut().expect("checked above");
+            inj.mark_down(p, now);
+            (inj.recovery(), inj.repair_in())
+        };
+        queue.push(now + repair_in, EventClass::Fault, Event::ProcRepaired(p));
+        let had_holder = self.state.cluster.fail(p);
+        self.state.fault_stats.proc_failures += 1;
+        self.failures_now.push(p);
+        if self.sink.enabled() {
+            self.sink.record(&TraceRecord::Proc {
+                t: now.secs(),
+                proc: p,
+                event: ProcEvent::Failed,
+            });
+        }
+        if had_holder {
+            let holder = self
+                .state
+                .jobs
+                .iter()
+                .find(|rt| {
+                    matches!(rt.phase, Phase::Running { .. } | Phase::Draining)
+                        && rt.assigned.as_ref().is_some_and(|s| s.contains(p))
+                })
+                .map(|rt| rt.job.id)
+                .expect("cluster says a job holds the failed processor");
+            self.kill_job(holder, false);
+        }
+        for id in self.state.suspended_on(p) {
+            match recovery {
+                RecoveryPolicy::WaitForRepair => {
+                    let rt = &mut self.state.jobs[id.index()];
+                    if rt.stranded_since.is_none() {
+                        rt.stranded_since = Some(now);
+                    }
+                }
+                RecoveryPolicy::Resubmit => self.kill_job(id, false),
+                RecoveryPolicy::Remap => self.state.jobs[id.index()].remap = true,
+            }
+        }
+    }
+
+    /// A processor came back: return it to the free pool, close stranded
+    /// accounting for jobs whose reserved set is whole again, and schedule
+    /// the processor's next failure.
+    fn on_proc_repaired(&mut self, p: u32, queue: &mut EventQueue<Event>) {
+        if self.faults.is_none() {
+            return;
+        }
+        let now = self.state.now;
+        let next_failure_in = {
+            let inj = self.faults.as_mut().expect("checked above");
+            inj.mark_up(p, now);
+            (self.state.incomplete > 0)
+                .then(|| inj.next_failure_in())
+                .flatten()
+        };
+        self.state.cluster.repair(p);
+        self.state.fault_stats.proc_repairs += 1;
+        self.repairs_now.push(p);
+        if self.sink.enabled() {
+            self.sink.record(&TraceRecord::Proc {
+                t: now.secs(),
+                proc: p,
+                event: ProcEvent::Repaired,
+            });
+        }
+        // Jobs stranded on p whose whole set is up again stop being
+        // stranded (they still wait for the scheduler to resume them).
+        let down = self.state.cluster.down_set().clone();
+        for i in 0..self.state.jobs.len() {
+            let rt = &mut self.state.jobs[i];
+            if let Some(since) = rt.stranded_since {
+                if rt.assigned.as_ref().is_some_and(|s| s.is_disjoint(&down)) {
+                    rt.stranded_since = None;
+                    self.state.fault_stats.stranded_secs += now - since;
+                }
+            }
+        }
+        if let Some(dt) = next_failure_in {
+            queue.push(now + dt, EventClass::Fault, Event::ProcFailed(p));
+        }
+    }
+
+    /// An injected job crash fired (if its dispatch is still current).
+    fn on_crash(&mut self, id: JobId, epoch: u32) {
+        let rt = &self.state.jobs[id.index()];
+        if rt.epoch != epoch || !matches!(rt.phase, Phase::Running { .. }) {
+            return; // stale: the dispatch was preempted or completed
+        }
+        self.state.jobs[id.index()].crash_after = None; // crashes once
+        self.kill_job(id, true);
+    }
+
+    /// Shared kill path: state mechanics, counters, trace record.
+    fn kill_job(&mut self, id: JobId, crash: bool) {
+        let _lost = self.state.kill(id);
+        if crash {
+            self.state.fault_stats.job_crashes += 1;
+        } else {
+            self.state.fault_stats.jobs_killed += 1;
+        }
+        if self.sink.enabled() {
+            self.emit_job(id, JobEvent::Kill, false);
+        }
+    }
 }
 
 impl<S: TraceSink> Simulation for Simulator<S> {
@@ -826,6 +1226,8 @@ impl<S: TraceSink> Simulation for Simulator<S> {
     ) {
         self.state.now = now;
         self.arrivals_now.clear();
+        self.failures_now.clear();
+        self.repairs_now.clear();
         let mut tick = false;
         for ev in batch.drain(..) {
             match ev {
@@ -851,12 +1253,19 @@ impl<S: TraceSink> Simulation for Simulator<S> {
                     }
                     // else: stale completion from before a suspension.
                 }
-                Event::DrainDone(id) => {
-                    self.state.drain_done(id);
-                    if self.sink.enabled() {
-                        self.emit_job(id, JobEvent::Drain, false);
+                Event::DrainDone { job, epoch } => {
+                    let rt = &self.state.jobs[job.index()];
+                    if rt.epoch == epoch && rt.phase == Phase::Draining {
+                        self.state.drain_done(job);
+                        if self.sink.enabled() {
+                            self.emit_job(job, JobEvent::Drain, false);
+                        }
                     }
+                    // else: the drain was cut short by a kill.
                 }
+                Event::ProcFailed(p) => self.on_proc_failed(p, queue),
+                Event::ProcRepaired(p) => self.on_proc_repaired(p, queue),
+                Event::Crash { job, epoch } => self.on_crash(job, epoch),
                 Event::Tick => {
                     if let Some(t) = &mut self.ticker {
                         tick |= t.fired(now);
@@ -867,6 +1276,8 @@ impl<S: TraceSink> Simulation for Simulator<S> {
 
         // One decision per instant, with complete knowledge of the instant.
         let arrivals = std::mem::take(&mut self.arrivals_now);
+        let failures = std::mem::take(&mut self.failures_now);
+        let repairs = std::mem::take(&mut self.repairs_now);
         self.actions.clear();
         {
             // The sink is lent (type-erased) into the decision context so
@@ -876,12 +1287,16 @@ impl<S: TraceSink> Simulation for Simulator<S> {
             let ctx = DecideCtx {
                 arrivals: &arrivals,
                 tick,
+                failures: &failures,
+                repairs: &repairs,
                 trace: &tracer,
             };
             self.policy.decide(&self.state, &ctx, &mut self.actions);
         }
         self.apply(queue);
         self.arrivals_now = arrivals;
+        self.failures_now = failures;
+        self.repairs_now = repairs;
 
         // Per-tick gauges, after the instant's decisions have been applied.
         if tick && self.sink.enabled() {

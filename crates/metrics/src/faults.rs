@@ -1,0 +1,150 @@
+//! Fault-injection metrics.
+//!
+//! Under processor failures, plain utilization stops being the right
+//! health measure: capacity that is *down* cannot be used, and work that a
+//! killed job accumulated before dying was real machine time that produced
+//! nothing. This module adds the failure-aware counterparts:
+//!
+//! * [`FaultSummary`] — counters the simulator accumulates during a run,
+//! * [`goodput`] — productive work over the capacity that was actually up,
+//! * [`interrupted_slowdown`] — mean bounded slowdown of the jobs a
+//!   preemption or fault actually touched, which is where recovery-policy
+//!   differences concentrate (untouched jobs dilute whole-population
+//!   averages).
+
+use sps_simcore::Secs;
+
+use crate::outcome::JobOutcome;
+use crate::slowdown::bounded_slowdown;
+
+/// Fault-related counters for one simulation run. All zero (and
+/// [`FaultSummary::any`] false) without fault injection.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultSummary {
+    /// Processor failure events delivered.
+    pub proc_failures: u64,
+    /// Processor repair events delivered.
+    pub proc_repairs: u64,
+    /// Jobs killed because a processor they held went down.
+    pub jobs_killed: u64,
+    /// Jobs killed by an injected job-crash fault.
+    pub job_crashes: u64,
+    /// Processor-seconds of accumulated work destroyed by kills.
+    pub lost_work: Secs,
+    /// Job-seconds suspended jobs spent stranded — unable to re-enter
+    /// because a processor of their reserved set was down.
+    pub stranded_secs: Secs,
+    /// Processor-seconds of machine downtime over the run.
+    pub downtime: Secs,
+}
+
+impl FaultSummary {
+    /// Whether any fault activity was recorded.
+    pub fn any(&self) -> bool {
+        *self != FaultSummary::default()
+    }
+}
+
+/// Goodput: productive work over *available* capacity,
+/// `Σ (run × procs) / (total_procs × makespan − downtime)`.
+///
+/// Equals [`crate::utilization`] when `downtime` is zero; under failures
+/// it answers "how well did the scheduler use the machine it actually
+/// had", separating scheduling quality from raw capacity loss. Note the
+/// numerator counts each job's nominal work once — work a kill destroyed
+/// occupied processors but produced nothing, so heavy kill churn shows up
+/// as goodput *loss*, exactly as it should.
+pub fn goodput(outcomes: &[JobOutcome], total_procs: u32, downtime: Secs) -> f64 {
+    if outcomes.is_empty() {
+        return 0.0;
+    }
+    let first_submit = outcomes.iter().map(|o| o.submit).min().expect("non-empty");
+    let last_completion = outcomes
+        .iter()
+        .map(|o| o.completion)
+        .max()
+        .expect("non-empty");
+    let makespan = last_completion - first_submit;
+    let capacity = total_procs as f64 * makespan as f64 - downtime as f64;
+    if capacity <= 0.0 {
+        return 0.0;
+    }
+    let work: i64 = outcomes.iter().map(JobOutcome::work).sum();
+    work as f64 / capacity
+}
+
+/// Mean bounded slowdown over the jobs that were suspended or killed at
+/// least once. `None` when nothing was interrupted.
+pub fn interrupted_slowdown(outcomes: &[JobOutcome]) -> Option<f64> {
+    let mut sum = 0.0;
+    let mut n = 0u64;
+    for o in outcomes.iter().filter(|o| o.interrupted()) {
+        sum += bounded_slowdown(o.wait(), o.run);
+        n += 1;
+    }
+    (n > 0).then(|| sum / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::utilization;
+    use sps_simcore::SimTime;
+    use sps_workload::Job;
+
+    fn outcome(submit: i64, start: i64, run: i64, procs: u32) -> JobOutcome {
+        let job = Job::new(0, submit, run, run, procs);
+        JobOutcome::new(&job, SimTime::new(start), SimTime::new(start + run), 0, 0)
+    }
+
+    #[test]
+    fn goodput_equals_utilization_without_downtime() {
+        let outs = vec![outcome(0, 0, 100, 4), outcome(0, 100, 100, 4)];
+        assert!((goodput(&outs, 10, 0) - utilization(&outs, 10)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn downtime_raises_goodput_over_utilization() {
+        // 5 of 10 procs busy over the makespan; the other half was down.
+        let outs = vec![outcome(0, 0, 100, 5)];
+        assert!((utilization(&outs, 10) - 0.5).abs() < 1e-12);
+        assert!((goodput(&outs, 10, 500) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn goodput_degenerate_cases() {
+        assert_eq!(goodput(&[], 10, 0), 0.0);
+        // Downtime at/over capacity must not divide by zero or go negative.
+        let outs = vec![outcome(0, 0, 100, 5)];
+        assert_eq!(goodput(&outs, 10, 1_000), 0.0);
+        assert_eq!(goodput(&outs, 10, 2_000), 0.0);
+    }
+
+    #[test]
+    fn interrupted_slowdown_filters() {
+        let calm = outcome(0, 0, 100, 2);
+        let sus = outcome(0, 100, 100, 2); // waited 100 → slowdown 2.0
+        let sus = JobOutcome {
+            suspensions: 1,
+            ..sus
+        };
+        let killed = JobOutcome {
+            completion: SimTime::new(300),
+            ..outcome(0, 0, 100, 2)
+        }
+        .with_kills(1); // waited 200 → slowdown 3.0
+        assert_eq!(interrupted_slowdown(std::slice::from_ref(&calm)), None);
+        let got = interrupted_slowdown(&[calm, sus, killed]).unwrap();
+        assert!((got - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_any() {
+        assert!(!FaultSummary::default().any());
+        let s = FaultSummary {
+            proc_failures: 1,
+            ..Default::default()
+        };
+        assert!(s.any());
+    }
+}

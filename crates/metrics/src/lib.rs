@@ -20,6 +20,7 @@
 
 pub mod aggregate;
 pub mod export;
+pub mod faults;
 pub mod outcome;
 pub mod slowdown;
 pub mod table;
@@ -27,6 +28,7 @@ pub mod timeline;
 pub mod util;
 
 pub use aggregate::{CategoryReport, Stats};
+pub use faults::{goodput, interrupted_slowdown, FaultSummary};
 pub use outcome::JobOutcome;
 pub use slowdown::{bounded_slowdown, SLOWDOWN_THRESHOLD};
 pub use util::utilization;

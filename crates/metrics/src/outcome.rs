@@ -31,6 +31,10 @@ pub struct JobOutcome {
     /// Seconds spent in suspension overhead (memory drain on suspend plus
     /// reload on restart) — counted as waiting in the metrics.
     pub overhead: Secs,
+    /// How many times the job was killed by a fault (processor failure or
+    /// injected crash) and resubmitted from scratch. Zero without fault
+    /// injection.
+    pub kills: u32,
 }
 
 impl JobOutcome {
@@ -54,7 +58,21 @@ impl JobOutcome {
             completion,
             suspensions,
             overhead,
+            kills: 0,
         }
+    }
+
+    /// Record fault kills (builder style; keeps [`JobOutcome::new`]'s
+    /// signature stable for the fault-free call sites).
+    pub fn with_kills(mut self, kills: u32) -> Self {
+        self.kills = kills;
+        self
+    }
+
+    /// Whether a preemption or fault ever interrupted this job.
+    #[inline]
+    pub fn interrupted(&self) -> bool {
+        self.suspensions > 0 || self.kills > 0
     }
 
     /// Turnaround time: completion − submission (includes all waiting,

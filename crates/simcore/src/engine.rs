@@ -35,6 +35,64 @@ pub enum RunOutcome {
     HorizonReached,
     /// The configured maximum batch count was exceeded (livelock guard).
     BatchLimit,
+    /// The configured maximum event count was exceeded (livelock guard).
+    EventLimit,
+    /// The configured wall-clock budget ran out (runaway-run guard).
+    WallClockLimit,
+}
+
+impl RunOutcome {
+    /// Whether a watchdog (rather than the simulation itself) ended the
+    /// run: the queue still held events and the caller's state is partial.
+    pub fn aborted(self) -> bool {
+        matches!(
+            self,
+            RunOutcome::BatchLimit | RunOutcome::EventLimit | RunOutcome::WallClockLimit
+        )
+    }
+}
+
+/// Abort limits for runaway simulations, applied together by
+/// [`Engine::with_watchdog`]. Every limit defaults to off; a tripped
+/// limit ends the run with the matching [`RunOutcome`] instead of letting
+/// a livelocked scheduler spin forever.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Watchdog {
+    /// Maximum delivered batches.
+    pub max_batches: Option<u64>,
+    /// Maximum delivered events.
+    pub max_events: Option<u64>,
+    /// Wall-clock budget for the whole run, in milliseconds (checked every
+    /// [`WALL_CHECK_INTERVAL`] batches to stay off the hot path).
+    pub max_wall_ms: Option<u64>,
+}
+
+/// How many batches pass between wall-clock checks.
+pub const WALL_CHECK_INTERVAL: u64 = 4_096;
+
+impl Watchdog {
+    /// No limits: the engine runs until the queue drains (or hangs — the
+    /// pre-watchdog behaviour).
+    pub fn none() -> Self {
+        Watchdog::default()
+    }
+
+    /// Whether any limit is configured.
+    pub fn armed(&self) -> bool {
+        self.max_batches.is_some() || self.max_events.is_some() || self.max_wall_ms.is_some()
+    }
+
+    /// A generous guard for batch experiment harnesses: far above anything
+    /// a legitimate trace produces (the full SDSC reproduction delivers
+    /// ~10⁵ batches), yet finite, so a livelocked configuration degrades
+    /// into an aborted result instead of a hung worker.
+    pub fn generous() -> Self {
+        Watchdog {
+            max_batches: Some(50_000_000),
+            max_events: Some(200_000_000),
+            max_wall_ms: Some(600_000),
+        }
+    }
 }
 
 /// The driver loop. Owns the clock; the caller owns the queue and state.
@@ -42,6 +100,8 @@ pub struct Engine {
     now: SimTime,
     horizon: SimTime,
     max_batches: u64,
+    max_events: u64,
+    max_wall: Option<std::time::Duration>,
     batches: u64,
     events: u64,
 }
@@ -59,6 +119,8 @@ impl Engine {
             now: SimTime::ZERO,
             horizon: SimTime::MAX,
             max_batches: u64::MAX,
+            max_events: u64::MAX,
+            max_wall: None,
             batches: 0,
             events: 0,
         }
@@ -75,6 +137,37 @@ impl Engine {
     /// reschedule themselves forever without making progress.
     pub fn with_batch_limit(mut self, max: u64) -> Self {
         self.max_batches = max;
+        self
+    }
+
+    /// Abort after `max` delivered events (livelock guard counting events
+    /// rather than instants).
+    pub fn with_event_limit(mut self, max: u64) -> Self {
+        self.max_events = max;
+        self
+    }
+
+    /// Abort once the run has consumed `ms` milliseconds of wall-clock time.
+    /// Checked every [`WALL_CHECK_INTERVAL`] batches, so short runs never pay
+    /// for a clock read and the effective budget overshoots by at most one
+    /// interval's worth of work.
+    pub fn with_wall_clock_limit_ms(mut self, ms: u64) -> Self {
+        self.max_wall = Some(std::time::Duration::from_millis(ms));
+        self
+    }
+
+    /// Apply every limit in `dog` at once (unset limits leave the engine's
+    /// current setting untouched).
+    pub fn with_watchdog(mut self, dog: Watchdog) -> Self {
+        if let Some(b) = dog.max_batches {
+            self.max_batches = b;
+        }
+        if let Some(e) = dog.max_events {
+            self.max_events = e;
+        }
+        if let Some(ms) = dog.max_wall_ms {
+            self.max_wall = Some(std::time::Duration::from_millis(ms));
+        }
         self
     }
 
@@ -103,6 +196,7 @@ impl Engine {
         queue: &mut EventQueue<S::Event>,
     ) -> RunOutcome {
         let mut batch: Vec<S::Event> = Vec::new();
+        let started = self.max_wall.map(|_| std::time::Instant::now());
         loop {
             let Some(t) = queue.peek().map(|(t, _)| t) else {
                 return RunOutcome::Drained;
@@ -122,6 +216,14 @@ impl Engine {
             self.events += batch.len() as u64;
             if self.batches > self.max_batches {
                 return RunOutcome::BatchLimit;
+            }
+            if self.events > self.max_events {
+                return RunOutcome::EventLimit;
+            }
+            if let (Some(budget), Some(started)) = (self.max_wall, started) {
+                if self.batches.is_multiple_of(WALL_CHECK_INTERVAL) && started.elapsed() > budget {
+                    return RunOutcome::WallClockLimit;
+                }
             }
             sim.handle_batch(self.now, &mut batch, queue);
         }
@@ -216,6 +318,35 @@ mod tests {
         let outcome = engine.run(&mut Resched, &mut q);
         assert_eq!(outcome, RunOutcome::BatchLimit);
         assert_eq!(engine.batches(), 51);
+    }
+
+    #[test]
+    fn event_limit_trips_on_self_rescheduling() {
+        let mut q = EventQueue::new();
+        q.push(t(1), EventClass::Tick, ());
+        let mut engine = Engine::new().with_watchdog(Watchdog {
+            max_events: Some(20),
+            ..Watchdog::none()
+        });
+        struct Resched;
+        impl Simulation for Resched {
+            type Event = ();
+            fn handle_batch(&mut self, now: SimTime, _: &mut Vec<()>, q: &mut EventQueue<()>) {
+                q.push(now + 1, EventClass::Tick, ());
+            }
+        }
+        let outcome = engine.run(&mut Resched, &mut q);
+        assert_eq!(outcome, RunOutcome::EventLimit);
+        assert!(outcome.aborted());
+        assert_eq!(engine.events(), 21);
+    }
+
+    #[test]
+    fn drained_and_horizon_are_not_aborts() {
+        assert!(!RunOutcome::Drained.aborted());
+        assert!(!RunOutcome::HorizonReached.aborted());
+        assert!(RunOutcome::BatchLimit.aborted());
+        assert!(RunOutcome::WallClockLimit.aborted());
     }
 
     #[test]

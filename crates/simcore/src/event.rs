@@ -16,19 +16,25 @@ pub enum EventClass {
     Completion = 0,
     /// A suspension drain finished; processors become free.
     ProcsFreed = 1,
+    /// A processor failed or came back from repair. After completions (a
+    /// job finishing at the failure instant was lucky — its result is
+    /// already out) but before arrivals and the scheduling decision, which
+    /// must observe the post-fault machine.
+    Fault = 2,
     /// A new job entered the system.
-    Arrival = 2,
+    Arrival = 3,
     /// Periodic scheduler activity (e.g. the preemption routine).
-    Tick = 3,
+    Tick = 4,
     /// Anything that must run after all state changes of the instant.
-    Epilogue = 4,
+    Epilogue = 5,
 }
 
 impl EventClass {
     /// All classes, in delivery order.
-    pub const ALL: [EventClass; 5] = [
+    pub const ALL: [EventClass; 6] = [
         EventClass::Completion,
         EventClass::ProcsFreed,
+        EventClass::Fault,
         EventClass::Arrival,
         EventClass::Tick,
         EventClass::Epilogue,
@@ -59,5 +65,12 @@ mod tests {
         assert!(EventClass::Arrival < EventClass::Tick);
         assert!(EventClass::ProcsFreed < EventClass::Arrival);
         assert!(EventClass::Tick < EventClass::Epilogue);
+    }
+
+    #[test]
+    fn faults_fire_after_completions_but_before_arrivals() {
+        assert!(EventClass::Completion < EventClass::Fault);
+        assert!(EventClass::ProcsFreed < EventClass::Fault);
+        assert!(EventClass::Fault < EventClass::Arrival);
     }
 }

@@ -27,7 +27,7 @@ pub mod rng;
 pub mod ticker;
 pub mod time;
 
-pub use engine::{Engine, RunOutcome, Simulation};
+pub use engine::{Engine, RunOutcome, Simulation, Watchdog};
 pub use event::EventClass;
 pub use queue::EventQueue;
 pub use rng::SimRng;

@@ -29,7 +29,7 @@ pub mod scope;
 pub mod sink;
 
 pub use json::{Json, JsonError};
-pub use record::{DecodeError, JobEvent, Reason, TraceRecord, TRACE_VERSION};
+pub use record::{DecodeError, JobEvent, ProcEvent, Reason, TraceRecord, TRACE_VERSION};
 pub use replay::{
     validate_jsonl, validate_records, ReplayOptions, ReplayStats, Validator, Violation,
 };

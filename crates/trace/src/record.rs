@@ -37,6 +37,10 @@ pub enum JobEvent {
     Restart,
     /// The job finished its work.
     Complete,
+    /// A fault (processor failure or injected crash) killed the job; all
+    /// accumulated work is lost, its processors are released, and the job
+    /// re-enters the queue from scratch.
+    Kill,
 }
 
 impl JobEvent {
@@ -49,6 +53,7 @@ impl JobEvent {
             JobEvent::Drain => "drain",
             JobEvent::Restart => "restart",
             JobEvent::Complete => "complete",
+            JobEvent::Kill => "kill",
         }
     }
 
@@ -61,6 +66,35 @@ impl JobEvent {
             "drain" => JobEvent::Drain,
             "restart" => JobEvent::Restart,
             "complete" => JobEvent::Complete,
+            "kill" => JobEvent::Kill,
+            _ => return None,
+        })
+    }
+}
+
+/// A processor availability transition (fault injection).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProcEvent {
+    /// The processor went down.
+    Failed,
+    /// The processor came back from repair.
+    Repaired,
+}
+
+impl ProcEvent {
+    /// Wire name (snake case).
+    pub fn name(self) -> &'static str {
+        match self {
+            ProcEvent::Failed => "failed",
+            ProcEvent::Repaired => "repaired",
+        }
+    }
+
+    /// Inverse of [`ProcEvent::name`].
+    pub fn from_name(s: &str) -> Option<Self> {
+        Some(match s {
+            "failed" => ProcEvent::Failed,
+            "repaired" => ProcEvent::Repaired,
             _ => return None,
         })
     }
@@ -170,6 +204,15 @@ pub enum TraceRecord {
         /// Jobs actively computing.
         running: u32,
     },
+    /// A processor availability transition (fault injection).
+    Proc {
+        /// Simulated time, seconds.
+        t: i64,
+        /// Processor index.
+        proc: u32,
+        /// Which transition.
+        event: ProcEvent,
+    },
     /// End-of-run statistics from the discrete-event engine.
     EngineStats {
         /// Final simulated time, seconds.
@@ -189,6 +232,7 @@ impl TraceRecord {
             TraceRecord::Job { t, .. }
             | TraceRecord::Decision { t, .. }
             | TraceRecord::Gauge { t, .. }
+            | TraceRecord::Proc { t, .. }
             | TraceRecord::EngineStats { t, .. } => Some(t),
         }
     }
@@ -277,6 +321,12 @@ impl TraceRecord {
                 put("draining", Json::Int(*draining as i64));
                 put("suspended", Json::Int(*suspended as i64));
                 put("running", Json::Int(*running as i64));
+            }
+            TraceRecord::Proc { t, proc, event } => {
+                put("type", Json::Str("proc".into()));
+                put("t", Json::Int(*t));
+                put("proc", Json::Int(*proc as i64));
+                put("event", Json::Str(event.name().into()));
             }
             TraceRecord::EngineStats { t, batches, events } => {
                 put("type", Json::Str("engine".into()));
@@ -393,6 +443,15 @@ impl TraceRecord {
                 suspended: u32_field("suspended")?,
                 running: u32_field("running")?,
             }),
+            "proc" => Ok(TraceRecord::Proc {
+                t: t()?,
+                proc: u32_field("proc")?,
+                event: v
+                    .get("event")
+                    .and_then(Json::as_str)
+                    .and_then(ProcEvent::from_name)
+                    .ok_or(DecodeError::Missing("event"))?,
+            }),
             "engine" => Ok(TraceRecord::EngineStats {
                 t: t()?,
                 batches: v
@@ -440,6 +499,7 @@ impl TraceRecord {
         "running",
         "batches",
         "events",
+        "proc",
         "version",
         "scheduler",
     ];
@@ -526,6 +586,12 @@ impl TraceRecord {
                 set("draining", draining.to_string());
                 set("suspended", suspended.to_string());
                 set("running", running.to_string());
+            }
+            TraceRecord::Proc { t, proc, event } => {
+                set("record", "proc".into());
+                set("t", t.to_string());
+                set("proc", proc.to_string());
+                set("event", event.name().into());
             }
             TraceRecord::EngineStats { t, batches, events } => {
                 set("record", "engine".into());
@@ -635,6 +701,22 @@ mod tests {
                 draining: 4,
                 suspended: 1,
                 running: 9,
+            },
+            TraceRecord::Job {
+                t: 40,
+                job: 5,
+                event: JobEvent::Kill,
+                procs: None,
+            },
+            TraceRecord::Proc {
+                t: 40,
+                proc: 17,
+                event: ProcEvent::Failed,
+            },
+            TraceRecord::Proc {
+                t: 90,
+                proc: 17,
+                event: ProcEvent::Repaired,
             },
             TraceRecord::EngineStats {
                 t: 99,

@@ -20,11 +20,15 @@
 //! * **SF threshold** — when the header names an `ss:`/`tss:` scheduler,
 //!   every preemption satisfies `suspender_xf ≥ sf × victim_xf`.
 //! * **Time** — timestamps never decrease; at most one header, first.
+//! * **Fault consistency** — processors fail and repair alternately; no
+//!   allocation claims a down processor; a processor failure evicts any
+//!   holder within the same instant (kills are logged as `kill` job
+//!   events, which requeue the job).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io::BufRead;
 
-use crate::record::{JobEvent, Reason, TraceRecord};
+use crate::record::{JobEvent, ProcEvent, Reason, TraceRecord};
 
 /// Knobs for [`validate_records`].
 #[derive(Clone, Copy, Debug, Default)]
@@ -70,6 +74,12 @@ pub struct ReplayStats {
     pub peak_occupied: usize,
     /// Jobs still live (arrived but not completed) at end of trace.
     pub live_at_end: usize,
+    /// Processor failure records.
+    pub proc_failures: usize,
+    /// Processor repair records.
+    pub proc_repairs: usize,
+    /// Fault-kill job events.
+    pub kills: usize,
 }
 
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -100,6 +110,8 @@ pub struct Validator {
     jobs: HashMap<u32, JobTrack>,
     /// proc -> job currently holding it.
     occupied: HashMap<u32, u32>,
+    /// Processors currently down.
+    down: HashSet<u32>,
     /// category -> time of first blocked record (activation).
     limit_active: HashMap<String, i64>,
     stats: ReplayStats,
@@ -127,6 +139,7 @@ impl Validator {
             sf: None,
             jobs: HashMap::new(),
             occupied: HashMap::new(),
+            down: HashSet::new(),
             limit_active: HashMap::new(),
             stats: ReplayStats::default(),
             violations: Vec::new(),
@@ -148,6 +161,11 @@ impl Validator {
         if let Some(t) = rec.time() {
             if t < self.last_t {
                 self.violation(format!("time went backwards: {t} after {}", self.last_t));
+            }
+            if t > self.last_t {
+                // The instant is over: a failure must have evicted any
+                // holder of a down processor within its own instant.
+                self.check_down_unoccupied();
             }
             self.last_t = self.last_t.max(t);
         }
@@ -178,9 +196,43 @@ impl Validator {
                 self.decision(*t, reason);
             }
             TraceRecord::Gauge { .. } => self.stats.gauges += 1,
+            TraceRecord::Proc { proc, event, .. } => self.proc_event(*proc, *event),
             TraceRecord::EngineStats { .. } => {}
         }
         self.index += 1;
+    }
+
+    fn proc_event(&mut self, proc: u32, event: ProcEvent) {
+        match event {
+            ProcEvent::Failed => {
+                self.stats.proc_failures += 1;
+                if !self.down.insert(proc) {
+                    self.violation(format!("processor {proc}: failed while already down"));
+                }
+            }
+            ProcEvent::Repaired => {
+                self.stats.proc_repairs += 1;
+                if !self.down.remove(&proc) {
+                    self.violation(format!("processor {proc}: repaired while not down"));
+                }
+            }
+        }
+    }
+
+    /// Any down processor still held by a job is a violation — the
+    /// simulator evicts holders in the failure's own instant. Called when
+    /// time advances and at the end of the trace.
+    fn check_down_unoccupied(&mut self) {
+        let stale: Vec<(u32, u32)> = self
+            .down
+            .iter()
+            .filter_map(|&p| self.occupied.get(&p).map(|&job| (p, job)))
+            .collect();
+        for (p, job) in stale {
+            self.violation(format!(
+                "processor {p} is down but still held by job {job} after the failure instant"
+            ));
+        }
     }
 
     fn job_event(&mut self, _t: i64, job: u32, event: JobEvent, procs: Option<&[u32]>) {
@@ -284,13 +336,35 @@ impl Validator {
                     track.held.clear();
                 }
             }
+            Kill => {
+                self.stats.kills += 1;
+                let state = self.jobs.get(&job).map(|tr| tr.state.clone());
+                if !matches!(
+                    state,
+                    Some(JobState::Running | JobState::Draining | JobState::Suspended)
+                ) {
+                    self.violation(format!("job {job}: kill while {state:?}"));
+                }
+                // The job loses its allocation and its re-entry claim, and
+                // requeues from scratch.
+                self.release(job);
+                if let Some(track) = self.jobs.get_mut(&job) {
+                    track.state = JobState::Queued;
+                    track.held.clear();
+                    track.suspend_set.clear();
+                }
+            }
         }
         self.stats.peak_occupied = self.stats.peak_occupied.max(self.occupied.len());
     }
 
     fn claim(&mut self, job: u32, procs: &[u32]) {
         let mut clashes = Vec::new();
+        let mut dead = Vec::new();
         for &p in procs {
+            if self.down.contains(&p) {
+                dead.push(p);
+            }
             if let Some(&holder) = self.occupied.get(&p) {
                 clashes.push((p, holder));
             } else {
@@ -301,6 +375,12 @@ impl Validator {
             self.violation(format!(
                 "job {job}: processor {p} already held by job {holder} ({} clashes)",
                 clashes.len()
+            ));
+        }
+        if let Some(&p) = dead.first() {
+            self.violation(format!(
+                "job {job}: allocation claims down processor {p} ({} dead)",
+                dead.len()
             ));
         }
     }
@@ -365,6 +445,7 @@ impl Validator {
 
     /// Finish: return the stats, or every violation found.
     pub fn finish(mut self) -> Result<ReplayStats, Vec<Violation>> {
+        self.check_down_unoccupied();
         self.stats.live_at_end = self
             .jobs
             .values()
@@ -601,6 +682,85 @@ mod tests {
             },
         ];
         assert!(validate_records(&trace, ReplayOptions::default()).is_err());
+    }
+
+    fn proc(t: i64, p: u32, event: ProcEvent) -> TraceRecord {
+        TraceRecord::Proc { t, proc: p, event }
+    }
+
+    #[test]
+    fn accepts_failure_kill_requeue_cycle() {
+        use JobEvent::*;
+        let trace = vec![
+            job(0, 1, Arrival, None),
+            job(0, 1, Dispatch, Some(vec![0, 1])),
+            proc(5, 1, ProcEvent::Failed),
+            job(5, 1, Kill, None),
+            proc(60, 1, ProcEvent::Repaired),
+            job(60, 1, Dispatch, Some(vec![0, 1])),
+            job(100, 1, Complete, None),
+        ];
+        let stats = validate_records(&trace, ReplayOptions::default()).unwrap();
+        assert_eq!(stats.proc_failures, 1);
+        assert_eq!(stats.proc_repairs, 1);
+        assert_eq!(stats.kills, 1);
+        assert_eq!(stats.completions, 1);
+    }
+
+    #[test]
+    fn rejects_claim_on_down_processor() {
+        use JobEvent::*;
+        let trace = vec![
+            proc(0, 2, ProcEvent::Failed),
+            job(1, 1, Arrival, None),
+            job(1, 1, Dispatch, Some(vec![2, 3])),
+        ];
+        let violations = validate_records(&trace, ReplayOptions::default()).unwrap_err();
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.message.contains("down processor 2")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_unevicted_holder_of_down_processor() {
+        use JobEvent::*;
+        let trace = vec![
+            job(0, 1, Arrival, None),
+            job(0, 1, Dispatch, Some(vec![0, 1])),
+            proc(5, 0, ProcEvent::Failed),
+            // No kill/suspend — job 1 still "runs" on a dead processor.
+            job(50, 1, Complete, None),
+        ];
+        let violations = validate_records(&trace, ReplayOptions::default()).unwrap_err();
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.message.contains("down but still held")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_unpaired_fault_transitions() {
+        let trace = vec![proc(0, 3, ProcEvent::Failed), proc(1, 3, ProcEvent::Failed)];
+        let violations = validate_records(&trace, ReplayOptions::default()).unwrap_err();
+        assert!(violations
+            .iter()
+            .any(|v| v.message.contains("already down")));
+        let trace = vec![proc(0, 3, ProcEvent::Repaired)];
+        let violations = validate_records(&trace, ReplayOptions::default()).unwrap_err();
+        assert!(violations.iter().any(|v| v.message.contains("not down")));
+    }
+
+    #[test]
+    fn rejects_kill_of_unstarted_job() {
+        use JobEvent::*;
+        let trace = vec![job(0, 1, Arrival, None), job(5, 1, Kill, None)];
+        let violations = validate_records(&trace, ReplayOptions::default()).unwrap_err();
+        assert!(violations.iter().any(|v| v.message.contains("kill while")));
     }
 
     #[test]

@@ -20,10 +20,12 @@
 //! re-checks the scheduling invariants from the file alone.
 
 use selective_preemption::core::experiment::{ExperimentConfig, SchedulerKind};
+use selective_preemption::core::faults::{FaultModel, RecoveryPolicy};
 use selective_preemption::core::overhead::OverheadModel;
 use selective_preemption::core::sim::Simulator;
 use selective_preemption::metrics::table::render_comparison;
-use selective_preemption::metrics::CategoryReport;
+use selective_preemption::metrics::{goodput, CategoryReport};
+use selective_preemption::simcore::Watchdog;
 use selective_preemption::trace::{validate_jsonl, CsvSink, JsonlSink, ReplayOptions};
 use selective_preemption::workload::{swf, EstimateModel, Job, SyntheticConfig, SystemPreset};
 
@@ -38,6 +40,8 @@ fn usage() -> ! {
     eprintln!("  sps run    --system <CTC|SDSC|KTH> --sched <SPEC> [--sched <SPEC>...]");
     eprintln!("             [--jobs N] [--load F] [--seed N] [--estimates accurate|mixture]");
     eprintln!("             [--overhead none|paper] [--diurnal A] [--worst] [--csv PREFIX]");
+    eprintln!("             [--mtbf SECS] [--mttr SECS] [--recovery wait|resubmit|remap]");
+    eprintln!("             [--fault-seed N]");
     eprintln!("  sps replay --swf FILE --procs N --sched <SPEC> [--sched <SPEC>...] [--worst]");
     eprintln!("  sps trace  --system <CTC|SDSC|KTH> --sched <SPEC> --out FILE");
     eprintln!("             [--format jsonl|csv] [--jobs N] [--load F] [--seed N] ...");
@@ -45,6 +49,9 @@ fn usage() -> ! {
     eprintln!("  sps schedulers");
     eprintln!();
     eprintln!("scheduler SPEC: fcfs | cons | ns | flex:<depth> | is | gang | ss:<sf> | tss:<sf>");
+    eprintln!("faults: --mtbf enables per-processor failures (exponential, mean SECS);");
+    eprintln!("        --mttr sets the repair time mean (default 1800 s); --recovery picks");
+    eprintln!("        what happens to suspended jobs whose processors died");
     std::process::exit(2);
 }
 
@@ -68,6 +75,44 @@ struct Args {
     csv: Option<String>,
     out: Option<String>,
     format: Option<String>,
+    mtbf: Option<i64>,
+    mttr: Option<i64>,
+    recovery: Option<RecoveryPolicy>,
+    fault_seed: Option<u64>,
+}
+
+impl Args {
+    /// Assemble the fault model the flags describe (disabled by default).
+    fn faults(&self) -> FaultModel {
+        let mut model = match self.mtbf {
+            Some(mtbf) => {
+                if mtbf < 1 {
+                    fail("--mtbf must be at least 1 second");
+                }
+                let mut m = FaultModel::proc_faults(mtbf, self.mttr.unwrap_or(1_800), 0);
+                if let Some(mttr) = self.mttr {
+                    if mttr < 1 {
+                        fail("--mttr must be at least 1 second");
+                    }
+                    m.mttr = mttr;
+                }
+                m
+            }
+            None => {
+                if self.mttr.is_some() || self.recovery.is_some() {
+                    fail("--mttr/--recovery need --mtbf to enable faults");
+                }
+                FaultModel::none()
+            }
+        };
+        if let Some(recovery) = self.recovery {
+            model = model.with_recovery(recovery);
+        }
+        if let Some(seed) = self.fault_seed {
+            model = model.with_fault_seed(seed);
+        }
+        model
+    }
 }
 
 fn parse_args(mut argv: std::vec::IntoIter<String>) -> Args {
@@ -110,6 +155,19 @@ fn parse_args(mut argv: std::vec::IntoIter<String>) -> Args {
                 }
             }
             "--diurnal" => args.diurnal = value().parse().unwrap_or_else(|_| fail("bad --diurnal")),
+            "--mtbf" => args.mtbf = Some(value().parse().unwrap_or_else(|_| fail("bad --mtbf"))),
+            "--mttr" => args.mttr = Some(value().parse().unwrap_or_else(|_| fail("bad --mttr"))),
+            "--recovery" => {
+                let name = value();
+                args.recovery = Some(RecoveryPolicy::from_name(&name).unwrap_or_else(|| {
+                    fail(&format!(
+                        "unknown recovery policy {name:?} (wait, resubmit, remap)"
+                    ))
+                }));
+            }
+            "--fault-seed" => {
+                args.fault_seed = Some(value().parse().unwrap_or_else(|_| fail("bad --fault-seed")))
+            }
             "--worst" => args.worst = true,
             "--swf" => args.swf = Some(value()),
             "--csv" => args.csv = Some(value()),
@@ -126,9 +184,12 @@ fn report(jobs: Vec<Job>, procs: u32, args: &Args) {
     if args.scheds.is_empty() {
         fail("at least one --sched required");
     }
+    let faults = args.faults();
     let mut grids: Vec<(String, [f64; 16])> = Vec::new();
     for &kind in &args.scheds {
-        let sim = Simulator::with_overhead(jobs.clone(), procs, kind.build(), args.overhead);
+        let sim = Simulator::with_overhead(jobs.clone(), procs, kind.build(), args.overhead)
+            .with_faults(faults)
+            .with_watchdog(Watchdog::generous());
         let res = sim.run();
         let rep = CategoryReport::from_outcomes(&res.outcomes);
         println!(
@@ -139,6 +200,25 @@ fn report(jobs: Vec<Job>, procs: u32, args: &Args) {
             res.utilization * 100.0,
             res.preemptions,
         );
+        if res.faults.any() {
+            println!(
+                "{:<14}   failures {:>4}  jobs killed {:>4}  lost work {:>9} proc-s  stranded {:>7} s  goodput {:>5.1}%",
+                "",
+                res.faults.proc_failures,
+                res.faults.jobs_killed + res.faults.job_crashes,
+                res.faults.lost_work,
+                res.faults.stranded_secs,
+                goodput(&res.outcomes, procs, res.faults.downtime) * 100.0,
+            );
+        }
+        if res.status.is_aborted() {
+            eprintln!(
+                "warning: {} aborted by the watchdog ({:?}); {} jobs unfinished — metrics are partial",
+                kind.label(),
+                res.status,
+                res.unfinished,
+            );
+        }
         let grid = if args.worst {
             rep.worst_slowdown_grid()
         } else {
@@ -246,7 +326,8 @@ fn main() {
                 .with_seed(args.seed)
                 .with_load_factor(args.load)
                 .with_estimates(args.estimates)
-                .with_overhead(args.overhead);
+                .with_overhead(args.overhead)
+                .with_faults(args.faults());
             if let Some(n) = args.jobs {
                 cfg = cfg.with_jobs(n);
             }
@@ -294,9 +375,17 @@ fn main() {
                 .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
             match validate_jsonl(std::io::BufReader::new(file), opts) {
                 Ok(stats) => {
+                    let faults = if stats.proc_failures > 0 || stats.kills > 0 {
+                        format!(
+                            ", {} failures/{} repairs/{} kills",
+                            stats.proc_failures, stats.proc_repairs, stats.kills
+                        )
+                    } else {
+                        String::new()
+                    };
                     println!(
                         "{path}: OK — {} records, {} arrivals, {} completions, {} suspensions, \
-                         {} decisions, peak {} procs{}",
+                         {} decisions, peak {} procs{faults}{}",
                         stats.records,
                         stats.arrivals,
                         stats.completions,

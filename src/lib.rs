@@ -41,10 +41,14 @@ pub use sps_workload as workload;
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use sps_cluster::{Cluster, ProcSet};
-    pub use sps_core::experiment::{run_many, ExperimentConfig, RunResult, SchedulerKind};
+    pub use sps_core::experiment::{
+        run_many, run_many_checked, ConfigError, ExperimentConfig, RunError, RunResult,
+        SchedulerKind,
+    };
+    pub use sps_core::faults::{FaultModel, RecoveryPolicy};
     pub use sps_core::overhead::OverheadModel;
-    pub use sps_core::sim::{SimResult, Simulator};
-    pub use sps_metrics::{CategoryReport, JobOutcome};
+    pub use sps_core::sim::{AbortReason, RunStatus, SimResult, Simulator};
+    pub use sps_metrics::{goodput, CategoryReport, FaultSummary, JobOutcome};
     pub use sps_simcore::{SimTime, HOUR, MINUTE};
     pub use sps_trace::{CsvSink, JsonlSink, MemorySink, NullSink, TraceRecord, TraceSink};
     pub use sps_workload::{
