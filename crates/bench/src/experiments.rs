@@ -1483,3 +1483,42 @@ pub fn ablation_faults() -> String {
     ));
     out
 }
+
+/// Kernel decide-throughput summary: events/sec and decide counts per
+/// scheme on a high-load SDSC trace, from the per-run
+/// [`sps_core::sim::KernelStats`]. The full before/after microbench (with
+/// decide-latency percentiles) is `cargo bench --bench decide_throughput`;
+/// this registry entry gives a quick single-run view.
+pub fn kernel_throughput() -> String {
+    use sps_core::sim::Simulator;
+    let mut out =
+        String::from("Kernel throughput (SDSC trace, 1200 jobs, load factor 1.4, single run)\n\n");
+    out.push_str(&format!(
+        "{:<14}{:>10}{:>10}{:>12}{:>14}\n",
+        "scheme", "events", "decides", "wall ms", "events/s"
+    ));
+    let jobs = ExperimentConfig::new(SDSC, SchedulerKind::Easy)
+        .with_jobs(1_200)
+        .with_load_factor(1.4)
+        .trace();
+    for kind in [
+        SchedulerKind::Easy,
+        SchedulerKind::Conservative,
+        SchedulerKind::Ss { sf: 2.0 },
+        SchedulerKind::Tss { sf: 2.0 },
+        SchedulerKind::ImmediateService,
+    ] {
+        let res = Simulator::new(jobs.clone(), SDSC.procs, kind.build()).run();
+        let k = res.kernel;
+        out.push_str(&format!(
+            "{:<14}{:>10}{:>10}{:>12.1}{:>14.0}\n",
+            kind.label(),
+            k.events,
+            k.decide_calls,
+            k.wall_micros as f64 / 1e3,
+            k.events_per_sec(),
+        ));
+    }
+    out.push_str("\nWall time is per-process and machine-dependent; event and decide\ncounts are deterministic.\n");
+    out
+}

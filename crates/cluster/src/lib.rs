@@ -21,4 +21,4 @@ pub mod profile;
 
 pub use machine::Cluster;
 pub use procset::ProcSet;
-pub use profile::{Profile, Reservation};
+pub use profile::{AvailabilityProfile, Profile, Reservation};

@@ -95,6 +95,40 @@ impl ProcSet {
         self.words.iter().map(|w| w.count_ones()).sum()
     }
 
+    /// Number of set processors with index strictly below `i`.
+    ///
+    /// `pop_count_upto(universe)` equals [`count`](Self::count); indices
+    /// past the universe clamp.
+    pub fn pop_count_upto(&self, i: u32) -> u32 {
+        let i = i.min(self.universe);
+        let full_words = (i / 64) as usize;
+        let mut n: u32 = self.words[..full_words]
+            .iter()
+            .map(|w| w.count_ones())
+            .sum();
+        let rem = i % 64;
+        if rem != 0 && full_words < self.words.len() {
+            n += (self.words[full_words] & ((1u64 << rem) - 1)).count_ones();
+        }
+        n
+    }
+
+    /// `|self ∖ other|` without materializing the difference.
+    pub fn count_excluding(&self, other: &ProcSet) -> u32 {
+        debug_assert_eq!(self.universe, other.universe);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & !b).count_ones())
+            .sum()
+    }
+
+    /// Remove every processor, keeping the allocation (scratch reuse).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
     /// Whether the set is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
@@ -173,14 +207,14 @@ impl ProcSet {
     /// the simulator's allocation policy: deterministic lowest-numbered
     /// first, which keeps runs reproducible.
     pub fn take_lowest(&self, n: u32) -> Option<ProcSet> {
-        if self.count() < n {
-            return None;
-        }
         let mut out = Self::empty(self.universe);
         let mut remaining = n;
         for (wi, &w) in self.words.iter().enumerate() {
             if remaining == 0 {
                 break;
+            }
+            if w == 0 {
+                continue;
             }
             let mut word = w;
             let take = remaining.min(word.count_ones());
@@ -194,23 +228,61 @@ impl ProcSet {
             out.words[wi] = kept;
             remaining -= take;
         }
-        debug_assert_eq!(out.count(), n);
+        if remaining > 0 {
+            return None;
+        }
         Some(out)
     }
 
-    /// Iterate over the processor indices in ascending order.
+    /// The `n` lowest-indexed processors of `self ∖ excluded`, as a new
+    /// set — [`take_lowest`](Self::take_lowest) without materializing the
+    /// difference first. Returns `None` if fewer than `n` remain.
+    pub fn take_lowest_excluding(&self, excluded: &ProcSet, n: u32) -> Option<ProcSet> {
+        debug_assert_eq!(self.universe, excluded.universe);
+        let mut out = Self::empty(self.universe);
+        let mut remaining = n;
+        for (wi, (&a, &b)) in self.words.iter().zip(&excluded.words).enumerate() {
+            if remaining == 0 {
+                break;
+            }
+            let mut word = a & !b;
+            if word == 0 {
+                continue;
+            }
+            let take = remaining.min(word.count_ones());
+            let mut kept = 0u64;
+            for _ in 0..take {
+                let lowest = word & word.wrapping_neg();
+                kept |= lowest;
+                word ^= lowest;
+            }
+            out.words[wi] = kept;
+            remaining -= take;
+        }
+        if remaining > 0 {
+            return None;
+        }
+        Some(out)
+    }
+
+    /// Iterate over the processor indices in ascending order. Zero words
+    /// (the common case in sparse scheduler sets) are skipped wholesale.
     pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
-        self.words.iter().enumerate().flat_map(|(wi, &w)| {
-            let mut word = w;
-            std::iter::from_fn(move || {
-                if word == 0 {
-                    return None;
-                }
-                let bit = word.trailing_zeros();
-                word &= word - 1;
-                Some(wi as u32 * 64 + bit)
+        self.words
+            .iter()
+            .enumerate()
+            .filter(|&(_, &w)| w != 0)
+            .flat_map(|(wi, &w)| {
+                let mut word = w;
+                std::iter::from_fn(move || {
+                    if word == 0 {
+                        return None;
+                    }
+                    let bit = word.trailing_zeros();
+                    word &= word - 1;
+                    Some(wi as u32 * 64 + bit)
+                })
             })
-        })
     }
 }
 
@@ -296,6 +368,60 @@ mod tests {
     fn iter_ascending() {
         let s = ProcSet::from_indices(430, [429, 0, 64, 63, 128]);
         assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 128, 429]);
+    }
+
+    #[test]
+    fn pop_count_upto_counts_strictly_below() {
+        let s = ProcSet::from_indices(200, [0, 5, 63, 64, 130, 199]);
+        assert_eq!(s.pop_count_upto(0), 0);
+        assert_eq!(s.pop_count_upto(1), 1);
+        assert_eq!(s.pop_count_upto(5), 1);
+        assert_eq!(s.pop_count_upto(6), 2);
+        assert_eq!(s.pop_count_upto(64), 3);
+        assert_eq!(s.pop_count_upto(65), 4);
+        assert_eq!(s.pop_count_upto(199), 5);
+        assert_eq!(s.pop_count_upto(200), 6);
+        assert_eq!(s.pop_count_upto(9999), s.count());
+    }
+
+    #[test]
+    fn count_excluding_matches_difference() {
+        let a = ProcSet::from_indices(430, [1, 2, 3, 64, 129, 400]);
+        let b = ProcSet::from_indices(430, [3, 64, 65]);
+        assert_eq!(a.count_excluding(&b), a.difference(&b).count());
+        assert_eq!(a.count_excluding(&ProcSet::empty(430)), a.count());
+        assert_eq!(a.count_excluding(&a), 0);
+    }
+
+    #[test]
+    fn take_lowest_excluding_matches_difference_take() {
+        let a = ProcSet::from_indices(200, [5, 10, 70, 130, 199]);
+        let b = ProcSet::from_indices(200, [10, 130]);
+        for n in 0..=5 {
+            assert_eq!(
+                a.take_lowest_excluding(&b, n),
+                a.difference(&b).take_lowest(n),
+                "n={n}"
+            );
+        }
+        assert!(a.take_lowest_excluding(&b, 4).is_none());
+        assert_eq!(
+            a.take_lowest_excluding(&b, 3)
+                .unwrap()
+                .iter()
+                .collect::<Vec<_>>(),
+            vec![5, 70, 199]
+        );
+    }
+
+    #[test]
+    fn clear_keeps_universe() {
+        let mut s = ProcSet::from_indices(100, [1, 64, 99]);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.universe(), 100);
+        s.insert(42);
+        assert_eq!(s.count(), 1);
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //! when a job actually starts (reservations in the paper's schedulers are
 //! count-based, exactly as in EASY and conservative backfilling).
 
+use std::collections::BTreeMap;
+
 use sps_simcore::{Secs, SimTime};
 
 /// A reservation handed to a queued job: `procs` processors for
@@ -32,7 +34,7 @@ pub struct Reservation {
 ///
 /// Internally a sorted list of `(time, avail)` breakpoints; the last
 /// breakpoint's availability extends to infinity.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Profile {
     total: u32,
     steps: Vec<(SimTime, u32)>,
@@ -167,6 +169,120 @@ impl Profile {
     }
 }
 
+/// Incrementally-maintained future-release ledger.
+///
+/// [`Profile::new`] rebuilds the availability step function from every
+/// running job on every call — O(jobs log jobs) per scheduling decision.
+/// `AvailabilityProfile` instead keeps the *release multiset* (expected
+/// end → processors releasing then) as a sorted map that the simulator
+/// updates by delta whenever a job's expected end changes: dispatch and
+/// resume [`add`](Self::add) the new end, suspension / completion / kill
+/// [`remove`](Self::remove) the stale one. [`snapshot`](Self::snapshot)
+/// then materializes a [`Profile`] in a single ordered walk — no sort,
+/// no job-table scan.
+///
+/// Invariants (checked by the simulator's debug cross-check and the
+/// kernel property tests):
+///
+/// * the ledger holds exactly one `(est_end, procs)` contribution per
+///   *occupying* job (Running or Draining — phases that hold processors),
+/// * `snapshot(now, total, free_now)` is bit-identical to
+///   `Profile::new(now, total, free_now, &entries)` for any `now`:
+///   clamping of overrun estimates is applied at snapshot time, so the
+///   ledger itself never needs rewriting as the clock advances.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct AvailabilityProfile {
+    /// Expected release time → total processors releasing at that time.
+    /// Empty buckets are removed eagerly so the breakpoint set matches a
+    /// from-scratch rebuild exactly.
+    releases: BTreeMap<SimTime, u32>,
+}
+
+impl AvailabilityProfile {
+    /// An empty ledger (no occupying jobs).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `procs` processors becoming free at `end`.
+    pub fn add(&mut self, end: SimTime, procs: u32) {
+        debug_assert!(procs > 0, "zero-width release");
+        *self.releases.entry(end).or_insert(0) += procs;
+    }
+
+    /// Retract a release previously recorded with [`add`](Self::add).
+    /// Panics if the ledger holds no such release — that means the caller
+    /// lost track of a job's expected end, which would silently corrupt
+    /// every future profile.
+    pub fn remove(&mut self, end: SimTime, procs: u32) {
+        let bucket = self
+            .releases
+            .get_mut(&end)
+            .unwrap_or_else(|| panic!("no release ledgered at {end:?}"));
+        assert!(
+            *bucket >= procs,
+            "release at {end:?} holds {bucket} procs, removing {procs}"
+        );
+        *bucket -= procs;
+        if *bucket == 0 {
+            self.releases.remove(&end);
+        }
+    }
+
+    /// Number of distinct release times ledgered.
+    pub fn len(&self) -> usize {
+        self.releases.len()
+    }
+
+    /// Whether no release is ledgered.
+    pub fn is_empty(&self) -> bool {
+        self.releases.is_empty()
+    }
+
+    /// The ledgered `(end, procs)` entries in time order (for tests and
+    /// cross-checks).
+    pub fn entries(&self) -> impl Iterator<Item = (SimTime, u32)> + '_ {
+        self.releases.iter().map(|(&t, &p)| (t, p))
+    }
+
+    /// Materialize the availability step function as seen at `now`.
+    ///
+    /// Equivalent to `Profile::new(now, total, free_now, &entries)` —
+    /// releases at or before `now` clamp to `now + 1` — but built in one
+    /// ordered walk over the ledger.
+    pub fn snapshot(&self, now: SimTime, total: u32, free_now: u32) -> Profile {
+        debug_assert!(free_now <= total);
+        let mut steps = Vec::with_capacity(self.releases.len() + 2);
+        steps.push((now, free_now));
+        let mut avail = free_now;
+        let mut it = self.releases.iter().peekable();
+        // Overrun estimates: everything ledgered at or before `now` lands
+        // in one clamped bucket at `now + 1`.
+        let mut clamped = 0u32;
+        while let Some(&(&end, &procs)) = it.peek() {
+            if end > now {
+                break;
+            }
+            clamped += procs;
+            it.next();
+        }
+        if clamped > 0 {
+            avail += clamped;
+            steps.push((now + 1, avail));
+        }
+        for (&end, &procs) in it {
+            avail += procs;
+            match steps.last_mut() {
+                // A real release at `now + 1` merges into the clamped bucket.
+                Some((t, a)) if *t == end => *a = avail,
+                _ => steps.push((end, avail)),
+            }
+        }
+        debug_assert!(avail <= total, "released more processors than exist");
+        Profile { total, steps }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -273,5 +389,99 @@ mod tests {
     fn overbooked_reservation_panics() {
         let mut p = sample();
         p.reserve(t(0), 10, 5);
+    }
+
+    #[test]
+    fn ledger_snapshot_matches_from_scratch() {
+        let mut ledger = AvailabilityProfile::new();
+        ledger.add(t(100), 2);
+        ledger.add(t(200), 4);
+        let snap = ledger.snapshot(t(0), 10, 4);
+        assert_eq!(snap, sample());
+        assert_eq!(snap.steps(), sample().steps());
+    }
+
+    #[test]
+    fn ledger_clamps_overruns_at_snapshot_time() {
+        let mut ledger = AvailabilityProfile::new();
+        ledger.add(t(40), 6);
+        // Same ledger, two different clocks: clamping is a view concern.
+        assert_eq!(
+            ledger.snapshot(t(50), 10, 4),
+            Profile::new(t(50), 10, 4, &[(t(40), 6)])
+        );
+        assert_eq!(
+            ledger.snapshot(t(0), 10, 4),
+            Profile::new(t(0), 10, 4, &[(t(40), 6)])
+        );
+        // A real release at now+1 merges with the clamped bucket.
+        ledger.add(t(51), 4);
+        let snap = ledger.snapshot(t(50), 10, 0);
+        assert_eq!(snap, Profile::new(t(50), 10, 0, &[(t(40), 6), (t(51), 4)]));
+        assert_eq!(snap.steps(), &[(t(50), 0), (t(51), 10)]);
+    }
+
+    #[test]
+    fn ledger_add_remove_roundtrip() {
+        let mut ledger = AvailabilityProfile::new();
+        ledger.add(t(100), 2);
+        ledger.add(t(100), 3);
+        ledger.add(t(200), 4);
+        ledger.remove(t(100), 3);
+        assert_eq!(
+            ledger.entries().collect::<Vec<_>>(),
+            vec![(t(100), 2), (t(200), 4)]
+        );
+        ledger.remove(t(200), 4);
+        ledger.remove(t(100), 2);
+        assert!(ledger.is_empty());
+        assert_eq!(ledger.snapshot(t(7), 10, 10).steps(), &[(t(7), 10)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no release ledgered")]
+    fn ledger_remove_of_unknown_end_panics() {
+        let mut ledger = AvailabilityProfile::new();
+        ledger.add(t(100), 2);
+        ledger.remove(t(101), 2);
+    }
+
+    /// Seeded random add/remove sequences: the ledger snapshot must match
+    /// `Profile::new` over the live entry multiset at every step, for
+    /// arbitrary clocks (including ones past some release times).
+    #[test]
+    fn ledger_equivalence_randomized() {
+        let mut rng = 0x9e37_79b9_7f4a_7c15_u64;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        for _ in 0..200 {
+            let mut ledger = AvailabilityProfile::new();
+            let mut live: Vec<(SimTime, u32)> = Vec::new();
+            for _ in 0..40 {
+                if !live.is_empty() && next() % 3 == 0 {
+                    let idx = (next() as usize) % live.len();
+                    let (end, procs) = live.swap_remove(idx);
+                    ledger.remove(end, procs);
+                } else {
+                    let end = t((next() % 500) as i64);
+                    let procs = (next() % 8 + 1) as u32;
+                    ledger.add(end, procs);
+                    live.push((end, procs));
+                }
+                let used: u32 = live.iter().map(|&(_, p)| p).sum();
+                let total = used + (next() % 16) as u32;
+                let free = total - used;
+                let now = t((next() % 600) as i64);
+                assert_eq!(
+                    ledger.snapshot(now, total, free),
+                    Profile::new(now, total, free, &live),
+                    "ledger diverged from rebuild at now={now:?}"
+                );
+            }
+        }
     }
 }

@@ -21,6 +21,7 @@ use sps_simcore::SimTime;
 use sps_workload::JobId;
 
 use crate::policy::{Action, DecideCtx, Policy};
+use crate::sched::planner::ReservationLadder;
 use crate::sim::SimState;
 
 /// Conservative backfilling dispatcher.
@@ -47,23 +48,18 @@ impl Policy for Conservative {
             .collect();
         order.sort_unstable();
 
-        let mut profile = state.profile();
+        let mut ladder = ReservationLadder::new(state);
         let mut next_anchors = HashMap::with_capacity(order.len());
         for (prev_anchor, _, id) in order {
-            let job = state.job(id);
-            let res = profile
-                .reserve_earliest(job.procs, job.estimate, state.now())
-                .expect("every job fits an empty machine eventually");
+            let start = ladder.reserve(state.job(id));
             debug_assert!(
-                res.start <= prev_anchor,
-                "compression may only move reservations earlier: {:?} -> {:?}",
-                prev_anchor,
-                res.start
+                start <= prev_anchor,
+                "compression may only move reservations earlier: {prev_anchor:?} -> {start:?}"
             );
-            if res.start == state.now() {
+            if start == state.now() {
                 actions.push(Action::Start(id));
             } else {
-                next_anchors.insert(id, res.start);
+                next_anchors.insert(id, start);
             }
         }
         self.anchors = next_anchors;

@@ -14,6 +14,7 @@
 use sps_trace::Reason;
 
 use crate::policy::{Action, DecideCtx, Policy};
+use crate::sched::planner::ReservationLadder;
 use crate::sim::SimState;
 
 /// EASY backfilling dispatcher.
@@ -54,21 +55,16 @@ pub(crate) fn plan_easy(state: &SimState, ctx: &DecideCtx<'_>, actions: &mut Vec
 
     // Phase 2: the head job `queued[idx]` cannot start. Find its shadow
     // time from the availability profile — accounting for the phase-1
-    // starts, which occupy `started` processors until their estimates.
+    // starts, which occupy their processors until their estimates.
     let head = queued[idx];
-    let head_procs = state.job(head).procs;
-    let mut profile = state.profile();
+    let mut ladder = ReservationLadder::new(state);
     for a in actions.iter() {
         let Action::Start(id) = a else { continue };
-        let job = state.job(*id);
-        profile.reserve(state.now(), job.estimate, job.procs);
+        ladder.book_start_now(state.job(*id));
     }
-    let Some(shadow) = profile.find_anchor(head_procs, state.job(head).estimate, state.now())
-    else {
+    let Some((shadow, mut extra)) = ladder.shadow(state.job(head)) else {
         return; // wider than the machine — construction forbids this
     };
-    // Processors free at the shadow time beyond what the head job needs.
-    let mut extra = profile.avail_at(shadow).saturating_sub(head_procs);
 
     // Phase 3: backfill the remaining queue in arrival order.
     for &id in &queued[idx + 1..] {

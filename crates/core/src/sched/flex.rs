@@ -14,6 +14,7 @@
 //! only preemption can fix (`ablation_reservation_depth`).
 
 use crate::policy::{Action, DecideCtx, Policy};
+use crate::sched::planner::ReservationLadder;
 use crate::sim::SimState;
 
 /// Backfilling with reservations for the first `depth` queued jobs.
@@ -37,24 +38,20 @@ impl Policy for FlexBackfill {
 
     fn decide(&mut self, state: &SimState, _ctx: &DecideCtx<'_>, actions: &mut Vec<Action>) {
         let now = state.now();
-        let mut profile = state.profile();
+        let mut ladder = ReservationLadder::new(state);
         for (i, &id) in state.queued().iter().enumerate() {
             let job = state.job(id);
             if i < self.depth {
                 // Protected: gets (and re-derives, every decision) the
                 // earliest reservation consistent with those ahead of it.
-                let r = profile
-                    .reserve_earliest(job.procs, job.estimate, now)
-                    .expect("a job never exceeds the machine");
-                if r.start == now {
+                if ladder.reserve(job) == now {
                     actions.push(Action::Start(id));
                 }
             } else {
                 // Unprotected: may start only where it provably delays no
                 // reservation — i.e. its anchor against the current
                 // profile is *now*.
-                if profile.find_anchor(job.procs, job.estimate, now) == Some(now) {
-                    profile.reserve(now, job.estimate, job.procs);
+                if ladder.try_backfill_now(job) {
                     actions.push(Action::Start(id));
                 }
             }

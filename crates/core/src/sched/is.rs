@@ -20,13 +20,13 @@
 
 use std::collections::HashMap;
 
-use sps_cluster::ProcSet;
 use sps_metrics::JobOutcome;
 use sps_simcore::{Secs, SimTime};
 use sps_trace::Reason;
 use sps_workload::JobId;
 
 use crate::policy::{Action, DecideCtx, Policy};
+use crate::sched::planner::{self, VictimTable};
 use crate::sim::SimState;
 
 /// The 10-minute arrival timeslice from the paper.
@@ -65,62 +65,6 @@ impl ImmediateService {
     }
 }
 
-/// Local planning mirror of machine state, updated as actions are chosen
-/// so that several decisions in one instant stay consistent.
-struct Mirror {
-    free: ProcSet,
-    /// (id, procs, set) of currently running jobs still standing.
-    running: Vec<(JobId, u32, ProcSet)>,
-}
-
-impl Mirror {
-    fn new(state: &SimState) -> Self {
-        // Draining processors are promised back within one drain time;
-        // planning against them avoids cascading extra suspensions while
-        // a previous victim is still writing its image out (the simulator
-        // drops actions that race the drain and the policy re-decides at
-        // the drain-done event).
-        let mut free = state.free_set().clone();
-        free.union_with(&state.draining_set());
-        Mirror {
-            free,
-            running: state
-                .running()
-                .iter()
-                .map(|&id| {
-                    (
-                        id,
-                        state.job(id).procs,
-                        state
-                            .assigned_set(id)
-                            .expect("running job has a set")
-                            .clone(),
-                    )
-                })
-                .collect(),
-        }
-    }
-
-    fn free_count(&self) -> u32 {
-        self.free.count()
-    }
-
-    /// Mirror a fresh start (lowest-numbered allocation, like the
-    /// simulator's).
-    fn start(&mut self, procs: u32) {
-        let set = self.free.take_lowest(procs).expect("checked by caller");
-        self.free.subtract(&set);
-    }
-
-    /// Mirror a suspension (assumes zero-overhead release; under a drain
-    /// model the dependent start is dropped and retried at drain end).
-    fn suspend(&mut self, idx: usize) -> JobId {
-        let (id, _, set) = self.running.swap_remove(idx);
-        self.free.union_with(&set);
-        id
-    }
-}
-
 impl Policy for ImmediateService {
     fn name(&self) -> String {
         "IS".into()
@@ -132,7 +76,12 @@ impl Policy for ImmediateService {
 
     fn decide(&mut self, state: &SimState, ctx: &DecideCtx<'_>, actions: &mut Vec<Action>) {
         let now = state.now();
-        let mut mirror = Mirror::new(state);
+        // The planning mirror: the working free pool plus a borrow-based
+        // table of running jobs (suspension priority = instantaneous
+        // xfactor, Section II-C), updated as actions are chosen so that
+        // several decisions in one instant stay consistent.
+        let mut free = planner::working_free_set(state);
+        let mut running = VictimTable::running(state, |id| state.inst_xfactor(id));
         let mut started: Vec<JobId> = Vec::new();
 
         // 1. Immediate (and retried) service for waiting jobs: arrivals of
@@ -148,8 +97,9 @@ impl Policy for ImmediateService {
         );
         for a in waiting {
             let need = state.job(a).procs;
-            if need <= mirror.free_count() {
-                mirror.start(need);
+            if need <= free.count() {
+                let set = free.take_lowest(need).expect("count checked");
+                free.subtract(&set);
                 actions.push(Action::Start(a));
                 started.push(a);
                 self.protected_until.insert(a, now + self.timeslice);
@@ -157,47 +107,46 @@ impl Policy for ImmediateService {
             }
             // Pick unprotected victims, lowest instantaneous xfactor first
             // (long-running jobs that never waited sit at the bottom).
-            let mut victims: Vec<(f64, usize)> = mirror
-                .running
+            let mut victims: Vec<(f64, usize)> = running
+                .entries
                 .iter()
                 .enumerate()
-                .filter(|(_, (id, _, _))| !self.is_protected(*id, now) && !started.contains(id))
-                .map(|(i, (id, _, _))| (state.inst_xfactor(*id), i))
+                .filter(|(_, v)| !self.is_protected(v.id, now) && !started.contains(&v.id))
+                .map(|(i, v)| (v.prio, i))
                 .collect();
             victims.sort_by(|a, b| a.0.total_cmp(&b.0));
-            let mut gain = mirror.free_count();
-            let mut chosen: Vec<(f64, usize)> = Vec::new();
-            for &(xf, idx) in &victims {
+            let mut gain = free.count();
+            let mut chosen: Vec<usize> = Vec::new();
+            for &(_, idx) in &victims {
                 if gain >= need {
                     break;
                 }
-                gain += mirror.running[idx].1;
-                chosen.push((xf, idx));
+                gain += running.entries[idx].procs;
+                chosen.push(idx);
             }
             if gain < need {
                 continue; // not servable this instant; retried next tick
             }
-            // Suspend (highest index first so swap_remove keeps indices valid).
-            chosen.sort_unstable_by_key(|&(_, idx)| std::cmp::Reverse(idx));
-            for (victim_xf, idx) in chosen {
-                let victim = mirror.suspend(idx);
+            running.remove_all(chosen, |v| {
+                free.union_with(v.set);
                 if ctx.trace.enabled() {
                     // IS selects on *instantaneous* xfactors (Section
                     // II-C); those are what the record carries.
                     ctx.trace.decision(
                         now.secs(),
                         Reason::PreemptedVictim {
-                            victim: victim.0,
+                            victim: v.id.0,
                             suspender: a.0,
-                            victim_xf,
+                            victim_xf: v.prio,
                             suspender_xf: state.inst_xfactor(a),
                         },
                     );
                 }
-                actions.push(Action::Suspend(victim));
-            }
-            debug_assert!(mirror.free_count() >= need);
-            mirror.start(need);
+                actions.push(Action::Suspend(v.id));
+            });
+            debug_assert!(free.count() >= need);
+            let set = free.take_lowest(need).expect("gain accounted");
+            free.subtract(&set);
             actions.push(Action::Start(a));
             started.push(a);
             self.protected_until.insert(a, now + self.timeslice);
@@ -217,8 +166,8 @@ impl Policy for ImmediateService {
         suspended.sort_by(|a, b| b.0.total_cmp(&a.0));
         for (_, id) in suspended {
             let set = state.assigned_set(id).expect("suspended job keeps its set");
-            if set.is_subset(&mirror.free) {
-                mirror.free.subtract(set);
+            if set.is_subset(&free) {
+                free.subtract(set);
                 actions.push(Action::Resume(id));
                 if ctx.trace.enabled() {
                     ctx.trace.decision(

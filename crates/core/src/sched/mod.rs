@@ -7,6 +7,13 @@
 //! spectrum between EASY and conservative in [`flex`]. The paper's contribution lives in [`ss`]
 //! (Selective Suspension) and [`tss`] (the per-category preemption-disable
 //! limits that turn SS into Tunable Selective Suspension).
+//!
+//! The mechanics shared by every policy's `decide` — the planning free
+//! pool, claim protection, victim tables, claim-aware placement, and
+//! profile anchor searches — live in the crate-private [`planner`]
+//! module, driven by the simulator's incremental occupancy index.
+
+pub(crate) mod planner;
 
 pub mod conservative;
 pub mod easy;

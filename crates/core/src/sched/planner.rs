@@ -1,0 +1,218 @@
+//! The shared preemption planner: the machinery every policy's `decide`
+//! re-implemented before it lived here.
+//!
+//! Policies plan against a *mirror* of machine state so several decisions
+//! in one instant stay consistent: a planned start consumes mirrored free
+//! processors, a planned suspension returns the victim's. This module
+//! provides the pieces of that mirror that were duplicated across SS, TSS,
+//! IS, EASY, conservative, and flex, all driven by the incremental kernel
+//! structures ([`crate::sim::SchedIndex`] and the simulator's availability
+//! ledger) instead of per-decide job-table scans:
+//!
+//! * [`working_free_set`] — the planning free pool (free now ∪ draining),
+//! * [`pinned_claims`] — the re-entry reservations of suspended jobs,
+//! * [`VictimTable`] — a borrow-based mirror of the running jobs for
+//!   victim scans (no per-entry `ProcSet` clones),
+//! * [`alloc_avoiding`] — claim-aware placement for fresh dispatches,
+//! * [`ReservationLadder`] — the anchor-search/backfill view of the
+//!   availability profile shared by the reservation-based baselines.
+
+use sps_cluster::{ProcSet, Profile};
+use sps_simcore::SimTime;
+use sps_workload::{Job, JobId};
+
+use crate::sim::SimState;
+
+/// The planning free pool: processors free now *plus* those whose
+/// suspension drain is already in flight. Draining processors are
+/// promised back within one drain time, and a planner that ignores them
+/// re-suspends a fresh victim at every tick of a long drain (the
+/// simulator drops actions that race a pending drain; the policy
+/// re-decides at the drain-done instant).
+pub(crate) fn working_free_set(state: &SimState) -> ProcSet {
+    let mut free = state.free_set().clone();
+    free.union_with(state.draining_set());
+    free
+}
+
+/// Union of the processor claims of suspended jobs that are pinned to
+/// their original processors (local preemption). A suspended job can only
+/// restart on its claimed set, so the union acts as a placement
+/// reservation for fresh dispatches. Jobs the fault-recovery policy
+/// marked for remapping claim nothing — they may restart anywhere.
+pub(crate) fn pinned_claims(state: &SimState) -> ProcSet {
+    let mut reserved = ProcSet::empty(state.total_procs());
+    for &sid in state.suspended() {
+        if state.can_remap(sid) {
+            continue;
+        }
+        reserved.union_with(
+            state
+                .assigned_set(sid)
+                .expect("suspended job keeps its set"),
+        );
+    }
+    reserved
+}
+
+/// One running job in a policy's planning mirror. The processor set is
+/// borrowed straight from simulator state — building the mirror costs no
+/// `ProcSet` clones (policies only read state during `decide`).
+pub(crate) struct Victim<'a> {
+    pub id: JobId,
+    /// The policy's suspension priority for this job (xfactor for SS/TSS,
+    /// instantaneous xfactor for IS), frozen at mirror construction.
+    pub prio: f64,
+    pub procs: u32,
+    pub set: &'a ProcSet,
+}
+
+/// The running-job mirror used for victim scans. Entries start in
+/// dispatch order (the simulator's running-queue order); policies that
+/// scan cheapest-victim-first call [`VictimTable::sort_ascending`].
+pub(crate) struct VictimTable<'a> {
+    pub entries: Vec<Victim<'a>>,
+}
+
+impl<'a> VictimTable<'a> {
+    /// Mirror every running job, with `prio` as its suspension priority.
+    pub fn running(state: &'a SimState, prio: impl Fn(JobId) -> f64) -> Self {
+        VictimTable {
+            entries: state
+                .running()
+                .iter()
+                .map(|&id| Victim {
+                    id,
+                    prio: prio(id),
+                    procs: state.job(id).procs,
+                    set: state.assigned_set(id).expect("running job has a set"),
+                })
+                .collect(),
+        }
+    }
+
+    /// An empty mirror (policies skip the victim scan off-tick).
+    pub fn empty() -> Self {
+        VictimTable {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Order by ascending priority (ids break ties deterministically):
+    /// the cheapest victims come first, and a scan may stop at the first
+    /// entry whose priority disqualifies it.
+    pub fn sort_ascending(&mut self) {
+        self.entries
+            .sort_by(|a, b| a.prio.total_cmp(&b.prio).then(a.id.cmp(&b.id)));
+    }
+
+    /// Remove the entries at `indices` (any order), feeding each removed
+    /// victim to `f`. Uses descending-index `swap_remove`, so surviving
+    /// entries may be reordered — callers that rely on a sorted mirror
+    /// re-sort afterwards.
+    pub fn remove_all(&mut self, mut indices: Vec<usize>, mut f: impl FnMut(Victim<'a>)) {
+        indices.sort_unstable_by(|a, b| b.cmp(a));
+        for idx in indices {
+            f(self.entries.swap_remove(idx));
+        }
+    }
+}
+
+/// Choose `need` processors out of `free ∖ blocked`, preferring ones
+/// outside `reserved`.
+///
+/// * `blocked` is a hard constraint: the claims of higher-priority
+///   suspended jobs that could not be placed this instant. Handing those
+///   out would let lower-priority squatters rotate through the claim and
+///   starve its owner.
+/// * `reserved` is a soft preference: all suspended claims. A suspended
+///   job can only restart on its original processors, so giving them to
+///   fresh arrivals forces a reassembly preemption later — under backlog
+///   that cascades into suspension storms and a serialized tail.
+///
+/// Returns `None` if fewer than `need` unblocked processors exist. The
+/// common case (enough unreserved processors) carves the answer in one
+/// word-level pass with no intermediate set materialized.
+pub(crate) fn alloc_avoiding(
+    free: &ProcSet,
+    blocked: &ProcSet,
+    reserved: &ProcSet,
+    need: u32,
+) -> Option<ProcSet> {
+    // Fast path: enough processors that are neither blocked nor reserved.
+    let mut avoid = blocked.clone();
+    avoid.union_with(reserved);
+    if let Some(set) = free.take_lowest_excluding(&avoid, need) {
+        return Some(set);
+    }
+    // Not enough unreserved processors: take all of them plus the fewest
+    // possible reserved (but never blocked) ones.
+    let mut preferred = free.clone();
+    preferred.subtract(&avoid);
+    let have = preferred.count();
+    let mut rest = free.clone();
+    rest.subtract(blocked);
+    rest.subtract(&preferred);
+    let extra = rest.take_lowest(need - have)?;
+    preferred.union_with(&extra);
+    Some(preferred)
+}
+
+/// The anchor-search view of the availability profile shared by the
+/// reservation-based baselines (conservative, EASY, flex): reservations
+/// are booked in priority order against a profile that starts from the
+/// simulator's incrementally-maintained release ledger.
+pub(crate) struct ReservationLadder {
+    profile: Profile,
+    now: SimTime,
+}
+
+impl ReservationLadder {
+    /// A fresh ladder over the current availability profile.
+    pub fn new(state: &SimState) -> Self {
+        ReservationLadder {
+            profile: state.profile(),
+            now: state.now(),
+        }
+    }
+
+    /// Book the earliest reservation for `job` consistent with everything
+    /// booked so far; returns its guaranteed start time (`now` means the
+    /// job can start immediately).
+    pub fn reserve(&mut self, job: &Job) -> SimTime {
+        self.profile
+            .reserve_earliest(job.procs, job.estimate, self.now)
+            .expect("every job fits an empty machine eventually")
+            .start
+    }
+
+    /// Whether `job` can start *now* without delaying any booked
+    /// reservation — i.e. its earliest anchor against the current profile
+    /// is the present instant. If so, its occupancy is booked.
+    pub fn try_backfill_now(&mut self, job: &Job) -> bool {
+        if self.profile.find_anchor(job.procs, job.estimate, self.now) == Some(self.now) {
+            self.profile.reserve(self.now, job.estimate, job.procs);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Book the occupancy of a start decided earlier this instant (EASY's
+    /// phase-1 starts occupy processors until their estimates).
+    pub fn book_start_now(&mut self, job: &Job) {
+        self.profile.reserve(self.now, job.estimate, job.procs);
+    }
+
+    /// EASY's shadow computation for the blocked head job: the earliest
+    /// time `job` fits (its reservation anchor) and the *extra*
+    /// processors — those free at the shadow beyond what the head needs,
+    /// available to arbitrarily long backfillers.
+    pub fn shadow(&self, job: &Job) -> Option<(SimTime, u32)> {
+        let shadow = self
+            .profile
+            .find_anchor(job.procs, job.estimate, self.now)?;
+        let extra = self.profile.avail_at(shadow).saturating_sub(job.procs);
+        Some((shadow, extra))
+    }
+}

@@ -34,6 +34,7 @@ use sps_trace::Reason;
 use sps_workload::{Category, JobId};
 
 use crate::policy::{Action, DecideCtx, Policy};
+use crate::sched::planner::{self, VictimTable};
 use crate::sched::tss::TssLimits;
 use crate::sim::SimState;
 
@@ -113,36 +114,6 @@ impl SelectiveSuspension {
     }
 }
 
-/// One running job in the routine's local mirror.
-struct RunEntry {
-    id: JobId,
-    prio: f64,
-    procs: u32,
-    set: ProcSet,
-}
-
-/// Choose `need` processors from `free`, preferring ones *outside*
-/// `reserved` (the union of suspended jobs' pending re-entry sets).
-/// Placement awareness is what keeps Selective Suspension efficient: a
-/// suspended job can only restart on its original processors, so handing
-/// those to fresh arrivals forces a reassembly preemption later — under
-/// backlog that cascades into suspension storms and a serialized tail.
-fn alloc_avoiding(free: &ProcSet, reserved: &ProcSet, need: u32) -> Option<ProcSet> {
-    let mut preferred = free.clone();
-    preferred.subtract(reserved);
-    if let Some(set) = preferred.take_lowest(need) {
-        return Some(set);
-    }
-    // Not enough unreserved processors: take all of them plus the fewest
-    // possible reserved ones.
-    let have = preferred.count();
-    let mut rest = free.clone();
-    rest.subtract(&preferred);
-    let extra = rest.take_lowest(need - have)?;
-    preferred.union_with(&extra);
-    Some(preferred)
-}
-
 impl Policy for SelectiveSuspension {
     fn name(&self) -> String {
         let kind = if self.cfg.limits.is_some() {
@@ -177,12 +148,8 @@ impl Policy for SelectiveSuspension {
         idle.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
 
         // Plan against free processors *plus* those whose suspension
-        // drain is already in flight: they are promised back shortly, and
-        // ignoring them would re-suspend a fresh victim at every tick of
-        // a long drain. Actions that race a pending drain are dropped by
-        // the simulator and re-issued at the drain-done instant.
-        let mut free = state.free_set().clone();
-        free.union_with(&state.draining_set());
+        // drain is already in flight (see [`planner::working_free_set`]).
+        let mut free = planner::working_free_set(state);
 
         // `blocked` — the processor claims of higher-priority suspended
         // jobs that could not be placed yet. A suspended job can only ever
@@ -194,46 +161,25 @@ impl Policy for SelectiveSuspension {
         // sustained load).
         let mut blocked = ProcSet::empty(state.total_procs());
         // `reserved` — all suspended claims, used only as a placement
-        // *preference* for procs not strictly blocked.
-        let mut reserved = ProcSet::empty(state.total_procs());
-        if !self.cfg.migration {
-            // With migration, suspended jobs can restart anywhere, so no
-            // claims need protecting. The same holds per-job for a
-            // stranded job the recovery policy marked for remapping.
-            for &sid in state.suspended() {
-                if state.can_remap(sid) {
-                    continue;
-                }
-                reserved.union_with(
-                    state
-                        .assigned_set(sid)
-                        .expect("suspended job keeps its set"),
-                );
-            }
-        }
+        // *preference* for procs not strictly blocked. With migration,
+        // suspended jobs can restart anywhere, so no claims need
+        // protecting.
+        let mut reserved = if self.cfg.migration {
+            ProcSet::empty(state.total_procs())
+        } else {
+            planner::pinned_claims(state)
+        };
 
         // The running mirror is only consulted on ticks (the paper's
         // once-a-minute preemption routine); between ticks only free
-        // processors are handed out.
-        let mut running: Vec<RunEntry> = if ctx.tick {
-            state
-                .running()
-                .iter()
-                .map(|&id| RunEntry {
-                    id,
-                    prio: state.xfactor(id),
-                    procs: state.job(id).procs,
-                    set: state
-                        .assigned_set(id)
-                        .expect("running job has a set")
-                        .clone(),
-                })
-                .collect()
+        // processors are handed out. Ascending victim priority, as in the
+        // pseudocode's first sort.
+        let mut running = if ctx.tick {
+            VictimTable::running(state, |id| state.xfactor(id))
         } else {
-            Vec::new()
+            VictimTable::empty()
         };
-        // Ascending victim priority, as in the pseudocode's first sort.
-        running.sort_by(|a, b| a.prio.total_cmp(&b.prio).then(a.id.cmp(&b.id)));
+        running.sort_ascending();
 
         for &(prio_i, id) in &idle {
             if state.is_suspended(id) && !self.cfg.migration && !state.can_remap(id) {
@@ -273,7 +219,7 @@ impl Policy for SelectiveSuspension {
                 // restriction for re-entry).
                 let mut victims: Vec<usize> = Vec::new();
                 let mut covered = ProcSet::empty(needed.universe());
-                for (idx, r) in running.iter().enumerate() {
+                for (idx, r) in running.entries.iter().enumerate() {
                     if !r.set.overlaps(needed) {
                         continue;
                     }
@@ -283,7 +229,7 @@ impl Policy for SelectiveSuspension {
                     // would otherwise pin it out indefinitely.
                     if prio_i >= self.cfg.sf * r.prio {
                         victims.push(idx);
-                        covered.union_with(&r.set);
+                        covered.union_with(r.set);
                     }
                 }
                 if !missing.is_subset(&covered) {
@@ -294,12 +240,10 @@ impl Policy for SelectiveSuspension {
                 }
                 // Suspend every overlapping candidate (they all sit on
                 // needed processors) and re-enter.
-                victims.sort_unstable_by(|a, b| b.cmp(a));
                 let victim_count = victims.len() as u32;
-                for idx in victims {
-                    let r = running.swap_remove(idx);
-                    free.union_with(&r.set);
-                    reserved.union_with(&r.set); // victims will want these back
+                running.remove_all(victims, |r| {
+                    free.union_with(r.set);
+                    reserved.union_with(r.set); // victims will want these back
                     if ctx.trace.enabled() {
                         ctx.trace.decision(
                             state.now().secs(),
@@ -312,8 +256,8 @@ impl Policy for SelectiveSuspension {
                         );
                     }
                     actions.push(Action::Suspend(r.id));
-                }
-                running.sort_by(|a, b| a.prio.total_cmp(&b.prio).then(a.id.cmp(&b.id)));
+                });
+                running.sort_ascending();
                 debug_assert!(needed.is_subset(&free));
                 free.subtract(needed);
                 reserved.subtract(needed);
@@ -340,10 +284,12 @@ impl Policy for SelectiveSuspension {
                 };
                 let job = state.job(id);
                 let need = job.procs;
-                let mut allowed = free.clone();
-                allowed.subtract(&blocked);
-                if need <= allowed.count() {
-                    let set = alloc_avoiding(&allowed, &reserved, need).expect("count checked");
+                // Usable width: processors inside `blocked` belong to a
+                // higher-priority suspended job and do not count.
+                let allowed = free.count_excluding(&blocked);
+                if need <= allowed {
+                    let set = planner::alloc_avoiding(&free, &blocked, &reserved, need)
+                        .expect("count checked");
                     free.subtract(&set);
                     actions.push(dispatch(set));
                     continue;
@@ -353,11 +299,10 @@ impl Policy for SelectiveSuspension {
                 }
                 // Preemption routine: accumulate qualifying victims until
                 // enough unblocked processors exist, then suspend the
-                // widest first. Victim processors inside `blocked` belong
-                // to a higher-priority suspended job and do not count.
+                // widest first.
                 let mut candidates: Vec<usize> = Vec::new();
-                let mut gain = allowed.count();
-                for (idx, r) in running.iter().enumerate() {
+                let mut gain = allowed;
+                for (idx, r) in running.entries.iter().enumerate() {
                     if gain >= need {
                         break;
                     }
@@ -384,33 +329,30 @@ impl Policy for SelectiveSuspension {
                         continue;
                     }
                     candidates.push(idx);
-                    gain += r.set.difference(&blocked).count();
+                    gain += r.set.count_excluding(&blocked);
                 }
                 if gain < need {
                     continue;
                 }
                 // Suspend in decreasing usable width until the job fits.
                 candidates.sort_unstable_by(|&a, &b| {
-                    running[b]
+                    running.entries[b]
                         .set
-                        .difference(&blocked)
-                        .count()
-                        .cmp(&running[a].set.difference(&blocked).count())
+                        .count_excluding(&blocked)
+                        .cmp(&running.entries[a].set.count_excluding(&blocked))
                 });
                 let mut chosen: Vec<usize> = Vec::new();
-                let mut have = allowed.count();
+                let mut have = allowed;
                 for &idx in &candidates {
                     if have >= need {
                         break;
                     }
-                    have += running[idx].set.difference(&blocked).count();
+                    have += running.entries[idx].set.count_excluding(&blocked);
                     chosen.push(idx);
                 }
-                chosen.sort_unstable_by(|a, b| b.cmp(a));
-                for idx in chosen {
-                    let r = running.swap_remove(idx);
-                    free.union_with(&r.set);
-                    reserved.union_with(&r.set); // victims will want these back
+                running.remove_all(chosen, |r| {
+                    free.union_with(r.set);
+                    reserved.union_with(r.set); // victims will want these back
                     if ctx.trace.enabled() {
                         ctx.trace.decision(
                             state.now().secs(),
@@ -423,12 +365,11 @@ impl Policy for SelectiveSuspension {
                         );
                     }
                     actions.push(Action::Suspend(r.id));
-                }
-                running.sort_by(|a, b| a.prio.total_cmp(&b.prio).then(a.id.cmp(&b.id)));
-                let mut allowed = free.clone();
-                allowed.subtract(&blocked);
-                debug_assert!(allowed.count() >= need);
-                let set = alloc_avoiding(&allowed, &reserved, need).expect("gain accounted");
+                });
+                running.sort_ascending();
+                debug_assert!(free.count_excluding(&blocked) >= need);
+                let set = planner::alloc_avoiding(&free, &blocked, &reserved, need)
+                    .expect("gain accounted");
                 free.subtract(&set);
                 actions.push(dispatch(set));
             }

@@ -1,0 +1,164 @@
+//! Placing work onto processors: the start and resume mechanics.
+//!
+//! Every path that hands processors to a job also updates the incremental
+//! kernel structures: the release ledger gains the dispatch's expected
+//! end, and the occupancy index records the new holder (a resuming job
+//! additionally gives up its re-entry claims first).
+
+use sps_cluster::ProcSet;
+use sps_simcore::{EventClass, EventQueue};
+use sps_workload::JobId;
+
+use super::state::{Event, Phase, SimState};
+
+impl SimState {
+    /// Close the current waiting interval of `id` at `now`.
+    pub(crate) fn end_wait(&mut self, id: JobId) {
+        let now = self.now;
+        let rt = &mut self.jobs[id.index()];
+        debug_assert!(rt.is_waiting() || rt.phase == Phase::NotArrived);
+        rt.wait_accum += now - rt.wait_since;
+    }
+
+    /// Dispatch a fresh job onto the lowest free processors. Returns false
+    /// (dropping the action) if it does not fit.
+    pub(crate) fn start(&mut self, id: JobId, queue: &mut EventQueue<Event>) -> bool {
+        let procs = self.jobs[id.index()].job.procs;
+        if self.jobs[id.index()].phase != Phase::Queued {
+            return false;
+        }
+        let Some(set) = self.cluster.allocate(procs) else {
+            return false;
+        };
+        self.dispatch(id, set, queue);
+        true
+    }
+
+    /// Dispatch a fresh job onto an explicit processor set (policy-chosen
+    /// placement). Returns false if the set is the wrong size or not
+    /// entirely free.
+    pub(crate) fn start_on(
+        &mut self,
+        id: JobId,
+        set: &ProcSet,
+        queue: &mut EventQueue<Event>,
+    ) -> bool {
+        let procs = self.jobs[id.index()].job.procs;
+        if self.jobs[id.index()].phase != Phase::Queued
+            || set.count() != procs
+            || !self.cluster.can_allocate_exact(set)
+        {
+            return false;
+        }
+        self.cluster.allocate_exact(set);
+        self.dispatch(id, set.clone(), queue);
+        true
+    }
+
+    /// Shared tail of [`SimState::start`]/[`SimState::start_on`]: the
+    /// processors in `set` are already marked busy.
+    fn dispatch(&mut self, id: JobId, set: ProcSet, queue: &mut EventQueue<Event>) {
+        let now = self.now;
+        self.end_wait(id);
+        self.index.occupy(&set, id);
+        let rt = &mut self.jobs[id.index()];
+        rt.assigned = Some(set);
+        rt.first_start = Some(now);
+        rt.seg_open = Some(now);
+        rt.phase = Phase::Running { compute_start: now };
+        rt.est_end = now + rt.job.estimate;
+        self.avail.add(rt.est_end, rt.job.procs);
+        let done_at = now + rt.remaining;
+        queue.push(
+            done_at,
+            EventClass::Completion,
+            Event::Completion {
+                job: id,
+                epoch: rt.epoch,
+            },
+        );
+        self.queued.retain(|&q| q != id);
+        self.running.push(id);
+    }
+
+    /// Re-enter a suspended job on its original processor set. Returns
+    /// false if the set is not entirely free.
+    pub(crate) fn resume(&mut self, id: JobId, queue: &mut EventQueue<Event>) -> bool {
+        if self.jobs[id.index()].phase != Phase::Suspended {
+            return false;
+        }
+        let set = self.jobs[id.index()]
+            .assigned
+            .clone()
+            .expect("suspended job keeps its set");
+        self.resume_on_set(id, set, queue)
+    }
+
+    /// Re-enter a suspended job on an arbitrary equally-sized set
+    /// (migration — used only by the migration ablation; the paper's model
+    /// forbids it).
+    pub(crate) fn resume_on(
+        &mut self,
+        id: JobId,
+        set: &ProcSet,
+        queue: &mut EventQueue<Event>,
+    ) -> bool {
+        if self.jobs[id.index()].phase != Phase::Suspended
+            || set.count() != self.jobs[id.index()].job.procs
+        {
+            return false;
+        }
+        self.resume_on_set(id, set.clone(), queue)
+    }
+
+    pub(crate) fn resume_on_set(
+        &mut self,
+        id: JobId,
+        set: ProcSet,
+        queue: &mut EventQueue<Event>,
+    ) -> bool {
+        let now = self.now;
+        if !self.cluster.can_allocate_exact(&set) {
+            return false;
+        }
+        self.cluster.allocate_exact(&set);
+        // The re-entry claims were registered under the set held at
+        // suspension time — release them *before* the (possibly migrated)
+        // new assignment overwrites it.
+        let old_set = self.jobs[id.index()]
+            .assigned
+            .take()
+            .expect("suspended job keeps its set");
+        self.index.unclaim(&old_set, id);
+        self.index.occupy(&set, id);
+        // Re-entering closes any fault bookkeeping on the job.
+        if let Some(since) = self.jobs[id.index()].stranded_since.take() {
+            self.fault_stats.stranded_secs += now - since;
+        }
+        self.jobs[id.index()].remap = false;
+        self.jobs[id.index()].assigned = Some(set);
+        self.end_wait(id);
+        let reload = self.overhead.restart_secs(&self.jobs[id.index()].job);
+        let rt = &mut self.jobs[id.index()];
+        rt.overhead_total += reload;
+        rt.seg_open = Some(now);
+        let compute_start = now + reload;
+        rt.phase = Phase::Running { compute_start };
+        // Estimated release: reload + estimated remaining computation.
+        let executed = rt.job.run - rt.remaining;
+        rt.est_end = compute_start + (rt.job.estimate - executed).max(1);
+        self.avail.add(rt.est_end, rt.job.procs);
+        let done_at = compute_start + rt.remaining;
+        queue.push(
+            done_at,
+            EventClass::Completion,
+            Event::Completion {
+                job: id,
+                epoch: rt.epoch,
+            },
+        );
+        self.suspended.retain(|&q| q != id);
+        self.running.push(id);
+        true
+    }
+}

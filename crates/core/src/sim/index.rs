@@ -1,0 +1,133 @@
+//! The scheduler occupancy index.
+//!
+//! [`SchedIndex`] mirrors, per processor, who is occupying it and who is
+//! waiting to reclaim it, plus the union of all draining victims'
+//! processor sets — the three queries every preemption planner repeats on
+//! every decision. Before the index, each was an O(jobs) scan of the full
+//! job table *per decide call* (and `draining_set()` allocated a fresh
+//! `ProcSet` each time), making total simulation cost quadratic in job
+//! count; the index is updated by delta at the same points the cluster
+//! allocator is, so each query is O(1)/borrow.
+//!
+//! Invariants (recounted from the job table by
+//! [`super::SimState::validate_kernel`]):
+//!
+//! * `occupant[p] = Some(j)` iff job `j` is Running or Draining and `p`
+//!   is in its assigned set — occupying jobs hold disjoint sets, so the
+//!   holder is unique,
+//! * `claims[p]` lists the Suspended jobs whose reserved re-entry set
+//!   contains `p`, in suspension order (re-entry sets of suspended jobs
+//!   may overlap — each claim is a promise, not an allocation),
+//! * `draining` is the union of the assigned sets of Draining jobs and
+//!   `draining_jobs` their count.
+
+use sps_cluster::ProcSet;
+use sps_workload::JobId;
+
+/// Per-processor occupancy map and draining mirror, maintained by delta.
+#[derive(Clone, Debug)]
+pub struct SchedIndex {
+    /// The Running/Draining job holding each processor.
+    occupant: Vec<Option<JobId>>,
+    /// Suspended jobs reserving each processor, in suspension order.
+    claims: Vec<Vec<JobId>>,
+    /// Union of the processor sets held by draining victims.
+    draining: ProcSet,
+    /// Number of jobs currently in the Draining phase.
+    draining_jobs: u32,
+}
+
+impl SchedIndex {
+    /// An empty index over a machine of `total` processors.
+    pub(crate) fn new(total: u32) -> Self {
+        SchedIndex {
+            occupant: vec![None; total as usize],
+            claims: vec![Vec::new(); total as usize],
+            draining: ProcSet::empty(total),
+            draining_jobs: 0,
+        }
+    }
+
+    /// The Running or Draining job holding processor `p`, if any.
+    pub fn occupant(&self, p: u32) -> Option<JobId> {
+        self.occupant[p as usize]
+    }
+
+    /// Suspended jobs whose reserved re-entry set contains `p`, in
+    /// suspension order.
+    pub fn claims(&self, p: u32) -> &[JobId] {
+        &self.claims[p as usize]
+    }
+
+    /// Union of the processor sets held by jobs whose suspension drain is
+    /// still in progress. These processors are busy *now* but are already
+    /// promised back to the free pool (at most one drain time away), so
+    /// preemption planners must count them as incoming capacity — a
+    /// policy that ignores them will suspend a fresh victim at every tick
+    /// of a long drain, cascading preemptions.
+    pub fn draining_set(&self) -> &ProcSet {
+        &self.draining
+    }
+
+    /// Number of jobs currently draining.
+    pub fn draining_jobs(&self) -> u32 {
+        self.draining_jobs
+    }
+
+    // ------------------------------------------------------------------
+    // Delta updates (crate-private): called by the SimState mechanics at
+    // exactly the points the cluster allocator changes hands.
+    // ------------------------------------------------------------------
+
+    /// Job `id` now occupies every processor of `set` (dispatch/resume).
+    pub(crate) fn occupy(&mut self, set: &ProcSet, id: JobId) {
+        for p in set.iter() {
+            debug_assert!(self.occupant[p as usize].is_none(), "proc {p} double-held");
+            self.occupant[p as usize] = Some(id);
+        }
+    }
+
+    /// Job `id` releases every processor of `set` (complete, kill, or the
+    /// end of its drain).
+    pub(crate) fn vacate(&mut self, set: &ProcSet, id: JobId) {
+        for p in set.iter() {
+            debug_assert_eq!(self.occupant[p as usize], Some(id), "proc {p} not held");
+            self.occupant[p as usize] = None;
+        }
+    }
+
+    /// Suspended job `id` reserves `set` for its re-entry.
+    pub(crate) fn claim(&mut self, set: &ProcSet, id: JobId) {
+        for p in set.iter() {
+            self.claims[p as usize].push(id);
+        }
+    }
+
+    /// Suspended job `id` gives up its reservation of `set` (resume,
+    /// kill, or migration to a different set).
+    pub(crate) fn unclaim(&mut self, set: &ProcSet, id: JobId) {
+        for p in set.iter() {
+            let claims = &mut self.claims[p as usize];
+            let pos = claims
+                .iter()
+                .position(|&c| c == id)
+                .expect("unclaim of an unclaimed processor");
+            claims.remove(pos);
+        }
+    }
+
+    /// A victim entered the Draining phase holding `set`.
+    pub(crate) fn drain_begin(&mut self, set: &ProcSet) {
+        debug_assert!(self.draining.is_disjoint(set), "draining sets overlap");
+        self.draining.union_with(set);
+        self.draining_jobs += 1;
+    }
+
+    /// A draining victim released `set` (drain finished or fault kill).
+    pub(crate) fn drain_end(&mut self, set: &ProcSet) {
+        debug_assert!(set.is_subset(&self.draining));
+        debug_assert!(self.draining_jobs > 0);
+        self.draining.subtract(set);
+        self.draining_jobs -= 1;
+    }
+}

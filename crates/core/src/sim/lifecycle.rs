@@ -1,0 +1,224 @@
+//! Taking work off processors: suspension, drains, completion, and fault
+//! kills.
+//!
+//! Every path that takes processors away from a job retracts its release
+//! from the ledger and updates the occupancy index; a job entering the
+//! Suspended phase registers per-processor re-entry claims instead.
+
+use sps_cluster::ProcSet;
+use sps_metrics::JobOutcome;
+use sps_simcore::{EventClass, EventQueue, Secs, SimTime};
+use sps_workload::JobId;
+
+use super::state::{Event, OccupancySegment, Phase, SimState};
+
+impl SimState {
+    /// Preempt a dispatched job. Its processors stay occupied for the
+    /// drain time (zero under [`crate::overhead::OverheadModel::None`], in
+    /// which case they free immediately). Returns false if the job is not
+    /// dispatched.
+    pub(crate) fn suspend(&mut self, id: JobId, queue: &mut EventQueue<Event>) -> bool {
+        let now = self.now;
+        let Phase::Running { compute_start } = self.jobs[id.index()].phase else {
+            return false;
+        };
+        let drain = self.overhead.suspend_secs(&self.jobs[id.index()].job);
+        // The dispatch's ledgered release is stale either way: a zero
+        // drain frees the processors now, a non-zero one re-ledgers them
+        // at the drain end below.
+        self.avail.remove(
+            self.jobs[id.index()].est_end,
+            self.jobs[id.index()].job.procs,
+        );
+        let rt = &mut self.jobs[id.index()];
+        let executed_this_dispatch = (now - compute_start).max(0);
+        rt.remaining -= executed_this_dispatch;
+        // A job suspended while still reloading never consumed the tail of
+        // its reload; give that time back so overhead accounting equals
+        // the processor time actually spent on transitions.
+        let unused_reload = (compute_start - now).max(0);
+        rt.overhead_total -= unused_reload;
+        debug_assert!(rt.overhead_total >= 0);
+        debug_assert!(rt.remaining > 0, "suspending a job that already finished");
+        rt.suspensions += 1;
+        rt.overhead_total += drain;
+        rt.epoch += 1; // invalidate the in-flight completion event
+        rt.wait_since = now; // waiting clock restarts at the preemption
+        self.running.retain(|&q| q != id);
+        self.preemptions += 1;
+        if drain == 0 {
+            let set = self.jobs[id.index()]
+                .assigned
+                .clone()
+                .expect("dispatched job has a set");
+            self.cluster.release(&set);
+            self.index.vacate(&set, id);
+            self.index.claim(&set, id);
+            self.close_segment(id, &set);
+            self.jobs[id.index()].phase = Phase::Suspended;
+            self.suspended.push(id);
+        } else {
+            let set = self.jobs[id.index()]
+                .assigned
+                .clone()
+                .expect("dispatched job has a set");
+            self.index.drain_begin(&set);
+            let rt = &mut self.jobs[id.index()];
+            rt.phase = Phase::Draining;
+            rt.est_end = now + drain; // profile sees the drain occupancy
+            self.avail.add(rt.est_end, rt.job.procs);
+            queue.push(
+                now + drain,
+                EventClass::ProcsFreed,
+                Event::DrainDone {
+                    job: id,
+                    epoch: rt.epoch,
+                },
+            );
+        }
+        true
+    }
+
+    /// A drain finished: release the victim's processors and make it
+    /// eligible for re-entry.
+    pub(crate) fn drain_done(&mut self, id: JobId) {
+        debug_assert_eq!(self.jobs[id.index()].phase, Phase::Draining);
+        let set = self.jobs[id.index()]
+            .assigned
+            .clone()
+            .expect("draining job has a set");
+        self.avail.remove(
+            self.jobs[id.index()].est_end,
+            self.jobs[id.index()].job.procs,
+        );
+        self.cluster.release(&set);
+        self.index.vacate(&set, id);
+        self.index.drain_end(&set);
+        self.index.claim(&set, id);
+        self.close_segment(id, &set);
+        self.jobs[id.index()].phase = Phase::Suspended;
+        self.suspended.push(id);
+    }
+
+    /// Forcibly evict `id` after a fault: all accumulated work is lost and
+    /// the job re-enters the queue from scratch (its `first_start` is kept
+    /// for the metrics — the machine did start it). Returns the destroyed
+    /// work in processor-seconds. Legal from Running, Draining, and
+    /// Suspended.
+    pub(crate) fn kill(&mut self, id: JobId) -> Secs {
+        let now = self.now;
+        let executed = self.jobs[id.index()].executed_at(now);
+        let procs = self.jobs[id.index()].job.procs;
+        match self.jobs[id.index()].phase {
+            Phase::Running { compute_start } => {
+                let set = self.jobs[id.index()]
+                    .assigned
+                    .clone()
+                    .expect("dispatched job has a set");
+                self.avail.remove(self.jobs[id.index()].est_end, procs);
+                self.cluster.release(&set);
+                self.index.vacate(&set, id);
+                self.close_segment(id, &set);
+                self.running.retain(|&q| q != id);
+                let rt = &mut self.jobs[id.index()];
+                // A job killed mid-reload never consumed the reload tail.
+                rt.overhead_total -= (compute_start - now).max(0);
+                rt.wait_since = now;
+            }
+            Phase::Draining => {
+                let set = self.jobs[id.index()]
+                    .assigned
+                    .clone()
+                    .expect("draining job has a set");
+                self.avail.remove(self.jobs[id.index()].est_end, procs);
+                self.cluster.release(&set);
+                self.index.vacate(&set, id);
+                self.index.drain_end(&set);
+                self.close_segment(id, &set);
+                // The drain tail never ran; the wait clock has been running
+                // since the suspension.
+                let rt = &mut self.jobs[id.index()];
+                rt.overhead_total -= (rt.est_end - now).max(0);
+            }
+            Phase::Suspended => {
+                let set = self.jobs[id.index()]
+                    .assigned
+                    .clone()
+                    .expect("suspended job keeps its set");
+                self.index.unclaim(&set, id);
+                self.suspended.retain(|&q| q != id);
+                if let Some(since) = self.jobs[id.index()].stranded_since.take() {
+                    self.fault_stats.stranded_secs += now - since;
+                }
+            }
+            ref phase => unreachable!("kill of job in phase {phase:?}"),
+        }
+        let rt = &mut self.jobs[id.index()];
+        debug_assert!(rt.overhead_total >= 0);
+        rt.remaining = rt.job.run;
+        rt.epoch += 1; // invalidate in-flight completion/drain/crash events
+        rt.phase = Phase::Queued;
+        rt.assigned = None;
+        rt.est_end = SimTime::MAX;
+        rt.kills += 1;
+        rt.remap = false;
+        rt.stranded_since = None;
+        self.queued.push(id);
+        let lost = executed * procs as i64;
+        self.fault_stats.lost_work += lost;
+        lost
+    }
+
+    /// Suspended jobs whose reserved re-entry set includes processor `p`,
+    /// in suspension order — an O(claims) borrow from the index rather
+    /// than the old O(jobs) scan.
+    pub(crate) fn suspended_on(&self, p: u32) -> Vec<JobId> {
+        self.index.claims(p).to_vec()
+    }
+
+    /// Close the job's open occupancy segment at the current instant.
+    pub(crate) fn close_segment(&mut self, id: JobId, set: &ProcSet) {
+        let start = self.jobs[id.index()]
+            .seg_open
+            .take()
+            .expect("releasing processors closes an open segment");
+        self.segments.push(OccupancySegment {
+            job: id,
+            start,
+            end: self.now,
+            procs: set.clone(),
+        });
+    }
+
+    /// A valid completion event: record the outcome and free the machine.
+    pub(crate) fn complete(&mut self, id: JobId) -> JobOutcome {
+        let now = self.now;
+        debug_assert!(matches!(self.jobs[id.index()].phase, Phase::Running { .. }));
+        let set = self.jobs[id.index()]
+            .assigned
+            .clone()
+            .expect("running job has a set");
+        self.avail.remove(
+            self.jobs[id.index()].est_end,
+            self.jobs[id.index()].job.procs,
+        );
+        self.cluster.release(&set);
+        self.index.vacate(&set, id);
+        self.close_segment(id, &set);
+        self.running.retain(|&q| q != id);
+        let rt = &mut self.jobs[id.index()];
+        rt.remaining = 0;
+        rt.phase = Phase::Done;
+        self.incomplete -= 1;
+        let outcome = JobOutcome::new(
+            &rt.job,
+            rt.first_start.expect("completed job started"),
+            now,
+            rt.suspensions,
+            rt.overhead_total,
+        )
+        .with_kills(rt.kills);
+        self.outcomes.push(outcome.clone());
+        outcome
+    }
+}

@@ -1,0 +1,670 @@
+//! The simulator driver: event handling, the policy-decision loop, fault
+//! delivery, and result assembly.
+
+use std::time::Instant;
+
+use sps_metrics::{utilization, FaultSummary, JobOutcome};
+use sps_simcore::{
+    Engine, EventClass, EventQueue, RunOutcome, Secs, SimTime, Simulation, Ticker, Watchdog,
+};
+use sps_trace::{JobEvent, NullSink, ProcEvent, TraceCtx, TraceRecord, TraceSink};
+use sps_workload::{Job, JobId};
+
+use super::state::{Event, OccupancySegment, Phase, SimState};
+use crate::faults::{FaultInjector, FaultModel, RecoveryPolicy};
+use crate::overhead::OverheadModel;
+use crate::policy::{Action, DecideCtx, Policy};
+
+/// Which watchdog limit cut a run short.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AbortReason {
+    /// The engine's batch budget tripped.
+    BatchLimit,
+    /// The engine's event budget tripped.
+    EventLimit,
+    /// The wall-clock budget tripped.
+    WallClock,
+}
+
+/// Whether a run finished or a watchdog ended it early.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunStatus {
+    /// Every job completed and the event queue drained.
+    Completed,
+    /// A watchdog limit ended the run; metrics cover the jobs that
+    /// completed before the abort.
+    Aborted(AbortReason),
+}
+
+impl RunStatus {
+    /// Whether the run was cut short.
+    pub fn is_aborted(self) -> bool {
+        matches!(self, RunStatus::Aborted(_))
+    }
+}
+
+/// Kernel throughput counters for one run: how much simulation the
+/// machine did per unit of real time.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct KernelStats {
+    /// Engine events processed (arrivals, completions, drains, faults,
+    /// ticks).
+    pub events: u64,
+    /// Event batches handled — one policy `decide()` call each.
+    pub decide_calls: u64,
+    /// Wall-clock time of the engine loop, microseconds.
+    pub wall_micros: u64,
+}
+
+impl KernelStats {
+    /// Events processed per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_micros == 0 {
+            return 0.0;
+        }
+        self.events as f64 * 1e6 / self.wall_micros as f64
+    }
+}
+
+/// Result of a full simulation run.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Scheduler name (from the policy).
+    pub policy: String,
+    /// Completed normally, or aborted by a watchdog with partial metrics.
+    pub status: RunStatus,
+    /// Jobs left unfinished (non-zero only for aborted runs).
+    pub unfinished: usize,
+    /// Fault-injection counters (all zero without faults).
+    pub faults: FaultSummary,
+    /// One record per job, in completion order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Productive utilization over the makespan.
+    pub utilization: f64,
+    /// First submission → last completion, seconds.
+    pub makespan: Secs,
+    /// Total suspensions performed.
+    pub preemptions: u64,
+    /// Actions dropped because their precondition had lapsed (always zero
+    /// for non-preemptive policies and for preemptive ones under zero
+    /// overhead).
+    pub dropped_actions: u64,
+    /// The full machine occupancy record: one segment per dispatch, with
+    /// exact processor sets. Powers Gantt/timeline rendering and the
+    /// per-processor non-overlap invariant tests.
+    pub segments: Vec<OccupancySegment>,
+    /// Kernel throughput: events processed, decide calls, wall time.
+    pub kernel: KernelStats,
+}
+
+/// The simulator: a trace, a machine, a policy, an overhead model.
+///
+/// ```
+/// use sps_core::experiment::SchedulerKind;
+/// use sps_core::sim::Simulator;
+/// use sps_workload::Job;
+///
+/// // Two jobs on an 8-processor machine under EASY backfilling.
+/// let jobs = vec![Job::new(0, 0, 100, 100, 8), Job::new(1, 5, 100, 100, 8)];
+/// let result = Simulator::new(jobs, 8, SchedulerKind::Easy.build()).run();
+/// assert_eq!(result.outcomes.len(), 2);
+/// assert_eq!(result.makespan, 200);
+/// ```
+///
+/// The sink type parameter follows the `HashMap` hasher pattern: the
+/// default [`NullSink`] is statically disabled, so untraced simulations
+/// (every existing call site) compile the instrumentation away. To trace,
+/// pass any [`TraceSink`] to [`Simulator::with_sink`]; pass `&mut sink`
+/// to keep ownership and read the sink after [`Simulator::run`]:
+///
+/// ```
+/// use sps_core::experiment::SchedulerKind;
+/// use sps_core::sim::Simulator;
+/// use sps_trace::MemorySink;
+/// use sps_workload::Job;
+///
+/// let jobs = vec![Job::new(0, 0, 100, 100, 8)];
+/// let mut sink = MemorySink::new();
+/// Simulator::with_sink(jobs, 8, SchedulerKind::Easy.build(), &mut sink).run();
+/// assert!(!sink.records().is_empty());
+/// ```
+pub struct Simulator<S: TraceSink = NullSink> {
+    pub(crate) state: SimState,
+    policy: Box<dyn Policy>,
+    ticker: Option<Ticker>,
+    /// Arrivals collected for the current instant.
+    arrivals_now: Vec<JobId>,
+    /// Processor failures delivered at the current instant.
+    failures_now: Vec<u32>,
+    /// Processor repairs delivered at the current instant.
+    repairs_now: Vec<u32>,
+    /// Scratch action buffer.
+    actions: Vec<Action>,
+    /// The live fault process, when fault injection is enabled.
+    faults: Option<FaultInjector>,
+    /// Abort limits applied to the engine ([`Watchdog::none`] by default).
+    watchdog: Watchdog,
+    /// Policy decide() invocations so far.
+    decide_calls: u64,
+    /// Trace record consumer.
+    sink: S,
+}
+
+/// Preemptive policies run their preemption routine once a minute
+/// (Section IV-B: "The scheduler periodically (after every minute) invokes
+/// the preemption routine").
+pub const DEFAULT_TICK_PERIOD: Secs = 60;
+
+impl Simulator {
+    /// Build a simulator. Panics if any job is wider than the machine.
+    pub fn new(jobs: Vec<Job>, procs: u32, policy: Box<dyn Policy>) -> Self {
+        Self::with_overhead(jobs, procs, policy, OverheadModel::None)
+    }
+
+    /// Build a simulator with a suspension-overhead model.
+    pub fn with_overhead(
+        jobs: Vec<Job>,
+        procs: u32,
+        policy: Box<dyn Policy>,
+        overhead: OverheadModel,
+    ) -> Self {
+        Self::with_overhead_and_tick(jobs, procs, policy, overhead, DEFAULT_TICK_PERIOD)
+    }
+
+    /// Full-control constructor: also set the preemption-routine period
+    /// (used by the ablation benches).
+    pub fn with_overhead_and_tick(
+        jobs: Vec<Job>,
+        procs: u32,
+        policy: Box<dyn Policy>,
+        overhead: OverheadModel,
+        tick_period: Secs,
+    ) -> Self {
+        Simulator::traced(jobs, procs, policy, overhead, tick_period, NullSink)
+    }
+}
+
+impl<S: TraceSink> Simulator<S> {
+    /// Build a simulator that emits trace records into `sink` (no
+    /// overhead model, default tick period). Like `HashMap::with_hasher`,
+    /// the sink argument fixes the type parameter.
+    pub fn with_sink(jobs: Vec<Job>, procs: u32, policy: Box<dyn Policy>, sink: S) -> Self {
+        Self::traced(
+            jobs,
+            procs,
+            policy,
+            OverheadModel::None,
+            DEFAULT_TICK_PERIOD,
+            sink,
+        )
+    }
+
+    /// Fully-parameterized traced constructor.
+    pub fn traced(
+        jobs: Vec<Job>,
+        procs: u32,
+        policy: Box<dyn Policy>,
+        overhead: OverheadModel,
+        tick_period: Secs,
+        sink: S,
+    ) -> Self {
+        for j in &jobs {
+            assert!(
+                j.procs <= procs,
+                "job {} requests {} processors on a {}-processor machine",
+                j.id,
+                j.procs,
+                procs
+            );
+            assert!(
+                j.run > 0 && j.estimate >= j.run,
+                "job {} has invalid times",
+                j.id
+            );
+        }
+        let ticker = policy.needs_tick().then(|| Ticker::new(tick_period));
+        Simulator {
+            state: SimState::new(jobs, procs, overhead),
+            policy,
+            ticker,
+            arrivals_now: Vec::new(),
+            failures_now: Vec::new(),
+            repairs_now: Vec::new(),
+            actions: Vec::new(),
+            faults: None,
+            watchdog: Watchdog::none(),
+            decide_calls: 0,
+            sink,
+        }
+    }
+
+    /// Enable fault injection (builder style). A disabled model
+    /// ([`FaultModel::none`]) is a strict no-op: the run stays
+    /// bit-identical to one without this call.
+    pub fn with_faults(mut self, model: FaultModel) -> Self {
+        if model.enabled() {
+            let mut inj = FaultInjector::new(model, self.state.cluster.total());
+            // Job-crash decisions are drawn once per job in id order, so
+            // they are independent of how the schedule unfolds.
+            for rt in &mut self.state.jobs {
+                rt.crash_after = inj.job_crash_after(rt.job.run);
+            }
+            self.faults = Some(inj);
+        }
+        self
+    }
+
+    /// Apply watchdog abort limits to the run (builder style).
+    pub fn with_watchdog(mut self, watchdog: Watchdog) -> Self {
+        self.watchdog = watchdog;
+        self
+    }
+
+    /// Read access to the live state (used by tests).
+    pub fn state(&self) -> &SimState {
+        &self.state
+    }
+
+    /// Emit one job-lifecycle record at the current instant. Callers
+    /// check [`TraceSink::enabled`] first, so the untraced build never
+    /// reaches the processor-set materialization.
+    fn emit_job(&mut self, id: JobId, event: JobEvent, with_procs: bool) {
+        let procs = if with_procs {
+            Some(
+                self.state
+                    .assigned_set(id)
+                    .expect("traced job holds a set")
+                    .iter()
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        self.sink.record(&TraceRecord::Job {
+            t: self.state.now.secs(),
+            job: id.0,
+            event,
+            procs,
+        });
+    }
+
+    /// Run the whole trace to completion and report.
+    pub fn run(mut self) -> SimResult {
+        let mut queue = EventQueue::with_capacity(self.state.jobs.len() * 2);
+        for rt in &self.state.jobs {
+            queue.push(
+                rt.job.submit,
+                EventClass::Arrival,
+                Event::Arrival(rt.job.id),
+            );
+        }
+        // Seed the failure process: one initial failure time per
+        // processor, drawn in index order.
+        if let Some(inj) = &mut self.faults {
+            for p in 0..self.state.cluster.total() {
+                if let Some(dt) = inj.next_failure_in() {
+                    queue.push(SimTime::ZERO + dt, EventClass::Fault, Event::ProcFailed(p));
+                }
+            }
+        }
+        let mut engine = Engine::new().with_watchdog(self.watchdog);
+        let wall_start = Instant::now();
+        let outcome = engine.run(&mut self, &mut queue);
+        let kernel = KernelStats {
+            events: engine.events(),
+            decide_calls: self.decide_calls,
+            wall_micros: wall_start.elapsed().as_micros() as u64,
+        };
+        if self.sink.enabled() {
+            self.sink.record(&TraceRecord::EngineStats {
+                t: engine.now().secs(),
+                batches: engine.batches(),
+                events: engine.events(),
+            });
+            let _ = self.sink.flush();
+        }
+        let status = match outcome {
+            RunOutcome::BatchLimit => RunStatus::Aborted(AbortReason::BatchLimit),
+            RunOutcome::EventLimit => RunStatus::Aborted(AbortReason::EventLimit),
+            RunOutcome::WallClockLimit => RunStatus::Aborted(AbortReason::WallClock),
+            _ => {
+                assert_eq!(
+                    outcome,
+                    RunOutcome::Drained,
+                    "simulation did not drain its event queue"
+                );
+                assert_eq!(
+                    self.state.incomplete, 0,
+                    "simulation ended with {} unfinished jobs — policy deadlock",
+                    self.state.incomplete
+                );
+                RunStatus::Completed
+            }
+        };
+        let mut faults = self.state.fault_stats;
+        if let Some(inj) = &self.faults {
+            faults.downtime = inj.downtime_at(self.state.now);
+        }
+        let total = self.state.cluster.total();
+        let outcomes = std::mem::take(&mut self.state.outcomes);
+        let util = utilization(&outcomes, total);
+        let makespan = match (
+            outcomes.iter().map(|o| o.submit).min(),
+            outcomes.iter().map(|o| o.completion).max(),
+        ) {
+            (Some(a), Some(b)) => b - a,
+            _ => 0,
+        };
+        SimResult {
+            policy: self.policy.name(),
+            status,
+            unfinished: self.state.incomplete,
+            faults,
+            outcomes,
+            utilization: util,
+            makespan,
+            preemptions: self.state.preemptions,
+            dropped_actions: self.state.dropped_actions,
+            segments: std::mem::take(&mut self.state.segments),
+            kernel,
+        }
+    }
+
+    fn apply(&mut self, queue: &mut EventQueue<Event>) {
+        for i in 0..self.actions.len() {
+            let action = self.actions[i].clone();
+            let ok = match &action {
+                Action::Start(id) => self.state.start(*id, queue),
+                Action::StartOn(id, set) => self.state.start_on(*id, set, queue),
+                Action::Resume(id) => self.state.resume(*id, queue),
+                Action::ResumeOn(id, set) => self.state.resume_on(*id, set, queue),
+                Action::Suspend(id) => self.state.suspend(*id, queue),
+            };
+            if !ok {
+                self.state.dropped_actions += 1;
+                continue;
+            }
+            if self.faults.is_some() {
+                if let Action::Start(id)
+                | Action::StartOn(id, _)
+                | Action::Resume(id)
+                | Action::ResumeOn(id, _) = &action
+                {
+                    self.schedule_crash(*id, queue);
+                }
+            }
+            if self.sink.enabled() {
+                match &action {
+                    Action::Start(id) | Action::StartOn(id, _) => {
+                        self.emit_job(*id, JobEvent::Dispatch, true)
+                    }
+                    Action::Resume(id) | Action::ResumeOn(id, _) => {
+                        self.emit_job(*id, JobEvent::Restart, true)
+                    }
+                    Action::Suspend(id) => {
+                        self.emit_job(*id, JobEvent::Suspend, true);
+                        // A zero-overhead drain finishes instantly — there
+                        // is no DrainDone event to hang the record on.
+                        if self.state.is_suspended(*id) {
+                            self.emit_job(*id, JobEvent::Drain, false);
+                        }
+                    }
+                }
+            }
+        }
+        self.actions.clear();
+    }
+
+    /// If `id` has a pending injected crash, schedule it for the dispatch
+    /// that just happened: the crash fires when the job's executed work
+    /// reaches the drawn threshold. A suspension or kill before that
+    /// bumps the epoch and invalidates the event; the next dispatch
+    /// re-schedules it.
+    fn schedule_crash(&mut self, id: JobId, queue: &mut EventQueue<Event>) {
+        let rt = &self.state.jobs[id.index()];
+        let Some(after) = rt.crash_after else { return };
+        let Phase::Running { compute_start } = rt.phase else {
+            return;
+        };
+        let executed_before = rt.job.run - rt.remaining;
+        if after <= executed_before {
+            return;
+        }
+        queue.push(
+            compute_start + (after - executed_before),
+            EventClass::Fault,
+            Event::Crash {
+                job: id,
+                epoch: rt.epoch,
+            },
+        );
+    }
+
+    /// A processor failed: take it down, kill the dispatched job holding
+    /// it (its memory image is gone), apply the recovery policy to
+    /// suspended jobs reserving it, and schedule the repair.
+    fn on_proc_failed(&mut self, p: u32, queue: &mut EventQueue<Event>) {
+        if self.faults.is_none() || self.state.incomplete == 0 {
+            // Leftover failure events after the last completion fire
+            // harmlessly, letting the queue drain.
+            return;
+        }
+        let now = self.state.now;
+        let (recovery, repair_in) = {
+            let inj = self.faults.as_mut().expect("checked above");
+            inj.mark_down(p, now);
+            (inj.recovery(), inj.repair_in())
+        };
+        queue.push(now + repair_in, EventClass::Fault, Event::ProcRepaired(p));
+        let had_holder = self.state.cluster.fail(p);
+        self.state.fault_stats.proc_failures += 1;
+        self.failures_now.push(p);
+        if self.sink.enabled() {
+            self.sink.record(&TraceRecord::Proc {
+                t: now.secs(),
+                proc: p,
+                event: ProcEvent::Failed,
+            });
+        }
+        if had_holder {
+            // O(1) holder lookup from the occupancy index (previously a
+            // full job-table scan).
+            let holder = self
+                .state
+                .index
+                .occupant(p)
+                .expect("cluster says a job holds the failed processor");
+            self.kill_job(holder, false);
+        }
+        for id in self.state.suspended_on(p) {
+            match recovery {
+                RecoveryPolicy::WaitForRepair => {
+                    let rt = &mut self.state.jobs[id.index()];
+                    if rt.stranded_since.is_none() {
+                        rt.stranded_since = Some(now);
+                    }
+                }
+                RecoveryPolicy::Resubmit => self.kill_job(id, false),
+                RecoveryPolicy::Remap => self.state.jobs[id.index()].remap = true,
+            }
+        }
+    }
+
+    /// A processor came back: return it to the free pool, close stranded
+    /// accounting for jobs whose reserved set is whole again, and schedule
+    /// the processor's next failure.
+    fn on_proc_repaired(&mut self, p: u32, queue: &mut EventQueue<Event>) {
+        if self.faults.is_none() {
+            return;
+        }
+        let now = self.state.now;
+        let next_failure_in = {
+            let inj = self.faults.as_mut().expect("checked above");
+            inj.mark_up(p, now);
+            (self.state.incomplete > 0)
+                .then(|| inj.next_failure_in())
+                .flatten()
+        };
+        self.state.cluster.repair(p);
+        self.state.fault_stats.proc_repairs += 1;
+        self.repairs_now.push(p);
+        if self.sink.enabled() {
+            self.sink.record(&TraceRecord::Proc {
+                t: now.secs(),
+                proc: p,
+                event: ProcEvent::Repaired,
+            });
+        }
+        // Jobs stranded on p whose whole set is up again stop being
+        // stranded (they still wait for the scheduler to resume them).
+        let down = self.state.cluster.down_set().clone();
+        for i in 0..self.state.jobs.len() {
+            let rt = &mut self.state.jobs[i];
+            if let Some(since) = rt.stranded_since {
+                if rt.assigned.as_ref().is_some_and(|s| s.is_disjoint(&down)) {
+                    rt.stranded_since = None;
+                    self.state.fault_stats.stranded_secs += now - since;
+                }
+            }
+        }
+        if let Some(dt) = next_failure_in {
+            queue.push(now + dt, EventClass::Fault, Event::ProcFailed(p));
+        }
+    }
+
+    /// An injected job crash fired (if its dispatch is still current).
+    fn on_crash(&mut self, id: JobId, epoch: u32) {
+        let rt = &self.state.jobs[id.index()];
+        if rt.epoch != epoch || !matches!(rt.phase, Phase::Running { .. }) {
+            return; // stale: the dispatch was preempted or completed
+        }
+        self.state.jobs[id.index()].crash_after = None; // crashes once
+        self.kill_job(id, true);
+    }
+
+    /// Shared kill path: state mechanics, counters, trace record.
+    fn kill_job(&mut self, id: JobId, crash: bool) {
+        let _lost = self.state.kill(id);
+        if crash {
+            self.state.fault_stats.job_crashes += 1;
+        } else {
+            self.state.fault_stats.jobs_killed += 1;
+        }
+        if self.sink.enabled() {
+            self.emit_job(id, JobEvent::Kill, false);
+        }
+    }
+}
+
+impl<S: TraceSink> Simulation for Simulator<S> {
+    type Event = Event;
+
+    fn handle_batch(
+        &mut self,
+        now: SimTime,
+        batch: &mut Vec<Event>,
+        queue: &mut EventQueue<Event>,
+    ) {
+        self.state.now = now;
+        self.arrivals_now.clear();
+        self.failures_now.clear();
+        self.repairs_now.clear();
+        let mut tick = false;
+        for ev in batch.drain(..) {
+            match ev {
+                Event::Arrival(id) => {
+                    let rt = &mut self.state.jobs[id.index()];
+                    debug_assert_eq!(rt.phase, Phase::NotArrived);
+                    rt.phase = Phase::Queued;
+                    rt.wait_since = now;
+                    self.state.queued.push(id);
+                    self.arrivals_now.push(id);
+                    if self.sink.enabled() {
+                        self.emit_job(id, JobEvent::Arrival, false);
+                    }
+                }
+                Event::Completion { job, epoch } => {
+                    let rt = &self.state.jobs[job.index()];
+                    if rt.epoch == epoch && matches!(rt.phase, Phase::Running { .. }) {
+                        let outcome = self.state.complete(job);
+                        self.policy.on_completion(&outcome);
+                        if self.sink.enabled() {
+                            self.emit_job(job, JobEvent::Complete, false);
+                        }
+                    }
+                    // else: stale completion from before a suspension.
+                }
+                Event::DrainDone { job, epoch } => {
+                    let rt = &self.state.jobs[job.index()];
+                    if rt.epoch == epoch && rt.phase == Phase::Draining {
+                        self.state.drain_done(job);
+                        if self.sink.enabled() {
+                            self.emit_job(job, JobEvent::Drain, false);
+                        }
+                    }
+                    // else: the drain was cut short by a kill.
+                }
+                Event::ProcFailed(p) => self.on_proc_failed(p, queue),
+                Event::ProcRepaired(p) => self.on_proc_repaired(p, queue),
+                Event::Crash { job, epoch } => self.on_crash(job, epoch),
+                Event::Tick => {
+                    if let Some(t) = &mut self.ticker {
+                        tick |= t.fired(now);
+                    }
+                }
+            }
+        }
+
+        // One decision per instant, with complete knowledge of the instant.
+        let arrivals = std::mem::take(&mut self.arrivals_now);
+        let failures = std::mem::take(&mut self.failures_now);
+        let repairs = std::mem::take(&mut self.repairs_now);
+        self.actions.clear();
+        {
+            // The sink is lent (type-erased) into the decision context so
+            // policies can record *why* they acted; the borrow ends before
+            // `apply` emits the lifecycle records those actions cause.
+            let tracer = TraceCtx::new(&mut self.sink);
+            let ctx = DecideCtx {
+                arrivals: &arrivals,
+                tick,
+                failures: &failures,
+                repairs: &repairs,
+                trace: &tracer,
+            };
+            self.decide_calls += 1;
+            self.policy.decide(&self.state, &ctx, &mut self.actions);
+        }
+        self.apply(queue);
+        self.arrivals_now = arrivals;
+        self.failures_now = failures;
+        self.repairs_now = repairs;
+
+        // Per-tick gauges, after the instant's decisions have been applied.
+        if tick && self.sink.enabled() {
+            self.sink.record(&TraceRecord::Gauge {
+                t: now.secs(),
+                queued: self.state.queued.len() as u32,
+                idle: self.state.free_count(),
+                draining: self.state.draining_set().count(),
+                suspended: self.state.suspended.len() as u32,
+                running: self.state.running.len() as u32,
+            });
+        }
+
+        // Keep ticks flowing while any arrived job is unfinished. The
+        // draining check reads the index counter — the old job-table scan
+        // here made every batch O(jobs).
+        let work_pending = !self.state.queued.is_empty()
+            || !self.state.suspended.is_empty()
+            || !self.state.running.is_empty()
+            || self.state.index.draining_jobs() > 0;
+        if work_pending {
+            if let Some(t) = &mut self.ticker {
+                if let Some(at) = t.arm(now) {
+                    queue.push(at, EventClass::Tick, Event::Tick);
+                }
+            }
+        }
+    }
+}

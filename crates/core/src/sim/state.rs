@@ -1,0 +1,483 @@
+//! Simulation state: the job table, phase lists, and the incremental
+//! kernel structures (release ledger + occupancy index).
+
+use sps_cluster::{AvailabilityProfile, Cluster, ProcSet, Profile};
+use sps_metrics::{FaultSummary, JobOutcome};
+use sps_simcore::{Secs, SimTime};
+use sps_workload::{Job, JobId};
+
+use super::index::SchedIndex;
+use crate::overhead::OverheadModel;
+
+/// Simulator events. Public only because the engine's
+/// [`sps_simcore::Simulation`] trait exposes the event type; constructed
+/// exclusively by the simulator.
+#[derive(Clone, Copy, Debug)]
+pub enum Event {
+    /// A job reaches its submit time.
+    Arrival(JobId),
+    /// A running job's computation finishes. `epoch` invalidates stale
+    /// completions after a suspension.
+    Completion { job: JobId, epoch: u32 },
+    /// A suspension drain finished; the victim's processors are now free.
+    /// `epoch` invalidates the drain of a job a fault killed mid-drain.
+    DrainDone { job: JobId, epoch: u32 },
+    /// A processor failed (fault injection).
+    ProcFailed(u32),
+    /// A processor returned from repair (fault injection).
+    ProcRepaired(u32),
+    /// An injected job crash. `epoch` invalidates crashes scheduled for a
+    /// dispatch that was preempted or completed first.
+    Crash { job: JobId, epoch: u32 },
+    /// Periodic scheduler activity.
+    Tick,
+}
+
+/// Where a job is in its life cycle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum Phase {
+    /// Before its submit time.
+    NotArrived,
+    /// Waiting in the queue, never started.
+    Queued,
+    /// On processors. Computation progresses from `compute_start` (which
+    /// lies in the future during a restart reload).
+    Running {
+        /// When computation (re)starts — dispatch time plus reload
+        /// overhead.
+        compute_start: SimTime,
+    },
+    /// Preempted; memory image draining until the stored instant, with
+    /// processors still occupied.
+    Draining,
+    /// Off-machine, waiting to re-enter on its original processors.
+    Suspended,
+    /// Finished.
+    Done,
+}
+
+/// Runtime record for one job.
+#[derive(Clone, Debug)]
+pub(crate) struct JobRt {
+    pub(crate) job: Job,
+    pub(crate) phase: Phase,
+    /// Processor set currently or last held (persists through suspension).
+    pub(crate) assigned: Option<ProcSet>,
+    /// Seconds of computation still to do.
+    pub(crate) remaining: Secs,
+    /// Waiting time accumulated over closed waiting intervals.
+    pub(crate) wait_accum: Secs,
+    /// Start of the current waiting interval (valid while waiting).
+    pub(crate) wait_since: SimTime,
+    /// First dispatch instant.
+    pub(crate) first_start: Option<SimTime>,
+    /// Expected release time of the current dispatch, by the user
+    /// estimate. Used to build backfilling profiles.
+    pub(crate) est_end: SimTime,
+    /// Number of suspensions suffered.
+    pub(crate) suspensions: u32,
+    /// Total drain + reload seconds charged so far.
+    pub(crate) overhead_total: Secs,
+    /// Bumped on every suspension or kill to invalidate in-flight
+    /// completion/drain/crash events.
+    pub(crate) epoch: u32,
+    /// Dispatch instant of the currently open occupancy segment.
+    pub(crate) seg_open: Option<SimTime>,
+    /// How many times a fault killed this job (work lost, resubmitted).
+    pub(crate) kills: u32,
+    /// Pending injected crash: the job dies once its executed work reaches
+    /// this many seconds. Cleared after firing.
+    pub(crate) crash_after: Option<Secs>,
+    /// When the suspended job became stranded (a processor of its reserved
+    /// set went down under `WaitForRepair`).
+    pub(crate) stranded_since: Option<SimTime>,
+    /// Stranded under `RecoveryPolicy::Remap`: the scheduler may restart
+    /// this job on a different processor set despite the paper's locality
+    /// rule.
+    pub(crate) remap: bool,
+}
+
+impl JobRt {
+    pub(crate) fn new(job: Job) -> Self {
+        let remaining = job.run;
+        let wait_since = job.submit;
+        JobRt {
+            job,
+            phase: Phase::NotArrived,
+            assigned: None,
+            remaining,
+            wait_accum: 0,
+            wait_since,
+            first_start: None,
+            est_end: SimTime::MAX,
+            suspensions: 0,
+            overhead_total: 0,
+            epoch: 0,
+            seg_open: None,
+            kills: 0,
+            crash_after: None,
+            stranded_since: None,
+            remap: false,
+        }
+    }
+
+    /// Is the job in a waiting phase (queued, draining, or suspended)?
+    pub(crate) fn is_waiting(&self) -> bool {
+        matches!(
+            self.phase,
+            Phase::Queued | Phase::Draining | Phase::Suspended
+        )
+    }
+
+    /// Total wait up to `now`.
+    pub(crate) fn wait_at(&self, now: SimTime) -> Secs {
+        if self.is_waiting() {
+            self.wait_accum + (now - self.wait_since)
+        } else {
+            self.wait_accum
+        }
+    }
+
+    /// Seconds of computation completed by `now`.
+    pub(crate) fn executed_at(&self, now: SimTime) -> Secs {
+        let done_before = self.job.run - self.remaining;
+        match self.phase {
+            Phase::Running { compute_start } if now > compute_start => {
+                done_before + (now - compute_start)
+            }
+            _ => done_before,
+        }
+    }
+}
+
+/// One contiguous interval during which a job physically occupied its
+/// processor set — from dispatch (start or resume) to release (completion,
+/// or the end of the suspension drain). Reload and drain overhead time is
+/// included: the processors are busy, even though no productive work runs.
+#[derive(Clone, Debug)]
+pub struct OccupancySegment {
+    /// The occupying job.
+    pub job: JobId,
+    /// Dispatch instant.
+    pub start: SimTime,
+    /// Release instant.
+    pub end: SimTime,
+    /// The exact processors held.
+    pub procs: ProcSet,
+}
+
+/// Read view of the simulation handed to policies, and the mutable state
+/// the simulator applies actions against.
+pub struct SimState {
+    pub(crate) now: SimTime,
+    pub(crate) cluster: Cluster,
+    pub(crate) jobs: Vec<JobRt>,
+    /// Never-started jobs, in arrival order.
+    pub(crate) queued: Vec<JobId>,
+    /// Fully drained, waiting to re-enter, in suspension order.
+    pub(crate) suspended: Vec<JobId>,
+    /// Currently dispatched (running or reloading).
+    pub(crate) running: Vec<JobId>,
+    /// Number of jobs not yet Done (arrived or not).
+    pub(crate) incomplete: usize,
+    pub(crate) overhead: OverheadModel,
+    pub(crate) outcomes: Vec<JobOutcome>,
+    pub(crate) segments: Vec<OccupancySegment>,
+    pub(crate) preemptions: u64,
+    pub(crate) dropped_actions: u64,
+    /// Fault counters (all zero without fault injection).
+    pub(crate) fault_stats: FaultSummary,
+    /// Release ledger: expected end → processors, one contribution per
+    /// occupying (Running/Draining) job, maintained by delta.
+    pub(crate) avail: AvailabilityProfile,
+    /// Per-processor occupancy/claims/draining index, maintained by delta.
+    pub(crate) index: SchedIndex,
+}
+
+impl SimState {
+    pub(crate) fn new(jobs: Vec<Job>, procs: u32, overhead: OverheadModel) -> Self {
+        let incomplete = jobs.len();
+        SimState {
+            now: SimTime::ZERO,
+            cluster: Cluster::new(procs),
+            jobs: jobs.into_iter().map(JobRt::new).collect(),
+            queued: Vec::new(),
+            suspended: Vec::new(),
+            running: Vec::new(),
+            incomplete,
+            overhead,
+            outcomes: Vec::new(),
+            segments: Vec::new(),
+            preemptions: 0,
+            dropped_actions: 0,
+            fault_stats: FaultSummary::default(),
+            avail: AvailabilityProfile::new(),
+            index: SchedIndex::new(procs),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Machine size.
+    pub fn total_procs(&self) -> u32 {
+        self.cluster.total()
+    }
+
+    /// Free processor count right now.
+    pub fn free_count(&self) -> u32 {
+        self.cluster.free_count()
+    }
+
+    /// The free processor set right now.
+    pub fn free_set(&self) -> &ProcSet {
+        self.cluster.free_set()
+    }
+
+    /// The static job record.
+    pub fn job(&self, id: JobId) -> &Job {
+        &self.jobs[id.index()].job
+    }
+
+    /// Never-started queued jobs, in arrival order.
+    pub fn queued(&self) -> &[JobId] {
+        &self.queued
+    }
+
+    /// Suspended jobs awaiting re-entry, in suspension order.
+    pub fn suspended(&self) -> &[JobId] {
+        &self.suspended
+    }
+
+    /// Dispatched jobs (running or reloading).
+    pub fn running(&self) -> &[JobId] {
+        &self.running
+    }
+
+    /// The processor set a dispatched or suspended job occupies/reclaims.
+    pub fn assigned_set(&self, id: JobId) -> Option<&ProcSet> {
+        self.jobs[id.index()].assigned.as_ref()
+    }
+
+    /// Whether the job has been suspended at least once and is waiting to
+    /// re-enter.
+    pub fn is_suspended(&self, id: JobId) -> bool {
+        self.jobs[id.index()].phase == Phase::Suspended
+    }
+
+    /// The set of processors currently down (empty without fault
+    /// injection).
+    pub fn down_set(&self) -> &ProcSet {
+        self.cluster.down_set()
+    }
+
+    /// Number of processors currently down.
+    pub fn down_count(&self) -> u32 {
+        self.cluster.down_count()
+    }
+
+    /// Whether the suspended job is *stranded*: its reserved re-entry set
+    /// includes a down processor, so the paper's local-restart rule cannot
+    /// be satisfied until repair.
+    pub fn is_stranded(&self, id: JobId) -> bool {
+        let rt = &self.jobs[id.index()];
+        rt.phase == Phase::Suspended
+            && rt
+                .assigned
+                .as_ref()
+                .is_some_and(|s| s.overlaps(self.cluster.down_set()))
+    }
+
+    /// Whether the recovery policy has released this suspended job from
+    /// the local-restart rule ([`crate::faults::RecoveryPolicy::Remap`]):
+    /// the scheduler may resume it on any equally-sized free set.
+    pub fn can_remap(&self, id: JobId) -> bool {
+        self.jobs[id.index()].remap
+    }
+
+    /// Fault counters accumulated so far (all zero without faults).
+    pub fn fault_stats(&self) -> &FaultSummary {
+        &self.fault_stats
+    }
+
+    /// Whether the job is currently dispatched.
+    pub fn is_running(&self, id: JobId) -> bool {
+        matches!(self.jobs[id.index()].phase, Phase::Running { .. })
+    }
+
+    /// The SS/TSS suspension priority (Section IV): expansion factor
+    /// `(wait + estimated run) / estimated run`. Grows while the job
+    /// waits, frozen while it runs.
+    pub fn xfactor(&self, id: JobId) -> f64 {
+        let rt = &self.jobs[id.index()];
+        let est = rt.job.estimate.max(1) as f64;
+        (rt.wait_at(self.now) as f64 + est) / est
+    }
+
+    /// IS's instantaneous xfactor (Section II-C):
+    /// `(wait + accumulated run) / accumulated run`, with the denominator
+    /// floored at one second (a job that has barely run is effectively
+    /// unpreemptable, protecting fresh dispatches).
+    pub fn inst_xfactor(&self, id: JobId) -> f64 {
+        let rt = &self.jobs[id.index()];
+        let acc = rt.executed_at(self.now).max(1) as f64;
+        (rt.wait_at(self.now) as f64 + acc) / acc
+    }
+
+    /// Expected release time of a dispatched job per the user estimate
+    /// (dispatch instant + estimated remaining work + reload overhead).
+    pub fn estimated_release(&self, id: JobId) -> SimTime {
+        self.jobs[id.index()].est_end
+    }
+
+    /// The future-availability profile from occupying jobs' estimated
+    /// releases — the input to backfilling anchor searches. Processors
+    /// held by draining victims are treated as releasing at the drain end
+    /// (they are still occupied now).
+    ///
+    /// Materialized from the incrementally-maintained release ledger in
+    /// one ordered walk; debug builds cross-check against a from-scratch
+    /// rebuild over the job table.
+    pub fn profile(&self) -> Profile {
+        // Down processors are masked out of the capacity: a reservation
+        // must not count on a processor that may never come back in time.
+        let snapshot = self.avail.snapshot(
+            self.now,
+            self.cluster.total() - self.cluster.down_count(),
+            self.cluster.free_count(),
+        );
+        debug_assert_eq!(
+            snapshot,
+            self.rebuild_profile(),
+            "incremental release ledger diverged from the job table"
+        );
+        snapshot
+    }
+
+    /// From-scratch profile rebuild (the pre-incremental implementation),
+    /// kept as the debug cross-check for [`profile`](Self::profile) and
+    /// the kernel property tests.
+    pub(crate) fn rebuild_profile(&self) -> Profile {
+        let mut releases: Vec<(SimTime, u32)> = Vec::with_capacity(self.running.len());
+        for &id in &self.running {
+            let rt = &self.jobs[id.index()];
+            releases.push((rt.est_end, rt.job.procs));
+        }
+        for rt in self.jobs.iter().filter(|rt| rt.phase == Phase::Draining) {
+            // est_end holds the drain-done instant for draining jobs.
+            releases.push((rt.est_end, rt.job.procs));
+        }
+        Profile::new(
+            self.now,
+            self.cluster.total() - self.cluster.down_count(),
+            self.cluster.free_count(),
+            &releases,
+        )
+    }
+
+    /// Union of the processor sets held by jobs whose suspension drain is
+    /// still in progress — see [`SchedIndex::draining_set`]. Maintained
+    /// incrementally; borrow, don't rebuild.
+    pub fn draining_set(&self) -> &ProcSet {
+        self.index.draining_set()
+    }
+
+    /// The per-processor occupancy index.
+    pub fn index(&self) -> &SchedIndex {
+        &self.index
+    }
+
+    /// Completed-job records so far (final at the end of the run).
+    pub fn outcomes(&self) -> &[JobOutcome] {
+        &self.outcomes
+    }
+
+    /// The overhead model in force.
+    pub fn overhead_model(&self) -> OverheadModel {
+        self.overhead
+    }
+
+    /// Remaining *estimated* work of a dispatched job — what a
+    /// reservation-based scheduler believes is left.
+    pub fn estimated_remaining(&self, id: JobId) -> Secs {
+        (self.estimated_release(id) - self.now).max(1)
+    }
+
+    /// Recount every incrementally-maintained kernel structure from the
+    /// job table and panic on any divergence. Exercised by the kernel
+    /// property tests after arbitrary event sequences (and cheap enough
+    /// to call from tests at every decision instant).
+    pub fn validate_kernel(&self) {
+        let total = self.cluster.total();
+        // Occupancy map: exactly the Running/Draining holders.
+        let mut occupant: Vec<Option<JobId>> = vec![None; total as usize];
+        let mut draining = ProcSet::empty(total);
+        let mut draining_jobs = 0u32;
+        let mut ledger = AvailabilityProfile::new();
+        for rt in &self.jobs {
+            match rt.phase {
+                Phase::Running { .. } | Phase::Draining => {
+                    let set = rt.assigned.as_ref().expect("occupying job has a set");
+                    for p in set.iter() {
+                        assert!(occupant[p as usize].is_none(), "proc {p} held by two jobs");
+                        occupant[p as usize] = Some(rt.job.id);
+                    }
+                    ledger.add(rt.est_end, rt.job.procs);
+                    if rt.phase == Phase::Draining {
+                        draining.union_with(set);
+                        draining_jobs += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        for p in 0..total {
+            assert_eq!(
+                self.index.occupant(p),
+                occupant[p as usize],
+                "occupant index diverged at proc {p}"
+            );
+            let claims: Vec<JobId> = self
+                .suspended
+                .iter()
+                .copied()
+                .filter(|&id| {
+                    self.jobs[id.index()]
+                        .assigned
+                        .as_ref()
+                        .is_some_and(|s| s.contains(p))
+                })
+                .collect();
+            assert_eq!(
+                self.index.claims(p),
+                claims.as_slice(),
+                "claims index diverged at proc {p}"
+            );
+        }
+        assert_eq!(
+            self.index.draining_set(),
+            &draining,
+            "draining set diverged"
+        );
+        assert_eq!(
+            self.index.draining_jobs(),
+            draining_jobs,
+            "draining job count diverged"
+        );
+        assert_eq!(
+            self.avail, ledger,
+            "release ledger diverged from the job table"
+        );
+        assert_eq!(
+            self.avail.snapshot(
+                self.now,
+                total - self.cluster.down_count(),
+                self.cluster.free_count(),
+            ),
+            self.rebuild_profile(),
+            "ledger snapshot diverged from the from-scratch profile"
+        );
+    }
+}

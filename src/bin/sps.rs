@@ -200,6 +200,14 @@ fn report(jobs: Vec<Job>, procs: u32, args: &Args) {
             res.utilization * 100.0,
             res.preemptions,
         );
+        println!(
+            "{:<14}   kernel: {} events, {} decides in {:.1} ms ({:.0}k events/s)",
+            "",
+            res.kernel.events,
+            res.kernel.decide_calls,
+            res.kernel.wall_micros as f64 / 1e3,
+            res.kernel.events_per_sec() / 1e3,
+        );
         if res.faults.any() {
             println!(
                 "{:<14}   failures {:>4}  jobs killed {:>4}  lost work {:>9} proc-s  stranded {:>7} s  goodput {:>5.1}%",

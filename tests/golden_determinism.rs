@@ -1,0 +1,207 @@
+//! Golden determinism: every scheduler must produce bit-identical traces
+//! and results across refactors of the simulation kernel.
+//!
+//! Each case runs a seed workload through one scheduler with full JSONL
+//! tracing, then hashes the trace bytes together with the key `SimResult`
+//! fields (outcomes, makespan, preemption counts). The hashes are checked
+//! against `tests/goldens/kernel_traces.txt`, which was captured before
+//! the incremental-kernel refactor; any divergence means scheduling
+//! *behavior* changed, not just implementation.
+//!
+//! To re-bless after an intentional behavior change:
+//!
+//! ```text
+//! SPS_BLESS_GOLDENS=1 cargo test --test golden_determinism
+//! ```
+
+use selective_preemption::prelude::*;
+use sps_workload::traces::{CTC, SDSC};
+
+const GOLDEN_PATH: &str = "tests/goldens/kernel_traces.txt";
+
+/// FNV-1a, 64-bit: stable across platforms and Rust versions (unlike
+/// `DefaultHasher`, which documents no such guarantee).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+}
+
+/// One golden case: a scheduler spec string over a seed workload.
+struct Case {
+    label: &'static str,
+    system: SystemPreset,
+    spec: &'static str,
+    jobs: usize,
+    seed: u64,
+    overhead: OverheadModel,
+}
+
+const fn case(
+    label: &'static str,
+    system: SystemPreset,
+    spec: &'static str,
+    jobs: usize,
+    seed: u64,
+    overhead: OverheadModel,
+) -> Case {
+    Case {
+        label,
+        system,
+        spec,
+        jobs,
+        seed,
+        overhead,
+    }
+}
+
+/// The seed workloads: every scheme on the preemption-heavy SDSC machine,
+/// plus the paper's headline schemes on CTC and one overhead-model run to
+/// pin the drain/suspend paths.
+fn cases() -> Vec<Case> {
+    use OverheadModel::None as Free;
+    vec![
+        case("sdsc_fcfs", SDSC, "fcfs", 400, 11, Free),
+        case("sdsc_cons", SDSC, "cons", 400, 11, Free),
+        case("sdsc_ns", SDSC, "ns", 400, 11, Free),
+        case("sdsc_flex2", SDSC, "flex:2", 400, 11, Free),
+        case("sdsc_is", SDSC, "is", 400, 11, Free),
+        case("sdsc_gang", SDSC, "gang", 400, 11, Free),
+        case("sdsc_ss2", SDSC, "ss:2", 400, 11, Free),
+        case("sdsc_tss2", SDSC, "tss:2", 400, 11, Free),
+        case("ctc_ns", CTC, "ns", 600, 7, Free),
+        case("ctc_ss2", CTC, "ss:2", 600, 7, Free),
+        case("ctc_tss15", CTC, "tss:1.5", 600, 7, Free),
+        case(
+            "sdsc_ss2_drain",
+            SDSC,
+            "ss:2",
+            300,
+            5,
+            OverheadModel::MemoryDrain { mb_per_sec: 2.0 },
+        ),
+    ]
+}
+
+/// Run one case fully traced and fold everything observable into a hash.
+fn run_case(c: &Case) -> u64 {
+    let kind: SchedulerKind = c.spec.parse().expect("golden spec parses");
+    let jobs = SyntheticConfig::new(c.system, c.seed)
+        .with_jobs(c.jobs)
+        .generate();
+    let mut sink = JsonlSink::new(Vec::<u8>::new());
+    let result = Simulator::traced(
+        jobs,
+        c.system.procs,
+        kind.build(),
+        c.overhead,
+        sps_core::sim::DEFAULT_TICK_PERIOD,
+        &mut sink,
+    )
+    .run();
+    let bytes = sink.finish().expect("in-memory sink never fails");
+
+    let mut h = Fnv::new();
+    h.write(&bytes);
+    h.write_u64(result.makespan as u64);
+    h.write_u64(result.preemptions);
+    h.write_u64(result.dropped_actions);
+    h.write_u64(result.utilization.to_bits());
+    h.write_u64(result.outcomes.len() as u64);
+    for o in &result.outcomes {
+        h.write_u64(o.id.0 as u64);
+        h.write_u64(o.first_start.secs() as u64);
+        h.write_u64(o.completion.secs() as u64);
+        h.write_u64(u64::from(o.suspensions));
+    }
+    h.0
+}
+
+fn golden_file() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH)
+}
+
+fn load_goldens() -> Vec<(String, u64)> {
+    let text = std::fs::read_to_string(golden_file())
+        .expect("tests/goldens/kernel_traces.txt exists (bless with SPS_BLESS_GOLDENS=1)");
+    text.lines()
+        .filter(|l| !l.trim().is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            let (label, hash) = l.split_once(' ').expect("golden line is `label hash`");
+            (
+                label.to_string(),
+                u64::from_str_radix(hash.trim(), 16).expect("golden hash is hex"),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn trace_hashes_match_pre_refactor_goldens() {
+    let cases = cases();
+    if std::env::var_os("SPS_BLESS_GOLDENS").is_some() {
+        let mut out = String::from(
+            "# Trace hashes per scheduler on the seed workloads.\n\
+             # Captured pre-refactor; regenerate with SPS_BLESS_GOLDENS=1\n\
+             # cargo test --test golden_determinism\n",
+        );
+        for c in &cases {
+            let hash = run_case(c);
+            out.push_str(&format!("{} {:016x}\n", c.label, hash));
+        }
+        std::fs::create_dir_all(golden_file().parent().unwrap()).unwrap();
+        std::fs::write(golden_file(), out).unwrap();
+        eprintln!("blessed {} golden hashes", cases.len());
+        return;
+    }
+
+    let goldens = load_goldens();
+    assert_eq!(
+        goldens.len(),
+        cases.len(),
+        "golden file out of sync with case list — re-bless"
+    );
+    let mut failures = Vec::new();
+    for c in &cases {
+        let expect = goldens
+            .iter()
+            .find(|(l, _)| l == c.label)
+            .unwrap_or_else(|| panic!("no golden for {}", c.label))
+            .1;
+        let got = run_case(c);
+        if got != expect {
+            failures.push(format!(
+                "{}: got {:016x}, golden {:016x}",
+                c.label, got, expect
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "trace hashes diverged from pre-refactor goldens:\n{}",
+        failures.join("\n")
+    );
+}
+
+/// Running the same case twice in-process must agree with itself even if
+/// the golden file is stale — catches nondeterminism (hash-map iteration,
+/// uninitialized scratch) independent of the blessed values.
+#[test]
+fn back_to_back_runs_are_bit_identical() {
+    for c in cases().iter().take(4) {
+        assert_eq!(run_case(c), run_case(c), "{} is nondeterministic", c.label);
+    }
+}
