@@ -27,6 +27,12 @@ use sps_workload::traces::{CTC, SDSC};
 use sps_workload::{Job, SyntheticConfig, SystemPreset};
 
 /// Forwarding decorator that records wall nanoseconds per `decide`.
+///
+/// Deliberately does NOT forward `quiescent_noop`, so the decorated
+/// policy keeps the default `false` and the simulator never elides idle
+/// ticks in timed runs: every decide the wrapped policy would have been
+/// asked for is still timed, keeping these numbers comparable across
+/// kernels with and without elision.
 struct Timed {
     inner: Box<dyn Policy>,
     ns: Rc<RefCell<Vec<u64>>>,

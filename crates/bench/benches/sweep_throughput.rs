@@ -1,0 +1,240 @@
+//! Sweep-engine throughput: the declarative replicated-sweep harness
+//! against the naive batch path it replaced.
+//!
+//! Both sides run the same scheduler × load × seed grid and must produce
+//! bit-identical per-cell statistics; only the machinery differs.
+//!
+//! * **before** — what a batch looked like pre-sweep-engine: every run
+//!   regenerates its own trace, events flow through the binary-heap
+//!   queue, the simulator processes every idle tick (no quiescent
+//!   elision), every decide runs the policies' exhaustive reference scan
+//!   (no fast-path certifications), and every run is folded into the
+//!   full result record of the old batch path — a cloned config plus
+//!   three per-category reports next to the raw `SimResult` — all
+//!   retained until the end, when the batch is folded into cells.
+//! * **after** — [`run_sweep`]: traces shared through the
+//!   [`TraceCache`](sps_workload::TraceCache), idle ticks elided for
+//!   policies that certify quiescent decides as no-ops, fast no-op
+//!   checks active inside the decides, and each run folded to a
+//!   fixed-size [`RunSummary`] as soon as it finishes.
+//!
+//! Both sides run on one worker thread so the ratio measures the engine,
+//! not the scheduler's parallelism. Peak RSS is read from `VmHWM` in
+//! `/proc/self/status`; the *after* phase runs first so its high-water
+//! mark is not polluted by the retained-results phase.
+//!
+//! Flags: `--smoke` runs a tiny grid and skips the report file; a full
+//! run writes `BENCH_sweep.json` at the workspace root.
+
+use std::time::Instant;
+
+use sps_core::experiment::{ExperimentConfig, SchedulerKind};
+use sps_core::sim::{SimResult, Simulator};
+use sps_core::sweep::{run_sweep, CellStats, RunSummary, SweepSpec};
+use sps_metrics::{CategoryReport, JobOutcome};
+use sps_simcore::Watchdog;
+use sps_workload::traces::SDSC;
+
+/// Peak resident set size of this process so far, in kilobytes.
+fn vm_hwm_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// The paper-scale grid — the source paper's own sweep: the four
+/// schedulers of its figures ({NS, SS, TSS, IS}) across five SF points
+/// (SS and TSS carry the SF; NS and IS are its flat baselines), three
+/// loads, five seed replications, 5000 jobs — 180 runs.
+fn paper_grid() -> SweepSpec {
+    let mut schedulers = vec![SchedulerKind::Easy, SchedulerKind::ImmediateService];
+    for sf in [1.5, 2.0, 3.0, 5.0, 10.0] {
+        schedulers.push(SchedulerKind::Ss { sf });
+        schedulers.push(SchedulerKind::Tss { sf });
+    }
+    SweepSpec::new(SDSC)
+        .with_schedulers(schedulers)
+        .with_loads(vec![0.7, 0.85, 1.0])
+        .with_jobs(5_000)
+        .with_seed(42)
+        .with_reps(5)
+}
+
+/// CI-sized grid: two schedulers, one load, two seeds, 400 jobs.
+fn smoke_grid() -> SweepSpec {
+    SweepSpec::new(SDSC)
+        .with_schedulers(vec![SchedulerKind::Easy, SchedulerKind::Ss { sf: 2.0 }])
+        .with_loads(vec![1.0])
+        .with_jobs(400)
+        .with_seed(42)
+        .with_reps(2)
+}
+
+/// The old batch path's per-run record: cloned config, raw simulation
+/// result, and the three eagerly-built per-category reports.
+struct Retained {
+    config: ExperimentConfig,
+    sim: SimResult,
+    #[allow(dead_code)]
+    reports: [CategoryReport; 3],
+}
+
+/// The naive path: regenerate per run, simulate with idle-tick elision
+/// off and reference decides on the heap-backed queue, build and retain
+/// the old full result record for every run until the end, fold last.
+fn run_before(spec: &SweepSpec) -> (Vec<CellStats>, u64) {
+    let configs = spec.expand();
+    let mut retained: Vec<Retained> = Vec::with_capacity(configs.len());
+    let mut events = 0u64;
+    for cfg in configs {
+        let sim = Simulator::with_overhead_and_tick(
+            cfg.trace(),
+            cfg.system.procs,
+            cfg.scheduler.build(),
+            cfg.overhead,
+            cfg.tick_period,
+        )
+        .with_faults(cfg.faults)
+        .with_watchdog(Watchdog::generous())
+        .with_heap_queue()
+        .with_tick_elision(false)
+        .with_reference_decides();
+        let res = sim.run();
+        events += res.kernel.events;
+        let reports = [
+            CategoryReport::from_outcomes(&res.outcomes),
+            CategoryReport::from_filtered(&res.outcomes, JobOutcome::well_estimated),
+            CategoryReport::from_filtered(&res.outcomes, |o| !o.well_estimated()),
+        ];
+        retained.push(Retained {
+            config: cfg,
+            sim: res,
+            reports,
+        });
+    }
+    let mut cells = Vec::with_capacity(spec.cells());
+    let mut chunks = retained.chunks_exact(spec.reps);
+    for &scheduler in &spec.schedulers {
+        for &load in &spec.loads {
+            let chunk = chunks.next().expect("cell-major expansion");
+            let summaries: Vec<RunSummary> = chunk
+                .iter()
+                .map(|r| RunSummary::fold(&r.config, &r.sim))
+                .collect();
+            cells.push(CellStats::from_summaries(scheduler, load, &summaries, 0));
+        }
+    }
+    (cells, events)
+}
+
+/// Convert unix days to a calendar date (Howard Hinnant's civil_from_days).
+fn date_from_unix(secs: u64) -> String {
+    let z = secs as i64 / 86_400 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke" || a == "--quick");
+    let spec = if smoke { smoke_grid() } else { paper_grid() };
+    eprintln!(
+        "sweep_throughput: {} cells x {} reps = {} runs of {} jobs{}",
+        spec.cells(),
+        spec.reps,
+        spec.runs(),
+        spec.n_jobs,
+        if smoke { " (smoke)" } else { "" },
+    );
+
+    // After first, so its VmHWM reading is its own.
+    let t0 = Instant::now();
+    let report = run_sweep(&spec, 1).expect("valid spec");
+    let after_wall = t0.elapsed();
+    let after_rss_kb = vm_hwm_kb();
+    assert!(report.failures.is_empty(), "sweep runs must not fail");
+
+    let t1 = Instant::now();
+    let (before_cells, before_events) = run_before(&spec);
+    let before_wall = t1.elapsed();
+    let before_rss_kb = vm_hwm_kb();
+
+    // The tentpole's correctness bar: identical per-cell statistics.
+    assert_eq!(
+        report.cells.len(),
+        before_cells.len(),
+        "cell counts must match"
+    );
+    for (a, b) in report.cells.iter().zip(&before_cells) {
+        assert_eq!(a, b, "per-cell statistics must be bit-identical");
+    }
+
+    let speedup = before_wall.as_secs_f64() / after_wall.as_secs_f64();
+    println!(
+        "before: {:>8.1} ms wall, {:>8} kB peak RSS, {} events",
+        before_wall.as_secs_f64() * 1e3,
+        before_rss_kb,
+        before_events,
+    );
+    println!(
+        "after:  {:>8.1} ms wall, {:>8} kB peak RSS, {} traces generated ({} cache hits)",
+        after_wall.as_secs_f64() * 1e3,
+        after_rss_kb,
+        report.unique_traces,
+        report.trace_hits,
+    );
+    println!("speedup: {speedup:.2}x (identical cells: yes)");
+
+    if !smoke {
+        let date = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| date_from_unix(d.as_secs()))
+            .unwrap_or_default();
+        let json = format!(
+            concat!(
+                "{{\n",
+                "  \"benchmark\": \"sweep_throughput (crates/bench/benches/sweep_throughput.rs)\",\n",
+                "  \"date\": \"{date}\",\n",
+                "  \"notes\": \"Before = per-run trace regeneration, binary-heap event queue, no idle-tick elision, exhaustive reference decides, full SimResult retention until the final fold. After = run_sweep: shared TraceCache, calendar event queue + quiescent tick elision, fast no-op decide certifications, per-run streaming fold to RunSummary. Both single-threaded; per-cell statistics asserted bit-identical. Peak RSS from /proc/self/status VmHWM (after phase runs first).\",\n",
+                "  \"cases\": [\n",
+                "    {{\n",
+                "      \"case\": \"sdsc_paper_grid\",\n",
+                "      \"workload\": \"SDSC, {{NS, IS, SS x 5 SF, TSS x 5 SF}} x 3 loads x 5 seeds, 5000 jobs (180 runs)\",\n",
+                "      \"before\": {{\"wall_ms\": {bw:.1}, \"peak_rss_kb\": {br}, \"events\": {be}}},\n",
+                "      \"after\":  {{\"wall_ms\": {aw:.1}, \"peak_rss_kb\": {ar}, \"unique_traces\": {ut}, \"trace_hits\": {th}}},\n",
+                "      \"speedup\": {sp:.2},\n",
+                "      \"identical_cells\": true\n",
+                "    }}\n",
+                "  ]\n",
+                "}}\n",
+            ),
+            date = date,
+            bw = before_wall.as_secs_f64() * 1e3,
+            br = before_rss_kb,
+            be = before_events,
+            aw = after_wall.as_secs_f64() * 1e3,
+            ar = after_rss_kb,
+            ut = report.unique_traces,
+            th = report.trace_hits,
+            sp = speedup,
+        );
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
+        match std::fs::write(path, &json) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+        }
+    }
+}

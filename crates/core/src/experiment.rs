@@ -10,11 +10,12 @@
 
 use std::fmt;
 use std::str::FromStr;
+use std::sync::Arc;
 
 use sps_metrics::{CategoryReport, JobOutcome};
 use sps_simcore::Secs;
 use sps_trace::{DecodeError, Json, TraceRecord, TraceSink, TRACE_VERSION};
-use sps_workload::{EstimateModel, Job, SyntheticConfig, SystemPreset};
+use sps_workload::{EstimateModel, Job, SyntheticConfig, SystemPreset, TraceCache, TraceKey};
 
 use crate::faults::{FaultModel, RecoveryPolicy};
 use crate::overhead::OverheadModel;
@@ -219,6 +220,8 @@ pub enum ConfigError {
     NoJobs,
     /// The fault model is inconsistent (reason attached).
     BadFaults(&'static str),
+    /// A sweep grid axis is empty (which axis is attached).
+    EmptyGrid(&'static str),
 }
 
 impl fmt::Display for ConfigError {
@@ -230,6 +233,7 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroTickPeriod => f.write_str("tick_period must be at least 1 second"),
             ConfigError::NoJobs => f.write_str("n_jobs must be at least 1"),
             ConfigError::BadFaults(reason) => write!(f, "bad fault model: {reason}"),
+            ConfigError::EmptyGrid(axis) => write!(f, "sweep grid axis '{axis}' is empty"),
         }
     }
 }
@@ -347,15 +351,39 @@ impl ExperimentConfig {
         jobs
     }
 
-    /// Run the simulation and aggregate reports.
-    ///
-    /// The simulator runs under a generous watchdog: a policy bug that
-    /// livelocks the event loop surfaces as [`RunStatus::Aborted`] with
-    /// partial metrics instead of hanging the process.
-    ///
-    /// [`RunStatus::Aborted`]: crate::sim::RunStatus::Aborted
-    pub fn run(&self) -> RunResult {
-        let jobs = self.trace();
+    /// The cache key of this experiment's trace: everything trace
+    /// generation depends on, and nothing the scheduler side varies.
+    pub fn trace_key(&self) -> TraceKey {
+        TraceKey::new(
+            self.system,
+            self.n_jobs,
+            self.seed,
+            self.load_factor,
+            &self.estimates,
+        )
+    }
+
+    /// This experiment's trace through a [`TraceCache`]: generated on the
+    /// first request for its [`TraceKey`], shared by pointer afterwards.
+    /// An SF × scheduler grid over one workload generates it exactly once.
+    pub fn trace_shared(&self, cache: &TraceCache) -> Arc<[Job]> {
+        cache.get_or_generate(self.trace_key(), || self.trace())
+    }
+
+    /// Shared body of the run paths: simulate `jobs` under this
+    /// configuration and fold the reports, reusing an existing `Arc` of
+    /// the configuration instead of cloning it into the result.
+    fn run_on(self: &Arc<Self>, jobs: Vec<Job>) -> RunResult {
+        RunResult::from_sim(Arc::clone(self), self.simulate(jobs))
+    }
+
+    /// Simulate `jobs` under this configuration and return the raw
+    /// [`SimResult`], with no per-category reports built. The sweep
+    /// harness folds this straight into a fixed-size
+    /// [`RunSummary`](crate::sweep::RunSummary); building (and sorting)
+    /// three reports per run just to discard them would dominate the
+    /// aggregation cost at grid scale.
+    pub fn simulate(&self, jobs: Vec<Job>) -> SimResult {
         let sim = Simulator::with_overhead_and_tick(
             jobs,
             self.system.procs,
@@ -365,7 +393,28 @@ impl ExperimentConfig {
         )
         .with_faults(self.faults)
         .with_watchdog(Watchdog::generous());
-        RunResult::from_sim(self.clone(), sim.run())
+        sim.run()
+    }
+
+    /// Run the simulation and aggregate reports.
+    ///
+    /// The simulator runs under a generous watchdog: a policy bug that
+    /// livelocks the event loop surfaces as [`RunStatus::Aborted`] with
+    /// partial metrics instead of hanging the process.
+    ///
+    /// [`RunStatus::Aborted`]: crate::sim::RunStatus::Aborted
+    pub fn run(&self) -> RunResult {
+        let cfg = Arc::new(self.clone());
+        let jobs = cfg.trace();
+        cfg.run_on(jobs)
+    }
+
+    /// [`ExperimentConfig::run`] against a pre-generated shared trace
+    /// (see [`ExperimentConfig::trace_shared`]); the per-run copy is a
+    /// flat memcpy of the job array instead of a full regeneration.
+    pub fn run_shared(self: &Arc<Self>, trace: &Arc<[Job]>) -> RunResult {
+        debug_assert_eq!(trace.len(), self.n_jobs, "trace matches the config");
+        self.run_on(trace.to_vec())
     }
 
     /// [`ExperimentConfig::run`] preceded by [`ExperimentConfig::validate`].
@@ -398,7 +447,7 @@ impl ExperimentConfig {
         )
         .with_faults(self.faults)
         .with_watchdog(Watchdog::generous());
-        RunResult::from_sim(self.clone(), sim.run())
+        RunResult::from_sim(Arc::new(self.clone()), sim.run())
     }
 
     /// Encode as JSON (embedded in trace-file headers). The `faults` key
@@ -617,8 +666,11 @@ fn overhead_from_json(json: &Json) -> Result<OverheadModel, DecodeError> {
 /// A finished experiment with its aggregations.
 #[derive(Clone, Debug)]
 pub struct RunResult {
-    /// The configuration that produced it.
-    pub config: ExperimentConfig,
+    /// The configuration that produced it. Shared rather than owned: a
+    /// sweep cell's five seed replicas point at five `Arc`s, not five
+    /// deep clones, and `Deref` keeps `result.config.scheduler`-style
+    /// field access working unchanged.
+    pub config: Arc<ExperimentConfig>,
     /// Raw simulation result.
     pub sim: SimResult,
     /// Per-category report over all jobs.
@@ -630,7 +682,7 @@ pub struct RunResult {
 }
 
 impl RunResult {
-    fn from_sim(config: ExperimentConfig, sim: SimResult) -> Self {
+    fn from_sim(config: Arc<ExperimentConfig>, sim: SimResult) -> Self {
         let report = CategoryReport::from_outcomes(&sim.outcomes);
         let report_well = CategoryReport::from_filtered(&sim.outcomes, JobOutcome::well_estimated);
         let report_badly = CategoryReport::from_filtered(&sim.outcomes, |o| !o.well_estimated());
@@ -693,28 +745,54 @@ pub fn run_many(configs: Vec<ExperimentConfig>) -> Vec<RunResult> {
 /// Fallible batch runner: one `Result` per configuration, in input order.
 /// Worker panics are caught per-configuration, so a poisoned config
 /// reports [`RunError::Panicked`] while the rest of the batch completes.
+///
+/// Configurations that share a trace (same system, jobs, load, seed, and
+/// estimate model — i.e. the same [`TraceKey`]) generate it once through a
+/// batch-local [`TraceCache`] instead of once per run.
 pub fn run_many_checked(configs: Vec<ExperimentConfig>) -> Vec<Result<RunResult, RunError>> {
-    let threads = std::thread::available_parallelism()
+    let cache = TraceCache::new();
+    run_batch(configs, default_threads(), |cfg| {
+        let trace = cfg.trace_shared(&cache);
+        cfg.run_shared(&trace)
+    })
+}
+
+/// The worker-thread count batch entry points use when the caller doesn't
+/// pass one: the `SPS_THREADS` environment variable if set to a positive
+/// integer, otherwise everything the OS reports.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("SPS_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(4);
-    run_batch(configs, threads, |cfg| cfg.run())
+        .unwrap_or(4)
 }
 
 /// [`run_many_checked`] with an explicit worker count and runner — the
-/// seam the panic-isolation tests inject a faulty runner through. Workers
-/// pull indices from a shared counter and send `(index, result)` pairs
-/// over a channel; the caller's thread reassembles them in input order.
-fn run_batch<F>(
+/// seam the sweep harness drives and the panic-isolation tests inject a
+/// faulty runner through. Workers pull indices from a shared counter and
+/// send `(index, result)` pairs over a channel; the caller's thread
+/// reassembles them in input order. Panic messages are prefixed with the
+/// offending configuration's scheduler spec so a poisoned cell in a large
+/// grid is identifiable from the error alone.
+pub(crate) fn run_batch<T, F>(
     configs: Vec<ExperimentConfig>,
     threads: usize,
     runner: F,
-) -> Vec<Result<RunResult, RunError>>
+) -> Vec<Result<T, RunError>>
 where
-    F: Fn(&ExperimentConfig) -> RunResult + Sync,
+    T: Send,
+    F: Fn(&Arc<ExperimentConfig>) -> T + Sync,
 {
+    let configs: Vec<Arc<ExperimentConfig>> = configs.into_iter().map(Arc::new).collect();
     let n = configs.len();
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let (tx, rx) = std::sync::mpsc::channel::<(usize, Result<RunResult, RunError>)>();
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, Result<T, RunError>)>();
     let configs_ref = &configs;
     let next_ref = &next;
     let runner_ref = &runner;
@@ -731,7 +809,13 @@ where
                     Err(e) => Err(RunError::Invalid(e)),
                     Ok(()) => {
                         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| runner_ref(cfg)))
-                            .map_err(|payload| RunError::Panicked(panic_message(&*payload)))
+                            .map_err(|payload| {
+                                RunError::Panicked(format!(
+                                    "[{}] {}",
+                                    cfg.scheduler,
+                                    panic_message(&*payload)
+                                ))
+                            })
                     }
                 };
                 if tx.send((i, result)).is_err() {
@@ -740,7 +824,7 @@ where
             });
         }
         drop(tx); // the receive loop ends once every worker is done
-        let mut results: Vec<Option<Result<RunResult, RunError>>> = (0..n).map(|_| None).collect();
+        let mut results: Vec<Option<Result<T, RunError>>> = (0..n).map(|_| None).collect();
         for (i, r) in rx {
             results[i] = Some(r);
         }

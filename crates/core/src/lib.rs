@@ -29,6 +29,7 @@ pub mod overhead;
 pub mod policy;
 pub mod sched;
 pub mod sim;
+pub mod sweep;
 pub mod theory;
 
 pub use faults::{FaultInjector, FaultModel, RecoveryPolicy};

@@ -66,6 +66,14 @@ pub struct DecideCtx<'a> {
     /// site (including its record construction) is skipped. Policies
     /// built outside a simulator can use [`TraceCtx::disabled`].
     pub trace: &'a TraceCtx<'a>,
+    /// Ask the policy to run its exhaustive reference scan, bypassing any
+    /// provably-equivalent fast path (e.g. the SS/IS no-op tick
+    /// certifications). Decisions must be identical either way — the
+    /// differential tests in `tests/sweep_equivalence.rs` pin that — so
+    /// this only changes how much work a decide performs. Set by
+    /// [`Simulator::with_reference_decides`](crate::sim::Simulator::with_reference_decides)
+    /// for A/B benchmarks and fast-path validation.
+    pub reference: bool,
 }
 
 /// A job-scheduling policy.
@@ -76,6 +84,19 @@ pub trait Policy {
     /// Whether the simulator should deliver periodic ticks while work is
     /// pending. Preemptive policies return `true`.
     fn needs_tick(&self) -> bool {
+        false
+    }
+
+    /// Whether `decide` is provably a no-op — returns no actions and
+    /// mutates no internal state — at a *quiescent* instant: one with no
+    /// arrivals, failures, or repairs delivered and no queued, suspended,
+    /// or draining job (only running jobs, whose completions are events of
+    /// their own). Policies that certify this let the simulator skip the
+    /// decide call and elide idle ticks entirely, which is where most of a
+    /// sub-saturation run's events go. Gang scheduling must keep the
+    /// default `false`: it rotates its Ousterhout matrix on every tick,
+    /// running or not.
+    fn quiescent_noop(&self) -> bool {
         false
     }
 

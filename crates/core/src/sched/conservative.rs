@@ -36,6 +36,13 @@ impl Policy for Conservative {
         "Conservative".into()
     }
 
+    // With an empty queue the re-anchoring loop never runs and `anchors`
+    // is already empty (it only holds entries for still-queued jobs), so
+    // a quiescent decide is a strict no-op.
+    fn quiescent_noop(&self) -> bool {
+        true
+    }
+
     fn decide(&mut self, state: &SimState, _ctx: &DecideCtx<'_>, actions: &mut Vec<Action>) {
         // Queued jobs in re-anchoring order: previous anchor first (new
         // arrivals, with no anchor yet, go last), arrival order as the tie

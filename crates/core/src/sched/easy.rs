@@ -26,6 +26,11 @@ impl Policy for Easy {
         "NS (EASY)".into()
     }
 
+    // Stateless; `plan_easy` returns immediately on an empty queue.
+    fn quiescent_noop(&self) -> bool {
+        true
+    }
+
     fn decide(&mut self, state: &SimState, ctx: &DecideCtx<'_>, actions: &mut Vec<Action>) {
         plan_easy(state, ctx, actions);
     }

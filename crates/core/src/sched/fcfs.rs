@@ -19,6 +19,11 @@ impl Policy for Fcfs {
         "FCFS".into()
     }
 
+    // Stateless; the dispatch loop iterates the (empty) queue only.
+    fn quiescent_noop(&self) -> bool {
+        true
+    }
+
     fn decide(&mut self, state: &SimState, _ctx: &DecideCtx<'_>, actions: &mut Vec<Action>) {
         let mut free = state.free_count();
         for &id in state.queued() {

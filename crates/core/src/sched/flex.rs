@@ -36,6 +36,11 @@ impl Policy for FlexBackfill {
         format!("Flex (depth={})", self.depth)
     }
 
+    // Stateless; the reservation ladder is rebuilt from the (empty) queue.
+    fn quiescent_noop(&self) -> bool {
+        true
+    }
+
     fn decide(&mut self, state: &SimState, _ctx: &DecideCtx<'_>, actions: &mut Vec<Action>) {
         let now = state.now();
         let mut ladder = ReservationLadder::new(state);

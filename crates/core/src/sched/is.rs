@@ -74,14 +74,40 @@ impl Policy for ImmediateService {
         true
     }
 
+    // With no queued or suspended job there is no candidate to place, and
+    // `protected_until` is only mutated on starts/resumes.
+    fn quiescent_noop(&self) -> bool {
+        true
+    }
+
     fn decide(&mut self, state: &SimState, ctx: &DecideCtx<'_>, actions: &mut Vec<Action>) {
+        // Fast certification of the common no-op tick: with nothing
+        // waiting, the decide can only retry re-entries, and a suspended
+        // job resumes only when its exact processors are free — `procs`
+        // within the working pool is a necessary condition. When no
+        // suspended job passes it, nothing below can act (trace records
+        // and protection grants are tied to actions), so skip the scan.
+        if !ctx.reference && ctx.arrivals.is_empty() && state.queued().is_empty() {
+            let wf = state.free_count() + state.draining_set().count();
+            if !state
+                .suspended()
+                .iter()
+                .any(|&id| state.job(id).procs <= wf)
+            {
+                return;
+            }
+        }
         let now = state.now();
         // The planning mirror: the working free pool plus a borrow-based
         // table of running jobs (suspension priority = instantaneous
         // xfactor, Section II-C), updated as actions are chosen so that
         // several decisions in one instant stay consistent.
         let mut free = planner::working_free_set(state);
-        let mut running = VictimTable::running(state, |id| state.inst_xfactor(id));
+        // Built lazily: the mirror is only consulted when a waiting job
+        // does not fit the free pool, and most decides (ticks retrying
+        // re-entry, arrivals that fit) never get there — skipping the
+        // per-decide xfactor sweep over every running job.
+        let mut running: Option<VictimTable> = None;
         let mut started: Vec<JobId> = Vec::new();
 
         // 1. Immediate (and retried) service for waiting jobs: arrivals of
@@ -107,6 +133,8 @@ impl Policy for ImmediateService {
             }
             // Pick unprotected victims, lowest instantaneous xfactor first
             // (long-running jobs that never waited sit at the bottom).
+            let running = running
+                .get_or_insert_with(|| VictimTable::running(state, |id| state.inst_xfactor(id)));
             let mut victims: Vec<(f64, usize)> = running
                 .entries
                 .iter()

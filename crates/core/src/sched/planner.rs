@@ -91,13 +91,6 @@ impl<'a> VictimTable<'a> {
         }
     }
 
-    /// An empty mirror (policies skip the victim scan off-tick).
-    pub fn empty() -> Self {
-        VictimTable {
-            entries: Vec::new(),
-        }
-    }
-
     /// Order by ascending priority (ids break ties deterministically):
     /// the cheapest victims come first, and a scan may stop at the first
     /// entry whose priority disqualifies it.

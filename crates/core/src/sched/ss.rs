@@ -84,12 +84,20 @@ impl SsConfig {
 #[derive(Clone, Debug)]
 pub struct SelectiveSuspension {
     cfg: SsConfig,
+    /// Scratch for the per-decide idle list. The preemption routine runs
+    /// every minute for the whole length of a run, so the (priority, id)
+    /// list is rebuilt tens of thousands of times per simulation; reusing
+    /// one buffer keeps that off the allocator.
+    idle: Vec<(f64, JobId)>,
 }
 
 impl SelectiveSuspension {
     /// Build from a config.
     pub fn new(cfg: SsConfig) -> Self {
-        SelectiveSuspension { cfg }
+        SelectiveSuspension {
+            cfg,
+            idle: Vec::new(),
+        }
     }
 
     /// Plain SS with suspension factor `sf`.
@@ -136,15 +144,57 @@ impl Policy for SelectiveSuspension {
         true
     }
 
+    // The preemption routine only acts on idle (queued + suspended) jobs;
+    // with none, the loop body never runs. The only mutable state — the
+    // TSS per-category limits — changes in `on_completion`, not here.
+    fn quiescent_noop(&self) -> bool {
+        true
+    }
+
     fn decide(&mut self, state: &SimState, ctx: &DecideCtx<'_>, actions: &mut Vec<Action>) {
+        // Fast certification of the common no-op tick. Every action the
+        // loop below can emit requires at least one of:
+        //
+        // * an idle job no wider than the working free pool (placement and
+        //   re-entry both need `procs` processors out of free ∪ draining),
+        // * a victim qualification `x(idle) ≥ SF × x(victim)` — bounded
+        //   from below by the cheapest running job, since the width rule,
+        //   TSS limits, and overlap checks only *remove* candidates.
+        //
+        // When neither holds, the decide provably produces nothing: skip
+        // the idle sort, the mirror, and every per-decide allocation.
+        // Traced runs take the full path — the scan can emit
+        // `BlockedByDisableLimit` records without acting — as do runs
+        // that ask for the reference scan outright.
+        if !ctx.reference && !ctx.trace.enabled() {
+            let wf = state.free_count() + state.draining_set().count();
+            let idle_ids = || state.queued().iter().chain(state.suspended().iter());
+            if !idle_ids().any(|&id| state.job(id).procs <= wf) {
+                let qualifies = ctx.tick && {
+                    let min_run = state
+                        .running()
+                        .iter()
+                        .map(|&id| state.xfactor(id))
+                        .fold(f64::INFINITY, f64::min);
+                    idle_ids().any(|&id| state.xfactor(id) >= self.cfg.sf * min_run)
+                };
+                if !qualifies {
+                    return;
+                }
+            }
+        }
+
         // Idle jobs (queued + suspended) in descending priority; ids break
         // ties deterministically.
-        let mut idle: Vec<(f64, JobId)> = state
-            .queued()
-            .iter()
-            .chain(state.suspended().iter())
-            .map(|&id| (state.xfactor(id), id))
-            .collect();
+        let mut idle = std::mem::take(&mut self.idle);
+        idle.clear();
+        idle.extend(
+            state
+                .queued()
+                .iter()
+                .chain(state.suspended().iter())
+                .map(|&id| (state.xfactor(id), id)),
+        );
         idle.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
 
         // Plan against free processors *plus* those whose suspension
@@ -172,14 +222,17 @@ impl Policy for SelectiveSuspension {
 
         // The running mirror is only consulted on ticks (the paper's
         // once-a-minute preemption routine); between ticks only free
-        // processors are handed out. Ascending victim priority, as in the
-        // pseudocode's first sort.
-        let mut running = if ctx.tick {
-            VictimTable::running(state, |id| state.xfactor(id))
-        } else {
-            VictimTable::empty()
+        // processors are handed out. Built lazily, sorted by ascending
+        // victim priority as in the pseudocode's first sort: most tick
+        // decides place or skip every idle job without a victim scan, so
+        // the xfactor sweep over the running set is deferred until one
+        // actually starts.
+        let mut running: Option<VictimTable> = None;
+        let build = || {
+            let mut t = VictimTable::running(state, |id| state.xfactor(id));
+            t.sort_ascending();
+            t
         };
-        running.sort_ascending();
 
         for &(prio_i, id) in &idle {
             if state.is_suspended(id) && !self.cfg.migration && !state.can_remap(id) {
@@ -217,6 +270,7 @@ impl Policy for SelectiveSuspension {
                 // Preemption routine: every running job overlapping the
                 // needed set must qualify as a victim (no width
                 // restriction for re-entry).
+                let running = running.get_or_insert_with(build);
                 let mut victims: Vec<usize> = Vec::new();
                 let mut covered = ProcSet::empty(needed.universe());
                 for (idx, r) in running.entries.iter().enumerate() {
@@ -300,6 +354,7 @@ impl Policy for SelectiveSuspension {
                 // Preemption routine: accumulate qualifying victims until
                 // enough unblocked processors exist, then suspend the
                 // widest first.
+                let running = running.get_or_insert_with(build);
                 let mut candidates: Vec<usize> = Vec::new();
                 let mut gain = allowed;
                 for (idx, r) in running.entries.iter().enumerate() {
@@ -374,6 +429,7 @@ impl Policy for SelectiveSuspension {
                 actions.push(dispatch(set));
             }
         }
+        self.idle = idle;
     }
 
     fn on_completion(&mut self, outcome: &JobOutcome) {

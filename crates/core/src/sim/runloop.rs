@@ -146,6 +146,21 @@ pub struct Simulator<S: TraceSink = NullSink> {
     watchdog: Watchdog,
     /// Policy decide() invocations so far.
     decide_calls: u64,
+    /// Skip decides and let ticks lapse at quiescent instants when the
+    /// policy certifies them as no-ops ([`Policy::quiescent_noop`]). On by
+    /// default; behavior-preserving, so only the kernel counters change.
+    /// [`Simulator::with_tick_elision`] turns it off to reproduce the
+    /// every-tick schedule event-for-event (benches, A/B comparisons).
+    elide_idle: bool,
+    /// Use the reference [`EventQueue`] binary-heap backend instead of
+    /// the calendar queue. Both honor the same `(time, class, seq)` total
+    /// order, so results are bit-identical; the heap exists for
+    /// differential testing and as the faithful pre-calendar baseline in
+    /// `sweep_throughput`.
+    heap_queue: bool,
+    /// Pass `reference: true` to every decide, disabling the policies'
+    /// provably-equivalent fast paths (see [`DecideCtx::reference`]).
+    reference_decides: bool,
     /// Trace record consumer.
     sink: S,
 }
@@ -234,8 +249,50 @@ impl<S: TraceSink> Simulator<S> {
             faults: None,
             watchdog: Watchdog::none(),
             decide_calls: 0,
+            elide_idle: true,
+            heap_queue: false,
+            reference_decides: false,
             sink,
         }
+    }
+
+    /// Control idle-instant elision (builder style, default `true`).
+    ///
+    /// When enabled and the policy certifies quiescent instants as no-ops,
+    /// the simulator skips `decide()` at instants with nothing to schedule
+    /// and stops re-arming the periodic tick while only running jobs
+    /// remain. [`Ticker`] phase is absolute (ticks land on multiples of
+    /// the period), so re-arming after the next real event hits the exact
+    /// instants continuous ticking would have — the schedule, outcomes,
+    /// and every trace byte are unchanged; only [`KernelStats`] sees fewer
+    /// events and decides. Pass `false` to force the pre-elision event
+    /// stream (the before-side of `sweep_throughput`, and any bench that
+    /// pins event counts).
+    pub fn with_tick_elision(mut self, enabled: bool) -> Self {
+        self.elide_idle = enabled;
+        self
+    }
+
+    /// Run on the binary-heap event queue instead of the calendar queue
+    /// (builder style, default calendar). The two backends share one
+    /// deterministic ordering contract, so every output is bit-identical;
+    /// this knob exists for differential tests and for benchmarks that
+    /// need the pre-calendar engine as their baseline.
+    pub fn with_heap_queue(mut self) -> Self {
+        self.heap_queue = true;
+        self
+    }
+
+    /// Run every decide through the policies' exhaustive reference scan
+    /// (builder style, default off). Fast paths like the SS/IS no-op tick
+    /// certifications are provably decision-identical, so this changes
+    /// only the work per decide, never the schedule — the differential
+    /// tests pin it. Used with [`Simulator::with_heap_queue`] and
+    /// [`Simulator::with_tick_elision`]`(false)` to reconstruct the
+    /// pre-sweep-engine execution profile as a benchmark baseline.
+    pub fn with_reference_decides(mut self) -> Self {
+        self.reference_decides = true;
+        self
     }
 
     /// Enable fault injection (builder style). A disabled model
@@ -288,9 +345,33 @@ impl<S: TraceSink> Simulator<S> {
         });
     }
 
+    /// Whether nothing is waiting for processors: no queued, suspended,
+    /// or draining job. Completions of running jobs are events of their
+    /// own, so a certified policy has nothing to do at such an instant.
+    fn quiescent(&self) -> bool {
+        self.state.queued.is_empty()
+            && self.state.suspended.is_empty()
+            && self.state.index.draining_jobs() == 0
+    }
+
+    /// Whether idle elision applies to this run: opted in, the policy
+    /// certifies quiescent no-ops, no tracing (traced runs emit per-tick
+    /// gauges), and no fault injection (kept conservative: fault delivery
+    /// interleaves with ticks in ways the certification doesn't cover).
+    fn elision_active(&self) -> bool {
+        self.elide_idle
+            && !self.sink.enabled()
+            && self.faults.is_none()
+            && self.policy.quiescent_noop()
+    }
+
     /// Run the whole trace to completion and report.
     pub fn run(mut self) -> SimResult {
-        let mut queue = EventQueue::with_capacity(self.state.jobs.len() * 2);
+        let mut queue = if self.heap_queue {
+            EventQueue::with_capacity(self.state.jobs.len() * 2)
+        } else {
+            EventQueue::calendar_with_capacity(self.state.jobs.len() * 2)
+        };
         for rt in &self.state.jobs {
             queue.push(
                 rt.job.submit,
@@ -620,22 +701,32 @@ impl<S: TraceSink> Simulation for Simulator<S> {
         let failures = std::mem::take(&mut self.failures_now);
         let repairs = std::mem::take(&mut self.repairs_now);
         self.actions.clear();
-        {
-            // The sink is lent (type-erased) into the decision context so
-            // policies can record *why* they acted; the borrow ends before
-            // `apply` emits the lifecycle records those actions cause.
-            let tracer = TraceCtx::new(&mut self.sink);
-            let ctx = DecideCtx {
-                arrivals: &arrivals,
-                tick,
-                failures: &failures,
-                repairs: &repairs,
-                trace: &tracer,
-            };
-            self.decide_calls += 1;
-            self.policy.decide(&self.state, &ctx, &mut self.actions);
+        let elidable = self.elision_active();
+        // A quiescent instant that delivered nothing actionable (typically
+        // a leftover tick, or a completion with an empty queue) cannot
+        // change the schedule when the policy certifies it — skip the
+        // decide outright.
+        let skip_decide = elidable && arrivals.is_empty() && self.quiescent();
+        if !skip_decide {
+            {
+                // The sink is lent (type-erased) into the decision context
+                // so policies can record *why* they acted; the borrow ends
+                // before `apply` emits the lifecycle records those actions
+                // cause.
+                let tracer = TraceCtx::new(&mut self.sink);
+                let ctx = DecideCtx {
+                    arrivals: &arrivals,
+                    tick,
+                    failures: &failures,
+                    repairs: &repairs,
+                    trace: &tracer,
+                    reference: self.reference_decides,
+                };
+                self.decide_calls += 1;
+                self.policy.decide(&self.state, &ctx, &mut self.actions);
+            }
+            self.apply(queue);
         }
-        self.apply(queue);
         self.arrivals_now = arrivals;
         self.failures_now = failures;
         self.repairs_now = repairs;
@@ -655,11 +746,18 @@ impl<S: TraceSink> Simulation for Simulator<S> {
         // Keep ticks flowing while any arrived job is unfinished. The
         // draining check reads the index counter — the old job-table scan
         // here made every batch O(jobs).
+        //
+        // Elision: while the machine is quiescent (running jobs only),
+        // certified policies can't act on a tick, so don't re-arm one.
+        // The ticker's phase is absolute — `next_after` rounds up to a
+        // multiple of the period — so re-arming at the event that ends the
+        // quiescence lands on exactly the instants continuous ticking
+        // would have hit, and the schedule is bit-identical.
         let work_pending = !self.state.queued.is_empty()
             || !self.state.suspended.is_empty()
             || !self.state.running.is_empty()
             || self.state.index.draining_jobs() > 0;
-        if work_pending {
+        if work_pending && !(elidable && self.quiescent()) {
             if let Some(t) = &mut self.ticker {
                 if let Some(at) = t.arm(now) {
                     queue.push(at, EventClass::Tick, Event::Tick);

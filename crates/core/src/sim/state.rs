@@ -197,17 +197,23 @@ pub struct SimState {
 impl SimState {
     pub(crate) fn new(jobs: Vec<Job>, procs: u32, overhead: OverheadModel) -> Self {
         let incomplete = jobs.len();
+        let n = jobs.len();
+        // Pre-size the hot lists for their worst cases: every job can be
+        // queued at once; at most one running job per processor (each
+        // needs ≥ 1); outcomes reach exactly n; segments get one entry
+        // per dispatch, i.e. n plus one per suspension.
+        let concurrent = (procs as usize).min(n);
         SimState {
             now: SimTime::ZERO,
             cluster: Cluster::new(procs),
             jobs: jobs.into_iter().map(JobRt::new).collect(),
-            queued: Vec::new(),
-            suspended: Vec::new(),
-            running: Vec::new(),
+            queued: Vec::with_capacity(n),
+            suspended: Vec::with_capacity(concurrent),
+            running: Vec::with_capacity(concurrent),
             incomplete,
             overhead,
-            outcomes: Vec::new(),
-            segments: Vec::new(),
+            outcomes: Vec::with_capacity(n),
+            segments: Vec::with_capacity(n + n / 4),
             preemptions: 0,
             dropped_actions: 0,
             fault_stats: FaultSummary::default(),

@@ -1,0 +1,683 @@
+//! Replicated parameter sweeps: the paper's figures as one declarative
+//! grid.
+//!
+//! Every figure in the paper is a cartesian product — schedulers (and
+//! their suspension factors) × offered loads, replicated over trace seeds
+//! for confidence intervals. [`SweepSpec`] declares that product once;
+//! [`run_sweep`] expands it, fans the runs over worker threads on the
+//! [`run_batch`](crate::experiment) seam, and folds each run into a
+//! fixed-size [`RunSummary`] *inside the worker*, so memory stays O(cells)
+//! no matter how many jobs each run simulates. Traces are shared through a
+//! [`TraceCache`]: every cell at the same `(load, seed)` reuses one
+//! generated job list.
+//!
+//! Per cell (scheduler × load), the seed replicas aggregate into
+//! [`CellStats`]: mean and 95% Student-t confidence half-width for each
+//! headline metric. The per-run tail metrics (P50/P99 slowdown) come from
+//! the O(1)-memory [`P2Quantile`] estimator rather than a sorted copy of
+//! every outcome.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use sps_metrics::{JobOutcome, P2Quantile, StreamingStats};
+use sps_simcore::Secs;
+use sps_trace::Json;
+use sps_workload::{EstimateModel, SystemPreset, TraceCache};
+
+use crate::experiment::{run_batch, ConfigError, ExperimentConfig, RunResult, SchedulerKind};
+use crate::overhead::OverheadModel;
+use crate::sim::DEFAULT_TICK_PERIOD;
+
+/// A declarative scheduler × load × seed-replication grid over one
+/// workload model.
+#[derive(Clone, Debug)]
+pub struct SweepSpec {
+    /// Machine and calibrated job mix.
+    pub system: SystemPreset,
+    /// Scheduler axis (each entry is one column of cells).
+    pub schedulers: Vec<SchedulerKind>,
+    /// Load-factor axis.
+    pub loads: Vec<f64>,
+    /// Trace length in jobs, per run.
+    pub n_jobs: usize,
+    /// Seed of replication 0; replication `r` uses `base_seed + r`.
+    pub base_seed: u64,
+    /// Seed replications per cell.
+    pub reps: usize,
+    /// User-estimate model applied to every run.
+    pub estimates: EstimateModel,
+    /// Suspension/restart overhead model applied to every run.
+    pub overhead: OverheadModel,
+    /// Preemption-routine period, seconds.
+    pub tick_period: Secs,
+}
+
+impl SweepSpec {
+    /// An empty grid on `system` with the preset's default trace length,
+    /// load 1.0, one replication, accurate estimates, and no overhead.
+    /// Add schedulers before running.
+    pub fn new(system: SystemPreset) -> Self {
+        SweepSpec {
+            system,
+            schedulers: Vec::new(),
+            loads: vec![1.0],
+            n_jobs: system.default_jobs,
+            base_seed: 42,
+            reps: 1,
+            estimates: EstimateModel::Accurate,
+            overhead: OverheadModel::None,
+            tick_period: DEFAULT_TICK_PERIOD,
+        }
+    }
+
+    /// Set the scheduler axis.
+    pub fn with_schedulers(mut self, schedulers: Vec<SchedulerKind>) -> Self {
+        self.schedulers = schedulers;
+        self
+    }
+
+    /// Append one scheduler to the axis.
+    pub fn with_scheduler(mut self, s: SchedulerKind) -> Self {
+        self.schedulers.push(s);
+        self
+    }
+
+    /// Set the load-factor axis.
+    pub fn with_loads(mut self, loads: Vec<f64>) -> Self {
+        self.loads = loads;
+        self
+    }
+
+    /// Set the per-run trace length.
+    pub fn with_jobs(mut self, n: usize) -> Self {
+        self.n_jobs = n;
+        self
+    }
+
+    /// Set the base seed (replication `r` runs on `base_seed + r`).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Set the replication count per cell.
+    pub fn with_reps(mut self, reps: usize) -> Self {
+        self.reps = reps;
+        self
+    }
+
+    /// Set the estimate model.
+    pub fn with_estimates(mut self, e: EstimateModel) -> Self {
+        self.estimates = e;
+        self
+    }
+
+    /// Set the overhead model.
+    pub fn with_overhead(mut self, o: OverheadModel) -> Self {
+        self.overhead = o;
+        self
+    }
+
+    /// Set the preemption-routine period in seconds.
+    pub fn with_tick_period(mut self, secs: Secs) -> Self {
+        self.tick_period = secs;
+        self
+    }
+
+    /// Grid shape checks, plus [`ExperimentConfig::validate`] on one
+    /// representative configuration (every cell shares everything but the
+    /// scheduler and load, which are checked per run anyway).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.schedulers.is_empty() {
+            return Err(ConfigError::EmptyGrid("schedulers"));
+        }
+        if self.loads.is_empty() {
+            return Err(ConfigError::EmptyGrid("loads"));
+        }
+        if self.reps == 0 {
+            return Err(ConfigError::EmptyGrid("reps"));
+        }
+        for &load in &self.loads {
+            self.config(self.schedulers[0], load, 0).validate()?;
+        }
+        Ok(())
+    }
+
+    /// Cells in the grid (scheduler × load).
+    pub fn cells(&self) -> usize {
+        self.schedulers.len() * self.loads.len()
+    }
+
+    /// Total runs (cells × replications).
+    pub fn runs(&self) -> usize {
+        self.cells() * self.reps
+    }
+
+    /// The configuration of one run.
+    fn config(&self, scheduler: SchedulerKind, load: f64, rep: usize) -> ExperimentConfig {
+        ExperimentConfig::new(self.system, scheduler)
+            .with_jobs(self.n_jobs)
+            .with_seed(self.base_seed + rep as u64)
+            .with_load_factor(load)
+            .with_estimates(self.estimates)
+            .with_overhead(self.overhead)
+            .with_tick_period(self.tick_period)
+    }
+
+    /// Expand the grid cell-major: all replications of a cell are
+    /// consecutive, cells iterate scheduler-then-load. [`run_sweep`]
+    /// relies on this layout to regroup results by cell.
+    pub fn expand(&self) -> Vec<ExperimentConfig> {
+        let mut configs = Vec::with_capacity(self.runs());
+        for &scheduler in &self.schedulers {
+            for &load in &self.loads {
+                for rep in 0..self.reps {
+                    configs.push(self.config(scheduler, load, rep));
+                }
+            }
+        }
+        configs
+    }
+}
+
+/// One run collapsed to fixed-size scalars — everything the sweep keeps.
+/// The full [`RunResult`] (outcomes, segments) is dropped inside the
+/// worker thread that produced it.
+#[derive(Clone, Debug)]
+pub struct RunSummary {
+    /// Scheduler spec string (`ss:2`, `ns`, ...).
+    pub scheduler: String,
+    /// Load factor of the run.
+    pub load_factor: f64,
+    /// Trace seed of the run.
+    pub seed: u64,
+    /// Mean bounded slowdown over completed jobs.
+    pub mean_slowdown: f64,
+    /// Median bounded slowdown (P² estimate).
+    pub p50_slowdown: f64,
+    /// 99th-percentile bounded slowdown (P² estimate).
+    pub p99_slowdown: f64,
+    /// Worst bounded slowdown.
+    pub worst_slowdown: f64,
+    /// Mean turnaround, seconds.
+    pub mean_turnaround: f64,
+    /// Worst turnaround, seconds.
+    pub worst_turnaround: f64,
+    /// Productive utilization in [0, 1].
+    pub utilization: f64,
+    /// First submission → last completion, seconds.
+    pub makespan: Secs,
+    /// Suspensions performed.
+    pub preemptions: u64,
+    /// Jobs completed.
+    pub completed: usize,
+    /// Whether a watchdog cut the run short.
+    pub aborted: bool,
+    /// Engine events processed.
+    pub events: u64,
+    /// Engine wall-clock, microseconds.
+    pub wall_micros: u64,
+}
+
+impl RunSummary {
+    /// Fold a finished run: one streaming pass over its outcomes.
+    pub fn from_result(r: &RunResult) -> Self {
+        Self::fold(&r.config, &r.sim)
+    }
+
+    /// The fold itself, from the raw parts. Public so the throughput
+    /// bench's naive comparison path aggregates with bit-identical
+    /// arithmetic to the sweep harness.
+    pub fn fold(config: &ExperimentConfig, sim: &crate::sim::SimResult) -> Self {
+        let mut slow = StreamingStats::new();
+        let mut turn = StreamingStats::new();
+        let mut p50 = P2Quantile::new(0.5);
+        let mut p99 = P2Quantile::new(0.99);
+        for o in &sim.outcomes {
+            let s = JobOutcome::slowdown(o);
+            slow.push(s);
+            p50.push(s);
+            p99.push(s);
+            turn.push(o.turnaround() as f64);
+        }
+        RunSummary {
+            scheduler: config.scheduler.to_string(),
+            load_factor: config.load_factor,
+            seed: config.seed,
+            mean_slowdown: slow.mean(),
+            p50_slowdown: p50.value(),
+            p99_slowdown: p99.value(),
+            worst_slowdown: slow.max(),
+            mean_turnaround: turn.mean(),
+            worst_turnaround: turn.max(),
+            utilization: sim.utilization,
+            makespan: sim.makespan,
+            preemptions: sim.preemptions,
+            completed: sim.outcomes.len(),
+            aborted: sim.status.is_aborted(),
+            events: sim.kernel.events,
+            wall_micros: sim.kernel.wall_micros,
+        }
+    }
+}
+
+/// Two-sided 97.5% Student-t quantiles for 1..=30 degrees of freedom
+/// (1.96 beyond); standard table values, enough precision for error bars.
+const T_975: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// A mean with a 95% confidence half-width over seed replications.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Ci {
+    /// Sample mean (NaN when no replication succeeded).
+    pub mean: f64,
+    /// Half-width of the 95% interval (0 with fewer than two samples).
+    pub half_width: f64,
+}
+
+impl Ci {
+    /// Aggregate replication samples: mean ± t·s/√n.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Ci {
+                mean: f64::NAN,
+                half_width: 0.0,
+            };
+        }
+        let mut stats = StreamingStats::new();
+        for &x in samples {
+            stats.push(x);
+        }
+        let n = stats.count() as f64;
+        let half_width = if stats.count() < 2 {
+            0.0
+        } else {
+            let t = T_975
+                .get(stats.count() as usize - 2)
+                .copied()
+                .unwrap_or(1.96);
+            t * stats.std_dev() / n.sqrt()
+        };
+        Ci {
+            mean: stats.mean(),
+            half_width,
+        }
+    }
+}
+
+impl std::fmt::Display for Ci {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2} ± {:.2}", self.mean, self.half_width)
+    }
+}
+
+/// One grid cell: a scheduler at a load, aggregated over replications.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellStats {
+    /// The cell's scheduler.
+    pub scheduler: SchedulerKind,
+    /// The cell's load factor.
+    pub load_factor: f64,
+    /// Replications that completed (the denominator of every `Ci`).
+    pub reps: usize,
+    /// Replications lost to invalid configs or panics.
+    pub failures: usize,
+    /// Runs a watchdog cut short (their partial metrics are included).
+    pub aborted: usize,
+    /// Mean bounded slowdown.
+    pub mean_slowdown: Ci,
+    /// Median bounded slowdown.
+    pub p50_slowdown: Ci,
+    /// 99th-percentile bounded slowdown.
+    pub p99_slowdown: Ci,
+    /// Worst bounded slowdown.
+    pub worst_slowdown: Ci,
+    /// Mean turnaround, seconds.
+    pub mean_turnaround: Ci,
+    /// Productive utilization, percent.
+    pub utilization_pct: Ci,
+    /// Suspensions per run.
+    pub preemptions: Ci,
+    /// Makespan, seconds.
+    pub makespan: Ci,
+}
+
+impl CellStats {
+    /// Aggregate one cell's replication summaries. Public for the same
+    /// reason as [`RunSummary::fold`]: the bench's naive path must build
+    /// cells with identical arithmetic.
+    pub fn from_summaries(
+        scheduler: SchedulerKind,
+        load_factor: f64,
+        summaries: &[RunSummary],
+        failures: usize,
+    ) -> Self {
+        let col = |f: &dyn Fn(&RunSummary) -> f64| {
+            Ci::from_samples(&summaries.iter().map(f).collect::<Vec<_>>())
+        };
+        CellStats {
+            scheduler,
+            load_factor,
+            reps: summaries.len(),
+            failures,
+            aborted: summaries.iter().filter(|s| s.aborted).count(),
+            mean_slowdown: col(&|s| s.mean_slowdown),
+            p50_slowdown: col(&|s| s.p50_slowdown),
+            p99_slowdown: col(&|s| s.p99_slowdown),
+            worst_slowdown: col(&|s| s.worst_slowdown),
+            mean_turnaround: col(&|s| s.mean_turnaround),
+            utilization_pct: col(&|s| s.utilization * 100.0),
+            preemptions: col(&|s| s.preemptions as f64),
+            makespan: col(&|s| s.makespan as f64),
+        }
+    }
+}
+
+/// The finished sweep: per-cell aggregates plus batch-level accounting.
+#[derive(Clone, Debug)]
+pub struct SweepReport {
+    /// One entry per grid cell, in expansion order (scheduler-major).
+    pub cells: Vec<CellStats>,
+    /// Total runs attempted.
+    pub runs: usize,
+    /// Runs that produced no summary, with their errors rendered.
+    pub failures: Vec<String>,
+    /// Distinct traces generated (cache misses).
+    pub unique_traces: usize,
+    /// Trace requests served without regeneration (cache hits).
+    pub trace_hits: u64,
+    /// Wall-clock of the whole sweep, microseconds.
+    pub wall_micros: u64,
+}
+
+impl SweepReport {
+    /// CSV: one header row, one row per cell. `_ci` columns are 95%
+    /// half-widths over seed replications.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "scheduler,load,reps,failures,aborted,\
+             mean_slowdown,mean_slowdown_ci,p50_slowdown,p50_slowdown_ci,\
+             p99_slowdown,p99_slowdown_ci,worst_slowdown,worst_slowdown_ci,\
+             mean_turnaround,mean_turnaround_ci,utilization_pct,utilization_pct_ci,\
+             preemptions,preemptions_ci,makespan,makespan_ci\n",
+        );
+        for c in &self.cells {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.2},{:.2},{:.3},{:.3},{:.1},{:.1},{:.0},{:.0}",
+                c.scheduler,
+                c.load_factor,
+                c.reps,
+                c.failures,
+                c.aborted,
+                c.mean_slowdown.mean,
+                c.mean_slowdown.half_width,
+                c.p50_slowdown.mean,
+                c.p50_slowdown.half_width,
+                c.p99_slowdown.mean,
+                c.p99_slowdown.half_width,
+                c.worst_slowdown.mean,
+                c.worst_slowdown.half_width,
+                c.mean_turnaround.mean,
+                c.mean_turnaround.half_width,
+                c.utilization_pct.mean,
+                c.utilization_pct.half_width,
+                c.preemptions.mean,
+                c.preemptions.half_width,
+                c.makespan.mean,
+                c.makespan.half_width,
+            );
+        }
+        out
+    }
+
+    /// JSON mirror of the CSV, plus batch accounting.
+    pub fn to_json(&self) -> Json {
+        let ci = |c: Ci| {
+            Json::Obj(vec![
+                ("mean".into(), Json::Num(c.mean)),
+                ("ci95".into(), Json::Num(c.half_width)),
+            ])
+        };
+        let cells = self
+            .cells
+            .iter()
+            .map(|c| {
+                Json::Obj(vec![
+                    ("scheduler".into(), Json::Str(c.scheduler.to_string())),
+                    ("load".into(), Json::Num(c.load_factor)),
+                    ("reps".into(), Json::Int(c.reps as i64)),
+                    ("failures".into(), Json::Int(c.failures as i64)),
+                    ("aborted".into(), Json::Int(c.aborted as i64)),
+                    ("mean_slowdown".into(), ci(c.mean_slowdown)),
+                    ("p50_slowdown".into(), ci(c.p50_slowdown)),
+                    ("p99_slowdown".into(), ci(c.p99_slowdown)),
+                    ("worst_slowdown".into(), ci(c.worst_slowdown)),
+                    ("mean_turnaround".into(), ci(c.mean_turnaround)),
+                    ("utilization_pct".into(), ci(c.utilization_pct)),
+                    ("preemptions".into(), ci(c.preemptions)),
+                    ("makespan".into(), ci(c.makespan)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("runs".into(), Json::Int(self.runs as i64)),
+            (
+                "failures".into(),
+                Json::Arr(self.failures.iter().map(|f| Json::Str(f.clone())).collect()),
+            ),
+            ("unique_traces".into(), Json::Int(self.unique_traces as i64)),
+            ("trace_hits".into(), Json::Int(self.trace_hits as i64)),
+            ("wall_micros".into(), Json::Int(self.wall_micros as i64)),
+            ("cells".into(), Json::Arr(cells)),
+        ])
+    }
+
+    /// Fixed-width text table, one row per cell.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<10} {:>5} {:>4} {:>18} {:>18} {:>18} {:>16} {:>14}",
+            "scheduler",
+            "load",
+            "reps",
+            "mean slowdown",
+            "p99 slowdown",
+            "mean turnaround",
+            "utilization %",
+            "preemptions",
+        );
+        for c in &self.cells {
+            let _ = writeln!(
+                out,
+                "{:<10} {:>5} {:>4} {:>18} {:>18} {:>18} {:>16} {:>14}",
+                c.scheduler.to_string(),
+                format!("{:.2}", c.load_factor),
+                c.reps,
+                c.mean_slowdown.to_string(),
+                c.p99_slowdown.to_string(),
+                format!(
+                    "{:.0} ± {:.0}",
+                    c.mean_turnaround.mean, c.mean_turnaround.half_width
+                ),
+                c.utilization_pct.to_string(),
+                format!(
+                    "{:.0} ± {:.0}",
+                    c.preemptions.mean, c.preemptions.half_width
+                ),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{} runs, {} failed, {} unique traces ({} cache hits), {:.2}s",
+            self.runs,
+            self.failures.len(),
+            self.unique_traces,
+            self.trace_hits,
+            self.wall_micros as f64 / 1e6,
+        );
+        out
+    }
+}
+
+/// Run the grid on `threads` workers (see
+/// [`default_threads`](crate::experiment::default_threads) for the usual
+/// choice). Each run folds to a [`RunSummary`] inside its worker; traces
+/// are shared through one batch-local [`TraceCache`].
+pub fn run_sweep(spec: &SweepSpec, threads: usize) -> Result<SweepReport, ConfigError> {
+    spec.validate()?;
+    let start = Instant::now();
+    let cache = TraceCache::new();
+    let results = run_batch(spec.expand(), threads, |cfg: &Arc<ExperimentConfig>| {
+        let trace = cfg.trace_shared(&cache);
+        // Simulate and fold directly: no RunResult (and no per-category
+        // reports) is ever materialized on the sweep path.
+        RunSummary::fold(cfg, &cfg.simulate(trace.to_vec()))
+    });
+
+    let mut cells = Vec::with_capacity(spec.cells());
+    let mut failures = Vec::new();
+    let mut chunks = results.chunks_exact(spec.reps);
+    for &scheduler in &spec.schedulers {
+        for &load in &spec.loads {
+            let chunk = chunks.next().expect("expansion is cell-major");
+            let mut summaries = Vec::with_capacity(spec.reps);
+            let mut failed = 0usize;
+            for (rep, r) in chunk.iter().enumerate() {
+                match r {
+                    Ok(s) => summaries.push(s.clone()),
+                    Err(e) => {
+                        failed += 1;
+                        failures.push(format!(
+                            "{scheduler} load {load} rep {rep} (seed {}): {e}",
+                            spec.base_seed + rep as u64
+                        ));
+                    }
+                }
+            }
+            cells.push(CellStats::from_summaries(
+                scheduler, load, &summaries, failed,
+            ));
+        }
+    }
+
+    Ok(SweepReport {
+        cells,
+        runs: spec.runs(),
+        failures,
+        unique_traces: cache.len(),
+        trace_hits: cache.hits(),
+        wall_micros: start.elapsed().as_micros() as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sps_workload::traces::SDSC;
+
+    fn tiny() -> SweepSpec {
+        SweepSpec::new(SDSC)
+            .with_schedulers(vec![SchedulerKind::Easy, SchedulerKind::Ss { sf: 2.0 }])
+            .with_loads(vec![0.8, 1.0])
+            .with_jobs(120)
+            .with_seed(11)
+            .with_reps(3)
+    }
+
+    #[test]
+    fn expansion_is_cell_major_with_rep_seeds() {
+        let spec = tiny();
+        let configs = spec.expand();
+        assert_eq!(configs.len(), 12);
+        // First cell: easy at load 0.8, seeds 11..14.
+        for (rep, cfg) in configs[..3].iter().enumerate() {
+            assert_eq!(cfg.scheduler, SchedulerKind::Easy);
+            assert_eq!(cfg.load_factor, 0.8);
+            assert_eq!(cfg.seed, 11 + rep as u64);
+        }
+        // Cells iterate load before scheduler.
+        assert_eq!(configs[3].load_factor, 1.0);
+        assert_eq!(configs[3].scheduler, SchedulerKind::Easy);
+        assert_eq!(configs[6].scheduler, SchedulerKind::Ss { sf: 2.0 });
+    }
+
+    #[test]
+    fn empty_axes_are_rejected() {
+        let no_sched = SweepSpec::new(SDSC);
+        assert_eq!(
+            no_sched.validate(),
+            Err(ConfigError::EmptyGrid("schedulers"))
+        );
+        assert_eq!(
+            tiny().with_loads(vec![]).validate(),
+            Err(ConfigError::EmptyGrid("loads"))
+        );
+        assert_eq!(
+            tiny().with_reps(0).validate(),
+            Err(ConfigError::EmptyGrid("reps"))
+        );
+        assert_eq!(
+            tiny().with_loads(vec![-1.0]).validate(),
+            Err(ConfigError::BadLoadFactor(-1.0))
+        );
+    }
+
+    #[test]
+    fn sweep_shares_traces_and_aggregates_cells() {
+        let spec = tiny();
+        let report = run_sweep(&spec, 2).expect("valid spec");
+        assert_eq!(report.cells.len(), 4);
+        assert_eq!(report.runs, 12);
+        assert!(report.failures.is_empty());
+        // 2 loads × 3 seeds distinct traces; the second scheduler reuses
+        // all six.
+        assert_eq!(report.unique_traces, 6);
+        assert_eq!(report.trace_hits, 6);
+        for cell in &report.cells {
+            assert_eq!(cell.reps, 3);
+            assert_eq!(cell.failures, 0);
+            assert!(cell.mean_slowdown.mean >= 1.0);
+            assert!(cell.mean_slowdown.half_width >= 0.0);
+            assert!(cell.utilization_pct.mean > 0.0);
+        }
+        // Preemptive SS preempts; EASY never does.
+        assert_eq!(report.cells[0].preemptions.mean, 0.0);
+    }
+
+    #[test]
+    fn cell_means_match_independent_runs() {
+        let spec = tiny().with_reps(2);
+        let report = run_sweep(&spec, 1).expect("valid spec");
+        // Recompute the easy @ 0.8 cell by hand from plain runs.
+        let by_hand: Vec<f64> = (0..2)
+            .map(|rep| {
+                let r = spec.config(SchedulerKind::Easy, 0.8, rep).run();
+                RunSummary::from_result(&r).mean_slowdown
+            })
+            .collect();
+        let expected = Ci::from_samples(&by_hand);
+        assert_eq!(report.cells[0].mean_slowdown, expected);
+    }
+
+    #[test]
+    fn report_renders_csv_json_table() {
+        let spec = tiny().with_reps(1).with_jobs(60);
+        let report = run_sweep(&spec, 4).expect("valid spec");
+        let csv = report.to_csv();
+        assert_eq!(csv.lines().count(), 5, "header + one row per cell");
+        assert!(csv.starts_with("scheduler,load,"));
+        let json = report.to_json().render();
+        assert!(json.contains("\"unique_traces\""));
+        assert!(json.contains("\"ss:2.0\""));
+        let table = report.render_table();
+        assert!(table.contains("mean slowdown"));
+        assert!(table.contains("2 cache hits"));
+    }
+}

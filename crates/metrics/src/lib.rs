@@ -23,6 +23,7 @@ pub mod export;
 pub mod faults;
 pub mod outcome;
 pub mod slowdown;
+pub mod streaming;
 pub mod table;
 pub mod timeline;
 pub mod util;
@@ -31,4 +32,5 @@ pub use aggregate::{CategoryReport, Stats};
 pub use faults::{goodput, interrupted_slowdown, FaultSummary};
 pub use outcome::JobOutcome;
 pub use slowdown::{bounded_slowdown, SLOWDOWN_THRESHOLD};
+pub use streaming::{P2Quantile, StreamingStats};
 pub use util::utilization;

@@ -1,0 +1,351 @@
+//! Streaming (single-pass, O(1)-memory) statistics for sweep-scale runs.
+//!
+//! A paper-scale sweep visits hundreds of configurations of up to 100k
+//! jobs each; holding every [`JobOutcome`](crate::JobOutcome) per run just
+//! to aggregate means and tails at the end is what bounded the old batch
+//! path's memory. These accumulators fold observations as they appear:
+//!
+//! * [`StreamingStats`] — count / mean / M2 (Welford) plus min and max,
+//!   mergeable across accumulators;
+//! * [`P2Quantile`] — the P² algorithm of Jain & Chlamtac (CACM 1985):
+//!   a five-marker piecewise-parabolic estimate of one quantile, exact
+//!   until the sixth observation and O(1) memory forever after.
+//!
+//! Both are deterministic functions of the observation sequence, so two
+//! sweeps that feed identical outcomes produce bit-identical summaries —
+//! the property the cached-trace golden test pins.
+
+/// Welford online mean/variance with min/max, mergeable.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StreamingStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl StreamingStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        StreamingStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Fold one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Observations folded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance (n − 1 denominator; 0 with fewer than two
+    /// observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Combine with another accumulator (Chan et al.'s parallel update),
+    /// as if `other`'s observations had been pushed here.
+    pub fn merge(&mut self, other: &StreamingStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// P² single-quantile estimator (Jain & Chlamtac, 1985). Five markers
+/// track the quantile of interest; marker heights move by parabolic (or,
+/// at the edges, linear) interpolation as observations stream in.
+#[derive(Clone, Debug)]
+pub struct P2Quantile {
+    /// The target quantile, in (0, 1).
+    q: f64,
+    /// Marker heights q_0..q_4 (sorted first observations until 5 arrive).
+    heights: [f64; 5],
+    /// Actual marker positions n_0..n_4 (1-based ranks).
+    pos: [i64; 5],
+    /// Desired marker positions n'_0..n'_4.
+    desired: [f64; 5],
+    /// Per-observation increments of the desired positions.
+    inc: [f64; 5],
+    count: u64,
+}
+
+impl P2Quantile {
+    /// An estimator for quantile `q` (e.g. `0.99`). Panics unless
+    /// `0 < q < 1`.
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0, 1), got {q}");
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            pos: [1, 2, 3, 4, 5],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            inc: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// Observations folded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Fold one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        if self.count <= 5 {
+            // Bootstrap: keep the first five observations sorted.
+            let k = self.count as usize;
+            self.heights[k - 1] = x;
+            self.heights[..k].sort_by(f64::total_cmp);
+            return;
+        }
+        // Locate the cell and clamp the extreme markers.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            // Largest i in 0..=3 with heights[i] <= x.
+            (0..4).rfind(|&i| self.heights[i] <= x).unwrap_or(0)
+        };
+        for i in (k + 1)..5 {
+            self.pos[i] += 1;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.inc[i];
+        }
+        // Nudge the interior markers toward their desired positions.
+        for i in 1..4 {
+            let d = self.desired[i] - self.pos[i] as f64;
+            let above = self.pos[i + 1] - self.pos[i];
+            let below = self.pos[i - 1] - self.pos[i];
+            if (d >= 1.0 && above > 1) || (d <= -1.0 && below < -1) {
+                let s = if d >= 1.0 { 1i64 } else { -1i64 };
+                let adjusted = self.parabolic(i, s as f64);
+                if self.heights[i - 1] < adjusted && adjusted < self.heights[i + 1] {
+                    self.heights[i] = adjusted;
+                } else {
+                    self.heights[i] = self.linear(i, s);
+                }
+                self.pos[i] += s;
+            }
+        }
+    }
+
+    /// Piecewise-parabolic (P²) height prediction for marker `i` moved by
+    /// `s` (±1).
+    fn parabolic(&self, i: usize, s: f64) -> f64 {
+        let (nm, n0, np) = (
+            self.pos[i - 1] as f64,
+            self.pos[i] as f64,
+            self.pos[i + 1] as f64,
+        );
+        let (qm, q0, qp) = (self.heights[i - 1], self.heights[i], self.heights[i + 1]);
+        q0 + s / (np - nm)
+            * ((n0 - nm + s) * (qp - q0) / (np - n0) + (np - n0 - s) * (q0 - qm) / (n0 - nm))
+    }
+
+    /// Linear fallback when the parabola would break marker monotonicity.
+    fn linear(&self, i: usize, s: i64) -> f64 {
+        let j = (i as i64 + s) as usize;
+        self.heights[i]
+            + s as f64 * (self.heights[j] - self.heights[i]) / (self.pos[j] - self.pos[i]) as f64
+    }
+
+    /// The current quantile estimate. Exact (interpolated over the sorted
+    /// sample) with five or fewer observations; NaN when empty.
+    pub fn value(&self) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        if self.count > 5 {
+            return self.heights[2];
+        }
+        let n = self.count as usize;
+        let sample = &self.heights[..n];
+        let rank = self.q * (n - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        sample[lo] + (sample[hi] - sample[lo]) * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sps_simcore::SimRng;
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 / 3.0).collect();
+        let mut s = StreamingStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((s.mean() - mean).abs() < 1e-9);
+        assert!((s.variance() - var).abs() < 1e-6);
+        assert_eq!(s.count(), 1000);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(
+            s.max(),
+            xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        );
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let mut rng = SimRng::seed_from_u64(9);
+        let xs: Vec<f64> = (0..500).map(|_| rng.range_f64(-50.0, 50.0)).collect();
+        let mut whole = StreamingStats::new();
+        let (mut a, mut b) = (StreamingStats::new(), StreamingStats::new());
+        for (i, &x) in xs.iter().enumerate() {
+            whole.push(x);
+            if i % 3 == 0 {
+                a.push(x);
+            } else {
+                b.push(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-6);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    /// Exact quantile by linear interpolation over a sorted copy — the
+    /// reference the P² property checks against.
+    fn exact_quantile(xs: &mut [f64], q: f64) -> f64 {
+        xs.sort_by(f64::total_cmp);
+        let rank = q * (xs.len() - 1) as f64;
+        let (lo, hi) = (rank.floor() as usize, rank.ceil() as usize);
+        xs[lo] + (xs[hi] - xs[lo]) * (rank - rank.floor())
+    }
+
+    /// Property: on seeded data from several distribution shapes, the P²
+    /// estimate stays within a few percent of the sample spread of the
+    /// exact quantile.
+    #[test]
+    fn p2_tracks_exact_quantiles_on_seeded_data() {
+        for seed in 0..6u64 {
+            let mut rng = SimRng::seed_from_u64(0x9E2_0000 + seed);
+            for q in [0.5, 0.9, 0.99] {
+                for shape in 0..3 {
+                    let xs: Vec<f64> = (0..8_000)
+                        .map(|_| {
+                            let u = rng.next_f64().max(1e-12);
+                            match shape {
+                                0 => u * 1_000.0,                  // uniform
+                                1 => -u.ln() * 300.0,              // exponential
+                                _ => (-u.ln() * 1.5).exp() * 10.0, // heavy tail
+                            }
+                        })
+                        .collect();
+                    let mut p2 = P2Quantile::new(q);
+                    for &x in &xs {
+                        p2.push(x);
+                    }
+                    let mut copy = xs.clone();
+                    let exact = exact_quantile(&mut copy, q);
+                    let spread = copy[copy.len() - 1] - copy[0];
+                    let err = (p2.value() - exact).abs();
+                    assert!(
+                        err <= 0.05 * spread + 1e-9,
+                        "seed {seed} q {q} shape {shape}: p2 {} vs exact {exact} (spread {spread})",
+                        p2.value()
+                    );
+                    // Relative accuracy on the two smoother shapes.
+                    if shape < 2 {
+                        assert!(
+                            err <= 0.05 * exact.abs() + 1e-9,
+                            "seed {seed} q {q} shape {shape}: p2 {} vs exact {exact}",
+                            p2.value()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn p2_is_exact_for_tiny_samples() {
+        let mut p2 = P2Quantile::new(0.5);
+        assert!(p2.value().is_nan());
+        for x in [5.0, 1.0, 3.0] {
+            p2.push(x);
+        }
+        assert_eq!(p2.value(), 3.0);
+        assert_eq!(p2.count(), 3);
+    }
+}

@@ -19,6 +19,7 @@
 //! * [`load`] — the load-variation transformation of Section VI (divide
 //!   arrival times by a constant factor).
 
+pub mod cache;
 pub mod category;
 pub mod estimate;
 pub mod job;
@@ -27,6 +28,7 @@ pub mod swf;
 pub mod synthetic;
 pub mod traces;
 
+pub use cache::{TraceCache, TraceKey};
 pub use category::{Category, CoarseCategory, RuntimeClass, WidthClass};
 pub use estimate::EstimateModel;
 pub use job::{Job, JobId};

@@ -19,10 +19,11 @@
 //! config in a header record); `validate` replays such a log and
 //! re-checks the scheduling invariants from the file alone.
 
-use selective_preemption::core::experiment::{ExperimentConfig, SchedulerKind};
+use selective_preemption::core::experiment::{default_threads, ExperimentConfig, SchedulerKind};
 use selective_preemption::core::faults::{FaultModel, RecoveryPolicy};
 use selective_preemption::core::overhead::OverheadModel;
 use selective_preemption::core::sim::Simulator;
+use selective_preemption::core::sweep::{run_sweep, SweepSpec};
 use selective_preemption::metrics::table::render_comparison;
 use selective_preemption::metrics::{goodput, CategoryReport};
 use selective_preemption::simcore::Watchdog;
@@ -41,7 +42,11 @@ fn usage() -> ! {
     eprintln!("             [--jobs N] [--load F] [--seed N] [--estimates accurate|mixture]");
     eprintln!("             [--overhead none|paper] [--diurnal A] [--worst] [--csv PREFIX]");
     eprintln!("             [--mtbf SECS] [--mttr SECS] [--recovery wait|resubmit|remap]");
-    eprintln!("             [--fault-seed N]");
+    eprintln!("             [--fault-seed N] [--threads N]");
+    eprintln!("  sps sweep  --system <CTC|SDSC|KTH> --sched <SPEC> [--sched <SPEC>...]");
+    eprintln!("             [--loads F,F,...] [--jobs N] [--seed N] [--reps N] [--threads N]");
+    eprintln!("             [--estimates accurate|mixture] [--overhead none|paper]");
+    eprintln!("             [--format table|csv|json] [--out FILE]");
     eprintln!("  sps replay --swf FILE --procs N --sched <SPEC> [--sched <SPEC>...] [--worst]");
     eprintln!("  sps trace  --system <CTC|SDSC|KTH> --sched <SPEC> --out FILE");
     eprintln!("             [--format jsonl|csv] [--jobs N] [--load F] [--seed N] ...");
@@ -49,6 +54,9 @@ fn usage() -> ! {
     eprintln!("  sps schedulers");
     eprintln!();
     eprintln!("scheduler SPEC: fcfs | cons | ns | flex:<depth> | is | gang | ss:<sf> | tss:<sf>");
+    eprintln!("sweep: the full scheduler x load grid runs --reps seed replications per cell");
+    eprintln!("       and reports per-cell means with 95% confidence half-widths;");
+    eprintln!("       --threads defaults to the SPS_THREADS env var, then all cores");
     eprintln!("faults: --mtbf enables per-processor failures (exponential, mean SECS);");
     eprintln!("        --mttr sets the repair time mean (default 1800 s); --recovery picks");
     eprintln!("        what happens to suspended jobs whose processors died");
@@ -79,6 +87,9 @@ struct Args {
     mttr: Option<i64>,
     recovery: Option<RecoveryPolicy>,
     fault_seed: Option<u64>,
+    loads: Option<Vec<f64>>,
+    reps: Option<usize>,
+    threads: Option<usize>,
 }
 
 impl Args {
@@ -168,6 +179,22 @@ fn parse_args(mut argv: std::vec::IntoIter<String>) -> Args {
             "--fault-seed" => {
                 args.fault_seed = Some(value().parse().unwrap_or_else(|_| fail("bad --fault-seed")))
             }
+            "--loads" => {
+                args.loads = Some(
+                    value()
+                        .split(',')
+                        .map(|s| s.trim().parse().unwrap_or_else(|_| fail("bad --loads")))
+                        .collect(),
+                )
+            }
+            "--reps" => args.reps = Some(value().parse().unwrap_or_else(|_| fail("bad --reps"))),
+            "--threads" => {
+                let n: usize = value().parse().unwrap_or_else(|_| fail("bad --threads"));
+                if n == 0 {
+                    fail("--threads must be at least 1");
+                }
+                args.threads = Some(n);
+            }
             "--worst" => args.worst = true,
             "--swf" => args.swf = Some(value()),
             "--csv" => args.csv = Some(value()),
@@ -185,12 +212,46 @@ fn report(jobs: Vec<Job>, procs: u32, args: &Args) {
         fail("at least one --sched required");
     }
     let faults = args.faults();
+    // Simulate every scheme first — in parallel when --threads (or
+    // SPS_THREADS) allows it — then print in input order.
+    let threads = args
+        .threads
+        .unwrap_or_else(default_threads)
+        .min(args.scheds.len())
+        .max(1);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let jobs = &jobs;
+            let next = &next;
+            let scheds = &args.scheds;
+            let overhead = args.overhead;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= scheds.len() {
+                    break;
+                }
+                let sim =
+                    Simulator::with_overhead(jobs.clone(), procs, scheds[i].build(), overhead)
+                        .with_faults(faults)
+                        .with_watchdog(Watchdog::generous());
+                if tx.send((i, sim.run())).is_err() {
+                    break;
+                }
+            });
+        }
+    });
+    drop(tx);
+    let mut results: Vec<Option<selective_preemption::core::sim::SimResult>> =
+        (0..args.scheds.len()).map(|_| None).collect();
+    for (i, res) in rx {
+        results[i] = Some(res);
+    }
     let mut grids: Vec<(String, [f64; 16])> = Vec::new();
-    for &kind in &args.scheds {
-        let sim = Simulator::with_overhead(jobs.clone(), procs, kind.build(), args.overhead)
-            .with_faults(faults)
-            .with_watchdog(Watchdog::generous());
-        let res = sim.run();
+    for (&kind, res) in args.scheds.iter().zip(results) {
+        let res = res.expect("every scheme simulated");
         let rep = CategoryReport::from_outcomes(&res.outcomes);
         println!(
             "{:<14} overall slowdown {:>7.2}  mean turnaround {:>8.0} s  utilization {:>5.1}%  preemptions {:>6}",
@@ -297,6 +358,66 @@ fn main() {
                 args.seed
             );
             report(jobs, system.procs, &args);
+        }
+        "sweep" => {
+            let args = parse_args(argv.into_iter());
+            let system = args.system.unwrap_or_else(|| fail("--system required"));
+            if args.scheds.is_empty() {
+                fail("at least one --sched required");
+            }
+            if args.mtbf.is_some() || args.mttr.is_some() || args.recovery.is_some() {
+                fail("fault injection is not supported by sweep (use run)");
+            }
+            if args.diurnal > 0.0 {
+                fail("--diurnal is not supported by sweep");
+            }
+            let mut spec = SweepSpec::new(system)
+                .with_schedulers(args.scheds.clone())
+                .with_loads(args.loads.clone().unwrap_or_else(|| vec![args.load]))
+                .with_seed(args.seed)
+                .with_reps(args.reps.unwrap_or(1))
+                .with_estimates(args.estimates)
+                .with_overhead(args.overhead);
+            if let Some(n) = args.jobs {
+                spec = spec.with_jobs(n);
+            }
+            let threads = args.threads.unwrap_or_else(default_threads);
+            eprintln!(
+                "{}: {} cells x {} reps = {} runs of {} jobs on {} threads",
+                system.name,
+                spec.cells(),
+                spec.reps,
+                spec.runs(),
+                spec.n_jobs,
+                threads,
+            );
+            let report = run_sweep(&spec, threads).unwrap_or_else(|e| fail(&e.to_string()));
+            for failure in &report.failures {
+                eprintln!("warning: {failure}");
+            }
+            let rendered = match args.format.as_deref().unwrap_or("table") {
+                "table" => report.render_table(),
+                "csv" => report.to_csv(),
+                "json" => {
+                    let mut s = report.to_json().render();
+                    s.push('\n');
+                    s
+                }
+                other => fail(&format!(
+                    "unknown sweep format {other:?} (table, csv, json)"
+                )),
+            };
+            match &args.out {
+                Some(path) => {
+                    std::fs::write(path, &rendered)
+                        .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+                    eprintln!("wrote {path}");
+                }
+                None => print!("{rendered}"),
+            }
+            if !report.failures.is_empty() {
+                std::process::exit(1);
+            }
         }
         "replay" => {
             let args = parse_args(argv.into_iter());

@@ -42,17 +42,20 @@ pub use sps_workload as workload;
 pub mod prelude {
     pub use sps_cluster::{Cluster, ProcSet};
     pub use sps_core::experiment::{
-        run_many, run_many_checked, ConfigError, ExperimentConfig, RunError, RunResult,
-        SchedulerKind,
+        default_threads, run_many, run_many_checked, ConfigError, ExperimentConfig, RunError,
+        RunResult, SchedulerKind,
     };
     pub use sps_core::faults::{FaultModel, RecoveryPolicy};
     pub use sps_core::overhead::OverheadModel;
     pub use sps_core::sim::{AbortReason, RunStatus, SimResult, Simulator};
-    pub use sps_metrics::{goodput, CategoryReport, FaultSummary, JobOutcome};
+    pub use sps_core::sweep::{run_sweep, CellStats, Ci, RunSummary, SweepReport, SweepSpec};
+    pub use sps_metrics::{
+        goodput, CategoryReport, FaultSummary, JobOutcome, P2Quantile, StreamingStats,
+    };
     pub use sps_simcore::{SimTime, HOUR, MINUTE};
     pub use sps_trace::{CsvSink, JsonlSink, MemorySink, NullSink, TraceRecord, TraceSink};
     pub use sps_workload::{
         Category, CoarseCategory, EstimateModel, Job, JobId, RuntimeClass, SyntheticConfig,
-        SystemPreset, WidthClass,
+        SystemPreset, TraceCache, TraceKey, WidthClass,
     };
 }

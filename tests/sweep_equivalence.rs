@@ -1,0 +1,304 @@
+//! Sweep-engine equivalence: the fast path (shared trace cache, calendar
+//! event queue, quiescent tick elision, streaming per-run folds) must be
+//! *bit-identical* to the naive path it replaced — same traces, same
+//! simulation results, same per-cell statistics.
+
+use selective_preemption::core::sim::Simulator;
+use selective_preemption::core::sweep::{run_sweep, CellStats, RunSummary, SweepSpec};
+use selective_preemption::prelude::*;
+use sps_simcore::Watchdog;
+use sps_workload::traces::{CTC, SDSC};
+
+/// FNV-1a, 64-bit (stable across platforms, unlike `DefaultHasher`).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        for &b in &v.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+fn trace_hash(jobs: &[Job]) -> u64 {
+    let mut h = Fnv::new();
+    h.write_u64(jobs.len() as u64);
+    for j in jobs {
+        h.write_u64(j.id.0 as u64);
+        h.write_u64(j.submit.secs() as u64);
+        h.write_u64(j.run as u64);
+        h.write_u64(j.estimate as u64);
+        h.write_u64(u64::from(j.procs));
+        h.write_u64(u64::from(j.mem_mb));
+    }
+    h.0
+}
+
+fn grid() -> SweepSpec {
+    SweepSpec::new(SDSC)
+        .with_schedulers(vec![
+            SchedulerKind::Easy,
+            SchedulerKind::Ss { sf: 2.0 },
+            SchedulerKind::Tss { sf: 1.5 },
+            SchedulerKind::ImmediateService,
+        ])
+        .with_loads(vec![0.8, 1.0])
+        .with_jobs(250)
+        .with_seed(17)
+        .with_reps(2)
+}
+
+/// Cached traces are byte-for-byte the traces each config would have
+/// generated for itself; configs differing only in scheduler share one.
+#[test]
+fn shared_traces_match_per_config_regeneration() {
+    let spec = grid();
+    let cache = TraceCache::new();
+    let mut shared_by_key = std::collections::HashMap::new();
+    for cfg in spec.expand() {
+        let shared = cfg.trace_shared(&cache);
+        let fresh = cfg.trace();
+        assert_eq!(
+            trace_hash(&shared),
+            trace_hash(&fresh),
+            "cached trace diverges from regeneration for {} seed {} load {}",
+            cfg.scheduler,
+            cfg.seed,
+            cfg.load_factor
+        );
+        // One Arc per key: scheduler-only variation must not re-generate.
+        let prev = shared_by_key.insert(cfg.trace_key(), std::sync::Arc::clone(&shared));
+        if let Some(prev) = prev {
+            assert!(std::sync::Arc::ptr_eq(&prev, &shared));
+        }
+    }
+    // 2 loads × 2 seeds distinct; 4 schedulers share each.
+    assert_eq!(cache.len(), 4);
+    assert_eq!(cache.misses(), 4);
+    assert_eq!(cache.hits(), 12);
+}
+
+/// The naive path: per-run regeneration, idle ticks processed, every
+/// `SimResult` retained, folded at the end — with identical arithmetic.
+fn naive_cells(spec: &SweepSpec) -> Vec<CellStats> {
+    let results: Vec<(ExperimentConfig, SimResult)> = spec
+        .expand()
+        .into_iter()
+        .map(|cfg| {
+            let sim = Simulator::with_overhead_and_tick(
+                cfg.trace(),
+                cfg.system.procs,
+                cfg.scheduler.build(),
+                cfg.overhead,
+                cfg.tick_period,
+            )
+            .with_watchdog(Watchdog::generous())
+            .with_tick_elision(false);
+            let res = sim.run();
+            (cfg, res)
+        })
+        .collect();
+    let mut cells = Vec::new();
+    let mut chunks = results.chunks_exact(spec.reps);
+    for &scheduler in &spec.schedulers {
+        for &load in &spec.loads {
+            let chunk = chunks.next().expect("cell-major expansion");
+            let summaries: Vec<RunSummary> = chunk
+                .iter()
+                .map(|(cfg, sim)| RunSummary::fold(cfg, sim))
+                .collect();
+            cells.push(CellStats::from_summaries(scheduler, load, &summaries, 0));
+        }
+    }
+    cells
+}
+
+/// The golden equivalence: every per-cell statistic of the cached,
+/// elided, streaming sweep equals the naive path bit-for-bit.
+#[test]
+fn sweep_cells_are_bit_identical_to_naive_path() {
+    let spec = grid();
+    let report = run_sweep(&spec, 2).expect("valid spec");
+    assert!(report.failures.is_empty());
+    let naive = naive_cells(&spec);
+    assert_eq!(report.cells.len(), naive.len());
+    for (fast, slow) in report.cells.iter().zip(&naive) {
+        assert_eq!(
+            fast, slow,
+            "cell {} @ load {} diverged between sweep and naive paths",
+            slow.scheduler, slow.load_factor
+        );
+    }
+}
+
+/// The two event-queue backends implement one total order, so a whole
+/// simulation — not just the queue in isolation — must be bit-identical
+/// whichever one carries it.
+#[test]
+fn heap_and_calendar_backends_agree_end_to_end() {
+    for spec in ["easy", "ss:2", "gang"] {
+        let kind: SchedulerKind = spec.parse().expect("spec parses");
+        let cfg = ExperimentConfig::new(SDSC, kind)
+            .with_jobs(150)
+            .with_seed(3)
+            .with_overhead(OverheadModel::paper());
+        let run = |heap: bool| {
+            let sim = Simulator::with_overhead_and_tick(
+                cfg.trace(),
+                cfg.system.procs,
+                cfg.scheduler.build(),
+                cfg.overhead,
+                cfg.tick_period,
+            )
+            .with_watchdog(Watchdog::generous());
+            if heap { sim.with_heap_queue() } else { sim }.run()
+        };
+        let (h, c) = (run(true), run(false));
+        assert_eq!(h.makespan, c.makespan, "{spec}: makespan");
+        assert_eq!(h.preemptions, c.preemptions, "{spec}: preemptions");
+        assert_eq!(h.utilization.to_bits(), c.utilization.to_bits(), "{spec}");
+        for (a, b) in h.outcomes.iter().zip(&c.outcomes) {
+            assert_eq!(
+                (a.id, a.first_start, a.completion, a.suspensions),
+                (b.id, b.first_start, b.completion, b.suspensions),
+                "{spec}: outcome {:?}",
+                a.id
+            );
+        }
+    }
+}
+
+/// The fast no-op decide certifications (SS's placement-width +
+/// SF×min-running-xfactor bound, IS's empty-waiting exact-fit bound) must
+/// be *provably equivalent* shortcuts: a run with them active and a run
+/// forced onto the exhaustive reference scan must be bit-identical.
+#[test]
+fn reference_and_fast_decides_agree_end_to_end() {
+    for system in [SDSC, CTC] {
+        for spec in ["ss:1.5", "ss:2", "ss:10", "tss:1.5", "tss:2", "is"] {
+            let kind: SchedulerKind = spec.parse().expect("spec parses");
+            let cfg = ExperimentConfig::new(system, kind)
+                .with_jobs(160)
+                .with_seed(11)
+                .with_overhead(OverheadModel::paper());
+            let run = |reference: bool| {
+                let sim = Simulator::with_overhead_and_tick(
+                    cfg.trace(),
+                    cfg.system.procs,
+                    cfg.scheduler.build(),
+                    cfg.overhead,
+                    cfg.tick_period,
+                )
+                .with_watchdog(Watchdog::generous())
+                // Elision off so every tick actually reaches `decide`,
+                // exercising the fast path at maximum frequency.
+                .with_tick_elision(false);
+                if reference {
+                    sim.with_reference_decides()
+                } else {
+                    sim
+                }
+                .run()
+            };
+            let (r, f) = (run(true), run(false));
+            let label = format!("{} on {}", spec, system.name);
+            assert_eq!(r.makespan, f.makespan, "{label}: makespan");
+            assert_eq!(r.preemptions, f.preemptions, "{label}: preemptions");
+            assert_eq!(
+                r.dropped_actions, f.dropped_actions,
+                "{label}: dropped actions"
+            );
+            assert_eq!(
+                r.utilization.to_bits(),
+                f.utilization.to_bits(),
+                "{label}: utilization"
+            );
+            for (a, b) in r.outcomes.iter().zip(&f.outcomes) {
+                assert_eq!(
+                    (a.id, a.first_start, a.completion, a.suspensions),
+                    (b.id, b.first_start, b.completion, b.suspensions),
+                    "{label}: outcome {:?}",
+                    a.id
+                );
+            }
+        }
+    }
+}
+
+/// Tick elision must not change *any* observable simulation output, for
+/// every policy that certifies quiescent decides as no-ops — and gang
+/// (which doesn't) must behave identically too, because the gate reads
+/// `Policy::quiescent_noop`.
+#[test]
+fn tick_elision_preserves_simulation_results() {
+    for system in [SDSC, CTC] {
+        for spec in [
+            "ns", "cons", "fcfs", "flex:3", "is", "ss:2", "tss:1.5", "gang",
+        ] {
+            let kind: SchedulerKind = spec.parse().expect("spec parses");
+            // Low load stretches arrival gaps, so the workload has long
+            // quiescent stretches — the case elision actually changes.
+            let cfg = ExperimentConfig::new(system, kind)
+                .with_jobs(180)
+                .with_seed(9)
+                .with_load_factor(0.5)
+                .with_overhead(OverheadModel::paper());
+            let run = |elide: bool| {
+                Simulator::with_overhead_and_tick(
+                    cfg.trace(),
+                    cfg.system.procs,
+                    cfg.scheduler.build(),
+                    cfg.overhead,
+                    cfg.tick_period,
+                )
+                .with_watchdog(Watchdog::generous())
+                .with_tick_elision(elide)
+                .run()
+            };
+            let (with, without) = (run(true), run(false));
+            let label = format!("{} on {}", spec, system.name);
+            assert_eq!(with.makespan, without.makespan, "{label}: makespan");
+            assert_eq!(
+                with.preemptions, without.preemptions,
+                "{label}: preemptions"
+            );
+            assert_eq!(
+                with.dropped_actions, without.dropped_actions,
+                "{label}: dropped actions"
+            );
+            assert_eq!(
+                with.utilization.to_bits(),
+                without.utilization.to_bits(),
+                "{label}: utilization"
+            );
+            assert_eq!(with.outcomes.len(), without.outcomes.len(), "{label}: jobs");
+            for (a, b) in with.outcomes.iter().zip(&without.outcomes) {
+                assert_eq!(
+                    (a.id, a.first_start, a.completion, a.suspensions),
+                    (b.id, b.first_start, b.completion, b.suspensions),
+                    "{label}: outcome {:?}",
+                    a.id
+                );
+            }
+            // Elision only ever removes work: never more events than the
+            // un-elided run, and strictly fewer for the certified
+            // policies on this idle-heavy workload.
+            assert!(
+                with.kernel.events <= without.kernel.events,
+                "{label}: elision added events"
+            );
+            let policy = kind.build();
+            if policy.quiescent_noop() && policy.needs_tick() {
+                assert!(
+                    with.kernel.events < without.kernel.events,
+                    "{label}: no ticks elided on an idle-heavy workload"
+                );
+            }
+        }
+    }
+}
