@@ -12,7 +12,12 @@
 //! before/after numbers live in `BENCH_kernel.json` at the repo root.
 //!
 //! Flags: `--smoke` runs one sample per case (CI keeps the path alive),
-//! `--quick` three; a bare argument is a substring filter.
+//! `--quick` three; a bare argument is a substring filter. `--guard`
+//! compares each case's events/sec against the `after` baselines in
+//! `BENCH_kernel.json` and exits non-zero below 50% of baseline — a
+//! coarse CI tripwire for "telemetry (or anything else) made the
+//! default-disabled hot path slow", deliberately loose enough to
+//! survive shared-runner noise.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -117,18 +122,55 @@ fn percentile(sorted: &[u64], p: f64) -> f64 {
     sorted[idx] as f64 / 1e3
 }
 
+/// `after.events_per_sec` baselines from `BENCH_kernel.json` at the
+/// workspace root, keyed by case label.
+fn load_baselines() -> Vec<(String, f64)> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernel.json");
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("--guard needs {path}: {e}"));
+    let json = sps_trace::Json::parse(&text).expect("BENCH_kernel.json parses");
+    json.get("cases")
+        .and_then(|c| c.as_arr())
+        .expect("BENCH_kernel.json has cases")
+        .iter()
+        .map(|case| {
+            let label = case
+                .get("case")
+                .and_then(|v| v.as_str())
+                .expect("case label")
+                .to_string();
+            let rate = case
+                .get("after")
+                .and_then(|a| a.get("events_per_sec"))
+                .and_then(|v| v.as_f64())
+                .expect("after.events_per_sec");
+            (label, rate)
+        })
+        .collect()
+}
+
+/// Fraction of the recorded baseline a case must reach under `--guard`.
+/// Deliberately generous: the guard exists to catch a structural
+/// regression (an always-on telemetry branch, a lost fast path), not to
+/// police machine-to-machine variance.
+const GUARD_FLOOR: f64 = 0.5;
+
 fn main() {
     let mut samples = 7usize;
     let mut filter = None;
+    let mut guard = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--smoke" => samples = 1,
             "--quick" => samples = 3,
+            "--guard" => guard = true,
             "--bench" | "--test" => {}
             s if s.starts_with("--") => {}
             s => filter = Some(s.to_string()),
         }
     }
+    let baselines = if guard { load_baselines() } else { Vec::new() };
+    let mut violations: Vec<String> = Vec::new();
 
     for case in cases() {
         let full = format!("decide_throughput/{}", case.label);
@@ -178,5 +220,43 @@ fn main() {
             wall * 1e3,
             events_per_sec,
         );
+        if guard {
+            match baselines.iter().find(|(l, _)| l == case.label) {
+                Some(&(_, base)) => {
+                    let floor = base * GUARD_FLOOR;
+                    let pct = events_per_sec / base * 100.0;
+                    println!(
+                        "guard {:<30} {:>6.1}% of baseline ({:.0} vs {:.0} events/s, floor {:.0})",
+                        case.label, pct, events_per_sec, base, floor
+                    );
+                    if events_per_sec < floor {
+                        violations.push(format!(
+                            "{}: {:.0} events/s is below {:.0} ({}% of the {:.0} baseline)",
+                            case.label,
+                            events_per_sec,
+                            floor,
+                            (GUARD_FLOOR * 100.0) as u32,
+                            base
+                        ));
+                    }
+                }
+                None => {
+                    violations.push(format!("{}: no baseline in BENCH_kernel.json", case.label))
+                }
+            }
+        }
+    }
+    if guard {
+        if violations.is_empty() {
+            println!(
+                "guard OK: every case within {}% of baseline",
+                (GUARD_FLOOR * 100.0) as u32
+            );
+        } else {
+            for v in &violations {
+                eprintln!("guard FAIL: {v}");
+            }
+            std::process::exit(1);
+        }
     }
 }

@@ -1516,7 +1516,7 @@ pub fn kernel_throughput() -> String {
             k.events,
             k.decide_calls,
             k.wall_micros as f64 / 1e3,
-            k.events_per_sec(),
+            k.events_per_sec().unwrap_or(0.0),
         ));
     }
     out.push_str("\nWall time is per-process and machine-dependent; event and decide\ncounts are deterministic.\n");

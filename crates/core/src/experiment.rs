@@ -14,6 +14,7 @@ use std::sync::Arc;
 
 use sps_metrics::{CategoryReport, JobOutcome};
 use sps_simcore::Secs;
+use sps_telemetry::TelemetrySink;
 use sps_trace::{DecodeError, Json, TraceRecord, TraceSink, TRACE_VERSION};
 use sps_workload::{EstimateModel, Job, SyntheticConfig, SystemPreset, TraceCache, TraceKey};
 
@@ -394,6 +395,37 @@ impl ExperimentConfig {
         .with_faults(self.faults)
         .with_watchdog(Watchdog::generous());
         sim.run()
+    }
+
+    /// [`ExperimentConfig::simulate`] with a telemetry sink attached. The
+    /// sink observes the run (metrics, spans, health detectors) without
+    /// perturbing it — outcomes are bit-identical to the plain run — and
+    /// stays with the caller for rendering afterwards. `SimResult::health`
+    /// carries the detector roll-up when the sink tracks health.
+    pub fn simulate_instrumented<T: TelemetrySink>(
+        &self,
+        jobs: Vec<Job>,
+        telemetry: &mut T,
+    ) -> SimResult {
+        let sim = Simulator::with_overhead_and_tick(
+            jobs,
+            self.system.procs,
+            self.scheduler.build(),
+            self.overhead,
+            self.tick_period,
+        )
+        .with_telemetry(telemetry)
+        .with_faults(self.faults)
+        .with_watchdog(Watchdog::generous());
+        sim.run()
+    }
+
+    /// [`ExperimentConfig::run`] with a telemetry sink attached.
+    pub fn run_instrumented<T: TelemetrySink>(&self, telemetry: &mut T) -> RunResult {
+        let cfg = Arc::new(self.clone());
+        let jobs = cfg.trace();
+        let sim = cfg.simulate_instrumented(jobs, telemetry);
+        RunResult::from_sim(cfg, sim)
     }
 
     /// Run the simulation and aggregate reports.
@@ -789,6 +821,25 @@ where
     T: Send,
     F: Fn(&Arc<ExperimentConfig>) -> T + Sync,
 {
+    run_batch_observed(configs, threads, runner, |_, _| {})
+}
+
+/// [`run_batch`] with a progress observer. `observe(index, result)` runs
+/// on the caller's thread, once per *terminal* outcome in completion order
+/// — a panicked or invalid cell is observed exactly like a successful one,
+/// so progress accounting (done counts, ETA math) never stalls on a failed
+/// replication.
+pub(crate) fn run_batch_observed<T, F, O>(
+    configs: Vec<ExperimentConfig>,
+    threads: usize,
+    runner: F,
+    mut observe: O,
+) -> Vec<Result<T, RunError>>
+where
+    T: Send,
+    F: Fn(&Arc<ExperimentConfig>) -> T + Sync,
+    O: FnMut(usize, &Result<T, RunError>),
+{
     let configs: Vec<Arc<ExperimentConfig>> = configs.into_iter().map(Arc::new).collect();
     let n = configs.len();
     let next = std::sync::atomic::AtomicUsize::new(0);
@@ -826,6 +877,7 @@ where
         drop(tx); // the receive loop ends once every worker is done
         let mut results: Vec<Option<Result<T, RunError>>> = (0..n).map(|_| None).collect();
         for (i, r) in rx {
+            observe(i, &r);
             results[i] = Some(r);
         }
         results
@@ -961,6 +1013,39 @@ mod tests {
             Err(RunError::Invalid(ConfigError::NoJobs))
         ));
         assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn observer_sees_every_terminal_outcome_including_panics() {
+        // Progress accounting must count panicked and invalid cells like
+        // successes — an observer that only saw Ok results would stall
+        // its done counter (and ETA) on the first failed replication.
+        let configs = vec![
+            small(SchedulerKind::Easy),
+            small(SchedulerKind::Fcfs).with_seed(777),
+            small(SchedulerKind::Fcfs).with_jobs(0),
+            small(SchedulerKind::Ss { sf: 2.0 }),
+        ];
+        let mut seen = Vec::new();
+        let results = run_batch_observed(
+            configs,
+            2,
+            |cfg| {
+                if cfg.seed == 777 {
+                    panic!("injected failure for seed 777");
+                }
+                cfg.run()
+            },
+            |i, r| seen.push((i, r.is_err())),
+        );
+        assert_eq!(results.len(), 4);
+        assert_eq!(seen.len(), 4, "one observation per terminal outcome");
+        seen.sort_unstable();
+        assert_eq!(
+            seen,
+            vec![(0, false), (1, true), (2, true), (3, false)],
+            "panicked and invalid cells are observed exactly like successes"
+        );
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use sps_cluster::ProcSet;
 use sps_metrics::JobOutcome;
+use sps_telemetry::TelemetryCtx;
 use sps_trace::TraceCtx;
 use sps_workload::JobId;
 
@@ -66,6 +67,11 @@ pub struct DecideCtx<'a> {
     /// site (including its record construction) is skipped. Policies
     /// built outside a simulator can use [`TraceCtx::disabled`].
     pub trace: &'a TraceCtx<'a>,
+    /// Emission handle for telemetry observations (decide spans, victim
+    /// scan widths). Like `trace`, the default `NullTelemetry` reports
+    /// disabled and every emission site is skipped; standalone policies
+    /// can use [`TelemetryCtx::disabled`].
+    pub metrics: &'a TelemetryCtx<'a>,
     /// Ask the policy to run its exhaustive reference scan, bypassing any
     /// provably-equivalent fast path (e.g. the SS/IS no-op tick
     /// certifications). Decisions must be identical either way — the

@@ -22,6 +22,7 @@ use std::collections::HashMap;
 
 use sps_metrics::JobOutcome;
 use sps_simcore::{Secs, SimTime};
+use sps_telemetry::Obs;
 use sps_trace::Reason;
 use sps_workload::JobId;
 
@@ -133,8 +134,15 @@ impl Policy for ImmediateService {
             }
             // Pick unprotected victims, lowest instantaneous xfactor first
             // (long-running jobs that never waited sit at the bottom).
-            let running = running
-                .get_or_insert_with(|| VictimTable::running(state, |id| state.inst_xfactor(id)));
+            let running = running.get_or_insert_with(|| {
+                let t = VictimTable::running(state, |id| state.inst_xfactor(id));
+                if ctx.metrics.enabled() {
+                    ctx.metrics.emit(&Obs::VictimScan {
+                        scanned: t.entries.len() as u32,
+                    });
+                }
+                t
+            });
             let mut victims: Vec<(f64, usize)> = running
                 .entries
                 .iter()

@@ -30,6 +30,7 @@
 
 use sps_cluster::ProcSet;
 use sps_metrics::JobOutcome;
+use sps_telemetry::Obs;
 use sps_trace::Reason;
 use sps_workload::{Category, JobId};
 
@@ -231,6 +232,11 @@ impl Policy for SelectiveSuspension {
         let build = || {
             let mut t = VictimTable::running(state, |id| state.xfactor(id));
             t.sort_ascending();
+            if ctx.metrics.enabled() {
+                ctx.metrics.emit(&Obs::VictimScan {
+                    scanned: t.entries.len() as u32,
+                });
+            }
             t
         };
 

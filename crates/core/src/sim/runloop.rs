@@ -7,6 +7,9 @@ use sps_metrics::{utilization, FaultSummary, JobOutcome};
 use sps_simcore::{
     Engine, EventClass, EventQueue, RunOutcome, Secs, SimTime, Simulation, Ticker, Watchdog,
 };
+use sps_telemetry::{
+    EventClass as ObsClass, HealthSummary, NullTelemetry, Obs, TelemetryCtx, TelemetrySink,
+};
 use sps_trace::{JobEvent, NullSink, ProcEvent, TraceCtx, TraceRecord, TraceSink};
 use sps_workload::{Job, JobId};
 
@@ -57,12 +60,12 @@ pub struct KernelStats {
 }
 
 impl KernelStats {
-    /// Events processed per wall-clock second.
-    pub fn events_per_sec(&self) -> f64 {
-        if self.wall_micros == 0 {
-            return 0.0;
-        }
-        self.events as f64 * 1e6 / self.wall_micros as f64
+    /// Events processed per wall-clock second, or `None` when the run was
+    /// too fast for the microsecond clock to register any wall time at all
+    /// (a rate computed from a zero denominator would be infinite, not
+    /// informative).
+    pub fn events_per_sec(&self) -> Option<f64> {
+        (self.wall_micros > 0).then(|| self.events as f64 * 1e6 / self.wall_micros as f64)
     }
 }
 
@@ -95,6 +98,9 @@ pub struct SimResult {
     pub segments: Vec<OccupancySegment>,
     /// Kernel throughput: events processed, decide calls, wall time.
     pub kernel: KernelStats,
+    /// Health-detector roll-up, when the run carried a telemetry sink
+    /// that tracks health (`None` under the default [`NullTelemetry`]).
+    pub health: Option<HealthSummary>,
 }
 
 /// The simulator: a trace, a machine, a policy, an overhead model.
@@ -128,7 +134,11 @@ pub struct SimResult {
 /// Simulator::with_sink(jobs, 8, SchedulerKind::Easy.build(), &mut sink).run();
 /// assert!(!sink.records().is_empty());
 /// ```
-pub struct Simulator<S: TraceSink = NullSink> {
+/// The telemetry type parameter works the same way: the default
+/// [`NullTelemetry`] is statically disabled, so uninstrumented runs pay
+/// nothing. Pass a [`TelemetrySink`] (typically `&mut sps_telemetry::Telemetry`)
+/// to [`Simulator::with_telemetry`] to collect metrics and health events.
+pub struct Simulator<S: TraceSink = NullSink, T: TelemetrySink = NullTelemetry> {
     pub(crate) state: SimState,
     policy: Box<dyn Policy>,
     ticker: Option<Ticker>,
@@ -163,6 +173,8 @@ pub struct Simulator<S: TraceSink = NullSink> {
     reference_decides: bool,
     /// Trace record consumer.
     sink: S,
+    /// Telemetry observation consumer.
+    telemetry: T,
 }
 
 /// Preemptive policies run their preemption routine once a minute
@@ -253,9 +265,36 @@ impl<S: TraceSink> Simulator<S> {
             heap_queue: false,
             reference_decides: false,
             sink,
+            telemetry: NullTelemetry,
         }
     }
 
+    /// Attach a telemetry sink (builder style; fixes the second type
+    /// parameter). Telemetry observes the run — metrics, spans, health
+    /// detectors — without perturbing any decision: results stay
+    /// bit-identical to the uninstrumented run.
+    pub fn with_telemetry<T: TelemetrySink>(self, telemetry: T) -> Simulator<S, T> {
+        Simulator {
+            state: self.state,
+            policy: self.policy,
+            ticker: self.ticker,
+            arrivals_now: self.arrivals_now,
+            failures_now: self.failures_now,
+            repairs_now: self.repairs_now,
+            actions: self.actions,
+            faults: self.faults,
+            watchdog: self.watchdog,
+            decide_calls: self.decide_calls,
+            elide_idle: self.elide_idle,
+            heap_queue: self.heap_queue,
+            reference_decides: self.reference_decides,
+            sink: self.sink,
+            telemetry,
+        }
+    }
+}
+
+impl<S: TraceSink, T: TelemetrySink> Simulator<S, T> {
     /// Control idle-instant elision (builder style, default `true`).
     ///
     /// When enabled and the policy certifies quiescent instants as no-ops,
@@ -356,11 +395,13 @@ impl<S: TraceSink> Simulator<S> {
 
     /// Whether idle elision applies to this run: opted in, the policy
     /// certifies quiescent no-ops, no tracing (traced runs emit per-tick
-    /// gauges), and no fault injection (kept conservative: fault delivery
+    /// gauges), no telemetry (instrumented runs sample gauges per instant),
+    /// and no fault injection (kept conservative: fault delivery
     /// interleaves with ticks in ways the certification doesn't cover).
     fn elision_active(&self) -> bool {
         self.elide_idle
             && !self.sink.enabled()
+            && !self.telemetry.enabled()
             && self.faults.is_none()
             && self.policy.quiescent_noop()
     }
@@ -395,6 +436,15 @@ impl<S: TraceSink> Simulator<S> {
             events: engine.events(),
             decide_calls: self.decide_calls,
             wall_micros: wall_start.elapsed().as_micros() as u64,
+        };
+        let health = if self.telemetry.enabled() {
+            // Close open detector integrals, then forward any final health
+            // events into the trace before the engine-stats record.
+            self.telemetry.finish(engine.now().secs());
+            self.drain_health();
+            self.telemetry.health_summary()
+        } else {
+            None
         };
         if self.sink.enabled() {
             self.sink.record(&TraceRecord::EngineStats {
@@ -448,7 +498,111 @@ impl<S: TraceSink> Simulator<S> {
             dropped_actions: self.state.dropped_actions,
             segments: std::mem::take(&mut self.state.segments),
             kernel,
+            health,
         }
+    }
+
+    /// Record one observation. Cold and never inlined: every call is
+    /// behind an `enabled()` check that is compile-time `false` for
+    /// [`NullTelemetry`], and keeping the bodies out of the run-loop
+    /// functions keeps the default path's codegen identical to an
+    /// uninstrumented kernel.
+    #[cold]
+    #[inline(never)]
+    fn tel_obs(&mut self, obs: Obs) {
+        self.telemetry.record(&obs);
+    }
+
+    /// Classify and record one drained engine event.
+    #[cold]
+    #[inline(never)]
+    fn tel_event(&mut self, ev: &Event) {
+        let class = match ev {
+            Event::Arrival(_) => ObsClass::Arrival,
+            Event::Completion { .. } => ObsClass::Completion,
+            Event::DrainDone { .. } => ObsClass::Drain,
+            Event::ProcFailed(_) | Event::ProcRepaired(_) | Event::Crash { .. } => ObsClass::Fault,
+            Event::Tick => ObsClass::Tick,
+        };
+        self.telemetry.record(&Obs::Event { class });
+    }
+
+    /// Record the lifecycle transition one applied action caused.
+    #[cold]
+    #[inline(never)]
+    fn tel_action(&mut self, action: &Action) {
+        let t = self.state.now.secs();
+        let obs = match action {
+            Action::Start(id) | Action::StartOn(id, _) => Obs::JobStarted { job: id.0, t },
+            Action::Resume(id) | Action::ResumeOn(id, _) => Obs::JobResumed { job: id.0, t },
+            Action::Suspend(id) => Obs::JobSuspended { job: id.0, t },
+        };
+        self.telemetry.record(&obs);
+    }
+
+    /// Forward pending health-detector events into the trace stream.
+    #[cold]
+    #[inline(never)]
+    fn drain_health(&mut self) {
+        while let Some(ev) = self.telemetry.poll_health() {
+            if self.sink.enabled() {
+                self.sink.record(&TraceRecord::Health {
+                    t: ev.t,
+                    detector: ev.kind.name().to_string(),
+                    job: ev.job,
+                    value: ev.value,
+                });
+            }
+        }
+    }
+
+    /// Per-instant telemetry sample, taken after the instant's actions
+    /// were applied. The queued scan also feeds the starvation watch: the
+    /// sink's threshold pre-filters, so the common healthy instant emits
+    /// no `Starving` observations at all.
+    #[cold]
+    #[inline(never)]
+    fn sample_instant(&mut self, t: i64, queue_events: u32) {
+        let mut claimed_idle = 0;
+        if !self.state.suspended.is_empty() {
+            let mut claimed = sps_cluster::ProcSet::empty(self.state.total_procs());
+            for i in 0..self.state.suspended.len() {
+                let id = self.state.suspended[i];
+                if let Some(set) = self.state.assigned_set(id) {
+                    claimed.union_with(set);
+                }
+            }
+            claimed.intersect_with(self.state.free_set());
+            claimed_idle = claimed.count();
+        }
+        let threshold = self.telemetry.starvation_threshold();
+        let mut cat_xfactor = [0.0f64; 4];
+        for i in 0..self.state.queued.len() {
+            let id = self.state.queued[i];
+            let xf = self.state.xfactor(id);
+            let cat = self.state.job(id).coarse_category().index();
+            if xf > cat_xfactor[cat] {
+                cat_xfactor[cat] = xf;
+            }
+            if xf >= threshold {
+                self.telemetry.record(&Obs::Starving {
+                    job: id.0,
+                    t,
+                    xfactor: xf,
+                });
+            }
+        }
+        self.telemetry.record(&Obs::Instant {
+            t,
+            queued: self.state.queued.len() as u32,
+            running: self.state.running.len() as u32,
+            suspended: self.state.suspended.len() as u32,
+            free_procs: self.state.free_count(),
+            draining_procs: self.state.draining_set().count(),
+            claimed_idle,
+            queue_events,
+            cat_xfactor,
+        });
     }
 
     fn apply(&mut self, queue: &mut EventQueue<Event>) {
@@ -491,6 +645,9 @@ impl<S: TraceSink> Simulator<S> {
                         }
                     }
                 }
+            }
+            if self.telemetry.enabled() {
+                self.tel_action(&action);
             }
         }
         self.actions.clear();
@@ -547,6 +704,9 @@ impl<S: TraceSink> Simulator<S> {
                 event: ProcEvent::Failed,
             });
         }
+        if self.telemetry.enabled() {
+            self.tel_obs(Obs::ProcFailed { t: now.secs() });
+        }
         if had_holder {
             // O(1) holder lookup from the occupancy index (previously a
             // full job-table scan).
@@ -596,6 +756,9 @@ impl<S: TraceSink> Simulator<S> {
                 event: ProcEvent::Repaired,
             });
         }
+        if self.telemetry.enabled() {
+            self.tel_obs(Obs::ProcRepaired { t: now.secs() });
+        }
         // Jobs stranded on p whose whole set is up again stop being
         // stranded (they still wait for the scheduler to resume them).
         let down = self.state.cluster.down_set().clone();
@@ -634,10 +797,16 @@ impl<S: TraceSink> Simulator<S> {
         if self.sink.enabled() {
             self.emit_job(id, JobEvent::Kill, false);
         }
+        if self.telemetry.enabled() {
+            self.tel_obs(Obs::JobKilled {
+                job: id.0,
+                t: self.state.now.secs(),
+            });
+        }
     }
 }
 
-impl<S: TraceSink> Simulation for Simulator<S> {
+impl<S: TraceSink, T: TelemetrySink> Simulation for Simulator<S, T> {
     type Event = Event;
 
     fn handle_batch(
@@ -650,8 +819,12 @@ impl<S: TraceSink> Simulation for Simulator<S> {
         self.arrivals_now.clear();
         self.failures_now.clear();
         self.repairs_now.clear();
+        let tel = self.telemetry.enabled();
         let mut tick = false;
         for ev in batch.drain(..) {
+            if tel {
+                self.tel_event(&ev);
+            }
             match ev {
                 Event::Arrival(id) => {
                     let rt = &mut self.state.jobs[id.index()];
@@ -671,6 +844,13 @@ impl<S: TraceSink> Simulation for Simulator<S> {
                         self.policy.on_completion(&outcome);
                         if self.sink.enabled() {
                             self.emit_job(job, JobEvent::Complete, false);
+                        }
+                        if tel {
+                            self.tel_obs(Obs::JobCompleted {
+                                job: job.0,
+                                t: now.secs(),
+                                slowdown: outcome.slowdown(),
+                            });
                         }
                     }
                     // else: stale completion from before a suspension.
@@ -708,22 +888,39 @@ impl<S: TraceSink> Simulation for Simulator<S> {
         // decide outright.
         let skip_decide = elidable && arrivals.is_empty() && self.quiescent();
         if !skip_decide {
+            let decide_start = tel.then(Instant::now);
             {
                 // The sink is lent (type-erased) into the decision context
                 // so policies can record *why* they acted; the borrow ends
                 // before `apply` emits the lifecycle records those actions
-                // cause.
+                // cause. The telemetry sink is lent the same way, so
+                // policies can report span data like victim-scan width.
                 let tracer = TraceCtx::new(&mut self.sink);
+                // `tel` is a compile-time constant for `NullTelemetry`,
+                // so the disabled arm folds to a unit struct and no
+                // type-erased borrow is ever built on the default path.
+                let metrics = if tel {
+                    TelemetryCtx::new(&mut self.telemetry)
+                } else {
+                    TelemetryCtx::disabled()
+                };
                 let ctx = DecideCtx {
                     arrivals: &arrivals,
                     tick,
                     failures: &failures,
                     repairs: &repairs,
                     trace: &tracer,
+                    metrics: &metrics,
                     reference: self.reference_decides,
                 };
                 self.decide_calls += 1;
                 self.policy.decide(&self.state, &ctx, &mut self.actions);
+            }
+            if let Some(t0) = decide_start {
+                self.tel_obs(Obs::Decide {
+                    wall_nanos: t0.elapsed().as_nanos() as u64,
+                    actions: self.actions.len() as u32,
+                });
             }
             self.apply(queue);
         }
@@ -741,6 +938,14 @@ impl<S: TraceSink> Simulation for Simulator<S> {
                 suspended: self.state.suspended.len() as u32,
                 running: self.state.running.len() as u32,
             });
+        }
+
+        // Per-instant telemetry sample + health-event drain, after the
+        // instant's actions have landed. Detector inputs are simulation
+        // time only, so findings are bit-stable across runs and threads.
+        if tel {
+            self.sample_instant(now.secs(), queue.len() as u32);
+            self.drain_health();
         }
 
         // Keep ticks flowing while any arrived job is unfinished. The

@@ -23,10 +23,13 @@ use std::time::Instant;
 
 use sps_metrics::{JobOutcome, P2Quantile, StreamingStats};
 use sps_simcore::Secs;
+use sps_telemetry::{HealthSummary, Telemetry};
 use sps_trace::Json;
 use sps_workload::{EstimateModel, SystemPreset, TraceCache};
 
-use crate::experiment::{run_batch, ConfigError, ExperimentConfig, RunResult, SchedulerKind};
+use crate::experiment::{
+    run_batch_observed, ConfigError, ExperimentConfig, RunResult, SchedulerKind,
+};
 use crate::overhead::OverheadModel;
 use crate::sim::DEFAULT_TICK_PERIOD;
 
@@ -52,6 +55,11 @@ pub struct SweepSpec {
     pub overhead: OverheadModel,
     /// Preemption-routine period, seconds.
     pub tick_period: Secs,
+    /// Attach a [`Telemetry`] sink to every run. Off by default: the
+    /// bench path must stay byte-identical to the uninstrumented kernel.
+    /// When on, each [`RunSummary`] carries the run's [`HealthSummary`]
+    /// and live progress reports the worst active detector.
+    pub telemetry: bool,
 }
 
 impl SweepSpec {
@@ -69,7 +77,14 @@ impl SweepSpec {
             estimates: EstimateModel::Accurate,
             overhead: OverheadModel::None,
             tick_period: DEFAULT_TICK_PERIOD,
+            telemetry: false,
         }
+    }
+
+    /// Toggle per-run telemetry (health detectors + metric registry).
+    pub fn with_telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
+        self
     }
 
     /// Set the scheduler axis.
@@ -219,6 +234,8 @@ pub struct RunSummary {
     pub events: u64,
     /// Engine wall-clock, microseconds.
     pub wall_micros: u64,
+    /// End-of-run health detector counts (only on instrumented runs).
+    pub health: Option<HealthSummary>,
 }
 
 impl RunSummary {
@@ -259,6 +276,7 @@ impl RunSummary {
             aborted: sim.status.is_aborted(),
             events: sim.kernel.events,
             wall_micros: sim.kernel.wall_micros,
+            health: sim.health,
         }
     }
 }
@@ -345,6 +363,9 @@ pub struct CellStats {
     pub preemptions: Ci,
     /// Makespan, seconds.
     pub makespan: Ci,
+    /// Health detector counts summed over instrumented replications
+    /// (`None` when the sweep ran without telemetry).
+    pub health: Option<HealthSummary>,
 }
 
 impl CellStats {
@@ -360,6 +381,19 @@ impl CellStats {
         let col = |f: &dyn Fn(&RunSummary) -> f64| {
             Ci::from_samples(&summaries.iter().map(f).collect::<Vec<_>>())
         };
+        let health =
+            summaries
+                .iter()
+                .filter_map(|s| s.health)
+                .fold(None::<HealthSummary>, |acc, h| {
+                    let mut sum = acc.unwrap_or_default();
+                    sum.starvation_onsets += h.starvation_onsets;
+                    sum.unresolved_starvation += h.unresolved_starvation;
+                    sum.thrash_events += h.thrash_events;
+                    sum.thrashed_jobs += h.thrashed_jobs;
+                    sum.capacity_leak_procsecs += h.capacity_leak_procsecs;
+                    Some(sum)
+                });
         CellStats {
             scheduler,
             load_factor,
@@ -374,6 +408,7 @@ impl CellStats {
             utilization_pct: col(&|s| s.utilization * 100.0),
             preemptions: col(&|s| s.preemptions as f64),
             makespan: col(&|s| s.makespan as f64),
+            health,
         }
     }
 }
@@ -526,20 +561,122 @@ impl SweepReport {
     }
 }
 
+/// A live snapshot of a running sweep, delivered to the
+/// [`run_sweep_observed`] observer once per *terminal* run outcome —
+/// panicked and invalid cells count toward `done` exactly like
+/// successes, so the ETA never stalls on a failed replication.
+#[derive(Clone, Debug)]
+pub struct SweepProgress {
+    /// Runs finished (completed, failed, or panicked).
+    pub done: usize,
+    /// Total runs in the grid.
+    pub total: usize,
+    /// Runs lost to invalid configs or panics so far.
+    pub failed: usize,
+    /// Cells whose every replication has finished.
+    pub cells_done: usize,
+    /// Total grid cells.
+    pub cells: usize,
+    /// Wall-clock since the sweep started, seconds.
+    pub elapsed_secs: f64,
+    /// Terminal outcomes per second since start.
+    pub runs_per_sec: f64,
+    /// Naive remaining-work estimate (`None` until the rate is known).
+    pub eta_secs: Option<f64>,
+    /// Worst active health detector over all finished runs, rendered as
+    /// e.g. `thrash ×12` (`None` without telemetry or with clean runs).
+    pub worst_detector: Option<String>,
+}
+
 /// Run the grid on `threads` workers (see
 /// [`default_threads`](crate::experiment::default_threads) for the usual
 /// choice). Each run folds to a [`RunSummary`] inside its worker; traces
 /// are shared through one batch-local [`TraceCache`].
 pub fn run_sweep(spec: &SweepSpec, threads: usize) -> Result<SweepReport, ConfigError> {
+    run_sweep_observed(spec, threads, |_| {})
+}
+
+/// [`run_sweep`] with a progress observer: called on the driving thread
+/// after every terminal run outcome with a fresh [`SweepProgress`].
+pub fn run_sweep_observed<O>(
+    spec: &SweepSpec,
+    threads: usize,
+    mut observe: O,
+) -> Result<SweepReport, ConfigError>
+where
+    O: FnMut(&SweepProgress),
+{
     spec.validate()?;
     let start = Instant::now();
     let cache = TraceCache::new();
-    let results = run_batch(spec.expand(), threads, |cfg: &Arc<ExperimentConfig>| {
-        let trace = cfg.trace_shared(&cache);
-        // Simulate and fold directly: no RunResult (and no per-category
-        // reports) is ever materialized on the sweep path.
-        RunSummary::fold(cfg, &cfg.simulate(trace.to_vec()))
-    });
+    let telemetry = spec.telemetry;
+
+    let total = spec.runs();
+    let reps = spec.reps;
+    let mut done = 0usize;
+    let mut failed = 0usize;
+    let mut per_cell = vec![0usize; spec.cells()];
+    let mut cells_done = 0usize;
+    // Cumulative detector counts across finished runs; the "worst"
+    // detector is the loudest one (thrash wins ties: it is actionable).
+    let (mut starvation, mut thrash) = (0u64, 0u64);
+
+    let results = run_batch_observed(
+        spec.expand(),
+        threads,
+        |cfg: &Arc<ExperimentConfig>| {
+            let trace = cfg.trace_shared(&cache);
+            // Simulate and fold directly: no RunResult (and no
+            // per-category reports) is ever materialized on the sweep
+            // path.
+            if telemetry {
+                let mut tel = Telemetry::new();
+                RunSummary::fold(cfg, &cfg.simulate_instrumented(trace.to_vec(), &mut tel))
+            } else {
+                RunSummary::fold(cfg, &cfg.simulate(trace.to_vec()))
+            }
+        },
+        |i, r| {
+            done += 1;
+            match r {
+                Ok(s) => {
+                    if let Some(h) = s.health {
+                        starvation += u64::from(h.starvation_onsets);
+                        thrash += u64::from(h.thrash_events);
+                    }
+                }
+                Err(_) => failed += 1,
+            }
+            let cell = i / reps;
+            per_cell[cell] += 1;
+            if per_cell[cell] == reps {
+                cells_done += 1;
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            let rate = if elapsed > 0.0 {
+                done as f64 / elapsed
+            } else {
+                0.0
+            };
+            observe(&SweepProgress {
+                done,
+                total,
+                failed,
+                cells_done,
+                cells: per_cell.len(),
+                elapsed_secs: elapsed,
+                runs_per_sec: rate,
+                eta_secs: (rate > 0.0).then(|| (total - done) as f64 / rate),
+                worst_detector: if thrash > 0 && thrash >= starvation {
+                    Some(format!("thrash ×{thrash}"))
+                } else if starvation > 0 {
+                    Some(format!("starvation ×{starvation}"))
+                } else {
+                    None
+                },
+            });
+        },
+    );
 
     let mut cells = Vec::with_capacity(spec.cells());
     let mut failures = Vec::new();
@@ -664,6 +801,41 @@ mod tests {
             .collect();
         let expected = Ci::from_samples(&by_hand);
         assert_eq!(report.cells[0].mean_slowdown, expected);
+    }
+
+    #[test]
+    fn observed_sweep_streams_progress_and_health() {
+        let spec = tiny().with_reps(2).with_jobs(80).with_telemetry(true);
+        let mut snaps: Vec<(usize, usize)> = Vec::new();
+        let report = run_sweep_observed(&spec, 2, |p| {
+            assert_eq!(p.total, 8);
+            assert_eq!(p.cells, 4);
+            assert_eq!(p.failed, 0);
+            assert!(p.done >= 1 && p.done <= p.total);
+            assert!(p.cells_done <= p.cells);
+            snaps.push((p.done, p.cells_done));
+        })
+        .expect("valid spec");
+        // One snapshot per terminal outcome, `done` strictly monotone,
+        // ending with the whole grid accounted for.
+        assert_eq!(snaps.len(), 8);
+        assert!(snaps.windows(2).all(|w| w[1].0 == w[0].0 + 1));
+        assert_eq!(*snaps.last().unwrap(), (8, 4));
+        // Instrumented runs surface detector counts on every cell.
+        for cell in &report.cells {
+            let h = cell.health.expect("telemetry sweep keeps health");
+            assert_eq!(h.unresolved_starvation, 0);
+        }
+    }
+
+    #[test]
+    fn telemetry_never_perturbs_sweep_results() {
+        // The whole observability layer is read-only: the same grid with
+        // and without telemetry must produce bit-identical cell metrics.
+        let plain = run_sweep(&tiny(), 2).expect("valid spec");
+        let instrumented = run_sweep(&tiny().with_telemetry(true), 2).expect("valid spec");
+        assert!(plain.cells.iter().all(|c| c.health.is_none()));
+        assert_eq!(plain.to_csv(), instrumented.to_csv());
     }
 
     #[test]

@@ -338,6 +338,81 @@ mod tests {
         }
     }
 
+    /// Adversarial orderings: the P² markers are nudged by arrival
+    /// order, so monotone and degenerate streams are the worst case for
+    /// the parabolic update (every observation lands in the same cell).
+    #[test]
+    fn p2_survives_adversarial_orderings() {
+        let n = 4_000usize;
+        for q in [0.5, 0.9, 0.99] {
+            // Sorted ascending and strictly descending streams.
+            for descending in [false, true] {
+                let mut xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+                if descending {
+                    xs.reverse();
+                }
+                let mut p2 = P2Quantile::new(q);
+                for &x in &xs {
+                    p2.push(x);
+                }
+                let exact = exact_quantile(&mut xs, q);
+                let spread = (n - 1) as f64;
+                let err = (p2.value() - exact).abs();
+                assert!(
+                    err <= 0.05 * spread,
+                    "q {q} descending {descending}: p2 {} vs exact {exact}",
+                    p2.value()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn p2_is_exact_on_constant_streams() {
+        // Every marker height collapses to the same value; the parabolic
+        // update must not divide itself into NaN.
+        for q in [0.5, 0.99] {
+            let mut p2 = P2Quantile::new(q);
+            for _ in 0..1_000 {
+                p2.push(7.25);
+            }
+            assert_eq!(p2.value(), 7.25, "q {q} on a constant stream");
+        }
+    }
+
+    #[test]
+    fn p2_stays_bracketed_on_two_point_streams() {
+        // A two-point distribution has no mass between the levels: the
+        // estimate must stay inside [lo, hi] and pick the level holding
+        // the quantile's mass (alternating stream → half the mass each).
+        let (lo, hi) = (1.0, 100.0);
+        for q in [0.5, 0.9, 0.99] {
+            let mut p2 = P2Quantile::new(q);
+            for i in 0..5_000 {
+                p2.push(if i % 2 == 0 { lo } else { hi });
+            }
+            let v = p2.value();
+            assert!(
+                (lo..=hi).contains(&v),
+                "q {q}: estimate {v} escaped [{lo}, {hi}]"
+            );
+            assert!(v.is_finite());
+            // With 90% of the mass at `hi`, high quantiles must sit at
+            // (or extremely near) the upper level.
+            let mut p2 = P2Quantile::new(q);
+            for i in 0..5_000 {
+                p2.push(if i % 10 == 0 { lo } else { hi });
+            }
+            if q >= 0.9 {
+                let v = p2.value();
+                assert!(
+                    (v - hi).abs() <= 0.05 * (hi - lo),
+                    "q {q} with 90% mass at {hi}: estimate {v}"
+                );
+            }
+        }
+    }
+
     #[test]
     fn p2_is_exact_for_tiny_samples() {
         let mut p2 = P2Quantile::new(0.5);

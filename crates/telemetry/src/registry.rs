@@ -1,0 +1,488 @@
+//! Static-handle metric registry: counters, gauges, and histograms.
+//!
+//! Metrics are declared once against a [`Schema`], which hands back typed
+//! integer handles ([`CounterId`], [`GaugeId`], [`HistId`]). The hot path is
+//! then a bounds-checked array index plus an add — no hashing, no string
+//! lookups, no allocation. The registry renders to Prometheus text
+//! exposition format and to a JSON snapshot.
+
+use sps_trace::Json;
+
+/// Handle for a monotonic counter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterId(u16);
+
+/// Handle for a last-value gauge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GaugeId(u16);
+
+/// Handle for a histogram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistId(u16);
+
+/// Bucket layout for a histogram.
+#[derive(Clone, Copy, Debug)]
+pub enum Buckets {
+    /// `n` power-of-two buckets: slot 0 covers `[0, 1)`, slot `i` covers
+    /// `[2^(i-1), 2^i)`, and the last slot absorbs everything above.
+    Log2 { n: u32 },
+    /// Explicit ascending upper bounds; an implicit `+Inf` overflow bucket
+    /// is appended after the last bound.
+    Fixed(&'static [f64]),
+}
+
+impl Buckets {
+    fn slots(&self) -> usize {
+        match self {
+            Buckets::Log2 { n } => *n as usize,
+            Buckets::Fixed(bounds) => bounds.len() + 1,
+        }
+    }
+
+    fn index(&self, v: f64) -> usize {
+        if v.is_nan() || v <= 0.0 {
+            return 0; // negative, zero, or NaN all land in the first slot
+        }
+        match self {
+            Buckets::Log2 { n } => {
+                if v < 1.0 {
+                    0
+                } else {
+                    let i = (v as u64).max(1).ilog2() as usize + 1;
+                    i.min(*n as usize - 1)
+                }
+            }
+            Buckets::Fixed(bounds) => match bounds.iter().position(|&b| v <= b) {
+                Some(i) => i,
+                None => bounds.len(),
+            },
+        }
+    }
+
+    /// Inclusive upper bound of slot `i` (`f64::INFINITY` for the last slot).
+    pub fn upper_bound(&self, i: usize) -> f64 {
+        match self {
+            Buckets::Log2 { n } => {
+                if i + 1 >= *n as usize {
+                    f64::INFINITY
+                } else {
+                    (1u64 << i) as f64
+                }
+            }
+            Buckets::Fixed(bounds) => bounds.get(i).copied().unwrap_or(f64::INFINITY),
+        }
+    }
+}
+
+struct Desc {
+    name: &'static str,
+    help: &'static str,
+}
+
+struct HistDesc {
+    name: &'static str,
+    help: &'static str,
+    buckets: Buckets,
+}
+
+/// Declares the metric set. Filled once at startup; consumed by
+/// [`Registry::new`].
+#[derive(Default)]
+pub struct Schema {
+    counters: Vec<Desc>,
+    gauges: Vec<Desc>,
+    hists: Vec<HistDesc>,
+}
+
+impl Schema {
+    pub fn counter(&mut self, name: &'static str, help: &'static str) -> CounterId {
+        let id = CounterId(self.counters.len() as u16);
+        self.counters.push(Desc { name, help });
+        id
+    }
+
+    pub fn gauge(&mut self, name: &'static str, help: &'static str) -> GaugeId {
+        let id = GaugeId(self.gauges.len() as u16);
+        self.gauges.push(Desc { name, help });
+        id
+    }
+
+    pub fn histogram(
+        &mut self,
+        name: &'static str,
+        help: &'static str,
+        buckets: Buckets,
+    ) -> HistId {
+        let id = HistId(self.hists.len() as u16);
+        self.hists.push(HistDesc {
+            name,
+            help,
+            buckets,
+        });
+        id
+    }
+}
+
+struct Hist {
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+    max: f64,
+}
+
+/// Flat metric storage addressed by the handles a [`Schema`] produced.
+pub struct Registry {
+    schema: Schema,
+    counters: Vec<u64>,
+    gauges: Vec<f64>,
+    hists: Vec<Hist>,
+}
+
+impl Registry {
+    pub fn new(schema: Schema) -> Self {
+        let counters = vec![0u64; schema.counters.len()];
+        let gauges = vec![0f64; schema.gauges.len()];
+        let hists = schema
+            .hists
+            .iter()
+            .map(|h| Hist {
+                counts: vec![0u64; h.buckets.slots()],
+                sum: 0.0,
+                count: 0,
+                max: 0.0,
+            })
+            .collect();
+        Registry {
+            schema,
+            counters,
+            gauges,
+            hists,
+        }
+    }
+
+    #[inline]
+    pub fn inc(&mut self, id: CounterId, by: u64) {
+        self.counters[id.0 as usize] += by;
+    }
+
+    #[inline]
+    pub fn set(&mut self, id: GaugeId, v: f64) {
+        self.gauges[id.0 as usize] = v;
+    }
+
+    #[inline]
+    pub fn observe(&mut self, id: HistId, v: f64) {
+        let i = id.0 as usize;
+        let slot = self.schema.hists[i].buckets.index(v);
+        let h = &mut self.hists[i];
+        h.counts[slot] += 1;
+        if v.is_finite() {
+            h.sum += v;
+            if v > h.max {
+                h.max = v;
+            }
+        }
+        h.count += 1;
+    }
+
+    pub fn counter(&self, id: CounterId) -> u64 {
+        self.counters[id.0 as usize]
+    }
+
+    pub fn gauge(&self, id: GaugeId) -> f64 {
+        self.gauges[id.0 as usize]
+    }
+
+    pub fn hist_count(&self, id: HistId) -> u64 {
+        self.hists[id.0 as usize].count
+    }
+
+    pub fn hist_sum(&self, id: HistId) -> f64 {
+        self.hists[id.0 as usize].sum
+    }
+
+    pub fn hist_max(&self, id: HistId) -> f64 {
+        self.hists[id.0 as usize].max
+    }
+
+    pub fn hist_mean(&self, id: HistId) -> Option<f64> {
+        let h = &self.hists[id.0 as usize];
+        (h.count > 0).then(|| h.sum / h.count as f64)
+    }
+
+    /// Approximate quantile from bucket boundaries (upper bound of the
+    /// bucket containing the q-th sample). Good enough for reports.
+    pub fn hist_quantile(&self, id: HistId, q: f64) -> Option<f64> {
+        let i = id.0 as usize;
+        let h = &self.hists[i];
+        if h.count == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * h.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (slot, &c) in h.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return Some(self.schema.hists[i].buckets.upper_bound(slot));
+            }
+        }
+        Some(f64::INFINITY)
+    }
+
+    /// Prometheus text exposition format (counters as `_total`-style
+    /// monotonic series, histograms with cumulative `le` buckets).
+    pub fn render_prom(&self) -> String {
+        let mut out = String::new();
+        for (i, d) in self.schema.counters.iter().enumerate() {
+            out.push_str(&format!(
+                "# HELP {} {}\n# TYPE {} counter\n{} {}\n",
+                d.name, d.help, d.name, d.name, self.counters[i]
+            ));
+        }
+        for (i, d) in self.schema.gauges.iter().enumerate() {
+            out.push_str(&format!(
+                "# HELP {} {}\n# TYPE {} gauge\n{} {}\n",
+                d.name,
+                d.help,
+                d.name,
+                d.name,
+                fmt_f64(self.gauges[i])
+            ));
+        }
+        for (i, d) in self.schema.hists.iter().enumerate() {
+            let h = &self.hists[i];
+            out.push_str(&format!(
+                "# HELP {} {}\n# TYPE {} histogram\n",
+                d.name, d.help, d.name
+            ));
+            let mut cum = 0u64;
+            for (slot, &c) in h.counts.iter().enumerate() {
+                cum += c;
+                let le = d.buckets.upper_bound(slot);
+                let le = if le.is_infinite() {
+                    "+Inf".to_string()
+                } else {
+                    fmt_f64(le)
+                };
+                out.push_str(&format!("{}_bucket{{le=\"{}\"}} {}\n", d.name, le, cum));
+            }
+            out.push_str(&format!("{}_sum {}\n", d.name, fmt_f64(h.sum)));
+            out.push_str(&format!("{}_count {}\n", d.name, h.count));
+        }
+        out
+    }
+
+    /// Structured JSON snapshot of every metric.
+    pub fn snapshot_json(&self) -> Json {
+        let mut counters = Vec::new();
+        for (i, d) in self.schema.counters.iter().enumerate() {
+            counters.push((d.name.to_string(), Json::Int(self.counters[i] as i64)));
+        }
+        let mut gauges = Vec::new();
+        for (i, d) in self.schema.gauges.iter().enumerate() {
+            gauges.push((d.name.to_string(), Json::Num(self.gauges[i])));
+        }
+        let mut hists = Vec::new();
+        for (i, d) in self.schema.hists.iter().enumerate() {
+            let h = &self.hists[i];
+            let mut buckets = Vec::new();
+            for (slot, &c) in h.counts.iter().enumerate() {
+                let le = d.buckets.upper_bound(slot);
+                buckets.push(Json::Arr(vec![
+                    if le.is_infinite() {
+                        Json::Str("+Inf".into())
+                    } else {
+                        Json::Num(le)
+                    },
+                    Json::Int(c as i64),
+                ]));
+            }
+            hists.push((
+                d.name.to_string(),
+                Json::Obj(vec![
+                    ("count".into(), Json::Int(h.count as i64)),
+                    ("sum".into(), Json::Num(h.sum)),
+                    ("max".into(), Json::Num(h.max)),
+                    ("buckets".into(), Json::Arr(buckets)),
+                ]),
+            ));
+        }
+        Json::Obj(vec![
+            ("counters".into(), Json::Obj(counters)),
+            ("gauges".into(), Json::Obj(gauges)),
+            ("histograms".into(), Json::Obj(hists)),
+        ])
+    }
+
+    /// ASCII bar rendering of one histogram, for terminal/Markdown reports.
+    /// Empty leading/trailing buckets are elided.
+    pub fn render_hist(&self, id: HistId, unit: &str) -> String {
+        let i = id.0 as usize;
+        let d = &self.schema.hists[i];
+        let h = &self.hists[i];
+        let mut out = format!("{} ({} samples", d.name, h.count);
+        if let Some(mean) = self.hist_mean(id) {
+            out.push_str(&format!(
+                ", mean {} {unit}, max {} {unit}",
+                fmt_short(mean),
+                fmt_short(h.max)
+            ));
+        }
+        out.push_str(")\n");
+        if h.count == 0 {
+            return out;
+        }
+        let first = h.counts.iter().position(|&c| c > 0).unwrap_or(0);
+        let last = h.counts.iter().rposition(|&c| c > 0).unwrap_or(0);
+        let peak = h.counts.iter().copied().max().unwrap_or(1).max(1);
+        for slot in first..=last {
+            let lo = if slot == 0 {
+                0.0
+            } else {
+                d.buckets.upper_bound(slot - 1)
+            };
+            let hi = d.buckets.upper_bound(slot);
+            let label = if hi.is_infinite() {
+                format!("[{}, inf)", fmt_short(lo))
+            } else {
+                format!("[{}, {})", fmt_short(lo), fmt_short(hi))
+            };
+            let c = h.counts[slot];
+            let bar = "#".repeat(((c as f64 / peak as f64) * 40.0).round() as usize);
+            out.push_str(&format!("  {label:>22} {c:>8} {bar}\n"));
+        }
+        out
+    }
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Like [`fmt_f64`] but capped at two decimals — report labels don't
+/// need full float precision (the Prometheus/JSON snapshots keep it).
+fn fmt_short(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg() -> (Registry, CounterId, GaugeId, HistId, HistId) {
+        let mut s = Schema::default();
+        let c = s.counter("sps_test_total", "a counter");
+        let g = s.gauge("sps_test_depth", "a gauge");
+        let hl = s.histogram("sps_test_log", "log2 hist", Buckets::Log2 { n: 8 });
+        let hf = s.histogram(
+            "sps_test_fixed",
+            "fixed hist",
+            Buckets::Fixed(&[1.0, 2.0, 4.0]),
+        );
+        (Registry::new(s), c, g, hl, hf)
+    }
+
+    #[test]
+    fn counters_and_gauges() {
+        let (mut r, c, g, _, _) = reg();
+        r.inc(c, 3);
+        r.inc(c, 2);
+        r.set(g, 7.5);
+        assert_eq!(r.counter(c), 5);
+        assert_eq!(r.gauge(g), 7.5);
+    }
+
+    #[test]
+    fn log2_bucket_index() {
+        let b = Buckets::Log2 { n: 8 };
+        assert_eq!(b.index(0.0), 0);
+        assert_eq!(b.index(-3.0), 0);
+        assert_eq!(b.index(f64::NAN), 0);
+        assert_eq!(b.index(0.5), 0);
+        assert_eq!(b.index(1.0), 1); // [1,2)
+        assert_eq!(b.index(3.0), 2); // [2,4)
+        assert_eq!(b.index(4.0), 3); // [4,8)
+        assert_eq!(b.index(1e18), 7); // overflow clamps to last
+        assert!(b.upper_bound(7).is_infinite());
+        assert_eq!(b.upper_bound(1), 2.0);
+    }
+
+    #[test]
+    fn fixed_bucket_index() {
+        let b = Buckets::Fixed(&[1.0, 2.0, 4.0]);
+        assert_eq!(b.index(0.5), 0);
+        assert_eq!(b.index(1.0), 0); // le semantics: v <= bound
+        assert_eq!(b.index(1.5), 1);
+        assert_eq!(b.index(4.0), 2);
+        assert_eq!(b.index(9.0), 3); // +Inf overflow
+        assert!(b.upper_bound(3).is_infinite());
+    }
+
+    #[test]
+    fn hist_stats_and_quantile() {
+        let (mut r, _, _, hl, _) = reg();
+        for v in [1.0, 2.0, 3.0, 100.0] {
+            r.observe(hl, v);
+        }
+        assert_eq!(r.hist_count(hl), 4);
+        assert_eq!(r.hist_sum(hl), 106.0);
+        assert_eq!(r.hist_max(hl), 100.0);
+        // p50 of 4 samples = 2nd sample, which lives in [2,4) -> ub 4
+        assert_eq!(r.hist_quantile(hl, 0.5), Some(4.0));
+        // p100 lives in the overflow bucket
+        assert!(r.hist_quantile(hl, 1.0).unwrap().is_infinite());
+    }
+
+    #[test]
+    fn prom_render_is_cumulative() {
+        let (mut r, c, _, _, hf) = reg();
+        r.inc(c, 1);
+        r.observe(hf, 0.5);
+        r.observe(hf, 3.0);
+        let prom = r.render_prom();
+        assert!(prom.contains("# TYPE sps_test_total counter"));
+        assert!(prom.contains("sps_test_total 1"));
+        assert!(prom.contains("sps_test_fixed_bucket{le=\"1\"} 1"));
+        assert!(prom.contains("sps_test_fixed_bucket{le=\"4\"} 2"));
+        assert!(prom.contains("sps_test_fixed_bucket{le=\"+Inf\"} 2"));
+        assert!(prom.contains("sps_test_fixed_count 2"));
+    }
+
+    #[test]
+    fn json_snapshot_parses() {
+        let (mut r, c, g, hl, _) = reg();
+        r.inc(c, 2);
+        r.set(g, 1.0);
+        r.observe(hl, 5.0);
+        let text = r.snapshot_json().render();
+        let parsed = Json::parse(&text).expect("snapshot must be valid JSON");
+        match parsed {
+            Json::Obj(fields) => {
+                let keys: Vec<_> = fields.iter().map(|(k, _)| k.as_str()).collect();
+                assert!(keys.contains(&"counters"));
+                assert!(keys.contains(&"gauges"));
+                assert!(keys.contains(&"histograms"));
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hist_render_elides_empty_tails() {
+        let (mut r, _, _, hl, _) = reg();
+        r.observe(hl, 2.0);
+        r.observe(hl, 2.5);
+        let text = r.render_hist(hl, "ns");
+        assert!(text.contains("[2, 4)"));
+        assert!(!text.contains("[0, 1)"));
+        assert!(!text.contains("inf"));
+    }
+}

@@ -222,6 +222,19 @@ pub enum TraceRecord {
         /// Individual events delivered.
         events: u64,
     },
+    /// An online health-detector finding (emitted by `sps-telemetry` when
+    /// telemetry is enabled alongside tracing).
+    Health {
+        /// Simulated time of the finding, seconds.
+        t: i64,
+        /// Detector wire name: `starvation`, `thrash`, or `capacity_leak`.
+        detector: String,
+        /// The job involved, if the finding is job-scoped.
+        job: Option<u32>,
+        /// Detector-specific magnitude (xfactor at onset, suspensions in
+        /// window, leaked processor-seconds).
+        value: f64,
+    },
 }
 
 impl TraceRecord {
@@ -233,7 +246,8 @@ impl TraceRecord {
             | TraceRecord::Decision { t, .. }
             | TraceRecord::Gauge { t, .. }
             | TraceRecord::Proc { t, .. }
-            | TraceRecord::EngineStats { t, .. } => Some(t),
+            | TraceRecord::EngineStats { t, .. }
+            | TraceRecord::Health { t, .. } => Some(t),
         }
     }
 
@@ -333,6 +347,20 @@ impl TraceRecord {
                 put("t", Json::Int(*t));
                 put("batches", Json::Int(*batches as i64));
                 put("events", Json::Int(*events as i64));
+            }
+            TraceRecord::Health {
+                t,
+                detector,
+                job,
+                value,
+            } => {
+                put("type", Json::Str("health".into()));
+                put("t", Json::Int(*t));
+                put("detector", Json::Str(detector.clone()));
+                if let Some(job) = job {
+                    put("job", Json::Int(*job as i64));
+                }
+                put("value", Json::Num(*value));
             }
         }
         Json::Obj(obj)
@@ -465,6 +493,23 @@ impl TraceRecord {
                     .and_then(|i| u64::try_from(i).ok())
                     .ok_or(DecodeError::Missing("events"))?,
             }),
+            "health" => Ok(TraceRecord::Health {
+                t: t()?,
+                detector: v
+                    .get("detector")
+                    .and_then(Json::as_str)
+                    .ok_or(DecodeError::Missing("detector"))?
+                    .to_string(),
+                job: match v.get("job") {
+                    None | Some(Json::Null) => None,
+                    Some(j) => Some(
+                        j.as_i64()
+                            .and_then(|i| u32::try_from(i).ok())
+                            .ok_or(DecodeError::Bad("job"))?,
+                    ),
+                },
+                value: f64_field("value")?,
+            }),
             _ => Err(DecodeError::Bad("type")),
         }
     }
@@ -502,6 +547,8 @@ impl TraceRecord {
         "proc",
         "version",
         "scheduler",
+        "detector",
+        "value",
     ];
 
     /// Encode as one CSV row matching [`TraceRecord::CSV_COLUMNS`]. The
@@ -598,6 +645,20 @@ impl TraceRecord {
                 set("t", t.to_string());
                 set("batches", batches.to_string());
                 set("events", events.to_string());
+            }
+            TraceRecord::Health {
+                t,
+                detector,
+                job,
+                value,
+            } => {
+                set("record", "health".into());
+                set("t", t.to_string());
+                if let Some(job) = job {
+                    set("job", job.to_string());
+                }
+                set("detector", detector.clone());
+                set("value", format!("{value}"));
             }
         }
         let escaped: Vec<String> = cols.iter().map(|c| csv_escape(c)).collect();
@@ -722,6 +783,18 @@ mod tests {
                 t: 99,
                 batches: 1_234,
                 events: 5_678,
+            },
+            TraceRecord::Health {
+                t: 50,
+                detector: "thrash".into(),
+                job: Some(3),
+                value: 4.0,
+            },
+            TraceRecord::Health {
+                t: 95,
+                detector: "capacity_leak".into(),
+                job: None,
+                value: 460_800.0,
             },
         ]
     }

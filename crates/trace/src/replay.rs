@@ -80,6 +80,8 @@ pub struct ReplayStats {
     pub proc_repairs: usize,
     /// Fault-kill job events.
     pub kills: usize,
+    /// Health detector records.
+    pub health_events: usize,
 }
 
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -198,6 +200,9 @@ impl Validator {
             TraceRecord::Gauge { .. } => self.stats.gauges += 1,
             TraceRecord::Proc { proc, event, .. } => self.proc_event(*proc, *event),
             TraceRecord::EngineStats { .. } => {}
+            // Health findings are advisory annotations from the telemetry
+            // detectors; they impose no kernel invariants.
+            TraceRecord::Health { .. } => self.stats.health_events += 1,
         }
         self.index += 1;
     }

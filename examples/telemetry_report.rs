@@ -1,0 +1,54 @@
+//! Telemetry walkthrough: attach a metric registry and the online health
+//! detectors to a run, then inspect what they saw — counters, latency
+//! histograms, Prometheus text, and detector findings.
+//!
+//! ```text
+//! cargo run --release --example telemetry_report
+//! ```
+
+use selective_preemption::prelude::*;
+use selective_preemption::workload::traces::SDSC;
+
+fn main() {
+    // An overloaded trace under Immediate Service: preemption-happy
+    // enough that the detectors have something to say.
+    let cfg = ExperimentConfig::new(SDSC, SchedulerKind::ImmediateService)
+        .with_jobs(800)
+        .with_seed(9)
+        .with_load_factor(1.1);
+
+    let mut tel = Telemetry::new();
+    let result = cfg.run_instrumented(&mut tel);
+
+    println!(
+        "{}: {} jobs, mean slowdown {:.2}, {} preemptions\n",
+        result.sim.policy,
+        result.report.overall.count,
+        result.report.overall.mean_slowdown,
+        result.sim.preemptions,
+    );
+
+    // 1. Typed registry reads: counters and histograms by handle.
+    let reg = tel.registry();
+    let m = tel.metrics();
+    println!("decides:    {}", reg.counter(m.decides));
+    println!("suspends:   {}", reg.counter(m.suspends));
+    println!("resumes:    {}", reg.counter(m.resumes));
+    if let Some(p99) = reg.hist_quantile(m.decide_latency_ns, 0.99) {
+        println!("decide p99: {:.0} ns", p99);
+    }
+    println!();
+
+    // 2. The decide-latency histogram, rendered for a terminal.
+    println!("{}", reg.render_hist(m.decide_latency_ns, "ns"));
+
+    // 3. Health findings: what the online detectors flagged, and when.
+    println!("{}", tel.health_report().render());
+
+    // 4. Prometheus exposition (first few lines) — the same registry,
+    //    ready for scraping or diffing between runs.
+    for line in tel.render_prom().lines().take(8) {
+        println!("{line}");
+    }
+    println!("...");
+}

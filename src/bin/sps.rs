@@ -4,6 +4,10 @@
 //! sps run   --system SDSC --sched tss:2 [--jobs 5000] [--load 1.0]
 //!           [--seed 42] [--estimates accurate|mixture]
 //!           [--overhead none|paper] [--diurnal 0.0] [--worst]
+//! sps sweep --system SDSC --sched ns --sched ss:2 --loads 0.7,0.85,1.0
+//!           [--reps 5] [--progress]
+//! sps report [--system SDSC] [--sched ss --sf 2] [--load 0.85]
+//!           [--loads 0.7,0.85,1.0] [--out report.md] [--prom PREFIX]
 //! sps replay --swf LOG.swf --procs 430 --sched ns [--sched tss:2 ...]
 //! sps trace --system SDSC --sched ss:2 --out trace.jsonl [--format csv]
 //! sps validate trace.jsonl [--allow-migration]
@@ -17,16 +21,22 @@
 //! (`PREFIX.<scheme>.csv`) for external analysis. `trace` streams the
 //! full event log of one run to disk (JSONL embeds the experiment
 //! config in a header record); `validate` replays such a log and
-//! re-checks the scheduling invariants from the file alone.
+//! re-checks the scheduling invariants from the file alone. `report`
+//! runs an instrumented comparison (telemetry registry + health
+//! detectors attached) and emits a self-contained Markdown report.
+
+use std::fmt::Write as _;
+use std::io::IsTerminal as _;
 
 use selective_preemption::core::experiment::{default_threads, ExperimentConfig, SchedulerKind};
 use selective_preemption::core::faults::{FaultModel, RecoveryPolicy};
 use selective_preemption::core::overhead::OverheadModel;
 use selective_preemption::core::sim::Simulator;
-use selective_preemption::core::sweep::{run_sweep, SweepSpec};
+use selective_preemption::core::sweep::{run_sweep_observed, SweepProgress, SweepSpec};
 use selective_preemption::metrics::table::render_comparison;
 use selective_preemption::metrics::{goodput, CategoryReport};
 use selective_preemption::simcore::Watchdog;
+use selective_preemption::telemetry::Telemetry;
 use selective_preemption::trace::{validate_jsonl, CsvSink, JsonlSink, ReplayOptions};
 use selective_preemption::workload::{swf, EstimateModel, Job, SyntheticConfig, SystemPreset};
 
@@ -46,7 +56,10 @@ fn usage() -> ! {
     eprintln!("  sps sweep  --system <CTC|SDSC|KTH> --sched <SPEC> [--sched <SPEC>...]");
     eprintln!("             [--loads F,F,...] [--jobs N] [--seed N] [--reps N] [--threads N]");
     eprintln!("             [--estimates accurate|mixture] [--overhead none|paper]");
-    eprintln!("             [--format table|csv|json] [--out FILE]");
+    eprintln!("             [--format table|csv|json] [--out FILE] [--progress|--no-progress]");
+    eprintln!("  sps report [--system <CTC|SDSC|KTH>] [--sched <SPEC>...] [--sf F]");
+    eprintln!("             [--jobs N] [--load F] [--loads F,F,...] [--seed N] [--reps N]");
+    eprintln!("             [--mtbf SECS] [--mttr SECS] [--out FILE] [--prom PREFIX]");
     eprintln!("  sps replay --swf FILE --procs N --sched <SPEC> [--sched <SPEC>...] [--worst]");
     eprintln!("  sps trace  --system <CTC|SDSC|KTH> --sched <SPEC> --out FILE");
     eprintln!("             [--format jsonl|csv] [--jobs N] [--load F] [--seed N] ...");
@@ -54,9 +67,16 @@ fn usage() -> ! {
     eprintln!("  sps schedulers");
     eprintln!();
     eprintln!("scheduler SPEC: fcfs | cons | ns | flex:<depth> | is | gang | ss:<sf> | tss:<sf>");
+    eprintln!("                (a bare ss/tss takes its factor from --sf, default 2)");
     eprintln!("sweep: the full scheduler x load grid runs --reps seed replications per cell");
     eprintln!("       and reports per-cell means with 95% confidence half-widths;");
-    eprintln!("       --threads defaults to the SPS_THREADS env var, then all cores");
+    eprintln!("       --threads defaults to the SPS_THREADS env var, then all cores;");
+    eprintln!("       --progress streams done/total, runs/s, ETA and the worst health");
+    eprintln!("       detector to stderr (default: only when stderr is a terminal)");
+    eprintln!("report: instrumented comparison runs (default SDSC, ns vs ss vs tss) with");
+    eprintln!("        per-category tables, decide-latency histogram, and health findings;");
+    eprintln!("        --loads adds a telemetry sweep table; --prom writes Prometheus/JSON");
+    eprintln!("        metric snapshots per scheme; --out writes the Markdown report");
     eprintln!("faults: --mtbf enables per-processor failures (exponential, mean SECS);");
     eprintln!("        --mttr sets the repair time mean (default 1800 s); --recovery picks");
     eprintln!("        what happens to suspended jobs whose processors died");
@@ -90,6 +110,9 @@ struct Args {
     loads: Option<Vec<f64>>,
     reps: Option<usize>,
     threads: Option<usize>,
+    sf: Option<f64>,
+    progress: Option<bool>,
+    prom: Option<String>,
 }
 
 impl Args {
@@ -134,6 +157,9 @@ fn parse_args(mut argv: std::vec::IntoIter<String>) -> Args {
         overhead: OverheadModel::None,
         ..Default::default()
     };
+    // `--sched` specs are resolved after the loop so a bare `ss`/`tss`
+    // can pick up the `--sf` flag regardless of argument order.
+    let mut sched_specs: Vec<String> = Vec::new();
     while let Some(flag) = argv.next() {
         let mut value = || {
             argv.next()
@@ -147,7 +173,8 @@ fn parse_args(mut argv: std::vec::IntoIter<String>) -> Args {
                         fail(&format!("unknown system {name:?} (CTC, SDSC, KTH)"))
                     }));
             }
-            "--sched" => args.scheds.push(parse_sched(&value())),
+            "--sched" => sched_specs.push(value()),
+            "--sf" => args.sf = Some(value().parse().unwrap_or_else(|_| fail("bad --sf"))),
             "--jobs" => args.jobs = Some(value().parse().unwrap_or_else(|_| fail("bad --jobs"))),
             "--load" => args.load = value().parse().unwrap_or_else(|_| fail("bad --load")),
             "--seed" => args.seed = value().parse().unwrap_or_else(|_| fail("bad --seed")),
@@ -196,6 +223,9 @@ fn parse_args(mut argv: std::vec::IntoIter<String>) -> Args {
                 args.threads = Some(n);
             }
             "--worst" => args.worst = true,
+            "--progress" => args.progress = Some(true),
+            "--no-progress" => args.progress = Some(false),
+            "--prom" => args.prom = Some(value()),
             "--swf" => args.swf = Some(value()),
             "--csv" => args.csv = Some(value()),
             "--out" => args.out = Some(value()),
@@ -203,6 +233,15 @@ fn parse_args(mut argv: std::vec::IntoIter<String>) -> Args {
             "--procs" => args.procs = Some(value().parse().unwrap_or_else(|_| fail("bad --procs"))),
             other => fail(&format!("unknown flag {other:?}")),
         }
+    }
+    for spec in sched_specs {
+        let resolved = match spec.as_str() {
+            // A bare preemptive scheme takes its factor from --sf
+            // (suspension factor 2 is the paper's headline setting).
+            "ss" | "tss" => format!("{spec}:{}", args.sf.unwrap_or(2.0)),
+            _ => spec,
+        };
+        args.scheds.push(parse_sched(&resolved));
     }
     args
 }
@@ -262,12 +301,17 @@ fn report(jobs: Vec<Job>, procs: u32, args: &Args) {
             res.preemptions,
         );
         println!(
-            "{:<14}   kernel: {} events, {} decides in {:.1} ms ({:.0}k events/s)",
+            "{:<14}   kernel: {} events, {} decides in {:.1} ms ({} events/s)",
             "",
             res.kernel.events,
             res.kernel.decide_calls,
             res.kernel.wall_micros as f64 / 1e3,
-            res.kernel.events_per_sec() / 1e3,
+            // Sub-millisecond runs register zero wall microseconds; a rate
+            // computed from that would be infinite, so report n/a.
+            match res.kernel.events_per_sec() {
+                Some(rate) => format!("{:.0}k", rate / 1e3),
+                None => "n/a".to_string(),
+            },
         );
         if res.faults.any() {
             println!(
@@ -295,10 +339,7 @@ fn report(jobs: Vec<Job>, procs: u32, args: &Args) {
         };
         grids.push((kind.label(), grid));
         if let Some(prefix) = &args.csv {
-            let path = format!(
-                "{prefix}.{}.csv",
-                kind.label().to_ascii_lowercase().replace([' ', '='], "-")
-            );
+            let path = format!("{prefix}.{}.csv", scheme_slug(&kind.label()));
             let csv = selective_preemption::metrics::export::outcomes_csv(&res.outcomes);
             match std::fs::write(&path, csv) {
                 Ok(()) => eprintln!("wrote {path}"),
@@ -313,6 +354,65 @@ fn report(jobs: Vec<Job>, procs: u32, args: &Args) {
         "average slowdown per category"
     };
     println!("\n{}", render_comparison(title, &named));
+}
+
+/// A `\r`-rewriting stderr progress renderer for sweeps (a no-op when
+/// `enabled` is false, so the same call site serves both modes).
+fn progress_line(enabled: bool) -> impl FnMut(&SweepProgress) {
+    move |p: &SweepProgress| {
+        if !enabled {
+            return;
+        }
+        let mut line = format!(
+            "{}/{} runs  {}/{} cells  {:.1} runs/s",
+            p.done, p.total, p.cells_done, p.cells, p.runs_per_sec
+        );
+        if p.failed > 0 {
+            let _ = write!(line, "  {} failed", p.failed);
+        }
+        if let Some(eta) = p.eta_secs {
+            let _ = write!(line, "  ETA {}", fmt_eta(eta));
+        }
+        if let Some(worst) = &p.worst_detector {
+            let _ = write!(line, "  [{worst}]");
+        }
+        // Trailing spaces wipe leftovers of a longer previous line.
+        eprint!("\r{line}        ");
+    }
+}
+
+fn fmt_eta(secs: f64) -> String {
+    let s = secs.round() as u64;
+    if s >= 3600 {
+        format!("{}h{:02}m", s / 3600, (s % 3600) / 60)
+    } else if s >= 60 {
+        format!("{}m{:02}s", s / 60, s % 60)
+    } else {
+        format!("{s}s")
+    }
+}
+
+/// Render a health summary for a Markdown table cell.
+fn health_cell(h: Option<selective_preemption::telemetry::HealthSummary>) -> String {
+    match h {
+        None => "n/a".into(),
+        Some(h) if h.is_clean() => "clean".into(),
+        Some(h) => {
+            let mut parts = Vec::new();
+            if h.starvation_onsets > 0 {
+                parts.push(format!("starvation ×{}", h.starvation_onsets));
+            }
+            if h.thrash_events > 0 {
+                parts.push(format!("thrash ×{}", h.thrash_events));
+            }
+            parts.join(", ")
+        }
+    }
+}
+
+/// File-name slug of a scheme label (`SS sf=2.0` → `ss-sf-2.0`).
+fn scheme_slug(label: &str) -> String {
+    label.to_ascii_lowercase().replace([' ', '='], "-")
 }
 
 fn main() {
@@ -391,7 +491,14 @@ fn main() {
                 spec.n_jobs,
                 threads,
             );
-            let report = run_sweep(&spec, threads).unwrap_or_else(|e| fail(&e.to_string()));
+            let progress = args
+                .progress
+                .unwrap_or_else(|| std::io::stderr().is_terminal());
+            let report = run_sweep_observed(&spec, threads, progress_line(progress))
+                .unwrap_or_else(|e| fail(&e.to_string()));
+            if progress {
+                eprintln!();
+            }
             for failure in &report.failures {
                 eprintln!("warning: {failure}");
             }
@@ -417,6 +524,251 @@ fn main() {
             }
             if !report.failures.is_empty() {
                 std::process::exit(1);
+            }
+        }
+        "report" => {
+            let args = parse_args(argv.into_iter());
+            let system = args
+                .system
+                .unwrap_or(selective_preemption::workload::traces::SDSC);
+            let sf = args.sf.unwrap_or(2.0);
+            let scheds = if args.scheds.is_empty() {
+                // The paper's headline comparison: the NS baseline
+                // against both selective-suspension variants.
+                vec![
+                    SchedulerKind::Easy,
+                    SchedulerKind::Ss { sf },
+                    SchedulerKind::Tss { sf },
+                ]
+            } else {
+                args.scheds.clone()
+            };
+            let n_jobs = args.jobs.unwrap_or(system.default_jobs);
+            let faults = args.faults();
+            if args.loads.is_some() && faults.enabled() {
+                fail("--loads (sweep section) does not support fault injection");
+            }
+            let config = |kind| {
+                ExperimentConfig::new(system, kind)
+                    .with_jobs(n_jobs)
+                    .with_seed(args.seed)
+                    .with_load_factor(args.load)
+                    .with_estimates(args.estimates)
+                    .with_overhead(args.overhead)
+                    .with_faults(faults)
+            };
+            config(scheds[0])
+                .validate()
+                .unwrap_or_else(|e| fail(&e.to_string()));
+            // One shared trace: the job list is scheduler-independent.
+            let jobs = config(scheds[0]).trace();
+
+            let mut outs = Vec::with_capacity(scheds.len());
+            for &kind in &scheds {
+                let cfg = config(kind);
+                let mut tel = Telemetry::new();
+                let sim = cfg.simulate_instrumented(jobs.clone(), &mut tel);
+                let rep = CategoryReport::from_outcomes(&sim.outcomes);
+                outs.push((kind, sim, rep, tel));
+            }
+
+            let mut md = String::new();
+            let w = &mut md;
+            let _ = writeln!(w, "# sps report — {}", system.name);
+            let _ = writeln!(w);
+            let _ = writeln!(
+                w,
+                "- workload: {} jobs on {} procs, load factor {:.2}, seed {}",
+                jobs.len(),
+                system.procs,
+                args.load,
+                args.seed
+            );
+            let _ = writeln!(
+                w,
+                "- estimates: {:?}; overhead: {:?}",
+                args.estimates, args.overhead
+            );
+            if let Some(mtbf) = args.mtbf {
+                let _ = writeln!(
+                    w,
+                    "- faults: per-processor MTBF {mtbf} s, MTTR {} s",
+                    args.mttr.unwrap_or(1_800)
+                );
+            }
+            let _ = writeln!(w);
+
+            let _ = writeln!(w, "## Schemes");
+            let _ = writeln!(w);
+            let _ = writeln!(
+                w,
+                "| scheme | mean slowdown | worst slowdown | mean turnaround (s) \
+                 | utilization | preemptions | health |"
+            );
+            let _ = writeln!(w, "|---|---:|---:|---:|---:|---:|---|");
+            for (kind, sim, rep, _) in &outs {
+                let _ = writeln!(
+                    w,
+                    "| {} | {:.2} | {:.1} | {:.0} | {:.1}% | {} | {} |",
+                    kind.label(),
+                    rep.overall.mean_slowdown,
+                    rep.overall.worst_slowdown,
+                    rep.overall.mean_turnaround,
+                    sim.utilization * 100.0,
+                    sim.preemptions,
+                    health_cell(sim.health),
+                );
+            }
+            let _ = writeln!(w);
+
+            let _ = writeln!(w, "## Kernel");
+            let _ = writeln!(w);
+            let _ = writeln!(
+                w,
+                "| scheme | events | decides | wall (ms) | events/s | decide p50 | decide p99 |"
+            );
+            let _ = writeln!(w, "|---|---:|---:|---:|---:|---:|---:|");
+            for (kind, sim, _, tel) in &outs {
+                let reg = tel.registry();
+                let lat = tel.metrics().decide_latency_ns;
+                let q = |q: f64| match reg.hist_quantile(lat, q) {
+                    Some(ns) if ns >= 1e6 => format!("{:.1} ms", ns / 1e6),
+                    Some(ns) if ns >= 1e3 => format!("{:.1} µs", ns / 1e3),
+                    Some(ns) => format!("{ns:.0} ns"),
+                    None => "n/a".into(),
+                };
+                let _ = writeln!(
+                    w,
+                    "| {} | {} | {} | {:.1} | {} | {} | {} |",
+                    kind.label(),
+                    sim.kernel.events,
+                    sim.kernel.decide_calls,
+                    sim.kernel.wall_micros as f64 / 1e3,
+                    match sim.kernel.events_per_sec() {
+                        Some(rate) => format!("{:.0}k", rate / 1e3),
+                        None => "n/a".into(),
+                    },
+                    q(0.5),
+                    q(0.99),
+                );
+            }
+            let _ = writeln!(w);
+
+            let _ = writeln!(w, "## Per-category slowdown");
+            let _ = writeln!(w);
+            let mean_named: Vec<(String, [f64; 16])> = outs
+                .iter()
+                .map(|(kind, _, rep, _)| (kind.label(), rep.mean_slowdown_grid()))
+                .collect();
+            let named: Vec<(&str, [f64; 16])> =
+                mean_named.iter().map(|(n, g)| (n.as_str(), *g)).collect();
+            let _ = writeln!(
+                w,
+                "```text\n{}```",
+                render_comparison("average slowdown per category", &named)
+            );
+            let worst_named: Vec<(String, [f64; 16])> = outs
+                .iter()
+                .map(|(kind, _, rep, _)| (kind.label(), rep.worst_slowdown_grid()))
+                .collect();
+            let named: Vec<(&str, [f64; 16])> =
+                worst_named.iter().map(|(n, g)| (n.as_str(), *g)).collect();
+            let _ = writeln!(
+                w,
+                "```text\n{}```",
+                render_comparison("worst-case slowdown per category", &named)
+            );
+            let _ = writeln!(w);
+
+            let _ = writeln!(w, "## Decide latency");
+            let _ = writeln!(w);
+            for (kind, _, _, tel) in &outs {
+                let _ = writeln!(w, "### {}", kind.label());
+                let _ = writeln!(w);
+                let _ = writeln!(
+                    w,
+                    "```text\n{}```",
+                    tel.registry()
+                        .render_hist(tel.metrics().decide_latency_ns, "ns")
+                );
+            }
+            let _ = writeln!(w);
+
+            let _ = writeln!(w, "## Health");
+            let _ = writeln!(w);
+            for (kind, _, _, tel) in &outs {
+                let _ = writeln!(w, "### {}", kind.label());
+                let _ = writeln!(w);
+                let _ = writeln!(w, "```text\n{}```", tel.health_report().render());
+            }
+
+            if let Some(loads) = &args.loads {
+                let spec = SweepSpec::new(system)
+                    .with_schedulers(scheds.clone())
+                    .with_loads(loads.clone())
+                    .with_jobs(n_jobs)
+                    .with_seed(args.seed)
+                    .with_reps(args.reps.unwrap_or(1))
+                    .with_estimates(args.estimates)
+                    .with_overhead(args.overhead)
+                    .with_telemetry(true);
+                let threads = args.threads.unwrap_or_else(default_threads);
+                let progress = args
+                    .progress
+                    .unwrap_or_else(|| std::io::stderr().is_terminal());
+                let sweep = run_sweep_observed(&spec, threads, progress_line(progress))
+                    .unwrap_or_else(|e| fail(&e.to_string()));
+                if progress {
+                    eprintln!();
+                }
+                for failure in &sweep.failures {
+                    eprintln!("warning: {failure}");
+                }
+                let _ = writeln!(w, "## Load sweep ({} reps per cell)", spec.reps);
+                let _ = writeln!(w);
+                let _ = writeln!(
+                    w,
+                    "| scheme | load | mean slowdown | p99 slowdown | utilization | preemptions | health |"
+                );
+                let _ = writeln!(w, "|---|---:|---:|---:|---:|---:|---|");
+                for c in &sweep.cells {
+                    let _ = writeln!(
+                        w,
+                        "| {} | {:.2} | {} | {} | {:.1}% | {:.0} | {} |",
+                        c.scheduler,
+                        c.load_factor,
+                        c.mean_slowdown,
+                        c.p99_slowdown,
+                        c.utilization_pct.mean,
+                        c.preemptions.mean,
+                        health_cell(c.health),
+                    );
+                }
+                let _ = writeln!(w);
+            }
+
+            if let Some(prefix) = &args.prom {
+                for (kind, _, _, tel) in &outs {
+                    let slug = scheme_slug(&kind.label());
+                    let prom_path = format!("{prefix}.{slug}.prom");
+                    std::fs::write(&prom_path, tel.render_prom())
+                        .unwrap_or_else(|e| fail(&format!("cannot write {prom_path}: {e}")));
+                    let json_path = format!("{prefix}.{slug}.json");
+                    let mut body = tel.snapshot_json().render();
+                    body.push('\n');
+                    std::fs::write(&json_path, body)
+                        .unwrap_or_else(|e| fail(&format!("cannot write {json_path}: {e}")));
+                    eprintln!("wrote {prom_path} and {json_path}");
+                }
+            }
+
+            match &args.out {
+                Some(path) => {
+                    std::fs::write(path, &md)
+                        .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+                    eprintln!("wrote {path}");
+                }
+                None => print!("{md}"),
             }
         }
         "replay" => {

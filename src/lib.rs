@@ -13,6 +13,8 @@
 //! * [`metrics`] — bounded slowdown / turnaround / utilization reporting,
 //! * [`trace`] — zero-cost event-trace instrumentation, sinks, and the
 //!   replay validator,
+//! * [`telemetry`] — metric registry, online scheduler-health detectors,
+//!   and the Prometheus/JSON exporters behind `sps report`,
 //! * [`core`] — the simulator and the schedulers themselves (FCFS,
 //!   conservative & EASY backfilling, Immediate Service, and the paper's
 //!   Selective Suspension and Tunable Selective Suspension).
@@ -35,6 +37,7 @@ pub use sps_cluster as cluster;
 pub use sps_core as core;
 pub use sps_metrics as metrics;
 pub use sps_simcore as simcore;
+pub use sps_telemetry as telemetry;
 pub use sps_trace as trace;
 pub use sps_workload as workload;
 
@@ -48,11 +51,17 @@ pub mod prelude {
     pub use sps_core::faults::{FaultModel, RecoveryPolicy};
     pub use sps_core::overhead::OverheadModel;
     pub use sps_core::sim::{AbortReason, RunStatus, SimResult, Simulator};
-    pub use sps_core::sweep::{run_sweep, CellStats, Ci, RunSummary, SweepReport, SweepSpec};
+    pub use sps_core::sweep::{
+        run_sweep, run_sweep_observed, CellStats, Ci, RunSummary, SweepProgress, SweepReport,
+        SweepSpec,
+    };
     pub use sps_metrics::{
         goodput, CategoryReport, FaultSummary, JobOutcome, P2Quantile, StreamingStats,
     };
     pub use sps_simcore::{SimTime, HOUR, MINUTE};
+    pub use sps_telemetry::{
+        HealthConfig, HealthReport, HealthSummary, NullTelemetry, Obs, Telemetry, TelemetrySink,
+    };
     pub use sps_trace::{CsvSink, JsonlSink, MemorySink, NullSink, TraceRecord, TraceSink};
     pub use sps_workload::{
         Category, CoarseCategory, EstimateModel, Job, JobId, RuntimeClass, SyntheticConfig,

@@ -1,0 +1,113 @@
+//! Telemetry and health-detector guarantees:
+//!
+//! * the observability layer is strictly read-only — an instrumented run
+//!   is bit-identical to a plain run of the same configuration;
+//! * detector findings are a pure function of sim time, so a pinned seed
+//!   yields a *golden* `HealthReport`, stable run-to-run and across
+//!   sweep worker-thread counts;
+//! * the thrash detector separates schedulers that churn suspensions
+//!   (Immediate Service) from the paper's TSS at the same workload.
+
+use selective_preemption::prelude::*;
+use selective_preemption::workload::traces::SDSC;
+
+/// The pinned golden run: SS at sf 2 on an overloaded SDSC trace with
+/// processor faults — busy enough to trip all three detectors.
+fn golden_config() -> ExperimentConfig {
+    ExperimentConfig::new(SDSC, SchedulerKind::Ss { sf: 2.0 })
+        .with_jobs(600)
+        .with_seed(11)
+        .with_load_factor(1.1)
+        .with_faults(FaultModel::proc_faults(400_000, 3_600, 5))
+}
+
+#[test]
+fn golden_health_report_is_bit_stable() {
+    let run = || {
+        let mut tel = Telemetry::new();
+        let r = golden_config().run_instrumented(&mut tel);
+        (
+            r.sim.health.expect("instrumented run has health"),
+            tel.health_report(),
+        )
+    };
+    let (summary, report) = run();
+    let (summary2, report2) = run();
+    assert_eq!(summary, summary2, "health summary must be deterministic");
+    assert_eq!(report, report2, "full event log must be deterministic");
+
+    // Golden counts for this seed. A change here means detector
+    // *behavior* changed (thresholds, episode bookkeeping, or the
+    // sampling cadence) — re-pin only if that change is intentional.
+    assert_eq!(summary.starvation_onsets, 306);
+    assert_eq!(summary.unresolved_starvation, 0);
+    assert_eq!(summary.thrash_events, 13);
+    assert_eq!(summary.thrashed_jobs, 12);
+    assert_eq!(summary.capacity_leak_procsecs, 31_382_583);
+    assert_eq!(report.summary, summary);
+    assert!(report.events.len() <= HealthConfig::default().max_events);
+}
+
+#[test]
+fn health_summaries_identical_across_sweep_threads() {
+    // Detectors fold sim-time signals only (never wall-clock), so the
+    // sweep's health columns cannot depend on worker interleaving.
+    let spec = SweepSpec::new(SDSC)
+        .with_schedulers(vec![SchedulerKind::Easy, SchedulerKind::Ss { sf: 2.0 }])
+        .with_loads(vec![0.9, 1.1])
+        .with_jobs(250)
+        .with_seed(11)
+        .with_reps(2)
+        .with_telemetry(true);
+    let serial = run_sweep(&spec, 1).expect("valid spec");
+    let parallel = run_sweep(&spec, 4).expect("valid spec");
+    assert_eq!(serial.cells.len(), parallel.cells.len());
+    for (a, b) in serial.cells.iter().zip(&parallel.cells) {
+        assert!(a.health.is_some(), "telemetry sweep populates health");
+        assert_eq!(a.health, b.health, "{} @ {}", a.scheduler, a.load_factor);
+        assert_eq!(a.mean_slowdown, b.mean_slowdown);
+    }
+}
+
+#[test]
+fn thrash_detector_separates_is_from_tss() {
+    // Immediate Service preempts on every arrival it can serve, cycling
+    // the same jobs in and out; TSS's suspension-factor guard blocks
+    // exactly that churn. Same trace, same thresholds, opposite verdict.
+    let health = |kind: SchedulerKind| {
+        let cfg = ExperimentConfig::new(SDSC, kind)
+            .with_jobs(800)
+            .with_seed(9)
+            .with_load_factor(1.1);
+        let mut tel = Telemetry::new();
+        cfg.run_instrumented(&mut tel).sim.health.unwrap()
+    };
+    let is = health(SchedulerKind::ImmediateService);
+    let tss = health(SchedulerKind::Tss { sf: 2.0 });
+    assert!(
+        is.thrash_events >= 1,
+        "IS must thrash on this workload, got {is:?}"
+    );
+    assert_eq!(
+        tss.thrash_events, 0,
+        "TSS must not thrash on the same workload, got {tss:?}"
+    );
+}
+
+#[test]
+fn telemetry_never_perturbs_a_run() {
+    let cfg = golden_config();
+    let plain = cfg.run();
+    let mut tel = Telemetry::new();
+    let instrumented = cfg.run_instrumented(&mut tel);
+    assert_eq!(plain.sim.outcomes, instrumented.sim.outcomes);
+    assert_eq!(plain.sim.makespan, instrumented.sim.makespan);
+    assert_eq!(plain.sim.preemptions, instrumented.sim.preemptions);
+    assert_eq!(plain.sim.utilization, instrumented.sim.utilization);
+    assert_eq!(
+        plain.sim.faults.proc_failures,
+        instrumented.sim.faults.proc_failures
+    );
+    assert!(plain.sim.health.is_none());
+    assert!(instrumented.sim.health.is_some());
+}
