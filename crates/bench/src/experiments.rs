@@ -10,8 +10,9 @@ use std::collections::HashMap;
 use std::sync::Mutex;
 use std::sync::OnceLock;
 
-use sps_core::experiment::{run_many, ExperimentConfig, RunResult, SchedulerKind};
+use sps_core::experiment::{ExperimentConfig, RunResult, SchedulerKind};
 use sps_core::overhead::OverheadModel;
+use sps_core::runner::BatchRunner;
 use sps_core::theory;
 use sps_metrics::aggregate::CategoryReport;
 use sps_metrics::table::{render_comparison, render_grid, render_series};
@@ -56,7 +57,7 @@ fn run_cached(configs: Vec<ExperimentConfig>) -> Vec<RunResult> {
             .collect()
     };
     if !missing.is_empty() {
-        let fresh = run_many(missing);
+        let fresh = BatchRunner::new(missing).run();
         let mut guard = cache().lock().expect("cache lock");
         for r in fresh {
             guard.insert(key_of(&r.config), r);

@@ -15,9 +15,13 @@ use std::sync::Arc;
 use sps_metrics::{CategoryReport, JobOutcome};
 use sps_simcore::Secs;
 use sps_telemetry::TelemetrySink;
-use sps_trace::{DecodeError, Json, TraceRecord, TraceSink, TRACE_VERSION};
-use sps_workload::{EstimateModel, Job, SyntheticConfig, SystemPreset, TraceCache, TraceKey};
+use sps_trace::{DecodeError, Json, TraceSink};
+use sps_workload::{
+    ArrivalSpec, EstimateModel, Job, JobSource, OpenSource, SyntheticConfig, SystemPreset,
+    TraceCache, TraceKey, TraceSource,
+};
 
+use crate::admission::AdmissionModel;
 use crate::faults::{FaultModel, RecoveryPolicy};
 use crate::overhead::OverheadModel;
 use crate::policy::Policy;
@@ -206,6 +210,14 @@ pub struct ExperimentConfig {
     /// Failure injection (off by default; the simulation is bit-identical
     /// to a fault-free build when disabled).
     pub faults: FaultModel,
+    /// Workload boundary: the closed synthetic trace
+    /// ([`ArrivalSpec::Trace`], the default) or an unbounded open-system
+    /// generator. Open specs run through
+    /// [`RunBuilder`](crate::runner::RunBuilder) with a stopping condition.
+    pub arrivals: ArrivalSpec,
+    /// Admission control ([`AdmissionModel::none`] by default — every
+    /// arrival is accepted and the rejection ledger stays empty).
+    pub admission: AdmissionModel,
 }
 
 /// A structurally invalid [`ExperimentConfig`], caught by
@@ -223,6 +235,8 @@ pub enum ConfigError {
     BadFaults(&'static str),
     /// A sweep grid axis is empty (which axis is attached).
     EmptyGrid(&'static str),
+    /// The arrival spec is inconsistent (reason attached).
+    BadArrivals(String),
 }
 
 impl fmt::Display for ConfigError {
@@ -235,6 +249,7 @@ impl fmt::Display for ConfigError {
             ConfigError::NoJobs => f.write_str("n_jobs must be at least 1"),
             ConfigError::BadFaults(reason) => write!(f, "bad fault model: {reason}"),
             ConfigError::EmptyGrid(axis) => write!(f, "sweep grid axis '{axis}' is empty"),
+            ConfigError::BadArrivals(ref reason) => write!(f, "bad arrival spec: {reason}"),
         }
     }
 }
@@ -255,6 +270,8 @@ impl ExperimentConfig {
             scheduler,
             tick_period: DEFAULT_TICK_PERIOD,
             faults: FaultModel::none(),
+            arrivals: ArrivalSpec::Trace,
+            admission: AdmissionModel::none(),
         }
     }
 
@@ -283,6 +300,7 @@ impl ExperimentConfig {
                 "job_crash must be a probability in [0, 1]",
             ));
         }
+        self.arrivals.validate().map_err(ConfigError::BadArrivals)?;
         Ok(())
     }
 
@@ -342,6 +360,44 @@ impl ExperimentConfig {
         self
     }
 
+    /// Set the workload boundary (closed trace or open generator).
+    pub fn with_arrivals(mut self, arrivals: ArrivalSpec) -> Self {
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// Set the admission-control model.
+    pub fn with_admission(mut self, admission: AdmissionModel) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// The offered load an open-system generator targets when the arrival
+    /// spec doesn't pin one: the preset's calibrated baseline scaled by
+    /// [`ExperimentConfig::load_factor`] — the same product the closed
+    /// trace generator aims at.
+    pub fn target_load(&self) -> f64 {
+        self.system.base_load * self.load_factor
+    }
+
+    /// The configuration's [`JobSource`]: a replay of the finite synthetic
+    /// trace for [`ArrivalSpec::Trace`], otherwise the seeded open-system
+    /// generator. This is the seam [`crate::runner::RunBuilder`] feeds the
+    /// simulator through.
+    pub fn job_source(&self) -> Box<dyn JobSource> {
+        match self.open_source() {
+            Some(open) => Box::new(open),
+            None => Box::new(TraceSource::new(self.trace())),
+        }
+    }
+
+    /// The open-system generator for this configuration, or `None` in
+    /// closed trace mode.
+    pub fn open_source(&self) -> Option<OpenSource> {
+        self.arrivals
+            .build(self.system, self.seed, self.target_load(), self.estimates)
+    }
+
     /// Generate this experiment's trace (scheduler-independent).
     pub fn trace(&self) -> Vec<Job> {
         let mut jobs = SyntheticConfig::new(self.system, self.seed)
@@ -393,6 +449,7 @@ impl ExperimentConfig {
             self.tick_period,
         )
         .with_faults(self.faults)
+        .with_admission(self.admission)
         .with_watchdog(Watchdog::generous());
         sim.run()
     }
@@ -416,16 +473,30 @@ impl ExperimentConfig {
         )
         .with_telemetry(telemetry)
         .with_faults(self.faults)
+        .with_admission(self.admission)
         .with_watchdog(Watchdog::generous());
         sim.run()
     }
 
     /// [`ExperimentConfig::run`] with a telemetry sink attached.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `cfg.runner().telemetry(&mut tel).run()` — one builder replaces the \
+                per-combination entry points"
+    )]
     pub fn run_instrumented<T: TelemetrySink>(&self, telemetry: &mut T) -> RunResult {
-        let cfg = Arc::new(self.clone());
-        let jobs = cfg.trace();
-        let sim = cfg.simulate_instrumented(jobs, telemetry);
-        RunResult::from_sim(cfg, sim)
+        self.runner().telemetry(telemetry).run()
+    }
+
+    /// Start a [`RunBuilder`](crate::runner::RunBuilder) for this
+    /// configuration — the single entry point behind which the historical
+    /// `run`/`run_traced`/`run_instrumented` combinations collapsed.
+    /// Attach sinks, an explicit [`JobSource`], a stopping condition, or a
+    /// warmup window, then call
+    /// [`run()`](crate::runner::RunBuilder::run) or
+    /// [`simulate()`](crate::runner::RunBuilder::simulate).
+    pub fn runner(&self) -> crate::runner::RunBuilder {
+        crate::runner::RunBuilder::new(Arc::new(self.clone()))
     }
 
     /// Run the simulation and aggregate reports.
@@ -460,26 +531,13 @@ impl ExperimentConfig {
     /// The first record is a [`TraceRecord::Header`] embedding this
     /// configuration as JSON, so the run is reproducible from the log
     /// alone: `ExperimentConfig::from_json(header.config)` rebuilds it.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `cfg.runner().trace_sink(&mut sink).run()` — one builder replaces the \
+                per-combination entry points"
+    )]
     pub fn run_traced<S: TraceSink>(&self, sink: &mut S) -> RunResult {
-        if sink.enabled() {
-            sink.record(&TraceRecord::Header {
-                version: TRACE_VERSION,
-                scheduler: self.scheduler.to_string(),
-                config: self.to_json(),
-            });
-        }
-        let jobs = self.trace();
-        let sim = Simulator::traced(
-            jobs,
-            self.system.procs,
-            self.scheduler.build(),
-            self.overhead,
-            self.tick_period,
-            sink,
-        )
-        .with_faults(self.faults)
-        .with_watchdog(Watchdog::generous());
-        RunResult::from_sim(Arc::new(self.clone()), sim.run())
+        self.runner().trace_sink(sink).run()
     }
 
     /// Encode as JSON (embedded in trace-file headers). The `faults` key
@@ -498,6 +556,15 @@ impl ExperimentConfig {
         ];
         if self.faults.enabled() {
             fields.push(("faults".into(), faults_to_json(&self.faults)));
+        }
+        // Open-system fields follow the `faults` convention: omitted at
+        // their defaults, so closed-system logs stay byte-identical to
+        // those of builds predating the open-system mode.
+        if !self.arrivals.is_trace() {
+            fields.push(("arrivals".into(), Json::Str(self.arrivals.to_string())));
+        }
+        if self.admission.enabled() {
+            fields.push(("admission".into(), Json::Str(self.admission.to_string())));
         }
         Json::Obj(fields)
     }
@@ -553,6 +620,22 @@ impl ExperimentConfig {
             faults: match json.get("faults") {
                 Some(f) => faults_from_json(f)?,
                 None => FaultModel::none(),
+            },
+            arrivals: match json.get("arrivals") {
+                Some(a) => a
+                    .as_str()
+                    .ok_or(DecodeError::Bad("arrivals"))?
+                    .parse()
+                    .map_err(|_| DecodeError::Bad("arrivals"))?,
+                None => ArrivalSpec::Trace,
+            },
+            admission: match json.get("admission") {
+                Some(a) => a
+                    .as_str()
+                    .ok_or(DecodeError::Bad("admission"))?
+                    .parse()
+                    .map_err(|_| DecodeError::Bad("admission"))?,
+                None => AdmissionModel::none(),
             },
         })
     }
@@ -714,7 +797,7 @@ pub struct RunResult {
 }
 
 impl RunResult {
-    fn from_sim(config: Arc<ExperimentConfig>, sim: SimResult) -> Self {
+    pub(crate) fn from_sim(config: Arc<ExperimentConfig>, sim: SimResult) -> Self {
         let report = CategoryReport::from_outcomes(&sim.outcomes);
         let report_well = CategoryReport::from_filtered(&sim.outcomes, JobOutcome::well_estimated);
         let report_badly = CategoryReport::from_filtered(&sim.outcomes, |o| !o.well_estimated());
@@ -760,18 +843,17 @@ impl std::error::Error for RunError {}
 ///
 /// A configuration that fails validation or panics mid-simulation does not
 /// take the batch down: every other configuration still completes, and
-/// only then does this function panic with the first failure's message.
-/// Use [`run_many_checked`] to receive per-configuration `Result`s
-/// instead.
+/// only then does this function **panic** with the first failure's
+/// message — the lossy unwrap is deliberate and documented on
+/// [`BatchRunner::run`](crate::runner::BatchRunner::run). Use
+/// [`run_many_checked`] to receive per-configuration `Result`s instead.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `BatchRunner::new(configs).run()` — the builder also exposes thread count, \
+            progress observation, and open-system stop conditions"
+)]
 pub fn run_many(configs: Vec<ExperimentConfig>) -> Vec<RunResult> {
-    run_many_checked(configs)
-        .into_iter()
-        .enumerate()
-        .map(|(i, r)| match r {
-            Ok(result) => result,
-            Err(e) => panic!("experiment #{i} failed: {e}"),
-        })
-        .collect()
+    crate::runner::BatchRunner::new(configs).run()
 }
 
 /// Fallible batch runner: one `Result` per configuration, in input order.
@@ -780,13 +862,10 @@ pub fn run_many(configs: Vec<ExperimentConfig>) -> Vec<RunResult> {
 ///
 /// Configurations that share a trace (same system, jobs, load, seed, and
 /// estimate model — i.e. the same [`TraceKey`]) generate it once through a
-/// batch-local [`TraceCache`] instead of once per run.
+/// batch-local [`TraceCache`] instead of once per run. Shorthand for
+/// [`BatchRunner::new(configs).run_checked()`](crate::runner::BatchRunner).
 pub fn run_many_checked(configs: Vec<ExperimentConfig>) -> Vec<Result<RunResult, RunError>> {
-    let cache = TraceCache::new();
-    run_batch(configs, default_threads(), |cfg| {
-        let trace = cfg.trace_shared(&cache);
-        cfg.run_shared(&trace)
-    })
+    crate::runner::BatchRunner::new(configs).run_checked()
 }
 
 /// The worker-thread count batch entry points use when the caller doesn't
@@ -812,6 +891,7 @@ pub fn default_threads() -> usize {
 /// reassembles them in input order. Panic messages are prefixed with the
 /// offending configuration's scheduler spec so a poisoned cell in a large
 /// grid is identifiable from the error alone.
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn run_batch<T, F>(
     configs: Vec<ExperimentConfig>,
     threads: usize,
@@ -941,6 +1021,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // deliberately covers the `run_many` shim
     fn run_many_matches_sequential_and_keeps_order() {
         let configs = vec![
             small(SchedulerKind::Easy),
@@ -1204,6 +1285,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // deliberately covers the `run_traced` shim
     fn run_traced_header_embeds_config() {
         use sps_trace::{MemorySink, TraceRecord};
         let cfg = small(SchedulerKind::Ss { sf: 2.0 }).with_jobs(120);

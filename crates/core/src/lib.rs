@@ -23,16 +23,20 @@
 //! analysis in [`theory`] (Figs. 4–6), and the experiment driver in
 //! [`experiment`].
 
+pub mod admission;
 pub mod experiment;
 pub mod faults;
 pub mod overhead;
 pub mod policy;
+pub mod runner;
 pub mod sched;
 pub mod sim;
 pub mod sweep;
 pub mod theory;
 
+pub use admission::AdmissionModel;
 pub use faults::{FaultInjector, FaultModel, RecoveryPolicy};
 pub use overhead::OverheadModel;
 pub use policy::{Action, DecideCtx, Policy};
-pub use sim::{AbortReason, RunStatus, SimResult, SimState, Simulator};
+pub use runner::{BatchRunner, RunBuilder};
+pub use sim::{AbortReason, RunStatus, RunUntil, SimResult, SimState, Simulator, StopReason};

@@ -19,6 +19,7 @@ use sps_telemetry::TelemetryCtx;
 use sps_trace::TraceCtx;
 use sps_workload::JobId;
 
+use crate::admission::AdmissionModel;
 use crate::sim::SimState;
 
 /// One scheduling decision.
@@ -80,6 +81,11 @@ pub struct DecideCtx<'a> {
     /// [`Simulator::with_reference_decides`](crate::sim::Simulator::with_reference_decides)
     /// for A/B benchmarks and fast-path validation.
     pub reference: bool,
+    /// The admission-control knobs in force for this run
+    /// ([`AdmissionModel::none`] unless the run enables admission).
+    /// Decide-time logic can consult the same ceiling/penalty the
+    /// [`Policy::admit`] hook saw.
+    pub admission: &'a AdmissionModel,
 }
 
 /// A job-scheduling policy.
@@ -104,6 +110,18 @@ pub trait Policy {
     /// running or not.
     fn quiescent_noop(&self) -> bool {
         false
+    }
+
+    /// Decide whether to admit an arriving job when admission control is
+    /// enabled (never consulted otherwise). Called once per arrival, in
+    /// arrival order, *before* the instant's [`Policy::decide`]; a
+    /// rejected job never enters the queue, produces no outcome, and is
+    /// charged [`AdmissionModel::penalty`] on the run's rejection ledger.
+    /// The default is the load-adaptive baseline
+    /// ([`AdmissionModel::baseline_admit`]); policies may override it to
+    /// make a smarter penalty/slowdown trade per Lucarelli et al.
+    fn admit(&mut self, state: &SimState, _job: JobId, model: &AdmissionModel) -> bool {
+        model.baseline_admit(state)
     }
 
     /// Produce scheduling actions for this instant. Called once per event

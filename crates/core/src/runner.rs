@@ -1,0 +1,414 @@
+//! Unified run entry points.
+//!
+//! Historically every sink/source/stop-condition combination grew its own
+//! function on [`ExperimentConfig`] — `run`, `run_traced`,
+//! `run_instrumented`, `run_many`, `run_many_checked` — and adding the
+//! open-system mode would have doubled that surface again. This module
+//! collapses them behind two builders:
+//!
+//! * [`RunBuilder`] (from [`ExperimentConfig::runner`]) configures and
+//!   executes **one** run: attach a trace sink, a telemetry sink, an
+//!   explicit [`JobSource`], a stopping condition, or a warmup window,
+//!   then call [`run`](RunBuilder::run) for a [`RunResult`] or
+//!   [`simulate`](RunBuilder::simulate) for the raw [`SimResult`].
+//! * [`BatchRunner`] (from [`BatchRunner::new`]) fans a batch of
+//!   configurations out over OS threads with shared trace caching,
+//!   optional progress observation, and explicit loss semantics:
+//!   [`run_checked`](BatchRunner::run_checked) returns one `Result` per
+//!   configuration, while [`run`](BatchRunner::run) trades that for a
+//!   plain `Vec` by **panicking on the first failure** — a lossy
+//!   convenience documented on the method, not a silent unwrap.
+//!
+//! The historical entry points survive as thin delegates (some
+//! deprecated) so downstream code migrates at its own pace, but all of
+//! them route through here.
+
+use std::sync::Arc;
+
+use sps_simcore::{Secs, Watchdog};
+use sps_telemetry::{NullTelemetry, TelemetrySink};
+use sps_trace::{NullSink, TraceRecord, TraceSink, TRACE_VERSION};
+use sps_workload::JobSource;
+
+use crate::experiment::{
+    default_threads, run_batch_observed, ExperimentConfig, RunError, RunResult,
+};
+use crate::sim::{RunUntil, SimResult, Simulator};
+
+/// Builder for a single experiment run. Start from
+/// [`ExperimentConfig::runner`]; every knob has a closed-system default,
+/// so `cfg.runner().run()` is exactly the historical `cfg.run()`.
+///
+/// The sink parameters default to the null implementations and switch
+/// types when attached ([`trace_sink`](RunBuilder::trace_sink),
+/// [`telemetry`](RunBuilder::telemetry)) — like `HashMap::with_hasher`,
+/// the argument fixes the parameter. Both traits are implemented for
+/// `&mut S`, so passing a borrow keeps the sink with the caller for
+/// rendering after the run.
+pub struct RunBuilder<S: TraceSink = NullSink, T: TelemetrySink = NullTelemetry> {
+    cfg: Arc<ExperimentConfig>,
+    sink: S,
+    telemetry: T,
+    source: Option<Box<dyn JobSource>>,
+    until: RunUntil,
+    warmup: Secs,
+    header: bool,
+    watchdog: Watchdog,
+}
+
+impl RunBuilder {
+    /// Start a builder over `cfg` with closed-system defaults: no sinks,
+    /// the workload implied by [`ExperimentConfig::arrivals`], run to
+    /// drain, no warmup, header emission on, generous watchdog.
+    pub fn new(cfg: Arc<ExperimentConfig>) -> Self {
+        RunBuilder {
+            cfg,
+            sink: NullSink,
+            telemetry: NullTelemetry,
+            source: None,
+            until: RunUntil::Drained,
+            warmup: 0,
+            header: true,
+            watchdog: Watchdog::generous(),
+        }
+    }
+}
+
+impl<S: TraceSink, T: TelemetrySink> RunBuilder<S, T> {
+    /// Stream trace records into `sink` during the run. Unless disabled
+    /// with [`header(false)`](RunBuilder::header), the first record is a
+    /// [`TraceRecord::Header`] embedding the configuration as JSON, so
+    /// the run is reproducible from the log alone.
+    pub fn trace_sink<S2: TraceSink>(self, sink: S2) -> RunBuilder<S2, T> {
+        RunBuilder {
+            cfg: self.cfg,
+            sink,
+            telemetry: self.telemetry,
+            source: self.source,
+            until: self.until,
+            warmup: self.warmup,
+            header: self.header,
+            watchdog: self.watchdog,
+        }
+    }
+
+    /// Attach a telemetry sink. The sink observes the run (metrics,
+    /// spans, health detectors) without perturbing it — outcomes are
+    /// bit-identical to the uninstrumented run.
+    pub fn telemetry<T2: TelemetrySink>(self, telemetry: T2) -> RunBuilder<S, T2> {
+        RunBuilder {
+            cfg: self.cfg,
+            sink: self.sink,
+            telemetry,
+            source: self.source,
+            until: self.until,
+            warmup: self.warmup,
+            header: self.header,
+            watchdog: self.watchdog,
+        }
+    }
+
+    /// Feed the run from an explicit [`JobSource`] instead of the
+    /// workload implied by the configuration ([`ExperimentConfig::trace`]
+    /// for closed systems, [`ExperimentConfig::open_source`] otherwise).
+    /// The sweep harness uses this to share one cached
+    /// [`TraceSource`](sps_workload::TraceSource) across a scheduler
+    /// grid.
+    pub fn source(mut self, source: Box<dyn JobSource>) -> Self {
+        self.source = Some(source);
+        self
+    }
+
+    /// Set the stopping condition (default [`RunUntil::Drained`]).
+    /// Unbounded sources (Poisson, MMPP, …) require a horizon or a job
+    /// count; [`simulate`](RunBuilder::simulate) panics otherwise.
+    pub fn until(mut self, until: RunUntil) -> Self {
+        self.until = until;
+        self
+    }
+
+    /// Discard the first `warmup` simulated seconds from the windowed
+    /// report (steady-state measurement for open-system runs).
+    pub fn warmup(mut self, warmup: Secs) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Whether to emit the [`TraceRecord::Header`] before the first
+    /// event record (default `true`). The kernel-golden equivalence
+    /// tests disable it to compare raw event streams byte-for-byte.
+    pub fn header(mut self, emit: bool) -> Self {
+        self.header = emit;
+        self
+    }
+
+    /// Override the watchdog (default [`Watchdog::generous`]).
+    pub fn watchdog(mut self, watchdog: Watchdog) -> Self {
+        self.watchdog = watchdog;
+        self
+    }
+
+    /// Execute the run and return the raw [`SimResult`] with no
+    /// per-category reports built (the sweep harness folds this straight
+    /// into a fixed-size summary).
+    ///
+    /// # Panics
+    ///
+    /// If the resolved source is unbounded
+    /// ([`JobSource::remaining`] is `None`) while the stopping condition
+    /// is [`RunUntil::Drained`] — such a run would never end.
+    pub fn simulate(mut self) -> SimResult {
+        if self.header && self.sink.enabled() {
+            self.sink.record(&TraceRecord::Header {
+                version: TRACE_VERSION,
+                scheduler: self.cfg.scheduler.to_string(),
+                config: self.cfg.to_json(),
+            });
+        }
+        let source = self.source.take().or_else(|| {
+            self.cfg
+                .open_source()
+                .map(|open| Box::new(open) as Box<dyn JobSource>)
+        });
+        let cfg = &self.cfg;
+        let sim = match source {
+            Some(src) => {
+                assert!(
+                    src.remaining().is_some() || !matches!(self.until, RunUntil::Drained),
+                    "unbounded job source `{}` needs a stopping condition: \
+                     set `.until(..)` to a sim-time horizon or a job count",
+                    src.label()
+                );
+                Simulator::traced_source(
+                    src,
+                    cfg.system.procs,
+                    cfg.scheduler.build(),
+                    cfg.overhead,
+                    cfg.tick_period,
+                    self.sink,
+                )
+            }
+            None => Simulator::traced(
+                cfg.trace(),
+                cfg.system.procs,
+                cfg.scheduler.build(),
+                cfg.overhead,
+                cfg.tick_period,
+                self.sink,
+            ),
+        };
+        sim.with_telemetry(self.telemetry)
+            .with_faults(cfg.faults)
+            .with_admission(cfg.admission)
+            .with_until(self.until)
+            .with_warmup(self.warmup)
+            .with_watchdog(self.watchdog)
+            .run()
+    }
+
+    /// Execute the run and aggregate per-category reports into a
+    /// [`RunResult`].
+    pub fn run(self) -> RunResult {
+        let cfg = Arc::clone(&self.cfg);
+        RunResult::from_sim(cfg, self.simulate())
+    }
+}
+
+/// Builder for a batch of experiment runs fanned out over OS threads.
+/// Results come back in input order. Configurations that share a trace
+/// (same [`TraceKey`](sps_workload::TraceKey)) generate it once through a
+/// batch-local [`TraceCache`](sps_workload::TraceCache); open-system
+/// configurations build their generator per run instead.
+/// Completion callback for [`BatchRunner::observer`]: `(index, outcome)`
+/// per finished cell, on the caller's thread.
+type BatchObserver<'a> = Box<dyn FnMut(usize, &Result<RunResult, RunError>) + 'a>;
+
+pub struct BatchRunner<'a> {
+    configs: Vec<ExperimentConfig>,
+    threads: usize,
+    until: RunUntil,
+    warmup: Secs,
+    observer: BatchObserver<'a>,
+}
+
+impl<'a> BatchRunner<'a> {
+    /// Start a batch over `configs` with [`default_threads`] workers, no
+    /// observer, and closed-system stop/warmup defaults.
+    pub fn new(configs: Vec<ExperimentConfig>) -> Self {
+        BatchRunner {
+            configs,
+            threads: default_threads(),
+            until: RunUntil::Drained,
+            warmup: 0,
+            observer: Box::new(|_, _| {}),
+        }
+    }
+
+    /// Override the worker-thread count (clamped to at least one).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Stopping condition applied to every run in the batch (default
+    /// [`RunUntil::Drained`]); required when any configuration uses an
+    /// unbounded arrival process.
+    pub fn until(mut self, until: RunUntil) -> Self {
+        self.until = until;
+        self
+    }
+
+    /// Warmup window applied to every run in the batch.
+    pub fn warmup(mut self, warmup: Secs) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Observe terminal outcomes as they complete. `observe(index,
+    /// result)` runs on the caller's thread once per configuration in
+    /// completion order — failed cells are observed exactly like
+    /// successful ones, so progress accounting never stalls.
+    pub fn observer(
+        mut self,
+        observe: impl FnMut(usize, &Result<RunResult, RunError>) + 'a,
+    ) -> Self {
+        self.observer = Box::new(observe);
+        self
+    }
+
+    /// Run the batch, returning one `Result` per configuration in input
+    /// order. Worker panics are caught per-configuration
+    /// ([`RunError::Panicked`]) and validation failures surface as
+    /// [`RunError::Invalid`]; a poisoned configuration never takes the
+    /// rest of the batch down.
+    pub fn run_checked(self) -> Vec<Result<RunResult, RunError>> {
+        let BatchRunner {
+            configs,
+            threads,
+            until,
+            warmup,
+            mut observer,
+        } = self;
+        let cache = sps_workload::TraceCache::new();
+        run_batch_observed(
+            configs,
+            threads,
+            |cfg| {
+                let mut builder = RunBuilder::new(Arc::clone(cfg)).until(until).warmup(warmup);
+                if cfg.arrivals.is_trace() {
+                    let key = cfg.trace_key();
+                    let source = cache.source(key, || cfg.trace());
+                    builder = builder.source(Box::new(source));
+                }
+                builder.run()
+            },
+            move |i, r| observer(i, r),
+        )
+    }
+
+    /// Run the batch and unwrap every result, **panicking on the first
+    /// failure** (with its batch index and message) after all other
+    /// configurations have completed. This is deliberately lossy — a
+    /// convenience for callers that treat any failure as fatal. Use
+    /// [`run_checked`](BatchRunner::run_checked) when individual
+    /// failures must be inspected or survived.
+    pub fn run(self) -> Vec<RunResult> {
+        self.run_checked()
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| match r {
+                Ok(result) => result,
+                Err(e) => panic!("experiment #{i} failed: {e}"),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::SchedulerKind;
+    use sps_telemetry::Telemetry;
+    use sps_trace::MemorySink;
+    use sps_workload::traces::SDSC;
+    use sps_workload::{ArrivalSpec, TraceSource};
+
+    fn small_cfg() -> ExperimentConfig {
+        ExperimentConfig::new(SDSC, SchedulerKind::Easy)
+            .with_jobs(60)
+            .with_seed(7)
+    }
+
+    #[test]
+    fn builder_defaults_match_run() {
+        let cfg = small_cfg();
+        let old = cfg.run();
+        let new = cfg.runner().run();
+        assert_eq!(old.sim.outcomes, new.sim.outcomes);
+        assert_eq!(old.sim.utilization, new.sim.utilization);
+        assert_eq!(old.sim.makespan, new.sim.makespan);
+    }
+
+    #[test]
+    fn builder_trace_sink_matches_run_traced() {
+        let cfg = small_cfg();
+        let mut old_sink = MemorySink::new();
+        #[allow(deprecated)]
+        let old = cfg.run_traced(&mut old_sink);
+        let mut new_sink = MemorySink::new();
+        let new = cfg.runner().trace_sink(&mut new_sink).run();
+        assert_eq!(old_sink.records().len(), new_sink.records().len());
+        assert_eq!(old.sim.outcomes, new.sim.outcomes);
+    }
+
+    #[test]
+    fn builder_telemetry_observes_without_perturbing() {
+        let cfg = small_cfg();
+        let plain = cfg.runner().run();
+        let mut tel = Telemetry::new();
+        let observed = cfg.runner().telemetry(&mut tel).run();
+        assert_eq!(plain.sim.outcomes, observed.sim.outcomes);
+    }
+
+    #[test]
+    fn builder_explicit_source_overrides_trace() {
+        let cfg = small_cfg();
+        let trace = cfg.trace();
+        let viasource = cfg.runner().source(Box::new(TraceSource::new(trace))).run();
+        let direct = cfg.runner().run();
+        assert_eq!(viasource.sim.outcomes, direct.sim.outcomes);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a stopping condition")]
+    fn unbounded_source_without_until_panics() {
+        let cfg = small_cfg().with_arrivals(ArrivalSpec::Poisson { load: None });
+        cfg.runner().simulate();
+    }
+
+    #[test]
+    fn batch_runner_matches_sequential() {
+        let mut a = small_cfg();
+        a.scheduler = SchedulerKind::Fcfs;
+        let b = small_cfg();
+        let batch = BatchRunner::new(vec![a.clone(), b.clone()])
+            .threads(2)
+            .run();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0].sim.outcomes, a.runner().run().sim.outcomes);
+        assert_eq!(batch[1].sim.outcomes, b.runner().run().sim.outcomes);
+    }
+
+    #[test]
+    fn batch_runner_observer_sees_every_cell() {
+        let configs = vec![small_cfg(), small_cfg(), small_cfg()];
+        let mut seen = Vec::new();
+        let results = BatchRunner::new(configs)
+            .threads(2)
+            .observer(|i, r| seen.push((i, r.is_ok())))
+            .run_checked();
+        assert_eq!(results.len(), 3);
+        assert_eq!(seen.len(), 3);
+        assert!(seen.iter().all(|&(_, ok)| ok));
+    }
+}

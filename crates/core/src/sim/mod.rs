@@ -47,7 +47,10 @@ mod runloop;
 mod state;
 
 pub use index::SchedIndex;
-pub use runloop::{AbortReason, KernelStats, RunStatus, SimResult, Simulator, DEFAULT_TICK_PERIOD};
+pub use runloop::{
+    AbortReason, KernelStats, RunStatus, RunUntil, SimResult, Simulator, StopReason,
+    DEFAULT_TICK_PERIOD,
+};
 pub use state::{Event, OccupancySegment, SimState};
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 
 use std::time::Instant;
 
-use sps_metrics::{utilization, FaultSummary, JobOutcome};
+use sps_metrics::{utilization, FaultSummary, JobOutcome, RejectionSummary, WindowedReport};
 use sps_simcore::{
     Engine, EventClass, EventQueue, RunOutcome, Secs, SimTime, Simulation, Ticker, Watchdog,
 };
@@ -11,9 +11,10 @@ use sps_telemetry::{
     EventClass as ObsClass, HealthSummary, NullTelemetry, Obs, TelemetryCtx, TelemetrySink,
 };
 use sps_trace::{JobEvent, NullSink, ProcEvent, TraceCtx, TraceRecord, TraceSink};
-use sps_workload::{Job, JobId};
+use sps_workload::{parse_secs, Job, JobId, JobSource};
 
 use super::state::{Event, OccupancySegment, Phase, SimState};
+use crate::admission::AdmissionModel;
 use crate::faults::{FaultInjector, FaultModel, RecoveryPolicy};
 use crate::overhead::OverheadModel;
 use crate::policy::{Action, DecideCtx, Policy};
@@ -29,11 +30,24 @@ pub enum AbortReason {
     WallClock,
 }
 
+/// Which requested stopping condition ended an open-system run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The simulated-time horizon ([`RunUntil::SimTime`]) was reached.
+    Horizon,
+    /// The completed-job target ([`RunUntil::Jobs`]) was reached.
+    JobCount,
+}
+
 /// Whether a run finished or a watchdog ended it early.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RunStatus {
     /// Every job completed and the event queue drained.
     Completed,
+    /// The run reached its requested stopping condition
+    /// ([`Simulator::with_until`]) with jobs still in flight. This is the
+    /// *expected* ending of an open-system run — not an abort.
+    Stopped(StopReason),
     /// A watchdog limit ended the run; metrics cover the jobs that
     /// completed before the abort.
     Aborted(AbortReason),
@@ -43,6 +57,57 @@ impl RunStatus {
     /// Whether the run was cut short.
     pub fn is_aborted(self) -> bool {
         matches!(self, RunStatus::Aborted(_))
+    }
+
+    /// Whether the run ended at its requested stopping condition.
+    pub fn is_stopped(self) -> bool {
+        matches!(self, RunStatus::Stopped(_))
+    }
+}
+
+/// When a run ends. `Drained` is the closed-system default: every job
+/// completes and the event queue empties. The other variants make
+/// unbounded [`JobSource`]s usable — a Poisson stream never drains, so the
+/// run stops at a simulated-time horizon or a completed-job count and the
+/// result carries [`RunStatus::Stopped`] plus a warmup-windowed report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum RunUntil {
+    /// Run until the event queue drains (every job completed).
+    #[default]
+    Drained,
+    /// Stop before delivering any event past this simulated instant.
+    SimTime(SimTime),
+    /// Stop once this many jobs have completed.
+    Jobs(usize),
+}
+
+/// Grammar: `drained`, a duration with `s`/`m`/`h`/`d` suffix (`30d`), or
+/// a job count with a `j` suffix (`5000j`). `Display` round-trips.
+impl std::fmt::Display for RunUntil {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunUntil::Drained => write!(f, "drained"),
+            RunUntil::SimTime(t) => write!(f, "{}s", t.secs()),
+            RunUntil::Jobs(n) => write!(f, "{n}j"),
+        }
+    }
+}
+
+impl std::str::FromStr for RunUntil {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        if s == "drained" {
+            return Ok(RunUntil::Drained);
+        }
+        if let Some(n) = s.strip_suffix('j') {
+            let n: usize = n
+                .parse()
+                .map_err(|_| format!("bad job count in '{s}' (expected e.g. '5000j')"))?;
+            return Ok(RunUntil::Jobs(n));
+        }
+        let secs = parse_secs(s)?;
+        Ok(RunUntil::SimTime(SimTime::new(secs)))
     }
 }
 
@@ -101,6 +166,13 @@ pub struct SimResult {
     /// Health-detector roll-up, when the run carried a telemetry sink
     /// that tracks health (`None` under the default [`NullTelemetry`]).
     pub health: Option<HealthSummary>,
+    /// Rejection ledger (empty unless admission control rejected jobs).
+    pub rejections: RejectionSummary,
+    /// Warmup-windowed steady-state metrics. Present when the run set a
+    /// stopping condition other than [`RunUntil::Drained`] or a warmup
+    /// window ([`Simulator::with_warmup`]); `None` on plain closed-system
+    /// runs, whose whole-trace metrics are the fields above.
+    pub windowed: Option<WindowedReport>,
 }
 
 /// The simulator: a trace, a machine, a policy, an overhead model.
@@ -175,6 +247,23 @@ pub struct Simulator<S: TraceSink = NullSink, T: TelemetrySink = NullTelemetry> 
     sink: S,
     /// Telemetry observation consumer.
     telemetry: T,
+    /// Lazy job supply (open-system mode). `None` runs the classic eager
+    /// path: every job is in the table up front and all arrival events are
+    /// pre-inserted, byte-identical to the pre-source simulator.
+    source: Option<Box<dyn JobSource>>,
+    /// One-job lookahead so each arrival *group* (every job sharing a
+    /// submit instant) materializes together — the delivery order is then
+    /// identical to eager pre-insertion.
+    pending_job: Option<Job>,
+    /// Stopping condition (default: drain the queue).
+    until: RunUntil,
+    /// Warmup window length in seconds; metrics in
+    /// [`SimResult::windowed`] only count jobs submitted at or after this
+    /// instant. Zero means no warmup.
+    warmup: Secs,
+    /// Admission-control knobs ([`AdmissionModel::none`] by default, in
+    /// which case the admit hook is never consulted).
+    admission: AdmissionModel,
 }
 
 /// Preemptive policies run their preemption routine once a minute
@@ -209,6 +298,20 @@ impl Simulator {
     ) -> Self {
         Simulator::traced(jobs, procs, policy, overhead, tick_period, NullSink)
     }
+
+    /// Build an untraced open-system simulator fed from a [`JobSource`]
+    /// (no overhead model, default tick period). See
+    /// [`Simulator::traced_source`] for the fully-parameterized form.
+    pub fn from_source(source: Box<dyn JobSource>, procs: u32, policy: Box<dyn Policy>) -> Self {
+        Simulator::traced_source(
+            source,
+            procs,
+            policy,
+            OverheadModel::None,
+            DEFAULT_TICK_PERIOD,
+            NullSink,
+        )
+    }
 }
 
 impl<S: TraceSink> Simulator<S> {
@@ -236,18 +339,7 @@ impl<S: TraceSink> Simulator<S> {
         sink: S,
     ) -> Self {
         for j in &jobs {
-            assert!(
-                j.procs <= procs,
-                "job {} requests {} processors on a {}-processor machine",
-                j.id,
-                j.procs,
-                procs
-            );
-            assert!(
-                j.run > 0 && j.estimate >= j.run,
-                "job {} has invalid times",
-                j.id
-            );
+            validate_job(j, procs);
         }
         let ticker = policy.needs_tick().then(|| Ticker::new(tick_period));
         Simulator {
@@ -266,7 +358,33 @@ impl<S: TraceSink> Simulator<S> {
             reference_decides: false,
             sink,
             telemetry: NullTelemetry,
+            source: None,
+            pending_job: None,
+            until: RunUntil::Drained,
+            warmup: 0,
+            admission: AdmissionModel::none(),
         }
+    }
+
+    /// Build a simulator fed lazily from a [`JobSource`] (open-system
+    /// mode). Jobs materialize on demand — one arrival group ahead of the
+    /// clock — so an unbounded generator never allocates its infinite
+    /// future. Pair with [`Simulator::with_until`]: a source that never
+    /// ends makes [`RunUntil::Drained`] run forever (until a watchdog
+    /// trips). A finite [`sps_workload::TraceSource`] through this path is
+    /// bit-identical to the eager constructors — the equivalence suite in
+    /// `tests/open_system.rs` pins that against the golden hashes.
+    pub fn traced_source(
+        source: Box<dyn JobSource>,
+        procs: u32,
+        policy: Box<dyn Policy>,
+        overhead: OverheadModel,
+        tick_period: Secs,
+        sink: S,
+    ) -> Self {
+        let mut sim = Simulator::traced(Vec::new(), procs, policy, overhead, tick_period, sink);
+        sim.source = Some(source);
+        sim
     }
 
     /// Attach a telemetry sink (builder style; fixes the second type
@@ -290,8 +408,30 @@ impl<S: TraceSink> Simulator<S> {
             reference_decides: self.reference_decides,
             sink: self.sink,
             telemetry,
+            source: self.source,
+            pending_job: self.pending_job,
+            until: self.until,
+            warmup: self.warmup,
+            admission: self.admission,
         }
     }
+}
+
+/// Shared job validation for the eager constructors and the lazy
+/// materialization path.
+fn validate_job(j: &Job, procs: u32) {
+    assert!(
+        j.procs <= procs,
+        "job {} requests {} processors on a {}-processor machine",
+        j.id,
+        j.procs,
+        procs
+    );
+    assert!(
+        j.run > 0 && j.estimate >= j.run,
+        "job {} has invalid times",
+        j.id
+    );
 }
 
 impl<S: TraceSink, T: TelemetrySink> Simulator<S, T> {
@@ -356,6 +496,34 @@ impl<S: TraceSink, T: TelemetrySink> Simulator<S, T> {
         self
     }
 
+    /// Set the stopping condition (builder style, default
+    /// [`RunUntil::Drained`]). Runs ended by a non-drain condition report
+    /// [`RunStatus::Stopped`] and leave `unfinished` jobs in flight —
+    /// that's the normal shape of an open-system result, not an error.
+    pub fn with_until(mut self, until: RunUntil) -> Self {
+        self.until = until;
+        self
+    }
+
+    /// Set the warmup window (builder style, default none). The
+    /// [`SimResult::windowed`] report then counts only jobs submitted at
+    /// or after `warmup` seconds, clipping utilization to the window.
+    pub fn with_warmup(mut self, warmup: Secs) -> Self {
+        assert!(warmup >= 0, "warmup must be non-negative");
+        self.warmup = warmup;
+        self
+    }
+
+    /// Enable admission control (builder style, default
+    /// [`AdmissionModel::none`]). With an enabled model the policy's
+    /// [`Policy::admit`] hook is consulted once per arrival; rejected jobs
+    /// never enter the queue and are charged to
+    /// [`SimResult::rejections`].
+    pub fn with_admission(mut self, admission: AdmissionModel) -> Self {
+        self.admission = admission;
+        self
+    }
+
     /// Read access to the live state (used by tests).
     pub fn state(&self) -> &SimState {
         &self.state
@@ -398,27 +566,45 @@ impl<S: TraceSink, T: TelemetrySink> Simulator<S, T> {
     /// gauges), no telemetry (instrumented runs sample gauges per instant),
     /// and no fault injection (kept conservative: fault delivery
     /// interleaves with ticks in ways the certification doesn't cover).
+    /// (Admission-controlled runs also opt out: the certification predates
+    /// the admit hook, and rejection-heavy instants are not hot.)
     fn elision_active(&self) -> bool {
         self.elide_idle
             && !self.sink.enabled()
             && !self.telemetry.enabled()
             && self.faults.is_none()
+            && !self.admission.enabled()
             && self.policy.quiescent_noop()
     }
 
-    /// Run the whole trace to completion and report.
+    /// Run the simulation to its stopping condition and report. The
+    /// classic closed-system call drains the whole trace; with a
+    /// [`JobSource`] and [`RunUntil::SimTime`]/[`RunUntil::Jobs`] this is
+    /// the open-system steady-state run.
     pub fn run(mut self) -> SimResult {
-        let mut queue = if self.heap_queue {
-            EventQueue::with_capacity(self.state.jobs.len() * 2)
-        } else {
-            EventQueue::calendar_with_capacity(self.state.jobs.len() * 2)
+        let capacity = match &self.source {
+            // Lazy mode: size for the source's hint when it has one (a
+            // finite replay), else a reasonable open-system default.
+            Some(src) => src.remaining().unwrap_or(4_096).max(64) * 2,
+            None => self.state.jobs.len() * 2,
         };
-        for rt in &self.state.jobs {
-            queue.push(
-                rt.job.submit,
-                EventClass::Arrival,
-                Event::Arrival(rt.job.id),
-            );
+        let mut queue = if self.heap_queue {
+            EventQueue::with_capacity(capacity)
+        } else {
+            EventQueue::calendar_with_capacity(capacity)
+        };
+        if self.source.is_some() {
+            // Lazy mode: materialize only the first arrival group; the
+            // batch handler pulls the next group as each one is delivered.
+            self.schedule_next_arrivals(&mut queue);
+        } else {
+            for rt in &self.state.jobs {
+                queue.push(
+                    rt.job.submit,
+                    EventClass::Arrival,
+                    Event::Arrival(rt.job.id),
+                );
+            }
         }
         // Seed the failure process: one initial failure time per
         // processor, drawn in index order.
@@ -430,6 +616,9 @@ impl<S: TraceSink, T: TelemetrySink> Simulator<S, T> {
             }
         }
         let mut engine = Engine::new().with_watchdog(self.watchdog);
+        if let RunUntil::SimTime(horizon) = self.until {
+            engine = engine.with_horizon(horizon);
+        }
         let wall_start = Instant::now();
         let outcome = engine.run(&mut self, &mut queue);
         let kernel = KernelStats {
@@ -458,12 +647,13 @@ impl<S: TraceSink, T: TelemetrySink> Simulator<S, T> {
             RunOutcome::BatchLimit => RunStatus::Aborted(AbortReason::BatchLimit),
             RunOutcome::EventLimit => RunStatus::Aborted(AbortReason::EventLimit),
             RunOutcome::WallClockLimit => RunStatus::Aborted(AbortReason::WallClock),
-            _ => {
-                assert_eq!(
-                    outcome,
-                    RunOutcome::Drained,
-                    "simulation did not drain its event queue"
-                );
+            RunOutcome::HorizonReached => RunStatus::Stopped(StopReason::Horizon),
+            RunOutcome::Stopped => RunStatus::Stopped(StopReason::JobCount),
+            RunOutcome::Drained => {
+                // A drained queue with jobs still incomplete means the
+                // policy deadlocked — but only Drained runs promise every
+                // job completes; stopped runs leave work in flight by
+                // design.
                 assert_eq!(
                     self.state.incomplete, 0,
                     "simulation ended with {} unfinished jobs — policy deadlock",
@@ -472,6 +662,23 @@ impl<S: TraceSink, T: TelemetrySink> Simulator<S, T> {
                 RunStatus::Completed
             }
         };
+        // Window end: the horizon itself when the horizon stopped the run
+        // (the machine kept working up to it), else the last event instant.
+        let run_end = match (self.until, status) {
+            (RunUntil::SimTime(h), RunStatus::Stopped(StopReason::Horizon)) => h,
+            _ => engine.now(),
+        };
+        let windowed = (self.warmup > 0 || !matches!(self.until, RunUntil::Drained)).then(|| {
+            let start = SimTime::ZERO + self.warmup;
+            let end = run_end.max(start);
+            WindowedReport::from_outcomes(
+                &self.state.outcomes,
+                start,
+                end,
+                self.state.cluster.total(),
+                self.windowed_busy(start, end),
+            )
+        });
         let mut faults = self.state.fault_stats;
         if let Some(inj) = &self.faults {
             faults.downtime = inj.downtime_at(self.state.now);
@@ -499,7 +706,104 @@ impl<S: TraceSink, T: TelemetrySink> Simulator<S, T> {
             segments: std::mem::take(&mut self.state.segments),
             kernel,
             health,
+            rejections: self.state.rejections,
+            windowed,
         }
+    }
+
+    /// Busy processor-seconds clipped to `[start, end]`: closed occupancy
+    /// segments plus the still-open segment of every job dispatched when
+    /// the run stopped (stopped runs leave work on the machine; ignoring
+    /// it would report a near-empty window at high load).
+    fn windowed_busy(&self, start: SimTime, end: SimTime) -> i64 {
+        let mut busy: i64 = 0;
+        for seg in &self.state.segments {
+            let a = seg.start.max(start);
+            let b = seg.end.min(end);
+            if b > a {
+                busy += (b - a) * seg.procs.count() as i64;
+            }
+        }
+        for rt in &self.state.jobs {
+            if let Some(open) = rt.seg_open {
+                let a = open.max(start);
+                if end > a {
+                    busy += (end - a) * rt.job.procs as i64;
+                }
+            }
+        }
+        busy
+    }
+
+    /// Materialize the next arrival *group* from the source: the chain of
+    /// jobs sharing the next submit instant, detected with a one-job
+    /// lookahead held in `pending_job`. Grouping preserves the eager
+    /// path's delivery order exactly — all of an instant's arrivals are in
+    /// the queue before the engine forms that instant's batch.
+    fn schedule_next_arrivals(&mut self, queue: &mut EventQueue<Event>) {
+        let Some(src) = self.source.as_mut() else {
+            return;
+        };
+        let Some(first) = self.pending_job.take().or_else(|| src.next_job()) else {
+            return;
+        };
+        let t = first.submit;
+        self.materialize_arrival(first, queue);
+        while let Some(job) = self.source.as_mut().expect("checked above").next_job() {
+            if job.submit != t {
+                assert!(
+                    job.submit > t,
+                    "job source emitted arrivals out of order ({} after {t})",
+                    job.submit
+                );
+                self.pending_job = Some(job);
+                break;
+            }
+            self.materialize_arrival(job, queue);
+        }
+    }
+
+    /// Add one source job to the table and schedule its arrival event,
+    /// mirroring everything the eager constructors do up front: validation,
+    /// the incomplete count, and (under fault injection) the per-job crash
+    /// draw — still in id order, because sources emit ids densely.
+    fn materialize_arrival(&mut self, job: Job, queue: &mut EventQueue<Event>) {
+        validate_job(&job, self.state.cluster.total());
+        let submit = job.submit;
+        let id = self.state.push_job(job);
+        if let Some(inj) = &mut self.faults {
+            let rt = &mut self.state.jobs[id.index()];
+            rt.crash_after = inj.job_crash_after(rt.job.run);
+        }
+        queue.push(submit, EventClass::Arrival, Event::Arrival(id));
+    }
+
+    /// Consult the policy's admit hook for each of this instant's
+    /// arrivals, in arrival order. Rejected jobs leave the queue before the
+    /// decide sees the instant: `ctx.arrivals` lists admitted jobs only.
+    #[cold]
+    #[inline(never)]
+    fn apply_admission(&mut self) {
+        let arrivals = std::mem::take(&mut self.arrivals_now);
+        let mut admitted = Vec::with_capacity(arrivals.len());
+        for id in arrivals {
+            if self.policy.admit(&self.state, id, &self.admission) {
+                admitted.push(id);
+                continue;
+            }
+            let penalty = self.admission.penalty(self.state.job(id));
+            self.state.reject(id, penalty);
+            if self.sink.enabled() {
+                self.emit_job(id, JobEvent::Reject, false);
+            }
+            if self.telemetry.enabled() {
+                self.tel_obs(Obs::JobRejected {
+                    job: id.0,
+                    t: self.state.now.secs(),
+                });
+            }
+        }
+        self.arrivals_now = admitted;
     }
 
     /// Record one observation. Cold and never inlined: every call is
@@ -876,6 +1180,20 @@ impl<S: TraceSink, T: TelemetrySink> Simulation for Simulator<S, T> {
             }
         }
 
+        // Lazy mode: the group just delivered was the furthest one
+        // materialized — pull the next group in before the engine forms
+        // its next batch.
+        if self.source.is_some() && !self.arrivals_now.is_empty() {
+            self.schedule_next_arrivals(queue);
+        }
+
+        // Admission control filters this instant's arrivals before the
+        // decide: rejected jobs vanish from the queue and from
+        // `ctx.arrivals`.
+        if self.admission.enabled() && !self.arrivals_now.is_empty() {
+            self.apply_admission();
+        }
+
         // One decision per instant, with complete knowledge of the instant.
         let arrivals = std::mem::take(&mut self.arrivals_now);
         let failures = std::mem::take(&mut self.failures_now);
@@ -912,6 +1230,7 @@ impl<S: TraceSink, T: TelemetrySink> Simulation for Simulator<S, T> {
                     trace: &tracer,
                     metrics: &metrics,
                     reference: self.reference_decides,
+                    admission: &self.admission,
                 };
                 self.decide_calls += 1;
                 self.policy.decide(&self.state, &ctx, &mut self.actions);
@@ -969,5 +1288,9 @@ impl<S: TraceSink, T: TelemetrySink> Simulation for Simulator<S, T> {
                 }
             }
         }
+    }
+
+    fn should_stop(&self) -> bool {
+        matches!(self.until, RunUntil::Jobs(n) if self.state.outcomes.len() >= n)
     }
 }

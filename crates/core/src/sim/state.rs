@@ -2,7 +2,7 @@
 //! kernel structures (release ledger + occupancy index).
 
 use sps_cluster::{AvailabilityProfile, Cluster, ProcSet, Profile};
-use sps_metrics::{FaultSummary, JobOutcome};
+use sps_metrics::{FaultSummary, JobOutcome, RejectionSummary};
 use sps_simcore::{Secs, SimTime};
 use sps_workload::{Job, JobId};
 
@@ -187,6 +187,8 @@ pub struct SimState {
     pub(crate) dropped_actions: u64,
     /// Fault counters (all zero without fault injection).
     pub(crate) fault_stats: FaultSummary,
+    /// Rejection ledger (empty without admission control).
+    pub(crate) rejections: RejectionSummary,
     /// Release ledger: expected end → processors, one contribution per
     /// occupying (Running/Draining) job, maintained by delta.
     pub(crate) avail: AvailabilityProfile,
@@ -217,9 +219,43 @@ impl SimState {
             preemptions: 0,
             dropped_actions: 0,
             fault_stats: FaultSummary::default(),
+            rejections: RejectionSummary::default(),
             avail: AvailabilityProfile::new(),
             index: SchedIndex::new(procs),
         }
+    }
+
+    /// Append a lazily-materialized job to the table (open-system source
+    /// mode). Ids must stay dense — the table is indexed by id — so the
+    /// source seam asserts the invariant here.
+    pub(crate) fn push_job(&mut self, job: Job) -> JobId {
+        assert_eq!(
+            job.id.index(),
+            self.jobs.len(),
+            "job source must emit dense ids in order"
+        );
+        let id = job.id;
+        self.jobs.push(JobRt::new(job));
+        self.incomplete += 1;
+        id
+    }
+
+    /// Reject a job that arrived this instant (admission control): remove
+    /// it from the queue, mark it done without an outcome, and charge the
+    /// ledger. The job never held processors, so no kernel structure needs
+    /// repair.
+    pub(crate) fn reject(&mut self, id: JobId, penalty: f64) {
+        let rt = &mut self.jobs[id.index()];
+        debug_assert_eq!(
+            rt.phase,
+            Phase::Queued,
+            "only queued arrivals can be rejected"
+        );
+        rt.phase = Phase::Done;
+        let est_work = rt.job.estimate * rt.job.procs as i64;
+        self.queued.retain(|&q| q != id);
+        self.incomplete -= 1;
+        self.rejections.record(est_work, penalty);
     }
 
     /// Current simulated time.
@@ -306,6 +342,35 @@ impl SimState {
     /// Fault counters accumulated so far (all zero without faults).
     pub fn fault_stats(&self) -> &FaultSummary {
         &self.fault_stats
+    }
+
+    /// Rejection ledger accumulated so far (empty without admission
+    /// control).
+    pub fn rejections(&self) -> &RejectionSummary {
+        &self.rejections
+    }
+
+    /// Estimated outstanding work, in machine-seconds: queued jobs'
+    /// full estimated work plus dispatched/suspended jobs' estimated
+    /// remaining work, over machine size. This is the signal the
+    /// load-adaptive admission baseline thresholds on. (Draining victims
+    /// are mid-transition for at most one drain interval and are ignored.)
+    pub fn backlog_secs(&self) -> f64 {
+        let mut work: i64 = 0;
+        for &id in &self.queued {
+            let j = &self.jobs[id.index()].job;
+            work += j.estimate * j.procs as i64;
+        }
+        for &id in &self.running {
+            let j = &self.jobs[id.index()].job;
+            work += self.estimated_remaining(id) * j.procs as i64;
+        }
+        for &id in &self.suspended {
+            let rt = &self.jobs[id.index()];
+            let left = (rt.job.estimate - rt.executed_at(self.now)).max(1);
+            work += left * rt.job.procs as i64;
+        }
+        work as f64 / self.cluster.total().max(1) as f64
     }
 
     /// Whether the job is currently dispatched.

@@ -25,13 +25,15 @@ use sps_metrics::{JobOutcome, P2Quantile, StreamingStats};
 use sps_simcore::Secs;
 use sps_telemetry::{HealthSummary, Telemetry};
 use sps_trace::Json;
-use sps_workload::{EstimateModel, SystemPreset, TraceCache};
+use sps_workload::{ArrivalSpec, EstimateModel, SystemPreset, TraceCache};
 
+use crate::admission::AdmissionModel;
 use crate::experiment::{
     run_batch_observed, ConfigError, ExperimentConfig, RunResult, SchedulerKind,
 };
 use crate::overhead::OverheadModel;
-use crate::sim::DEFAULT_TICK_PERIOD;
+use crate::runner::RunBuilder;
+use crate::sim::{RunUntil, DEFAULT_TICK_PERIOD};
 
 /// A declarative scheduler × load × seed-replication grid over one
 /// workload model.
@@ -60,6 +62,21 @@ pub struct SweepSpec {
     /// When on, each [`RunSummary`] carries the run's [`HealthSummary`]
     /// and live progress reports the worst active detector.
     pub telemetry: bool,
+    /// Arrival process of every cell. The default ([`ArrivalSpec::Trace`])
+    /// is the closed system: each cell replays the finite calibrated
+    /// trace, shared through the batch [`TraceCache`]. Any other spec
+    /// turns the sweep open-system: each run streams jobs from its own
+    /// seeded generator and **must** set a stopping condition
+    /// ([`SweepSpec::with_until`]).
+    pub arrivals: ArrivalSpec,
+    /// Stopping condition applied to every run (default
+    /// [`RunUntil::Drained`]; required non-drain for open-system cells).
+    pub until: RunUntil,
+    /// Warmup window in simulated seconds: jobs submitted earlier are
+    /// excluded from the folded metrics (steady-state measurement).
+    pub warmup: Secs,
+    /// Admission-control model applied to every run (default off).
+    pub admission: AdmissionModel,
 }
 
 impl SweepSpec {
@@ -78,7 +95,35 @@ impl SweepSpec {
             overhead: OverheadModel::None,
             tick_period: DEFAULT_TICK_PERIOD,
             telemetry: false,
+            arrivals: ArrivalSpec::Trace,
+            until: RunUntil::Drained,
+            warmup: 0,
+            admission: AdmissionModel::none(),
         }
+    }
+
+    /// Set the arrival process of every cell (open-system sweeps).
+    pub fn with_arrivals(mut self, arrivals: ArrivalSpec) -> Self {
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// Set the stopping condition applied to every run.
+    pub fn with_until(mut self, until: RunUntil) -> Self {
+        self.until = until;
+        self
+    }
+
+    /// Set the warmup window in simulated seconds.
+    pub fn with_warmup(mut self, warmup: Secs) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Set the admission-control model applied to every run.
+    pub fn with_admission(mut self, admission: AdmissionModel) -> Self {
+        self.admission = admission;
+        self
     }
 
     /// Toggle per-run telemetry (health detectors + metric registry).
@@ -154,6 +199,11 @@ impl SweepSpec {
         if self.reps == 0 {
             return Err(ConfigError::EmptyGrid("reps"));
         }
+        if !self.arrivals.is_trace() && matches!(self.until, RunUntil::Drained) {
+            return Err(ConfigError::BadArrivals(
+                "open-system sweeps need a stopping condition (with_until)".into(),
+            ));
+        }
         for &load in &self.loads {
             self.config(self.schedulers[0], load, 0).validate()?;
         }
@@ -179,6 +229,8 @@ impl SweepSpec {
             .with_estimates(self.estimates)
             .with_overhead(self.overhead)
             .with_tick_period(self.tick_period)
+            .with_arrivals(self.arrivals)
+            .with_admission(self.admission)
     }
 
     /// Expand the grid cell-major: all replications of a cell are
@@ -234,6 +286,10 @@ pub struct RunSummary {
     pub events: u64,
     /// Engine wall-clock, microseconds.
     pub wall_micros: u64,
+    /// Jobs refused by admission control.
+    pub rejected: u64,
+    /// Accumulated rejection penalty (Lucarelli-style, work-scaled).
+    pub rejected_penalty: f64,
     /// End-of-run health detector counts (only on instrumented runs).
     pub health: Option<HealthSummary>,
 }
@@ -252,7 +308,18 @@ impl RunSummary {
         let mut turn = StreamingStats::new();
         let mut p50 = P2Quantile::new(0.5);
         let mut p99 = P2Quantile::new(0.99);
+        // Open-system runs fold only the measurement window (jobs
+        // submitted after warmup); closed runs have no window and fold
+        // everything, bit-identical to the pre-open-system arithmetic.
+        let wstart = sim.windowed.as_ref().map(|w| w.start);
+        let mut counted = 0usize;
         for o in &sim.outcomes {
+            if let Some(ws) = wstart {
+                if o.submit < ws {
+                    continue;
+                }
+            }
+            counted += 1;
             let s = JobOutcome::slowdown(o);
             slow.push(s);
             p50.push(s);
@@ -269,13 +336,19 @@ impl RunSummary {
             worst_slowdown: slow.max(),
             mean_turnaround: turn.mean(),
             worst_turnaround: turn.max(),
-            utilization: sim.utilization,
+            utilization: sim
+                .windowed
+                .as_ref()
+                .map(|w| w.utilization)
+                .unwrap_or(sim.utilization),
             makespan: sim.makespan,
             preemptions: sim.preemptions,
-            completed: sim.outcomes.len(),
+            completed: counted,
             aborted: sim.status.is_aborted(),
             events: sim.kernel.events,
             wall_micros: sim.kernel.wall_micros,
+            rejected: sim.rejections.rejected,
+            rejected_penalty: sim.rejections.penalty,
             health: sim.health,
         }
     }
@@ -363,6 +436,10 @@ pub struct CellStats {
     pub preemptions: Ci,
     /// Makespan, seconds.
     pub makespan: Ci,
+    /// Jobs refused by admission control per run.
+    pub rejected: Ci,
+    /// Accumulated rejection penalty per run.
+    pub rejected_penalty: Ci,
     /// Health detector counts summed over instrumented replications
     /// (`None` when the sweep ran without telemetry).
     pub health: Option<HealthSummary>,
@@ -408,6 +485,8 @@ impl CellStats {
             utilization_pct: col(&|s| s.utilization * 100.0),
             preemptions: col(&|s| s.preemptions as f64),
             makespan: col(&|s| s.makespan as f64),
+            rejected: col(&|s| s.rejected as f64),
+            rejected_penalty: col(&|s| s.rejected_penalty),
             health,
         }
     }
@@ -439,12 +518,13 @@ impl SweepReport {
              mean_slowdown,mean_slowdown_ci,p50_slowdown,p50_slowdown_ci,\
              p99_slowdown,p99_slowdown_ci,worst_slowdown,worst_slowdown_ci,\
              mean_turnaround,mean_turnaround_ci,utilization_pct,utilization_pct_ci,\
-             preemptions,preemptions_ci,makespan,makespan_ci\n",
+             preemptions,preemptions_ci,makespan,makespan_ci,\
+             rejected,rejected_ci,rejected_penalty,rejected_penalty_ci\n",
         );
         for c in &self.cells {
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.2},{:.2},{:.3},{:.3},{:.1},{:.1},{:.0},{:.0}",
+                "{},{},{},{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.2},{:.2},{:.3},{:.3},{:.1},{:.1},{:.0},{:.0},{:.1},{:.1},{:.2},{:.2}",
                 c.scheduler,
                 c.load_factor,
                 c.reps,
@@ -466,6 +546,10 @@ impl SweepReport {
                 c.preemptions.half_width,
                 c.makespan.mean,
                 c.makespan.half_width,
+                c.rejected.mean,
+                c.rejected.half_width,
+                c.rejected_penalty.mean,
+                c.rejected_penalty.half_width,
             );
         }
         out
@@ -497,6 +581,8 @@ impl SweepReport {
                     ("utilization_pct".into(), ci(c.utilization_pct)),
                     ("preemptions".into(), ci(c.preemptions)),
                     ("makespan".into(), ci(c.makespan)),
+                    ("rejected".into(), ci(c.rejected)),
+                    ("rejected_penalty".into(), ci(c.rejected_penalty)),
                 ])
             })
             .collect();
@@ -610,6 +696,7 @@ where
     let start = Instant::now();
     let cache = TraceCache::new();
     let telemetry = spec.telemetry;
+    let (until, warmup) = (spec.until, spec.warmup);
 
     let total = spec.runs();
     let reps = spec.reps;
@@ -625,15 +712,21 @@ where
         spec.expand(),
         threads,
         |cfg: &Arc<ExperimentConfig>| {
-            let trace = cfg.trace_shared(&cache);
             // Simulate and fold directly: no RunResult (and no
             // per-category reports) is ever materialized on the sweep
-            // path.
+            // path. Closed cells pull from one cached trace per
+            // (load, seed); open cells build their seeded generator
+            // inside the builder.
+            let mut builder = RunBuilder::new(Arc::clone(cfg)).until(until).warmup(warmup);
+            if cfg.arrivals.is_trace() {
+                let source = cache.source(cfg.trace_key(), || cfg.trace());
+                builder = builder.source(Box::new(source));
+            }
             if telemetry {
                 let mut tel = Telemetry::new();
-                RunSummary::fold(cfg, &cfg.simulate_instrumented(trace.to_vec(), &mut tel))
+                RunSummary::fold(cfg, &builder.telemetry(&mut tel).simulate())
             } else {
-                RunSummary::fold(cfg, &cfg.simulate(trace.to_vec()))
+                RunSummary::fold(cfg, &builder.simulate())
             }
         },
         |i, r| {
@@ -836,6 +929,39 @@ mod tests {
         let instrumented = run_sweep(&tiny().with_telemetry(true), 2).expect("valid spec");
         assert!(plain.cells.iter().all(|c| c.health.is_none()));
         assert_eq!(plain.to_csv(), instrumented.to_csv());
+    }
+
+    #[test]
+    fn open_system_sweep_reports_windowed_cells() {
+        let spec = SweepSpec::new(SDSC)
+            .with_schedulers(vec![SchedulerKind::Easy, SchedulerKind::Ss { sf: 2.0 }])
+            .with_loads(vec![0.7])
+            .with_seed(5)
+            .with_reps(2)
+            .with_arrivals(ArrivalSpec::Poisson { load: None })
+            .with_until(RunUntil::SimTime(sps_simcore::SimTime::new(86_400 * 3)))
+            .with_warmup(86_400 / 2)
+            .with_admission(AdmissionModel::load_adaptive(4.0 * 3600.0, 1.0));
+        let report = run_sweep(&spec, 2).expect("valid open spec");
+        assert_eq!(report.cells.len(), 2);
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        // No finite traces are generated on the open path.
+        assert_eq!(report.unique_traces, 0);
+        for cell in &report.cells {
+            assert_eq!(cell.reps, 2);
+            assert!(cell.mean_slowdown.mean >= 1.0);
+            assert!(cell.utilization_pct.mean > 0.0 && cell.utilization_pct.mean <= 100.0);
+            assert!(cell.rejected.mean >= 0.0);
+        }
+        let csv = report.to_csv();
+        assert!(csv.starts_with("scheduler,load,"));
+        assert!(csv.lines().next().unwrap().ends_with("rejected_penalty_ci"));
+    }
+
+    #[test]
+    fn open_system_sweep_without_until_is_rejected() {
+        let spec = tiny().with_arrivals(ArrivalSpec::Poisson { load: None });
+        assert!(matches!(spec.validate(), Err(ConfigError::BadArrivals(_))));
     }
 
     #[test]

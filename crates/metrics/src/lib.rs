@@ -16,21 +16,28 @@
 //!   multi-scheme comparison tables,
 //! * [`timeline`] — occupancy timelines, sparklines, and Gantt rendering
 //!   from the simulator's per-dispatch segment record,
-//! * [`export`] — per-job CSV export for external analysis.
+//! * [`export`] — per-job CSV export for external analysis,
+//! * [`windowed`] — warmup-windowed steady-state metrics for open-system
+//!   runs,
+//! * [`rejection`] — penalty accounting for admission-controlled runs.
 
 pub mod aggregate;
 pub mod export;
 pub mod faults;
 pub mod outcome;
+pub mod rejection;
 pub mod slowdown;
 pub mod streaming;
 pub mod table;
 pub mod timeline;
 pub mod util;
+pub mod windowed;
 
 pub use aggregate::{CategoryReport, Stats};
 pub use faults::{goodput, interrupted_slowdown, FaultSummary};
 pub use outcome::JobOutcome;
+pub use rejection::RejectionSummary;
 pub use slowdown::{bounded_slowdown, SLOWDOWN_THRESHOLD};
 pub use streaming::{P2Quantile, StreamingStats};
 pub use util::utilization;
+pub use windowed::WindowedReport;

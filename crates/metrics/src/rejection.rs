@@ -1,0 +1,82 @@
+//! Rejection accounting for admission-controlled runs.
+//!
+//! Following Lucarelli et al. ("Online Non-preemptive Scheduling on
+//! Unrelated Machines with Rejections"), an admission-controlled scheduler
+//! may refuse an arriving job for a **per-job penalty** instead of letting
+//! it degrade everyone else's slowdown. The objective becomes
+//! `schedule quality + Σ penalties of rejected jobs`; this module is the
+//! ledger side of that trade.
+
+/// Totals for the jobs an admission policy turned away in one run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RejectionSummary {
+    /// Number of rejected jobs.
+    pub rejected: u64,
+    /// Their estimated work (estimate × procs), processor-seconds — the
+    /// load the machine refused.
+    pub rejected_work: i64,
+    /// Total penalty charged, in the penalty model's units.
+    pub penalty: f64,
+}
+
+impl RejectionSummary {
+    /// Fold one rejection into the ledger.
+    pub fn record(&mut self, est_work: i64, penalty: f64) {
+        self.rejected += 1;
+        self.rejected_work += est_work;
+        self.penalty += penalty;
+    }
+
+    /// Merge another run's ledger (for replication roll-ups).
+    pub fn merge(&mut self, other: &RejectionSummary) {
+        self.rejected += other.rejected;
+        self.rejected_work += other.rejected_work;
+        self.penalty += other.penalty;
+    }
+
+    /// Whether anything was rejected.
+    pub fn any(&self) -> bool {
+        self.rejected > 0
+    }
+
+    /// Fraction of `offered` jobs rejected (0 when none were offered).
+    pub fn rejection_rate(&self, offered: u64) -> f64 {
+        if offered == 0 {
+            0.0
+        } else {
+            self.rejected as f64 / offered as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_accumulates_and_merges() {
+        let mut a = RejectionSummary::default();
+        assert!(!a.any());
+        a.record(1_000, 2.5);
+        a.record(4_000, 7.5);
+        assert_eq!(a.rejected, 2);
+        assert_eq!(a.rejected_work, 5_000);
+        assert!((a.penalty - 10.0).abs() < 1e-12);
+
+        let mut b = RejectionSummary::default();
+        b.record(500, 1.0);
+        b.merge(&a);
+        assert_eq!(b.rejected, 3);
+        assert_eq!(b.rejected_work, 5_500);
+        assert!((b.penalty - 11.0).abs() < 1e-12);
+        assert!(b.any());
+    }
+
+    #[test]
+    fn rejection_rate_is_guarded() {
+        let mut r = RejectionSummary::default();
+        assert_eq!(r.rejection_rate(0), 0.0);
+        r.record(10, 0.1);
+        assert!((r.rejection_rate(4) - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,169 @@
+//! Warmup-windowed steady-state metrics for open-system runs.
+//!
+//! A closed-system experiment averages over every job; an open-system run
+//! starts from an empty machine, so the first hours of low-contention
+//! completions drag slowdown and utilization away from their steady-state
+//! values. The standard remedy is a **warmup window**: metrics count only
+//! the interval `[warmup_end, run_end]`.
+//!
+//! Semantics (documented in DESIGN.md):
+//!
+//! * a job belongs to the window when it **arrived at or after**
+//!   `warmup_end` and completed before the run stopped — jobs still in
+//!   flight when the run stops are censored (excluded), which biases the
+//!   tail slightly low at saturation; raise the horizon to shrink it,
+//! * windowed utilization is **occupancy**: processor-seconds busy
+//!   (compute plus preemption overhead) inside the window over
+//!   `procs × window length`, clipped at the window edges.
+
+use sps_simcore::SimTime;
+
+use crate::outcome::JobOutcome;
+use crate::streaming::StreamingStats;
+
+/// Steady-state metrics over the post-warmup window of one run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WindowedReport {
+    /// Window start (= warmup end), simulation time.
+    pub start: SimTime,
+    /// Window end (when the run stopped).
+    pub end: SimTime,
+    /// Jobs that arrived in the window and completed.
+    pub completed: usize,
+    /// Mean bounded slowdown of those jobs.
+    pub mean_slowdown: f64,
+    /// Their worst bounded slowdown.
+    pub max_slowdown: f64,
+    /// Mean turnaround, seconds.
+    pub mean_turnaround: f64,
+    /// Completion throughput, jobs per hour of window time.
+    pub jobs_per_hour: f64,
+    /// Occupancy utilization of the window (busy proc-seconds over
+    /// capacity), including preemption overhead.
+    pub utilization: f64,
+}
+
+impl WindowedReport {
+    /// Build the report from a run's outcomes plus the busy proc-seconds
+    /// the caller clipped to the window (the simulator owns the occupancy
+    /// segments, so it supplies that one number).
+    pub fn from_outcomes(
+        outcomes: &[JobOutcome],
+        start: SimTime,
+        end: SimTime,
+        total_procs: u32,
+        busy_proc_secs: i64,
+    ) -> Self {
+        assert!(end >= start, "window ends before it starts");
+        let mut slow = StreamingStats::new();
+        let mut turn = StreamingStats::new();
+        for o in outcomes.iter().filter(|o| o.submit >= start) {
+            slow.push(o.slowdown());
+            turn.push(o.turnaround() as f64);
+        }
+        let span = (end - start).max(0) as f64;
+        let capacity = total_procs as f64 * span;
+        WindowedReport {
+            start,
+            end,
+            completed: slow.count() as usize,
+            mean_slowdown: slow.mean(),
+            max_slowdown: slow.max(),
+            mean_turnaround: turn.mean(),
+            jobs_per_hour: if span > 0.0 {
+                slow.count() as f64 * 3_600.0 / span
+            } else {
+                0.0
+            },
+            utilization: if capacity > 0.0 {
+                busy_proc_secs as f64 / capacity
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for WindowedReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}..{}] {} jobs, slowdown {:.2} (max {:.1}), turnaround {:.0}s, \
+             {:.1} jobs/h, util {:.1}%",
+            self.start.secs(),
+            self.end.secs(),
+            self.completed,
+            self.mean_slowdown,
+            self.max_slowdown,
+            self.mean_turnaround,
+            self.jobs_per_hour,
+            100.0 * self.utilization,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sps_workload::Job;
+
+    fn outcome(id: u32, submit: i64, run: i64, wait: i64) -> JobOutcome {
+        let j = Job::new(id, submit, run, run, 4);
+        JobOutcome::new(
+            &j,
+            SimTime::new(submit + wait),
+            SimTime::new(submit + wait + run),
+            0,
+            0,
+        )
+    }
+
+    #[test]
+    fn warmup_jobs_are_excluded() {
+        let outcomes = vec![
+            outcome(0, 0, 100, 900),     // warmup: submit before window
+            outcome(1, 1_000, 100, 100), // in window
+            outcome(2, 1_500, 100, 300), // in window
+        ];
+        let r = WindowedReport::from_outcomes(
+            &outcomes,
+            SimTime::new(1_000),
+            SimTime::new(4_600),
+            8,
+            0,
+        );
+        assert_eq!(r.completed, 2);
+        let s1 = (100.0 + 100.0) / 100.0;
+        let s2 = (300.0 + 100.0) / 100.0;
+        assert!((r.mean_slowdown - (s1 + s2) / 2.0).abs() < 1e-12);
+        assert_eq!(r.max_slowdown, s2);
+        assert!((r.mean_turnaround - 300.0).abs() < 1e-12);
+        assert!(
+            (r.jobs_per_hour - 2.0).abs() < 1e-12,
+            "2 jobs in 1 window hour"
+        );
+    }
+
+    #[test]
+    fn utilization_uses_clipped_busy_time() {
+        let r = WindowedReport::from_outcomes(
+            &[],
+            SimTime::new(100),
+            SimTime::new(200),
+            10,
+            500, // half of the 10 × 100 capacity
+        );
+        assert!((r.utilization - 0.5).abs() < 1e-12);
+        assert_eq!(r.completed, 0);
+        assert_eq!(r.jobs_per_hour, 0.0);
+    }
+
+    #[test]
+    fn empty_window_is_well_defined() {
+        let r = WindowedReport::from_outcomes(&[], SimTime::new(50), SimTime::new(50), 10, 0);
+        assert_eq!(r.utilization, 0.0);
+        assert_eq!(r.mean_slowdown, 0.0);
+        let shown = r.to_string();
+        assert!(shown.contains("0 jobs"), "{shown}");
+    }
+}

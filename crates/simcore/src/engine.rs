@@ -24,6 +24,15 @@ pub trait Simulation {
         batch: &mut Vec<Self::Event>,
         queue: &mut EventQueue<Self::Event>,
     );
+
+    /// Polled after each batch: return `true` to end the run with
+    /// [`RunOutcome::Stopped`] even though the queue still holds events.
+    /// This is how open-ended simulations implement "stop after N jobs"
+    /// without draining an unbounded source. Defaults to never stopping.
+    #[inline]
+    fn should_stop(&self) -> bool {
+        false
+    }
 }
 
 /// Why [`Engine::run`] returned.
@@ -33,6 +42,9 @@ pub enum RunOutcome {
     Drained,
     /// The configured horizon was reached with events still pending.
     HorizonReached,
+    /// The simulation asked to stop (see [`Simulation::should_stop`]) with
+    /// events still pending.
+    Stopped,
     /// The configured maximum batch count was exceeded (livelock guard).
     BatchLimit,
     /// The configured maximum event count was exceeded (livelock guard).
@@ -226,6 +238,9 @@ impl Engine {
                 }
             }
             sim.handle_batch(self.now, &mut batch, queue);
+            if sim.should_stop() {
+                return RunOutcome::Stopped;
+            }
         }
     }
 }
@@ -342,11 +357,38 @@ mod tests {
     }
 
     #[test]
-    fn drained_and_horizon_are_not_aborts() {
+    fn drained_horizon_and_stopped_are_not_aborts() {
         assert!(!RunOutcome::Drained.aborted());
         assert!(!RunOutcome::HorizonReached.aborted());
+        assert!(!RunOutcome::Stopped.aborted());
         assert!(RunOutcome::BatchLimit.aborted());
         assert!(RunOutcome::WallClockLimit.aborted());
+    }
+
+    #[test]
+    fn should_stop_ends_the_run_with_events_pending() {
+        let mut q = EventQueue::new();
+        for s in 1..=10 {
+            q.push(t(s), EventClass::Arrival, s);
+        }
+        struct StopAt3 {
+            seen: u32,
+        }
+        impl Simulation for StopAt3 {
+            type Event = i64;
+            fn handle_batch(&mut self, _: SimTime, _: &mut Vec<i64>, _: &mut EventQueue<i64>) {
+                self.seen += 1;
+            }
+            fn should_stop(&self) -> bool {
+                self.seen >= 3
+            }
+        }
+        let mut sim = StopAt3 { seen: 0 };
+        let mut engine = Engine::new();
+        let outcome = engine.run(&mut sim, &mut q);
+        assert_eq!(outcome, RunOutcome::Stopped);
+        assert_eq!(engine.now(), t(3));
+        assert_eq!(q.len(), 7, "pending events stay queued");
     }
 
     #[test]

@@ -77,6 +77,11 @@ pub enum Obs {
         job: u32,
         t: i64,
     },
+    /// Admission control rejected the job at arrival.
+    JobRejected {
+        job: u32,
+        t: i64,
+    },
     /// Fault churn.
     ProcFailed {
         t: i64,
@@ -254,6 +259,7 @@ pub struct SimMetrics {
     pub resumes: CounterId,
     pub completions: CounterId,
     pub kills: CounterId,
+    pub rejections: CounterId,
     pub proc_failures: CounterId,
     pub proc_repairs: CounterId,
     pub health_events: CounterId,
@@ -289,6 +295,10 @@ impl SimMetrics {
             resumes: s.counter("sps_job_resumes_total", "job resumptions"),
             completions: s.counter("sps_job_completions_total", "jobs completed"),
             kills: s.counter("sps_job_kills_total", "jobs killed (faults/crashes)"),
+            rejections: s.counter(
+                "sps_job_rejections_total",
+                "jobs refused by admission control",
+            ),
             proc_failures: s.counter("sps_proc_failures_total", "processor failures"),
             proc_repairs: s.counter("sps_proc_repairs_total", "processor repairs"),
             health_events: s.counter("sps_health_events_total", "health detector firings"),
@@ -478,6 +488,7 @@ impl TelemetrySink for Telemetry {
                 self.reg.inc(self.m.kills, 1);
                 self.starvation.resolve(job);
             }
+            Obs::JobRejected { .. } => self.reg.inc(self.m.rejections, 1),
             Obs::ProcFailed { .. } => self.reg.inc(self.m.proc_failures, 1),
             Obs::ProcRepaired { .. } => self.reg.inc(self.m.proc_repairs, 1),
             Obs::Starving { job, t, xfactor } => {

@@ -41,6 +41,9 @@ pub enum JobEvent {
     /// accumulated work is lost, its processors are released, and the job
     /// re-enters the queue from scratch.
     Kill,
+    /// Admission control refused the job at arrival: it never enters the
+    /// queue and its penalty is charged to the run's rejection ledger.
+    Reject,
 }
 
 impl JobEvent {
@@ -54,6 +57,7 @@ impl JobEvent {
             JobEvent::Restart => "restart",
             JobEvent::Complete => "complete",
             JobEvent::Kill => "kill",
+            JobEvent::Reject => "reject",
         }
     }
 
@@ -67,6 +71,7 @@ impl JobEvent {
             "restart" => JobEvent::Restart,
             "complete" => JobEvent::Complete,
             "kill" => JobEvent::Kill,
+            "reject" => JobEvent::Reject,
             _ => return None,
         })
     }

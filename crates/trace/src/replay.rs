@@ -80,6 +80,8 @@ pub struct ReplayStats {
     pub proc_repairs: usize,
     /// Fault-kill job events.
     pub kills: usize,
+    /// Admission-rejection job events.
+    pub rejections: usize,
     /// Health detector records.
     pub health_events: usize,
 }
@@ -357,6 +359,18 @@ impl Validator {
                     track.state = JobState::Queued;
                     track.held.clear();
                     track.suspend_set.clear();
+                }
+            }
+            Reject => {
+                self.stats.rejections += 1;
+                // Admission control refuses jobs in the arrival instant,
+                // before they can ever hold processors.
+                let state = self.jobs.get(&job).map(|tr| tr.state.clone());
+                if state != Some(JobState::Queued) {
+                    self.violation(format!("job {job}: reject while {state:?}"));
+                }
+                if let Some(track) = self.jobs.get_mut(&job) {
+                    track.state = JobState::Done;
                 }
             }
         }

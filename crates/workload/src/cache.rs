@@ -123,6 +123,18 @@ impl TraceCache {
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
     }
+
+    /// The trace for `key` as a caching [`JobSource`]: the first request
+    /// generates, later requests replay the shared `Arc<[Job]>` without a
+    /// copy. This is how sweep workers feed cached traces through the
+    /// same source seam open-system generators use.
+    pub fn source(
+        &self,
+        key: TraceKey,
+        generate: impl FnOnce() -> Vec<Job>,
+    ) -> crate::source::TraceSource {
+        crate::source::TraceSource::shared(self.get_or_generate(key, generate))
+    }
 }
 
 #[cfg(test)]

@@ -74,47 +74,73 @@ impl EstimateModel {
     /// Rewrite `jobs[*].estimate` in place according to the model.
     /// Deterministic given `seed`.
     pub fn apply(self, jobs: &mut [Job], seed: u64) {
-        match self {
-            EstimateModel::Accurate => {
-                for j in jobs {
-                    j.estimate = j.run;
-                }
-            }
-            EstimateModel::RoundedMixture {
-                well_fraction,
-                max_factor,
-            } => {
-                EstimateModel::Mixture {
-                    well_fraction,
-                    max_factor,
-                }
-                .apply(jobs, seed);
-                for j in jobs {
-                    j.estimate = round_up_estimate(j.estimate).max(j.run);
-                }
-            }
+        let mut sampler = EstimateSampler::new(self, seed);
+        for j in jobs {
+            sampler.apply_to(j);
+        }
+    }
+}
+
+/// Streaming form of [`EstimateModel::apply`]: rewrites estimates one job
+/// at a time in arrival order, drawing from the same seeded stream. A
+/// finite trace pushed through `apply_to` job-by-job gets bit-identical
+/// estimates to a single `apply` call — this is what lets unbounded
+/// [`crate::source::JobSource`] generators share the estimate models.
+#[derive(Clone, Debug)]
+pub struct EstimateSampler {
+    model: EstimateModel,
+    rng: SimRng,
+}
+
+impl EstimateSampler {
+    /// A sampler applying `model` with the stream `apply(.., seed)` uses.
+    pub fn new(model: EstimateModel, seed: u64) -> Self {
+        if let EstimateModel::Mixture {
+            well_fraction,
+            max_factor,
+        }
+        | EstimateModel::RoundedMixture {
+            well_fraction,
+            max_factor,
+        } = model
+        {
+            assert!(
+                (0.0..=1.0).contains(&well_fraction),
+                "well_fraction out of range"
+            );
+            assert!(max_factor > 2.0, "max_factor must exceed the 2x threshold");
+        }
+        EstimateSampler {
+            model,
+            rng: SimRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Rewrite one job's estimate.
+    pub fn apply_to(&mut self, j: &mut Job) {
+        match self.model {
+            EstimateModel::Accurate => j.estimate = j.run,
             EstimateModel::Mixture {
                 well_fraction,
                 max_factor,
+            }
+            | EstimateModel::RoundedMixture {
+                well_fraction,
+                max_factor,
             } => {
-                assert!(
-                    (0.0..=1.0).contains(&well_fraction),
-                    "well_fraction out of range"
-                );
-                assert!(max_factor > 2.0, "max_factor must exceed the 2x threshold");
-                let mut rng = SimRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
-                for j in jobs {
-                    let factor = if rng.chance(well_fraction) {
-                        rng.range_f64(1.0, 2.0)
-                    } else {
-                        // Log-uniform over (2, max_factor].
-                        let (lo, hi) = (2.0f64.ln(), max_factor.ln());
-                        rng.range_f64(lo, hi).exp().max(2.0 + 1e-9)
-                    };
-                    // Round up so estimate strictly covers the run and the
-                    // well/badly classification matches the drawn factor.
-                    j.estimate = ((j.run as f64) * factor).ceil() as i64;
-                    j.estimate = j.estimate.max(j.run);
+                let factor = if self.rng.chance(well_fraction) {
+                    self.rng.range_f64(1.0, 2.0)
+                } else {
+                    // Log-uniform over (2, max_factor].
+                    let (lo, hi) = (2.0f64.ln(), max_factor.ln());
+                    self.rng.range_f64(lo, hi).exp().max(2.0 + 1e-9)
+                };
+                // Round up so estimate strictly covers the run and the
+                // well/badly classification matches the drawn factor.
+                j.estimate = ((j.run as f64) * factor).ceil() as i64;
+                j.estimate = j.estimate.max(j.run);
+                if matches!(self.model, EstimateModel::RoundedMixture { .. }) {
+                    j.estimate = round_up_estimate(j.estimate).max(j.run);
                 }
             }
         }

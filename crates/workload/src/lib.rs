@@ -17,20 +17,25 @@
 //! * [`estimate`] — user-estimate models (accurate, and the well/badly
 //!   estimated mixture of Section V),
 //! * [`load`] — the load-variation transformation of Section VI (divide
-//!   arrival times by a constant factor).
+//!   arrival times by a constant factor),
+//! * [`source`] — the pull-based [`JobSource`] boundary: finite traces and
+//!   unbounded open-system arrival processes (Poisson, MMPP, ramps,
+//!   diurnal) behind one trait.
 
 pub mod cache;
 pub mod category;
 pub mod estimate;
 pub mod job;
 pub mod load;
+pub mod source;
 pub mod swf;
 pub mod synthetic;
 pub mod traces;
 
 pub use cache::{TraceCache, TraceKey};
 pub use category::{Category, CoarseCategory, RuntimeClass, WidthClass};
-pub use estimate::EstimateModel;
+pub use estimate::{EstimateModel, EstimateSampler};
 pub use job::{Job, JobId};
-pub use synthetic::SyntheticConfig;
+pub use source::{parse_secs, ArrivalSpec, JobSource, OpenSource, TraceSource};
+pub use synthetic::{ShapeSampler, SyntheticConfig};
 pub use traces::SystemPreset;

@@ -127,6 +127,84 @@ fn sample_width(rng: &mut SimRng, lo: u32, hi: u32) -> u32 {
     }
 }
 
+/// One sampled job shape: what a job looks like independent of *when* it
+/// arrives. Shared between the closed-system trace generator and the
+/// open-system [`crate::source`] generators.
+#[derive(Clone, Copy, Debug)]
+pub struct JobShape {
+    /// Actual run time, seconds.
+    pub run: i64,
+    /// Processors requested.
+    pub procs: u32,
+    /// Memory footprint, MiB.
+    pub mem: u32,
+}
+
+impl JobShape {
+    /// Processor-seconds of work.
+    #[inline]
+    pub fn work(&self) -> f64 {
+        self.run as f64 * self.procs as f64
+    }
+}
+
+/// Samples job shapes (run time, width, memory) from a preset's calibrated
+/// 16-category mix. One [`JobShape`] costs the same RNG draws in the same
+/// order as the closed-system generator's shape loop, so a trace generated
+/// through this sampler is bit-identical to the pre-extraction code.
+#[derive(Clone, Debug)]
+pub struct ShapeSampler {
+    system: SystemPreset,
+    /// Cumulative normalized category mix.
+    cum: [f64; 16],
+}
+
+impl ShapeSampler {
+    /// A sampler for `system`'s published category mix.
+    pub fn new(system: SystemPreset) -> Self {
+        let total_weight: f64 = system.mix.iter().sum();
+        let mut cum = [0.0f64; 16];
+        let mut acc = 0.0;
+        for (i, w) in system.mix.iter().enumerate() {
+            acc += w / total_weight;
+            cum[i] = acc;
+        }
+        ShapeSampler { system, cum }
+    }
+
+    /// Draw one job shape.
+    pub fn sample(&self, rng: &mut SimRng) -> JobShape {
+        let sys = &self.system;
+        let u: f64 = rng.next_f64();
+        let idx = self.cum.iter().position(|&c| u <= c).unwrap_or(15);
+        let cat = Category::from_index(idx);
+        let (rlo, rhi) = cat.runtime.bounds();
+        // Run times below 15 s are excluded: they are dominated by aborted
+        // jobs, which Section V argues should not drive the metrics. The
+        // preset's wall-clock cap bounds the Very Long bin.
+        let rhi = rhi.min(sys.max_runtime).max(rlo + 2);
+        let run = log_uniform_int(rng, (rlo + 1).max(15), rhi);
+        let (wlo, whi) = cat.width.bounds();
+        let max_w = sys.max_width.min(sys.procs);
+        let procs = sample_width(rng, wlo.min(max_w), whi.min(max_w));
+        // Paper's memory model: job memory uniform 100 MB – 1 GB.
+        let mem = rng.range_u32(100, 1024);
+        JobShape { run, procs, mem }
+    }
+
+    /// Mean work (processor-seconds) per sampled job, estimated from a
+    /// fixed number of throwaway draws on an independent stream. Used to
+    /// calibrate open-system arrival rates; deterministic given `seed`.
+    pub fn mean_work(&self, seed: u64) -> f64 {
+        const CALIBRATION_DRAWS: usize = 4_096;
+        let mut rng = SimRng::seed_from_u64(seed ^ 0xA076_1D64_78BD_642F);
+        let total: f64 = (0..CALIBRATION_DRAWS)
+            .map(|_| self.sample(&mut rng).work())
+            .sum();
+        total / CALIBRATION_DRAWS as f64
+    }
+}
+
 /// Tabulated inverse CDF of the diurnal arrival intensity
 /// `1 + a·sin(2π·(t − 6 h)/day)` over `[0, span]`.
 struct DiurnalCdf {
@@ -178,38 +256,11 @@ pub fn generate(cfg: &SyntheticConfig) -> Vec<Job> {
     let mut rng = SimRng::seed_from_u64(cfg.seed);
     let sys = &cfg.system;
 
-    // Cumulative mix for category sampling.
-    let total_weight: f64 = sys.mix.iter().sum();
-    let mut cum = [0.0f64; 16];
-    let mut acc = 0.0;
-    for (i, w) in sys.mix.iter().enumerate() {
-        acc += w / total_weight;
-        cum[i] = acc;
-    }
-
     // Sample shapes (category, run, procs, memory) first.
-    struct Shape {
-        run: i64,
-        procs: u32,
-        mem: u32,
-    }
+    let sampler = ShapeSampler::new(*sys);
     let mut shapes = Vec::with_capacity(cfg.n_jobs);
     for _ in 0..cfg.n_jobs {
-        let u: f64 = rng.next_f64();
-        let idx = cum.iter().position(|&c| u <= c).unwrap_or(15);
-        let cat = Category::from_index(idx);
-        let (rlo, rhi) = cat.runtime.bounds();
-        // Run times below 15 s are excluded: they are dominated by aborted
-        // jobs, which Section V argues should not drive the metrics. The
-        // preset's wall-clock cap bounds the Very Long bin.
-        let rhi = rhi.min(sys.max_runtime).max(rlo + 2);
-        let run = log_uniform_int(&mut rng, (rlo + 1).max(15), rhi);
-        let (wlo, whi) = cat.width.bounds();
-        let max_w = sys.max_width.min(sys.procs);
-        let procs = sample_width(&mut rng, wlo.min(max_w), whi.min(max_w));
-        // Paper's memory model: job memory uniform 100 MB – 1 GB.
-        let mem = rng.range_u32(100, 1024);
-        shapes.push(Shape { run, procs, mem });
+        shapes.push(sampler.sample(&mut rng));
     }
 
     // Place arrivals so the offered load over the submit span equals

@@ -10,7 +10,8 @@
 //! cargo run --release --example capacity_planning
 //! ```
 
-use selective_preemption::core::experiment::{run_many, ExperimentConfig, SchedulerKind};
+use selective_preemption::core::experiment::{ExperimentConfig, SchedulerKind};
+use selective_preemption::core::runner::BatchRunner;
 use selective_preemption::workload::traces::SDSC;
 use selective_preemption::workload::CoarseCategory;
 
@@ -24,7 +25,7 @@ fn main() {
             configs.push(ExperimentConfig::new(SDSC, s).with_load_factor(lf));
         }
     }
-    let results = run_many(configs);
+    let results = BatchRunner::new(configs).run();
     let (ns, tss) = results.split_at(loads.len());
 
     println!(

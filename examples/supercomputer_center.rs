@@ -13,8 +13,9 @@
 //! cargo run --release --example supercomputer_center
 //! ```
 
-use selective_preemption::core::experiment::{run_many, ExperimentConfig, SchedulerKind};
+use selective_preemption::core::experiment::{ExperimentConfig, SchedulerKind};
 use selective_preemption::core::overhead::OverheadModel;
+use selective_preemption::core::runner::BatchRunner;
 use selective_preemption::metrics::table::render_comparison;
 use selective_preemption::workload::traces::CTC;
 use selective_preemption::workload::EstimateModel;
@@ -29,11 +30,12 @@ fn main() {
             .with_overhead(OverheadModel::paper())
     };
 
-    let results = run_many(vec![
+    let results = BatchRunner::new(vec![
         base(SchedulerKind::Easy),
         base(SchedulerKind::Tss { sf: 2.0 }),
         base(SchedulerKind::ImmediateService),
-    ]);
+    ])
+    .run();
 
     let grids: Vec<(&str, [f64; 16])> = results
         .iter()

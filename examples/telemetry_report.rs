@@ -18,7 +18,7 @@ fn main() {
         .with_load_factor(1.1);
 
     let mut tel = Telemetry::new();
-    let result = cfg.run_instrumented(&mut tel);
+    let result = cfg.runner().telemetry(&mut tel).run();
 
     println!(
         "{}: {} jobs, mean slowdown {:.2}, {} preemptions\n",

@@ -17,7 +17,7 @@ fn main() {
     // MemorySink keeps the full record stream in memory; the run itself
     // is identical to `cfg.run()` apart from the instrumentation.
     let mut sink = MemorySink::new();
-    let result = cfg.run_traced(&mut sink);
+    let result = cfg.runner().trace_sink(&mut sink).run();
 
     println!(
         "{}: {} jobs under {}, {} preemptions\n",

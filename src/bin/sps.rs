@@ -28,17 +28,21 @@
 use std::fmt::Write as _;
 use std::io::IsTerminal as _;
 
+use selective_preemption::core::admission::AdmissionModel;
 use selective_preemption::core::experiment::{default_threads, ExperimentConfig, SchedulerKind};
 use selective_preemption::core::faults::{FaultModel, RecoveryPolicy};
 use selective_preemption::core::overhead::OverheadModel;
-use selective_preemption::core::sim::Simulator;
+use selective_preemption::core::runner::BatchRunner;
+use selective_preemption::core::sim::{RunUntil, Simulator};
 use selective_preemption::core::sweep::{run_sweep_observed, SweepProgress, SweepSpec};
 use selective_preemption::metrics::table::render_comparison;
 use selective_preemption::metrics::{goodput, CategoryReport};
-use selective_preemption::simcore::Watchdog;
+use selective_preemption::simcore::{Secs, Watchdog};
 use selective_preemption::telemetry::Telemetry;
 use selective_preemption::trace::{validate_jsonl, CsvSink, JsonlSink, ReplayOptions};
-use selective_preemption::workload::{swf, EstimateModel, Job, SyntheticConfig, SystemPreset};
+use selective_preemption::workload::{
+    parse_secs, swf, ArrivalSpec, EstimateModel, Job, SyntheticConfig, SystemPreset,
+};
 
 fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -53,10 +57,12 @@ fn usage() -> ! {
     eprintln!("             [--overhead none|paper] [--diurnal A] [--worst] [--csv PREFIX]");
     eprintln!("             [--mtbf SECS] [--mttr SECS] [--recovery wait|resubmit|remap]");
     eprintln!("             [--fault-seed N] [--threads N]");
+    eprintln!("             [--arrivals SPEC] [--until DUR|Nj] [--warmup DUR] [--admission SPEC]");
     eprintln!("  sps sweep  --system <CTC|SDSC|KTH> --sched <SPEC> [--sched <SPEC>...]");
     eprintln!("             [--loads F,F,...] [--jobs N] [--seed N] [--reps N] [--threads N]");
     eprintln!("             [--estimates accurate|mixture] [--overhead none|paper]");
     eprintln!("             [--format table|csv|json] [--out FILE] [--progress|--no-progress]");
+    eprintln!("             [--arrivals SPEC] [--until DUR|Nj] [--warmup DUR] [--admission SPEC]");
     eprintln!("  sps report [--system <CTC|SDSC|KTH>] [--sched <SPEC>...] [--sf F]");
     eprintln!("             [--jobs N] [--load F] [--loads F,F,...] [--seed N] [--reps N]");
     eprintln!("             [--mtbf SECS] [--mttr SECS] [--out FILE] [--prom PREFIX]");
@@ -80,6 +86,14 @@ fn usage() -> ! {
     eprintln!("faults: --mtbf enables per-processor failures (exponential, mean SECS);");
     eprintln!("        --mttr sets the repair time mean (default 1800 s); --recovery picks");
     eprintln!("        what happens to suspended jobs whose processors died");
+    eprintln!("open system: --arrivals picks the arrival process:");
+    eprintln!("        trace | poisson[:load] | mmpp:[load,]burst,dwell |");
+    eprintln!("        ramp:from,to,over | diurnal:[load,]amplitude");
+    eprintln!("        non-trace arrivals stream unbounded jobs, so --until is required:");
+    eprintln!("        a duration (30d, 12h, 900s) or a completed-job count (5000j);");
+    eprintln!("        --warmup DUR discards the transient from the windowed report;");
+    eprintln!("        --admission load:<backlog>[,<penalty-factor>] enables admission");
+    eprintln!("        control (reject when the queue backlog exceeds <backlog> of work)");
     std::process::exit(2);
 }
 
@@ -113,6 +127,10 @@ struct Args {
     sf: Option<f64>,
     progress: Option<bool>,
     prom: Option<String>,
+    arrivals: Option<ArrivalSpec>,
+    until: Option<RunUntil>,
+    warmup: Option<Secs>,
+    admission: Option<AdmissionModel>,
 }
 
 impl Args {
@@ -222,6 +240,32 @@ fn parse_args(mut argv: std::vec::IntoIter<String>) -> Args {
                 }
                 args.threads = Some(n);
             }
+            "--arrivals" => {
+                args.arrivals = Some(
+                    value()
+                        .parse()
+                        .unwrap_or_else(|e| fail(&format!("bad --arrivals: {e}"))),
+                )
+            }
+            "--until" => {
+                args.until = Some(
+                    value()
+                        .parse()
+                        .unwrap_or_else(|e| fail(&format!("bad --until: {e}"))),
+                )
+            }
+            "--warmup" => {
+                args.warmup = Some(
+                    parse_secs(&value()).unwrap_or_else(|e| fail(&format!("bad --warmup: {e}"))),
+                )
+            }
+            "--admission" => {
+                args.admission = Some(
+                    value()
+                        .parse()
+                        .unwrap_or_else(|e| fail(&format!("bad --admission: {e}"))),
+                )
+            }
             "--worst" => args.worst = true,
             "--progress" => args.progress = Some(true),
             "--no-progress" => args.progress = Some(false),
@@ -251,6 +295,9 @@ fn report(jobs: Vec<Job>, procs: u32, args: &Args) {
         fail("at least one --sched required");
     }
     let faults = args.faults();
+    let admission = args.admission.unwrap_or_else(AdmissionModel::none);
+    let until = args.until.unwrap_or_default();
+    let warmup = args.warmup.unwrap_or(0);
     // Simulate every scheme first — in parallel when --threads (or
     // SPS_THREADS) allows it — then print in input order.
     let threads = args
@@ -275,6 +322,9 @@ fn report(jobs: Vec<Job>, procs: u32, args: &Args) {
                 let sim =
                     Simulator::with_overhead(jobs.clone(), procs, scheds[i].build(), overhead)
                         .with_faults(faults)
+                        .with_admission(admission)
+                        .with_until(until)
+                        .with_warmup(warmup)
                         .with_watchdog(Watchdog::generous());
                 if tx.send((i, sim.run())).is_err() {
                     break;
@@ -324,6 +374,30 @@ fn report(jobs: Vec<Job>, procs: u32, args: &Args) {
                 goodput(&res.outcomes, procs, res.faults.downtime) * 100.0,
             );
         }
+        if res.rejections.any() {
+            println!(
+                "{:<14}   admission: rejected {:>5} jobs  ({:.1}% of submissions)  penalty {:.3e}",
+                "",
+                res.rejections.rejected,
+                res.rejections
+                    .rejection_rate(res.rejections.rejected + res.outcomes.len() as u64)
+                    * 100.0,
+                res.rejections.penalty,
+            );
+        }
+        if let Some(wdw) = &res.windowed {
+            println!(
+                "{:<14}   window [{}..{}] s: {} jobs  slowdown {:.2}  turnaround {:.0} s  util {:.1}%  {:.1} jobs/h",
+                "",
+                wdw.start.secs(),
+                wdw.end.secs(),
+                wdw.completed,
+                wdw.mean_slowdown,
+                wdw.mean_turnaround,
+                wdw.utilization * 100.0,
+                wdw.jobs_per_hour,
+            );
+        }
         if res.status.is_aborted() {
             eprintln!(
                 "warning: {} aborted by the watchdog ({:?}); {} jobs unfinished — metrics are partial",
@@ -354,6 +428,101 @@ fn report(jobs: Vec<Job>, procs: u32, args: &Args) {
         "average slowdown per category"
     };
     println!("\n{}", render_comparison(title, &named));
+}
+
+/// `sps run --arrivals <open spec>`: stream jobs from seeded generators
+/// instead of replaying a finite trace, stop at `--until`, and report the
+/// warmup-windowed steady-state metrics per scheme.
+fn open_run(system: SystemPreset, args: &Args) {
+    if args.scheds.is_empty() {
+        fail("at least one --sched required");
+    }
+    let spec = args.arrivals.expect("caller checked --arrivals");
+    let until = args.until.unwrap_or_else(|| {
+        fail("open-system run needs --until (a duration like 30d, or a job count like 5000j)")
+    });
+    let warmup = args.warmup.unwrap_or(0);
+    let admission = args.admission.unwrap_or_else(AdmissionModel::none);
+    let configs: Vec<ExperimentConfig> = args
+        .scheds
+        .iter()
+        .map(|&kind| {
+            ExperimentConfig::new(system, kind)
+                .with_seed(args.seed)
+                .with_load_factor(args.load)
+                .with_estimates(args.estimates)
+                .with_overhead(args.overhead)
+                .with_faults(args.faults())
+                .with_arrivals(spec)
+                .with_admission(admission)
+        })
+        .collect();
+    println!(
+        "{}: open system — arrivals {spec}, until {until}, warmup {warmup} s, admission {admission}\n",
+        system.name,
+    );
+    let threads = args
+        .threads
+        .unwrap_or_else(default_threads)
+        .min(configs.len())
+        .max(1);
+    let results = BatchRunner::new(configs)
+        .threads(threads)
+        .until(until)
+        .warmup(warmup)
+        .run_checked();
+    let mut failed = false;
+    for (&kind, result) in args.scheds.iter().zip(&results) {
+        let r = match result {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("warning: {} failed: {e}", kind.label());
+                failed = true;
+                continue;
+            }
+        };
+        let wdw = r
+            .sim
+            .windowed
+            .as_ref()
+            .expect("open-system runs always carry a windowed report");
+        println!(
+            "{:<14} window [{}..{}] s: {:>6} jobs  mean slowdown {:>7.2}  worst {:>8.1}  \
+             turnaround {:>7.0} s  utilization {:>5.1}%  {:>6.1} jobs/h",
+            kind.label(),
+            wdw.start.secs(),
+            wdw.end.secs(),
+            wdw.completed,
+            wdw.mean_slowdown,
+            wdw.max_slowdown,
+            wdw.mean_turnaround,
+            wdw.utilization * 100.0,
+            wdw.jobs_per_hour,
+        );
+        println!(
+            "{:<14}   preemptions {:>6}  in flight at stop {:>5}  kernel: {} events in {:.1} ms",
+            "",
+            r.sim.preemptions,
+            r.sim.unfinished,
+            r.sim.kernel.events,
+            r.sim.kernel.wall_micros as f64 / 1e3,
+        );
+        if r.sim.rejections.any() {
+            let rej = &r.sim.rejections;
+            println!(
+                "{:<14}   admission: rejected {:>5} jobs ({:.1}% of submissions)  \
+                 refused work {} proc-s  penalty {:.3e}",
+                "",
+                rej.rejected,
+                rej.rejection_rate(rej.rejected + r.sim.outcomes.len() as u64) * 100.0,
+                rej.rejected_work,
+                rej.penalty,
+            );
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
 }
 
 /// A `\r`-rewriting stderr progress renderer for sweeps (a no-op when
@@ -442,6 +611,16 @@ fn main() {
             if args.load <= 0.0 {
                 fail("--load must be positive");
             }
+            if args.arrivals.is_some_and(|a| !a.is_trace()) {
+                if args.diurnal > 0.0 {
+                    fail(
+                        "--diurnal modulates the finite trace; open-system runs use \
+                          --arrivals diurnal:<amplitude> instead",
+                    );
+                }
+                open_run(system, &args);
+                return;
+            }
             let mut synth = SyntheticConfig::new(system, args.seed)
                 .with_jobs(n_jobs)
                 .with_load_factor(args.load);
@@ -480,6 +659,18 @@ fn main() {
                 .with_overhead(args.overhead);
             if let Some(n) = args.jobs {
                 spec = spec.with_jobs(n);
+            }
+            if let Some(arrivals) = args.arrivals {
+                spec = spec.with_arrivals(arrivals);
+            }
+            if let Some(until) = args.until {
+                spec = spec.with_until(until);
+            }
+            if let Some(warmup) = args.warmup {
+                spec = spec.with_warmup(warmup);
+            }
+            if let Some(admission) = args.admission {
+                spec = spec.with_admission(admission);
             }
             let threads = args.threads.unwrap_or_else(default_threads);
             eprintln!(
@@ -548,6 +739,7 @@ fn main() {
             if args.loads.is_some() && faults.enabled() {
                 fail("--loads (sweep section) does not support fault injection");
             }
+            let admission = args.admission.unwrap_or_else(AdmissionModel::none);
             let config = |kind| {
                 ExperimentConfig::new(system, kind)
                     .with_jobs(n_jobs)
@@ -556,6 +748,7 @@ fn main() {
                     .with_estimates(args.estimates)
                     .with_overhead(args.overhead)
                     .with_faults(faults)
+                    .with_admission(admission)
             };
             config(scheds[0])
                 .validate()
@@ -603,19 +796,25 @@ fn main() {
             let _ = writeln!(
                 w,
                 "| scheme | mean slowdown | worst slowdown | mean turnaround (s) \
-                 | utilization | preemptions | health |"
+                 | utilization | preemptions | rejected | penalty | health |"
             );
-            let _ = writeln!(w, "|---|---:|---:|---:|---:|---:|---|");
+            let _ = writeln!(w, "|---|---:|---:|---:|---:|---:|---:|---:|---|");
             for (kind, sim, rep, _) in &outs {
                 let _ = writeln!(
                     w,
-                    "| {} | {:.2} | {:.1} | {:.0} | {:.1}% | {} | {} |",
+                    "| {} | {:.2} | {:.1} | {:.0} | {:.1}% | {} | {} | {} | {} |",
                     kind.label(),
                     rep.overall.mean_slowdown,
                     rep.overall.worst_slowdown,
                     rep.overall.mean_turnaround,
                     sim.utilization * 100.0,
                     sim.preemptions,
+                    sim.rejections.rejected,
+                    if sim.rejections.any() {
+                        format!("{:.3e}", sim.rejections.penalty)
+                    } else {
+                        "0".into()
+                    },
                     health_cell(sim.health),
                 );
             }
@@ -728,19 +927,20 @@ fn main() {
                 let _ = writeln!(w);
                 let _ = writeln!(
                     w,
-                    "| scheme | load | mean slowdown | p99 slowdown | utilization | preemptions | health |"
+                    "| scheme | load | mean slowdown | p99 slowdown | utilization | preemptions | rejected | health |"
                 );
-                let _ = writeln!(w, "|---|---:|---:|---:|---:|---:|---|");
+                let _ = writeln!(w, "|---|---:|---:|---:|---:|---:|---:|---|");
                 for c in &sweep.cells {
                     let _ = writeln!(
                         w,
-                        "| {} | {:.2} | {} | {} | {:.1}% | {:.0} | {} |",
+                        "| {} | {:.2} | {} | {} | {:.1}% | {:.0} | {:.1} | {} |",
                         c.scheduler,
                         c.load_factor,
                         c.mean_slowdown,
                         c.p99_slowdown,
                         c.utilization_pct.mean,
                         c.preemptions.mean,
+                        c.rejected.mean,
                         health_cell(c.health),
                     );
                 }
@@ -812,17 +1012,38 @@ fn main() {
             if let Some(n) = args.jobs {
                 cfg = cfg.with_jobs(n);
             }
+            if let Some(arrivals) = args.arrivals {
+                if !arrivals.is_trace() && args.until.is_none() {
+                    fail("tracing open arrivals needs --until (duration or <N>j)");
+                }
+                cfg = cfg.with_arrivals(arrivals);
+            }
+            if let Some(admission) = args.admission {
+                cfg = cfg.with_admission(admission);
+            }
+            let until = args.until.unwrap_or_default();
+            let warmup = args.warmup.unwrap_or(0);
             let io_fail = |e: std::io::Error| -> ! { fail(&format!("cannot write {out}: {e}")) };
             let result = match args.format.as_deref().unwrap_or("jsonl") {
                 "jsonl" => {
                     let mut sink = JsonlSink::create(&out).unwrap_or_else(|e| io_fail(e));
-                    let r = cfg.run_traced(&mut sink);
+                    let r = cfg
+                        .runner()
+                        .trace_sink(&mut sink)
+                        .until(until)
+                        .warmup(warmup)
+                        .run();
                     sink.finish().unwrap_or_else(|e| io_fail(e));
                     r
                 }
                 "csv" => {
                     let mut sink = CsvSink::create(&out).unwrap_or_else(|e| io_fail(e));
-                    let r = cfg.run_traced(&mut sink);
+                    let r = cfg
+                        .runner()
+                        .trace_sink(&mut sink)
+                        .until(until)
+                        .warmup(warmup)
+                        .run();
                     sink.finish().unwrap_or_else(|e| io_fail(e));
                     r
                 }

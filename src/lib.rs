@@ -44,19 +44,24 @@ pub use sps_workload as workload;
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use sps_cluster::{Cluster, ProcSet};
+    pub use sps_core::admission::AdmissionModel;
+    #[allow(deprecated)] // shims stay importable during the migration window
+    pub use sps_core::experiment::run_many;
     pub use sps_core::experiment::{
-        default_threads, run_many, run_many_checked, ConfigError, ExperimentConfig, RunError,
-        RunResult, SchedulerKind,
+        default_threads, run_many_checked, ConfigError, ExperimentConfig, RunError, RunResult,
+        SchedulerKind,
     };
     pub use sps_core::faults::{FaultModel, RecoveryPolicy};
     pub use sps_core::overhead::OverheadModel;
-    pub use sps_core::sim::{AbortReason, RunStatus, SimResult, Simulator};
+    pub use sps_core::runner::{BatchRunner, RunBuilder};
+    pub use sps_core::sim::{AbortReason, RunStatus, RunUntil, SimResult, Simulator, StopReason};
     pub use sps_core::sweep::{
         run_sweep, run_sweep_observed, CellStats, Ci, RunSummary, SweepProgress, SweepReport,
         SweepSpec,
     };
     pub use sps_metrics::{
-        goodput, CategoryReport, FaultSummary, JobOutcome, P2Quantile, StreamingStats,
+        goodput, CategoryReport, FaultSummary, JobOutcome, P2Quantile, RejectionSummary,
+        StreamingStats, WindowedReport,
     };
     pub use sps_simcore::{SimTime, HOUR, MINUTE};
     pub use sps_telemetry::{
@@ -64,7 +69,8 @@ pub mod prelude {
     };
     pub use sps_trace::{CsvSink, JsonlSink, MemorySink, NullSink, TraceRecord, TraceSink};
     pub use sps_workload::{
-        Category, CoarseCategory, EstimateModel, Job, JobId, RuntimeClass, SyntheticConfig,
-        SystemPreset, TraceCache, TraceKey, WidthClass,
+        parse_secs, ArrivalSpec, Category, CoarseCategory, EstimateModel, Job, JobId, JobSource,
+        OpenSource, RuntimeClass, SyntheticConfig, SystemPreset, TraceCache, TraceKey, TraceSource,
+        WidthClass,
     };
 }

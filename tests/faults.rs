@@ -31,12 +31,14 @@ fn disabled_fault_model_changes_nothing() {
     // `with_faults` at all — including the trace byte stream.
     let cfg = base(SchedulerKind::Ss { sf: 2.0 });
     let mut plain_sink = MemorySink::new();
-    let plain = cfg.run_traced(&mut plain_sink);
+    let plain = cfg.runner().trace_sink(&mut plain_sink).run();
     let mut none_sink = MemorySink::new();
     let none = cfg
         .clone()
         .with_faults(FaultModel::none())
-        .run_traced(&mut none_sink);
+        .runner()
+        .trace_sink(&mut none_sink)
+        .run();
     assert_eq!(plain_sink.records(), none_sink.records());
     assert!(!plain.sim.faults.any());
     assert!(!none.sim.faults.any());
@@ -55,9 +57,9 @@ fn fault_injection_is_deterministic() {
         RecoveryPolicy::WaitForRepair,
     );
     let mut a_sink = MemorySink::new();
-    let a = cfg.run_traced(&mut a_sink);
+    let a = cfg.runner().trace_sink(&mut a_sink).run();
     let mut b_sink = MemorySink::new();
-    let b = cfg.run_traced(&mut b_sink);
+    let b = cfg.runner().trace_sink(&mut b_sink).run();
     assert_eq!(a_sink.records(), b_sink.records());
     assert_eq!(a.sim.faults, b.sim.faults);
     assert!(
@@ -206,7 +208,7 @@ fn fault_traces_validate_under_every_recovery_policy() {
         ] {
             let cfg = faulty(kind, 2_000_000, recovery);
             let mut sink = MemorySink::new();
-            let r = cfg.run_traced(&mut sink);
+            let r = cfg.runner().trace_sink(&mut sink).run();
             assert_eq!(r.sim.status, RunStatus::Completed);
             let opts = ReplayOptions {
                 allow_migration: recovery == RecoveryPolicy::Remap,

@@ -14,10 +14,11 @@ fn pair(
     b: SchedulerKind,
     seed: u64,
 ) -> (RunResult, RunResult) {
-    let mut rs = run_many(vec![
+    let mut rs = BatchRunner::new(vec![
         ExperimentConfig::new(system, a).with_seed(seed),
         ExperimentConfig::new(system, b).with_seed(seed),
-    ]);
+    ])
+    .run();
     let second = rs.pop().expect("two results");
     (rs.pop().expect("two results"), second)
 }
@@ -116,10 +117,11 @@ fn ss_costs_very_long_jobs_only_slightly() {
 /// trend."
 #[test]
 fn suspension_factor_trend_by_category() {
-    let mut rs = run_many(vec![
+    let mut rs = BatchRunner::new(vec![
         ExperimentConfig::new(SDSC, SchedulerKind::Ss { sf: 1.5 }),
         ExperimentConfig::new(SDSC, SchedulerKind::Ss { sf: 5.0 }),
-    ]);
+    ])
+    .run();
     let sf5 = rs.pop().expect("two results");
     let sf15 = rs.pop().expect("two results");
     assert!(
@@ -241,10 +243,11 @@ fn tss_tames_worst_case_without_hurting_averages() {
 #[test]
 fn inaccurate_estimates_shift_pain_to_badly_estimated_jobs() {
     let mix = EstimateModel::paper_mixture();
-    let mut rs = run_many(vec![
+    let mut rs = BatchRunner::new(vec![
         ExperimentConfig::new(CTC, SchedulerKind::Easy).with_estimates(mix),
         ExperimentConfig::new(CTC, SchedulerKind::Tss { sf: 2.0 }).with_estimates(mix),
-    ]);
+    ])
+    .run();
     let tss = rs.pop().expect("two results");
     let ns = rs.pop().expect("two results");
     assert!(
@@ -291,13 +294,14 @@ fn inaccurate_estimates_shift_pain_to_badly_estimated_jobs() {
 #[test]
 fn suspension_overhead_impact_is_minimal() {
     let mix = EstimateModel::paper_mixture();
-    let mut rs = run_many(vec![
+    let mut rs = BatchRunner::new(vec![
         ExperimentConfig::new(CTC, SchedulerKind::Tss { sf: 2.0 }).with_estimates(mix),
         ExperimentConfig::new(CTC, SchedulerKind::Tss { sf: 2.0 })
             .with_estimates(mix)
             .with_overhead(OverheadModel::paper()),
         ExperimentConfig::new(CTC, SchedulerKind::Easy).with_estimates(mix),
-    ]);
+    ])
+    .run();
     let ns = rs.pop().expect("three results");
     let with_oh = rs.pop().expect("three results");
     let without = rs.pop().expect("three results");

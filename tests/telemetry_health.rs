@@ -25,7 +25,7 @@ fn golden_config() -> ExperimentConfig {
 fn golden_health_report_is_bit_stable() {
     let run = || {
         let mut tel = Telemetry::new();
-        let r = golden_config().run_instrumented(&mut tel);
+        let r = golden_config().runner().telemetry(&mut tel).run();
         (
             r.sim.health.expect("instrumented run has health"),
             tel.health_report(),
@@ -80,7 +80,7 @@ fn thrash_detector_separates_is_from_tss() {
             .with_seed(9)
             .with_load_factor(1.1);
         let mut tel = Telemetry::new();
-        cfg.run_instrumented(&mut tel).sim.health.unwrap()
+        cfg.runner().telemetry(&mut tel).run().sim.health.unwrap()
     };
     let is = health(SchedulerKind::ImmediateService);
     let tss = health(SchedulerKind::Tss { sf: 2.0 });
@@ -99,7 +99,7 @@ fn telemetry_never_perturbs_a_run() {
     let cfg = golden_config();
     let plain = cfg.run();
     let mut tel = Telemetry::new();
-    let instrumented = cfg.run_instrumented(&mut tel);
+    let instrumented = cfg.runner().telemetry(&mut tel).run();
     assert_eq!(plain.sim.outcomes, instrumented.sim.outcomes);
     assert_eq!(plain.sim.makespan, instrumented.sim.makespan);
     assert_eq!(plain.sim.preemptions, instrumented.sim.preemptions);

@@ -13,7 +13,7 @@ fn jsonl_trace_of_10k_sdsc_ss_run_validates_and_embeds_config() {
     let cfg = ExperimentConfig::new(SDSC, SchedulerKind::Ss { sf: 2.0 }).with_jobs(10_000);
     let path = std::env::temp_dir().join("sps_trace_roundtrip_sdsc_ss2.jsonl");
     let mut sink = JsonlSink::create(&path).expect("create trace file");
-    let result = cfg.run_traced(&mut sink);
+    let result = cfg.runner().trace_sink(&mut sink).run();
     sink.finish().expect("flush trace file");
     assert_eq!(result.report.overall.count, 10_000);
 
