@@ -30,7 +30,7 @@ fn cache() -> &'static Mutex<HashMap<String, RunResult>> {
 
 fn key_of(cfg: &ExperimentConfig) -> String {
     format!(
-        "{}|{}|{}|{:.4}|{:?}|{:?}|{}|{}|{:?}",
+        "{}|{}|{}|{:.4}|{:?}|{:?}|{}|{}|{:?}|{:?}|{:?}",
         cfg.system.name,
         cfg.n_jobs,
         cfg.seed,
@@ -39,7 +39,9 @@ fn key_of(cfg: &ExperimentConfig) -> String {
         cfg.overhead,
         cfg.scheduler,
         cfg.tick_period,
-        cfg.faults
+        cfg.faults,
+        cfg.preemption,
+        cfg.checkpoint
     )
 }
 
@@ -1481,6 +1483,70 @@ pub fn ablation_faults() -> String {
         "Only WaitForRepair accumulates stranded time: a suspended job whose\n",
         "reserved processor died sits out the whole repair, while Remap\n",
         "restarts it elsewhere at the cost of counting as a migration.\n",
+    ));
+    out
+}
+
+/// The preemption continuum under failures: in-place suspension (the
+/// paper's model) vs checkpoint-restart vs migration on the same failure
+/// schedule, for the preemptive schedulers and the IS baseline whose
+/// constant preemption multiplies the kill penalty.
+pub fn ablation_checkpoint() -> String {
+    use sps_core::checkpoint::{CheckpointModel, PreemptionMode};
+    use sps_core::faults::{FaultModel, RecoveryPolicy};
+    use sps_metrics::goodput;
+    let mut out = String::from(
+        "Ablation: preemption continuum under failures (MTBF 1M s, MTTR 3600 s, \
+         resubmit), SDSC x1.2, 30-min checkpoints\n",
+    );
+    out.push_str(&format!(
+        "{:<12}{:<10}{:>8}{:>14}{:>13}{:>12}{:>12}{:>11}\n",
+        "mode",
+        "scheme",
+        "kills",
+        "lost proc-s",
+        "ckpt proc-s",
+        "migrations",
+        "goodput %",
+        "overall sd"
+    ));
+    for mode in PreemptionMode::ALL {
+        for kind in [
+            SchedulerKind::Ss { sf: 2.0 },
+            SchedulerKind::Tss { sf: 2.0 },
+            SchedulerKind::ImmediateService,
+        ] {
+            let cfg = ExperimentConfig::new(SDSC, kind)
+                .with_jobs(400)
+                .with_seed(7)
+                .with_load_factor(1.2)
+                .with_faults(
+                    FaultModel::proc_faults(1_000_000, 3_600, 13)
+                        .with_recovery(RecoveryPolicy::Resubmit),
+                )
+                .with_preemption(mode)
+                .with_checkpoint(CheckpointModel::paper().with_interval(1_800));
+            let r = &run_cached(vec![cfg])[0];
+            let f = r.sim.faults;
+            out.push_str(&format!(
+                "{:<12}{:<10}{:>8}{:>14}{:>13}{:>12}{:>12.1}{:>11.2}\n",
+                mode.name(),
+                r.config.scheduler.to_string(),
+                f.jobs_killed + f.job_crashes,
+                f.lost_work,
+                f.ckpt_overhead,
+                f.migrations,
+                goodput(&r.sim.outcomes, SDSC.procs, f.downtime) * 100.0,
+                r.report.overall.mean_slowdown,
+            ));
+        }
+    }
+    out.push_str(concat!(
+        "\nCheckpoints bound each kill's loss to under one interval, so lost\n",
+        "work collapses and goodput recovers — most dramatically for IS, whose\n",
+        "constant preemption under in-place restart multiplies redone work.\n",
+        "Migration additionally unpins suspended claims (restart on any free\n",
+        "set), trading a restore stall for never waiting on a dead processor.\n",
     ));
     out
 }

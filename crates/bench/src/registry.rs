@@ -105,6 +105,10 @@ pub fn entries() -> Vec<Entry> {
             "Robustness: MTBF sweep over failure-recovery policies"
         ),
         e!(
+            ablation_checkpoint,
+            "Robustness: preemption continuum (suspend/checkpoint/migrate) under failures"
+        ),
+        e!(
             kernel_throughput,
             "Kernel decide-throughput summary per scheme"
         ),
@@ -141,8 +145,9 @@ mod tests {
     fn registry_covers_every_paper_artifact() {
         let ids = all_ids();
         // 8 tables + figs 4-6 + figs 7-44 + KTH + timeline/percentiles
-        // + 8 ablations + the fault-robustness sweep + kernel throughput.
-        assert_eq!(ids.len(), 8 + 1 + 38 + 3 + 9 + 1);
+        // + 8 ablations + the two fault-robustness sweeps + kernel
+        // throughput.
+        assert_eq!(ids.len(), 8 + 1 + 38 + 3 + 10 + 1);
         // No duplicates.
         let mut sorted = ids.clone();
         sorted.sort_unstable();

@@ -1,0 +1,301 @@
+//! The preemption continuum: in-place suspend, checkpoint-restart, and
+//! migration, with explicit cost models.
+//!
+//! The paper's SS/TSS preempt by *in-place suspension*: a victim's memory
+//! image drains to the local disks of the processors it holds, and it can
+//! only resume on exactly that set. That coupling is what makes the
+//! strategies brittle under failures — a dead processor strands every
+//! suspended claim on it, and a running job killed by a failure loses all
+//! accumulated work.
+//!
+//! [`PreemptionMode`] generalizes the mechanism:
+//!
+//! * [`PreemptionMode::InPlace`] — the paper's model, unchanged. Default.
+//! * [`PreemptionMode::Checkpoint`] — jobs write periodic checkpoints
+//!   (copy-on-write image drains that overlap computation, in the style of
+//!   low-latency DL checkpointing), so a kill rolls the job back to its
+//!   last checkpoint instead of to zero. Resumption still prefers the
+//!   original processor set.
+//! * [`PreemptionMode::Migrate`] — checkpointing *plus* globally visible
+//!   images: any suspended or killed job may restart on any free set, so
+//!   victim selection is never pinned and failures never strand claims.
+//!
+//! [`CheckpointModel`] generalizes the Section V-A memory-drain overhead
+//! ([`crate::overhead::OverheadModel`]): each processor drains its share
+//! of the image at a configurable MB/s, restore on resume costs the same
+//! transfer read back, and an optional contention switch fair-shares the
+//! checkpoint path among concurrent checkpointers (k jobs checkpointing at
+//! once each see `1/k` of the per-processor rate), following dslab-style
+//! throughput fair-sharing.
+
+use std::fmt;
+use std::str::FromStr;
+
+use sps_simcore::Secs;
+use sps_workload::Job;
+
+/// How preempted (or failure-killed) jobs hold and recover their state.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PreemptionMode {
+    /// Suspend in place; resume only on the original processor set; a
+    /// kill loses all accumulated work. The paper's model and the
+    /// default — simulations are bit-identical to builds predating the
+    /// continuum when this mode is active.
+    #[default]
+    InPlace,
+    /// Periodic checkpoints bound the work a kill destroys to less than
+    /// one checkpoint interval; restarting from an image pays a restore
+    /// stall before computation resumes.
+    Checkpoint,
+    /// [`PreemptionMode::Checkpoint`] with migratable images: suspended
+    /// and killed jobs may restart on *any* free processor set.
+    Migrate,
+}
+
+impl PreemptionMode {
+    /// Every mode, in spec-string order.
+    pub const ALL: [PreemptionMode; 3] = [
+        PreemptionMode::InPlace,
+        PreemptionMode::Checkpoint,
+        PreemptionMode::Migrate,
+    ];
+
+    /// Canonical spec string (`"suspend"`, `"checkpoint"`, `"migrate"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PreemptionMode::InPlace => "suspend",
+            PreemptionMode::Checkpoint => "checkpoint",
+            PreemptionMode::Migrate => "migrate",
+        }
+    }
+
+    /// Parse a spec string produced by [`PreemptionMode::name`] (a few
+    /// obvious aliases are accepted).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "suspend" | "in-place" | "inplace" => Some(PreemptionMode::InPlace),
+            "checkpoint" | "ckpt" => Some(PreemptionMode::Checkpoint),
+            "migrate" | "migration" => Some(PreemptionMode::Migrate),
+            _ => None,
+        }
+    }
+
+    /// Whether jobs retain checkpointed progress across kills.
+    pub fn checkpoints(&self) -> bool {
+        !matches!(self, PreemptionMode::InPlace)
+    }
+
+    /// Whether suspended/killed jobs may restart on a different set.
+    pub fn migrates(&self) -> bool {
+        matches!(self, PreemptionMode::Migrate)
+    }
+}
+
+impl fmt::Display for PreemptionMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A preemption-mode spec string that [`PreemptionMode::from_str`]
+/// rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParsePreemptionError {
+    spec: String,
+}
+
+impl fmt::Display for ParsePreemptionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bad preemption mode {:?}: expected suspend | checkpoint | migrate",
+            self.spec
+        )
+    }
+}
+
+impl std::error::Error for ParsePreemptionError {}
+
+impl FromStr for PreemptionMode {
+    type Err = ParsePreemptionError;
+
+    fn from_str(spec: &str) -> Result<Self, Self::Err> {
+        PreemptionMode::from_name(spec).ok_or_else(|| ParsePreemptionError { spec: spec.into() })
+    }
+}
+
+/// Cost model for checkpoint images: how often they are cut and what a
+/// restore stall costs.
+///
+/// The drain geometry matches [`crate::overhead::OverheadModel`]: the
+/// job's memory image is spread across its processors, each draining its
+/// share at [`CheckpointModel::mb_per_sec`]. Periodic checkpoints are
+/// copy-on-write and overlap computation — their cost surfaces as
+/// accumulated `ckpt_overhead` (transfer-seconds of checkpoint traffic),
+/// not as a compute stall — while a *restore* is synchronous: the image
+/// must be read back before computation resumes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CheckpointModel {
+    /// Per-processor image bandwidth, MB/s (the paper's Section V-A disk
+    /// rate, 2.0, is the natural default).
+    pub mb_per_sec: f64,
+    /// Seconds between periodic checkpoints; the most work a kill can
+    /// destroy is one interval plus the unfinished fraction in flight.
+    pub interval: Secs,
+    /// Fair-share the checkpoint path: with `k` jobs checkpointing
+    /// concurrently each sees `mb_per_sec / k`.
+    pub contention: bool,
+}
+
+impl Default for CheckpointModel {
+    fn default() -> Self {
+        CheckpointModel {
+            mb_per_sec: 2.0,
+            interval: 3_600,
+            contention: false,
+        }
+    }
+}
+
+impl CheckpointModel {
+    /// The paper-calibrated default: 2 MB/s per processor, hourly
+    /// checkpoints, no contention.
+    pub fn paper() -> Self {
+        CheckpointModel::default()
+    }
+
+    /// Set the checkpoint interval.
+    pub fn with_interval(mut self, secs: Secs) -> Self {
+        self.interval = secs;
+        self
+    }
+
+    /// Set the per-processor image bandwidth.
+    pub fn with_rate(mut self, mb_per_sec: f64) -> Self {
+        self.mb_per_sec = mb_per_sec;
+        self
+    }
+
+    /// Enable fair-shared contention on the checkpoint path.
+    pub fn with_contention(mut self, on: bool) -> Self {
+        self.contention = on;
+        self
+    }
+
+    /// Whether the model's parameters are usable.
+    pub fn valid(&self) -> bool {
+        self.mb_per_sec.is_finite() && self.mb_per_sec > 0.0 && self.interval >= 1
+    }
+
+    /// Seconds to write (or read back) one image of `job`, with `sharers`
+    /// jobs on the checkpoint path (`sharers` counts the job itself and is
+    /// clamped to at least 1; it only matters with
+    /// [`CheckpointModel::contention`] on).
+    pub fn image_secs(&self, job: &Job, sharers: usize) -> Secs {
+        assert!(self.valid(), "checkpoint model must be valid");
+        let rate = if self.contention {
+            self.mb_per_sec / sharers.max(1) as f64
+        } else {
+            self.mb_per_sec
+        };
+        let per_proc = job.mem_mb as f64 / job.procs as f64;
+        (per_proc / rate).ceil() as Secs
+    }
+
+    /// The executed seconds of a killed job that survive: the latest
+    /// periodic checkpoint at or before `executed`. With [`interval`]
+    /// `I`, a kill destroys `executed mod I` seconds — strictly less than
+    /// one interval.
+    ///
+    /// [`interval`]: CheckpointModel::interval
+    pub fn retained_secs(&self, executed: Secs) -> Secs {
+        if executed <= 0 {
+            return 0;
+        }
+        (executed / self.interval) * self.interval
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job_with_mem(mem: u32, procs: u32) -> Job {
+        let mut j = Job::new(0, 0, 1_000, 1_000, procs);
+        j.mem_mb = mem;
+        j
+    }
+
+    #[test]
+    fn mode_spec_strings_round_trip() {
+        for mode in PreemptionMode::ALL {
+            assert_eq!(mode.name().parse::<PreemptionMode>().unwrap(), mode);
+            assert_eq!(mode.to_string(), mode.name());
+        }
+        assert_eq!(
+            " Migrate ".parse::<PreemptionMode>().unwrap(),
+            PreemptionMode::Migrate
+        );
+        assert_eq!(
+            "ckpt".parse::<PreemptionMode>().unwrap(),
+            PreemptionMode::Checkpoint
+        );
+        for bad in ["", "resume", "suspend-checkpoint", "migrat"] {
+            let err = bad.parse::<PreemptionMode>().unwrap_err();
+            assert!(err.to_string().contains("bad preemption mode"), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn mode_predicates() {
+        assert!(!PreemptionMode::InPlace.checkpoints());
+        assert!(!PreemptionMode::InPlace.migrates());
+        assert!(PreemptionMode::Checkpoint.checkpoints());
+        assert!(!PreemptionMode::Checkpoint.migrates());
+        assert!(PreemptionMode::Migrate.checkpoints());
+        assert!(PreemptionMode::Migrate.migrates());
+        assert_eq!(PreemptionMode::default(), PreemptionMode::InPlace);
+    }
+
+    #[test]
+    fn image_matches_overhead_geometry() {
+        // Same drain formula as OverheadModel::paper(): 1024 MB on one
+        // processor at 2 MB/s → 512 s; spread over 128 procs → 4 s.
+        let m = CheckpointModel::paper();
+        assert_eq!(m.image_secs(&job_with_mem(1_024, 1), 1), 512);
+        assert_eq!(m.image_secs(&job_with_mem(1_024, 128), 1), 4);
+    }
+
+    #[test]
+    fn contention_fair_shares_the_path() {
+        let free = CheckpointModel::paper();
+        let shared = CheckpointModel::paper().with_contention(true);
+        let j = job_with_mem(512, 1);
+        assert_eq!(free.image_secs(&j, 4), 256, "no contention: sharers moot");
+        assert_eq!(shared.image_secs(&j, 1), 256);
+        assert_eq!(shared.image_secs(&j, 4), 1_024, "1/4 of the rate");
+        assert_eq!(shared.image_secs(&j, 0), 256, "sharers clamps to 1");
+    }
+
+    #[test]
+    fn retention_floors_to_the_interval() {
+        let m = CheckpointModel::paper().with_interval(600);
+        assert_eq!(m.retained_secs(0), 0);
+        assert_eq!(m.retained_secs(599), 0);
+        assert_eq!(m.retained_secs(600), 600);
+        assert_eq!(m.retained_secs(1_799), 1_200);
+        assert_eq!(m.retained_secs(-5), 0);
+        // The destroyed remainder is always < one interval.
+        for executed in [1, 599, 600, 601, 10_000] {
+            assert!(executed - m.retained_secs(executed) < 600);
+        }
+    }
+
+    #[test]
+    fn validity() {
+        assert!(CheckpointModel::paper().valid());
+        assert!(!CheckpointModel::paper().with_rate(0.0).valid());
+        assert!(!CheckpointModel::paper().with_rate(f64::NAN).valid());
+        assert!(!CheckpointModel::paper().with_interval(0).valid());
+    }
+}

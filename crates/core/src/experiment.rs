@@ -22,6 +22,7 @@ use sps_workload::{
 };
 
 use crate::admission::AdmissionModel;
+use crate::checkpoint::{CheckpointModel, PreemptionMode};
 use crate::faults::{FaultModel, RecoveryPolicy};
 use crate::overhead::OverheadModel;
 use crate::policy::Policy;
@@ -218,6 +219,15 @@ pub struct ExperimentConfig {
     /// Admission control ([`AdmissionModel::none`] by default — every
     /// arrival is accepted and the rejection ledger stays empty).
     pub admission: AdmissionModel,
+    /// Preemption continuum mode ([`PreemptionMode::InPlace`] by default,
+    /// which reproduces the paper's suspend-in-place mechanics
+    /// bit-for-bit).
+    pub preemption: PreemptionMode,
+    /// Checkpoint image cost model, consulted only when [`preemption`]
+    /// checkpoints.
+    ///
+    /// [`preemption`]: ExperimentConfig::preemption
+    pub checkpoint: CheckpointModel,
 }
 
 /// A structurally invalid [`ExperimentConfig`], caught by
@@ -237,6 +247,9 @@ pub enum ConfigError {
     EmptyGrid(&'static str),
     /// The arrival spec is inconsistent (reason attached).
     BadArrivals(String),
+    /// The checkpoint model is unusable for the requested preemption mode
+    /// (reason attached).
+    BadCheckpoint(&'static str),
 }
 
 impl fmt::Display for ConfigError {
@@ -250,6 +263,7 @@ impl fmt::Display for ConfigError {
             ConfigError::BadFaults(reason) => write!(f, "bad fault model: {reason}"),
             ConfigError::EmptyGrid(axis) => write!(f, "sweep grid axis '{axis}' is empty"),
             ConfigError::BadArrivals(ref reason) => write!(f, "bad arrival spec: {reason}"),
+            ConfigError::BadCheckpoint(reason) => write!(f, "bad checkpoint model: {reason}"),
         }
     }
 }
@@ -272,6 +286,8 @@ impl ExperimentConfig {
             faults: FaultModel::none(),
             arrivals: ArrivalSpec::Trace,
             admission: AdmissionModel::none(),
+            preemption: PreemptionMode::InPlace,
+            checkpoint: CheckpointModel::default(),
         }
     }
 
@@ -301,6 +317,11 @@ impl ExperimentConfig {
             ));
         }
         self.arrivals.validate().map_err(ConfigError::BadArrivals)?;
+        if self.preemption.checkpoints() && !self.checkpoint.valid() {
+            return Err(ConfigError::BadCheckpoint(
+                "rate must be a positive finite MB/s and interval at least 1 second",
+            ));
+        }
         Ok(())
     }
 
@@ -369,6 +390,19 @@ impl ExperimentConfig {
     /// Set the admission-control model.
     pub fn with_admission(mut self, admission: AdmissionModel) -> Self {
         self.admission = admission;
+        self
+    }
+
+    /// Set the preemption mode (the checkpoint cost model stays as
+    /// configured; see [`ExperimentConfig::with_checkpoint`]).
+    pub fn with_preemption(mut self, mode: PreemptionMode) -> Self {
+        self.preemption = mode;
+        self
+    }
+
+    /// Set the checkpoint image cost model.
+    pub fn with_checkpoint(mut self, model: CheckpointModel) -> Self {
+        self.checkpoint = model;
         self
     }
 
@@ -450,6 +484,7 @@ impl ExperimentConfig {
         )
         .with_faults(self.faults)
         .with_admission(self.admission)
+        .with_preemption(self.preemption, self.checkpoint)
         .with_watchdog(Watchdog::generous());
         sim.run()
     }
@@ -474,6 +509,7 @@ impl ExperimentConfig {
         .with_telemetry(telemetry)
         .with_faults(self.faults)
         .with_admission(self.admission)
+        .with_preemption(self.preemption, self.checkpoint)
         .with_watchdog(Watchdog::generous());
         sim.run()
     }
@@ -566,6 +602,16 @@ impl ExperimentConfig {
         if self.admission.enabled() {
             fields.push(("admission".into(), Json::Str(self.admission.to_string())));
         }
+        // Preemption-continuum fields follow the same convention: omitted
+        // under the default in-place mode, so continuum-off logs stay
+        // byte-identical to those of builds predating the modes.
+        if self.preemption != PreemptionMode::InPlace {
+            fields.push((
+                "preemption".into(),
+                Json::Str(self.preemption.name().into()),
+            ));
+            fields.push(("checkpoint".into(), checkpoint_to_json(&self.checkpoint)));
+        }
         Json::Obj(fields)
     }
 
@@ -637,8 +683,51 @@ impl ExperimentConfig {
                     .map_err(|_| DecodeError::Bad("admission"))?,
                 None => AdmissionModel::none(),
             },
+            preemption: match json.get("preemption") {
+                Some(p) => p
+                    .as_str()
+                    .and_then(PreemptionMode::from_name)
+                    .ok_or(DecodeError::Bad("preemption"))?,
+                None => PreemptionMode::InPlace,
+            },
+            checkpoint: match json.get("checkpoint") {
+                Some(c) => checkpoint_from_json(c)?,
+                None => CheckpointModel::default(),
+            },
         })
     }
+}
+
+fn checkpoint_to_json(m: &CheckpointModel) -> Json {
+    Json::Obj(vec![
+        ("mb_per_sec".into(), Json::Num(m.mb_per_sec)),
+        ("interval".into(), Json::Int(m.interval)),
+        ("contention".into(), Json::Bool(m.contention)),
+    ])
+}
+
+fn checkpoint_from_json(json: &Json) -> Result<CheckpointModel, DecodeError> {
+    let mb_per_sec = json
+        .get("mb_per_sec")
+        .and_then(Json::as_f64)
+        .ok_or(DecodeError::Missing("mb_per_sec"))?;
+    let interval = json
+        .get("interval")
+        .and_then(Json::as_i64)
+        .ok_or(DecodeError::Missing("interval"))?;
+    let contention = match json.get("contention") {
+        Some(c) => c.as_bool().ok_or(DecodeError::Bad("contention"))?,
+        None => false,
+    };
+    let model = CheckpointModel {
+        mb_per_sec,
+        interval,
+        contention,
+    };
+    if !model.valid() {
+        return Err(DecodeError::Bad("checkpoint"));
+    }
+    Ok(model)
 }
 
 fn faults_to_json(m: &FaultModel) -> Json {
@@ -822,16 +911,32 @@ impl RunResult {
 pub enum RunError {
     /// The configuration failed [`ExperimentConfig::validate`].
     Invalid(ConfigError),
-    /// The simulation panicked; the payload message is attached. Other
-    /// configurations in the batch are unaffected.
-    Panicked(String),
+    /// The simulation panicked on every attempt; the last payload message
+    /// and the attempt count are attached. Other configurations in the
+    /// batch are unaffected.
+    Panicked {
+        /// The last attempt's panic payload message.
+        msg: String,
+        /// How many times the configuration was tried (1 without retries).
+        attempts: u32,
+    },
+    /// The batch's wall-clock budget ran out before this configuration
+    /// started ([`crate::sweep::SweepSpec::with_wall_budget`]); the run
+    /// was skipped so the rest of the grid could report partial results.
+    BudgetExhausted,
 }
 
 impl fmt::Display for RunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RunError::Invalid(e) => write!(f, "invalid config: {e}"),
-            RunError::Panicked(msg) => write!(f, "simulation panicked: {msg}"),
+            RunError::Panicked { msg, attempts: 1 } => {
+                write!(f, "simulation panicked: {msg}")
+            }
+            RunError::Panicked { msg, attempts } => {
+                write!(f, "simulation panicked on all {attempts} attempts: {msg}")
+            }
+            RunError::BudgetExhausted => f.write_str("wall budget exhausted before the run"),
         }
     }
 }
@@ -913,6 +1018,37 @@ pub(crate) fn run_batch_observed<T, F, O>(
     configs: Vec<ExperimentConfig>,
     threads: usize,
     runner: F,
+    observe: O,
+) -> Vec<Result<T, RunError>>
+where
+    T: Send,
+    F: Fn(&Arc<ExperimentConfig>) -> T + Sync,
+    O: FnMut(usize, &Result<T, RunError>),
+{
+    run_batch_retrying(configs, threads, 0, None, runner, observe)
+}
+
+/// [`run_batch_observed`] with bounded retry for panicked workers and an
+/// optional wall-clock deadline. A configuration whose runner panics is
+/// retried up to `retries` more times (linear 25 ms backoff between
+/// attempts, on the worker thread) before surfacing [`RunError::Panicked`]
+/// with the attempt count. A deterministic panic still fails after
+/// `retries + 1` attempts; a flaky one — OOM pressure, a poisoned
+/// thread-local, anything environmental — no longer voids its cell in a
+/// mega-sweep.
+///
+/// When `deadline` is set, a configuration whose turn comes up after the
+/// deadline is skipped with [`RunError::BudgetExhausted`] instead of run:
+/// the batch drains gracefully and the caller aggregates whatever
+/// completed in time. In-flight runs are not interrupted here — the sweep
+/// harness additionally caps their per-run watchdog to the remaining
+/// budget.
+pub(crate) fn run_batch_retrying<T, F, O>(
+    configs: Vec<ExperimentConfig>,
+    threads: usize,
+    retries: u32,
+    deadline: Option<std::time::Instant>,
+    runner: F,
     mut observe: O,
 ) -> Vec<Result<T, RunError>>
 where
@@ -936,17 +1072,34 @@ where
                     break;
                 }
                 let cfg = &configs_ref[i];
+                if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+                    if tx.send((i, Err(RunError::BudgetExhausted))).is_err() {
+                        break;
+                    }
+                    continue;
+                }
                 let result = match cfg.validate() {
                     Err(e) => Err(RunError::Invalid(e)),
                     Ok(()) => {
-                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| runner_ref(cfg)))
-                            .map_err(|payload| {
-                                RunError::Panicked(format!(
-                                    "[{}] {}",
-                                    cfg.scheduler,
-                                    panic_message(&*payload)
-                                ))
-                            })
+                        let mut attempts = 0u32;
+                        loop {
+                            attempts += 1;
+                            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                runner_ref(cfg)
+                            })) {
+                                Ok(v) => break Ok(v),
+                                Err(payload) => {
+                                    let msg =
+                                        format!("[{}] {}", cfg.scheduler, panic_message(&*payload));
+                                    if attempts > retries {
+                                        break Err(RunError::Panicked { msg, attempts });
+                                    }
+                                    std::thread::sleep(std::time::Duration::from_millis(
+                                        25 * attempts as u64,
+                                    ));
+                                }
+                            }
+                        }
                     }
                 };
                 if tx.send((i, result)).is_err() {
@@ -1147,8 +1300,9 @@ mod tests {
         assert_eq!(results.len(), 3);
         assert_eq!(results[0].as_ref().unwrap().sim.policy, "NS (EASY)");
         match &results[1] {
-            Err(RunError::Panicked(msg)) => {
-                assert!(msg.contains("injected failure"), "got {msg:?}")
+            Err(RunError::Panicked { msg, attempts }) => {
+                assert!(msg.contains("injected failure"), "got {msg:?}");
+                assert_eq!(*attempts, 1, "no retries were requested");
             }
             other => panic!("expected a caught panic, got {other:?}"),
         }
@@ -1157,6 +1311,113 @@ mod tests {
             300,
             "the batch kept running after the panic"
         );
+    }
+
+    #[test]
+    fn retry_recovers_flaky_workers_and_counts_attempts() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let flaky_left = AtomicU32::new(2); // panic twice, then succeed
+        let configs = vec![
+            small(SchedulerKind::Easy),
+            small(SchedulerKind::Fcfs).with_seed(777),
+            small(SchedulerKind::Gang).with_seed(778),
+        ];
+        let results = run_batch_retrying(
+            configs,
+            1, // deterministic attempt interleaving
+            3,
+            None,
+            |cfg| {
+                if cfg.seed == 777
+                    && flaky_left
+                        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+                        .is_ok()
+                {
+                    panic!("transient failure");
+                }
+                if cfg.seed == 778 {
+                    panic!("deterministic failure");
+                }
+                cfg.run()
+            },
+            |_, _| {},
+        );
+        assert!(results[0].is_ok());
+        assert!(results[1].is_ok(), "flaky cell must recover within budget");
+        match &results[2] {
+            Err(RunError::Panicked { msg, attempts }) => {
+                assert_eq!(*attempts, 4, "initial attempt plus three retries");
+                assert!(msg.contains("deterministic failure"));
+            }
+            other => panic!("expected exhausted retries, got {other:?}"),
+        }
+        let shown = results[2].as_ref().unwrap_err().to_string();
+        assert!(shown.contains("all 4 attempts"), "got {shown:?}");
+    }
+
+    #[test]
+    fn expired_deadline_skips_runs_without_running_them() {
+        let configs = vec![small(SchedulerKind::Easy), small(SchedulerKind::Fcfs)];
+        let mut seen = 0usize;
+        let results = run_batch_retrying(
+            configs,
+            2,
+            0,
+            Some(std::time::Instant::now()),
+            |cfg| cfg.run(),
+            |_, r| {
+                assert!(matches!(r, Err(RunError::BudgetExhausted)));
+                seen += 1;
+            },
+        );
+        assert_eq!(seen, 2, "skipped runs still reach the observer");
+        assert!(results
+            .iter()
+            .all(|r| matches!(r, Err(RunError::BudgetExhausted))));
+    }
+
+    #[test]
+    fn preemption_json_round_trips_and_is_omitted_when_in_place() {
+        let plain = small(SchedulerKind::Ss { sf: 2.0 });
+        let rendered = plain.to_json().render();
+        assert!(
+            !rendered.contains("preemption") && !rendered.contains("checkpoint"),
+            "in-place mode must not appear in config JSON: {rendered}"
+        );
+        for mode in [PreemptionMode::Checkpoint, PreemptionMode::Migrate] {
+            let cfg = plain.clone().with_preemption(mode).with_checkpoint(
+                CheckpointModel::paper()
+                    .with_interval(900)
+                    .with_contention(true),
+            );
+            let text = cfg.to_json().render();
+            let back = ExperimentConfig::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back.preemption, cfg.preemption);
+            assert_eq!(back.checkpoint, cfg.checkpoint);
+        }
+        for corrupt in [
+            r#"{"mb_per_sec": 0.0, "interval": 600}"#,
+            r#"{"interval": 600}"#,
+            r#"{"mb_per_sec": 2.0, "interval": 0}"#,
+        ] {
+            let json = Json::parse(corrupt).unwrap();
+            assert!(
+                checkpoint_from_json(&json).is_err(),
+                "{corrupt} must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_checkpoint_only_when_mode_needs_it() {
+        let bad_model = CheckpointModel::paper().with_rate(-1.0);
+        let inert = small(SchedulerKind::Easy).with_checkpoint(bad_model);
+        assert_eq!(inert.validate(), Ok(()), "in-place mode ignores the model");
+        let active = inert.with_preemption(PreemptionMode::Checkpoint);
+        assert!(matches!(
+            active.validate(),
+            Err(ConfigError::BadCheckpoint(_))
+        ));
     }
 
     #[test]

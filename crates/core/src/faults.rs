@@ -69,6 +69,34 @@ impl std::fmt::Display for RecoveryPolicy {
     }
 }
 
+/// A recovery-policy spec string that [`RecoveryPolicy::from_str`]
+/// rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseRecoveryError {
+    spec: String,
+}
+
+impl std::fmt::Display for ParseRecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown recovery policy {:?}: expected wait | resubmit | remap",
+            self.spec
+        )
+    }
+}
+
+impl std::error::Error for ParseRecoveryError {}
+
+impl std::str::FromStr for RecoveryPolicy {
+    type Err = ParseRecoveryError;
+
+    fn from_str(spec: &str) -> Result<Self, Self::Err> {
+        RecoveryPolicy::from_name(spec.trim())
+            .ok_or_else(|| ParseRecoveryError { spec: spec.into() })
+    }
+}
+
 /// Configuration of the failure process. [`FaultModel::none`] (the
 /// default) injects nothing and leaves every simulation bit-identical to
 /// a build without this module.
@@ -259,8 +287,21 @@ mod tests {
     fn recovery_names_round_trip() {
         for p in RecoveryPolicy::ALL {
             assert_eq!(RecoveryPolicy::from_name(p.name()), Some(p));
+            assert_eq!(p.name().parse::<RecoveryPolicy>().unwrap(), p);
+            assert_eq!(p.to_string(), p.name());
         }
         assert_eq!(RecoveryPolicy::from_name("nope"), None);
+        for bad in ["", "requeue", "wait for repair"] {
+            let err = bad.parse::<RecoveryPolicy>().unwrap_err();
+            assert!(
+                err.to_string().contains("unknown recovery policy"),
+                "{bad:?}"
+            );
+        }
+        assert_eq!(
+            " remap ".parse::<RecoveryPolicy>().unwrap(),
+            RecoveryPolicy::Remap
+        );
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! [`experiment`].
 
 pub mod admission;
+pub mod checkpoint;
 pub mod experiment;
 pub mod faults;
 pub mod overhead;
@@ -35,6 +36,7 @@ pub mod sweep;
 pub mod theory;
 
 pub use admission::AdmissionModel;
+pub use checkpoint::{CheckpointModel, PreemptionMode};
 pub use faults::{FaultInjector, FaultModel, RecoveryPolicy};
 pub use overhead::OverheadModel;
 pub use policy::{Action, DecideCtx, Policy};

@@ -31,7 +31,7 @@ use sps_trace::{NullSink, TraceRecord, TraceSink, TRACE_VERSION};
 use sps_workload::JobSource;
 
 use crate::experiment::{
-    default_threads, run_batch_observed, ExperimentConfig, RunError, RunResult,
+    default_threads, run_batch_retrying, ExperimentConfig, RunError, RunResult,
 };
 use crate::sim::{RunUntil, SimResult, Simulator};
 
@@ -200,6 +200,7 @@ impl<S: TraceSink, T: TelemetrySink> RunBuilder<S, T> {
         sim.with_telemetry(self.telemetry)
             .with_faults(cfg.faults)
             .with_admission(cfg.admission)
+            .with_preemption(cfg.preemption, cfg.checkpoint)
             .with_until(self.until)
             .with_warmup(self.warmup)
             .with_watchdog(self.watchdog)
@@ -228,6 +229,7 @@ pub struct BatchRunner<'a> {
     threads: usize,
     until: RunUntil,
     warmup: Secs,
+    retries: u32,
     observer: BatchObserver<'a>,
 }
 
@@ -240,6 +242,7 @@ impl<'a> BatchRunner<'a> {
             threads: default_threads(),
             until: RunUntil::Drained,
             warmup: 0,
+            retries: 0,
             observer: Box::new(|_, _| {}),
         }
     }
@@ -261,6 +264,15 @@ impl<'a> BatchRunner<'a> {
     /// Warmup window applied to every run in the batch.
     pub fn warmup(mut self, warmup: Secs) -> Self {
         self.warmup = warmup;
+        self
+    }
+
+    /// Retry a panicked configuration up to `retries` more times (linear
+    /// 25 ms backoff) before surfacing [`RunError::Panicked`] — the
+    /// attempt count rides along in the error. Default zero: one attempt,
+    /// the historical behavior.
+    pub fn retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
         self
     }
 
@@ -287,12 +299,15 @@ impl<'a> BatchRunner<'a> {
             threads,
             until,
             warmup,
+            retries,
             mut observer,
         } = self;
         let cache = sps_workload::TraceCache::new();
-        run_batch_observed(
+        run_batch_retrying(
             configs,
             threads,
+            retries,
+            None,
             |cfg| {
                 let mut builder = RunBuilder::new(Arc::clone(cfg)).until(until).warmup(warmup);
                 if cfg.arrivals.is_trace() {

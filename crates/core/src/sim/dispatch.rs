@@ -57,18 +57,42 @@ impl SimState {
 
     /// Shared tail of [`SimState::start`]/[`SimState::start_on`]: the
     /// processors in `set` are already marked busy.
+    ///
+    /// A queued job with prior progress only exists under a checkpointing
+    /// preemption mode (a kill rolled it back to its last image instead of
+    /// to zero); restarting it pays a synchronous restore stall before
+    /// computation resumes, exactly like a suspension reload.
     fn dispatch(&mut self, id: JobId, set: ProcSet, queue: &mut EventQueue<Event>) {
         let now = self.now;
         self.end_wait(id);
         self.index.occupy(&set, id);
+        let restore = if self.pmode.checkpoints()
+            && self.jobs[id.index()].remaining < self.jobs[id.index()].job.run
+        {
+            let secs = self
+                .ckpt
+                .image_secs(&self.jobs[id.index()].job, self.ckpt_sharers());
+            self.fault_stats.ckpt_overhead += secs;
+            secs
+        } else {
+            0
+        };
         let rt = &mut self.jobs[id.index()];
         rt.assigned = Some(set);
         rt.first_start = Some(now);
         rt.seg_open = Some(now);
-        rt.phase = Phase::Running { compute_start: now };
-        rt.est_end = now + rt.job.estimate;
+        rt.overhead_total += restore;
+        let compute_start = now + restore;
+        rt.phase = Phase::Running { compute_start };
+        let executed = rt.job.run - rt.remaining;
+        rt.est_end = if executed > 0 {
+            // Restored dispatch: estimated remaining computation only.
+            compute_start + (rt.job.estimate - executed).max(1)
+        } else {
+            compute_start + rt.job.estimate
+        };
         self.avail.add(rt.est_end, rt.job.procs);
-        let done_at = now + rt.remaining;
+        let done_at = compute_start + rt.remaining;
         queue.push(
             done_at,
             EventClass::Completion,
@@ -131,6 +155,11 @@ impl SimState {
             .expect("suspended job keeps its set");
         self.index.unclaim(&old_set, id);
         self.index.occupy(&set, id);
+        if set != old_set {
+            // A migrated re-entry: the image moved to a different set
+            // (remap recovery or a migrating preemption mode).
+            self.fault_stats.migrations += 1;
+        }
         // Re-entering closes any fault bookkeeping on the job.
         if let Some(since) = self.jobs[id.index()].stranded_since.take() {
             self.fault_stats.stranded_secs += now - since;
@@ -138,7 +167,17 @@ impl SimState {
         self.jobs[id.index()].remap = false;
         self.jobs[id.index()].assigned = Some(set);
         self.end_wait(id);
-        let reload = self.overhead.restart_secs(&self.jobs[id.index()].job);
+        // Under a checkpointing mode the reload is the checkpoint image
+        // read-back (contention-aware); otherwise the Section V-A restart.
+        let reload = if self.pmode.checkpoints() {
+            let secs = self
+                .ckpt
+                .image_secs(&self.jobs[id.index()].job, self.ckpt_sharers());
+            self.fault_stats.ckpt_overhead += secs;
+            secs
+        } else {
+            self.overhead.restart_secs(&self.jobs[id.index()].job)
+        };
         let rt = &mut self.jobs[id.index()];
         rt.overhead_total += reload;
         rt.seg_open = Some(now);

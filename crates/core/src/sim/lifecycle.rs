@@ -100,14 +100,20 @@ impl SimState {
         self.suspended.push(id);
     }
 
-    /// Forcibly evict `id` after a fault: all accumulated work is lost and
-    /// the job re-enters the queue from scratch (its `first_start` is kept
-    /// for the metrics — the machine did start it). Returns the destroyed
-    /// work in processor-seconds. Legal from Running, Draining, and
-    /// Suspended.
+    /// Forcibly evict `id` after a fault and requeue it (its `first_start`
+    /// is kept for the metrics — the machine did start it). Under
+    /// [`crate::checkpoint::PreemptionMode::InPlace`] all accumulated work
+    /// is lost; under a checkpointing mode the job rolls back only to its
+    /// last image — the latest periodic checkpoint of the interrupted
+    /// dispatch segment, or everything up to the segment for jobs whose
+    /// earlier work was banked by an on-suspend drain. Returns the
+    /// destroyed work in processor-seconds. Legal from Running, Draining,
+    /// and Suspended.
     pub(crate) fn kill(&mut self, id: JobId) -> Secs {
         let now = self.now;
         let executed = self.jobs[id.index()].executed_at(now);
+        let seg_executed =
+            executed - (self.jobs[id.index()].job.run - self.jobs[id.index()].remaining);
         let procs = self.jobs[id.index()].job.procs;
         match self.jobs[id.index()].phase {
             Phase::Running { compute_start } => {
@@ -153,9 +159,27 @@ impl SimState {
             }
             ref phase => unreachable!("kill of job in phase {phase:?}"),
         }
+        // Checkpoint retention: prior segments' work was imaged by the
+        // on-suspend drain, and the interrupted segment keeps its latest
+        // periodic checkpoint. Clamped so the requeued job always has at
+        // least one second left to run.
+        let retained = if self.pmode.checkpoints() {
+            let banked = executed - seg_executed;
+            let images = seg_executed / self.ckpt.interval;
+            if images > 0 {
+                let sharers = self.ckpt_sharers();
+                let job = &self.jobs[id.index()].job;
+                self.fault_stats.ckpt_overhead += images * self.ckpt.image_secs(job, sharers);
+            }
+            let kept = banked + self.ckpt.retained_secs(seg_executed);
+            kept.min(self.jobs[id.index()].job.run - 1).max(0)
+        } else {
+            0
+        };
         let rt = &mut self.jobs[id.index()];
         debug_assert!(rt.overhead_total >= 0);
-        rt.remaining = rt.job.run;
+        debug_assert!(retained <= executed, "cannot retain unexecuted work");
+        rt.remaining = rt.job.run - retained;
         rt.epoch += 1; // invalidate in-flight completion/drain/crash events
         rt.phase = Phase::Queued;
         rt.assigned = None;
@@ -164,7 +188,7 @@ impl SimState {
         rt.remap = false;
         rt.stranded_since = None;
         self.queued.push(id);
-        let lost = executed * procs as i64;
+        let lost = (executed - retained) * procs as i64;
         self.fault_stats.lost_work += lost;
         lost
     }
@@ -206,6 +230,17 @@ impl SimState {
         self.index.vacate(&set, id);
         self.close_segment(id, &set);
         self.running.retain(|&q| q != id);
+        // Account the final segment's periodic image drains (they overlap
+        // computation, so they never perturbed the schedule — this is pure
+        // cost reporting).
+        if self.pmode.checkpoints() {
+            let rt = &self.jobs[id.index()];
+            let images = rt.remaining / self.ckpt.interval;
+            if images > 0 {
+                let sharers = self.ckpt_sharers();
+                self.fault_stats.ckpt_overhead += images * self.ckpt.image_secs(&rt.job, sharers);
+            }
+        }
         let rt = &mut self.jobs[id.index()];
         rt.remaining = 0;
         rt.phase = Phase::Done;

@@ -10,11 +10,12 @@ use sps_simcore::{
 use sps_telemetry::{
     EventClass as ObsClass, HealthSummary, NullTelemetry, Obs, TelemetryCtx, TelemetrySink,
 };
-use sps_trace::{JobEvent, NullSink, ProcEvent, TraceCtx, TraceRecord, TraceSink};
+use sps_trace::{JobEvent, NullSink, ProcEvent, Reason, TraceCtx, TraceRecord, TraceSink};
 use sps_workload::{parse_secs, Job, JobId, JobSource};
 
 use super::state::{Event, OccupancySegment, Phase, SimState};
 use crate::admission::AdmissionModel;
+use crate::checkpoint::{CheckpointModel, PreemptionMode};
 use crate::faults::{FaultInjector, FaultModel, RecoveryPolicy};
 use crate::overhead::OverheadModel;
 use crate::policy::{Action, DecideCtx, Policy};
@@ -496,6 +497,23 @@ impl<S: TraceSink, T: TelemetrySink> Simulator<S, T> {
         self
     }
 
+    /// Set the preemption mode and checkpoint cost model (builder style).
+    /// The default [`PreemptionMode::InPlace`] reproduces the paper's
+    /// mechanics bit-for-bit; [`PreemptionMode::Checkpoint`] bounds the
+    /// work a fault kill destroys to the checkpoint interval, and
+    /// [`PreemptionMode::Migrate`] additionally frees suspended jobs from
+    /// the original-processor-set rule. Panics on an unusable model when a
+    /// checkpointing mode is requested.
+    pub fn with_preemption(mut self, mode: PreemptionMode, ckpt: CheckpointModel) -> Self {
+        assert!(
+            !mode.checkpoints() || ckpt.valid(),
+            "checkpointing preemption mode needs a valid checkpoint model"
+        );
+        self.state.pmode = mode;
+        self.state.ckpt = ckpt;
+        self
+    }
+
     /// Set the stopping condition (builder style, default
     /// [`RunUntil::Drained`]). Runs ended by a non-drain condition report
     /// [`RunStatus::Stopped`] and leave `unfinished` jobs in flight —
@@ -912,6 +930,7 @@ impl<S: TraceSink, T: TelemetrySink> Simulator<S, T> {
     fn apply(&mut self, queue: &mut EventQueue<Event>) {
         for i in 0..self.actions.len() {
             let action = self.actions[i].clone();
+            let migrations_before = self.state.fault_stats.migrations;
             let ok = match &action {
                 Action::Start(id) => self.state.start(*id, queue),
                 Action::StartOn(id, set) => self.state.start_on(*id, set, queue),
@@ -938,6 +957,14 @@ impl<S: TraceSink, T: TelemetrySink> Simulator<S, T> {
                         self.emit_job(*id, JobEvent::Dispatch, true)
                     }
                     Action::Resume(id) | Action::ResumeOn(id, _) => {
+                        // Annotate cross-set re-entries before the Restart
+                        // record, mirroring the reentry decision pattern.
+                        if self.state.fault_stats.migrations > migrations_before {
+                            self.sink.record(&TraceRecord::Decision {
+                                t: self.state.now.secs(),
+                                reason: Reason::MigratedResume { job: id.0 },
+                            });
+                        }
                         self.emit_job(*id, JobEvent::Restart, true)
                     }
                     Action::Suspend(id) => {
@@ -1022,6 +1049,14 @@ impl<S: TraceSink, T: TelemetrySink> Simulator<S, T> {
             self.kill_job(holder, false);
         }
         for id in self.state.suspended_on(p) {
+            if self.state.pmode.migrates() {
+                // A migrating mode never strands or resubmits a suspended
+                // job: its image is globally restorable, so any recovery
+                // policy degrades to a remap for claims on a dead
+                // processor.
+                self.state.jobs[id.index()].remap = true;
+                continue;
+            }
             match recovery {
                 RecoveryPolicy::WaitForRepair => {
                     let rt = &mut self.state.jobs[id.index()];

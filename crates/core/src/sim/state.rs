@@ -7,6 +7,7 @@ use sps_simcore::{Secs, SimTime};
 use sps_workload::{Job, JobId};
 
 use super::index::SchedIndex;
+use crate::checkpoint::{CheckpointModel, PreemptionMode};
 use crate::overhead::OverheadModel;
 
 /// Simulator events. Public only because the engine's
@@ -194,6 +195,12 @@ pub struct SimState {
     pub(crate) avail: AvailabilityProfile,
     /// Per-processor occupancy/claims/draining index, maintained by delta.
     pub(crate) index: SchedIndex,
+    /// How preempted/killed jobs hold their state (the preemption
+    /// continuum; [`PreemptionMode::InPlace`] reproduces the paper).
+    pub(crate) pmode: PreemptionMode,
+    /// Checkpoint image cost model (consulted only when `pmode`
+    /// checkpoints).
+    pub(crate) ckpt: CheckpointModel,
 }
 
 impl SimState {
@@ -222,6 +229,8 @@ impl SimState {
             rejections: RejectionSummary::default(),
             avail: AvailabilityProfile::new(),
             index: SchedIndex::new(procs),
+            pmode: PreemptionMode::InPlace,
+            ckpt: CheckpointModel::default(),
         }
     }
 
@@ -332,11 +341,31 @@ impl SimState {
                 .is_some_and(|s| s.overlaps(self.cluster.down_set()))
     }
 
-    /// Whether the recovery policy has released this suspended job from
-    /// the local-restart rule ([`crate::faults::RecoveryPolicy::Remap`]):
-    /// the scheduler may resume it on any equally-sized free set.
+    /// Whether this suspended job is released from the paper's
+    /// local-restart rule: either the recovery policy remapped it
+    /// ([`crate::faults::RecoveryPolicy::Remap`]) or the active
+    /// [`PreemptionMode`] migrates by construction. The scheduler may
+    /// resume such a job on any equally-sized free set.
     pub fn can_remap(&self, id: JobId) -> bool {
-        self.jobs[id.index()].remap
+        self.jobs[id.index()].remap || self.pmode.migrates()
+    }
+
+    /// The active preemption mode.
+    pub fn preemption_mode(&self) -> PreemptionMode {
+        self.pmode
+    }
+
+    /// The active checkpoint cost model (meaningful only when
+    /// [`SimState::preemption_mode`] checkpoints).
+    pub fn checkpoint_model(&self) -> CheckpointModel {
+        self.ckpt
+    }
+
+    /// Jobs sharing the checkpoint path right now: every dispatched job
+    /// is a potential concurrent checkpointer, floored at one (the job
+    /// being charged). Drives [`CheckpointModel::contention`].
+    pub(crate) fn ckpt_sharers(&self) -> usize {
+        self.running.len().max(1)
     }
 
     /// Fault counters accumulated so far (all zero without faults).

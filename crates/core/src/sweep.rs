@@ -19,18 +19,20 @@
 
 use std::fmt::Write as _;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use sps_metrics::{JobOutcome, P2Quantile, StreamingStats};
-use sps_simcore::Secs;
+use sps_metrics::{goodput, JobOutcome, P2Quantile, StreamingStats};
+use sps_simcore::{Secs, Watchdog};
 use sps_telemetry::{HealthSummary, Telemetry};
 use sps_trace::Json;
 use sps_workload::{ArrivalSpec, EstimateModel, SystemPreset, TraceCache};
 
 use crate::admission::AdmissionModel;
+use crate::checkpoint::{CheckpointModel, PreemptionMode};
 use crate::experiment::{
-    run_batch_observed, ConfigError, ExperimentConfig, RunResult, SchedulerKind,
+    run_batch_retrying, ConfigError, ExperimentConfig, RunError, RunResult, SchedulerKind,
 };
+use crate::faults::FaultModel;
 use crate::overhead::OverheadModel;
 use crate::runner::RunBuilder;
 use crate::sim::{RunUntil, DEFAULT_TICK_PERIOD};
@@ -77,6 +79,26 @@ pub struct SweepSpec {
     pub warmup: Secs,
     /// Admission-control model applied to every run (default off).
     pub admission: AdmissionModel,
+    /// Failure-injection model applied to every run (default off —
+    /// bit-identical to a fault-free build). Replication `r` offsets the
+    /// fault seed by `r`, so fault streams are independent across seeds
+    /// like the traces they hit.
+    pub faults: FaultModel,
+    /// Preemption-continuum mode applied to every run (default
+    /// [`PreemptionMode::InPlace`], the paper's suspend-in-place).
+    pub preemption: PreemptionMode,
+    /// Checkpoint image cost model, consulted when [`SweepSpec::preemption`]
+    /// checkpoints.
+    pub checkpoint: CheckpointModel,
+    /// Retry budget for panicked replications (see
+    /// [`BatchRunner::retries`](crate::runner::BatchRunner::retries)).
+    pub retries: u32,
+    /// Wall-clock budget for the whole grid, milliseconds. When it runs
+    /// out, queued runs are skipped with [`RunError::BudgetExhausted`] and
+    /// in-flight runs have their watchdog capped to the remaining budget,
+    /// so the sweep still returns partial [`CellStats`] instead of
+    /// overshooting. `None` (the default) means unbounded.
+    pub wall_budget_ms: Option<u64>,
 }
 
 impl SweepSpec {
@@ -99,7 +121,43 @@ impl SweepSpec {
             until: RunUntil::Drained,
             warmup: 0,
             admission: AdmissionModel::none(),
+            faults: FaultModel::none(),
+            preemption: PreemptionMode::InPlace,
+            checkpoint: CheckpointModel::default(),
+            retries: 0,
+            wall_budget_ms: None,
         }
+    }
+
+    /// Set the failure-injection model applied to every run.
+    pub fn with_faults(mut self, faults: FaultModel) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Set the preemption-continuum mode applied to every run.
+    pub fn with_preemption(mut self, mode: PreemptionMode) -> Self {
+        self.preemption = mode;
+        self
+    }
+
+    /// Set the checkpoint image cost model.
+    pub fn with_checkpoint(mut self, model: CheckpointModel) -> Self {
+        self.checkpoint = model;
+        self
+    }
+
+    /// Retry panicked replications up to `retries` more times each.
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Cap the whole grid's wall-clock at `ms` milliseconds (graceful
+    /// partial results instead of an overrun).
+    pub fn with_wall_budget(mut self, ms: u64) -> Self {
+        self.wall_budget_ms = Some(ms);
+        self
     }
 
     /// Set the arrival process of every cell (open-system sweeps).
@@ -222,6 +280,12 @@ impl SweepSpec {
 
     /// The configuration of one run.
     fn config(&self, scheduler: SchedulerKind, load: f64, rep: usize) -> ExperimentConfig {
+        // Replications draw independent fault streams, mirroring the
+        // per-rep trace seeds: same grid cell, different failure history.
+        let mut faults = self.faults;
+        if faults.enabled() {
+            faults.seed = faults.seed.wrapping_add(rep as u64);
+        }
         ExperimentConfig::new(self.system, scheduler)
             .with_jobs(self.n_jobs)
             .with_seed(self.base_seed + rep as u64)
@@ -231,6 +295,9 @@ impl SweepSpec {
             .with_tick_period(self.tick_period)
             .with_arrivals(self.arrivals)
             .with_admission(self.admission)
+            .with_faults(faults)
+            .with_preemption(self.preemption)
+            .with_checkpoint(self.checkpoint)
     }
 
     /// Expand the grid cell-major: all replications of a cell are
@@ -290,6 +357,16 @@ pub struct RunSummary {
     pub rejected: u64,
     /// Accumulated rejection penalty (Lucarelli-style, work-scaled).
     pub rejected_penalty: f64,
+    /// Processor-seconds of accumulated work destroyed by fault kills.
+    pub lost_work: f64,
+    /// Transfer-seconds of checkpoint traffic (periodic images plus
+    /// synchronous restores); zero outside checkpointing modes.
+    pub ckpt_overhead: f64,
+    /// Restarts on a different processor set than the suspension's.
+    pub migrations: u64,
+    /// Goodput in [0, 1]: productive work over *available* capacity.
+    /// Equals utilization when no downtime was recorded.
+    pub goodput: f64,
     /// End-of-run health detector counts (only on instrumented runs).
     pub health: Option<HealthSummary>,
 }
@@ -326,6 +403,11 @@ impl RunSummary {
             p99.push(s);
             turn.push(o.turnaround() as f64);
         }
+        let utilization = sim
+            .windowed
+            .as_ref()
+            .map(|w| w.utilization)
+            .unwrap_or(sim.utilization);
         RunSummary {
             scheduler: config.scheduler.to_string(),
             load_factor: config.load_factor,
@@ -336,11 +418,7 @@ impl RunSummary {
             worst_slowdown: slow.max(),
             mean_turnaround: turn.mean(),
             worst_turnaround: turn.max(),
-            utilization: sim
-                .windowed
-                .as_ref()
-                .map(|w| w.utilization)
-                .unwrap_or(sim.utilization),
+            utilization,
             makespan: sim.makespan,
             preemptions: sim.preemptions,
             completed: counted,
@@ -349,6 +427,16 @@ impl RunSummary {
             wall_micros: sim.kernel.wall_micros,
             rejected: sim.rejections.rejected,
             rejected_penalty: sim.rejections.penalty,
+            lost_work: sim.faults.lost_work as f64,
+            ckpt_overhead: sim.faults.ckpt_overhead as f64,
+            migrations: sim.faults.migrations,
+            // Without downtime, goodput degenerates to utilization — skip
+            // the extra pass over the outcomes on the fault-free hot path.
+            goodput: if sim.faults.downtime > 0 {
+                goodput(&sim.outcomes, config.system.procs, sim.faults.downtime)
+            } else {
+                utilization
+            },
             health: sim.health,
         }
     }
@@ -440,6 +528,14 @@ pub struct CellStats {
     pub rejected: Ci,
     /// Accumulated rejection penalty per run.
     pub rejected_penalty: Ci,
+    /// Processor-seconds of work destroyed by fault kills per run.
+    pub lost_work: Ci,
+    /// Transfer-seconds of checkpoint traffic per run.
+    pub ckpt_overhead: Ci,
+    /// Cross-set restarts (migrations) per run.
+    pub migrations: Ci,
+    /// Goodput over available capacity, percent.
+    pub goodput_pct: Ci,
     /// Health detector counts summed over instrumented replications
     /// (`None` when the sweep ran without telemetry).
     pub health: Option<HealthSummary>,
@@ -487,6 +583,10 @@ impl CellStats {
             makespan: col(&|s| s.makespan as f64),
             rejected: col(&|s| s.rejected as f64),
             rejected_penalty: col(&|s| s.rejected_penalty),
+            lost_work: col(&|s| s.lost_work),
+            ckpt_overhead: col(&|s| s.ckpt_overhead),
+            migrations: col(&|s| s.migrations as f64),
+            goodput_pct: col(&|s| s.goodput * 100.0),
             health,
         }
     }
@@ -501,6 +601,9 @@ pub struct SweepReport {
     pub runs: usize,
     /// Runs that produced no summary, with their errors rendered.
     pub failures: Vec<String>,
+    /// Runs skipped because the wall budget ran out before they started
+    /// (a subset of the failure count; see [`SweepSpec::with_wall_budget`]).
+    pub skipped: usize,
     /// Distinct traces generated (cache misses).
     pub unique_traces: usize,
     /// Trace requests served without regeneration (cache hits).
@@ -519,12 +622,14 @@ impl SweepReport {
              p99_slowdown,p99_slowdown_ci,worst_slowdown,worst_slowdown_ci,\
              mean_turnaround,mean_turnaround_ci,utilization_pct,utilization_pct_ci,\
              preemptions,preemptions_ci,makespan,makespan_ci,\
-             rejected,rejected_ci,rejected_penalty,rejected_penalty_ci\n",
+             rejected,rejected_ci,rejected_penalty,rejected_penalty_ci,\
+             lost_work,lost_work_ci,ckpt_overhead,ckpt_overhead_ci,\
+             migrations,migrations_ci,goodput_pct,goodput_pct_ci\n",
         );
         for c in &self.cells {
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.2},{:.2},{:.3},{:.3},{:.1},{:.1},{:.0},{:.0},{:.1},{:.1},{:.2},{:.2}",
+                "{},{},{},{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.2},{:.2},{:.3},{:.3},{:.1},{:.1},{:.0},{:.0},{:.1},{:.1},{:.2},{:.2},{:.0},{:.0},{:.0},{:.0},{:.1},{:.1},{:.3},{:.3}",
                 c.scheduler,
                 c.load_factor,
                 c.reps,
@@ -550,6 +655,14 @@ impl SweepReport {
                 c.rejected.half_width,
                 c.rejected_penalty.mean,
                 c.rejected_penalty.half_width,
+                c.lost_work.mean,
+                c.lost_work.half_width,
+                c.ckpt_overhead.mean,
+                c.ckpt_overhead.half_width,
+                c.migrations.mean,
+                c.migrations.half_width,
+                c.goodput_pct.mean,
+                c.goodput_pct.half_width,
             );
         }
         out
@@ -583,6 +696,10 @@ impl SweepReport {
                     ("makespan".into(), ci(c.makespan)),
                     ("rejected".into(), ci(c.rejected)),
                     ("rejected_penalty".into(), ci(c.rejected_penalty)),
+                    ("lost_work".into(), ci(c.lost_work)),
+                    ("ckpt_overhead".into(), ci(c.ckpt_overhead)),
+                    ("migrations".into(), ci(c.migrations)),
+                    ("goodput_pct".into(), ci(c.goodput_pct)),
                 ])
             })
             .collect();
@@ -592,6 +709,7 @@ impl SweepReport {
                 "failures".into(),
                 Json::Arr(self.failures.iter().map(|f| Json::Str(f.clone())).collect()),
             ),
+            ("skipped".into(), Json::Int(self.skipped as i64)),
             ("unique_traces".into(), Json::Int(self.unique_traces as i64)),
             ("trace_hits".into(), Json::Int(self.trace_hits as i64)),
             ("wall_micros".into(), Json::Int(self.wall_micros as i64)),
@@ -643,6 +761,13 @@ impl SweepReport {
             self.trace_hits,
             self.wall_micros as f64 / 1e6,
         );
+        if self.skipped > 0 {
+            let _ = writeln!(
+                out,
+                "{} runs skipped: wall budget exhausted (partial results)",
+                self.skipped,
+            );
+        }
         out
     }
 }
@@ -694,6 +819,9 @@ where
 {
     spec.validate()?;
     let start = Instant::now();
+    let deadline = spec
+        .wall_budget_ms
+        .map(|ms| start + Duration::from_millis(ms));
     let cache = TraceCache::new();
     let telemetry = spec.telemetry;
     let (until, warmup) = (spec.until, spec.warmup);
@@ -708,9 +836,11 @@ where
     // detector is the loudest one (thrash wins ties: it is actionable).
     let (mut starvation, mut thrash) = (0u64, 0u64);
 
-    let results = run_batch_observed(
+    let results = run_batch_retrying(
         spec.expand(),
         threads,
+        spec.retries,
+        deadline,
         |cfg: &Arc<ExperimentConfig>| {
             // Simulate and fold directly: no RunResult (and no
             // per-category reports) is ever materialized on the sweep
@@ -721,6 +851,16 @@ where
             if cfg.arrivals.is_trace() {
                 let source = cache.source(cfg.trace_key(), || cfg.trace());
                 builder = builder.source(Box::new(source));
+            }
+            if let Some(d) = deadline {
+                // Cap the in-flight run's watchdog to the remaining
+                // budget: a run that would overrun the sweep's wall
+                // budget aborts with partial metrics instead.
+                let left = d.saturating_duration_since(Instant::now());
+                let cap = (left.as_millis() as u64).max(1);
+                let mut dog = Watchdog::generous();
+                dog.max_wall_ms = Some(dog.max_wall_ms.map_or(cap, |w| w.min(cap)));
+                builder = builder.watchdog(dog);
             }
             if telemetry {
                 let mut tel = Telemetry::new();
@@ -771,6 +911,10 @@ where
         },
     );
 
+    let skipped = results
+        .iter()
+        .filter(|r| matches!(r, Err(RunError::BudgetExhausted)))
+        .count();
     let mut cells = Vec::with_capacity(spec.cells());
     let mut failures = Vec::new();
     let mut chunks = results.chunks_exact(spec.reps);
@@ -801,6 +945,7 @@ where
         cells,
         runs: spec.runs(),
         failures,
+        skipped,
         unique_traces: cache.len(),
         trace_hits: cache.hits(),
         wall_micros: start.elapsed().as_micros() as u64,
@@ -955,7 +1100,57 @@ mod tests {
         }
         let csv = report.to_csv();
         assert!(csv.starts_with("scheduler,load,"));
-        assert!(csv.lines().next().unwrap().ends_with("rejected_penalty_ci"));
+        assert!(csv.lines().next().unwrap().ends_with("goodput_pct_ci"));
+    }
+
+    #[test]
+    fn faulty_checkpointing_sweep_reports_fault_columns() {
+        use crate::faults::{FaultModel, RecoveryPolicy};
+        let spec = SweepSpec::new(SDSC)
+            .with_schedulers(vec![SchedulerKind::Ss { sf: 2.0 }])
+            .with_loads(vec![1.1])
+            .with_jobs(150)
+            .with_seed(7)
+            .with_reps(2)
+            .with_faults(
+                FaultModel::proc_faults(40_000, 3_600, 13).with_recovery(RecoveryPolicy::Resubmit),
+            )
+            .with_preemption(PreemptionMode::Migrate)
+            .with_checkpoint(CheckpointModel::paper().with_interval(1_800));
+        let report = run_sweep(&spec, 2).expect("valid faulty spec");
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        let cell = &report.cells[0];
+        assert!(cell.goodput_pct.mean > 0.0 && cell.goodput_pct.mean <= 100.0);
+        assert!(cell.lost_work.mean >= 0.0);
+        assert!(cell.ckpt_overhead.mean > 0.0, "images and restores charge");
+        // The two replications draw different fault streams, so the cell's
+        // fault metrics are genuine per-seed samples, not one value twice.
+        let csv = report.to_csv();
+        assert!(csv.lines().next().unwrap().ends_with("goodput_pct_ci"));
+    }
+
+    #[test]
+    fn exhausted_wall_budget_degrades_to_partial_cells() {
+        let spec = tiny().with_wall_budget(0);
+        let report = run_sweep(&spec, 2).expect("valid spec");
+        assert_eq!(report.skipped, report.runs, "0 ms budget skips everything");
+        assert_eq!(report.failures.len(), report.runs);
+        assert!(report
+            .failures
+            .iter()
+            .all(|f| f.contains("wall budget exhausted")));
+        // The grid still reports every cell, just with zero completed reps.
+        assert_eq!(report.cells.len(), 4);
+        for cell in &report.cells {
+            assert_eq!(cell.reps, 0);
+            assert_eq!(cell.failures, 3);
+            assert!(cell.mean_slowdown.mean.is_nan());
+        }
+        assert!(report.render_table().contains("skipped: wall budget"));
+        // A generous budget changes nothing.
+        let full = run_sweep(&tiny().with_wall_budget(600_000), 2).expect("valid spec");
+        assert_eq!(full.skipped, 0);
+        assert_eq!(full.to_csv(), run_sweep(&tiny(), 2).expect("ok").to_csv());
     }
 
     #[test]

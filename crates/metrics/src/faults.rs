@@ -36,6 +36,14 @@ pub struct FaultSummary {
     pub stranded_secs: Secs,
     /// Processor-seconds of machine downtime over the run.
     pub downtime: Secs,
+    /// Restarts on a different processor set than the one the job was
+    /// suspended on (only possible under migration-capable modes or
+    /// remap recovery).
+    pub migrations: u64,
+    /// Transfer-seconds of checkpoint traffic: periodic image drains plus
+    /// synchronous restore stalls, summed over the run. Zero unless a
+    /// checkpointing preemption mode is active.
+    pub ckpt_overhead: Secs,
 }
 
 impl FaultSummary {

@@ -147,6 +147,13 @@ pub enum Reason {
         /// How many running jobs were suspended to clear the procset.
         victims: u32,
     },
+    /// A suspended job re-entered service on a *different* processor set
+    /// than the one it was suspended on — its checkpoint image moved
+    /// (migrating preemption mode or remap recovery).
+    MigratedResume {
+        /// The resuming job.
+        job: u32,
+    },
 }
 
 impl Reason {
@@ -157,6 +164,7 @@ impl Reason {
             Reason::PreemptedVictim { .. } => "preempted_victim",
             Reason::BlockedByDisableLimit { .. } => "blocked_by_disable_limit",
             Reason::ReentryOnOriginalProcs { .. } => "reentry_on_original_procs",
+            Reason::MigratedResume { .. } => "migrated_resume",
         }
     }
 }
@@ -323,6 +331,9 @@ impl TraceRecord {
                         put("job", Json::Int(*job as i64));
                         put("victims", Json::Int(*victims as i64));
                     }
+                    Reason::MigratedResume { job } => {
+                        put("job", Json::Int(*job as i64));
+                    }
                 }
             }
             TraceRecord::Gauge {
@@ -463,6 +474,9 @@ impl TraceRecord {
                     "reentry_on_original_procs" => Reason::ReentryOnOriginalProcs {
                         job: u32_field("job")?,
                         victims: u32_field("victims")?,
+                    },
+                    "migrated_resume" => Reason::MigratedResume {
+                        job: u32_field("job")?,
                     },
                     _ => return Err(DecodeError::Bad("reason")),
                 };
@@ -621,6 +635,9 @@ impl TraceRecord {
                         set("job", job.to_string());
                         set("victims", victims.to_string());
                     }
+                    Reason::MigratedResume { job } => {
+                        set("job", job.to_string());
+                    }
                 }
             }
             TraceRecord::Gauge {
@@ -759,6 +776,10 @@ mod tests {
             TraceRecord::Decision {
                 t: 12,
                 reason: Reason::ReentryOnOriginalProcs { job: 1, victims: 2 },
+            },
+            TraceRecord::Decision {
+                t: 13,
+                reason: Reason::MigratedResume { job: 6 },
             },
             TraceRecord::Gauge {
                 t: 12,

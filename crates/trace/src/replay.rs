@@ -28,13 +28,17 @@
 use std::collections::{HashMap, HashSet};
 use std::io::BufRead;
 
+use crate::json::Json;
 use crate::record::{JobEvent, ProcEvent, Reason, TraceRecord};
 
 /// Knobs for [`validate_records`].
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ReplayOptions {
     /// Allow a restart on a different processor set than the suspension
-    /// released (migratable-preemption runs).
+    /// released (migratable-preemption runs). Also switched on
+    /// automatically when the trace header's embedded config declares a
+    /// migrating preemption mode or remap recovery — a self-describing
+    /// log validates without external knowledge.
     pub allow_migration: bool,
 }
 
@@ -84,6 +88,10 @@ pub struct ReplayStats {
     pub rejections: usize,
     /// Health detector records.
     pub health_events: usize,
+    /// Restarts on a different processor set than the suspension's
+    /// (counted whether or not migration is allowed; a violation is
+    /// raised alongside when it is not).
+    pub migrations: usize,
 }
 
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -174,7 +182,9 @@ impl Validator {
             self.last_t = self.last_t.max(t);
         }
         match rec {
-            TraceRecord::Header { scheduler, .. } => {
+            TraceRecord::Header {
+                scheduler, config, ..
+            } => {
                 if self.header_seen {
                     self.violation("duplicate header".to_string());
                 } else if self.index != 0 {
@@ -186,6 +196,21 @@ impl Validator {
                     .strip_prefix("ss:")
                     .or_else(|| scheduler.strip_prefix("tss:"))
                     .and_then(|sf| sf.parse::<f64>().ok());
+                // A self-describing header relaxes the no-migration rule:
+                // a migrating preemption mode or remap recovery legally
+                // restarts jobs on different sets.
+                let migrating_mode = config
+                    .get("preemption")
+                    .and_then(Json::as_str)
+                    .is_some_and(|m| m == "migrate");
+                let remap_recovery = config
+                    .get("faults")
+                    .and_then(|f| f.get("recovery"))
+                    .and_then(Json::as_str)
+                    .is_some_and(|r| r == "remap");
+                if migrating_mode || remap_recovery {
+                    self.opts.allow_migration = true;
+                }
             }
             TraceRecord::Job {
                 t,
@@ -320,10 +345,14 @@ impl Validator {
                     self.violation(format!("job {job}: restart without processors"));
                     return;
                 };
-                if !self.opts.allow_migration && procs != suspend_set.as_slice() {
-                    self.violation(format!(
-                        "job {job}: restart procset {procs:?} != suspend procset {suspend_set:?}"
-                    ));
+                if procs != suspend_set.as_slice() {
+                    self.stats.migrations += 1;
+                    if !self.opts.allow_migration {
+                        self.violation(format!(
+                            "job {job}: restart procset {procs:?} != suspend procset \
+                             {suspend_set:?}"
+                        ));
+                    }
                 }
                 self.claim(job, procs);
                 if let Some(track) = self.jobs.get_mut(&job) {
@@ -459,6 +488,9 @@ impl Validator {
                 }
             }
             Reason::ReentryOnOriginalProcs { .. } => {}
+            // Advisory annotation; the set change itself is checked (and
+            // counted) on the Restart record.
+            Reason::MigratedResume { .. } => {}
         }
     }
 
@@ -608,14 +640,42 @@ mod tests {
                 .any(|v| v.message.contains("restart procset")),
             "{violations:?}"
         );
-        // ... but migration mode accepts it.
-        assert!(validate_records(
+        // ... but migration mode accepts it, and counts the move.
+        let stats = validate_records(
             &trace,
             ReplayOptions {
-                allow_migration: true
-            }
+                allow_migration: true,
+            },
         )
-        .is_ok());
+        .unwrap();
+        assert_eq!(stats.migrations, 1);
+    }
+
+    #[test]
+    fn header_declaring_migration_relaxes_the_placement_rule() {
+        let mut trace = good_trace();
+        let TraceRecord::Job { procs, .. } = &mut trace[11] else {
+            panic!()
+        };
+        *procs = Some(vec![3, 4, 5]);
+        for config_text in [
+            r#"{"preemption": "migrate"}"#,
+            r#"{"faults": {"recovery": "remap"}}"#,
+        ] {
+            let TraceRecord::Header { config, .. } = &mut trace[0] else {
+                panic!()
+            };
+            *config = Json::parse(config_text).unwrap();
+            let stats = validate_records(&trace, ReplayOptions::default())
+                .unwrap_or_else(|v| panic!("{config_text}: {v:?}"));
+            assert_eq!(stats.migrations, 1);
+        }
+        // A checkpointing-but-pinned header does not relax the rule.
+        let TraceRecord::Header { config, .. } = &mut trace[0] else {
+            panic!()
+        };
+        *config = Json::parse(r#"{"preemption": "checkpoint"}"#).unwrap();
+        assert!(validate_records(&trace, ReplayOptions::default()).is_err());
     }
 
     #[test]

@@ -1,11 +1,16 @@
 //! How the schedulers degrade as processors start failing: a seeded MTBF
 //! sweep comparing NS (EASY), SS, and TSS on the same trace, with goodput,
-//! lost work, and stranded time per recovery policy.
+//! lost work, and stranded time per recovery policy, then the preemption
+//! continuum — in-place suspend vs checkpoint-restart vs migration — on
+//! the same failure schedule.
 //!
 //! A processor failure kills the job running on it (its memory image is
 //! gone) and the job restarts from scratch; a *suspended* job whose
 //! reserved processor died is handled by the recovery policy — wait for
 //! the repair, resubmit from scratch, or remap onto other processors.
+//! With `PreemptionMode::Checkpoint` the kill instead rolls back to the
+//! last periodic image, and `PreemptionMode::Migrate` additionally lets
+//! the restart land on any free set.
 //!
 //! ```text
 //! cargo run --release --example faults
@@ -85,6 +90,38 @@ fn main() {
             r.sim.faults.jobs_killed + r.sim.faults.job_crashes,
             r.sim.faults.stranded_secs,
             r.report.overall.mean_turnaround,
+            r.report.overall.mean_slowdown,
+        );
+    }
+
+    // The continuum: same scheduler, same failure schedule (MTBF 1M s is
+    // dense enough for kills to dominate), three ways of holding state.
+    println!("\npreemption modes under ss:2.0 at MTBF 1,000,000 s (resubmit):");
+    println!(
+        "{:>12} {:>7} {:>12} {:>11} {:>10} {:>9} {:>9}",
+        "mode", "kills", "lost proc-s", "ckpt proc-s", "migrations", "goodput", "slowdown"
+    );
+    for mode in PreemptionMode::ALL {
+        let r = ExperimentConfig::new(SDSC, SchedulerKind::Ss { sf: 2.0 })
+            .with_jobs(JOBS)
+            .with_seed(SEED)
+            .with_load_factor(1.2)
+            .with_faults(
+                FaultModel::proc_faults(1_000_000, MTTR, 13)
+                    .with_recovery(RecoveryPolicy::Resubmit),
+            )
+            .with_preemption(mode)
+            .with_checkpoint(CheckpointModel::paper().with_interval(1_800))
+            .run();
+        let f = r.sim.faults;
+        println!(
+            "{:>12} {:>7} {:>12} {:>11} {:>10} {:>8.1}% {:>9.2}",
+            mode.to_string(),
+            f.jobs_killed + f.job_crashes,
+            f.lost_work,
+            f.ckpt_overhead,
+            f.migrations,
+            goodput(&r.sim.outcomes, SDSC.procs, f.downtime) * 100.0,
             r.report.overall.mean_slowdown,
         );
     }

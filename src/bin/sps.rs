@@ -29,6 +29,7 @@ use std::fmt::Write as _;
 use std::io::IsTerminal as _;
 
 use selective_preemption::core::admission::AdmissionModel;
+use selective_preemption::core::checkpoint::{CheckpointModel, PreemptionMode};
 use selective_preemption::core::experiment::{default_threads, ExperimentConfig, SchedulerKind};
 use selective_preemption::core::faults::{FaultModel, RecoveryPolicy};
 use selective_preemption::core::overhead::OverheadModel;
@@ -57,11 +58,15 @@ fn usage() -> ! {
     eprintln!("             [--overhead none|paper] [--diurnal A] [--worst] [--csv PREFIX]");
     eprintln!("             [--mtbf SECS] [--mttr SECS] [--recovery wait|resubmit|remap]");
     eprintln!("             [--fault-seed N] [--threads N]");
+    eprintln!("             [--preemption suspend|checkpoint|migrate] [--ckpt-interval SECS]");
+    eprintln!("             [--ckpt-rate MB/S] [--ckpt-contention]");
     eprintln!("             [--arrivals SPEC] [--until DUR|Nj] [--warmup DUR] [--admission SPEC]");
     eprintln!("  sps sweep  --system <CTC|SDSC|KTH> --sched <SPEC> [--sched <SPEC>...]");
     eprintln!("             [--loads F,F,...] [--jobs N] [--seed N] [--reps N] [--threads N]");
     eprintln!("             [--estimates accurate|mixture] [--overhead none|paper]");
     eprintln!("             [--format table|csv|json] [--out FILE] [--progress|--no-progress]");
+    eprintln!("             [--mtbf SECS] [--mttr SECS] [--recovery ...] [--preemption ...]");
+    eprintln!("             [--budget MS] [--retries N]");
     eprintln!("             [--arrivals SPEC] [--until DUR|Nj] [--warmup DUR] [--admission SPEC]");
     eprintln!("  sps report [--system <CTC|SDSC|KTH>] [--sched <SPEC>...] [--sf F]");
     eprintln!("             [--jobs N] [--load F] [--loads F,F,...] [--seed N] [--reps N]");
@@ -86,6 +91,14 @@ fn usage() -> ! {
     eprintln!("faults: --mtbf enables per-processor failures (exponential, mean SECS);");
     eprintln!("        --mttr sets the repair time mean (default 1800 s); --recovery picks");
     eprintln!("        what happens to suspended jobs whose processors died");
+    eprintln!("preemption: --preemption picks how preempted/killed jobs hold their state:");
+    eprintln!("        suspend (in place, the paper's model), checkpoint (periodic images");
+    eprintln!("        bound lost work to one --ckpt-interval; restore stalls on restart),");
+    eprintln!("        migrate (checkpoint + restart on any free set); --ckpt-rate sets the");
+    eprintln!("        per-processor image bandwidth and --ckpt-contention fair-shares it");
+    eprintln!("sweep budget: --budget caps the sweep's wall clock in ms — queued runs past");
+    eprintln!("        the deadline are skipped and in-flight runs abort with partial");
+    eprintln!("        metrics; --retries re-runs panicked workers with backoff");
     eprintln!("open system: --arrivals picks the arrival process:");
     eprintln!("        trace | poisson[:load] | mmpp:[load,]burst,dwell |");
     eprintln!("        ramp:from,to,over | diurnal:[load,]amplitude");
@@ -121,6 +134,12 @@ struct Args {
     mttr: Option<i64>,
     recovery: Option<RecoveryPolicy>,
     fault_seed: Option<u64>,
+    preemption: Option<PreemptionMode>,
+    ckpt_interval: Option<Secs>,
+    ckpt_rate: Option<f64>,
+    ckpt_contention: bool,
+    budget: Option<u64>,
+    retries: Option<u32>,
     loads: Option<Vec<f64>>,
     reps: Option<usize>,
     threads: Option<usize>,
@@ -164,6 +183,38 @@ impl Args {
             model = model.with_fault_seed(seed);
         }
         model
+    }
+
+    /// The preemption mode the flags describe (in-place suspension — the
+    /// paper's model — by default). Checkpoint-tuning flags without a
+    /// checkpointing mode are a user error, not a silent no-op.
+    fn preemption(&self) -> PreemptionMode {
+        let mode = self.preemption.unwrap_or_default();
+        if !mode.checkpoints()
+            && (self.ckpt_interval.is_some() || self.ckpt_rate.is_some() || self.ckpt_contention)
+        {
+            fail("--ckpt-interval/--ckpt-rate/--ckpt-contention need --preemption checkpoint|migrate");
+        }
+        mode
+    }
+
+    /// Assemble the checkpoint cost model (paper-calibrated defaults;
+    /// inert unless [`Args::preemption`] selects a checkpointing mode).
+    fn checkpoint(&self) -> CheckpointModel {
+        let mut model = CheckpointModel::paper();
+        if let Some(interval) = self.ckpt_interval {
+            if interval < 1 {
+                fail("--ckpt-interval must be at least 1 second");
+            }
+            model = model.with_interval(interval);
+        }
+        if let Some(rate) = self.ckpt_rate {
+            if !rate.is_finite() || rate <= 0.0 {
+                fail("--ckpt-rate must be a positive MB/s");
+            }
+            model = model.with_rate(rate);
+        }
+        model.with_contention(self.ckpt_contention)
     }
 }
 
@@ -214,15 +265,30 @@ fn parse_args(mut argv: std::vec::IntoIter<String>) -> Args {
             "--mtbf" => args.mtbf = Some(value().parse().unwrap_or_else(|_| fail("bad --mtbf"))),
             "--mttr" => args.mttr = Some(value().parse().unwrap_or_else(|_| fail("bad --mttr"))),
             "--recovery" => {
-                let name = value();
-                args.recovery = Some(RecoveryPolicy::from_name(&name).unwrap_or_else(|| {
-                    fail(&format!(
-                        "unknown recovery policy {name:?} (wait, resubmit, remap)"
-                    ))
-                }));
+                args.recovery = Some(value().parse().unwrap_or_else(|e| fail(&format!("{e}"))))
             }
             "--fault-seed" => {
                 args.fault_seed = Some(value().parse().unwrap_or_else(|_| fail("bad --fault-seed")))
+            }
+            "--preemption" => {
+                args.preemption = Some(value().parse().unwrap_or_else(|e| fail(&format!("{e}"))))
+            }
+            "--ckpt-interval" => {
+                args.ckpt_interval = Some(
+                    value()
+                        .parse()
+                        .unwrap_or_else(|_| fail("bad --ckpt-interval")),
+                )
+            }
+            "--ckpt-rate" => {
+                args.ckpt_rate = Some(value().parse().unwrap_or_else(|_| fail("bad --ckpt-rate")))
+            }
+            "--ckpt-contention" => args.ckpt_contention = true,
+            "--budget" => {
+                args.budget = Some(value().parse().unwrap_or_else(|_| fail("bad --budget")))
+            }
+            "--retries" => {
+                args.retries = Some(value().parse().unwrap_or_else(|_| fail("bad --retries")))
             }
             "--loads" => {
                 args.loads = Some(
@@ -295,6 +361,8 @@ fn report(jobs: Vec<Job>, procs: u32, args: &Args) {
         fail("at least one --sched required");
     }
     let faults = args.faults();
+    let pmode = args.preemption();
+    let ckpt = args.checkpoint();
     let admission = args.admission.unwrap_or_else(AdmissionModel::none);
     let until = args.until.unwrap_or_default();
     let warmup = args.warmup.unwrap_or(0);
@@ -322,6 +390,7 @@ fn report(jobs: Vec<Job>, procs: u32, args: &Args) {
                 let sim =
                     Simulator::with_overhead(jobs.clone(), procs, scheds[i].build(), overhead)
                         .with_faults(faults)
+                        .with_preemption(pmode, ckpt)
                         .with_admission(admission)
                         .with_until(until)
                         .with_warmup(warmup)
@@ -373,6 +442,12 @@ fn report(jobs: Vec<Job>, procs: u32, args: &Args) {
                 res.faults.stranded_secs,
                 goodput(&res.outcomes, procs, res.faults.downtime) * 100.0,
             );
+            if res.faults.migrations > 0 || res.faults.ckpt_overhead > 0 {
+                println!(
+                    "{:<14}   migrations {:>4}  checkpoint overhead {:>9} proc-s",
+                    "", res.faults.migrations, res.faults.ckpt_overhead,
+                );
+            }
         }
         if res.rejections.any() {
             println!(
@@ -453,6 +528,8 @@ fn open_run(system: SystemPreset, args: &Args) {
                 .with_estimates(args.estimates)
                 .with_overhead(args.overhead)
                 .with_faults(args.faults())
+                .with_preemption(args.preemption())
+                .with_checkpoint(args.checkpoint())
                 .with_arrivals(spec)
                 .with_admission(admission)
         })
@@ -644,9 +721,6 @@ fn main() {
             if args.scheds.is_empty() {
                 fail("at least one --sched required");
             }
-            if args.mtbf.is_some() || args.mttr.is_some() || args.recovery.is_some() {
-                fail("fault injection is not supported by sweep (use run)");
-            }
             if args.diurnal > 0.0 {
                 fail("--diurnal is not supported by sweep");
             }
@@ -656,9 +730,18 @@ fn main() {
                 .with_seed(args.seed)
                 .with_reps(args.reps.unwrap_or(1))
                 .with_estimates(args.estimates)
-                .with_overhead(args.overhead);
+                .with_overhead(args.overhead)
+                .with_faults(args.faults())
+                .with_preemption(args.preemption())
+                .with_checkpoint(args.checkpoint());
             if let Some(n) = args.jobs {
                 spec = spec.with_jobs(n);
+            }
+            if let Some(budget) = args.budget {
+                spec = spec.with_wall_budget(budget);
+            }
+            if let Some(retries) = args.retries {
+                spec = spec.with_retries(retries);
             }
             if let Some(arrivals) = args.arrivals {
                 spec = spec.with_arrivals(arrivals);
@@ -736,9 +819,6 @@ fn main() {
             };
             let n_jobs = args.jobs.unwrap_or(system.default_jobs);
             let faults = args.faults();
-            if args.loads.is_some() && faults.enabled() {
-                fail("--loads (sweep section) does not support fault injection");
-            }
             let admission = args.admission.unwrap_or_else(AdmissionModel::none);
             let config = |kind| {
                 ExperimentConfig::new(system, kind)
@@ -748,6 +828,8 @@ fn main() {
                     .with_estimates(args.estimates)
                     .with_overhead(args.overhead)
                     .with_faults(faults)
+                    .with_preemption(args.preemption())
+                    .with_checkpoint(args.checkpoint())
                     .with_admission(admission)
             };
             config(scheds[0])
@@ -787,6 +869,17 @@ fn main() {
                     w,
                     "- faults: per-processor MTBF {mtbf} s, MTTR {} s",
                     args.mttr.unwrap_or(1_800)
+                );
+            }
+            if args.preemption().checkpoints() {
+                let ckpt = args.checkpoint();
+                let _ = writeln!(
+                    w,
+                    "- preemption: {} (checkpoint every {} s at {} MB/s per proc{})",
+                    args.preemption(),
+                    ckpt.interval,
+                    ckpt.mb_per_sec,
+                    if ckpt.contention { ", contended" } else { "" },
                 );
             }
             let _ = writeln!(w);
@@ -910,6 +1003,9 @@ fn main() {
                     .with_reps(args.reps.unwrap_or(1))
                     .with_estimates(args.estimates)
                     .with_overhead(args.overhead)
+                    .with_faults(faults)
+                    .with_preemption(args.preemption())
+                    .with_checkpoint(args.checkpoint())
                     .with_telemetry(true);
                 let threads = args.threads.unwrap_or_else(default_threads);
                 let progress = args
@@ -1008,7 +1104,9 @@ fn main() {
                 .with_load_factor(args.load)
                 .with_estimates(args.estimates)
                 .with_overhead(args.overhead)
-                .with_faults(args.faults());
+                .with_faults(args.faults())
+                .with_preemption(args.preemption())
+                .with_checkpoint(args.checkpoint());
             if let Some(n) = args.jobs {
                 cfg = cfg.with_jobs(n);
             }

@@ -45,6 +45,7 @@ pub use sps_workload as workload;
 pub mod prelude {
     pub use sps_cluster::{Cluster, ProcSet};
     pub use sps_core::admission::AdmissionModel;
+    pub use sps_core::checkpoint::{CheckpointModel, PreemptionMode};
     #[allow(deprecated)] // shims stay importable during the migration window
     pub use sps_core::experiment::run_many;
     pub use sps_core::experiment::{

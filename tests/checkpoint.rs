@@ -1,0 +1,212 @@
+//! End-to-end preemption-continuum scenarios: byte-identity with the
+//! modes off, the bounded-loss property of periodic checkpoints, the
+//! goodput case for checkpoint-restart under failures, and replay
+//! validation of migrated-claim traces via the self-describing header.
+
+use selective_preemption::prelude::*;
+use selective_preemption::trace::{validate_records, ReplayOptions};
+use selective_preemption::workload::traces::SDSC;
+
+fn base(kind: SchedulerKind) -> ExperimentConfig {
+    ExperimentConfig::new(SDSC, kind)
+        .with_jobs(400)
+        .with_seed(7)
+        .with_load_factor(1.2)
+}
+
+fn faulty(kind: SchedulerKind, mtbf: i64, recovery: RecoveryPolicy) -> ExperimentConfig {
+    base(kind).with_faults(FaultModel::proc_faults(mtbf, 3_600, 13).with_recovery(recovery))
+}
+
+#[test]
+fn inplace_mode_changes_nothing() {
+    // `PreemptionMode::InPlace` (the default) plus any checkpoint model
+    // must be indistinguishable from never configuring the continuum at
+    // all — including the trace byte stream. This is the modes-off
+    // byte-identity guarantee behind the golden hashes.
+    let cfg = base(SchedulerKind::Ss { sf: 2.0 });
+    let mut plain_sink = MemorySink::new();
+    let plain = cfg.runner().trace_sink(&mut plain_sink).run();
+    let mut inert_sink = MemorySink::new();
+    let inert = cfg
+        .clone()
+        .with_preemption(PreemptionMode::InPlace)
+        .with_checkpoint(CheckpointModel::paper().with_interval(60))
+        .runner()
+        .trace_sink(&mut inert_sink)
+        .run();
+    assert_eq!(plain_sink.records(), inert_sink.records());
+    assert_eq!(plain.sim.faults, inert.sim.faults);
+    assert_eq!(
+        plain.report.overall.mean_turnaround,
+        inert.report.overall.mean_turnaround
+    );
+    assert_eq!(inert.sim.faults.ckpt_overhead, 0);
+    assert_eq!(inert.sim.faults.migrations, 0);
+}
+
+#[test]
+fn checkpoints_bound_lost_work_to_one_interval_per_kill() {
+    // The core property of periodic checkpoints: a kill destroys only the
+    // work since the last checkpoint — strictly less than one interval per
+    // processor held. The aggregate counters must respect the bound
+    // kills x interval x machine-size across seeds and MTBFs.
+    let interval: i64 = 1_800;
+    for (seed, mtbf) in [(13u64, 2_000_000i64), (29, 5_000_000), (47, 1_000_000)] {
+        let cfg = base(SchedulerKind::Ss { sf: 2.0 })
+            .with_faults(
+                FaultModel::proc_faults(mtbf, 3_600, seed).with_recovery(RecoveryPolicy::Resubmit),
+            )
+            .with_preemption(PreemptionMode::Checkpoint)
+            .with_checkpoint(CheckpointModel::paper().with_interval(interval));
+        let r = cfg.run();
+        assert_eq!(r.sim.status, RunStatus::Completed, "seed {seed}");
+        let f = &r.sim.faults;
+        assert!(f.jobs_killed > 0, "seed {seed}: faults must bite");
+        let bound = f.jobs_killed as i64 * interval * SDSC.procs as i64;
+        assert!(
+            f.lost_work <= bound,
+            "seed {seed}: lost {} > bound {bound} ({} kills)",
+            f.lost_work,
+            f.jobs_killed
+        );
+        assert!(f.ckpt_overhead > 0, "seed {seed}: images are not free");
+    }
+}
+
+#[test]
+fn checkpointing_loses_less_work_than_inplace() {
+    // Same seeds, same failure sequence: rolling a killed job back to its
+    // last checkpoint must destroy less accumulated work than rolling it
+    // back to zero.
+    let inplace = faulty(
+        SchedulerKind::Ss { sf: 2.0 },
+        2_000_000,
+        RecoveryPolicy::Resubmit,
+    )
+    .run();
+    let ckpt = faulty(
+        SchedulerKind::Ss { sf: 2.0 },
+        2_000_000,
+        RecoveryPolicy::Resubmit,
+    )
+    .with_preemption(PreemptionMode::Checkpoint)
+    .with_checkpoint(CheckpointModel::paper().with_interval(1_800))
+    .run();
+    assert!(inplace.sim.faults.jobs_killed > 0);
+    assert!(ckpt.sim.faults.jobs_killed > 0);
+    assert!(
+        ckpt.sim.faults.lost_work < inplace.sim.faults.lost_work,
+        "checkpointed {} vs in-place {}",
+        ckpt.sim.faults.lost_work,
+        inplace.sim.faults.lost_work
+    );
+}
+
+#[test]
+fn checkpointing_improves_goodput_over_plain_resubmit() {
+    // The acceptance experiment: under failures with Resubmit recovery,
+    // enabling checkpoint-restart must strictly improve goodput — the
+    // restore stalls and image traffic cost less than the work the kills
+    // no longer destroy.
+    // MTBF 1M s: dense enough that redone work visibly drags goodput
+    // (the 2M-s regime of tests/faults.rs loses too little to measure),
+    // sparse enough that the uncheckpointed run still terminates.
+    for kind in [
+        SchedulerKind::Ss { sf: 2.0 },
+        SchedulerKind::Tss { sf: 2.0 },
+    ] {
+        let plain = faulty(kind, 1_000_000, RecoveryPolicy::Resubmit).run();
+        let ckpt = faulty(kind, 1_000_000, RecoveryPolicy::Resubmit)
+            .with_preemption(PreemptionMode::Checkpoint)
+            .with_checkpoint(CheckpointModel::paper().with_interval(1_800))
+            .run();
+        let g_plain = goodput(&plain.sim.outcomes, SDSC.procs, plain.sim.faults.downtime);
+        let g_ckpt = goodput(&ckpt.sim.outcomes, SDSC.procs, ckpt.sim.faults.downtime);
+        assert!(
+            g_ckpt > g_plain,
+            "{kind:?}: checkpointed goodput {g_ckpt:.4} must beat plain {g_plain:.4}"
+        );
+    }
+}
+
+#[test]
+fn migrate_mode_runs_complete_and_their_traces_validate() {
+    // Migration decouples suspended claims from their processors. The
+    // trace embeds `"preemption": "migrate"` in its header, so the replay
+    // validator relaxes the placement rule on its own — no
+    // `allow_migration` flag needed.
+    for recovery in RecoveryPolicy::ALL {
+        let cfg = faulty(SchedulerKind::Ss { sf: 2.0 }, 2_000_000, recovery)
+            .with_preemption(PreemptionMode::Migrate)
+            .with_checkpoint(CheckpointModel::paper().with_interval(1_800));
+        let mut sink = MemorySink::new();
+        let r = cfg.runner().trace_sink(&mut sink).run();
+        assert_eq!(r.sim.status, RunStatus::Completed, "{recovery}");
+        assert_eq!(r.report.overall.count, 400, "{recovery}");
+        let stats = validate_records(sink.records(), ReplayOptions::default())
+            .unwrap_or_else(|v| panic!("{recovery}: {v:?}"));
+        assert_eq!(stats.completions, 400);
+        assert_eq!(
+            stats.migrations as u64, r.sim.faults.migrations,
+            "{recovery}: validator and kernel must agree on migration count"
+        );
+    }
+}
+
+#[test]
+fn migrate_mode_unpins_suspended_claims() {
+    // Under WaitForRepair a dead processor strands every in-place
+    // suspended claim on it for the whole repair; with migration the
+    // scheduler may restart those jobs elsewhere instead.
+    let mut stranded_inplace = 0;
+    let mut stranded_migrate = 0;
+    for mtbf in [10_000_000, 5_000_000, 2_000_000] {
+        let inplace = faulty(
+            SchedulerKind::Ss { sf: 2.0 },
+            mtbf,
+            RecoveryPolicy::WaitForRepair,
+        )
+        .run();
+        let migrate = faulty(
+            SchedulerKind::Ss { sf: 2.0 },
+            mtbf,
+            RecoveryPolicy::WaitForRepair,
+        )
+        .with_preemption(PreemptionMode::Migrate)
+        .run();
+        assert_eq!(inplace.sim.status, RunStatus::Completed);
+        assert_eq!(migrate.sim.status, RunStatus::Completed);
+        stranded_inplace += inplace.sim.faults.stranded_secs;
+        stranded_migrate += migrate.sim.faults.stranded_secs;
+    }
+    assert!(stranded_inplace > 0, "in-place claims must strand");
+    assert!(
+        stranded_migrate < stranded_inplace,
+        "migration must relieve stranding: {stranded_migrate} vs {stranded_inplace}"
+    );
+}
+
+#[test]
+fn checkpoint_config_round_trips_through_json() {
+    let cfg = faulty(
+        SchedulerKind::Tss { sf: 2.0 },
+        5_000_000,
+        RecoveryPolicy::Resubmit,
+    )
+    .with_preemption(PreemptionMode::Migrate)
+    .with_checkpoint(
+        CheckpointModel::paper()
+            .with_interval(900)
+            .with_rate(4.0)
+            .with_contention(true),
+    );
+    let json = cfg.to_json().render();
+    assert!(json.contains("\"preemption\":\"migrate\""), "{json}");
+    assert!(json.contains("\"checkpoint\""), "{json}");
+    // Modes off: the keys vanish so configs predating the continuum
+    // parse (and hash) the same.
+    let off = base(SchedulerKind::Ss { sf: 2.0 }).to_json().render();
+    assert!(!off.contains("preemption"), "{off}");
+    assert!(!off.contains("checkpoint"), "{off}");
+}

@@ -48,9 +48,11 @@ impl Policy for Validating {
 /// and resumes for progress, plus occasional arbitrary suspensions. This
 /// exercises event interleavings (e.g. suspending a job that is mid-drain
 /// at the next tick, resuming into a just-failed set) that the real
-/// policies rarely produce.
+/// policies rarely produce. With `migrate` set it also resumes remappable
+/// jobs onto arbitrary free sets instead of their original processors.
 struct Chaos {
     rng: u64,
+    migrate: bool,
 }
 
 impl Chaos {
@@ -88,6 +90,17 @@ impl Policy for Chaos {
             suspended.rotate_left(k);
         }
         for id in suspended {
+            // Remappable jobs occasionally restart on an arbitrary free
+            // set — the migration path the in-place resume never takes.
+            if self.migrate && state.can_remap(id) && self.next().is_multiple_of(2) {
+                let need = state.job(id).procs;
+                if need <= free.count() {
+                    let set = free.take_lowest(need).expect("count checked");
+                    free.subtract(&set);
+                    actions.push(Action::ResumeOn(id, set));
+                }
+                continue;
+            }
             let set = state.assigned_set(id).expect("suspended job keeps a set");
             if set.is_subset(&free) {
                 free.subtract(set);
@@ -114,14 +127,38 @@ fn run_validated(
     overhead: OverheadModel,
     faults: FaultModel,
 ) -> u64 {
+    run_validated_with(
+        policy,
+        jobs,
+        seed,
+        overhead,
+        faults,
+        PreemptionMode::InPlace,
+    )
+}
+
+/// [`run_validated`] with an explicit preemption mode (checkpoint model
+/// fixed to a short contended interval so image costs actually fire).
+fn run_validated_with(
+    policy: Box<dyn Policy>,
+    jobs: usize,
+    seed: u64,
+    overhead: OverheadModel,
+    faults: FaultModel,
+    pmode: PreemptionMode,
+) -> u64 {
     let checks = Rc::new(Cell::new(0));
     let wrapped = Box::new(Validating {
         inner: policy,
         checks: Rc::clone(&checks),
     });
+    let ckpt = CheckpointModel::paper()
+        .with_interval(900)
+        .with_contention(true);
     let jobs = SyntheticConfig::new(SDSC, seed).with_jobs(jobs).generate();
     let res = Simulator::with_overhead(jobs, SDSC.procs, wrapped, overhead)
         .with_faults(faults)
+        .with_preemption(pmode, ckpt)
         .run();
     assert!(!res.status.is_aborted(), "run must complete");
     assert_eq!(res.unfinished, 0);
@@ -182,6 +219,7 @@ fn invariants_hold_under_random_action_sequences() {
     for seed in 1..=4u64 {
         let chaos = Box::new(Chaos {
             rng: 0x9e37_79b9_7f4a_7c15 ^ seed,
+            migrate: false,
         });
         let overhead = if seed.is_multiple_of(2) {
             OverheadModel::MemoryDrain { mb_per_sec: 2.0 }
@@ -197,6 +235,7 @@ fn invariants_hold_under_random_action_sequences() {
 fn invariants_hold_under_chaos_with_faults() {
     let chaos = Box::new(Chaos {
         rng: 0xdead_beef_cafe_f00d,
+        migrate: false,
     });
     let faults = FaultModel::proc_faults(5_000_000, 3_600, 77).with_recovery(RecoveryPolicy::Remap);
     run_validated(
@@ -205,5 +244,47 @@ fn invariants_hold_under_chaos_with_faults() {
         17,
         OverheadModel::MemoryDrain { mb_per_sec: 1.0 },
         faults,
+    );
+}
+
+#[test]
+fn invariants_hold_under_chaos_with_migration() {
+    // Migrate mode makes every suspended job remappable, so the chaos
+    // policy's arbitrary ResumeOn placements — plus checkpoint restores
+    // and fault kills — must keep every incremental structure honest.
+    for seed in [17u64, 23] {
+        let chaos = Box::new(Chaos {
+            rng: 0x0123_4567_89ab_cdef ^ seed,
+            migrate: true,
+        });
+        let faults = FaultModel::proc_faults(5_000_000, 3_600, seed)
+            .with_recovery(RecoveryPolicy::Resubmit)
+            .with_job_crash(0.02);
+        let checks = run_validated_with(
+            chaos,
+            150,
+            seed,
+            OverheadModel::MemoryDrain { mb_per_sec: 2.0 },
+            faults,
+            PreemptionMode::Migrate,
+        );
+        assert!(checks > 100, "validated {checks} instants");
+    }
+}
+
+#[test]
+fn invariants_hold_under_checkpoint_mode_schedulers() {
+    // The real SS policy under checkpoint-restart: restore stalls stretch
+    // remaining runtimes, kills roll back to the last image.
+    let policy: SchedulerKind = "ss:2".parse().unwrap();
+    let faults =
+        FaultModel::proc_faults(5_000_000, 3_600, 41).with_recovery(RecoveryPolicy::Resubmit);
+    run_validated_with(
+        policy.build(),
+        200,
+        19,
+        OverheadModel::MemoryDrain { mb_per_sec: 2.0 },
+        faults,
+        PreemptionMode::Checkpoint,
     );
 }
