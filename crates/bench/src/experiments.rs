@@ -30,7 +30,7 @@ fn cache() -> &'static Mutex<HashMap<String, RunResult>> {
 
 fn key_of(cfg: &ExperimentConfig) -> String {
     format!(
-        "{}|{}|{}|{:.4}|{:?}|{:?}|{}|{}|{:?}|{:?}|{:?}",
+        "{}|{}|{}|{:.4}|{:?}|{:?}|{}|{}|{:?}|{:?}|{:?}|{}|{}",
         cfg.system.name,
         cfg.n_jobs,
         cfg.seed,
@@ -41,7 +41,9 @@ fn key_of(cfg: &ExperimentConfig) -> String {
         cfg.tick_period,
         cfg.faults,
         cfg.preemption,
-        cfg.checkpoint
+        cfg.checkpoint,
+        cfg.speed,
+        cfg.speed_aware
     )
 }
 

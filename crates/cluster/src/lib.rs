@@ -13,12 +13,17 @@
 //! * [`Cluster`] — free-set bookkeeping with checked allocate/release,
 //! * [`Profile`] — the future-availability profile (processor *counts* over
 //!   time) that backfilling schedulers use to compute "anchor points" and
-//!   reservations.
+//!   reservations,
+//! * [`SpeedMap`] — per-processor speed factors for the unrelated-machines
+//!   extension (uniform 1.0 by default, which degenerates to the paper's
+//!   identical-processor model bit for bit).
 
 pub mod machine;
 pub mod procset;
 pub mod profile;
+pub mod speed;
 
 pub use machine::Cluster;
 pub use procset::ProcSet;
 pub use profile::{AvailabilityProfile, Profile, Reservation};
+pub use speed::{secs_for, work_done, ParseSpeedError, SpeedMap, SpeedSpec};

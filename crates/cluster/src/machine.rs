@@ -7,18 +7,26 @@
 //! to miss — every transition is checked.
 
 use crate::procset::ProcSet;
+use crate::speed::SpeedMap;
 
-/// A homogeneous cluster of `total` processors with checked allocation.
+/// A cluster of `total` processors with checked allocation.
 ///
 /// Processors are in exactly one of three states: **free** (allocatable),
 /// **busy** (held by a job — ownership tracked by the simulator), or
 /// **down** (failed, awaiting repair). The free set never contains a down
 /// processor, so allocation paths need no failure awareness of their own.
+///
+/// By default the cluster is homogeneous (every processor at speed 1.0).
+/// Installing a non-trivial [`SpeedMap`] via [`Cluster::set_speed`] makes
+/// [`Cluster::allocate`] prefer the fastest free processors (unless the
+/// map is placement-blind) and lets the simulator convert between
+/// wall-seconds and work-units through [`Cluster::speed_of`].
 #[derive(Clone, Debug)]
 pub struct Cluster {
     total: u32,
     free: ProcSet,
     down: ProcSet,
+    speed: SpeedMap,
 }
 
 impl Cluster {
@@ -29,7 +37,34 @@ impl Cluster {
             total,
             free: ProcSet::full(total),
             down: ProcSet::empty(total),
+            speed: SpeedMap::uniform(total),
         }
+    }
+
+    /// Install per-processor speed factors. The map must cover exactly the
+    /// machine.
+    pub fn set_speed(&mut self, speed: SpeedMap) {
+        assert_eq!(
+            speed.len(),
+            self.total,
+            "speed map covers {} processors, machine has {}",
+            speed.len(),
+            self.total
+        );
+        self.speed = speed;
+    }
+
+    /// The machine's speed map.
+    #[inline]
+    pub fn speed_map(&self) -> &SpeedMap {
+        &self.speed
+    }
+
+    /// The gang-synchronous rate of a job on `set` (speed of its slowest
+    /// processor).
+    #[inline]
+    pub fn speed_of(&self, set: &ProcSet) -> f64 {
+        self.speed.min_over(set)
     }
 
     /// Total processor count.
@@ -80,12 +115,14 @@ impl Cluster {
         &self.free
     }
 
-    /// Allocate the `n` lowest-numbered free processors.
+    /// Allocate `n` free processors: the lowest-numbered ones on a
+    /// homogeneous (or placement-blind) machine, the fastest ones —
+    /// ties broken by lowest index — under a speed-aware [`SpeedMap`].
     ///
     /// Returns the allocated set, or `None` if fewer than `n` are free.
-    /// Lowest-numbered-first keeps simulations deterministic.
+    /// Both orders are deterministic, so runs stay reproducible.
     pub fn allocate(&mut self, n: u32) -> Option<ProcSet> {
-        let set = self.free.take_lowest(n)?;
+        let set = self.speed.take_fastest(&self.free, n)?;
         self.free.subtract(&set);
         Some(set)
     }
@@ -248,6 +285,35 @@ mod tests {
         c.repair(1);
         c.repair(1); // now up — no-op
         assert_eq!(c.free_count(), 4);
+    }
+
+    #[test]
+    fn speed_aware_allocation_prefers_fast_processors() {
+        use crate::speed::SpeedSpec;
+        let mut c = Cluster::new(8);
+        c.set_speed(SpeedMap::from_spec(
+            &"tiers:0.5x4+2x4".parse::<SpeedSpec>().unwrap(),
+            8,
+        ));
+        let a = c.allocate(3).unwrap();
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![4, 5, 6]);
+        assert_eq!(c.speed_of(&a), 2.0);
+        // Fast tier exhausted: the next allocation is stuck at the slow
+        // gang rate, so best-fit burns slow procs and keeps the last fast
+        // processor (7) free for a later arrival that could use it fully.
+        let b = c.allocate(3).unwrap();
+        assert_eq!(b.iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(c.speed_of(&b), 0.5);
+        assert!(c.free_set().contains(7));
+        // A blind map keeps the homogeneous order, speeds still reported.
+        let mut blind = Cluster::new(8);
+        blind.set_speed(
+            SpeedMap::from_spec(&"tiers:0.5x4+2x4".parse::<SpeedSpec>().unwrap(), 8)
+                .with_aware(false),
+        );
+        let d = blind.allocate(3).unwrap();
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(blind.speed_of(&d), 0.5);
     }
 
     #[test]

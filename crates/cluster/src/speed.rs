@@ -1,0 +1,522 @@
+//! Per-processor speed factors: the unrelated-machines substrate.
+//!
+//! The paper's model assumes identical processors, so "seconds elapsed"
+//! and "work done" are the same number everywhere. A [`SpeedMap`] breaks
+//! that identity: processor `p` retires `speed(p)` work-units per second,
+//! and a rigid job running gang-synchronously progresses at the speed of
+//! its **slowest** assigned processor ([`SpeedMap::min_over`]). The two
+//! conversion helpers [`secs_for`] and [`work_done`] are the only places
+//! the simulator crosses between wall-seconds and work-units; both are
+//! exact identities at speed 1.0, which is what keeps homogeneous runs
+//! bit-identical to the pre-heterogeneity kernel.
+//!
+//! A map is described by a [`SpeedSpec`] string:
+//!
+//! * `uniform:1.0` — every processor at the same factor (the default),
+//! * `tiers:0.5x64+1.0x64` — explicit tiers filled in index order
+//!   (cycling if the counts undershoot the machine),
+//! * `lognormal:seed` — per-processor factors drawn from a clamped
+//!   lognormal(0, 0.25), seeded for determinism.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::procset::ProcSet;
+
+/// Wall-clock seconds a processor of speed `speed` needs to retire `work`
+/// work-units, rounded up to whole seconds. Exact identity at speed 1.0.
+#[inline]
+pub fn secs_for(work: i64, speed: f64) -> i64 {
+    if speed == 1.0 {
+        return work;
+    }
+    (work as f64 / speed).ceil() as i64
+}
+
+/// Work-units retired by a processor of speed `speed` over `elapsed`
+/// wall-clock seconds, rounded down to whole units. Exact identity at
+/// speed 1.0. For any `0 < remaining` and `elapsed < secs_for(remaining,
+/// speed)`, `work_done(elapsed, speed) < remaining` — a job never
+/// finishes its work before its completion event fires.
+#[inline]
+pub fn work_done(elapsed: i64, speed: f64) -> i64 {
+    if speed == 1.0 {
+        return elapsed;
+    }
+    (elapsed as f64 * speed).floor() as i64
+}
+
+/// A parse/display-able description of a machine's speed factors.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SpeedSpec {
+    /// Every processor at the same factor.
+    Uniform(f64),
+    /// Explicit `(factor, count)` tiers, assigned in index order. If the
+    /// counts undershoot the machine the pattern cycles; a surplus is
+    /// truncated.
+    Tiers(Vec<(f64, u32)>),
+    /// Per-processor factors drawn from lognormal(0, 0.25) clamped to
+    /// `[0.25, 4.0]`, from a deterministic stream on `seed`.
+    Lognormal {
+        /// Generator seed.
+        seed: u64,
+    },
+}
+
+impl SpeedSpec {
+    /// The homogeneous default: `uniform:1`.
+    pub fn uniform_one() -> Self {
+        SpeedSpec::Uniform(1.0)
+    }
+
+    /// Whether this spec describes the homogeneous speed-1.0 machine.
+    pub fn is_uniform_one(&self) -> bool {
+        matches!(self, SpeedSpec::Uniform(s) if *s == 1.0)
+    }
+
+    /// Every factor finite and strictly positive, tiers non-empty with
+    /// non-zero counts.
+    pub fn valid(&self) -> bool {
+        let ok = |s: f64| s.is_finite() && s > 0.0;
+        match self {
+            SpeedSpec::Uniform(s) => ok(*s),
+            SpeedSpec::Tiers(tiers) => {
+                !tiers.is_empty() && tiers.iter().all(|&(s, n)| ok(s) && n > 0)
+            }
+            SpeedSpec::Lognormal { .. } => true,
+        }
+    }
+}
+
+impl Default for SpeedSpec {
+    fn default() -> Self {
+        SpeedSpec::uniform_one()
+    }
+}
+
+impl fmt::Display for SpeedSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpeedSpec::Uniform(s) => write!(f, "uniform:{s}"),
+            SpeedSpec::Tiers(tiers) => {
+                write!(f, "tiers:")?;
+                for (i, (s, n)) in tiers.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "+")?;
+                    }
+                    write!(f, "{s}x{n}")?;
+                }
+                Ok(())
+            }
+            SpeedSpec::Lognormal { seed } => write!(f, "lognormal:{seed}"),
+        }
+    }
+}
+
+/// Error from parsing a [`SpeedSpec`] string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseSpeedError(String);
+
+impl fmt::Display for ParseSpeedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bad speed spec '{}' (expected uniform:S, tiers:SxN+SxN..., or lognormal:SEED)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseSpeedError {}
+
+impl FromStr for SpeedSpec {
+    type Err = ParseSpeedError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseSpeedError(s.to_string());
+        let (kind, rest) = s.split_once(':').ok_or_else(err)?;
+        let spec = match kind {
+            "uniform" => SpeedSpec::Uniform(rest.parse::<f64>().map_err(|_| err())?),
+            "tiers" => {
+                let mut tiers = Vec::new();
+                for part in rest.split('+') {
+                    let (speed, count) = part.split_once('x').ok_or_else(err)?;
+                    tiers.push((
+                        speed.parse::<f64>().map_err(|_| err())?,
+                        count.parse::<u32>().map_err(|_| err())?,
+                    ));
+                }
+                SpeedSpec::Tiers(tiers)
+            }
+            "lognormal" => SpeedSpec::Lognormal {
+                seed: rest.parse::<u64>().map_err(|_| err())?,
+            },
+            _ => return Err(err()),
+        };
+        if !spec.valid() {
+            return Err(err());
+        }
+        Ok(spec)
+    }
+}
+
+/// Per-processor speed factors for one machine, plus the placement-policy
+/// knob: an *aware* map steers allocation toward fast processors, a
+/// *blind* one keeps the homogeneous lowest-numbered placement while work
+/// still accrues at the true (heterogeneous) rates — the ablation pair of
+/// the `hetero_tiers` experiment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpeedMap {
+    factors: Vec<f64>,
+    /// Cached "every factor is exactly 1.0": the homogeneous fast path.
+    uniform_one: bool,
+    aware: bool,
+}
+
+/// splitmix64: the small deterministic stream behind `lognormal:` maps.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[inline]
+fn unit_open(state: &mut u64) -> f64 {
+    // (0, 1): 53 mantissa bits, nudged off zero for the log below.
+    ((splitmix64(state) >> 11) as f64 + 0.5) / (1u64 << 53) as f64
+}
+
+impl SpeedMap {
+    /// The homogeneous speed-1.0 map over `procs` processors.
+    pub fn uniform(procs: u32) -> Self {
+        SpeedMap {
+            factors: vec![1.0; procs as usize],
+            uniform_one: true,
+            aware: true,
+        }
+    }
+
+    /// Materialize `spec` over `procs` processors.
+    pub fn from_spec(spec: &SpeedSpec, procs: u32) -> Self {
+        let factors: Vec<f64> = match spec {
+            SpeedSpec::Uniform(s) => vec![*s; procs as usize],
+            SpeedSpec::Tiers(tiers) => {
+                let mut out = Vec::with_capacity(procs as usize);
+                'fill: loop {
+                    for &(s, n) in tiers {
+                        for _ in 0..n {
+                            if out.len() == procs as usize {
+                                break 'fill;
+                            }
+                            out.push(s);
+                        }
+                    }
+                }
+                out
+            }
+            SpeedSpec::Lognormal { seed } => {
+                let mut state = *seed ^ 0x5ee0_5ee0_5ee0_5ee0;
+                (0..procs)
+                    .map(|_| {
+                        // Box-Muller; sigma 0.25, mu 0, clamped so no
+                        // processor is absurdly slow or fast.
+                        let u = unit_open(&mut state);
+                        let v = unit_open(&mut state);
+                        let z = (-2.0 * u.ln()).sqrt() * (2.0 * std::f64::consts::PI * v).cos();
+                        (0.25 * z).exp().clamp(0.25, 4.0)
+                    })
+                    .collect()
+            }
+        };
+        let uniform_one = factors.iter().all(|&s| s == 1.0);
+        SpeedMap {
+            factors,
+            uniform_one,
+            aware: true,
+        }
+    }
+
+    /// Set the placement-policy knob (aware by default).
+    pub fn with_aware(mut self, aware: bool) -> Self {
+        self.aware = aware;
+        self
+    }
+
+    /// Whether allocation steers toward fast processors.
+    #[inline]
+    pub fn aware(&self) -> bool {
+        self.aware
+    }
+
+    /// Number of processors covered.
+    #[inline]
+    pub fn len(&self) -> u32 {
+        self.factors.len() as u32
+    }
+
+    /// Whether the map covers zero processors.
+    pub fn is_empty(&self) -> bool {
+        self.factors.is_empty()
+    }
+
+    /// Whether every factor is exactly 1.0 (the homogeneous fast path).
+    #[inline]
+    pub fn is_uniform_one(&self) -> bool {
+        self.uniform_one
+    }
+
+    /// Speed factor of processor `p`.
+    #[inline]
+    pub fn speed(&self, p: u32) -> f64 {
+        self.factors[p as usize]
+    }
+
+    /// The gang-synchronous rate of a job on `set`: the speed of the
+    /// slowest processor in it. 1.0 for the empty set (never dispatched).
+    pub fn min_over(&self, set: &ProcSet) -> f64 {
+        if self.uniform_one {
+            return 1.0;
+        }
+        let m = set
+            .iter()
+            .map(|p| self.factors[p as usize])
+            .fold(f64::INFINITY, f64::min);
+        if m.is_finite() {
+            m
+        } else {
+            1.0
+        }
+    }
+
+    /// The best `n` processors of `from` for a gang-synchronous job:
+    /// maximize the achievable gang rate (the minimum speed of the set),
+    /// then among processors fast enough to sustain that rate prefer the
+    /// *slowest* (ties by lowest index). The second step is best-fit, not
+    /// vanity: a 65-wide job on a 64-fast/64-slow machine runs at the slow
+    /// rate no matter what, so handing it the whole fast tier would starve
+    /// every later arrival for zero gain. Degenerates to
+    /// [`ProcSet::take_lowest`] on the homogeneous map or a blind one, so
+    /// uniform runs allocate bit-identically to the pre-heterogeneity
+    /// kernel.
+    pub fn take_fastest(&self, from: &ProcSet, n: u32) -> Option<ProcSet> {
+        if self.uniform_one || !self.aware {
+            return from.take_lowest(n);
+        }
+        self.take_best(from.universe(), from.iter().collect(), n)
+    }
+
+    /// [`SpeedMap::take_fastest`] over `from ∖ excluded`.
+    pub fn take_fastest_excluding(
+        &self,
+        from: &ProcSet,
+        excluded: &ProcSet,
+        n: u32,
+    ) -> Option<ProcSet> {
+        if self.uniform_one || !self.aware {
+            return from.take_lowest_excluding(excluded, n);
+        }
+        let idx: Vec<u32> = from.iter().filter(|&p| !excluded.contains(p)).collect();
+        self.take_best(from.universe(), idx, n)
+    }
+
+    /// Best-fit gang selection over an explicit candidate list: find the
+    /// highest gang rate `n` candidates can sustain, then pick the `n`
+    /// slowest candidates at or above that rate.
+    fn take_best(&self, universe: u32, mut idx: Vec<u32>, n: u32) -> Option<ProcSet> {
+        if (idx.len() as u32) < n {
+            return None;
+        }
+        if n == 0 {
+            return Some(ProcSet::from_indices(universe, std::iter::empty()));
+        }
+        idx.sort_by(|&a, &b| {
+            self.factors[b as usize]
+                .partial_cmp(&self.factors[a as usize])
+                .expect("speed factors are finite")
+                .then(a.cmp(&b))
+        });
+        let gang = self.factors[idx[n as usize - 1] as usize];
+        let mut pick: Vec<u32> = idx
+            .into_iter()
+            .filter(|&p| self.factors[p as usize] >= gang)
+            .collect();
+        pick.sort_by(|&a, &b| {
+            self.factors[a as usize]
+                .partial_cmp(&self.factors[b as usize])
+                .expect("speed factors are finite")
+                .then(a.cmp(&b))
+        });
+        Some(ProcSet::from_indices(
+            universe,
+            pick.into_iter().take(n as usize),
+        ))
+    }
+
+    /// The distinct speed values present, ascending — the machine's
+    /// "tiers" for per-tier metrics, however the map was built.
+    pub fn distinct_speeds(&self) -> Vec<f64> {
+        let mut speeds = self.factors.clone();
+        speeds.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        speeds.dedup();
+        speeds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_strings_round_trip() {
+        for s in [
+            "uniform:1",
+            "uniform:0.5",
+            "tiers:0.5x64+1x64",
+            "tiers:0.25x8+0.5x8+2x16",
+            "lognormal:42",
+        ] {
+            let spec: SpeedSpec = s.parse().unwrap();
+            assert_eq!(spec.to_string(), s);
+            assert_eq!(spec.to_string().parse::<SpeedSpec>().unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        for s in [
+            "",
+            "uniform",
+            "uniform:x",
+            "uniform:0",
+            "uniform:-1",
+            "tiers:",
+            "tiers:1",
+            "tiers:1x0",
+            "tiers:0x4",
+            "lognormal:x",
+            "warp:9",
+        ] {
+            assert!(s.parse::<SpeedSpec>().is_err(), "{s:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn tiers_fill_in_index_order_and_cycle() {
+        let spec: SpeedSpec = "tiers:0.5x2+1x2".parse().unwrap();
+        let map = SpeedMap::from_spec(&spec, 6);
+        let got: Vec<f64> = (0..6).map(|p| map.speed(p)).collect();
+        assert_eq!(got, vec![0.5, 0.5, 1.0, 1.0, 0.5, 0.5]);
+        assert!(!map.is_uniform_one());
+        // Truncation when tiers overshoot.
+        let map = SpeedMap::from_spec(&spec, 3);
+        assert_eq!(map.len(), 3);
+        assert_eq!(map.speed(2), 1.0);
+    }
+
+    #[test]
+    fn uniform_one_detection() {
+        assert!(SpeedMap::uniform(8).is_uniform_one());
+        assert!(SpeedMap::from_spec(&SpeedSpec::Uniform(1.0), 8).is_uniform_one());
+        assert!(!SpeedMap::from_spec(&SpeedSpec::Uniform(2.0), 8).is_uniform_one());
+        let tiers: SpeedSpec = "tiers:1x4+1x4".parse().unwrap();
+        assert!(SpeedMap::from_spec(&tiers, 8).is_uniform_one());
+    }
+
+    #[test]
+    fn lognormal_is_deterministic_and_clamped() {
+        let spec = SpeedSpec::Lognormal { seed: 7 };
+        let a = SpeedMap::from_spec(&spec, 430);
+        let b = SpeedMap::from_spec(&spec, 430);
+        assert_eq!(a, b);
+        assert!((0..430).all(|p| (0.25..=4.0).contains(&a.speed(p))));
+        assert!(!a.is_uniform_one(), "a 430-draw stream hits non-1.0 values");
+        let c = SpeedMap::from_spec(&SpeedSpec::Lognormal { seed: 8 }, 430);
+        assert_ne!(a, c, "seeds produce distinct maps");
+    }
+
+    #[test]
+    fn min_over_takes_the_slowest() {
+        let map = SpeedMap::from_spec(&"tiers:0.5x2+2x2".parse().unwrap(), 4);
+        let slowfast = ProcSet::from_indices(4, [1, 2]);
+        assert_eq!(map.min_over(&slowfast), 0.5);
+        let fast = ProcSet::from_indices(4, [2, 3]);
+        assert_eq!(map.min_over(&fast), 2.0);
+        assert_eq!(SpeedMap::uniform(4).min_over(&fast), 1.0);
+    }
+
+    #[test]
+    fn take_fastest_prefers_fast_then_low_index() {
+        let map = SpeedMap::from_spec(&"tiers:0.5x2+2x2".parse().unwrap(), 4);
+        let free = ProcSet::full(4);
+        // Two procs fit entirely in the fast tier at gang rate 2.0.
+        let set = map.take_fastest(&free, 2).unwrap();
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![2, 3]);
+        // Three must straddle (gang rate 0.5), so best-fit burns the slow
+        // procs and only one fast proc, leaving proc 3 free for others.
+        let set = map.take_fastest(&free, 3).unwrap();
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert!(map.take_fastest(&free, 5).is_none());
+        // Uniform and blind maps fall back to lowest-numbered placement.
+        assert_eq!(
+            SpeedMap::uniform(4).take_fastest(&free, 3).unwrap(),
+            free.take_lowest(3).unwrap()
+        );
+        assert_eq!(
+            map.clone()
+                .with_aware(false)
+                .take_fastest(&free, 3)
+                .unwrap(),
+            free.take_lowest(3).unwrap()
+        );
+    }
+
+    #[test]
+    fn take_fastest_excluding_matches_difference() {
+        let map = SpeedMap::from_spec(&"tiers:0.5x4+2x4".parse().unwrap(), 8);
+        let free = ProcSet::full(8);
+        let excluded = ProcSet::from_indices(8, [4, 5]);
+        for n in 0..=6 {
+            assert_eq!(
+                map.take_fastest_excluding(&free, &excluded, n),
+                map.take_fastest(&free.difference(&excluded), n),
+                "n={n}"
+            );
+        }
+        assert!(map.take_fastest_excluding(&free, &excluded, 7).is_none());
+    }
+
+    #[test]
+    fn conversions_are_exact_at_unit_speed() {
+        for v in [0i64, 1, 59, 3600, 86_400, i64::MAX / 4] {
+            assert_eq!(secs_for(v, 1.0), v);
+            assert_eq!(work_done(v, 1.0), v);
+        }
+    }
+
+    #[test]
+    fn conversions_never_overcredit() {
+        // elapsed < secs_for(remaining, s)  =>  work_done(elapsed, s) < remaining
+        for &s in &[0.25, 0.3, 0.5, 0.75, 1.0, 1.3, 2.0, 3.9] {
+            for remaining in 1i64..200 {
+                let full = secs_for(remaining, s);
+                assert!(work_done(full, s) >= remaining, "s={s} r={remaining}");
+                for elapsed in 0..full {
+                    assert!(
+                        work_done(elapsed, s) < remaining,
+                        "s={s} r={remaining} e={elapsed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_speeds_are_sorted_and_deduped() {
+        let map = SpeedMap::from_spec(&"tiers:2x2+0.5x2+2x2".parse().unwrap(), 6);
+        assert_eq!(map.distinct_speeds(), vec![0.5, 2.0]);
+        assert_eq!(SpeedMap::uniform(4).distinct_speeds(), vec![1.0]);
+    }
+}

@@ -202,6 +202,19 @@ impl CheckpointModel {
         (per_proc / rate).ceil() as Secs
     }
 
+    /// [`CheckpointModel::image_secs`] for a dispatch running at `speed`:
+    /// the image drains through the holding processors, so a slow tier
+    /// writes (and reads back) its share proportionally slower. Exact at
+    /// `speed == 1.0` — homogeneous machines take the untouched path.
+    pub fn image_secs_at(&self, job: &Job, sharers: usize, speed: f64) -> Secs {
+        let base = self.image_secs(job, sharers);
+        if speed == 1.0 {
+            base
+        } else {
+            (base as f64 / speed).ceil() as Secs
+        }
+    }
+
     /// The executed seconds of a killed job that survive: the latest
     /// periodic checkpoint at or before `executed`. With [`interval`]
     /// `I`, a kill destroys `executed mod I` seconds — strictly less than
@@ -264,6 +277,17 @@ mod tests {
         let m = CheckpointModel::paper();
         assert_eq!(m.image_secs(&job_with_mem(1_024, 1), 1), 512);
         assert_eq!(m.image_secs(&job_with_mem(1_024, 128), 1), 4);
+    }
+
+    #[test]
+    fn image_at_speed_scales_the_drain() {
+        let m = CheckpointModel::paper();
+        let j = job_with_mem(1_024, 1); // 512 s at speed 1.0
+        assert_eq!(m.image_secs_at(&j, 1, 1.0), 512);
+        assert_eq!(m.image_secs_at(&j, 1, 2.0), 256);
+        assert_eq!(m.image_secs_at(&j, 1, 0.5), 1_024);
+        // Fractional speeds round the stall up, never down.
+        assert_eq!(m.image_secs_at(&j, 1, 3.0), 171);
     }
 
     #[test]

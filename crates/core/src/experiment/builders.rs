@@ -1,0 +1,392 @@
+//! The thread-pool batch seam: [`RunError`], [`default_threads`], and the
+//! `run_batch*` family that [`BatchRunner`](crate::runner::BatchRunner)
+//! and the sweep harness drive. Workers pull indices from a shared
+//! counter, so a slow cell never blocks the queue, and per-configuration
+//! `catch_unwind` keeps one poisoned cell from voiding a whole grid.
+
+use std::fmt;
+use std::sync::Arc;
+
+use super::{ConfigError, ExperimentConfig};
+
+/// Why one configuration in a batch produced no result.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub enum RunError {
+    /// The configuration failed [`ExperimentConfig::validate`].
+    Invalid(ConfigError),
+    /// The simulation panicked on every attempt; the last payload message
+    /// and the attempt count are attached. Other configurations in the
+    /// batch are unaffected.
+    Panicked {
+        /// The last attempt's panic payload message.
+        msg: String,
+        /// How many times the configuration was tried (1 without retries).
+        attempts: u32,
+    },
+    /// The batch's wall-clock budget ran out before this configuration
+    /// started ([`crate::sweep::SweepSpec::with_wall_budget`]); the run
+    /// was skipped so the rest of the grid could report partial results.
+    BudgetExhausted,
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Invalid(e) => write!(f, "invalid config: {e}"),
+            RunError::Panicked { msg, attempts: 1 } => {
+                write!(f, "simulation panicked: {msg}")
+            }
+            RunError::Panicked { msg, attempts } => {
+                write!(f, "simulation panicked on all {attempts} attempts: {msg}")
+            }
+            RunError::BudgetExhausted => f.write_str("wall budget exhausted before the run"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// The worker-thread count batch entry points use when the caller doesn't
+/// pass one: the `SPS_THREADS` environment variable if set to a positive
+/// integer, otherwise everything the OS reports.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("SPS_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Fallible batch run with an explicit worker count and runner — the seam
+/// the sweep harness drives and the panic-isolation tests inject a faulty
+/// runner through. Workers pull indices from a shared counter and send
+/// `(index, result)` pairs over a channel; the caller's thread reassembles
+/// them in input order. Panic messages are prefixed with the offending
+/// configuration's scheduler spec so a poisoned cell in a large grid is
+/// identifiable from the error alone.
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn run_batch<T, F>(
+    configs: Vec<ExperimentConfig>,
+    threads: usize,
+    runner: F,
+) -> Vec<Result<T, RunError>>
+where
+    T: Send,
+    F: Fn(&Arc<ExperimentConfig>) -> T + Sync,
+{
+    run_batch_observed(configs, threads, runner, |_, _| {})
+}
+
+/// [`run_batch`] with a progress observer. `observe(index, result)` runs
+/// on the caller's thread, once per *terminal* outcome in completion order
+/// — a panicked or invalid cell is observed exactly like a successful one,
+/// so progress accounting (done counts, ETA math) never stalls on a failed
+/// replication.
+pub(crate) fn run_batch_observed<T, F, O>(
+    configs: Vec<ExperimentConfig>,
+    threads: usize,
+    runner: F,
+    observe: O,
+) -> Vec<Result<T, RunError>>
+where
+    T: Send,
+    F: Fn(&Arc<ExperimentConfig>) -> T + Sync,
+    O: FnMut(usize, &Result<T, RunError>),
+{
+    run_batch_retrying(configs, threads, 0, None, runner, observe)
+}
+
+/// [`run_batch_observed`] with bounded retry for panicked workers and an
+/// optional wall-clock deadline. A configuration whose runner panics is
+/// retried up to `retries` more times (linear 25 ms backoff between
+/// attempts, on the worker thread) before surfacing [`RunError::Panicked`]
+/// with the attempt count. A deterministic panic still fails after
+/// `retries + 1` attempts; a flaky one — OOM pressure, a poisoned
+/// thread-local, anything environmental — no longer voids its cell in a
+/// mega-sweep.
+///
+/// When `deadline` is set, a configuration whose turn comes up after the
+/// deadline is skipped with [`RunError::BudgetExhausted`] instead of run:
+/// the batch drains gracefully and the caller aggregates whatever
+/// completed in time. In-flight runs are not interrupted here — the sweep
+/// harness additionally caps their per-run watchdog to the remaining
+/// budget.
+pub(crate) fn run_batch_retrying<T, F, O>(
+    configs: Vec<ExperimentConfig>,
+    threads: usize,
+    retries: u32,
+    deadline: Option<std::time::Instant>,
+    runner: F,
+    mut observe: O,
+) -> Vec<Result<T, RunError>>
+where
+    T: Send,
+    F: Fn(&Arc<ExperimentConfig>) -> T + Sync,
+    O: FnMut(usize, &Result<T, RunError>),
+{
+    let configs: Vec<Arc<ExperimentConfig>> = configs.into_iter().map(Arc::new).collect();
+    let n = configs.len();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, Result<T, RunError>)>();
+    let configs_ref = &configs;
+    let next_ref = &next;
+    let runner_ref = &runner;
+    std::thread::scope(|scope| {
+        for _ in 0..threads.max(1).min(n) {
+            let tx = tx.clone();
+            scope.spawn(move || loop {
+                let i = next_ref.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let cfg = &configs_ref[i];
+                if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+                    if tx.send((i, Err(RunError::BudgetExhausted))).is_err() {
+                        break;
+                    }
+                    continue;
+                }
+                let result = match cfg.validate() {
+                    Err(e) => Err(RunError::Invalid(e)),
+                    Ok(()) => {
+                        let mut attempts = 0u32;
+                        loop {
+                            attempts += 1;
+                            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                runner_ref(cfg)
+                            })) {
+                                Ok(v) => break Ok(v),
+                                Err(payload) => {
+                                    let msg =
+                                        format!("[{}] {}", cfg.scheduler, panic_message(&*payload));
+                                    if attempts > retries {
+                                        break Err(RunError::Panicked { msg, attempts });
+                                    }
+                                    std::thread::sleep(std::time::Duration::from_millis(
+                                        25 * attempts as u64,
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                };
+                if tx.send((i, result)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx); // the receive loop ends once every worker is done
+        let mut results: Vec<Option<Result<T, RunError>>> = (0..n).map(|_| None).collect();
+        for (i, r) in rx {
+            observe(i, &r);
+            results[i] = Some(r);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every experiment ran"))
+            .collect()
+    })
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).into()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::SchedulerKind;
+    use crate::runner::BatchRunner;
+    use sps_workload::traces::SDSC;
+
+    fn small(scheduler: SchedulerKind) -> ExperimentConfig {
+        ExperimentConfig::new(SDSC, scheduler)
+            .with_jobs(300)
+            .with_seed(7)
+    }
+
+    #[test]
+    fn batch_runner_matches_sequential_and_keeps_order() {
+        let configs = vec![
+            small(SchedulerKind::Easy),
+            small(SchedulerKind::Ss { sf: 2.0 }),
+            small(SchedulerKind::Fcfs),
+        ];
+        let parallel = BatchRunner::new(configs.clone()).run();
+        for (cfg, par) in configs.iter().zip(&parallel) {
+            let seq = cfg.run();
+            assert_eq!(par.sim.policy, seq.sim.policy);
+            assert_eq!(par.report.overall.count, seq.report.overall.count);
+            assert!(
+                (par.report.overall.mean_slowdown - seq.report.overall.mean_slowdown).abs() < 1e-12
+            );
+        }
+        assert_eq!(parallel[0].sim.policy, "NS (EASY)");
+        assert_eq!(parallel[2].sim.policy, "FCFS");
+    }
+
+    #[test]
+    fn run_batch_keeps_order_with_more_threads_than_work() {
+        let configs = vec![small(SchedulerKind::Easy), small(SchedulerKind::Fcfs)];
+        let results = run_batch(configs, 16, |cfg| cfg.run());
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].as_ref().unwrap().sim.policy, "NS (EASY)");
+        assert_eq!(results[1].as_ref().unwrap().sim.policy, "FCFS");
+    }
+
+    #[test]
+    fn checked_batch_reports_invalid_configs_in_place() {
+        let configs = vec![
+            small(SchedulerKind::Easy),
+            small(SchedulerKind::Fcfs).with_jobs(0),
+            small(SchedulerKind::Fcfs),
+        ];
+        let results = BatchRunner::new(configs).run_checked();
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1],
+            Err(RunError::Invalid(ConfigError::NoJobs))
+        ));
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn observer_sees_every_terminal_outcome_including_panics() {
+        // Progress accounting must count panicked and invalid cells like
+        // successes — an observer that only saw Ok results would stall
+        // its done counter (and ETA) on the first failed replication.
+        let configs = vec![
+            small(SchedulerKind::Easy),
+            small(SchedulerKind::Fcfs).with_seed(777),
+            small(SchedulerKind::Fcfs).with_jobs(0),
+            small(SchedulerKind::Ss { sf: 2.0 }),
+        ];
+        let mut seen = Vec::new();
+        let results = run_batch_observed(
+            configs,
+            2,
+            |cfg| {
+                if cfg.seed == 777 {
+                    panic!("injected failure for seed 777");
+                }
+                cfg.run()
+            },
+            |i, r| seen.push((i, r.is_err())),
+        );
+        assert_eq!(results.len(), 4);
+        assert_eq!(seen.len(), 4, "one observation per terminal outcome");
+        seen.sort_unstable();
+        assert_eq!(
+            seen,
+            vec![(0, false), (1, true), (2, true), (3, false)],
+            "panicked and invalid cells are observed exactly like successes"
+        );
+    }
+
+    #[test]
+    fn worker_panic_does_not_kill_the_batch() {
+        // A runner that blows up on one specific configuration: the other
+        // configurations must still produce results, in order.
+        let configs = vec![
+            small(SchedulerKind::Easy),
+            small(SchedulerKind::Fcfs).with_seed(777),
+            small(SchedulerKind::Ss { sf: 2.0 }),
+        ];
+        let results = run_batch(configs, 2, |cfg| {
+            if cfg.seed == 777 {
+                panic!("injected failure for seed 777");
+            }
+            cfg.run()
+        });
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].as_ref().unwrap().sim.policy, "NS (EASY)");
+        match &results[1] {
+            Err(RunError::Panicked { msg, attempts }) => {
+                assert!(msg.contains("injected failure"), "got {msg:?}");
+                assert_eq!(*attempts, 1, "no retries were requested");
+            }
+            other => panic!("expected a caught panic, got {other:?}"),
+        }
+        assert_eq!(
+            results[2].as_ref().unwrap().report.overall.count,
+            300,
+            "the batch kept running after the panic"
+        );
+    }
+
+    #[test]
+    fn retry_recovers_flaky_workers_and_counts_attempts() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let flaky_left = AtomicU32::new(2); // panic twice, then succeed
+        let configs = vec![
+            small(SchedulerKind::Easy),
+            small(SchedulerKind::Fcfs).with_seed(777),
+            small(SchedulerKind::Gang).with_seed(778),
+        ];
+        let results = run_batch_retrying(
+            configs,
+            1, // deterministic attempt interleaving
+            3,
+            None,
+            |cfg| {
+                if cfg.seed == 777
+                    && flaky_left
+                        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+                        .is_ok()
+                {
+                    panic!("transient failure");
+                }
+                if cfg.seed == 778 {
+                    panic!("deterministic failure");
+                }
+                cfg.run()
+            },
+            |_, _| {},
+        );
+        assert!(results[0].is_ok());
+        assert!(results[1].is_ok(), "flaky cell must recover within budget");
+        match &results[2] {
+            Err(RunError::Panicked { msg, attempts }) => {
+                assert_eq!(*attempts, 4, "initial attempt plus three retries");
+                assert!(msg.contains("deterministic failure"));
+            }
+            other => panic!("expected exhausted retries, got {other:?}"),
+        }
+        let shown = results[2].as_ref().unwrap_err().to_string();
+        assert!(shown.contains("all 4 attempts"), "got {shown:?}");
+    }
+
+    #[test]
+    fn expired_deadline_skips_runs_without_running_them() {
+        let configs = vec![small(SchedulerKind::Easy), small(SchedulerKind::Fcfs)];
+        let mut seen = 0usize;
+        let results = run_batch_retrying(
+            configs,
+            2,
+            0,
+            Some(std::time::Instant::now()),
+            |cfg| cfg.run(),
+            |_, r| {
+                assert!(matches!(r, Err(RunError::BudgetExhausted)));
+                seen += 1;
+            },
+        );
+        assert_eq!(seen, 2, "skipped runs still reach the observer");
+        assert!(results
+            .iter()
+            .all(|r| matches!(r, Err(RunError::BudgetExhausted))));
+    }
+}

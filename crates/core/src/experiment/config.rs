@@ -1,21 +1,15 @@
-//! Experiment driver: configuration → simulation → per-category report.
-//!
-//! One [`ExperimentConfig`] fully determines a run (machine, synthetic
-//! trace seed, load factor, estimate model, overhead model, scheduler),
-//! so every number in EXPERIMENTS.md is reproducible bit-for-bit. The
-//! harness compares several schedulers on the *same* trace by varying only
-//! [`ExperimentConfig::scheduler`]. [`run_many`] fans a batch of
-//! configurations out over OS threads (simulations are independent and
-//! CPU-bound).
+//! [`SchedulerKind`], [`ExperimentConfig`] (with its spec-string and JSON
+//! round-trips), and [`RunResult`].
 
 use std::fmt;
 use std::str::FromStr;
 use std::sync::Arc;
 
+use sps_cluster::{SpeedMap, SpeedSpec};
 use sps_metrics::{CategoryReport, JobOutcome};
-use sps_simcore::Secs;
+use sps_simcore::{Secs, Watchdog};
 use sps_telemetry::TelemetrySink;
-use sps_trace::{DecodeError, Json, TraceSink};
+use sps_trace::{DecodeError, Json};
 use sps_workload::{
     ArrivalSpec, EstimateModel, Job, JobSource, OpenSource, SyntheticConfig, SystemPreset,
     TraceCache, TraceKey, TraceSource,
@@ -30,7 +24,6 @@ use crate::sched::{
     Conservative, Easy, Fcfs, FlexBackfill, GangScheduling, ImmediateService, SelectiveSuspension,
 };
 use crate::sim::{SimResult, Simulator, DEFAULT_TICK_PERIOD};
-use sps_simcore::Watchdog;
 
 /// Which scheduler to run.
 ///
@@ -228,47 +221,19 @@ pub struct ExperimentConfig {
     ///
     /// [`preemption`]: ExperimentConfig::preemption
     pub checkpoint: CheckpointModel,
+    /// Per-processor speed configuration. The default uniform 1.0 is the
+    /// paper's identical-processor machine, bit-for-bit; a non-trivial
+    /// spec makes each job progress at the speed of its slowest assigned
+    /// processor (gang-synchronous unrelated-machines model).
+    pub speed: SpeedSpec,
+    /// Whether placement is speed-aware (fastest-first allocation,
+    /// default). With `false` the schedulers place as if the machine were
+    /// homogeneous while progress still accrues at real speeds — the
+    /// speed-blind ablation. Irrelevant under a uniform [`speed`].
+    ///
+    /// [`speed`]: ExperimentConfig::speed
+    pub speed_aware: bool,
 }
-
-/// A structurally invalid [`ExperimentConfig`], caught by
-/// [`ExperimentConfig::validate`] before any simulation work starts.
-#[derive(Clone, Debug, PartialEq)]
-#[non_exhaustive]
-pub enum ConfigError {
-    /// `load_factor` must be a finite number greater than zero.
-    BadLoadFactor(f64),
-    /// `tick_period` must be at least one second.
-    ZeroTickPeriod,
-    /// `n_jobs` must be at least one.
-    NoJobs,
-    /// The fault model is inconsistent (reason attached).
-    BadFaults(&'static str),
-    /// A sweep grid axis is empty (which axis is attached).
-    EmptyGrid(&'static str),
-    /// The arrival spec is inconsistent (reason attached).
-    BadArrivals(String),
-    /// The checkpoint model is unusable for the requested preemption mode
-    /// (reason attached).
-    BadCheckpoint(&'static str),
-}
-
-impl fmt::Display for ConfigError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match *self {
-            ConfigError::BadLoadFactor(v) => {
-                write!(f, "load_factor must be finite and > 0, got {v}")
-            }
-            ConfigError::ZeroTickPeriod => f.write_str("tick_period must be at least 1 second"),
-            ConfigError::NoJobs => f.write_str("n_jobs must be at least 1"),
-            ConfigError::BadFaults(reason) => write!(f, "bad fault model: {reason}"),
-            ConfigError::EmptyGrid(axis) => write!(f, "sweep grid axis '{axis}' is empty"),
-            ConfigError::BadArrivals(ref reason) => write!(f, "bad arrival spec: {reason}"),
-            ConfigError::BadCheckpoint(reason) => write!(f, "bad checkpoint model: {reason}"),
-        }
-    }
-}
-
-impl std::error::Error for ConfigError {}
 
 impl ExperimentConfig {
     /// Baseline configuration: preset defaults, accurate estimates, no
@@ -288,41 +253,9 @@ impl ExperimentConfig {
             admission: AdmissionModel::none(),
             preemption: PreemptionMode::InPlace,
             checkpoint: CheckpointModel::default(),
+            speed: SpeedSpec::uniform_one(),
+            speed_aware: true,
         }
-    }
-
-    /// Check the configuration for values that would make the simulation
-    /// meaningless (or hang the trace generator) before running it.
-    pub fn validate(&self) -> Result<(), ConfigError> {
-        if !self.load_factor.is_finite() || self.load_factor <= 0.0 {
-            return Err(ConfigError::BadLoadFactor(self.load_factor));
-        }
-        if self.tick_period < 1 {
-            return Err(ConfigError::ZeroTickPeriod);
-        }
-        if self.n_jobs == 0 {
-            return Err(ConfigError::NoJobs);
-        }
-        if let Some(mtbf) = self.faults.mtbf {
-            if mtbf < 1 {
-                return Err(ConfigError::BadFaults("mtbf must be at least 1 second"));
-            }
-            if self.faults.mttr < 1 {
-                return Err(ConfigError::BadFaults("mttr must be at least 1 second"));
-            }
-        }
-        if !(0.0..=1.0).contains(&self.faults.job_crash) {
-            return Err(ConfigError::BadFaults(
-                "job_crash must be a probability in [0, 1]",
-            ));
-        }
-        self.arrivals.validate().map_err(ConfigError::BadArrivals)?;
-        if self.preemption.checkpoints() && !self.checkpoint.valid() {
-            return Err(ConfigError::BadCheckpoint(
-                "rate must be a positive finite MB/s and interval at least 1 second",
-            ));
-        }
-        Ok(())
     }
 
     /// Builder-style mutators.
@@ -406,6 +339,30 @@ impl ExperimentConfig {
         self
     }
 
+    /// Set the per-processor speed configuration.
+    pub fn with_speed(mut self, speed: SpeedSpec) -> Self {
+        self.speed = speed;
+        self
+    }
+
+    /// Toggle speed-aware placement (default `true`; `false` is the
+    /// speed-blind ablation).
+    pub fn with_speed_aware(mut self, aware: bool) -> Self {
+        self.speed_aware = aware;
+        self
+    }
+
+    /// Whether this configuration departs from the homogeneous default
+    /// (non-uniform speeds, or the placement-blind ablation switch).
+    pub fn is_heterogeneous(&self) -> bool {
+        !self.speed.is_uniform_one() || !self.speed_aware
+    }
+
+    /// The machine's [`SpeedMap`] under this configuration.
+    pub fn speed_map(&self) -> SpeedMap {
+        SpeedMap::from_spec(&self.speed, self.system.procs).with_aware(self.speed_aware)
+    }
+
     /// The offered load an open-system generator targets when the arrival
     /// spec doesn't pin one: the preset's calibrated baseline scaled by
     /// [`ExperimentConfig::load_factor`] — the same product the closed
@@ -444,14 +401,22 @@ impl ExperimentConfig {
 
     /// The cache key of this experiment's trace: everything trace
     /// generation depends on, and nothing the scheduler side varies.
+    /// Heterogeneous configurations fold their speed setup in so a cached
+    /// entry is never shared across speed configurations (homogeneous
+    /// keys are unchanged from builds predating the speed model).
     pub fn trace_key(&self) -> TraceKey {
-        TraceKey::new(
+        let key = TraceKey::new(
             self.system,
             self.n_jobs,
             self.seed,
             self.load_factor,
             &self.estimates,
-        )
+        );
+        if self.is_heterogeneous() {
+            key.with_speed(&self.speed.to_string(), self.speed_aware)
+        } else {
+            key
+        }
     }
 
     /// This experiment's trace through a [`TraceCache`]: generated on the
@@ -475,7 +440,7 @@ impl ExperimentConfig {
     /// three reports per run just to discard them would dominate the
     /// aggregation cost at grid scale.
     pub fn simulate(&self, jobs: Vec<Job>) -> SimResult {
-        let sim = Simulator::with_overhead_and_tick(
+        let mut sim = Simulator::with_overhead_and_tick(
             jobs,
             self.system.procs,
             self.scheduler.build(),
@@ -486,6 +451,9 @@ impl ExperimentConfig {
         .with_admission(self.admission)
         .with_preemption(self.preemption, self.checkpoint)
         .with_watchdog(Watchdog::generous());
+        if self.is_heterogeneous() {
+            sim = sim.with_speed(self.speed_map());
+        }
         sim.run()
     }
 
@@ -499,7 +467,7 @@ impl ExperimentConfig {
         jobs: Vec<Job>,
         telemetry: &mut T,
     ) -> SimResult {
-        let sim = Simulator::with_overhead_and_tick(
+        let mut sim = Simulator::with_overhead_and_tick(
             jobs,
             self.system.procs,
             self.scheduler.build(),
@@ -511,24 +479,16 @@ impl ExperimentConfig {
         .with_admission(self.admission)
         .with_preemption(self.preemption, self.checkpoint)
         .with_watchdog(Watchdog::generous());
+        if self.is_heterogeneous() {
+            sim = sim.with_speed(self.speed_map());
+        }
         sim.run()
-    }
-
-    /// [`ExperimentConfig::run`] with a telemetry sink attached.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `cfg.runner().telemetry(&mut tel).run()` — one builder replaces the \
-                per-combination entry points"
-    )]
-    pub fn run_instrumented<T: TelemetrySink>(&self, telemetry: &mut T) -> RunResult {
-        self.runner().telemetry(telemetry).run()
     }
 
     /// Start a [`RunBuilder`](crate::runner::RunBuilder) for this
     /// configuration — the single entry point behind which the historical
-    /// `run`/`run_traced`/`run_instrumented` combinations collapsed.
-    /// Attach sinks, an explicit [`JobSource`], a stopping condition, or a
-    /// warmup window, then call
+    /// per-combination run functions collapsed. Attach sinks, an explicit
+    /// [`JobSource`], a stopping condition, or a warmup window, then call
     /// [`run()`](crate::runner::RunBuilder::run) or
     /// [`simulate()`](crate::runner::RunBuilder::simulate).
     pub fn runner(&self) -> crate::runner::RunBuilder {
@@ -557,23 +517,9 @@ impl ExperimentConfig {
     }
 
     /// [`ExperimentConfig::run`] preceded by [`ExperimentConfig::validate`].
-    pub fn run_checked(&self) -> Result<RunResult, ConfigError> {
+    pub fn run_checked(&self) -> Result<RunResult, crate::experiment::ConfigError> {
         self.validate()?;
         Ok(self.run())
-    }
-
-    /// Run the simulation while streaming trace records into `sink`.
-    ///
-    /// The first record is a [`TraceRecord::Header`] embedding this
-    /// configuration as JSON, so the run is reproducible from the log
-    /// alone: `ExperimentConfig::from_json(header.config)` rebuilds it.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `cfg.runner().trace_sink(&mut sink).run()` — one builder replaces the \
-                per-combination entry points"
-    )]
-    pub fn run_traced<S: TraceSink>(&self, sink: &mut S) -> RunResult {
-        self.runner().trace_sink(sink).run()
     }
 
     /// Encode as JSON (embedded in trace-file headers). The `faults` key
@@ -611,6 +557,15 @@ impl ExperimentConfig {
                 Json::Str(self.preemption.name().into()),
             ));
             fields.push(("checkpoint".into(), checkpoint_to_json(&self.checkpoint)));
+        }
+        // Heterogeneous-machine fields, same convention: omitted under
+        // the default uniform speed-aware setup, so homogeneous logs stay
+        // byte-identical to those of builds predating the speed model.
+        if !self.speed.is_uniform_one() {
+            fields.push(("speed".into(), Json::Str(self.speed.to_string())));
+        }
+        if !self.speed_aware {
+            fields.push(("speed_aware".into(), Json::Bool(false)));
         }
         Json::Obj(fields)
     }
@@ -694,6 +649,18 @@ impl ExperimentConfig {
                 Some(c) => checkpoint_from_json(c)?,
                 None => CheckpointModel::default(),
             },
+            speed: match json.get("speed") {
+                Some(s) => s
+                    .as_str()
+                    .ok_or(DecodeError::Bad("speed"))?
+                    .parse()
+                    .map_err(|_| DecodeError::Bad("speed"))?,
+                None => SpeedSpec::uniform_one(),
+            },
+            speed_aware: match json.get("speed_aware") {
+                Some(b) => b.as_bool().ok_or(DecodeError::Bad("speed_aware"))?,
+                None => true,
+            },
         })
     }
 }
@@ -706,7 +673,7 @@ fn checkpoint_to_json(m: &CheckpointModel) -> Json {
     ])
 }
 
-fn checkpoint_from_json(json: &Json) -> Result<CheckpointModel, DecodeError> {
+pub(super) fn checkpoint_from_json(json: &Json) -> Result<CheckpointModel, DecodeError> {
     let mb_per_sec = json
         .get("mb_per_sec")
         .and_then(Json::as_f64)
@@ -744,7 +711,7 @@ fn faults_to_json(m: &FaultModel) -> Json {
     Json::Obj(fields)
 }
 
-fn faults_from_json(json: &Json) -> Result<FaultModel, DecodeError> {
+pub(super) fn faults_from_json(json: &Json) -> Result<FaultModel, DecodeError> {
     let mut model = FaultModel::none();
     if let Some(mtbf) = json.get("mtbf") {
         let mtbf = mtbf.as_i64().ok_or(DecodeError::Bad("mtbf"))?;
@@ -905,232 +872,6 @@ impl RunResult {
     }
 }
 
-/// Why one configuration in a batch produced no result.
-#[derive(Clone, Debug)]
-#[non_exhaustive]
-pub enum RunError {
-    /// The configuration failed [`ExperimentConfig::validate`].
-    Invalid(ConfigError),
-    /// The simulation panicked on every attempt; the last payload message
-    /// and the attempt count are attached. Other configurations in the
-    /// batch are unaffected.
-    Panicked {
-        /// The last attempt's panic payload message.
-        msg: String,
-        /// How many times the configuration was tried (1 without retries).
-        attempts: u32,
-    },
-    /// The batch's wall-clock budget ran out before this configuration
-    /// started ([`crate::sweep::SweepSpec::with_wall_budget`]); the run
-    /// was skipped so the rest of the grid could report partial results.
-    BudgetExhausted,
-}
-
-impl fmt::Display for RunError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            RunError::Invalid(e) => write!(f, "invalid config: {e}"),
-            RunError::Panicked { msg, attempts: 1 } => {
-                write!(f, "simulation panicked: {msg}")
-            }
-            RunError::Panicked { msg, attempts } => {
-                write!(f, "simulation panicked on all {attempts} attempts: {msg}")
-            }
-            RunError::BudgetExhausted => f.write_str("wall budget exhausted before the run"),
-        }
-    }
-}
-
-impl std::error::Error for RunError {}
-
-/// Run a batch of experiments in parallel across OS threads. Results come
-/// back in input order.
-///
-/// A configuration that fails validation or panics mid-simulation does not
-/// take the batch down: every other configuration still completes, and
-/// only then does this function **panic** with the first failure's
-/// message — the lossy unwrap is deliberate and documented on
-/// [`BatchRunner::run`](crate::runner::BatchRunner::run). Use
-/// [`run_many_checked`] to receive per-configuration `Result`s instead.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `BatchRunner::new(configs).run()` — the builder also exposes thread count, \
-            progress observation, and open-system stop conditions"
-)]
-pub fn run_many(configs: Vec<ExperimentConfig>) -> Vec<RunResult> {
-    crate::runner::BatchRunner::new(configs).run()
-}
-
-/// Fallible batch runner: one `Result` per configuration, in input order.
-/// Worker panics are caught per-configuration, so a poisoned config
-/// reports [`RunError::Panicked`] while the rest of the batch completes.
-///
-/// Configurations that share a trace (same system, jobs, load, seed, and
-/// estimate model — i.e. the same [`TraceKey`]) generate it once through a
-/// batch-local [`TraceCache`] instead of once per run. Shorthand for
-/// [`BatchRunner::new(configs).run_checked()`](crate::runner::BatchRunner).
-pub fn run_many_checked(configs: Vec<ExperimentConfig>) -> Vec<Result<RunResult, RunError>> {
-    crate::runner::BatchRunner::new(configs).run_checked()
-}
-
-/// The worker-thread count batch entry points use when the caller doesn't
-/// pass one: the `SPS_THREADS` environment variable if set to a positive
-/// integer, otherwise everything the OS reports.
-pub fn default_threads() -> usize {
-    if let Ok(v) = std::env::var("SPS_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-}
-
-/// [`run_many_checked`] with an explicit worker count and runner — the
-/// seam the sweep harness drives and the panic-isolation tests inject a
-/// faulty runner through. Workers pull indices from a shared counter and
-/// send `(index, result)` pairs over a channel; the caller's thread
-/// reassembles them in input order. Panic messages are prefixed with the
-/// offending configuration's scheduler spec so a poisoned cell in a large
-/// grid is identifiable from the error alone.
-#[cfg_attr(not(test), allow(dead_code))]
-pub(crate) fn run_batch<T, F>(
-    configs: Vec<ExperimentConfig>,
-    threads: usize,
-    runner: F,
-) -> Vec<Result<T, RunError>>
-where
-    T: Send,
-    F: Fn(&Arc<ExperimentConfig>) -> T + Sync,
-{
-    run_batch_observed(configs, threads, runner, |_, _| {})
-}
-
-/// [`run_batch`] with a progress observer. `observe(index, result)` runs
-/// on the caller's thread, once per *terminal* outcome in completion order
-/// — a panicked or invalid cell is observed exactly like a successful one,
-/// so progress accounting (done counts, ETA math) never stalls on a failed
-/// replication.
-pub(crate) fn run_batch_observed<T, F, O>(
-    configs: Vec<ExperimentConfig>,
-    threads: usize,
-    runner: F,
-    observe: O,
-) -> Vec<Result<T, RunError>>
-where
-    T: Send,
-    F: Fn(&Arc<ExperimentConfig>) -> T + Sync,
-    O: FnMut(usize, &Result<T, RunError>),
-{
-    run_batch_retrying(configs, threads, 0, None, runner, observe)
-}
-
-/// [`run_batch_observed`] with bounded retry for panicked workers and an
-/// optional wall-clock deadline. A configuration whose runner panics is
-/// retried up to `retries` more times (linear 25 ms backoff between
-/// attempts, on the worker thread) before surfacing [`RunError::Panicked`]
-/// with the attempt count. A deterministic panic still fails after
-/// `retries + 1` attempts; a flaky one — OOM pressure, a poisoned
-/// thread-local, anything environmental — no longer voids its cell in a
-/// mega-sweep.
-///
-/// When `deadline` is set, a configuration whose turn comes up after the
-/// deadline is skipped with [`RunError::BudgetExhausted`] instead of run:
-/// the batch drains gracefully and the caller aggregates whatever
-/// completed in time. In-flight runs are not interrupted here — the sweep
-/// harness additionally caps their per-run watchdog to the remaining
-/// budget.
-pub(crate) fn run_batch_retrying<T, F, O>(
-    configs: Vec<ExperimentConfig>,
-    threads: usize,
-    retries: u32,
-    deadline: Option<std::time::Instant>,
-    runner: F,
-    mut observe: O,
-) -> Vec<Result<T, RunError>>
-where
-    T: Send,
-    F: Fn(&Arc<ExperimentConfig>) -> T + Sync,
-    O: FnMut(usize, &Result<T, RunError>),
-{
-    let configs: Vec<Arc<ExperimentConfig>> = configs.into_iter().map(Arc::new).collect();
-    let n = configs.len();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let (tx, rx) = std::sync::mpsc::channel::<(usize, Result<T, RunError>)>();
-    let configs_ref = &configs;
-    let next_ref = &next;
-    let runner_ref = &runner;
-    std::thread::scope(|scope| {
-        for _ in 0..threads.max(1).min(n) {
-            let tx = tx.clone();
-            scope.spawn(move || loop {
-                let i = next_ref.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let cfg = &configs_ref[i];
-                if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
-                    if tx.send((i, Err(RunError::BudgetExhausted))).is_err() {
-                        break;
-                    }
-                    continue;
-                }
-                let result = match cfg.validate() {
-                    Err(e) => Err(RunError::Invalid(e)),
-                    Ok(()) => {
-                        let mut attempts = 0u32;
-                        loop {
-                            attempts += 1;
-                            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                runner_ref(cfg)
-                            })) {
-                                Ok(v) => break Ok(v),
-                                Err(payload) => {
-                                    let msg =
-                                        format!("[{}] {}", cfg.scheduler, panic_message(&*payload));
-                                    if attempts > retries {
-                                        break Err(RunError::Panicked { msg, attempts });
-                                    }
-                                    std::thread::sleep(std::time::Duration::from_millis(
-                                        25 * attempts as u64,
-                                    ));
-                                }
-                            }
-                        }
-                    }
-                };
-                if tx.send((i, result)).is_err() {
-                    break;
-                }
-            });
-        }
-        drop(tx); // the receive loop ends once every worker is done
-        let mut results: Vec<Option<Result<T, RunError>>> = (0..n).map(|_| None).collect();
-        for (i, r) in rx {
-            observe(i, &r);
-            results[i] = Some(r);
-        }
-        results
-            .into_iter()
-            .map(|r| r.expect("every experiment ran"))
-            .collect()
-    })
-}
-
-/// Best-effort extraction of a panic payload's message.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).into()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".into()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1174,209 +915,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // deliberately covers the `run_many` shim
-    fn run_many_matches_sequential_and_keeps_order() {
-        let configs = vec![
-            small(SchedulerKind::Easy),
-            small(SchedulerKind::Ss { sf: 2.0 }),
-            small(SchedulerKind::Fcfs),
-        ];
-        let parallel = run_many(configs.clone());
-        for (cfg, par) in configs.iter().zip(&parallel) {
-            let seq = cfg.run();
-            assert_eq!(par.sim.policy, seq.sim.policy);
-            assert_eq!(par.report.overall.count, seq.report.overall.count);
-            assert!(
-                (par.report.overall.mean_slowdown - seq.report.overall.mean_slowdown).abs() < 1e-12
-            );
-        }
-        assert_eq!(parallel[0].sim.policy, "NS (EASY)");
-        assert_eq!(parallel[2].sim.policy, "FCFS");
-    }
-
-    #[test]
-    fn run_many_keeps_order_with_more_threads_than_work() {
-        let configs = vec![small(SchedulerKind::Easy), small(SchedulerKind::Fcfs)];
-        let results = run_batch(configs, 16, |cfg| cfg.run());
-        assert_eq!(results.len(), 2);
-        assert_eq!(results[0].as_ref().unwrap().sim.policy, "NS (EASY)");
-        assert_eq!(results[1].as_ref().unwrap().sim.policy, "FCFS");
-    }
-
-    #[test]
-    fn validate_rejects_degenerate_configs() {
-        let ok = small(SchedulerKind::Easy);
-        assert_eq!(ok.validate(), Ok(()));
-        assert!(matches!(
-            ok.clone().with_load_factor(f64::NAN).validate(),
-            Err(ConfigError::BadLoadFactor(_))
-        ));
-        assert!(matches!(
-            ok.clone().with_load_factor(-0.5).validate(),
-            Err(ConfigError::BadLoadFactor(_))
-        ));
-        assert!(matches!(
-            ok.clone().with_load_factor(0.0).validate(),
-            Err(ConfigError::BadLoadFactor(_))
-        ));
-        assert_eq!(
-            ok.clone().with_tick_period(0).validate(),
-            Err(ConfigError::ZeroTickPeriod)
-        );
-        assert_eq!(ok.clone().with_jobs(0).validate(), Err(ConfigError::NoJobs));
-        let mut bad_faults = ok.clone();
-        bad_faults.faults.job_crash = 1.5;
-        assert!(matches!(
-            bad_faults.validate(),
-            Err(ConfigError::BadFaults(_))
-        ));
-        assert!(ok.clone().with_load_factor(f64::NAN).run_checked().is_err());
-    }
-
-    #[test]
-    fn run_many_checked_reports_invalid_configs_in_place() {
-        let configs = vec![
-            small(SchedulerKind::Easy),
-            small(SchedulerKind::Fcfs).with_jobs(0),
-            small(SchedulerKind::Fcfs),
-        ];
-        let results = run_many_checked(configs);
-        assert!(results[0].is_ok());
-        assert!(matches!(
-            results[1],
-            Err(RunError::Invalid(ConfigError::NoJobs))
-        ));
-        assert!(results[2].is_ok());
-    }
-
-    #[test]
-    fn observer_sees_every_terminal_outcome_including_panics() {
-        // Progress accounting must count panicked and invalid cells like
-        // successes — an observer that only saw Ok results would stall
-        // its done counter (and ETA) on the first failed replication.
-        let configs = vec![
-            small(SchedulerKind::Easy),
-            small(SchedulerKind::Fcfs).with_seed(777),
-            small(SchedulerKind::Fcfs).with_jobs(0),
-            small(SchedulerKind::Ss { sf: 2.0 }),
-        ];
-        let mut seen = Vec::new();
-        let results = run_batch_observed(
-            configs,
-            2,
-            |cfg| {
-                if cfg.seed == 777 {
-                    panic!("injected failure for seed 777");
-                }
-                cfg.run()
-            },
-            |i, r| seen.push((i, r.is_err())),
-        );
-        assert_eq!(results.len(), 4);
-        assert_eq!(seen.len(), 4, "one observation per terminal outcome");
-        seen.sort_unstable();
-        assert_eq!(
-            seen,
-            vec![(0, false), (1, true), (2, true), (3, false)],
-            "panicked and invalid cells are observed exactly like successes"
-        );
-    }
-
-    #[test]
-    fn worker_panic_does_not_kill_the_batch() {
-        // A runner that blows up on one specific configuration: the other
-        // configurations must still produce results, in order.
-        let configs = vec![
-            small(SchedulerKind::Easy),
-            small(SchedulerKind::Fcfs).with_seed(777),
-            small(SchedulerKind::Ss { sf: 2.0 }),
-        ];
-        let results = run_batch(configs, 2, |cfg| {
-            if cfg.seed == 777 {
-                panic!("injected failure for seed 777");
-            }
-            cfg.run()
-        });
-        assert_eq!(results.len(), 3);
-        assert_eq!(results[0].as_ref().unwrap().sim.policy, "NS (EASY)");
-        match &results[1] {
-            Err(RunError::Panicked { msg, attempts }) => {
-                assert!(msg.contains("injected failure"), "got {msg:?}");
-                assert_eq!(*attempts, 1, "no retries were requested");
-            }
-            other => panic!("expected a caught panic, got {other:?}"),
-        }
-        assert_eq!(
-            results[2].as_ref().unwrap().report.overall.count,
-            300,
-            "the batch kept running after the panic"
-        );
-    }
-
-    #[test]
-    fn retry_recovers_flaky_workers_and_counts_attempts() {
-        use std::sync::atomic::{AtomicU32, Ordering};
-        let flaky_left = AtomicU32::new(2); // panic twice, then succeed
-        let configs = vec![
-            small(SchedulerKind::Easy),
-            small(SchedulerKind::Fcfs).with_seed(777),
-            small(SchedulerKind::Gang).with_seed(778),
-        ];
-        let results = run_batch_retrying(
-            configs,
-            1, // deterministic attempt interleaving
-            3,
-            None,
-            |cfg| {
-                if cfg.seed == 777
-                    && flaky_left
-                        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
-                        .is_ok()
-                {
-                    panic!("transient failure");
-                }
-                if cfg.seed == 778 {
-                    panic!("deterministic failure");
-                }
-                cfg.run()
-            },
-            |_, _| {},
-        );
-        assert!(results[0].is_ok());
-        assert!(results[1].is_ok(), "flaky cell must recover within budget");
-        match &results[2] {
-            Err(RunError::Panicked { msg, attempts }) => {
-                assert_eq!(*attempts, 4, "initial attempt plus three retries");
-                assert!(msg.contains("deterministic failure"));
-            }
-            other => panic!("expected exhausted retries, got {other:?}"),
-        }
-        let shown = results[2].as_ref().unwrap_err().to_string();
-        assert!(shown.contains("all 4 attempts"), "got {shown:?}");
-    }
-
-    #[test]
-    fn expired_deadline_skips_runs_without_running_them() {
-        let configs = vec![small(SchedulerKind::Easy), small(SchedulerKind::Fcfs)];
-        let mut seen = 0usize;
-        let results = run_batch_retrying(
-            configs,
-            2,
-            0,
-            Some(std::time::Instant::now()),
-            |cfg| cfg.run(),
-            |_, r| {
-                assert!(matches!(r, Err(RunError::BudgetExhausted)));
-                seen += 1;
-            },
-        );
-        assert_eq!(seen, 2, "skipped runs still reach the observer");
-        assert!(results
-            .iter()
-            .all(|r| matches!(r, Err(RunError::BudgetExhausted))));
-    }
-
-    #[test]
     fn preemption_json_round_trips_and_is_omitted_when_in_place() {
         let plain = small(SchedulerKind::Ss { sf: 2.0 });
         let rendered = plain.to_json().render();
@@ -1409,15 +947,44 @@ mod tests {
     }
 
     #[test]
-    fn validate_rejects_bad_checkpoint_only_when_mode_needs_it() {
-        let bad_model = CheckpointModel::paper().with_rate(-1.0);
-        let inert = small(SchedulerKind::Easy).with_checkpoint(bad_model);
-        assert_eq!(inert.validate(), Ok(()), "in-place mode ignores the model");
-        let active = inert.with_preemption(PreemptionMode::Checkpoint);
-        assert!(matches!(
-            active.validate(),
-            Err(ConfigError::BadCheckpoint(_))
-        ));
+    fn speed_json_round_trips_and_is_omitted_when_uniform() {
+        let plain = small(SchedulerKind::Ss { sf: 2.0 });
+        let rendered = plain.to_json().render();
+        assert!(
+            !rendered.contains("speed"),
+            "uniform speed must not appear in config JSON: {rendered}"
+        );
+        let cfg = plain
+            .clone()
+            .with_speed("tiers:0.5x64+1.0x64".parse().unwrap())
+            .with_speed_aware(false);
+        let text = cfg.to_json().render();
+        assert!(text.contains("tiers:0.5x64"), "{text}");
+        let back = ExperimentConfig::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.speed, cfg.speed);
+        assert!(!back.speed_aware);
+        // The blind flag alone also survives (speed stays omitted).
+        let blind = plain.clone().with_speed_aware(false);
+        let back =
+            ExperimentConfig::from_json(&Json::parse(&blind.to_json().render()).unwrap()).unwrap();
+        assert!(back.speed.is_uniform_one() && !back.speed_aware);
+        assert!(Json::parse(r#"{"speed": "tiers:"}"#)
+            .map(|j| ExperimentConfig::from_json(&j).is_err())
+            .unwrap_or(true));
+    }
+
+    #[test]
+    fn hetero_configs_get_their_own_trace_keys() {
+        let base = small(SchedulerKind::Easy);
+        let tiers = base
+            .clone()
+            .with_speed("tiers:0.5x64+1.0x64".parse().unwrap());
+        let blind = tiers.clone().with_speed_aware(false);
+        assert_eq!(base.trace_key(), base.clone().trace_key());
+        assert_ne!(base.trace_key(), tiers.trace_key());
+        assert_ne!(tiers.trace_key(), blind.trace_key());
+        // The jobs themselves are speed-independent even so.
+        assert_eq!(base.trace(), tiers.trace());
     }
 
     #[test]
@@ -1546,12 +1113,11 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // deliberately covers the `run_traced` shim
-    fn run_traced_header_embeds_config() {
+    fn traced_builder_header_embeds_config() {
         use sps_trace::{MemorySink, TraceRecord};
         let cfg = small(SchedulerKind::Ss { sf: 2.0 }).with_jobs(120);
         let mut sink = MemorySink::new();
-        let result = cfg.run_traced(&mut sink);
+        let result = cfg.runner().trace_sink(&mut sink).run();
         assert_eq!(result.report.overall.count, 120);
         let records = sink.records();
         let TraceRecord::Header {

@@ -1,10 +1,9 @@
 //! Unified run entry points.
 //!
 //! Historically every sink/source/stop-condition combination grew its own
-//! function on [`ExperimentConfig`] — `run`, `run_traced`,
-//! `run_instrumented`, `run_many`, `run_many_checked` — and adding the
-//! open-system mode would have doubled that surface again. This module
-//! collapses them behind two builders:
+//! function on [`ExperimentConfig`], and adding the open-system mode
+//! would have doubled that surface again. This module collapses all of
+//! them behind two builders:
 //!
 //! * [`RunBuilder`] (from [`ExperimentConfig::runner`]) configures and
 //!   executes **one** run: attach a trace sink, a telemetry sink, an
@@ -19,9 +18,8 @@
 //!   plain `Vec` by **panicking on the first failure** — a lossy
 //!   convenience documented on the method, not a silent unwrap.
 //!
-//! The historical entry points survive as thin delegates (some
-//! deprecated) so downstream code migrates at its own pace, but all of
-//! them route through here.
+//! The surviving conveniences on [`ExperimentConfig`] (`run`,
+//! `run_checked`) are thin delegates that route through here.
 
 use std::sync::Arc;
 
@@ -197,14 +195,18 @@ impl<S: TraceSink, T: TelemetrySink> RunBuilder<S, T> {
                 self.sink,
             ),
         };
-        sim.with_telemetry(self.telemetry)
+        let mut sim = sim
+            .with_telemetry(self.telemetry)
             .with_faults(cfg.faults)
             .with_admission(cfg.admission)
             .with_preemption(cfg.preemption, cfg.checkpoint)
             .with_until(self.until)
             .with_warmup(self.warmup)
-            .with_watchdog(self.watchdog)
-            .run()
+            .with_watchdog(self.watchdog);
+        if cfg.is_heterogeneous() {
+            sim = sim.with_speed(cfg.speed_map());
+        }
+        sim.run()
     }
 
     /// Execute the run and aggregate per-category reports into a
@@ -365,15 +367,18 @@ mod tests {
     }
 
     #[test]
-    fn builder_trace_sink_matches_run_traced() {
+    fn builder_trace_sink_is_deterministic() {
         let cfg = small_cfg();
-        let mut old_sink = MemorySink::new();
-        #[allow(deprecated)]
-        let old = cfg.run_traced(&mut old_sink);
-        let mut new_sink = MemorySink::new();
-        let new = cfg.runner().trace_sink(&mut new_sink).run();
-        assert_eq!(old_sink.records().len(), new_sink.records().len());
-        assert_eq!(old.sim.outcomes, new.sim.outcomes);
+        let mut a_sink = MemorySink::new();
+        let a = cfg.runner().trace_sink(&mut a_sink).run();
+        let mut b_sink = MemorySink::new();
+        let b = cfg.runner().trace_sink(&mut b_sink).run();
+        assert_eq!(a_sink.records(), b_sink.records());
+        assert_eq!(a.sim.outcomes, b.sim.outcomes);
+        assert!(
+            matches!(a_sink.records().first(), Some(TraceRecord::Header { .. })),
+            "first record must be the header"
+        );
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! * [`ReservationLadder`] — the anchor-search/backfill view of the
 //!   availability profile shared by the reservation-based baselines.
 
-use sps_cluster::{ProcSet, Profile};
+use sps_cluster::{ProcSet, Profile, SpeedMap};
 use sps_simcore::SimTime;
 use sps_workload::{Job, JobId};
 
@@ -126,16 +126,23 @@ impl<'a> VictimTable<'a> {
 /// Returns `None` if fewer than `need` unblocked processors exist. The
 /// common case (enough unreserved processors) carves the answer in one
 /// word-level pass with no intermediate set materialized.
+///
+/// On a heterogeneous machine with a speed-aware [`SpeedMap`] the picks
+/// within each preference class are fastest-first rather than
+/// lowest-index-first: the job's gang rate is the minimum speed of its
+/// set, so maximizing that minimum shortens the dispatch. A uniform (or
+/// placement-blind) map degenerates to the homogeneous order exactly.
 pub(crate) fn alloc_avoiding(
     free: &ProcSet,
     blocked: &ProcSet,
     reserved: &ProcSet,
     need: u32,
+    speed: &SpeedMap,
 ) -> Option<ProcSet> {
     // Fast path: enough processors that are neither blocked nor reserved.
     let mut avoid = blocked.clone();
     avoid.union_with(reserved);
-    if let Some(set) = free.take_lowest_excluding(&avoid, need) {
+    if let Some(set) = speed.take_fastest_excluding(free, &avoid, need) {
         return Some(set);
     }
     // Not enough unreserved processors: take all of them plus the fewest
@@ -146,7 +153,7 @@ pub(crate) fn alloc_avoiding(
     let mut rest = free.clone();
     rest.subtract(blocked);
     rest.subtract(&preferred);
-    let extra = rest.take_lowest(need - have)?;
+    let extra = speed.take_fastest(&rest, need - have)?;
     preferred.union_with(&extra);
     Some(preferred)
 }

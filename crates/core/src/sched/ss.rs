@@ -348,8 +348,14 @@ impl Policy for SelectiveSuspension {
                 // higher-priority suspended job and do not count.
                 let allowed = free.count_excluding(&blocked);
                 if need <= allowed {
-                    let set = planner::alloc_avoiding(&free, &blocked, &reserved, need)
-                        .expect("count checked");
+                    let set = planner::alloc_avoiding(
+                        &free,
+                        &blocked,
+                        &reserved,
+                        need,
+                        state.speed_map(),
+                    )
+                    .expect("count checked");
                     free.subtract(&set);
                     actions.push(dispatch(set));
                     continue;
@@ -429,8 +435,9 @@ impl Policy for SelectiveSuspension {
                 });
                 running.sort_ascending();
                 debug_assert!(free.count_excluding(&blocked) >= need);
-                let set = planner::alloc_avoiding(&free, &blocked, &reserved, need)
-                    .expect("gain accounted");
+                let set =
+                    planner::alloc_avoiding(&free, &blocked, &reserved, need, state.speed_map())
+                        .expect("gain accounted");
                 free.subtract(&set);
                 actions.push(dispatch(set));
             }

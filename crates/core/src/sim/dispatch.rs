@@ -5,7 +5,7 @@
 //! end, and the occupancy index records the new holder (a resuming job
 //! additionally gives up its re-entry claims first).
 
-use sps_cluster::ProcSet;
+use sps_cluster::{secs_for, ProcSet};
 use sps_simcore::{EventClass, EventQueue};
 use sps_workload::JobId;
 
@@ -66,12 +66,15 @@ impl SimState {
         let now = self.now;
         self.end_wait(id);
         self.index.occupy(&set, id);
+        // The landing set fixes the dispatch's gang-synchronous rate: all
+        // work/time conversions below run at the slowest member's speed.
+        let speed = self.cluster.speed_of(&set);
         let restore = if self.pmode.checkpoints()
             && self.jobs[id.index()].remaining < self.jobs[id.index()].job.run
         {
-            let secs = self
-                .ckpt
-                .image_secs(&self.jobs[id.index()].job, self.ckpt_sharers());
+            let secs =
+                self.ckpt
+                    .image_secs_at(&self.jobs[id.index()].job, self.ckpt_sharers(), speed);
             self.fault_stats.ckpt_overhead += secs;
             secs
         } else {
@@ -79,6 +82,7 @@ impl SimState {
         };
         let rt = &mut self.jobs[id.index()];
         rt.assigned = Some(set);
+        rt.speed = speed;
         rt.first_start = Some(now);
         rt.seg_open = Some(now);
         rt.overhead_total += restore;
@@ -87,12 +91,12 @@ impl SimState {
         let executed = rt.job.run - rt.remaining;
         rt.est_end = if executed > 0 {
             // Restored dispatch: estimated remaining computation only.
-            compute_start + (rt.job.estimate - executed).max(1)
+            compute_start + secs_for((rt.job.estimate - executed).max(1), speed)
         } else {
-            compute_start + rt.job.estimate
+            compute_start + secs_for(rt.job.estimate, speed)
         };
         self.avail.add(rt.est_end, rt.job.procs);
-        let done_at = compute_start + rt.remaining;
+        let done_at = compute_start + secs_for(rt.remaining, speed);
         queue.push(
             done_at,
             EventClass::Completion,
@@ -165,29 +169,35 @@ impl SimState {
             self.fault_stats.stranded_secs += now - since;
         }
         self.jobs[id.index()].remap = false;
+        // Re-timing on resume/migrate: the landing set's speed governs the
+        // new dispatch, so a job moved to faster processors finishes
+        // sooner than its suspension-time plan said.
+        let speed = self.cluster.speed_of(&set);
         self.jobs[id.index()].assigned = Some(set);
         self.end_wait(id);
         // Under a checkpointing mode the reload is the checkpoint image
-        // read-back (contention-aware); otherwise the Section V-A restart.
+        // read-back (contention-aware, at the landing set's drain rate);
+        // otherwise the Section V-A restart.
         let reload = if self.pmode.checkpoints() {
-            let secs = self
-                .ckpt
-                .image_secs(&self.jobs[id.index()].job, self.ckpt_sharers());
+            let secs =
+                self.ckpt
+                    .image_secs_at(&self.jobs[id.index()].job, self.ckpt_sharers(), speed);
             self.fault_stats.ckpt_overhead += secs;
             secs
         } else {
             self.overhead.restart_secs(&self.jobs[id.index()].job)
         };
         let rt = &mut self.jobs[id.index()];
+        rt.speed = speed;
         rt.overhead_total += reload;
         rt.seg_open = Some(now);
         let compute_start = now + reload;
         rt.phase = Phase::Running { compute_start };
         // Estimated release: reload + estimated remaining computation.
         let executed = rt.job.run - rt.remaining;
-        rt.est_end = compute_start + (rt.job.estimate - executed).max(1);
+        rt.est_end = compute_start + secs_for((rt.job.estimate - executed).max(1), speed);
         self.avail.add(rt.est_end, rt.job.procs);
-        let done_at = compute_start + rt.remaining;
+        let done_at = compute_start + secs_for(rt.remaining, speed);
         queue.push(
             done_at,
             EventClass::Completion,

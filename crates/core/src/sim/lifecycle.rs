@@ -5,7 +5,7 @@
 //! from the ledger and updates the occupancy index; a job entering the
 //! Suspended phase registers per-processor re-entry claims instead.
 
-use sps_cluster::ProcSet;
+use sps_cluster::{work_done, ProcSet};
 use sps_metrics::JobOutcome;
 use sps_simcore::{EventClass, EventQueue, Secs, SimTime};
 use sps_workload::JobId;
@@ -31,7 +31,11 @@ impl SimState {
             self.jobs[id.index()].job.procs,
         );
         let rt = &mut self.jobs[id.index()];
-        let executed_this_dispatch = (now - compute_start).max(0);
+        // Work accomplished this dispatch: elapsed compute time at the
+        // dispatch's gang rate. The floor in `work_done` never overcredits,
+        // so a suspension strictly before the completion event always
+        // leaves remaining work.
+        let executed_this_dispatch = work_done((now - compute_start).max(0), rt.speed);
         rt.remaining -= executed_this_dispatch;
         // A job suspended while still reloading never consumed the tail of
         // its reload; give that time back so overhead accounting equals
@@ -168,8 +172,10 @@ impl SimState {
             let images = seg_executed / self.ckpt.interval;
             if images > 0 {
                 let sharers = self.ckpt_sharers();
+                let speed = self.jobs[id.index()].speed;
                 let job = &self.jobs[id.index()].job;
-                self.fault_stats.ckpt_overhead += images * self.ckpt.image_secs(job, sharers);
+                self.fault_stats.ckpt_overhead +=
+                    images * self.ckpt.image_secs_at(job, sharers, speed);
             }
             let kept = banked + self.ckpt.retained_secs(seg_executed);
             kept.min(self.jobs[id.index()].job.run - 1).max(0)
@@ -238,7 +244,8 @@ impl SimState {
             let images = rt.remaining / self.ckpt.interval;
             if images > 0 {
                 let sharers = self.ckpt_sharers();
-                self.fault_stats.ckpt_overhead += images * self.ckpt.image_secs(&rt.job, sharers);
+                self.fault_stats.ckpt_overhead +=
+                    images * self.ckpt.image_secs_at(&rt.job, sharers, rt.speed);
             }
         }
         let rt = &mut self.jobs[id.index()];

@@ -497,6 +497,19 @@ impl<S: TraceSink, T: TelemetrySink> Simulator<S, T> {
         self
     }
 
+    /// Install per-processor speed factors (builder style). The default
+    /// uniform-1.0 map reproduces the paper's identical-processor machine
+    /// bit for bit; a non-trivial map makes progress accrue at the speed
+    /// of each job's slowest assigned processor and (unless the map is
+    /// placement-blind) steers allocation toward the fastest free sets.
+    /// Must be called before the run starts — no job is dispatched at
+    /// build time, so installing the map here never re-times anything.
+    /// Panics if the map does not cover the machine exactly.
+    pub fn with_speed(mut self, speed: sps_cluster::SpeedMap) -> Self {
+        self.state.cluster.set_speed(speed);
+        self
+    }
+
     /// Set the preemption mode and checkpoint cost model (builder style).
     /// The default [`PreemptionMode::InPlace`] reproduces the paper's
     /// mechanics bit-for-bit; [`PreemptionMode::Checkpoint`] bounds the
@@ -999,8 +1012,10 @@ impl<S: TraceSink, T: TelemetrySink> Simulator<S, T> {
         if after <= executed_before {
             return;
         }
+        // The threshold is in work-units; the dispatch's gang rate maps it
+        // back to the wall-clock instant it is reached.
         queue.push(
-            compute_start + (after - executed_before),
+            compute_start + sps_cluster::secs_for(after - executed_before, rt.speed),
             EventClass::Fault,
             Event::Crash {
                 job: id,

@@ -1,7 +1,7 @@
 //! Simulation state: the job table, phase lists, and the incremental
 //! kernel structures (release ledger + occupancy index).
 
-use sps_cluster::{AvailabilityProfile, Cluster, ProcSet, Profile};
+use sps_cluster::{work_done, AvailabilityProfile, Cluster, ProcSet, Profile};
 use sps_metrics::{FaultSummary, JobOutcome, RejectionSummary};
 use sps_simcore::{Secs, SimTime};
 use sps_workload::{Job, JobId};
@@ -64,8 +64,14 @@ pub(crate) struct JobRt {
     pub(crate) phase: Phase,
     /// Processor set currently or last held (persists through suspension).
     pub(crate) assigned: Option<ProcSet>,
-    /// Seconds of computation still to do.
+    /// Work-units of computation still to do (a work-unit is one second on
+    /// a speed-1.0 processor, so on the homogeneous machine this is
+    /// literally seconds).
     pub(crate) remaining: Secs,
+    /// Gang-synchronous rate of the current (or last) dispatch: the speed
+    /// of the slowest processor in the assigned set. 1.0 until the first
+    /// dispatch and always 1.0 on a homogeneous machine.
+    pub(crate) speed: f64,
     /// Waiting time accumulated over closed waiting intervals.
     pub(crate) wait_accum: Secs,
     /// Start of the current waiting interval (valid while waiting).
@@ -107,6 +113,7 @@ impl JobRt {
             phase: Phase::NotArrived,
             assigned: None,
             remaining,
+            speed: 1.0,
             wait_accum: 0,
             wait_since,
             first_start: None,
@@ -139,12 +146,13 @@ impl JobRt {
         }
     }
 
-    /// Seconds of computation completed by `now`.
+    /// Work-units of computation completed by `now`. While dispatched,
+    /// progress accrues at the dispatch's gang-synchronous speed.
     pub(crate) fn executed_at(&self, now: SimTime) -> Secs {
         let done_before = self.job.run - self.remaining;
         match self.phase {
             Phase::Running { compute_start } if now > compute_start => {
-                done_before + (now - compute_start)
+                done_before + work_done(now - compute_start, self.speed)
             }
             _ => done_before,
         }
@@ -285,6 +293,12 @@ impl SimState {
     /// The free processor set right now.
     pub fn free_set(&self) -> &ProcSet {
         self.cluster.free_set()
+    }
+
+    /// The machine's per-processor speed map (uniform 1.0 unless a
+    /// heterogeneous map was installed).
+    pub fn speed_map(&self) -> &sps_cluster::SpeedMap {
+        self.cluster.speed_map()
     }
 
     /// The static job record.

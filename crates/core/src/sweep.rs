@@ -21,6 +21,7 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use sps_cluster::SpeedSpec;
 use sps_metrics::{goodput, JobOutcome, P2Quantile, StreamingStats};
 use sps_simcore::{Secs, Watchdog};
 use sps_telemetry::{HealthSummary, Telemetry};
@@ -90,6 +91,14 @@ pub struct SweepSpec {
     /// Checkpoint image cost model, consulted when [`SweepSpec::preemption`]
     /// checkpoints.
     pub checkpoint: CheckpointModel,
+    /// Processor-speed configuration applied to every run (default
+    /// homogeneous `uniform:1.0`, bit-identical to the pre-heterogeneity
+    /// sweeps). Heterogeneous cells report per-tier utilization and
+    /// slowdown columns.
+    pub speed: SpeedSpec,
+    /// Whether placement is speed-aware (default `true`; `false` is the
+    /// speed-blind ablation).
+    pub speed_aware: bool,
     /// Retry budget for panicked replications (see
     /// [`BatchRunner::retries`](crate::runner::BatchRunner::retries)).
     pub retries: u32,
@@ -124,9 +133,23 @@ impl SweepSpec {
             faults: FaultModel::none(),
             preemption: PreemptionMode::InPlace,
             checkpoint: CheckpointModel::default(),
+            speed: SpeedSpec::uniform_one(),
+            speed_aware: true,
             retries: 0,
             wall_budget_ms: None,
         }
+    }
+
+    /// Set the processor-speed configuration applied to every run.
+    pub fn with_speed(mut self, speed: SpeedSpec) -> Self {
+        self.speed = speed;
+        self
+    }
+
+    /// Toggle speed-aware placement (the speed-blind ablation when off).
+    pub fn with_speed_aware(mut self, aware: bool) -> Self {
+        self.speed_aware = aware;
+        self
     }
 
     /// Set the failure-injection model applied to every run.
@@ -298,6 +321,8 @@ impl SweepSpec {
             .with_faults(faults)
             .with_preemption(self.preemption)
             .with_checkpoint(self.checkpoint)
+            .with_speed(self.speed.clone())
+            .with_speed_aware(self.speed_aware)
     }
 
     /// Expand the grid cell-major: all replications of a cell are
@@ -367,6 +392,15 @@ pub struct RunSummary {
     /// Goodput in [0, 1]: productive work over *available* capacity.
     /// Equals utilization when no downtime was recorded.
     pub goodput: f64,
+    /// Per-speed-tier productive utilization, `(speed, util in [0, 1])`
+    /// ascending by speed. Empty on homogeneous runs, so the fixed-size
+    /// promise holds where it mattered: heterogeneous machines have a
+    /// handful of tiers, not thousands.
+    pub tier_util: Vec<(f64, f64)>,
+    /// Per-speed-tier mean bounded slowdown, `(speed, mean)` ascending,
+    /// grouping each job by the gang rate of its first dispatch (the
+    /// minimum speed over that set). Empty on homogeneous runs.
+    pub tier_slowdown: Vec<(f64, f64)>,
     /// End-of-run health detector counts (only on instrumented runs).
     pub health: Option<HealthSummary>,
 }
@@ -408,6 +442,11 @@ impl RunSummary {
             .as_ref()
             .map(|w| w.utilization)
             .unwrap_or(sim.utilization);
+        let (tier_util, tier_slowdown) = if config.speed.is_uniform_one() {
+            (Vec::new(), Vec::new())
+        } else {
+            tier_metrics(config, sim)
+        };
         RunSummary {
             scheduler: config.scheduler.to_string(),
             load_factor: config.load_factor,
@@ -437,9 +476,68 @@ impl RunSummary {
             } else {
                 utilization
             },
+            tier_util,
+            tier_slowdown,
             health: sim.health,
         }
     }
+}
+
+/// `(speed, value)` pairs, one per distinct speed tier, ascending.
+type TierColumn = Vec<(f64, f64)>;
+
+/// Per-speed-tier utilization and mean slowdown for a heterogeneous run,
+/// reconstructed from the occupancy record. Tier utilization divides
+/// busy processor-seconds on that tier's processors by its capacity over
+/// the makespan; tier slowdown groups jobs by the gang rate of their
+/// first dispatch.
+fn tier_metrics(
+    config: &ExperimentConfig,
+    sim: &crate::sim::SimResult,
+) -> (TierColumn, TierColumn) {
+    let map = config.speed_map();
+    let speeds = map.distinct_speeds();
+    let tier_of = |s: f64| {
+        speeds
+            .iter()
+            .position(|&t| t == s)
+            .expect("every per-processor speed is a distinct speed")
+    };
+    let mut busy = vec![0.0f64; speeds.len()];
+    let mut first_speed: std::collections::HashMap<sps_workload::JobId, f64> =
+        std::collections::HashMap::new();
+    for seg in &sim.segments {
+        let span = (seg.end - seg.start) as f64;
+        for p in seg.procs.iter() {
+            busy[tier_of(map.speed(p))] += span;
+        }
+        first_speed
+            .entry(seg.job)
+            .or_insert_with(|| map.min_over(&seg.procs));
+    }
+    let mut capacity = vec![0u32; speeds.len()];
+    for p in 0..map.len() {
+        capacity[tier_of(map.speed(p))] += 1;
+    }
+    let horizon = sim.makespan.max(1) as f64;
+    let tier_util = speeds
+        .iter()
+        .zip(&busy)
+        .zip(&capacity)
+        .map(|((&s, &b), &c)| (s, b / (c.max(1) as f64 * horizon)))
+        .collect();
+    let mut slow = vec![StreamingStats::new(); speeds.len()];
+    for o in &sim.outcomes {
+        if let Some(&s) = first_speed.get(&o.id) {
+            slow[tier_of(s)].push(JobOutcome::slowdown(o));
+        }
+    }
+    let tier_slowdown = speeds
+        .iter()
+        .zip(&slow)
+        .map(|(&s, st)| (s, if st.count() > 0 { st.mean() } else { f64::NAN }))
+        .collect();
+    (tier_util, tier_slowdown)
 }
 
 /// Two-sided 97.5% Student-t quantiles for 1..=30 degrees of freedom
@@ -536,6 +634,12 @@ pub struct CellStats {
     pub migrations: Ci,
     /// Goodput over available capacity, percent.
     pub goodput_pct: Ci,
+    /// Per-speed-tier utilization (percent), ascending by speed; empty
+    /// for homogeneous cells.
+    pub tier_util_pct: Vec<(f64, Ci)>,
+    /// Per-speed-tier mean bounded slowdown, ascending by speed; empty
+    /// for homogeneous cells.
+    pub tier_slowdown: Vec<(f64, Ci)>,
     /// Health detector counts summed over instrumented replications
     /// (`None` when the sweep ran without telemetry).
     pub health: Option<HealthSummary>,
@@ -587,9 +691,36 @@ impl CellStats {
             ckpt_overhead: col(&|s| s.ckpt_overhead),
             migrations: col(&|s| s.migrations as f64),
             goodput_pct: col(&|s| s.goodput * 100.0),
+            tier_util_pct: tier_col(summaries, |s| &s.tier_util, 100.0),
+            tier_slowdown: tier_col(summaries, |s| &s.tier_slowdown, 1.0),
             health,
         }
     }
+}
+
+/// Aggregate one per-tier column over a cell's replications: tier `t`'s
+/// samples are the `t`-th entries of every summary (the tier layout is
+/// identical across replications — it comes from the shared speed spec).
+fn tier_col(
+    summaries: &[RunSummary],
+    get: impl Fn(&RunSummary) -> &Vec<(f64, f64)>,
+    scale: f64,
+) -> Vec<(f64, Ci)> {
+    let Some(first) = summaries.iter().map(&get).find(|v| !v.is_empty()) else {
+        return Vec::new();
+    };
+    first
+        .iter()
+        .enumerate()
+        .map(|(t, &(speed, _))| {
+            let samples: Vec<f64> = summaries
+                .iter()
+                .filter_map(|s| get(s).get(t).map(|&(_, v)| v * scale))
+                .filter(|v| v.is_finite())
+                .collect();
+            (speed, Ci::from_samples(&samples))
+        })
+        .collect()
 }
 
 /// The finished sweep: per-cell aggregates plus batch-level accounting.
@@ -614,7 +745,9 @@ pub struct SweepReport {
 
 impl SweepReport {
     /// CSV: one header row, one row per cell. `_ci` columns are 95%
-    /// half-widths over seed replications.
+    /// half-widths over seed replications. Heterogeneous sweeps append
+    /// per-tier columns (`tier0.5_util_pct`, `tier0.5_slowdown`, ...) —
+    /// the tier layout is shared by every cell, so rows stay rectangular.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "scheduler,load,reps,failures,aborted,\
@@ -624,10 +757,20 @@ impl SweepReport {
              preemptions,preemptions_ci,makespan,makespan_ci,\
              rejected,rejected_ci,rejected_penalty,rejected_penalty_ci,\
              lost_work,lost_work_ci,ckpt_overhead,ckpt_overhead_ci,\
-             migrations,migrations_ci,goodput_pct,goodput_pct_ci\n",
+             migrations,migrations_ci,goodput_pct,goodput_pct_ci",
         );
+        let tiers: Vec<f64> = self
+            .cells
+            .iter()
+            .find(|c| !c.tier_util_pct.is_empty())
+            .map(|c| c.tier_util_pct.iter().map(|&(s, _)| s).collect())
+            .unwrap_or_default();
+        for &speed in &tiers {
+            let _ = write!(out, ",tier{speed}_util_pct,tier{speed}_slowdown");
+        }
+        out.push('\n');
         for c in &self.cells {
-            let _ = writeln!(
+            let _ = write!(
                 out,
                 "{},{},{},{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.2},{:.2},{:.3},{:.3},{:.1},{:.1},{:.0},{:.0},{:.1},{:.1},{:.2},{:.2},{:.0},{:.0},{:.0},{:.0},{:.1},{:.1},{:.3},{:.3}",
                 c.scheduler,
@@ -664,6 +807,12 @@ impl SweepReport {
                 c.goodput_pct.mean,
                 c.goodput_pct.half_width,
             );
+            for t in 0..tiers.len() {
+                let util = c.tier_util_pct.get(t).map_or(f64::NAN, |&(_, ci)| ci.mean);
+                let slow = c.tier_slowdown.get(t).map_or(f64::NAN, |&(_, ci)| ci.mean);
+                let _ = write!(out, ",{util:.3},{slow:.4}");
+            }
+            out.push('\n');
         }
         out
     }
@@ -680,7 +829,7 @@ impl SweepReport {
             .cells
             .iter()
             .map(|c| {
-                Json::Obj(vec![
+                let mut fields = vec![
                     ("scheduler".into(), Json::Str(c.scheduler.to_string())),
                     ("load".into(), Json::Num(c.load_factor)),
                     ("reps".into(), Json::Int(c.reps as i64)),
@@ -700,7 +849,23 @@ impl SweepReport {
                     ("ckpt_overhead".into(), ci(c.ckpt_overhead)),
                     ("migrations".into(), ci(c.migrations)),
                     ("goodput_pct".into(), ci(c.goodput_pct)),
-                ])
+                ];
+                if !c.tier_util_pct.is_empty() {
+                    let tiers = c
+                        .tier_util_pct
+                        .iter()
+                        .zip(&c.tier_slowdown)
+                        .map(|(&(speed, util), &(_, slow))| {
+                            Json::Obj(vec![
+                                ("speed".into(), Json::Num(speed)),
+                                ("util_pct".into(), ci(util)),
+                                ("mean_slowdown".into(), ci(slow)),
+                            ])
+                        })
+                        .collect();
+                    fields.push(("tiers".into(), Json::Arr(tiers)));
+                }
+                Json::Obj(fields)
             })
             .collect();
         Json::Obj(vec![
@@ -1007,7 +1172,10 @@ mod tests {
     #[test]
     fn sweep_shares_traces_and_aggregates_cells() {
         let spec = tiny();
-        let report = run_sweep(&spec, 2).expect("valid spec");
+        // One worker: with several, two workers can race on a cold key
+        // and both generate (the documented cache semantics), making the
+        // exact hit count below nondeterministic.
+        let report = run_sweep(&spec, 1).expect("valid spec");
         assert_eq!(report.cells.len(), 4);
         assert_eq!(report.runs, 12);
         assert!(report.failures.is_empty());
@@ -1127,6 +1295,40 @@ mod tests {
         // fault metrics are genuine per-seed samples, not one value twice.
         let csv = report.to_csv();
         assert!(csv.lines().next().unwrap().ends_with("goodput_pct_ci"));
+    }
+
+    #[test]
+    fn hetero_sweep_reports_tier_columns() {
+        let spec = SweepSpec::new(SDSC)
+            .with_schedulers(vec![SchedulerKind::Ss { sf: 2.0 }])
+            .with_loads(vec![1.0])
+            .with_jobs(120)
+            .with_seed(11)
+            .with_reps(2)
+            .with_speed("tiers:0.5x64+1.0x64".parse().unwrap());
+        let report = run_sweep(&spec, 2).expect("valid hetero spec");
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        let cell = &report.cells[0];
+        let speeds: Vec<f64> = cell.tier_util_pct.iter().map(|&(s, _)| s).collect();
+        assert_eq!(speeds, vec![0.5, 1.0], "tiers ascend by speed");
+        assert!(cell
+            .tier_util_pct
+            .iter()
+            .all(|&(_, ci)| (0.0..=100.0).contains(&ci.mean)));
+        // Speed-aware placement prefers the fast tier, so it carries at
+        // least as much of the load as the slow one.
+        assert!(cell.tier_util_pct[1].1.mean >= cell.tier_util_pct[0].1.mean);
+        let header = report.to_csv().lines().next().unwrap().to_string();
+        assert!(header.ends_with("tier0.5_util_pct,tier0.5_slowdown,tier1_util_pct,tier1_slowdown"));
+        assert!(report.to_json().render().contains("\"tiers\""));
+        // Homogeneous sweeps keep the historical header verbatim.
+        let plain = run_sweep(&tiny().with_reps(1), 2).expect("valid spec");
+        assert!(plain
+            .to_csv()
+            .lines()
+            .next()
+            .unwrap()
+            .ends_with("goodput_pct_ci"));
     }
 
     #[test]

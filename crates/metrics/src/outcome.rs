@@ -47,7 +47,11 @@ impl JobOutcome {
         overhead: Secs,
     ) -> Self {
         debug_assert!(first_start >= job.submit);
-        debug_assert!(completion - job.submit >= job.run + overhead);
+        // Wall-clock service can undercut `job.run` when the job lands on
+        // processors faster than 1.0, so only the speed-independent bound
+        // holds: the job must at least outlast its start and its overhead.
+        debug_assert!(completion >= first_start);
+        debug_assert!(completion - job.submit >= overhead);
         JobOutcome {
             id: job.id,
             procs: job.procs,
@@ -83,9 +87,16 @@ impl JobOutcome {
     }
 
     /// Total time not spent computing (queued + suspended + overhead).
+    ///
+    /// `run` is the job's *nominal* work in seconds-at-speed-1.0, so on a
+    /// heterogeneous machine any stretch from slow processors counts as
+    /// waiting, keeping slowdown comparable across speed maps. A job that
+    /// lands on faster-than-nominal processors can finish inside its
+    /// nominal run time; that is clamped to zero rather than credited as
+    /// negative waiting.
     #[inline]
     pub fn wait(&self) -> Secs {
-        self.turnaround() - self.run
+        (self.turnaround() - self.run).max(0)
     }
 
     /// Bounded slowdown per Eq. 1.

@@ -92,6 +92,9 @@ pub struct ReplayStats {
     /// (counted whether or not migration is allowed; a violation is
     /// raised alongside when it is not).
     pub migrations: usize,
+    /// The header's processor-speed spec (`tiers:0.5x64+1.0x64`, ...),
+    /// when the embedded config declares a heterogeneous machine.
+    pub speed: Option<String>,
 }
 
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -124,6 +127,10 @@ pub struct Validator {
     occupied: HashMap<u32, u32>,
     /// Processors currently down.
     down: HashSet<u32>,
+    /// Machine size pinned by a `tiers:` speed spec in the header: the
+    /// tier counts enumerate every processor, so any claim at or beyond
+    /// their sum references a processor the speed map does not cover.
+    speed_procs: Option<u32>,
     /// category -> time of first blocked record (activation).
     limit_active: HashMap<String, i64>,
     stats: ReplayStats,
@@ -152,6 +159,7 @@ impl Validator {
             jobs: HashMap::new(),
             occupied: HashMap::new(),
             down: HashSet::new(),
+            speed_procs: None,
             limit_active: HashMap::new(),
             stats: ReplayStats::default(),
             violations: Vec::new(),
@@ -210,6 +218,18 @@ impl Validator {
                     .is_some_and(|r| r == "remap");
                 if migrating_mode || remap_recovery {
                     self.opts.allow_migration = true;
+                }
+                if let Some(spec) = config.get("speed").and_then(Json::as_str) {
+                    self.stats.speed = Some(spec.to_string());
+                    // A tiers spec enumerates every processor; sum the
+                    // counts so claims beyond the machine are caught.
+                    self.speed_procs = spec.strip_prefix("tiers:").map(|tiers| {
+                        tiers
+                            .split('+')
+                            .filter_map(|part| part.split_once('x'))
+                            .filter_map(|(_, n)| n.trim().parse::<u32>().ok())
+                            .sum()
+                    });
                 }
             }
             TraceRecord::Job {
@@ -407,6 +427,14 @@ impl Validator {
     }
 
     fn claim(&mut self, job: u32, procs: &[u32]) {
+        if let Some(total) = self.speed_procs {
+            if let Some(&p) = procs.iter().find(|&&p| p >= total) {
+                self.violation(format!(
+                    "job {job}: processor {p} is outside the {total}-processor \
+                     machine declared by the header's speed tiers"
+                ));
+            }
+        }
         let mut clashes = Vec::new();
         let mut dead = Vec::new();
         for &p in procs {
@@ -676,6 +704,38 @@ mod tests {
         };
         *config = Json::parse(r#"{"preemption": "checkpoint"}"#).unwrap();
         assert!(validate_records(&trace, ReplayOptions::default()).is_err());
+    }
+
+    #[test]
+    fn speed_header_pins_the_machine_size() {
+        let mut trace = good_trace();
+        let TraceRecord::Header { config, .. } = &mut trace[0] else {
+            panic!()
+        };
+        *config = Json::parse(r#"{"speed": "tiers:0.5x2+1.0x2"}"#).unwrap();
+        // The clean trace claims processors 0..=2 on a 4-processor
+        // machine: accepted, and the spec surfaces in the stats.
+        let stats = validate_records(&trace, ReplayOptions::default()).unwrap();
+        assert_eq!(stats.speed.as_deref(), Some("tiers:0.5x2+1.0x2"));
+        // Shrink the machine below the claimed processors: rejected.
+        let TraceRecord::Header { config, .. } = &mut trace[0] else {
+            panic!()
+        };
+        *config = Json::parse(r#"{"speed": "tiers:0.5x1+1.0x1"}"#).unwrap();
+        let violations = validate_records(&trace, ReplayOptions::default()).unwrap_err();
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.message.contains("outside the 2-processor machine")),
+            "{violations:?}"
+        );
+        // Uniform specs pin nothing (any index is legal) but still report.
+        let TraceRecord::Header { config, .. } = &mut trace[0] else {
+            panic!()
+        };
+        *config = Json::parse(r#"{"speed": "uniform:0.5"}"#).unwrap();
+        let stats = validate_records(&trace, ReplayOptions::default()).unwrap();
+        assert_eq!(stats.speed.as_deref(), Some("uniform:0.5"));
     }
 
     #[test]

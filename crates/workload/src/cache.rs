@@ -33,6 +33,12 @@ pub struct TraceKey {
     pub load_bits: u64,
     /// Estimate model discriminant plus its parameters' bit patterns.
     pub estimates: (u8, u64, u64),
+    /// Hash of the processor-speed configuration, 0 for the homogeneous
+    /// default (see [`TraceKey::with_speed`]). The job list itself is
+    /// speed-independent, but batch result caches key whole runs by this
+    /// struct — without the field, a heterogeneous run and its homogeneous
+    /// twin would collide the same way preemption configs once did.
+    pub speed_bits: u64,
 }
 
 impl TraceKey {
@@ -62,7 +68,26 @@ impl TraceKey {
             seed,
             load_bits: load_factor.to_bits(),
             estimates: est,
+            speed_bits: 0,
         }
+    }
+
+    /// Fold a processor-speed configuration into the key: `spec` is the
+    /// canonical speed spec string and `aware` whether placement is
+    /// speed-aware. Callers with the homogeneous default skip this call,
+    /// keeping their keys (and cache sharing) byte-identical to the
+    /// pre-heterogeneity ones.
+    pub fn with_speed(mut self, spec: &str, aware: bool) -> Self {
+        // FNV-1a over the spec bytes plus an awareness byte: cheap, stable
+        // across runs (unlike `DefaultHasher`), and collision-free for the
+        // short canonical spec strings in practice.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in spec.as_bytes().iter().chain(&[b'|', aware as u8]) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.speed_bits = h;
+        self
     }
 }
 
@@ -178,6 +203,16 @@ mod tests {
             base,
             TraceKey::new(SDSC, 50, 7, 1.0, &EstimateModel::Accurate)
         );
+    }
+
+    #[test]
+    fn keys_separate_speed_configs() {
+        let base = TraceKey::new(SDSC, 50, 7, 1.0, &EstimateModel::Accurate);
+        let tiers = base.with_speed("tiers:0.5x64+1.0x64", true);
+        let blind = base.with_speed("tiers:0.5x64+1.0x64", false);
+        assert_ne!(base, tiers, "heterogeneous runs get their own key");
+        assert_ne!(tiers, blind, "placement awareness is part of the key");
+        assert_eq!(tiers, base.with_speed("tiers:0.5x64+1.0x64", true));
     }
 
     #[test]

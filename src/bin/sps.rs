@@ -28,6 +28,7 @@
 use std::fmt::Write as _;
 use std::io::IsTerminal as _;
 
+use selective_preemption::cluster::{SpeedMap, SpeedSpec};
 use selective_preemption::core::admission::AdmissionModel;
 use selective_preemption::core::checkpoint::{CheckpointModel, PreemptionMode};
 use selective_preemption::core::experiment::{default_threads, ExperimentConfig, SchedulerKind};
@@ -61,6 +62,7 @@ fn usage() -> ! {
     eprintln!("             [--preemption suspend|checkpoint|migrate] [--ckpt-interval SECS]");
     eprintln!("             [--ckpt-rate MB/S] [--ckpt-contention]");
     eprintln!("             [--arrivals SPEC] [--until DUR|Nj] [--warmup DUR] [--admission SPEC]");
+    eprintln!("             [--speed SPEC] [--speed-blind]");
     eprintln!("  sps sweep  --system <CTC|SDSC|KTH> --sched <SPEC> [--sched <SPEC>...]");
     eprintln!("             [--loads F,F,...] [--jobs N] [--seed N] [--reps N] [--threads N]");
     eprintln!("             [--estimates accurate|mixture] [--overhead none|paper]");
@@ -68,6 +70,7 @@ fn usage() -> ! {
     eprintln!("             [--mtbf SECS] [--mttr SECS] [--recovery ...] [--preemption ...]");
     eprintln!("             [--budget MS] [--retries N]");
     eprintln!("             [--arrivals SPEC] [--until DUR|Nj] [--warmup DUR] [--admission SPEC]");
+    eprintln!("             [--speed SPEC] [--speed-blind]");
     eprintln!("  sps report [--system <CTC|SDSC|KTH>] [--sched <SPEC>...] [--sf F]");
     eprintln!("             [--jobs N] [--load F] [--loads F,F,...] [--seed N] [--reps N]");
     eprintln!("             [--mtbf SECS] [--mttr SECS] [--out FILE] [--prom PREFIX]");
@@ -107,6 +110,11 @@ fn usage() -> ! {
     eprintln!("        --warmup DUR discards the transient from the windowed report;");
     eprintln!("        --admission load:<backlog>[,<penalty-factor>] enables admission");
     eprintln!("        control (reject when the queue backlog exceeds <backlog> of work)");
+    eprintln!("speed: --speed gives processors heterogeneous speed factors:");
+    eprintln!("        uniform:<f> | tiers:<f>x<n>+<f>x<n>+... | lognormal:<seed>");
+    eprintln!("        a job runs at its slowest assigned processor's speed, so runtimes");
+    eprintln!("        stretch by 1/speed; schedulers place on the fastest free procs");
+    eprintln!("        unless --speed-blind disables speed-aware placement (ablation)");
     std::process::exit(2);
 }
 
@@ -150,6 +158,8 @@ struct Args {
     until: Option<RunUntil>,
     warmup: Option<Secs>,
     admission: Option<AdmissionModel>,
+    speed: Option<SpeedSpec>,
+    speed_blind: bool,
 }
 
 impl Args {
@@ -332,6 +342,14 @@ fn parse_args(mut argv: std::vec::IntoIter<String>) -> Args {
                         .unwrap_or_else(|e| fail(&format!("bad --admission: {e}"))),
                 )
             }
+            "--speed" => {
+                args.speed = Some(
+                    value()
+                        .parse()
+                        .unwrap_or_else(|e| fail(&format!("bad --speed: {e}"))),
+                )
+            }
+            "--speed-blind" => args.speed_blind = true,
             "--worst" => args.worst = true,
             "--progress" => args.progress = Some(true),
             "--no-progress" => args.progress = Some(false),
@@ -343,6 +361,9 @@ fn parse_args(mut argv: std::vec::IntoIter<String>) -> Args {
             "--procs" => args.procs = Some(value().parse().unwrap_or_else(|_| fail("bad --procs"))),
             other => fail(&format!("unknown flag {other:?}")),
         }
+    }
+    if args.speed_blind && args.speed.is_none() {
+        fail("--speed-blind needs --speed to enable heterogeneous processors");
     }
     for spec in sched_specs {
         let resolved = match spec.as_str() {
@@ -382,12 +403,14 @@ fn report(jobs: Vec<Job>, procs: u32, args: &Args) {
             let next = &next;
             let scheds = &args.scheds;
             let overhead = args.overhead;
+            let speed = &args.speed;
+            let blind = args.speed_blind;
             scope.spawn(move || loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= scheds.len() {
                     break;
                 }
-                let sim =
+                let mut sim =
                     Simulator::with_overhead(jobs.clone(), procs, scheds[i].build(), overhead)
                         .with_faults(faults)
                         .with_preemption(pmode, ckpt)
@@ -395,6 +418,9 @@ fn report(jobs: Vec<Job>, procs: u32, args: &Args) {
                         .with_until(until)
                         .with_warmup(warmup)
                         .with_watchdog(Watchdog::generous());
+                if let Some(spec) = speed {
+                    sim = sim.with_speed(SpeedMap::from_spec(spec, procs).with_aware(!blind));
+                }
                 if tx.send((i, sim.run())).is_err() {
                     break;
                 }
@@ -532,6 +558,8 @@ fn open_run(system: SystemPreset, args: &Args) {
                 .with_checkpoint(args.checkpoint())
                 .with_arrivals(spec)
                 .with_admission(admission)
+                .with_speed(args.speed.clone().unwrap_or_default())
+                .with_speed_aware(!args.speed_blind)
         })
         .collect();
     println!(
@@ -733,7 +761,9 @@ fn main() {
                 .with_overhead(args.overhead)
                 .with_faults(args.faults())
                 .with_preemption(args.preemption())
-                .with_checkpoint(args.checkpoint());
+                .with_checkpoint(args.checkpoint())
+                .with_speed(args.speed.clone().unwrap_or_default())
+                .with_speed_aware(!args.speed_blind);
             if let Some(n) = args.jobs {
                 spec = spec.with_jobs(n);
             }
@@ -831,6 +861,8 @@ fn main() {
                     .with_preemption(args.preemption())
                     .with_checkpoint(args.checkpoint())
                     .with_admission(admission)
+                    .with_speed(args.speed.clone().unwrap_or_default())
+                    .with_speed_aware(!args.speed_blind)
             };
             config(scheds[0])
                 .validate()
@@ -1006,6 +1038,8 @@ fn main() {
                     .with_faults(faults)
                     .with_preemption(args.preemption())
                     .with_checkpoint(args.checkpoint())
+                    .with_speed(args.speed.clone().unwrap_or_default())
+                    .with_speed_aware(!args.speed_blind)
                     .with_telemetry(true);
                 let threads = args.threads.unwrap_or_else(default_threads);
                 let progress = args
@@ -1106,7 +1140,9 @@ fn main() {
                 .with_overhead(args.overhead)
                 .with_faults(args.faults())
                 .with_preemption(args.preemption())
-                .with_checkpoint(args.checkpoint());
+                .with_checkpoint(args.checkpoint())
+                .with_speed(args.speed.clone().unwrap_or_default())
+                .with_speed_aware(!args.speed_blind);
             if let Some(n) = args.jobs {
                 cfg = cfg.with_jobs(n);
             }

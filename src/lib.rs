@@ -46,11 +46,8 @@ pub mod prelude {
     pub use sps_cluster::{Cluster, ProcSet};
     pub use sps_core::admission::AdmissionModel;
     pub use sps_core::checkpoint::{CheckpointModel, PreemptionMode};
-    #[allow(deprecated)] // shims stay importable during the migration window
-    pub use sps_core::experiment::run_many;
     pub use sps_core::experiment::{
-        default_threads, run_many_checked, ConfigError, ExperimentConfig, RunError, RunResult,
-        SchedulerKind,
+        default_threads, ConfigError, ExperimentConfig, RunError, RunResult, SchedulerKind,
     };
     pub use sps_core::faults::{FaultModel, RecoveryPolicy};
     pub use sps_core::overhead::OverheadModel;
