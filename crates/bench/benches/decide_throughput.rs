@@ -13,16 +13,21 @@
 //!
 //! Flags: `--smoke` runs one sample per case (CI keeps the path alive),
 //! `--quick` three; a bare argument is a substring filter. `--guard`
-//! compares each case's events/sec against the `after` baselines in
-//! `BENCH_kernel.json` and exits non-zero below 50% of baseline — a
-//! coarse CI tripwire for "telemetry (or anything else) made the
-//! default-disabled hot path slow", deliberately loose enough to
-//! survive shared-runner noise.
+//! compares each case's events/sec against the **best** entry recorded
+//! in `BENCH_kernel.json` — the max over the `after` block and the
+//! case's dated `history` array — and exits non-zero below 50% of that
+//! baseline: a coarse CI tripwire for "telemetry (or anything else)
+//! made the default-disabled hot path slow", deliberately loose enough
+//! to survive shared-runner noise. Every guarded run also *appends* a
+//! dated entry to each measured case's `history` (regressions included,
+//! so the trajectory is honest; the max-baseline rule means a recorded
+//! regression never ratchets the gate down).
 
 use std::cell::RefCell;
 use std::rc::Rc;
 use std::time::Instant;
 
+use sps_bench::history;
 use sps_core::experiment::SchedulerKind;
 use sps_core::policy::{Action, DecideCtx, Policy};
 use sps_core::sim::{SimState, Simulator};
@@ -122,31 +127,13 @@ fn percentile(sorted: &[u64], p: f64) -> f64 {
     sorted[idx] as f64 / 1e3
 }
 
-/// `after.events_per_sec` baselines from `BENCH_kernel.json` at the
-/// workspace root, keyed by case label.
-fn load_baselines() -> Vec<(String, f64)> {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernel.json");
-    let text =
-        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("--guard needs {path}: {e}"));
-    let json = sps_trace::Json::parse(&text).expect("BENCH_kernel.json parses");
-    json.get("cases")
-        .and_then(|c| c.as_arr())
-        .expect("BENCH_kernel.json has cases")
-        .iter()
-        .map(|case| {
-            let label = case
-                .get("case")
-                .and_then(|v| v.as_str())
-                .expect("case label")
-                .to_string();
-            let rate = case
-                .get("after")
-                .and_then(|a| a.get("events_per_sec"))
-                .and_then(|v| v.as_f64())
-                .expect("after.events_per_sec");
-            (label, rate)
-        })
-        .collect()
+/// Path of the kernel bench report at the workspace root.
+const REPORT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernel.json");
+
+/// The parsed `BENCH_kernel.json`; the guard baseline per case is the
+/// best events/sec it records (see [`history::best_metric`]).
+fn load_report() -> sps_trace::Json {
+    history::load(REPORT).unwrap_or_else(|| panic!("--guard needs a parseable {REPORT}"))
 }
 
 /// Fraction of the recorded baseline a case must reach under `--guard`.
@@ -169,8 +156,9 @@ fn main() {
             s => filter = Some(s.to_string()),
         }
     }
-    let baselines = if guard { load_baselines() } else { Vec::new() };
+    let mut report = guard.then(load_report);
     let mut violations: Vec<String> = Vec::new();
+    let date = history::today();
 
     for case in cases() {
         let full = format!("decide_throughput/{}", case.label);
@@ -220,18 +208,18 @@ fn main() {
             wall * 1e3,
             events_per_sec,
         );
-        if guard {
-            match baselines.iter().find(|(l, _)| l == case.label) {
-                Some(&(_, base)) => {
+        if let Some(doc) = &mut report {
+            match history::best_metric(doc, case.label, "events_per_sec") {
+                Some(base) => {
                     let floor = base * GUARD_FLOOR;
                     let pct = events_per_sec / base * 100.0;
                     println!(
-                        "guard {:<30} {:>6.1}% of baseline ({:.0} vs {:.0} events/s, floor {:.0})",
+                        "guard {:<30} {:>6.1}% of best prior ({:.0} vs {:.0} events/s, floor {:.0})",
                         case.label, pct, events_per_sec, base, floor
                     );
                     if events_per_sec < floor {
                         violations.push(format!(
-                            "{}: {:.0} events/s is below {:.0} ({}% of the {:.0} baseline)",
+                            "{}: {:.0} events/s is below {:.0} ({}% of the best prior {:.0})",
                             case.label,
                             events_per_sec,
                             floor,
@@ -244,12 +232,36 @@ fn main() {
                     violations.push(format!("{}: no baseline in BENCH_kernel.json", case.label))
                 }
             }
+            let entry = history::obj(vec![
+                ("date", sps_trace::Json::Str(date.clone())),
+                ("events_per_sec", sps_trace::Json::Num(events_per_sec)),
+                ("wall_ms", sps_trace::Json::Num(wall * 1e3)),
+                (
+                    "decide_us",
+                    history::obj(vec![
+                        ("p50", sps_trace::Json::Num(p50)),
+                        ("p90", sps_trace::Json::Num(p90)),
+                        ("p99", sps_trace::Json::Num(p99)),
+                    ]),
+                ),
+            ]);
+            if !history::append_entry(doc, case.label, entry) {
+                eprintln!(
+                    "warning: {} has no case object in BENCH_kernel.json; not recorded",
+                    case.label
+                );
+            }
         }
     }
-    if guard {
+    if let Some(doc) = &report {
+        // Record the run — regressions too — before the gate can exit.
+        match history::store(REPORT, doc) {
+            Ok(()) => eprintln!("appended dated history entries to {REPORT}"),
+            Err(e) => eprintln!("warning: cannot write {REPORT}: {e}"),
+        }
         if violations.is_empty() {
             println!(
-                "guard OK: every case within {}% of baseline",
+                "guard OK: every case within {}% of its best prior entry",
                 (GUARD_FLOOR * 100.0) as u32
             );
         } else {

@@ -24,15 +24,23 @@
 //! mark is not polluted by the retained-results phase.
 //!
 //! Flags: `--smoke` runs a tiny grid and skips the report file; a full
-//! run writes `BENCH_sweep.json` at the workspace root.
+//! run updates the `sdsc_paper_grid` case in `BENCH_sweep.json` at the
+//! workspace root in place — other cases (e.g. the mega-sweep case) are
+//! preserved, and a dated entry is appended to the case's `history`
+//! array so the trajectory across PRs survives. `--guard` additionally
+//! gates on the measured speedup staying within 50% of the best prior
+//! recorded speedup (full runs) or simply ≥ 1.0 (smoke runs, whose tiny
+//! grid is not comparable to the recorded full-grid numbers).
 
 use std::time::Instant;
 
+use sps_bench::history;
 use sps_core::experiment::{ExperimentConfig, SchedulerKind};
 use sps_core::sim::{SimResult, Simulator};
 use sps_core::sweep::{run_sweep, CellStats, RunSummary, SweepSpec};
 use sps_metrics::{CategoryReport, JobOutcome};
 use sps_simcore::Watchdog;
+use sps_trace::Json;
 use sps_workload::traces::SDSC;
 
 /// Peak resident set size of this process so far, in kilobytes.
@@ -133,23 +141,15 @@ fn run_before(spec: &SweepSpec) -> (Vec<CellStats>, u64) {
     (cells, events)
 }
 
-/// Convert unix days to a calendar date (Howard Hinnant's civil_from_days).
-fn date_from_unix(secs: u64) -> String {
-    let z = secs as i64 / 86_400 + 719_468;
-    let era = z.div_euclid(146_097);
-    let doe = z.rem_euclid(146_097);
-    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
-    let y = yoe + era * 400;
-    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
-    let mp = (5 * doy + 2) / 153;
-    let d = doy - (153 * mp + 2) / 5 + 1;
-    let m = if mp < 10 { mp + 3 } else { mp - 9 };
-    let y = if m <= 2 { y + 1 } else { y };
-    format!("{y:04}-{m:02}-{d:02}")
-}
+/// Path of the sweep bench report at the workspace root.
+const REPORT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
+
+/// Fraction of the best prior speedup a full guarded run must reach.
+const GUARD_FLOOR: f64 = 0.5;
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke" || a == "--quick");
+    let guard = std::env::args().any(|a| a == "--guard");
     let spec = if smoke { smoke_grid() } else { paper_grid() };
     eprintln!(
         "sweep_throughput: {} cells x {} reps = {} runs of {} jobs{}",
@@ -198,43 +198,93 @@ fn main() {
     );
     println!("speedup: {speedup:.2}x (identical cells: yes)");
 
-    if !smoke {
-        let date = std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .map(|d| date_from_unix(d.as_secs()))
-            .unwrap_or_default();
-        let json = format!(
-            concat!(
-                "{{\n",
-                "  \"benchmark\": \"sweep_throughput (crates/bench/benches/sweep_throughput.rs)\",\n",
-                "  \"date\": \"{date}\",\n",
-                "  \"notes\": \"Before = per-run trace regeneration, binary-heap event queue, no idle-tick elision, exhaustive reference decides, full SimResult retention until the final fold. After = run_sweep: shared TraceCache, calendar event queue + quiescent tick elision, fast no-op decide certifications, per-run streaming fold to RunSummary. Both single-threaded; per-cell statistics asserted bit-identical. Peak RSS from /proc/self/status VmHWM (after phase runs first).\",\n",
-                "  \"cases\": [\n",
-                "    {{\n",
-                "      \"case\": \"sdsc_paper_grid\",\n",
-                "      \"workload\": \"SDSC, {{NS, IS, SS x 5 SF, TSS x 5 SF}} x 3 loads x 5 seeds, 5000 jobs (180 runs)\",\n",
-                "      \"before\": {{\"wall_ms\": {bw:.1}, \"peak_rss_kb\": {br}, \"events\": {be}}},\n",
-                "      \"after\":  {{\"wall_ms\": {aw:.1}, \"peak_rss_kb\": {ar}, \"unique_traces\": {ut}, \"trace_hits\": {th}}},\n",
-                "      \"speedup\": {sp:.2},\n",
-                "      \"identical_cells\": true\n",
-                "    }}\n",
-                "  ]\n",
-                "}}\n",
+    if smoke {
+        if guard {
+            // A smoke grid is not comparable to the recorded full-grid
+            // numbers, so the gate only demands "not slower than naive".
+            if speedup < 1.0 {
+                eprintln!("guard FAIL: smoke speedup {speedup:.2}x is below 1.0x");
+                std::process::exit(1);
+            }
+            println!("guard OK: smoke speedup {speedup:.2}x >= 1.0x");
+        }
+        return;
+    }
+
+    let date = history::today();
+    let mut doc = history::load(REPORT).unwrap_or_else(|| {
+        history::obj(vec![
+            (
+                "benchmark",
+                Json::Str("sweep_throughput (crates/bench/benches/sweep_throughput.rs)".into()),
             ),
-            date = date,
-            bw = before_wall.as_secs_f64() * 1e3,
-            br = before_rss_kb,
-            be = before_events,
-            aw = after_wall.as_secs_f64() * 1e3,
-            ar = after_rss_kb,
-            ut = report.unique_traces,
-            th = report.trace_hits,
-            sp = speedup,
-        );
-        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
-        match std::fs::write(path, &json) {
-            Ok(()) => eprintln!("wrote {path}"),
-            Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+            ("cases", Json::Arr(Vec::new())),
+        ])
+    });
+    // Baseline is read before this run's entry lands in the history.
+    let baseline = history::best_metric(&doc, "sdsc_paper_grid", "speedup");
+    let case = history::obj(vec![
+        ("case", Json::Str("sdsc_paper_grid".into())),
+        (
+            "workload",
+            Json::Str(
+                "SDSC, {NS, IS, SS x 5 SF, TSS x 5 SF} x 3 loads x 5 seeds, 5000 jobs (180 runs)"
+                    .into(),
+            ),
+        ),
+        ("date", Json::Str(date.clone())),
+        (
+            "before",
+            history::obj(vec![
+                ("wall_ms", Json::Num(before_wall.as_secs_f64() * 1e3)),
+                ("peak_rss_kb", Json::Int(before_rss_kb as i64)),
+                ("events", Json::Int(before_events as i64)),
+            ]),
+        ),
+        (
+            "after",
+            history::obj(vec![
+                ("wall_ms", Json::Num(after_wall.as_secs_f64() * 1e3)),
+                ("peak_rss_kb", Json::Int(after_rss_kb as i64)),
+                ("unique_traces", Json::Int(report.unique_traces as i64)),
+                ("trace_hits", Json::Int(report.trace_hits as i64)),
+            ]),
+        ),
+        ("speedup", Json::Num(speedup)),
+        ("identical_cells", Json::Bool(true)),
+    ]);
+    history::upsert_case(&mut doc, "sdsc_paper_grid", case);
+    history::append_entry(
+        &mut doc,
+        "sdsc_paper_grid",
+        history::obj(vec![
+            ("date", Json::Str(date)),
+            ("speedup", Json::Num(speedup)),
+            ("wall_ms", Json::Num(after_wall.as_secs_f64() * 1e3)),
+            ("peak_rss_kb", Json::Int(after_rss_kb as i64)),
+        ]),
+    );
+    match history::store(REPORT, &doc) {
+        Ok(()) => eprintln!("updated {REPORT} (dated history entry appended)"),
+        Err(e) => eprintln!("warning: cannot write {REPORT}: {e}"),
+    }
+    if guard {
+        match baseline {
+            Some(base) => {
+                let floor = base * GUARD_FLOOR;
+                if speedup < floor {
+                    eprintln!(
+                        "guard FAIL: speedup {speedup:.2}x is below {floor:.2}x ({}% of the best prior {base:.2}x)",
+                        (GUARD_FLOOR * 100.0) as u32
+                    );
+                    std::process::exit(1);
+                }
+                println!(
+                    "guard OK: speedup {speedup:.2}x within {}% of the best prior {base:.2}x",
+                    (GUARD_FLOOR * 100.0) as u32
+                );
+            }
+            None => println!("guard OK: no prior speedup recorded; this run seeds the history"),
         }
     }
 }

@@ -12,6 +12,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod history;
 pub mod registry;
 
 pub use harness::Harness;

@@ -58,6 +58,16 @@ impl ProcSet {
         self.universe
     }
 
+    /// Become a copy of `other`, reusing this set's word buffer — the
+    /// allocation-free form of `*self = other.clone()` used by decide
+    /// scratch arenas.
+    #[inline]
+    pub fn copy_from(&mut self, other: &ProcSet) {
+        self.universe = other.universe;
+        self.words.clear();
+        self.words.extend_from_slice(&other.words);
+    }
+
     /// Add processor `i` to the set.
     #[inline]
     pub fn insert(&mut self, i: u32) {

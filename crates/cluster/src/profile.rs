@@ -48,6 +48,16 @@ impl Profile {
     ///   user estimates. Ends at or before `now` are clamped to `now + 1`
     ///   (the job is still occupying its processors, whatever the estimate
     ///   said).
+    ///
+    /// A zero-capacity placeholder profile, for buffers that will be
+    /// filled by [`AvailabilityProfile::snapshot_into`].
+    pub fn empty() -> Self {
+        Profile {
+            total: 0,
+            steps: Vec::new(),
+        }
+    }
+
     pub fn new(now: SimTime, total: u32, free_now: u32, releases: &[(SimTime, u32)]) -> Self {
         debug_assert!(free_now <= total);
         let mut ends: Vec<(SimTime, u32)> = releases
@@ -251,9 +261,20 @@ impl AvailabilityProfile {
     /// releases at or before `now` clamp to `now + 1` — but built in one
     /// ordered walk over the ledger.
     pub fn snapshot(&self, now: SimTime, total: u32, free_now: u32) -> Profile {
+        let mut out = Profile::empty();
+        self.snapshot_into(now, total, free_now, &mut out);
+        out
+    }
+
+    /// [`snapshot`](Self::snapshot) into a caller-owned [`Profile`],
+    /// reusing its breakpoint buffer — the allocation-free form used by
+    /// per-decide planners that rematerialize the profile every call.
+    pub fn snapshot_into(&self, now: SimTime, total: u32, free_now: u32, out: &mut Profile) {
         debug_assert!(free_now <= total);
-        let mut steps = Vec::with_capacity(self.releases.len() + 2);
-        steps.push((now, free_now));
+        out.total = total;
+        out.steps.clear();
+        out.steps.reserve(self.releases.len() + 2);
+        out.steps.push((now, free_now));
         let mut avail = free_now;
         let mut it = self.releases.iter().peekable();
         // Overrun estimates: everything ledgered at or before `now` lands
@@ -268,18 +289,17 @@ impl AvailabilityProfile {
         }
         if clamped > 0 {
             avail += clamped;
-            steps.push((now + 1, avail));
+            out.steps.push((now + 1, avail));
         }
         for (&end, &procs) in it {
             avail += procs;
-            match steps.last_mut() {
+            match out.steps.last_mut() {
                 // A real release at `now + 1` merges into the clamped bucket.
                 Some((t, a)) if *t == end => *a = avail,
-                _ => steps.push((end, avail)),
+                _ => out.steps.push((end, avail)),
             }
         }
         debug_assert!(avail <= total, "released more processors than exist");
-        Profile { total, steps }
     }
 }
 

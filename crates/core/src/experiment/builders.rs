@@ -1,11 +1,17 @@
 //! The thread-pool batch seam: [`RunError`], [`default_threads`], and the
 //! `run_batch*` family that [`BatchRunner`](crate::runner::BatchRunner)
-//! and the sweep harness drive. Workers pull indices from a shared
-//! counter, so a slow cell never blocks the queue, and per-configuration
-//! `catch_unwind` keeps one poisoned cell from voiding a whole grid.
+//! and the sweep harness drive. Work is dispatched through per-worker
+//! chunked deques with stealing (see [`StealQueues`]): each worker starts
+//! with a contiguous slice of the batch — consecutive indices are
+//! replications of the same cell, so the initial split maximizes trace
+//! cache locality — and an idle worker steals the back half of a loaded
+//! one's queue, so a shard of slow cells never serializes the tail of a
+//! sweep. Per-configuration `catch_unwind` keeps one poisoned cell from
+//! voiding a whole grid.
 
+use std::collections::VecDeque;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use super::{ConfigError, ExperimentConfig};
 
@@ -63,13 +69,78 @@ pub fn default_threads() -> usize {
         .unwrap_or(4)
 }
 
+/// Work-stealing index dispatch for a batch of `n` items over `w`
+/// workers.
+///
+/// Each worker owns a deque seeded with a contiguous chunk of `0..n`
+/// (worker 0 gets the first chunk, and the first `n % w` chunks are one
+/// item longer). Owners pop from the **front** — walking their chunk in
+/// input order, which keeps consecutive replications of one sweep cell
+/// (sharing a cached trace) on one thread. A worker whose deque drains
+/// scans the others round-robin from its own slot and steals the **back
+/// half** (rounded up) of the first non-empty victim: stealing from the
+/// back takes the work the owner would reach last, and taking half
+/// amortizes steal traffic to O(log) per worker instead of per item.
+///
+/// Plain mutexes, not lock-free: batch items are whole simulations
+/// (milliseconds to minutes), so queue operations are nanoseconds of
+/// noise and `std`-only simplicity wins. Termination is by emptiness —
+/// every index is either in some deque or in flight on the worker that
+/// popped it, so a worker that finds every deque empty can exit: nothing
+/// is left for it to take over.
+struct StealQueues {
+    queues: Vec<Mutex<VecDeque<usize>>>,
+}
+
+impl StealQueues {
+    /// Split `0..n` into contiguous chunks, one per worker.
+    fn split(n: usize, workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (base, extra) = (n / workers, n % workers);
+        let mut queues = Vec::with_capacity(workers);
+        let mut next = 0usize;
+        for w in 0..workers {
+            let len = base + usize::from(w < extra);
+            queues.push(Mutex::new((next..next + len).collect()));
+            next += len;
+        }
+        debug_assert_eq!(next, n);
+        StealQueues { queues }
+    }
+
+    /// Next index for worker `me`: own front, else steal. `None` means
+    /// the whole batch is finished or in flight elsewhere.
+    fn pop(&self, me: usize) -> Option<usize> {
+        if let Some(i) = self.queues[me].lock().expect("queue poisoned").pop_front() {
+            return Some(i);
+        }
+        for k in 1..self.queues.len() {
+            let victim = (me + k) % self.queues.len();
+            let mut q = self.queues[victim].lock().expect("queue poisoned");
+            let len = q.len();
+            if len == 0 {
+                continue;
+            }
+            // Take the back half; q keeps its front (the owner's next
+            // work), we keep the stolen run in input order.
+            let stolen: VecDeque<usize> = q.split_off(len - len.div_ceil(2));
+            drop(q);
+            let mut mine = self.queues[me].lock().expect("queue poisoned");
+            *mine = stolen;
+            return mine.pop_front();
+        }
+        None
+    }
+}
+
 /// Fallible batch run with an explicit worker count and runner — the seam
 /// the sweep harness drives and the panic-isolation tests inject a faulty
-/// runner through. Workers pull indices from a shared counter and send
+/// runner through. Workers drain a [`StealQueues`] dispatch and send
 /// `(index, result)` pairs over a channel; the caller's thread reassembles
-/// them in input order. Panic messages are prefixed with the offending
-/// configuration's scheduler spec so a poisoned cell in a large grid is
-/// identifiable from the error alone.
+/// them in input order, so results are identical for any worker count.
+/// Panic messages are prefixed with the offending configuration's
+/// scheduler spec so a poisoned cell in a large grid is identifiable from
+/// the error alone.
 #[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn run_batch<T, F>(
     configs: Vec<ExperimentConfig>,
@@ -132,52 +203,54 @@ where
 {
     let configs: Vec<Arc<ExperimentConfig>> = configs.into_iter().map(Arc::new).collect();
     let n = configs.len();
-    let next = std::sync::atomic::AtomicUsize::new(0);
+    let workers = threads.max(1).min(n.max(1));
+    let queues = StealQueues::split(n, workers);
     let (tx, rx) = std::sync::mpsc::channel::<(usize, Result<T, RunError>)>();
     let configs_ref = &configs;
-    let next_ref = &next;
+    let queues_ref = &queues;
     let runner_ref = &runner;
     std::thread::scope(|scope| {
-        for _ in 0..threads.max(1).min(n) {
+        for me in 0..workers {
             let tx = tx.clone();
-            scope.spawn(move || loop {
-                let i = next_ref.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let cfg = &configs_ref[i];
-                if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
-                    if tx.send((i, Err(RunError::BudgetExhausted))).is_err() {
-                        break;
+            scope.spawn(move || {
+                while let Some(i) = queues_ref.pop(me) {
+                    let cfg = &configs_ref[i];
+                    if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+                        if tx.send((i, Err(RunError::BudgetExhausted))).is_err() {
+                            break;
+                        }
+                        continue;
                     }
-                    continue;
-                }
-                let result = match cfg.validate() {
-                    Err(e) => Err(RunError::Invalid(e)),
-                    Ok(()) => {
-                        let mut attempts = 0u32;
-                        loop {
-                            attempts += 1;
-                            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                runner_ref(cfg)
-                            })) {
-                                Ok(v) => break Ok(v),
-                                Err(payload) => {
-                                    let msg =
-                                        format!("[{}] {}", cfg.scheduler, panic_message(&*payload));
-                                    if attempts > retries {
-                                        break Err(RunError::Panicked { msg, attempts });
+                    let result = match cfg.validate() {
+                        Err(e) => Err(RunError::Invalid(e)),
+                        Ok(()) => {
+                            let mut attempts = 0u32;
+                            loop {
+                                attempts += 1;
+                                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    runner_ref(cfg)
+                                })) {
+                                    Ok(v) => break Ok(v),
+                                    Err(payload) => {
+                                        let msg = format!(
+                                            "[{}] {}",
+                                            cfg.scheduler,
+                                            panic_message(&*payload)
+                                        );
+                                        if attempts > retries {
+                                            break Err(RunError::Panicked { msg, attempts });
+                                        }
+                                        std::thread::sleep(std::time::Duration::from_millis(
+                                            25 * attempts as u64,
+                                        ));
                                     }
-                                    std::thread::sleep(std::time::Duration::from_millis(
-                                        25 * attempts as u64,
-                                    ));
                                 }
                             }
                         }
+                    };
+                    if tx.send((i, result)).is_err() {
+                        break;
                     }
-                };
-                if tx.send((i, result)).is_err() {
-                    break;
                 }
             });
         }
@@ -216,6 +289,87 @@ mod tests {
         ExperimentConfig::new(SDSC, scheduler)
             .with_jobs(300)
             .with_seed(7)
+    }
+
+    #[test]
+    fn steal_queues_split_contiguously_and_cover_everything() {
+        for (n, workers) in [(0, 1), (1, 4), (7, 3), (12, 4), (100, 16)] {
+            let q = StealQueues::split(n, workers);
+            assert_eq!(q.queues.len(), workers);
+            let mut all = Vec::new();
+            for (w, m) in q.queues.iter().enumerate() {
+                let chunk: Vec<usize> = m.lock().unwrap().iter().copied().collect();
+                // Contiguous ascending chunk; earlier workers never hold
+                // later indices than later workers.
+                assert!(chunk.windows(2).all(|p| p[1] == p[0] + 1), "worker {w}");
+                all.extend(chunk);
+            }
+            assert_eq!(all, (0..n).collect::<Vec<_>>(), "n={n} w={workers}");
+            // Chunk sizes differ by at most one.
+            let sizes: Vec<usize> = q.queues.iter().map(|m| m.lock().unwrap().len()).collect();
+            let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(hi - lo <= 1, "sizes {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn stealing_takes_the_back_half_and_drains_everything() {
+        let q = StealQueues::split(8, 2);
+        // Worker 1's chunk is 4..8. Drain it so it must steal.
+        for want in 4..8 {
+            assert_eq!(q.pop(1), Some(want), "owner walks its chunk in order");
+        }
+        // Steal: worker 0 still holds 0..4, the thief takes the back half
+        // {2, 3} and processes it in input order.
+        assert_eq!(q.pop(1), Some(2));
+        assert_eq!(q.pop(1), Some(3));
+        // The victim kept its front.
+        assert_eq!(q.pop(0), Some(0));
+        assert_eq!(q.pop(0), Some(1));
+        assert_eq!(q.pop(0), None);
+        assert_eq!(q.pop(1), None);
+    }
+
+    #[test]
+    fn batch_results_are_thread_count_invariant_with_failures() {
+        // The dispatch order varies with the worker count; the result
+        // vector must not — including panicked and invalid cells.
+        let mk = || {
+            let mut v = Vec::new();
+            for seed in 0..9u64 {
+                v.push(small(SchedulerKind::Easy).with_jobs(60).with_seed(seed));
+            }
+            v[3] = v[3].clone().with_seed(777); // injected panic below
+            v[5] = v[5].clone().with_jobs(0); // invalid
+            v
+        };
+        let run = |threads: usize| -> Vec<String> {
+            run_batch_retrying(
+                mk(),
+                threads,
+                0,
+                None,
+                |cfg: &Arc<ExperimentConfig>| {
+                    if cfg.seed == 777 {
+                        panic!("injected failure");
+                    }
+                    let r = cfg.run();
+                    format!("{}:{}", r.sim.policy, r.report.overall.count)
+                },
+                |_, _| {},
+            )
+            .into_iter()
+            .map(|r| match r {
+                Ok(s) => s,
+                Err(e) => format!("err:{e}"),
+            })
+            .collect()
+        };
+        let one = run(1);
+        assert_eq!(one, run(4));
+        assert_eq!(one, run(16));
+        assert!(one[3].contains("injected failure"));
+        assert!(one[5].contains("invalid config"));
     }
 
     #[test]

@@ -69,7 +69,7 @@ impl SchedulerKind {
         match *self {
             SchedulerKind::Fcfs => Box::new(Fcfs),
             SchedulerKind::Conservative => Box::<Conservative>::default(),
-            SchedulerKind::Easy => Box::new(Easy),
+            SchedulerKind::Easy => Box::<Easy>::default(),
             SchedulerKind::Flex { depth } => Box::new(FlexBackfill::new(depth)),
             SchedulerKind::ImmediateService => Box::new(ImmediateService::new()),
             SchedulerKind::Gang => Box::<GangScheduling>::default(),

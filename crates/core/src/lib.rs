@@ -27,6 +27,7 @@ pub mod admission;
 pub mod checkpoint;
 pub mod experiment;
 pub mod faults;
+pub mod mega;
 pub mod overhead;
 pub mod policy;
 pub mod runner;
@@ -38,6 +39,7 @@ pub mod theory;
 pub use admission::AdmissionModel;
 pub use checkpoint::{CheckpointModel, PreemptionMode};
 pub use faults::{FaultInjector, FaultModel, RecoveryPolicy};
+pub use mega::{peak_rss_kb, run_mega_sweep, run_mega_sweep_observed, MegaSweepSpec};
 pub use overhead::OverheadModel;
 pub use policy::{Action, DecideCtx, Policy};
 pub use runner::{BatchRunner, RunBuilder};

@@ -1,0 +1,594 @@
+//! Archive-scale "mega" sweeps: one SWF log × (scheduler × load × seed),
+//! every run streaming and lean.
+//!
+//! The synthetic sweeps in [`crate::sweep`] generate a finite trace per
+//! `(load, seed)` and share it through a cache — fine at paper scale
+//! (thousands of jobs), hopeless at archive scale (millions of jobs ×
+//! dozens of grid cells would materialize gigabytes). A mega sweep never
+//! materializes a trace at all:
+//!
+//! * each replication opens its own [`StreamingSwfSource`] over the log —
+//!   peak memory per run is the read-ahead ring, O(1) in log length,
+//! * a [`ShapedSource`] turns the one fixed log into the grid's load and
+//!   seed axes on the fly (arrival compression, optional estimate
+//!   re-drawing, width clamping),
+//! * the run itself is **lean** ([`RunBuilder::lean`]): completions fold
+//!   into fixed-size accumulators inside the simulator, so no per-job
+//!   outcome vector ever exists.
+//!
+//! End to end, a 16-cell sweep over a million-job log peaks at tens of
+//! megabytes — machine state and ring buffers — instead of tens of
+//! gigabytes. Cell aggregation, failure accounting, wall budgets, and
+//! progress reporting are shared with [`run_sweep`](crate::sweep::run_sweep),
+//! so reports render identically.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sps_simcore::Secs;
+use sps_workload::{EstimateModel, ShapedSource, StreamingSwfSource, SystemPreset};
+
+use crate::experiment::{run_batch_retrying, ConfigError, ExperimentConfig, SchedulerKind};
+use crate::overhead::OverheadModel;
+use crate::runner::RunBuilder;
+use crate::sim::DEFAULT_TICK_PERIOD;
+use crate::sweep::{regroup_cells, ProgressTracker, RunSummary, SweepProgress, SweepReport};
+
+/// Default read-ahead for each replication's streaming reader, in parsed
+/// jobs. Matches [`sps_workload::swf::DEFAULT_READAHEAD`].
+pub const DEFAULT_MEGA_READAHEAD: usize = sps_workload::swf::DEFAULT_READAHEAD;
+
+/// A scheduler × load × seed grid over one Standard Workload Format log.
+///
+/// The log is the workload; the grid axes reshape it per run (see
+/// [`ShapedSource`]). Every run is lean and streaming, so the sweep's
+/// peak memory is independent of how many jobs the log holds.
+#[derive(Clone, Debug)]
+pub struct MegaSweepSpec {
+    /// Path of the SWF log. Submit times must be nondecreasing (the
+    /// streaming reader cannot sort); the archive logs already are.
+    pub swf: PathBuf,
+    /// Machine size in processors. Jobs wider than this clamp to it.
+    pub procs: u32,
+    /// Scheduler axis (each entry is one column of cells).
+    pub schedulers: Vec<SchedulerKind>,
+    /// Load-factor axis: submit times divide by the factor, exactly the
+    /// paper's Section VI load transformation.
+    pub loads: Vec<f64>,
+    /// Seed of replication 0; replication `r` uses `base_seed + r`.
+    pub base_seed: u64,
+    /// Seed replications per cell. Seeds vary the estimate noise; with
+    /// as-logged estimates (`estimates: None`) replications are
+    /// identical, so leave this at 1 there.
+    pub reps: usize,
+    /// `Some(model)`: re-draw user estimates per replication seed.
+    /// `None` (default): replay the log's own requested times.
+    pub estimates: Option<EstimateModel>,
+    /// Suspension/restart overhead model applied to every run.
+    pub overhead: OverheadModel,
+    /// Preemption-routine period, seconds.
+    pub tick_period: Secs,
+    /// Read-ahead ring capacity per streaming reader, in parsed jobs.
+    pub readahead: usize,
+    /// Retry budget for panicked replications.
+    pub retries: u32,
+    /// Wall-clock budget for the whole grid, milliseconds (`None` =
+    /// unbounded; see [`crate::sweep::SweepSpec::with_wall_budget`]).
+    pub wall_budget_ms: Option<u64>,
+}
+
+impl MegaSweepSpec {
+    /// An empty grid over the log at `swf` on a `procs`-processor
+    /// machine, load 1.0 (the log's native arrival times), one
+    /// replication, as-logged estimates. Add schedulers before running.
+    pub fn new(swf: impl Into<PathBuf>, procs: u32) -> Self {
+        assert!(procs > 0, "machine must have at least one processor");
+        MegaSweepSpec {
+            swf: swf.into(),
+            procs,
+            schedulers: Vec::new(),
+            loads: vec![1.0],
+            base_seed: 42,
+            reps: 1,
+            estimates: None,
+            overhead: OverheadModel::None,
+            tick_period: DEFAULT_TICK_PERIOD,
+            readahead: DEFAULT_MEGA_READAHEAD,
+            retries: 0,
+            wall_budget_ms: None,
+        }
+    }
+
+    /// Set the scheduler axis.
+    pub fn with_schedulers(mut self, schedulers: Vec<SchedulerKind>) -> Self {
+        self.schedulers = schedulers;
+        self
+    }
+
+    /// Append one scheduler to the axis.
+    pub fn with_scheduler(mut self, s: SchedulerKind) -> Self {
+        self.schedulers.push(s);
+        self
+    }
+
+    /// Set the load-factor axis.
+    pub fn with_loads(mut self, loads: Vec<f64>) -> Self {
+        self.loads = loads;
+        self
+    }
+
+    /// Set the base seed (replication `r` runs on `base_seed + r`).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Set the replication count per cell.
+    pub fn with_reps(mut self, reps: usize) -> Self {
+        self.reps = reps;
+        self
+    }
+
+    /// Re-draw estimates from `model` per replication seed (`None`
+    /// replays the log's own requested times).
+    pub fn with_estimates(mut self, model: Option<EstimateModel>) -> Self {
+        self.estimates = model;
+        self
+    }
+
+    /// Set the overhead model.
+    pub fn with_overhead(mut self, o: OverheadModel) -> Self {
+        self.overhead = o;
+        self
+    }
+
+    /// Set the preemption-routine period in seconds.
+    pub fn with_tick_period(mut self, secs: Secs) -> Self {
+        self.tick_period = secs;
+        self
+    }
+
+    /// Cap each streaming reader's ring at `jobs` parsed jobs.
+    pub fn with_readahead(mut self, jobs: usize) -> Self {
+        self.readahead = jobs.max(1);
+        self
+    }
+
+    /// Retry panicked replications up to `retries` more times each.
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Cap the whole grid's wall-clock at `ms` milliseconds.
+    pub fn with_wall_budget(mut self, ms: u64) -> Self {
+        self.wall_budget_ms = Some(ms);
+        self
+    }
+
+    /// Grid shape checks plus a readability probe of the log (a missing
+    /// file should fail the sweep up front, not every cell one by one).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.schedulers.is_empty() {
+            return Err(ConfigError::EmptyGrid("schedulers"));
+        }
+        if self.loads.is_empty() {
+            return Err(ConfigError::EmptyGrid("loads"));
+        }
+        if self.reps == 0 {
+            return Err(ConfigError::EmptyGrid("reps"));
+        }
+        std::fs::File::open(&self.swf)
+            .map_err(|e| ConfigError::BadSwf(format!("{}: {e}", self.swf.display())))?;
+        for &load in &self.loads {
+            self.config(self.schedulers[0], load, 0).validate()?;
+        }
+        Ok(())
+    }
+
+    /// Cells in the grid (scheduler × load).
+    pub fn cells(&self) -> usize {
+        self.schedulers.len() * self.loads.len()
+    }
+
+    /// Total runs (cells × replications).
+    pub fn runs(&self) -> usize {
+        self.cells() * self.reps
+    }
+
+    /// The synthetic-workload knobs of the preset are never consulted —
+    /// the log is the workload — but [`ExperimentConfig`] wants a system,
+    /// and `procs`/`max_width` do drive placement and validation.
+    fn preset(&self) -> SystemPreset {
+        SystemPreset {
+            name: "SWF",
+            procs: self.procs,
+            max_width: self.procs,
+            ..sps_workload::traces::SDSC
+        }
+    }
+
+    /// The configuration of one run. `n_jobs` is pinned to 1: the run
+    /// length comes from the log, but validation requires a nonzero
+    /// count and the explicit-source path never reads it.
+    fn config(&self, scheduler: SchedulerKind, load: f64, rep: usize) -> ExperimentConfig {
+        ExperimentConfig::new(self.preset(), scheduler)
+            .with_jobs(1)
+            .with_seed(self.base_seed + rep as u64)
+            .with_load_factor(load)
+            .with_overhead(self.overhead)
+            .with_tick_period(self.tick_period)
+    }
+
+    /// Expand the grid cell-major, the [`crate::sweep::SweepSpec::expand`]
+    /// layout that [`regroup_cells`] relies on.
+    fn expand(&self) -> Vec<ExperimentConfig> {
+        let mut configs = Vec::with_capacity(self.runs());
+        for &scheduler in &self.schedulers {
+            for &load in &self.loads {
+                for rep in 0..self.reps {
+                    configs.push(self.config(scheduler, load, rep));
+                }
+            }
+        }
+        configs
+    }
+}
+
+/// Run the mega grid on `threads` workers. Every replication streams the
+/// log through its own reader and runs lean; the report's
+/// `unique_traces`/`trace_hits` are zero (nothing is ever cached — there
+/// is nothing to cache).
+pub fn run_mega_sweep(spec: &MegaSweepSpec, threads: usize) -> Result<SweepReport, ConfigError> {
+    run_mega_sweep_observed(spec, threads, |_| {})
+}
+
+/// [`run_mega_sweep`] with a progress observer, called on the driving
+/// thread after every terminal run outcome.
+pub fn run_mega_sweep_observed<O>(
+    spec: &MegaSweepSpec,
+    threads: usize,
+    mut observe: O,
+) -> Result<SweepReport, ConfigError>
+where
+    O: FnMut(&SweepProgress),
+{
+    spec.validate()?;
+    let start = Instant::now();
+    let deadline = spec
+        .wall_budget_ms
+        .map(|ms| start + Duration::from_millis(ms));
+    let (swf, estimates, readahead, procs) =
+        (spec.swf.clone(), spec.estimates, spec.readahead, spec.procs);
+
+    let mut progress = ProgressTracker::new(start, spec.runs(), spec.cells(), spec.reps);
+
+    let results = run_batch_retrying(
+        spec.expand(),
+        threads,
+        spec.retries,
+        deadline,
+        |cfg: &Arc<ExperimentConfig>| {
+            // Per-run streaming pipeline: log → shaping → lean simulate.
+            // An unreadable file panics (validate probed it once, but the
+            // file can vanish mid-sweep); batch workers catch panics and
+            // surface them as cell failures.
+            let log = StreamingSwfSource::open(&swf)
+                .unwrap_or_else(|e| panic!("mega sweep: cannot open {}: {e}", swf.display()))
+                .with_readahead(readahead);
+            let shaped = ShapedSource::new(log, cfg.load_factor, estimates, cfg.seed, procs);
+            let mut builder = RunBuilder::new(Arc::clone(cfg))
+                .source(Box::new(shaped))
+                .lean(true);
+            if let Some(d) = deadline {
+                // Cap the in-flight run's watchdog to the remaining
+                // budget, mirroring the synthetic sweep harness.
+                let left = d.saturating_duration_since(Instant::now());
+                let cap = (left.as_millis() as u64).max(1);
+                let mut dog = sps_simcore::Watchdog::generous();
+                dog.max_wall_ms = Some(dog.max_wall_ms.map_or(cap, |w| w.min(cap)));
+                builder = builder.watchdog(dog);
+            }
+            RunSummary::fold(cfg, &builder.simulate())
+        },
+        |i, r| observe(&progress.record(i, r)),
+    );
+
+    let (cells, failures, skipped) = regroup_cells(
+        &spec.schedulers,
+        &spec.loads,
+        spec.reps,
+        spec.base_seed,
+        &results,
+    );
+
+    Ok(SweepReport {
+        cells,
+        runs: spec.runs(),
+        failures,
+        skipped,
+        unique_traces: 0,
+        trace_hits: 0,
+        wall_micros: start.elapsed().as_micros() as u64,
+    })
+}
+
+/// Peak resident set size of this process in kilobytes (`VmHWM` from
+/// `/proc/self/status`), or `None` where unavailable. The memory-bound
+/// tests and the mega bench use it to pin the "RSS independent of job
+/// count" claim on real numbers.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse::<u64>()
+                .ok();
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{run_sweep, SweepSpec};
+    use sps_workload::traces::SDSC;
+    use sps_workload::{swf, SyntheticConfig};
+
+    /// Write a synthetic SDSC-mix trace as an SWF log and return its path.
+    fn synth_log(dir: &std::path::Path, n: usize, seed: u64) -> PathBuf {
+        let jobs = SyntheticConfig::new(SDSC, seed).with_jobs(n).generate();
+        let path = dir.join(format!("synth-{n}-{seed}.swf"));
+        std::fs::write(&path, swf::write(&jobs)).expect("write log");
+        path
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sps-mega-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    #[test]
+    fn mega_sweep_validates_grid_and_log() {
+        let dir = tmpdir("validate");
+        let log = synth_log(&dir, 50, 3);
+        let empty = MegaSweepSpec::new(&log, 128);
+        assert_eq!(empty.validate(), Err(ConfigError::EmptyGrid("schedulers")));
+        let spec = empty.clone().with_scheduler(SchedulerKind::Easy);
+        assert_eq!(spec.validate(), Ok(()));
+        assert!(matches!(
+            spec.clone().with_loads(vec![]).validate(),
+            Err(ConfigError::EmptyGrid("loads"))
+        ));
+        assert!(matches!(
+            spec.clone().with_reps(0).validate(),
+            Err(ConfigError::EmptyGrid("reps"))
+        ));
+        assert!(matches!(
+            spec.clone().with_loads(vec![0.0]).validate(),
+            Err(ConfigError::BadLoadFactor(_))
+        ));
+        let gone =
+            MegaSweepSpec::new(dir.join("missing.swf"), 128).with_scheduler(SchedulerKind::Easy);
+        assert!(matches!(gone.validate(), Err(ConfigError::BadSwf(_))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mega_sweep_matches_materialized_lean_sweep() {
+        // The same workload pushed through the streaming mega path and
+        // through a materialized TraceSource must produce bit-identical
+        // cells. Build the closed-system comparison by hand: parse the
+        // log, shape it exactly like the mega runner, and run full.
+        let dir = tmpdir("equiv");
+        let log = synth_log(&dir, 400, 9);
+        let schedulers = vec![SchedulerKind::Easy, SchedulerKind::Ss { sf: 2.0 }];
+        let spec = MegaSweepSpec::new(&log, 128)
+            .with_schedulers(schedulers.clone())
+            .with_loads(vec![1.0, 1.2])
+            .with_seed(11)
+            .with_reps(2)
+            .with_estimates(Some(EstimateModel::paper_mixture()))
+            .with_readahead(32);
+        let mega = run_mega_sweep(&spec, 2).expect("valid mega spec");
+        assert!(mega.failures.is_empty(), "{:?}", mega.failures);
+        assert_eq!(mega.cells.len(), 4);
+        assert_eq!(mega.unique_traces, 0, "nothing is materialized");
+
+        // By-hand equivalent: materialize the log once, then per run wrap
+        // the same shaping adapter over a TraceSource and simulate full
+        // (not lean), folding summaries with the shared arithmetic.
+        let parsed = swf::parse(&std::fs::read_to_string(&log).unwrap())
+            .unwrap()
+            .jobs;
+        let mut csv_cells = Vec::new();
+        for &sched in &schedulers {
+            for &load in &[1.0, 1.2] {
+                let mut summaries = Vec::new();
+                for rep in 0..2u64 {
+                    let cfg = Arc::new(
+                        ExperimentConfig::new(spec.preset(), sched)
+                            .with_jobs(1)
+                            .with_seed(11 + rep)
+                            .with_load_factor(load),
+                    );
+                    let shaped = ShapedSource::new(
+                        sps_workload::TraceSource::new(parsed.clone()),
+                        load,
+                        Some(EstimateModel::paper_mixture()),
+                        11 + rep,
+                        128,
+                    );
+                    let sim = RunBuilder::new(Arc::clone(&cfg))
+                        .source(Box::new(shaped))
+                        .simulate();
+                    summaries.push(RunSummary::fold(&cfg, &sim));
+                }
+                csv_cells.push(crate::sweep::CellStats::from_summaries(
+                    sched, load, &summaries, 0,
+                ));
+            }
+        }
+        let by_hand = SweepReport {
+            cells: csv_cells,
+            runs: 8,
+            failures: vec![],
+            skipped: 0,
+            unique_traces: 0,
+            trace_hits: 0,
+            wall_micros: 0,
+        };
+        assert_eq!(mega.to_csv(), by_hand.to_csv());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn slot_trimming_is_active_and_bit_identical_on_long_logs() {
+        // The 400-job equivalence test above never crosses the 1024-slot
+        // trim threshold, so it cannot catch slot-offset bugs. 6000 jobs
+        // crosses it repeatedly: the streaming lean run must actually
+        // reclaim Done slots, and every headline metric must still come
+        // out bit-identical to the materialized full run that keeps all
+        // records.
+        let dir = tmpdir("trim");
+        let log = synth_log(&dir, 6000, 21);
+        let spec = MegaSweepSpec::new(&log, 128).with_scheduler(SchedulerKind::Ss { sf: 2.0 });
+        let cfg = Arc::new(
+            ExperimentConfig::new(spec.preset(), SchedulerKind::Ss { sf: 2.0 })
+                .with_jobs(1)
+                .with_seed(7)
+                .with_load_factor(1.0),
+        );
+        let streaming = StreamingSwfSource::open(&log)
+            .expect("open log")
+            .with_readahead(64);
+        let shaped =
+            ShapedSource::new(streaming, 1.0, Some(EstimateModel::paper_mixture()), 7, 128);
+        let lean_sim = RunBuilder::new(Arc::clone(&cfg))
+            .source(Box::new(shaped))
+            .lean(true)
+            .simulate();
+        assert!(
+            lean_sim.kernel.reclaimed_slots >= 1024,
+            "trimming never engaged on a 6000-job lean run \
+             (reclaimed {} slots)",
+            lean_sim.kernel.reclaimed_slots
+        );
+        let lean = RunSummary::fold(&cfg, &lean_sim);
+
+        let parsed = swf::parse(&std::fs::read_to_string(&log).unwrap())
+            .unwrap()
+            .jobs;
+        let shaped = ShapedSource::new(
+            sps_workload::TraceSource::new(parsed),
+            1.0,
+            Some(EstimateModel::paper_mixture()),
+            7,
+            128,
+        );
+        let full_sim = RunBuilder::new(Arc::clone(&cfg))
+            .source(Box::new(shaped))
+            .simulate();
+        assert_eq!(
+            full_sim.kernel.reclaimed_slots, 0,
+            "full runs keep every record"
+        );
+        let full = RunSummary::fold(&cfg, &full_sim);
+
+        assert_eq!(lean.completed, full.completed);
+        assert_eq!(lean.preemptions, full.preemptions);
+        assert_eq!(lean.mean_slowdown.to_bits(), full.mean_slowdown.to_bits());
+        assert_eq!(lean.p99_slowdown.to_bits(), full.p99_slowdown.to_bits());
+        assert_eq!(lean.worst_slowdown.to_bits(), full.worst_slowdown.to_bits());
+        assert_eq!(
+            lean.mean_turnaround.to_bits(),
+            full.mean_turnaround.to_bits()
+        );
+        assert_eq!(lean.utilization.to_bits(), full.utilization.to_bits());
+        assert_eq!(lean.makespan, full.makespan);
+        let lean_cell =
+            crate::sweep::CellStats::from_summaries(SchedulerKind::Ss { sf: 2.0 }, 1.0, &[lean], 0);
+        let full_cell =
+            crate::sweep::CellStats::from_summaries(SchedulerKind::Ss { sf: 2.0 }, 1.0, &[full], 0);
+        assert_eq!(lean_cell, full_cell);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mega_sweep_survives_missing_file_mid_grid_and_budget() {
+        let dir = tmpdir("budget");
+        let log = synth_log(&dir, 60, 5);
+        let spec = MegaSweepSpec::new(&log, 128)
+            .with_scheduler(SchedulerKind::Easy)
+            .with_wall_budget(0);
+        let report = run_mega_sweep(&spec, 1).expect("valid spec");
+        assert_eq!(report.skipped, 1, "0 ms budget skips the only run");
+        assert_eq!(report.cells[0].reps, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mega_sweep_panicking_cells_are_thread_count_invariant() {
+        // A log whose tail goes back in time panics the streaming reader
+        // mid-run; every cell fails, and the failure table (expansion
+        // order, rendered messages) is identical for any worker count.
+        let dir = tmpdir("panic");
+        let log = dir.join("unsorted.swf");
+        std::fs::write(
+            &log,
+            "1 0 0 100 4 -1 -1 4 100 -1 1 -1 -1 -1 -1 -1 -1 -1\n\
+             2 50 0 100 4 -1 -1 4 100 -1 1 -1 -1 -1 -1 -1 -1 -1\n\
+             3 10 0 100 4 -1 -1 4 100 -1 1 -1 -1 -1 -1 -1 -1 -1\n",
+        )
+        .expect("write log");
+        let spec = MegaSweepSpec::new(&log, 128)
+            .with_schedulers(vec![SchedulerKind::Easy, SchedulerKind::Ss { sf: 2.0 }])
+            .with_loads(vec![1.0, 1.2]);
+        let base = run_mega_sweep(&spec, 1).expect("valid spec");
+        assert_eq!(base.failures.len(), 4, "every cell panics");
+        assert!(base.failures[0].contains("non-monotone submit"));
+        for threads in [4, 16] {
+            let again = run_mega_sweep(&spec, threads).expect("valid spec");
+            assert_eq!(base.failures, again.failures, "{threads} threads");
+            assert_eq!(base.to_csv(), again.to_csv(), "{threads} threads");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn peak_rss_probe_reports_on_linux() {
+        if cfg!(target_os = "linux") {
+            let kb = peak_rss_kb().expect("/proc/self/status has VmHWM");
+            assert!(kb > 0);
+        }
+    }
+
+    #[test]
+    fn mega_report_renders_like_a_sweep_report() {
+        let dir = tmpdir("render");
+        let log = synth_log(&dir, 120, 7);
+        let spec = MegaSweepSpec::new(&log, 128)
+            .with_schedulers(vec![SchedulerKind::Easy, SchedulerKind::Tss { sf: 2.0 }])
+            .with_loads(vec![1.0])
+            .with_reps(1);
+        let report = run_mega_sweep(&spec, 2).expect("valid spec");
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        let csv = report.to_csv();
+        assert_eq!(csv.lines().count(), 3, "header + one row per cell");
+        assert!(csv.starts_with("scheduler,load,"));
+        assert!(report.render_table().contains("0 unique traces"));
+        // Sanity: the shared harness path still works beside it.
+        let tiny = SweepSpec::new(SDSC)
+            .with_scheduler(SchedulerKind::Easy)
+            .with_jobs(40)
+            .with_reps(1);
+        assert!(run_sweep(&tiny, 1).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

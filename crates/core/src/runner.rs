@@ -52,6 +52,7 @@ pub struct RunBuilder<S: TraceSink = NullSink, T: TelemetrySink = NullTelemetry>
     warmup: Secs,
     header: bool,
     watchdog: Watchdog,
+    lean: bool,
 }
 
 impl RunBuilder {
@@ -68,6 +69,7 @@ impl RunBuilder {
             warmup: 0,
             header: true,
             watchdog: Watchdog::generous(),
+            lean: false,
         }
     }
 }
@@ -87,6 +89,7 @@ impl<S: TraceSink, T: TelemetrySink> RunBuilder<S, T> {
             warmup: self.warmup,
             header: self.header,
             watchdog: self.watchdog,
+            lean: self.lean,
         }
     }
 
@@ -103,6 +106,7 @@ impl<S: TraceSink, T: TelemetrySink> RunBuilder<S, T> {
             warmup: self.warmup,
             header: self.header,
             watchdog: self.watchdog,
+            lean: self.lean,
         }
     }
 
@@ -146,6 +150,18 @@ impl<S: TraceSink, T: TelemetrySink> RunBuilder<S, T> {
         self
     }
 
+    /// Run lean (outcome-streaming): per-job outcomes fold into a
+    /// fixed-size accumulator as they complete instead of accumulating in
+    /// [`SimResult::outcomes`], and occupancy segments are dropped —
+    /// memory stays O(machine) regardless of trace length. Headline
+    /// metrics are bit-identical to the materialized run; per-job
+    /// records, windowed reports, and per-tier columns are unavailable
+    /// (the run asserts no warmup window and a homogeneous machine).
+    pub fn lean(mut self, on: bool) -> Self {
+        self.lean = on;
+        self
+    }
+
     /// Execute the run and return the raw [`SimResult`] with no
     /// per-category reports built (the sweep harness folds this straight
     /// into a fixed-size summary).
@@ -172,7 +188,7 @@ impl<S: TraceSink, T: TelemetrySink> RunBuilder<S, T> {
         let sim = match source {
             Some(src) => {
                 assert!(
-                    src.remaining().is_some() || !matches!(self.until, RunUntil::Drained),
+                    src.finite() || !matches!(self.until, RunUntil::Drained),
                     "unbounded job source `{}` needs a stopping condition: \
                      set `.until(..)` to a sim-time horizon or a job count",
                     src.label()
@@ -205,6 +221,14 @@ impl<S: TraceSink, T: TelemetrySink> RunBuilder<S, T> {
             .with_watchdog(self.watchdog);
         if cfg.is_heterogeneous() {
             sim = sim.with_speed(cfg.speed_map());
+        }
+        if self.lean {
+            assert!(
+                !cfg.is_heterogeneous(),
+                "lean runs drop the segment record, so per-tier metrics \
+                 cannot be reconstructed — run heterogeneous cells full"
+            );
+            sim = sim.with_lean();
         }
         sim.run()
     }

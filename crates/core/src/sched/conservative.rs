@@ -29,6 +29,9 @@ use crate::sim::SimState;
 pub struct Conservative {
     /// Anchor assigned at the previous decision, per queued job.
     anchors: HashMap<JobId, SimTime>,
+    /// Reusable reservation ladder (profile buffer persists across
+    /// decides; rebuilt in place each call).
+    ladder: ReservationLadder,
 }
 
 impl Policy for Conservative {
@@ -55,10 +58,10 @@ impl Policy for Conservative {
             .collect();
         order.sort_unstable();
 
-        let mut ladder = ReservationLadder::new(state);
+        self.ladder.rebuild(state);
         let mut next_anchors = HashMap::with_capacity(order.len());
         for (prev_anchor, _, id) in order {
-            let start = ladder.reserve(state.job(id));
+            let start = self.ladder.reserve(state.job(id));
             debug_assert!(
                 start <= prev_anchor,
                 "compression may only move reservations earlier: {prev_anchor:?} -> {start:?}"

@@ -18,27 +18,38 @@ use crate::sched::planner::ReservationLadder;
 use crate::sim::SimState;
 
 /// EASY backfilling dispatcher.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct Easy;
+#[derive(Clone, Debug, Default)]
+pub struct Easy {
+    /// Reusable reservation ladder (profile buffer persists across
+    /// decides; rebuilt in place each call).
+    ladder: ReservationLadder,
+}
 
 impl Policy for Easy {
     fn name(&self) -> String {
         "NS (EASY)".into()
     }
 
-    // Stateless; `plan_easy` returns immediately on an empty queue.
+    // No decision state; `plan_easy` returns immediately on an empty
+    // queue (the ladder field is pure scratch).
     fn quiescent_noop(&self) -> bool {
         true
     }
 
     fn decide(&mut self, state: &SimState, ctx: &DecideCtx<'_>, actions: &mut Vec<Action>) {
-        plan_easy(state, ctx, actions);
+        plan_easy(state, ctx, actions, &mut self.ladder);
     }
 }
 
 /// Shared EASY planning: fills `actions` with starts. Exposed for reuse by
-/// the tests and by hybrid policies.
-pub(crate) fn plan_easy(state: &SimState, ctx: &DecideCtx<'_>, actions: &mut Vec<Action>) {
+/// the tests and by hybrid policies. `ladder` is caller-owned scratch,
+/// rebuilt here when the plan needs a shadow computation.
+pub(crate) fn plan_easy(
+    state: &SimState,
+    ctx: &DecideCtx<'_>,
+    actions: &mut Vec<Action>,
+    ladder: &mut ReservationLadder,
+) {
     let mut free = state.free_count();
     let queued = state.queued();
     let mut idx = 0;
@@ -46,7 +57,7 @@ pub(crate) fn plan_easy(state: &SimState, ctx: &DecideCtx<'_>, actions: &mut Vec
     // Phase 1: start jobs from the head while they fit.
     while idx < queued.len() {
         let id = queued[idx];
-        let need = state.job(id).procs;
+        let need = state.width(id);
         if need > free {
             break;
         }
@@ -62,7 +73,7 @@ pub(crate) fn plan_easy(state: &SimState, ctx: &DecideCtx<'_>, actions: &mut Vec
     // time from the availability profile — accounting for the phase-1
     // starts, which occupy their processors until their estimates.
     let head = queued[idx];
-    let mut ladder = ReservationLadder::new(state);
+    ladder.rebuild(state);
     for a in actions.iter() {
         let Action::Start(id) = a else { continue };
         ladder.book_start_now(state.job(*id));
@@ -110,7 +121,7 @@ mod tests {
     use sps_workload::{Job, JobId};
 
     fn run(jobs: Vec<Job>, procs: u32) -> crate::sim::SimResult {
-        Simulator::new(jobs, procs, Box::new(Easy)).run()
+        Simulator::new(jobs, procs, Box::<Easy>::default()).run()
     }
 
     #[test]
@@ -209,7 +220,7 @@ mod tests {
                 jobs.push(Job::new(i, i as i64 * 10, 100, 100, 2));
             }
         }
-        let easy = Simulator::new(jobs.clone(), 16, Box::new(Easy)).run();
+        let easy = Simulator::new(jobs.clone(), 16, Box::<Easy>::default()).run();
         let fcfs = Simulator::new(jobs, 16, Box::new(Fcfs)).run();
         assert!(
             easy.makespan <= fcfs.makespan,

@@ -27,7 +27,7 @@ impl Policy for Fcfs {
     fn decide(&mut self, state: &SimState, _ctx: &DecideCtx<'_>, actions: &mut Vec<Action>) {
         let mut free = state.free_count();
         for &id in state.queued() {
-            let need = state.job(id).procs;
+            let need = state.width(id);
             if need > free {
                 break; // head-of-line blocking: nothing may overtake
             }

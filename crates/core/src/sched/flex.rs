@@ -18,16 +18,22 @@ use crate::sched::planner::ReservationLadder;
 use crate::sim::SimState;
 
 /// Backfilling with reservations for the first `depth` queued jobs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct FlexBackfill {
     depth: usize,
+    /// Reusable reservation ladder (profile buffer persists across
+    /// decides; rebuilt in place each call).
+    ladder: ReservationLadder,
 }
 
 impl FlexBackfill {
     /// Reservations for the first `depth` waiting jobs (`depth >= 1`).
     pub fn new(depth: usize) -> Self {
         assert!(depth >= 1, "at least the head job must be protected");
-        FlexBackfill { depth }
+        FlexBackfill {
+            depth,
+            ladder: ReservationLadder::default(),
+        }
     }
 }
 
@@ -43,7 +49,8 @@ impl Policy for FlexBackfill {
 
     fn decide(&mut self, state: &SimState, _ctx: &DecideCtx<'_>, actions: &mut Vec<Action>) {
         let now = state.now();
-        let mut ladder = ReservationLadder::new(state);
+        self.ladder.rebuild(state);
+        let ladder = &mut self.ladder;
         for (i, &id) in state.queued().iter().enumerate() {
             let job = state.job(id);
             if i < self.depth {
@@ -99,7 +106,7 @@ mod tests {
         // is still rejected here because it would delay the 9-proc head —
         // but on the *extra-node* variant below it backfills. Align with
         // EASY on both traces.
-        let easy = Simulator::new(contrast_trace(), 9, Box::new(Easy)).run();
+        let easy = Simulator::new(contrast_trace(), 9, Box::<Easy>::default()).run();
         let flex = run(contrast_trace(), 9, 1);
         for id in 0..3u32 {
             let a = easy

@@ -153,9 +153,9 @@ impl Policy for GangScheduling {
             if self.slot_of.contains_key(&id) {
                 continue;
             }
-            if let Some(slot) = self.pick_slot(state.job(id).procs, total) {
+            if let Some(slot) = self.pick_slot(state.width(id), total) {
                 self.slots[slot].members.push(id);
-                self.slots[slot].used_procs += state.job(id).procs;
+                self.slots[slot].used_procs += state.width(id);
                 self.slot_of.insert(id, slot);
             }
             // else: matrix full — job waits unassigned and is retried at

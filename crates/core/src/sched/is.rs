@@ -33,11 +33,30 @@ use crate::sim::SimState;
 /// The 10-minute arrival timeslice from the paper.
 pub const DEFAULT_TIMESLICE: Secs = 600;
 
+/// Per-decide scratch buffers, reused across calls (see
+/// [`planner::DecideArena`] for the rationale).
+#[derive(Clone, Debug, Default)]
+struct IsScratch {
+    /// The running-job victim mirror, rebuilt lazily per decide.
+    table: VictimTable,
+    /// (priority, index) victim candidates for the current waiter.
+    victims: Vec<(f64, usize)>,
+    /// Chosen victim indices.
+    chosen: Vec<usize>,
+    /// Jobs started earlier this decide (excluded from victim scans).
+    started: Vec<JobId>,
+    /// Service order for never-started jobs this decide.
+    waiting: Vec<JobId>,
+    /// (priority, id) re-entry order for suspended jobs.
+    suspended: Vec<(f64, JobId)>,
+}
+
 /// Immediate Service dispatcher.
 #[derive(Clone, Debug)]
 pub struct ImmediateService {
     timeslice: Secs,
     protected_until: HashMap<JobId, SimTime>,
+    scratch: IsScratch,
 }
 
 impl Default for ImmediateService {
@@ -58,6 +77,7 @@ impl ImmediateService {
         ImmediateService {
             timeslice,
             protected_until: HashMap::new(),
+            scratch: IsScratch::default(),
         }
     }
 
@@ -90,81 +110,90 @@ impl Policy for ImmediateService {
         // and protection grants are tied to actions), so skip the scan.
         if !ctx.reference && ctx.arrivals.is_empty() && state.queued().is_empty() {
             let wf = state.free_count() + state.draining_set().count();
-            if !state
-                .suspended()
-                .iter()
-                .any(|&id| state.job(id).procs <= wf)
-            {
+            if !state.suspended().iter().any(|&id| state.width(id) <= wf) {
                 return;
             }
         }
         let now = state.now();
-        // The planning mirror: the working free pool plus a borrow-based
-        // table of running jobs (suspension priority = instantaneous
-        // xfactor, Section II-C), updated as actions are chosen so that
-        // several decisions in one instant stay consistent.
+        // Per-decide scratch, reused across calls so the decide path
+        // stays off the allocator (IS decides at every tick).
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.started.clear();
+        // The planning mirror: the working free pool plus a table of
+        // running jobs (suspension priority = instantaneous xfactor,
+        // Section II-C), updated as actions are chosen so that several
+        // decisions in one instant stay consistent.
         let mut free = planner::working_free_set(state);
         // Built lazily: the mirror is only consulted when a waiting job
         // does not fit the free pool, and most decides (ticks retrying
         // re-entry, arrivals that fit) never get there — skipping the
         // per-decide xfactor sweep over every running job.
-        let mut running: Option<VictimTable> = None;
-        let mut started: Vec<JobId> = Vec::new();
+        let mut table_built = false;
 
         // 1. Immediate (and retried) service for waiting jobs: arrivals of
         // this instant first, then earlier arrivals oldest first — the
         // oldest waiter has the highest instantaneous xfactor, so this is
         // IS's own priority order for jobs that have never run.
-        let mut waiting: Vec<JobId> = ctx.arrivals.to_vec();
-        waiting.extend(
+        scratch.waiting.clear();
+        scratch.waiting.extend_from_slice(ctx.arrivals);
+        scratch.waiting.extend(
             state
                 .queued()
                 .iter()
                 .filter(|id| !ctx.arrivals.contains(id)),
         );
-        for a in waiting {
-            let need = state.job(a).procs;
+        for wi in 0..scratch.waiting.len() {
+            let a = scratch.waiting[wi];
+            let need = state.width(a);
             if need <= free.count() {
                 let set = free.take_lowest(need).expect("count checked");
                 free.subtract(&set);
                 actions.push(Action::Start(a));
-                started.push(a);
+                scratch.started.push(a);
                 self.protected_until.insert(a, now + self.timeslice);
                 continue;
             }
             // Pick unprotected victims, lowest instantaneous xfactor first
             // (long-running jobs that never waited sit at the bottom).
-            let running = running.get_or_insert_with(|| {
-                let t = VictimTable::running(state, |id| state.inst_xfactor(id));
+            if !table_built {
+                table_built = true;
+                scratch
+                    .table
+                    .fill_running(state, |id| state.inst_xfactor(id));
                 if ctx.metrics.enabled() {
                     ctx.metrics.emit(&Obs::VictimScan {
-                        scanned: t.entries.len() as u32,
+                        scanned: scratch.table.entries.len() as u32,
                     });
                 }
-                t
-            });
-            let mut victims: Vec<(f64, usize)> = running
-                .entries
-                .iter()
-                .enumerate()
-                .filter(|(_, v)| !self.is_protected(v.id, now) && !started.contains(&v.id))
-                .map(|(i, v)| (v.prio, i))
-                .collect();
-            victims.sort_by(|a, b| a.0.total_cmp(&b.0));
+            }
+            scratch.victims.clear();
+            scratch.victims.extend(
+                scratch
+                    .table
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| {
+                        !self.is_protected(v.id, now) && !scratch.started.contains(&v.id)
+                    })
+                    .map(|(i, v)| (v.prio, i)),
+            );
+            scratch.victims.sort_by(|a, b| a.0.total_cmp(&b.0));
             let mut gain = free.count();
-            let mut chosen: Vec<usize> = Vec::new();
-            for &(_, idx) in &victims {
+            scratch.chosen.clear();
+            for &(_, idx) in &scratch.victims {
                 if gain >= need {
                     break;
                 }
-                gain += running.entries[idx].procs;
-                chosen.push(idx);
+                gain += scratch.table.entries[idx].procs;
+                scratch.chosen.push(idx);
             }
             if gain < need {
                 continue; // not servable this instant; retried next tick
             }
-            running.remove_all(chosen, |v| {
-                free.union_with(v.set);
+            let (table, chosen) = (&mut scratch.table, &mut scratch.chosen);
+            table.remove_all(chosen, |v| {
+                free.union_with(state.assigned_set(v.id).expect("running job has a set"));
                 if ctx.trace.enabled() {
                     // IS selects on *instantaneous* xfactors (Section
                     // II-C); those are what the record carries.
@@ -184,7 +213,7 @@ impl Policy for ImmediateService {
             let set = free.take_lowest(need).expect("gain accounted");
             free.subtract(&set);
             actions.push(Action::Start(a));
-            started.push(a);
+            scratch.started.push(a);
             self.protected_until.insert(a, now + self.timeslice);
         }
 
@@ -194,13 +223,15 @@ impl Policy for ImmediateService {
         // jobs suffer so badly under IS (Section IV-D). A fresh quantum of
         // protection on resume keeps the scheme from re-suspending a job
         // it just restored.
-        let mut suspended: Vec<(f64, JobId)> = state
-            .suspended()
-            .iter()
-            .map(|&id| (state.inst_xfactor(id), id))
-            .collect();
-        suspended.sort_by(|a, b| b.0.total_cmp(&a.0));
-        for (_, id) in suspended {
+        scratch.suspended.clear();
+        scratch.suspended.extend(
+            state
+                .suspended()
+                .iter()
+                .map(|&id| (state.inst_xfactor(id), id)),
+        );
+        scratch.suspended.sort_by(|a, b| b.0.total_cmp(&a.0));
+        for &(_, id) in &scratch.suspended {
             let set = state.assigned_set(id).expect("suspended job keeps its set");
             if set.is_subset(&free) {
                 free.subtract(set);
@@ -217,6 +248,7 @@ impl Policy for ImmediateService {
                 self.protected_until.insert(id, now + self.timeslice);
             }
         }
+        self.scratch = scratch;
     }
 
     fn on_completion(&mut self, outcome: &JobOutcome) {

@@ -35,7 +35,7 @@ use sps_trace::Reason;
 use sps_workload::{Category, JobId};
 
 use crate::policy::{Action, DecideCtx, Policy};
-use crate::sched::planner::{self, VictimTable};
+use crate::sched::planner::{self, DecideArena};
 use crate::sched::tss::TssLimits;
 use crate::sim::SimState;
 
@@ -85,11 +85,12 @@ impl SsConfig {
 #[derive(Clone, Debug)]
 pub struct SelectiveSuspension {
     cfg: SsConfig,
-    /// Scratch for the per-decide idle list. The preemption routine runs
-    /// every minute for the whole length of a run, so the (priority, id)
-    /// list is rebuilt tens of thousands of times per simulation; reusing
-    /// one buffer keeps that off the allocator.
-    idle: Vec<(f64, JobId)>,
+    /// Per-decide scratch. The preemption routine runs every minute for
+    /// the whole length of a run, so the planning mirror (idle list,
+    /// free/blocked/reserved sets, victim table, index lists) is rebuilt
+    /// tens of thousands of times per simulation; reusing one arena keeps
+    /// the entire decide path off the allocator.
+    arena: DecideArena,
 }
 
 impl SelectiveSuspension {
@@ -97,7 +98,7 @@ impl SelectiveSuspension {
     pub fn new(cfg: SsConfig) -> Self {
         SelectiveSuspension {
             cfg,
-            idle: Vec::new(),
+            arena: DecideArena::default(),
         }
     }
 
@@ -170,7 +171,7 @@ impl Policy for SelectiveSuspension {
         if !ctx.reference && !ctx.trace.enabled() {
             let wf = state.free_count() + state.draining_set().count();
             let idle_ids = || state.queued().iter().chain(state.suspended().iter());
-            if !idle_ids().any(|&id| state.job(id).procs <= wf) {
+            if !idle_ids().any(|&id| state.width(id) <= wf) {
                 let qualifies = ctx.tick && {
                     let min_run = state
                         .running()
@@ -185,41 +186,49 @@ impl Policy for SelectiveSuspension {
             }
         }
 
+        // All per-decide scratch lives in the policy-owned arena: taking
+        // it out of `self` lets the loop borrow its fields independently
+        // while `self.protection` is still callable.
+        let mut arena = std::mem::take(&mut self.arena);
+        arena.reset(state.total_procs());
+
         // Idle jobs (queued + suspended) in descending priority; ids break
         // ties deterministically.
-        let mut idle = std::mem::take(&mut self.idle);
-        idle.clear();
-        idle.extend(
+        arena.idle.extend(
             state
                 .queued()
                 .iter()
                 .chain(state.suspended().iter())
                 .map(|&id| (state.xfactor(id), id)),
         );
-        idle.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        arena
+            .idle
+            .sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
 
         // Plan against free processors *plus* those whose suspension
-        // drain is already in flight (see [`planner::working_free_set`]).
-        let mut free = planner::working_free_set(state);
+        // drain is already in flight (see [`planner::working_free_set_into`]).
+        planner::working_free_set_into(state, &mut arena.free);
 
-        // `blocked` — the processor claims of higher-priority suspended
-        // jobs that could not be placed yet. A suspended job can only ever
-        // restart on its original processors, so its claim acts as a
-        // priority-ordered reservation: lower-priority fresh jobs must not
-        // be placed on it, or the suspended job starves while squatters
-        // rotate through its set (very long suspended jobs, whose xfactor
-        // grows slowly, would otherwise wait practically forever under
-        // sustained load).
-        let mut blocked = ProcSet::empty(state.total_procs());
-        // `reserved` — all suspended claims, used only as a placement
-        // *preference* for procs not strictly blocked. With migration,
-        // suspended jobs can restart anywhere, so no claims need
-        // protecting.
-        let mut reserved = if self.cfg.migration {
-            ProcSet::empty(state.total_procs())
-        } else {
-            planner::pinned_claims(state)
-        };
+        // `arena.blocked` — the processor claims of higher-priority
+        // suspended jobs that could not be placed yet. A suspended job can
+        // only ever restart on its original processors, so its claim acts
+        // as a priority-ordered reservation: lower-priority fresh jobs
+        // must not be placed on it, or the suspended job starves while
+        // squatters rotate through its set (very long suspended jobs,
+        // whose xfactor grows slowly, would otherwise wait practically
+        // forever under sustained load).
+        //
+        // `arena.reserved` — all suspended claims, used only as a
+        // placement *preference* for procs not strictly blocked. With
+        // migration, suspended jobs can restart anywhere, so no claims
+        // need protecting.
+        if !self.cfg.migration {
+            planner::pinned_claims_into(state, &mut arena.reserved);
+        }
+
+        // The processor set of a planned victim, fetched from simulator
+        // state on demand (the mirror entries are plain data).
+        let vset = |vid: JobId| state.assigned_set(vid).expect("running job has a set");
 
         // The running mirror is only consulted on ticks (the paper's
         // once-a-minute preemption routine); between ticks only free
@@ -228,19 +237,23 @@ impl Policy for SelectiveSuspension {
         // decides place or skip every idle job without a victim scan, so
         // the xfactor sweep over the running set is deferred until one
         // actually starts.
-        let mut running: Option<VictimTable> = None;
-        let build = || {
-            let mut t = VictimTable::running(state, |id| state.xfactor(id));
-            t.sort_ascending();
-            if ctx.metrics.enabled() {
-                ctx.metrics.emit(&Obs::VictimScan {
-                    scanned: t.entries.len() as u32,
-                });
-            }
-            t
-        };
+        let mut table_built = false;
+        macro_rules! ensure_table {
+            () => {
+                if !table_built {
+                    table_built = true;
+                    arena.table.fill_running(state, |vid| state.xfactor(vid));
+                    arena.table.sort_ascending();
+                    if ctx.metrics.enabled() {
+                        ctx.metrics.emit(&Obs::VictimScan {
+                            scanned: arena.table.entries.len() as u32,
+                        });
+                    }
+                }
+            };
+        }
 
-        for &(prio_i, id) in &idle {
+        for &(prio_i, id) in &arena.idle {
             if state.is_suspended(id) && !self.cfg.migration && !state.can_remap(id) {
                 // Re-entry: needs exactly its original processors.
                 let needed = state.assigned_set(id).expect("suspended job keeps its set");
@@ -249,14 +262,14 @@ impl Policy for SelectiveSuspension {
                     // no matter how many victims are suspended, so skip the
                     // victim scan but keep the claim protected for the
                     // repair instant.
-                    blocked.union_with(needed);
+                    arena.blocked.union_with(needed);
                     continue;
                 }
-                let mut missing = needed.clone();
-                missing.subtract(&free);
-                if missing.is_empty() {
-                    free.subtract(needed);
-                    reserved.subtract(needed);
+                arena.missing.copy_from(needed);
+                arena.missing.subtract(&arena.free);
+                if arena.missing.is_empty() {
+                    arena.free.subtract(needed);
+                    arena.reserved.subtract(needed);
                     actions.push(Action::Resume(id));
                     if ctx.trace.enabled() {
                         ctx.trace.decision(
@@ -270,17 +283,18 @@ impl Policy for SelectiveSuspension {
                     continue;
                 }
                 if !ctx.tick {
-                    blocked.union_with(needed);
+                    arena.blocked.union_with(needed);
                     continue;
                 }
                 // Preemption routine: every running job overlapping the
                 // needed set must qualify as a victim (no width
                 // restriction for re-entry).
-                let running = running.get_or_insert_with(build);
-                let mut victims: Vec<usize> = Vec::new();
-                let mut covered = ProcSet::empty(needed.universe());
-                for (idx, r) in running.entries.iter().enumerate() {
-                    if !r.set.overlaps(needed) {
+                ensure_table!();
+                arena.indices.clear();
+                arena.covered.clear();
+                for (idx, r) in arena.table.entries.iter().enumerate() {
+                    let rset = vset(r.id);
+                    if !rset.overlaps(needed) {
                         continue;
                     }
                     // Re-entry is exempt from the TSS limit: the suspended
@@ -288,22 +302,24 @@ impl Policy for SelectiveSuspension {
                     // bound, and a protected squatter on its processors
                     // would otherwise pin it out indefinitely.
                     if prio_i >= self.cfg.sf * r.prio {
-                        victims.push(idx);
-                        covered.union_with(r.set);
+                        arena.indices.push(idx);
+                        arena.covered.union_with(rset);
                     }
                 }
-                if !missing.is_subset(&covered) {
+                if !arena.missing.is_subset(&arena.covered) {
                     // Some needed processor is held by a non-preemptible
                     // job; keep the claim blocked and try again later.
-                    blocked.union_with(needed);
+                    arena.blocked.union_with(needed);
                     continue;
                 }
                 // Suspend every overlapping candidate (they all sit on
                 // needed processors) and re-enter.
-                let victim_count = victims.len() as u32;
-                running.remove_all(victims, |r| {
-                    free.union_with(r.set);
-                    reserved.union_with(r.set); // victims will want these back
+                let victim_count = arena.indices.len() as u32;
+                let (table, indices) = (&mut arena.table, &mut arena.indices);
+                table.remove_all(indices, |r| {
+                    let rset = vset(r.id);
+                    arena.free.union_with(rset);
+                    arena.reserved.union_with(rset); // victims will want these back
                     if ctx.trace.enabled() {
                         ctx.trace.decision(
                             state.now().secs(),
@@ -317,10 +333,10 @@ impl Policy for SelectiveSuspension {
                     }
                     actions.push(Action::Suspend(r.id));
                 });
-                running.sort_ascending();
-                debug_assert!(needed.is_subset(&free));
-                free.subtract(needed);
-                reserved.subtract(needed);
+                arena.table.sort_ascending();
+                debug_assert!(needed.is_subset(&arena.free));
+                arena.free.subtract(needed);
+                arena.reserved.subtract(needed);
                 actions.push(Action::Resume(id));
                 if ctx.trace.enabled() {
                     ctx.trace.decision(
@@ -342,21 +358,21 @@ impl Policy for SelectiveSuspension {
                         Action::StartOn(id, set)
                     }
                 };
-                let job = state.job(id);
-                let need = job.procs;
+                let need = state.width(id);
                 // Usable width: processors inside `blocked` belong to a
                 // higher-priority suspended job and do not count.
-                let allowed = free.count_excluding(&blocked);
+                let allowed = arena.free.count_excluding(&arena.blocked);
                 if need <= allowed {
-                    let set = planner::alloc_avoiding(
-                        &free,
-                        &blocked,
-                        &reserved,
+                    let set = planner::alloc_avoiding_in(
+                        &arena.free,
+                        &arena.blocked,
+                        &arena.reserved,
                         need,
                         state.speed_map(),
+                        &mut arena.alloc,
                     )
                     .expect("count checked");
-                    free.subtract(&set);
+                    arena.free.subtract(&set);
                     actions.push(dispatch(set));
                     continue;
                 }
@@ -366,10 +382,10 @@ impl Policy for SelectiveSuspension {
                 // Preemption routine: accumulate qualifying victims until
                 // enough unblocked processors exist, then suspend the
                 // widest first.
-                let running = running.get_or_insert_with(build);
-                let mut candidates: Vec<usize> = Vec::new();
+                ensure_table!();
+                arena.indices.clear();
                 let mut gain = allowed;
-                for (idx, r) in running.entries.iter().enumerate() {
+                for (idx, r) in arena.table.entries.iter().enumerate() {
                     if gain >= need {
                         break;
                     }
@@ -395,31 +411,35 @@ impl Policy for SelectiveSuspension {
                         }
                         continue;
                     }
-                    candidates.push(idx);
-                    gain += r.set.count_excluding(&blocked);
+                    arena.indices.push(idx);
+                    gain += vset(r.id).count_excluding(&arena.blocked);
                 }
                 if gain < need {
                     continue;
                 }
                 // Suspend in decreasing usable width until the job fits.
-                candidates.sort_unstable_by(|&a, &b| {
-                    running.entries[b]
-                        .set
-                        .count_excluding(&blocked)
-                        .cmp(&running.entries[a].set.count_excluding(&blocked))
-                });
-                let mut chosen: Vec<usize> = Vec::new();
+                {
+                    let (table, blocked) = (&arena.table, &arena.blocked);
+                    arena.indices.sort_unstable_by(|&a, &b| {
+                        vset(table.entries[b].id)
+                            .count_excluding(blocked)
+                            .cmp(&vset(table.entries[a].id).count_excluding(blocked))
+                    });
+                }
+                arena.chosen.clear();
                 let mut have = allowed;
-                for &idx in &candidates {
+                for &idx in &arena.indices {
                     if have >= need {
                         break;
                     }
-                    have += running.entries[idx].set.count_excluding(&blocked);
-                    chosen.push(idx);
+                    have += vset(arena.table.entries[idx].id).count_excluding(&arena.blocked);
+                    arena.chosen.push(idx);
                 }
-                running.remove_all(chosen, |r| {
-                    free.union_with(r.set);
-                    reserved.union_with(r.set); // victims will want these back
+                let (table, chosen) = (&mut arena.table, &mut arena.chosen);
+                table.remove_all(chosen, |r| {
+                    let rset = vset(r.id);
+                    arena.free.union_with(rset);
+                    arena.reserved.union_with(rset); // victims will want these back
                     if ctx.trace.enabled() {
                         ctx.trace.decision(
                             state.now().secs(),
@@ -433,16 +453,22 @@ impl Policy for SelectiveSuspension {
                     }
                     actions.push(Action::Suspend(r.id));
                 });
-                running.sort_ascending();
-                debug_assert!(free.count_excluding(&blocked) >= need);
-                let set =
-                    planner::alloc_avoiding(&free, &blocked, &reserved, need, state.speed_map())
-                        .expect("gain accounted");
-                free.subtract(&set);
+                arena.table.sort_ascending();
+                debug_assert!(arena.free.count_excluding(&arena.blocked) >= need);
+                let set = planner::alloc_avoiding_in(
+                    &arena.free,
+                    &arena.blocked,
+                    &arena.reserved,
+                    need,
+                    state.speed_map(),
+                    &mut arena.alloc,
+                )
+                .expect("gain accounted");
+                arena.free.subtract(&set);
                 actions.push(dispatch(set));
             }
         }
-        self.idle = idle;
+        self.arena = arena;
     }
 
     fn on_completion(&mut self, outcome: &JobOutcome) {

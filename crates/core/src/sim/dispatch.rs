@@ -3,7 +3,9 @@
 //! Every path that hands processors to a job also updates the incremental
 //! kernel structures: the release ledger gains the dispatch's expected
 //! end, and the occupancy index records the new holder (a resuming job
-//! additionally gives up its re-entry claims first).
+//! additionally gives up its re-entry claims first). Hot-array fields
+//! (phase tag, wait clocks, est_end) are written here alongside the cold
+//! record — see [`super::state::HotState`].
 
 use sps_cluster::{secs_for, ProcSet};
 use sps_simcore::{EventClass, EventQueue};
@@ -14,17 +16,17 @@ use super::state::{Event, Phase, SimState};
 impl SimState {
     /// Close the current waiting interval of `id` at `now`.
     pub(crate) fn end_wait(&mut self, id: JobId) {
-        let now = self.now;
-        let rt = &mut self.jobs[id.index()];
-        debug_assert!(rt.is_waiting() || rt.phase == Phase::NotArrived);
-        rt.wait_accum += now - rt.wait_since;
+        let i = self.slot(id);
+        debug_assert!(self.hot.is_waiting(i) || self.jobs[i].phase == Phase::NotArrived);
+        self.hot.wait_accum[i] += self.now - self.hot.wait_since[i];
     }
 
     /// Dispatch a fresh job onto the lowest free processors. Returns false
     /// (dropping the action) if it does not fit.
     pub(crate) fn start(&mut self, id: JobId, queue: &mut EventQueue<Event>) -> bool {
-        let procs = self.jobs[id.index()].job.procs;
-        if self.jobs[id.index()].phase != Phase::Queued {
+        let i = self.slot(id);
+        let procs = self.jobs[i].job.procs;
+        if self.jobs[i].phase != Phase::Queued {
             return false;
         }
         let Some(set) = self.cluster.allocate(procs) else {
@@ -43,8 +45,9 @@ impl SimState {
         set: &ProcSet,
         queue: &mut EventQueue<Event>,
     ) -> bool {
-        let procs = self.jobs[id.index()].job.procs;
-        if self.jobs[id.index()].phase != Phase::Queued
+        let i = self.slot(id);
+        let procs = self.jobs[i].job.procs;
+        if self.jobs[i].phase != Phase::Queued
             || set.count() != procs
             || !self.cluster.can_allocate_exact(set)
         {
@@ -64,23 +67,22 @@ impl SimState {
     /// computation resumes, exactly like a suspension reload.
     fn dispatch(&mut self, id: JobId, set: ProcSet, queue: &mut EventQueue<Event>) {
         let now = self.now;
+        let i = self.slot(id);
         self.end_wait(id);
         self.index.occupy(&set, id);
         // The landing set fixes the dispatch's gang-synchronous rate: all
         // work/time conversions below run at the slowest member's speed.
         let speed = self.cluster.speed_of(&set);
-        let restore = if self.pmode.checkpoints()
-            && self.jobs[id.index()].remaining < self.jobs[id.index()].job.run
-        {
-            let secs =
-                self.ckpt
-                    .image_secs_at(&self.jobs[id.index()].job, self.ckpt_sharers(), speed);
+        let restore = if self.pmode.checkpoints() && self.jobs[i].remaining < self.jobs[i].job.run {
+            let secs = self
+                .ckpt
+                .image_secs_at(&self.jobs[i].job, self.ckpt_sharers(), speed);
             self.fault_stats.ckpt_overhead += secs;
             secs
         } else {
             0
         };
-        let rt = &mut self.jobs[id.index()];
+        let rt = &mut self.jobs[i];
         rt.assigned = Some(set);
         rt.speed = speed;
         rt.first_start = Some(now);
@@ -89,21 +91,22 @@ impl SimState {
         let compute_start = now + restore;
         rt.phase = Phase::Running { compute_start };
         let executed = rt.job.run - rt.remaining;
-        rt.est_end = if executed > 0 {
+        let est_end = if executed > 0 {
             // Restored dispatch: estimated remaining computation only.
             compute_start + secs_for((rt.job.estimate - executed).max(1), speed)
         } else {
             compute_start + secs_for(rt.job.estimate, speed)
         };
-        self.avail.add(rt.est_end, rt.job.procs);
+        let procs = rt.job.procs;
         let done_at = compute_start + secs_for(rt.remaining, speed);
+        let epoch = rt.epoch;
+        self.hot.tag[i] = Phase::Running { compute_start }.tag();
+        self.hot.est_end[i] = est_end;
+        self.avail.add(est_end, procs);
         queue.push(
             done_at,
             EventClass::Completion,
-            Event::Completion {
-                job: id,
-                epoch: rt.epoch,
-            },
+            Event::Completion { job: id, epoch },
         );
         self.queued.retain(|&q| q != id);
         self.running.push(id);
@@ -112,10 +115,11 @@ impl SimState {
     /// Re-enter a suspended job on its original processor set. Returns
     /// false if the set is not entirely free.
     pub(crate) fn resume(&mut self, id: JobId, queue: &mut EventQueue<Event>) -> bool {
-        if self.jobs[id.index()].phase != Phase::Suspended {
+        let i = self.slot(id);
+        if self.jobs[i].phase != Phase::Suspended {
             return false;
         }
-        let set = self.jobs[id.index()]
+        let set = self.jobs[i]
             .assigned
             .clone()
             .expect("suspended job keeps its set");
@@ -131,9 +135,8 @@ impl SimState {
         set: &ProcSet,
         queue: &mut EventQueue<Event>,
     ) -> bool {
-        if self.jobs[id.index()].phase != Phase::Suspended
-            || set.count() != self.jobs[id.index()].job.procs
-        {
+        let i = self.slot(id);
+        if self.jobs[i].phase != Phase::Suspended || set.count() != self.jobs[i].job.procs {
             return false;
         }
         self.resume_on_set(id, set.clone(), queue)
@@ -146,6 +149,7 @@ impl SimState {
         queue: &mut EventQueue<Event>,
     ) -> bool {
         let now = self.now;
+        let i = self.slot(id);
         if !self.cluster.can_allocate_exact(&set) {
             return false;
         }
@@ -153,7 +157,7 @@ impl SimState {
         // The re-entry claims were registered under the set held at
         // suspension time — release them *before* the (possibly migrated)
         // new assignment overwrites it.
-        let old_set = self.jobs[id.index()]
+        let old_set = self.jobs[i]
             .assigned
             .take()
             .expect("suspended job keeps its set");
@@ -165,29 +169,29 @@ impl SimState {
             self.fault_stats.migrations += 1;
         }
         // Re-entering closes any fault bookkeeping on the job.
-        if let Some(since) = self.jobs[id.index()].stranded_since.take() {
+        if let Some(since) = self.jobs[i].stranded_since.take() {
             self.fault_stats.stranded_secs += now - since;
         }
-        self.jobs[id.index()].remap = false;
+        self.jobs[i].remap = false;
         // Re-timing on resume/migrate: the landing set's speed governs the
         // new dispatch, so a job moved to faster processors finishes
         // sooner than its suspension-time plan said.
         let speed = self.cluster.speed_of(&set);
-        self.jobs[id.index()].assigned = Some(set);
+        self.jobs[i].assigned = Some(set);
         self.end_wait(id);
         // Under a checkpointing mode the reload is the checkpoint image
         // read-back (contention-aware, at the landing set's drain rate);
         // otherwise the Section V-A restart.
         let reload = if self.pmode.checkpoints() {
-            let secs =
-                self.ckpt
-                    .image_secs_at(&self.jobs[id.index()].job, self.ckpt_sharers(), speed);
+            let secs = self
+                .ckpt
+                .image_secs_at(&self.jobs[i].job, self.ckpt_sharers(), speed);
             self.fault_stats.ckpt_overhead += secs;
             secs
         } else {
-            self.overhead.restart_secs(&self.jobs[id.index()].job)
+            self.overhead.restart_secs(&self.jobs[i].job)
         };
-        let rt = &mut self.jobs[id.index()];
+        let rt = &mut self.jobs[i];
         rt.speed = speed;
         rt.overhead_total += reload;
         rt.seg_open = Some(now);
@@ -195,16 +199,17 @@ impl SimState {
         rt.phase = Phase::Running { compute_start };
         // Estimated release: reload + estimated remaining computation.
         let executed = rt.job.run - rt.remaining;
-        rt.est_end = compute_start + secs_for((rt.job.estimate - executed).max(1), speed);
-        self.avail.add(rt.est_end, rt.job.procs);
+        let est_end = compute_start + secs_for((rt.job.estimate - executed).max(1), speed);
+        let procs = rt.job.procs;
         let done_at = compute_start + secs_for(rt.remaining, speed);
+        let epoch = rt.epoch;
+        self.hot.tag[i] = Phase::Running { compute_start }.tag();
+        self.hot.est_end[i] = est_end;
+        self.avail.add(est_end, procs);
         queue.push(
             done_at,
             EventClass::Completion,
-            Event::Completion {
-                job: id,
-                epoch: rt.epoch,
-            },
+            Event::Completion { job: id, epoch },
         );
         self.suspended.retain(|&q| q != id);
         self.running.push(id);

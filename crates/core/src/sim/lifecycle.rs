@@ -19,18 +19,16 @@ impl SimState {
     /// dispatched.
     pub(crate) fn suspend(&mut self, id: JobId, queue: &mut EventQueue<Event>) -> bool {
         let now = self.now;
-        let Phase::Running { compute_start } = self.jobs[id.index()].phase else {
+        let i = self.slot(id);
+        let Phase::Running { compute_start } = self.jobs[i].phase else {
             return false;
         };
-        let drain = self.overhead.suspend_secs(&self.jobs[id.index()].job);
+        let drain = self.overhead.suspend_secs(&self.jobs[i].job);
         // The dispatch's ledgered release is stale either way: a zero
         // drain frees the processors now, a non-zero one re-ledgers them
         // at the drain end below.
-        self.avail.remove(
-            self.jobs[id.index()].est_end,
-            self.jobs[id.index()].job.procs,
-        );
-        let rt = &mut self.jobs[id.index()];
+        self.avail.remove(self.hot.est_end[i], self.hot.width[i]);
+        let rt = &mut self.jobs[i];
         // Work accomplished this dispatch: elapsed compute time at the
         // dispatch's gang rate. The floor in `work_done` never overcredits,
         // so a suspension strictly before the completion event always
@@ -47,11 +45,11 @@ impl SimState {
         rt.suspensions += 1;
         rt.overhead_total += drain;
         rt.epoch += 1; // invalidate the in-flight completion event
-        rt.wait_since = now; // waiting clock restarts at the preemption
+        self.hot.wait_since[i] = now; // waiting clock restarts at the preemption
         self.running.retain(|&q| q != id);
         self.preemptions += 1;
         if drain == 0 {
-            let set = self.jobs[id.index()]
+            let set = self.jobs[i]
                 .assigned
                 .clone()
                 .expect("dispatched job has a set");
@@ -59,24 +57,24 @@ impl SimState {
             self.index.vacate(&set, id);
             self.index.claim(&set, id);
             self.close_segment(id, &set);
-            self.jobs[id.index()].phase = Phase::Suspended;
+            self.set_phase(id, Phase::Suspended);
             self.suspended.push(id);
         } else {
-            let set = self.jobs[id.index()]
+            let set = self.jobs[i]
                 .assigned
                 .clone()
                 .expect("dispatched job has a set");
             self.index.drain_begin(&set);
-            let rt = &mut self.jobs[id.index()];
-            rt.phase = Phase::Draining;
-            rt.est_end = now + drain; // profile sees the drain occupancy
-            self.avail.add(rt.est_end, rt.job.procs);
+            self.set_phase(id, Phase::Draining);
+            let est_end = now + drain; // profile sees the drain occupancy
+            self.hot.est_end[i] = est_end;
+            self.avail.add(est_end, self.hot.width[i]);
             queue.push(
                 now + drain,
                 EventClass::ProcsFreed,
                 Event::DrainDone {
                     job: id,
-                    epoch: rt.epoch,
+                    epoch: self.jobs[i].epoch,
                 },
             );
         }
@@ -86,21 +84,19 @@ impl SimState {
     /// A drain finished: release the victim's processors and make it
     /// eligible for re-entry.
     pub(crate) fn drain_done(&mut self, id: JobId) {
-        debug_assert_eq!(self.jobs[id.index()].phase, Phase::Draining);
-        let set = self.jobs[id.index()]
+        let i = self.slot(id);
+        debug_assert_eq!(self.jobs[i].phase, Phase::Draining);
+        let set = self.jobs[i]
             .assigned
             .clone()
             .expect("draining job has a set");
-        self.avail.remove(
-            self.jobs[id.index()].est_end,
-            self.jobs[id.index()].job.procs,
-        );
+        self.avail.remove(self.hot.est_end[i], self.hot.width[i]);
         self.cluster.release(&set);
         self.index.vacate(&set, id);
         self.index.drain_end(&set);
         self.index.claim(&set, id);
         self.close_segment(id, &set);
-        self.jobs[id.index()].phase = Phase::Suspended;
+        self.set_phase(id, Phase::Suspended);
         self.suspended.push(id);
     }
 
@@ -115,49 +111,47 @@ impl SimState {
     /// and Suspended.
     pub(crate) fn kill(&mut self, id: JobId) -> Secs {
         let now = self.now;
-        let executed = self.jobs[id.index()].executed_at(now);
-        let seg_executed =
-            executed - (self.jobs[id.index()].job.run - self.jobs[id.index()].remaining);
-        let procs = self.jobs[id.index()].job.procs;
-        match self.jobs[id.index()].phase {
+        let i = self.slot(id);
+        let executed = self.jobs[i].executed_at(now);
+        let seg_executed = executed - (self.jobs[i].job.run - self.jobs[i].remaining);
+        let procs = self.jobs[i].job.procs;
+        match self.jobs[i].phase {
             Phase::Running { compute_start } => {
-                let set = self.jobs[id.index()]
+                let set = self.jobs[i]
                     .assigned
                     .clone()
                     .expect("dispatched job has a set");
-                self.avail.remove(self.jobs[id.index()].est_end, procs);
+                self.avail.remove(self.hot.est_end[i], procs);
                 self.cluster.release(&set);
                 self.index.vacate(&set, id);
                 self.close_segment(id, &set);
                 self.running.retain(|&q| q != id);
-                let rt = &mut self.jobs[id.index()];
                 // A job killed mid-reload never consumed the reload tail.
-                rt.overhead_total -= (compute_start - now).max(0);
-                rt.wait_since = now;
+                self.jobs[i].overhead_total -= (compute_start - now).max(0);
+                self.hot.wait_since[i] = now;
             }
             Phase::Draining => {
-                let set = self.jobs[id.index()]
+                let set = self.jobs[i]
                     .assigned
                     .clone()
                     .expect("draining job has a set");
-                self.avail.remove(self.jobs[id.index()].est_end, procs);
+                self.avail.remove(self.hot.est_end[i], procs);
                 self.cluster.release(&set);
                 self.index.vacate(&set, id);
                 self.index.drain_end(&set);
                 self.close_segment(id, &set);
                 // The drain tail never ran; the wait clock has been running
                 // since the suspension.
-                let rt = &mut self.jobs[id.index()];
-                rt.overhead_total -= (rt.est_end - now).max(0);
+                self.jobs[i].overhead_total -= (self.hot.est_end[i] - now).max(0);
             }
             Phase::Suspended => {
-                let set = self.jobs[id.index()]
+                let set = self.jobs[i]
                     .assigned
                     .clone()
                     .expect("suspended job keeps its set");
                 self.index.unclaim(&set, id);
                 self.suspended.retain(|&q| q != id);
-                if let Some(since) = self.jobs[id.index()].stranded_since.take() {
+                if let Some(since) = self.jobs[i].stranded_since.take() {
                     self.fault_stats.stranded_secs += now - since;
                 }
             }
@@ -172,27 +166,27 @@ impl SimState {
             let images = seg_executed / self.ckpt.interval;
             if images > 0 {
                 let sharers = self.ckpt_sharers();
-                let speed = self.jobs[id.index()].speed;
-                let job = &self.jobs[id.index()].job;
+                let speed = self.jobs[i].speed;
+                let job = &self.jobs[i].job;
                 self.fault_stats.ckpt_overhead +=
                     images * self.ckpt.image_secs_at(job, sharers, speed);
             }
             let kept = banked + self.ckpt.retained_secs(seg_executed);
-            kept.min(self.jobs[id.index()].job.run - 1).max(0)
+            kept.min(self.jobs[i].job.run - 1).max(0)
         } else {
             0
         };
-        let rt = &mut self.jobs[id.index()];
+        let rt = &mut self.jobs[i];
         debug_assert!(rt.overhead_total >= 0);
         debug_assert!(retained <= executed, "cannot retain unexecuted work");
         rt.remaining = rt.job.run - retained;
         rt.epoch += 1; // invalidate in-flight completion/drain/crash events
-        rt.phase = Phase::Queued;
         rt.assigned = None;
-        rt.est_end = SimTime::MAX;
         rt.kills += 1;
         rt.remap = false;
         rt.stranded_since = None;
+        self.set_phase(id, Phase::Queued);
+        self.hot.est_end[i] = SimTime::MAX;
         self.queued.push(id);
         let lost = (executed - retained) * procs as i64;
         self.fault_stats.lost_work += lost;
@@ -208,10 +202,16 @@ impl SimState {
 
     /// Close the job's open occupancy segment at the current instant.
     pub(crate) fn close_segment(&mut self, id: JobId, set: &ProcSet) {
-        let start = self.jobs[id.index()]
+        let i = self.slot(id);
+        let start = self.jobs[i]
             .seg_open
             .take()
             .expect("releasing processors closes an open segment");
+        // Lean runs fold outcomes and never render timelines, so the
+        // segment record would only grow O(dispatches) for nothing.
+        if self.lean.is_some() {
+            return;
+        }
         self.segments.push(OccupancySegment {
             job: id,
             start,
@@ -223,15 +223,13 @@ impl SimState {
     /// A valid completion event: record the outcome and free the machine.
     pub(crate) fn complete(&mut self, id: JobId) -> JobOutcome {
         let now = self.now;
-        debug_assert!(matches!(self.jobs[id.index()].phase, Phase::Running { .. }));
-        let set = self.jobs[id.index()]
+        let i = self.slot(id);
+        debug_assert!(matches!(self.jobs[i].phase, Phase::Running { .. }));
+        let set = self.jobs[i]
             .assigned
             .clone()
             .expect("running job has a set");
-        self.avail.remove(
-            self.jobs[id.index()].est_end,
-            self.jobs[id.index()].job.procs,
-        );
+        self.avail.remove(self.hot.est_end[i], self.hot.width[i]);
         self.cluster.release(&set);
         self.index.vacate(&set, id);
         self.close_segment(id, &set);
@@ -240,7 +238,7 @@ impl SimState {
         // computation, so they never perturbed the schedule — this is pure
         // cost reporting).
         if self.pmode.checkpoints() {
-            let rt = &self.jobs[id.index()];
+            let rt = &self.jobs[i];
             let images = rt.remaining / self.ckpt.interval;
             if images > 0 {
                 let sharers = self.ckpt_sharers();
@@ -248,10 +246,10 @@ impl SimState {
                     images * self.ckpt.image_secs_at(&rt.job, sharers, rt.speed);
             }
         }
-        let rt = &mut self.jobs[id.index()];
-        rt.remaining = 0;
-        rt.phase = Phase::Done;
+        self.jobs[i].remaining = 0;
+        self.set_phase(id, Phase::Done);
         self.incomplete -= 1;
+        let rt = &self.jobs[i];
         let outcome = JobOutcome::new(
             &rt.job,
             rt.first_start.expect("completed job started"),
@@ -260,7 +258,11 @@ impl SimState {
             rt.overhead_total,
         )
         .with_kills(rt.kills);
-        self.outcomes.push(outcome.clone());
+        match &mut self.lean {
+            Some(fold) => fold.push(&outcome),
+            None => self.outcomes.push(outcome.clone()),
+        }
+        self.maybe_trim();
         outcome
     }
 }

@@ -51,7 +51,7 @@ pub use runloop::{
     AbortReason, KernelStats, RunStatus, RunUntil, SimResult, Simulator, StopReason,
     DEFAULT_TICK_PERIOD,
 };
-pub use state::{Event, OccupancySegment, SimState};
+pub use state::{Event, JobSlot, OccupancySegment, SimState};
 
 #[cfg(test)]
 mod tests {

@@ -3,7 +3,9 @@
 
 use std::time::Instant;
 
-use sps_metrics::{utilization, FaultSummary, JobOutcome, RejectionSummary, WindowedReport};
+use sps_metrics::{
+    utilization, FaultSummary, JobOutcome, OutcomeFold, RejectionSummary, WindowedReport,
+};
 use sps_simcore::{
     Engine, EventClass, EventQueue, RunOutcome, Secs, SimTime, Simulation, Ticker, Watchdog,
 };
@@ -123,6 +125,9 @@ pub struct KernelStats {
     pub decide_calls: u64,
     /// Wall-clock time of the engine loop, microseconds.
     pub wall_micros: u64,
+    /// Job-table slots reclaimed by lean-mode prefix trimming (zero for
+    /// full runs, which keep every record).
+    pub reclaimed_slots: u64,
 }
 
 impl KernelStats {
@@ -174,6 +179,11 @@ pub struct SimResult {
     /// window ([`Simulator::with_warmup`]); `None` on plain closed-system
     /// runs, whose whole-trace metrics are the fields above.
     pub windowed: Option<WindowedReport>,
+    /// The streaming outcome fold of a lean run
+    /// ([`Simulator::with_lean`]): fixed-size headline metrics computed
+    /// with bit-identical arithmetic to the materialized pass. `None` on
+    /// ordinary runs, whose `outcomes` hold everything.
+    pub lean: Option<OutcomeFold>,
 }
 
 /// The simulator: a trace, a machine, a policy, an overhead model.
@@ -545,6 +555,22 @@ impl<S: TraceSink, T: TelemetrySink> Simulator<S, T> {
         self
     }
 
+    /// Run in lean (outcome-streaming) mode: completions fold into a
+    /// fixed-size [`OutcomeFold`] instead of growing
+    /// [`SimResult::outcomes`], and occupancy segments are dropped at
+    /// close, so memory stays O(machine) no matter how many jobs the run
+    /// simulates — the mega-sweep path. The folded headline metrics are
+    /// bit-identical to the materialized ones (same estimators, same push
+    /// order); what a lean result *lacks* is anything per-job or
+    /// per-dispatch: `outcomes` and `segments` come back empty, the
+    /// [`SimResult::windowed`] report is unavailable (the run asserts no
+    /// warmup window was requested), and per-tier heterogeneous columns
+    /// cannot be reconstructed.
+    pub fn with_lean(mut self) -> Self {
+        self.state.lean = Some(OutcomeFold::new());
+        self
+    }
+
     /// Enable admission control (builder style, default
     /// [`AdmissionModel::none`]). With an enabled model the policy's
     /// [`Policy::admit`] hook is consulted once per arrival; rejected jobs
@@ -656,6 +682,7 @@ impl<S: TraceSink, T: TelemetrySink> Simulator<S, T> {
             events: engine.events(),
             decide_calls: self.decide_calls,
             wall_micros: wall_start.elapsed().as_micros() as u64,
+            reclaimed_slots: self.state.trimmed as u64,
         };
         let health = if self.telemetry.enabled() {
             // Close open detector integrals, then forward any final health
@@ -699,7 +726,13 @@ impl<S: TraceSink, T: TelemetrySink> Simulator<S, T> {
             (RunUntil::SimTime(h), RunStatus::Stopped(StopReason::Horizon)) => h,
             _ => engine.now(),
         };
-        let windowed = (self.warmup > 0 || !matches!(self.until, RunUntil::Drained)).then(|| {
+        assert!(
+            self.state.lean.is_none() || self.warmup == 0,
+            "lean runs drop per-job outcomes and cannot build a windowed report"
+        );
+        let windowed = (self.state.lean.is_none()
+            && (self.warmup > 0 || !matches!(self.until, RunUntil::Drained)))
+        .then(|| {
             let start = SimTime::ZERO + self.warmup;
             let end = run_end.max(start);
             WindowedReport::from_outcomes(
@@ -716,13 +749,20 @@ impl<S: TraceSink, T: TelemetrySink> Simulator<S, T> {
         }
         let total = self.state.cluster.total();
         let outcomes = std::mem::take(&mut self.state.outcomes);
-        let util = utilization(&outcomes, total);
-        let makespan = match (
-            outcomes.iter().map(|o| o.submit).min(),
-            outcomes.iter().map(|o| o.completion).max(),
-        ) {
-            (Some(a), Some(b)) => b - a,
-            _ => 0,
+        let lean = self.state.lean.take();
+        let (util, makespan) = match &lean {
+            Some(fold) => (fold.utilization(total), fold.makespan()),
+            None => {
+                let util = utilization(&outcomes, total);
+                let makespan = match (
+                    outcomes.iter().map(|o| o.submit).min(),
+                    outcomes.iter().map(|o| o.completion).max(),
+                ) {
+                    (Some(a), Some(b)) => b - a,
+                    _ => 0,
+                };
+                (util, makespan)
+            }
         };
         SimResult {
             policy: self.policy.name(),
@@ -739,6 +779,7 @@ impl<S: TraceSink, T: TelemetrySink> Simulator<S, T> {
             health,
             rejections: self.state.rejections,
             windowed,
+            lean,
         }
     }
 
@@ -803,7 +844,8 @@ impl<S: TraceSink, T: TelemetrySink> Simulator<S, T> {
         let submit = job.submit;
         let id = self.state.push_job(job);
         if let Some(inj) = &mut self.faults {
-            let rt = &mut self.state.jobs[id.index()];
+            let i = self.state.slot(id);
+            let rt = &mut self.state.jobs[i];
             rt.crash_after = inj.job_crash_after(rt.job.run);
         }
         queue.push(submit, EventClass::Arrival, Event::Arrival(id));
@@ -1003,7 +1045,7 @@ impl<S: TraceSink, T: TelemetrySink> Simulator<S, T> {
     /// bumps the epoch and invalidates the event; the next dispatch
     /// re-schedules it.
     fn schedule_crash(&mut self, id: JobId, queue: &mut EventQueue<Event>) {
-        let rt = &self.state.jobs[id.index()];
+        let rt = &self.state.jobs[self.state.slot(id)];
         let Some(after) = rt.crash_after else { return };
         let Phase::Running { compute_start } = rt.phase else {
             return;
@@ -1069,18 +1111,20 @@ impl<S: TraceSink, T: TelemetrySink> Simulator<S, T> {
                 // job: its image is globally restorable, so any recovery
                 // policy degrades to a remap for claims on a dead
                 // processor.
-                self.state.jobs[id.index()].remap = true;
+                let i = self.state.slot(id);
+                self.state.jobs[i].remap = true;
                 continue;
             }
+            let i = self.state.slot(id);
             match recovery {
                 RecoveryPolicy::WaitForRepair => {
-                    let rt = &mut self.state.jobs[id.index()];
+                    let rt = &mut self.state.jobs[i];
                     if rt.stranded_since.is_none() {
                         rt.stranded_since = Some(now);
                     }
                 }
                 RecoveryPolicy::Resubmit => self.kill_job(id, false),
-                RecoveryPolicy::Remap => self.state.jobs[id.index()].remap = true,
+                RecoveryPolicy::Remap => self.state.jobs[i].remap = true,
             }
         }
     }
@@ -1132,11 +1176,15 @@ impl<S: TraceSink, T: TelemetrySink> Simulator<S, T> {
 
     /// An injected job crash fired (if its dispatch is still current).
     fn on_crash(&mut self, id: JobId, epoch: u32) {
-        let rt = &self.state.jobs[id.index()];
+        if self.state.reclaimed(id) {
+            return; // only Done slots are trimmed, so the event is stale
+        }
+        let i = self.state.slot(id);
+        let rt = &self.state.jobs[i];
         if rt.epoch != epoch || !matches!(rt.phase, Phase::Running { .. }) {
             return; // stale: the dispatch was preempted or completed
         }
-        self.state.jobs[id.index()].crash_after = None; // crashes once
+        self.state.jobs[i].crash_after = None; // crashes once
         self.kill_job(id, true);
     }
 
@@ -1181,10 +1229,10 @@ impl<S: TraceSink, T: TelemetrySink> Simulation for Simulator<S, T> {
             }
             match ev {
                 Event::Arrival(id) => {
-                    let rt = &mut self.state.jobs[id.index()];
-                    debug_assert_eq!(rt.phase, Phase::NotArrived);
-                    rt.phase = Phase::Queued;
-                    rt.wait_since = now;
+                    let i = self.state.slot(id);
+                    debug_assert_eq!(self.state.jobs[i].phase, Phase::NotArrived);
+                    self.state.set_phase(id, Phase::Queued);
+                    self.state.hot.wait_since[i] = now;
                     self.state.queued.push(id);
                     self.arrivals_now.push(id);
                     if self.sink.enabled() {
@@ -1192,7 +1240,12 @@ impl<S: TraceSink, T: TelemetrySink> Simulation for Simulator<S, T> {
                     }
                 }
                 Event::Completion { job, epoch } => {
-                    let rt = &self.state.jobs[job.index()];
+                    // A reclaimed slot means the event is stale: only Done
+                    // jobs are ever trimmed, and Done is terminal.
+                    if self.state.reclaimed(job) {
+                        continue;
+                    }
+                    let rt = &self.state.jobs[self.state.slot(job)];
                     if rt.epoch == epoch && matches!(rt.phase, Phase::Running { .. }) {
                         let outcome = self.state.complete(job);
                         self.policy.on_completion(&outcome);
@@ -1210,7 +1263,10 @@ impl<S: TraceSink, T: TelemetrySink> Simulation for Simulator<S, T> {
                     // else: stale completion from before a suspension.
                 }
                 Event::DrainDone { job, epoch } => {
-                    let rt = &self.state.jobs[job.index()];
+                    if self.state.reclaimed(job) {
+                        continue;
+                    }
+                    let rt = &self.state.jobs[self.state.slot(job)];
                     if rt.epoch == epoch && rt.phase == Phase::Draining {
                         self.state.drain_done(job);
                         if self.sink.enabled() {
@@ -1341,6 +1397,6 @@ impl<S: TraceSink, T: TelemetrySink> Simulation for Simulator<S, T> {
     }
 
     fn should_stop(&self) -> bool {
-        matches!(self.until, RunUntil::Jobs(n) if self.state.outcomes.len() >= n)
+        matches!(self.until, RunUntil::Jobs(n) if self.state.completed() >= n)
     }
 }

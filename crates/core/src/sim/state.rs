@@ -2,7 +2,7 @@
 //! kernel structures (release ledger + occupancy index).
 
 use sps_cluster::{work_done, AvailabilityProfile, Cluster, ProcSet, Profile};
-use sps_metrics::{FaultSummary, JobOutcome, RejectionSummary};
+use sps_metrics::{FaultSummary, JobOutcome, OutcomeFold, RejectionSummary};
 use sps_simcore::{Secs, SimTime};
 use sps_workload::{Job, JobId};
 
@@ -57,7 +57,122 @@ pub(crate) enum Phase {
     Done,
 }
 
-/// Runtime record for one job.
+impl Phase {
+    /// The dense discriminant mirrored into the hot arrays.
+    pub(crate) fn tag(&self) -> PhaseTag {
+        match self {
+            Phase::NotArrived => PhaseTag::NotArrived,
+            Phase::Queued => PhaseTag::Queued,
+            Phase::Running { .. } => PhaseTag::Running,
+            Phase::Draining => PhaseTag::Draining,
+            Phase::Suspended => PhaseTag::Suspended,
+            Phase::Done => PhaseTag::Done,
+        }
+    }
+}
+
+/// One-byte phase discriminant, the state tag of the hot arrays. Kept
+/// coherent with [`JobRt::phase`] by [`SimState::set_phase`] (the single
+/// phase-write choke point) and cross-checked by
+/// [`SimState::validate_kernel`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub(crate) enum PhaseTag {
+    NotArrived,
+    Queued,
+    Running,
+    Draining,
+    Suspended,
+    Done,
+}
+
+/// Stable dense index of a job in the hot arrays. Ids are dense by the
+/// source contract, so a job's slot is simply its id index and never
+/// moves — policies may cache slots across decides.
+///
+/// Caveat: under a lean (fold-only) run the kernel reclaims the Done
+/// prefix of the tables ([`SimState::maybe_trim`]), so a hot-array slot
+/// is `id.index() - trimmed` there and this direct mapping only holds
+/// for full (non-lean) runs — which is every run a policy can observe
+/// slots in, since trimming strictly follows terminal states.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct JobSlot(pub u32);
+
+impl From<JobId> for JobSlot {
+    fn from(id: JobId) -> Self {
+        JobSlot(id.0)
+    }
+}
+
+impl JobSlot {
+    /// The array index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Structure-of-arrays hot state: the per-job fields every decide
+/// touches, in dense parallel arrays indexed by [`JobSlot`]. The victim
+/// scan, the idle-priority sweep, and the no-op certification walk these
+/// as contiguous memory instead of striding through ~200-byte [`JobRt`]
+/// records; cold fields (processor sets, overhead ledgers, fault
+/// bookkeeping) stay in the [`JobRt`] side table.
+///
+/// `width` and `est` are immutable copies of the job record (safe to
+/// duplicate); `tag`, `wait_accum`, `wait_since`, and `est_end` live
+/// *only* here — [`JobRt`] no longer carries them.
+#[derive(Default)]
+pub(crate) struct HotState {
+    /// Phase discriminant (see [`PhaseTag`]).
+    pub(crate) tag: Vec<PhaseTag>,
+    /// Requested processor count (copy of `job.procs`).
+    pub(crate) width: Vec<u32>,
+    /// User estimate floored at one second — the xfactor denominator.
+    pub(crate) est: Vec<Secs>,
+    /// Waiting time accumulated over closed waiting intervals.
+    pub(crate) wait_accum: Vec<Secs>,
+    /// Start of the current waiting interval (valid while waiting).
+    pub(crate) wait_since: Vec<SimTime>,
+    /// Expected release time of the current dispatch, by the user
+    /// estimate. Used to build backfilling profiles; for a draining
+    /// victim, the drain-done instant.
+    pub(crate) est_end: Vec<SimTime>,
+}
+
+impl HotState {
+    fn with_capacity(n: usize) -> Self {
+        HotState {
+            tag: Vec::with_capacity(n),
+            width: Vec::with_capacity(n),
+            est: Vec::with_capacity(n),
+            wait_accum: Vec::with_capacity(n),
+            wait_since: Vec::with_capacity(n),
+            est_end: Vec::with_capacity(n),
+        }
+    }
+
+    /// Append the hot row for a fresh job.
+    fn push(&mut self, job: &Job) {
+        self.tag.push(PhaseTag::NotArrived);
+        self.width.push(job.procs);
+        self.est.push(job.estimate.max(1));
+        self.wait_accum.push(0);
+        self.wait_since.push(job.submit);
+        self.est_end.push(SimTime::MAX);
+    }
+
+    /// Is the slot in a waiting phase (queued, draining, or suspended)?
+    #[inline]
+    pub(crate) fn is_waiting(&self, i: usize) -> bool {
+        matches!(
+            self.tag[i],
+            PhaseTag::Queued | PhaseTag::Draining | PhaseTag::Suspended
+        )
+    }
+}
+
+/// Runtime record for one job: the cold side table. Fields consulted on
+/// every decide live in [`HotState`] instead.
 #[derive(Clone, Debug)]
 pub(crate) struct JobRt {
     pub(crate) job: Job,
@@ -72,15 +187,8 @@ pub(crate) struct JobRt {
     /// of the slowest processor in the assigned set. 1.0 until the first
     /// dispatch and always 1.0 on a homogeneous machine.
     pub(crate) speed: f64,
-    /// Waiting time accumulated over closed waiting intervals.
-    pub(crate) wait_accum: Secs,
-    /// Start of the current waiting interval (valid while waiting).
-    pub(crate) wait_since: SimTime,
     /// First dispatch instant.
     pub(crate) first_start: Option<SimTime>,
-    /// Expected release time of the current dispatch, by the user
-    /// estimate. Used to build backfilling profiles.
-    pub(crate) est_end: SimTime,
     /// Number of suspensions suffered.
     pub(crate) suspensions: u32,
     /// Total drain + reload seconds charged so far.
@@ -107,17 +215,13 @@ pub(crate) struct JobRt {
 impl JobRt {
     pub(crate) fn new(job: Job) -> Self {
         let remaining = job.run;
-        let wait_since = job.submit;
         JobRt {
             job,
             phase: Phase::NotArrived,
             assigned: None,
             remaining,
             speed: 1.0,
-            wait_accum: 0,
-            wait_since,
             first_start: None,
-            est_end: SimTime::MAX,
             suspensions: 0,
             overhead_total: 0,
             epoch: 0,
@@ -126,23 +230,6 @@ impl JobRt {
             crash_after: None,
             stranded_since: None,
             remap: false,
-        }
-    }
-
-    /// Is the job in a waiting phase (queued, draining, or suspended)?
-    pub(crate) fn is_waiting(&self) -> bool {
-        matches!(
-            self.phase,
-            Phase::Queued | Phase::Draining | Phase::Suspended
-        )
-    }
-
-    /// Total wait up to `now`.
-    pub(crate) fn wait_at(&self, now: SimTime) -> Secs {
-        if self.is_waiting() {
-            self.wait_accum + (now - self.wait_since)
-        } else {
-            self.wait_accum
         }
     }
 
@@ -181,6 +268,9 @@ pub struct SimState {
     pub(crate) now: SimTime,
     pub(crate) cluster: Cluster,
     pub(crate) jobs: Vec<JobRt>,
+    /// The decide path's structure-of-arrays hot fields, parallel to
+    /// `jobs` (same dense [`JobSlot`] indexing).
+    pub(crate) hot: HotState,
     /// Never-started jobs, in arrival order.
     pub(crate) queued: Vec<JobId>,
     /// Fully drained, waiting to re-enter, in suspension order.
@@ -209,6 +299,19 @@ pub struct SimState {
     /// Checkpoint image cost model (consulted only when `pmode`
     /// checkpoints).
     pub(crate) ckpt: CheckpointModel,
+    /// Lean (outcome-streaming) mode: when set, each completion folds
+    /// into this fixed-size accumulator instead of growing `outcomes`,
+    /// and occupancy segments are dropped at close. Memory stays O(1) in
+    /// the job count — the mega-sweep path. `None` (the default) retains
+    /// everything, byte-identical to the historical behavior.
+    pub(crate) lean: Option<OutcomeFold>,
+    /// Slots reclaimed off the front of `jobs`/`hot` by lean-mode
+    /// trimming (see [`SimState::maybe_trim`]). Always 0 outside lean
+    /// runs, so id and window index coincide there.
+    pub(crate) trimmed: usize,
+    /// Trim cursor: the first window index not yet known to be Done.
+    /// Done is terminal, so the cursor only ever advances.
+    trim_scan: usize,
 }
 
 impl SimState {
@@ -220,10 +323,15 @@ impl SimState {
         // needs ≥ 1); outcomes reach exactly n; segments get one entry
         // per dispatch, i.e. n plus one per suspension.
         let concurrent = (procs as usize).min(n);
+        let mut hot = HotState::with_capacity(n);
+        for job in &jobs {
+            hot.push(job);
+        }
         SimState {
             now: SimTime::ZERO,
             cluster: Cluster::new(procs),
             jobs: jobs.into_iter().map(JobRt::new).collect(),
+            hot,
             queued: Vec::with_capacity(n),
             suspended: Vec::with_capacity(concurrent),
             running: Vec::with_capacity(concurrent),
@@ -239,22 +347,102 @@ impl SimState {
             index: SchedIndex::new(procs),
             pmode: PreemptionMode::InPlace,
             ckpt: CheckpointModel::default(),
+            lean: None,
+            trimmed: 0,
+            trim_scan: 0,
         }
     }
 
+    /// Completed jobs so far, whichever way outcomes are kept.
+    pub(crate) fn completed(&self) -> usize {
+        self.lean
+            .as_ref()
+            .map_or(self.outcomes.len(), OutcomeFold::count)
+    }
+
+    /// The window index of `id` in `jobs`/`hot`. Identity (`id.index()`)
+    /// outside lean runs; offset by the reclaimed prefix inside them.
+    #[inline]
+    pub(crate) fn slot(&self, id: JobId) -> usize {
+        debug_assert!(
+            id.index() >= self.trimmed,
+            "access to reclaimed job slot {id:?} (trimmed {})",
+            self.trimmed
+        );
+        id.index() - self.trimmed
+    }
+
+    /// Whether this id's slot was reclaimed by lean trimming. Such a job
+    /// is necessarily Done, so any event still naming it is stale.
+    #[inline]
+    pub(crate) fn reclaimed(&self, id: JobId) -> bool {
+        id.index() < self.trimmed
+    }
+
+    /// Lean-mode slot reclamation: drop the Done prefix of the job
+    /// window once it is both big enough to matter (amortizing the
+    /// drain's memmove) and at least half the window (so each trim frees
+    /// at least as much as it copies — O(1) amortized per job).
+    ///
+    /// Streaming runs complete jobs roughly in arrival order, so the
+    /// live window spans one job sojourn's worth of arrivals: peak
+    /// memory tracks machine pressure, not log length. Outside lean mode
+    /// this is a no-op and ids equal window indices forever.
+    pub(crate) fn maybe_trim(&mut self) {
+        if self.lean.is_none() {
+            return;
+        }
+        while self.trim_scan < self.jobs.len() && self.hot.tag[self.trim_scan] == PhaseTag::Done {
+            self.trim_scan += 1;
+        }
+        let k = self.trim_scan;
+        if k < 1024 || k * 2 < self.jobs.len() {
+            return;
+        }
+        self.jobs.drain(..k);
+        self.hot.tag.drain(..k);
+        self.hot.width.drain(..k);
+        self.hot.est.drain(..k);
+        self.hot.wait_accum.drain(..k);
+        self.hot.wait_since.drain(..k);
+        self.hot.est_end.drain(..k);
+        self.trimmed += k;
+        self.trim_scan = 0;
+    }
+
     /// Append a lazily-materialized job to the table (open-system source
-    /// mode). Ids must stay dense — the table is indexed by id — so the
-    /// source seam asserts the invariant here.
+    /// mode). Ids must stay dense — the table is indexed by id, less any
+    /// reclaimed prefix — so the source seam asserts the invariant here.
     pub(crate) fn push_job(&mut self, job: Job) -> JobId {
         assert_eq!(
             job.id.index(),
-            self.jobs.len(),
+            self.trimmed + self.jobs.len(),
             "job source must emit dense ids in order"
         );
         let id = job.id;
+        self.hot.push(&job);
         self.jobs.push(JobRt::new(job));
         self.incomplete += 1;
         id
+    }
+
+    /// Set a job's phase, keeping the hot state tag coherent. Every phase
+    /// write goes through here.
+    pub(crate) fn set_phase(&mut self, id: JobId, phase: Phase) {
+        let i = self.slot(id);
+        self.hot.tag[i] = phase.tag();
+        self.jobs[i].phase = phase;
+    }
+
+    /// Total wait of slot `i` up to the current instant.
+    #[inline]
+    pub(crate) fn wait_at_slot(&self, i: usize) -> Secs {
+        let accum = self.hot.wait_accum[i];
+        if self.hot.is_waiting(i) {
+            accum + (self.now - self.hot.wait_since[i])
+        } else {
+            accum
+        }
     }
 
     /// Reject a job that arrived this instant (admission control): remove
@@ -262,14 +450,14 @@ impl SimState {
     /// ledger. The job never held processors, so no kernel structure needs
     /// repair.
     pub(crate) fn reject(&mut self, id: JobId, penalty: f64) {
-        let rt = &mut self.jobs[id.index()];
         debug_assert_eq!(
-            rt.phase,
+            self.jobs[self.slot(id)].phase,
             Phase::Queued,
             "only queued arrivals can be rejected"
         );
-        rt.phase = Phase::Done;
-        let est_work = rt.job.estimate * rt.job.procs as i64;
+        self.set_phase(id, Phase::Done);
+        let job = &self.jobs[self.slot(id)].job;
+        let est_work = job.estimate * job.procs as i64;
         self.queued.retain(|&q| q != id);
         self.incomplete -= 1;
         self.rejections.record(est_work, penalty);
@@ -303,7 +491,14 @@ impl SimState {
 
     /// The static job record.
     pub fn job(&self, id: JobId) -> &Job {
-        &self.jobs[id.index()].job
+        &self.jobs[self.slot(id)].job
+    }
+
+    /// The job's requested processor count, from the hot arrays — the
+    /// form decide loops use (no cold-record dereference).
+    #[inline]
+    pub fn width(&self, id: JobId) -> u32 {
+        self.hot.width[self.slot(id)]
     }
 
     /// Never-started queued jobs, in arrival order.
@@ -323,13 +518,14 @@ impl SimState {
 
     /// The processor set a dispatched or suspended job occupies/reclaims.
     pub fn assigned_set(&self, id: JobId) -> Option<&ProcSet> {
-        self.jobs[id.index()].assigned.as_ref()
+        self.jobs[self.slot(id)].assigned.as_ref()
     }
 
     /// Whether the job has been suspended at least once and is waiting to
     /// re-enter.
+    #[inline]
     pub fn is_suspended(&self, id: JobId) -> bool {
-        self.jobs[id.index()].phase == Phase::Suspended
+        self.hot.tag[self.slot(id)] == PhaseTag::Suspended
     }
 
     /// The set of processors currently down (empty without fault
@@ -347,7 +543,7 @@ impl SimState {
     /// includes a down processor, so the paper's local-restart rule cannot
     /// be satisfied until repair.
     pub fn is_stranded(&self, id: JobId) -> bool {
-        let rt = &self.jobs[id.index()];
+        let rt = &self.jobs[self.slot(id)];
         rt.phase == Phase::Suspended
             && rt
                 .assigned
@@ -361,7 +557,7 @@ impl SimState {
     /// [`PreemptionMode`] migrates by construction. The scheduler may
     /// resume such a job on any equally-sized free set.
     pub fn can_remap(&self, id: JobId) -> bool {
-        self.jobs[id.index()].remap || self.pmode.migrates()
+        self.jobs[self.slot(id)].remap || self.pmode.migrates()
     }
 
     /// The active preemption mode.
@@ -401,15 +597,15 @@ impl SimState {
     pub fn backlog_secs(&self) -> f64 {
         let mut work: i64 = 0;
         for &id in &self.queued {
-            let j = &self.jobs[id.index()].job;
+            let j = &self.jobs[self.slot(id)].job;
             work += j.estimate * j.procs as i64;
         }
         for &id in &self.running {
-            let j = &self.jobs[id.index()].job;
+            let j = &self.jobs[self.slot(id)].job;
             work += self.estimated_remaining(id) * j.procs as i64;
         }
         for &id in &self.suspended {
-            let rt = &self.jobs[id.index()];
+            let rt = &self.jobs[self.slot(id)];
             let left = (rt.job.estimate - rt.executed_at(self.now)).max(1);
             work += left * rt.job.procs as i64;
         }
@@ -417,17 +613,20 @@ impl SimState {
     }
 
     /// Whether the job is currently dispatched.
+    #[inline]
     pub fn is_running(&self, id: JobId) -> bool {
-        matches!(self.jobs[id.index()].phase, Phase::Running { .. })
+        self.hot.tag[self.slot(id)] == PhaseTag::Running
     }
 
     /// The SS/TSS suspension priority (Section IV): expansion factor
     /// `(wait + estimated run) / estimated run`. Grows while the job
-    /// waits, frozen while it runs.
+    /// waits, frozen while it runs. Reads only the hot arrays — this is
+    /// the innermost operation of every SS/TSS/IS decide.
+    #[inline]
     pub fn xfactor(&self, id: JobId) -> f64 {
-        let rt = &self.jobs[id.index()];
-        let est = rt.job.estimate.max(1) as f64;
-        (rt.wait_at(self.now) as f64 + est) / est
+        let i = self.slot(id);
+        let est = self.hot.est[i] as f64;
+        (self.wait_at_slot(i) as f64 + est) / est
     }
 
     /// IS's instantaneous xfactor (Section II-C):
@@ -435,15 +634,16 @@ impl SimState {
     /// floored at one second (a job that has barely run is effectively
     /// unpreemptable, protecting fresh dispatches).
     pub fn inst_xfactor(&self, id: JobId) -> f64 {
-        let rt = &self.jobs[id.index()];
-        let acc = rt.executed_at(self.now).max(1) as f64;
-        (rt.wait_at(self.now) as f64 + acc) / acc
+        let i = self.slot(id);
+        let acc = self.jobs[i].executed_at(self.now).max(1) as f64;
+        (self.wait_at_slot(i) as f64 + acc) / acc
     }
 
     /// Expected release time of a dispatched job per the user estimate
     /// (dispatch instant + estimated remaining work + reload overhead).
+    #[inline]
     pub fn estimated_release(&self, id: JobId) -> SimTime {
-        self.jobs[id.index()].est_end
+        self.hot.est_end[self.slot(id)]
     }
 
     /// The future-availability profile from occupying jobs' estimated
@@ -455,19 +655,29 @@ impl SimState {
     /// one ordered walk; debug builds cross-check against a from-scratch
     /// rebuild over the job table.
     pub fn profile(&self) -> Profile {
+        let mut out = Profile::empty();
+        self.profile_into(&mut out);
+        out
+    }
+
+    /// [`profile`](Self::profile) into a caller-owned buffer, reusing its
+    /// breakpoint allocation — the form the per-decide reservation
+    /// planners use so that rematerializing the profile every decide
+    /// stays off the allocator.
+    pub fn profile_into(&self, out: &mut Profile) {
         // Down processors are masked out of the capacity: a reservation
         // must not count on a processor that may never come back in time.
-        let snapshot = self.avail.snapshot(
+        self.avail.snapshot_into(
             self.now,
             self.cluster.total() - self.cluster.down_count(),
             self.cluster.free_count(),
+            out,
         );
         debug_assert_eq!(
-            snapshot,
+            *out,
             self.rebuild_profile(),
             "incremental release ledger diverged from the job table"
         );
-        snapshot
     }
 
     /// From-scratch profile rebuild (the pre-incremental implementation),
@@ -476,12 +686,12 @@ impl SimState {
     pub(crate) fn rebuild_profile(&self) -> Profile {
         let mut releases: Vec<(SimTime, u32)> = Vec::with_capacity(self.running.len());
         for &id in &self.running {
-            let rt = &self.jobs[id.index()];
-            releases.push((rt.est_end, rt.job.procs));
+            let i = self.slot(id);
+            releases.push((self.hot.est_end[i], self.hot.width[i]));
         }
-        for rt in self.jobs.iter().filter(|rt| rt.phase == Phase::Draining) {
+        for i in (0..self.jobs.len()).filter(|&i| self.hot.tag[i] == PhaseTag::Draining) {
             // est_end holds the drain-done instant for draining jobs.
-            releases.push((rt.est_end, rt.job.procs));
+            releases.push((self.hot.est_end[i], self.hot.width[i]));
         }
         Profile::new(
             self.now,
@@ -530,7 +740,22 @@ impl SimState {
         let mut draining = ProcSet::empty(total);
         let mut draining_jobs = 0u32;
         let mut ledger = AvailabilityProfile::new();
-        for rt in &self.jobs {
+        // Hot arrays must be a coherent mirror of the cold table.
+        assert_eq!(
+            self.hot.tag.len(),
+            self.jobs.len(),
+            "hot arrays out of step"
+        );
+        for (i, rt) in self.jobs.iter().enumerate() {
+            assert_eq!(self.hot.tag[i], rt.phase.tag(), "phase tag diverged");
+            assert_eq!(self.hot.width[i], rt.job.procs, "width copy diverged");
+            assert_eq!(
+                self.hot.est[i],
+                rt.job.estimate.max(1),
+                "estimate copy diverged"
+            );
+        }
+        for (i, rt) in self.jobs.iter().enumerate() {
             match rt.phase {
                 Phase::Running { .. } | Phase::Draining => {
                     let set = rt.assigned.as_ref().expect("occupying job has a set");
@@ -538,7 +763,7 @@ impl SimState {
                         assert!(occupant[p as usize].is_none(), "proc {p} held by two jobs");
                         occupant[p as usize] = Some(rt.job.id);
                     }
-                    ledger.add(rt.est_end, rt.job.procs);
+                    ledger.add(self.hot.est_end[i], rt.job.procs);
                     if rt.phase == Phase::Draining {
                         draining.union_with(set);
                         draining_jobs += 1;
@@ -558,7 +783,7 @@ impl SimState {
                 .iter()
                 .copied()
                 .filter(|&id| {
-                    self.jobs[id.index()]
+                    self.jobs[self.slot(id)]
                         .assigned
                         .as_ref()
                         .is_some_and(|s| s.contains(p))

@@ -99,6 +99,13 @@ pub struct SweepSpec {
     /// Whether placement is speed-aware (default `true`; `false` is the
     /// speed-blind ablation).
     pub speed_aware: bool,
+    /// Run every cell lean (outcome-streaming): per-job outcomes fold
+    /// inside the simulator as they complete, so a replication's memory
+    /// is O(machine) no matter how many jobs it simulates — required for
+    /// million-job mega sweeps. Headline cell metrics are bit-identical
+    /// to a full run; per-tier heterogeneous columns are unavailable
+    /// (validation rejects the combination). Off by default.
+    pub lean: bool,
     /// Retry budget for panicked replications (see
     /// [`BatchRunner::retries`](crate::runner::BatchRunner::retries)).
     pub retries: u32,
@@ -135,9 +142,17 @@ impl SweepSpec {
             checkpoint: CheckpointModel::default(),
             speed: SpeedSpec::uniform_one(),
             speed_aware: true,
+            lean: false,
             retries: 0,
             wall_budget_ms: None,
         }
+    }
+
+    /// Toggle lean (outcome-streaming) replications — O(machine) memory
+    /// per run, bit-identical headline metrics, no per-tier columns.
+    pub fn with_lean(mut self, lean: bool) -> Self {
+        self.lean = lean;
+        self
     }
 
     /// Set the processor-speed configuration applied to every run.
@@ -285,6 +300,17 @@ impl SweepSpec {
                 "open-system sweeps need a stopping condition (with_until)".into(),
             ));
         }
+        if self.lean && !self.speed.is_uniform_one() {
+            return Err(ConfigError::BadLean(
+                "lean sweeps drop the segment record and cannot report \
+                 per-tier columns — run heterogeneous grids full",
+            ));
+        }
+        if self.lean && self.warmup > 0 {
+            return Err(ConfigError::BadLean(
+                "lean sweeps cannot build warmup-windowed reports",
+            ));
+        }
         for &load in &self.loads {
             self.config(self.schedulers[0], load, 0).validate()?;
         }
@@ -415,6 +441,47 @@ impl RunSummary {
     /// bench's naive comparison path aggregates with bit-identical
     /// arithmetic to the sweep harness.
     pub fn fold(config: &ExperimentConfig, sim: &crate::sim::SimResult) -> Self {
+        // Lean runs already folded every outcome as it completed, with the
+        // same estimators in the same push order — read the scalars out
+        // instead of re-walking outcomes that were never retained.
+        if let Some(fold) = &sim.lean {
+            // `sim.utilization`/`sim.makespan` were computed from this
+            // same fold in the run's finish, so reuse them verbatim.
+            let utilization = sim.utilization;
+            return RunSummary {
+                scheduler: config.scheduler.to_string(),
+                load_factor: config.load_factor,
+                seed: config.seed,
+                mean_slowdown: fold.mean_slowdown(),
+                p50_slowdown: fold.p50_slowdown(),
+                p99_slowdown: fold.p99_slowdown(),
+                worst_slowdown: fold.worst_slowdown(),
+                mean_turnaround: fold.mean_turnaround(),
+                worst_turnaround: fold.worst_turnaround(),
+                utilization,
+                makespan: sim.makespan,
+                preemptions: sim.preemptions,
+                completed: fold.count(),
+                aborted: sim.status.is_aborted(),
+                events: sim.kernel.events,
+                wall_micros: sim.kernel.wall_micros,
+                rejected: sim.rejections.rejected,
+                rejected_penalty: sim.rejections.penalty,
+                lost_work: sim.faults.lost_work as f64,
+                ckpt_overhead: sim.faults.ckpt_overhead as f64,
+                migrations: sim.faults.migrations,
+                goodput: if sim.faults.downtime > 0 {
+                    fold.goodput(config.system.procs, sim.faults.downtime)
+                } else {
+                    utilization
+                },
+                // Tier columns need the segment record, which lean runs
+                // drop; lean sweeps are homogeneous by construction.
+                tier_util: Vec::new(),
+                tier_slowdown: Vec::new(),
+                health: sim.health,
+            };
+        }
         let mut slow = StreamingStats::new();
         let mut turn = StreamingStats::new();
         let mut p50 = P2Quantile::new(0.5);
@@ -964,6 +1031,125 @@ pub struct SweepProgress {
     pub worst_detector: Option<String>,
 }
 
+/// Shared bookkeeping for grid harnesses ([`run_sweep_observed`] and the
+/// mega-sweep): folds a stream of terminal run outcomes into
+/// [`SweepProgress`] snapshots for the observer.
+pub(crate) struct ProgressTracker {
+    start: Instant,
+    total: usize,
+    reps: usize,
+    done: usize,
+    failed: usize,
+    per_cell: Vec<usize>,
+    cells_done: usize,
+    // Cumulative detector counts across finished runs; the "worst"
+    // detector is the loudest one (thrash wins ties: it is actionable).
+    starvation: u64,
+    thrash: u64,
+}
+
+impl ProgressTracker {
+    pub(crate) fn new(start: Instant, total: usize, cells: usize, reps: usize) -> Self {
+        ProgressTracker {
+            start,
+            total,
+            reps,
+            done: 0,
+            failed: 0,
+            per_cell: vec![0; cells],
+            cells_done: 0,
+            starvation: 0,
+            thrash: 0,
+        }
+    }
+
+    /// Account one terminal outcome (run index `i` in expansion order)
+    /// and build the snapshot to hand the observer.
+    pub(crate) fn record(&mut self, i: usize, r: &Result<RunSummary, RunError>) -> SweepProgress {
+        self.done += 1;
+        match r {
+            Ok(s) => {
+                if let Some(h) = s.health {
+                    self.starvation += u64::from(h.starvation_onsets);
+                    self.thrash += u64::from(h.thrash_events);
+                }
+            }
+            Err(_) => self.failed += 1,
+        }
+        let cell = i / self.reps;
+        self.per_cell[cell] += 1;
+        if self.per_cell[cell] == self.reps {
+            self.cells_done += 1;
+        }
+        let elapsed = self.start.elapsed().as_secs_f64();
+        let rate = if elapsed > 0.0 {
+            self.done as f64 / elapsed
+        } else {
+            0.0
+        };
+        SweepProgress {
+            done: self.done,
+            total: self.total,
+            failed: self.failed,
+            cells_done: self.cells_done,
+            cells: self.per_cell.len(),
+            elapsed_secs: elapsed,
+            runs_per_sec: rate,
+            eta_secs: (rate > 0.0).then(|| (self.total - self.done) as f64 / rate),
+            worst_detector: if self.thrash > 0 && self.thrash >= self.starvation {
+                Some(format!("thrash ×{}", self.thrash))
+            } else if self.starvation > 0 {
+                Some(format!("starvation ×{}", self.starvation))
+            } else {
+                None
+            },
+        }
+    }
+}
+
+/// Regroup a cell-major result vector (the [`SweepSpec::expand`] layout:
+/// `reps` consecutive entries per cell, cells iterating scheduler-then-
+/// load) into per-cell aggregates. Returns the cells, the rendered
+/// failures, and the count of runs skipped on wall-budget exhaustion.
+pub(crate) fn regroup_cells(
+    schedulers: &[SchedulerKind],
+    loads: &[f64],
+    reps: usize,
+    base_seed: u64,
+    results: &[Result<RunSummary, RunError>],
+) -> (Vec<CellStats>, Vec<String>, usize) {
+    let skipped = results
+        .iter()
+        .filter(|r| matches!(r, Err(RunError::BudgetExhausted)))
+        .count();
+    let mut cells = Vec::with_capacity(schedulers.len() * loads.len());
+    let mut failures = Vec::new();
+    let mut chunks = results.chunks_exact(reps);
+    for &scheduler in schedulers {
+        for &load in loads {
+            let chunk = chunks.next().expect("expansion is cell-major");
+            let mut summaries = Vec::with_capacity(reps);
+            let mut failed = 0usize;
+            for (rep, r) in chunk.iter().enumerate() {
+                match r {
+                    Ok(s) => summaries.push(s.clone()),
+                    Err(e) => {
+                        failed += 1;
+                        failures.push(format!(
+                            "{scheduler} load {load} rep {rep} (seed {}): {e}",
+                            base_seed + rep as u64
+                        ));
+                    }
+                }
+            }
+            cells.push(CellStats::from_summaries(
+                scheduler, load, &summaries, failed,
+            ));
+        }
+    }
+    (cells, failures, skipped)
+}
+
 /// Run the grid on `threads` workers (see
 /// [`default_threads`](crate::experiment::default_threads) for the usual
 /// choice). Each run folds to a [`RunSummary`] inside its worker; traces
@@ -989,17 +1175,9 @@ where
         .map(|ms| start + Duration::from_millis(ms));
     let cache = TraceCache::new();
     let telemetry = spec.telemetry;
-    let (until, warmup) = (spec.until, spec.warmup);
+    let (until, warmup, lean) = (spec.until, spec.warmup, spec.lean);
 
-    let total = spec.runs();
-    let reps = spec.reps;
-    let mut done = 0usize;
-    let mut failed = 0usize;
-    let mut per_cell = vec![0usize; spec.cells()];
-    let mut cells_done = 0usize;
-    // Cumulative detector counts across finished runs; the "worst"
-    // detector is the loudest one (thrash wins ties: it is actionable).
-    let (mut starvation, mut thrash) = (0u64, 0u64);
+    let mut progress = ProgressTracker::new(start, spec.runs(), spec.cells(), spec.reps);
 
     let results = run_batch_retrying(
         spec.expand(),
@@ -1012,7 +1190,10 @@ where
             // path. Closed cells pull from one cached trace per
             // (load, seed); open cells build their seeded generator
             // inside the builder.
-            let mut builder = RunBuilder::new(Arc::clone(cfg)).until(until).warmup(warmup);
+            let mut builder = RunBuilder::new(Arc::clone(cfg))
+                .until(until)
+                .warmup(warmup)
+                .lean(lean);
             if cfg.arrivals.is_trace() {
                 let source = cache.source(cfg.trace_key(), || cfg.trace());
                 builder = builder.source(Box::new(source));
@@ -1034,77 +1215,16 @@ where
                 RunSummary::fold(cfg, &builder.simulate())
             }
         },
-        |i, r| {
-            done += 1;
-            match r {
-                Ok(s) => {
-                    if let Some(h) = s.health {
-                        starvation += u64::from(h.starvation_onsets);
-                        thrash += u64::from(h.thrash_events);
-                    }
-                }
-                Err(_) => failed += 1,
-            }
-            let cell = i / reps;
-            per_cell[cell] += 1;
-            if per_cell[cell] == reps {
-                cells_done += 1;
-            }
-            let elapsed = start.elapsed().as_secs_f64();
-            let rate = if elapsed > 0.0 {
-                done as f64 / elapsed
-            } else {
-                0.0
-            };
-            observe(&SweepProgress {
-                done,
-                total,
-                failed,
-                cells_done,
-                cells: per_cell.len(),
-                elapsed_secs: elapsed,
-                runs_per_sec: rate,
-                eta_secs: (rate > 0.0).then(|| (total - done) as f64 / rate),
-                worst_detector: if thrash > 0 && thrash >= starvation {
-                    Some(format!("thrash ×{thrash}"))
-                } else if starvation > 0 {
-                    Some(format!("starvation ×{starvation}"))
-                } else {
-                    None
-                },
-            });
-        },
+        |i, r| observe(&progress.record(i, r)),
     );
 
-    let skipped = results
-        .iter()
-        .filter(|r| matches!(r, Err(RunError::BudgetExhausted)))
-        .count();
-    let mut cells = Vec::with_capacity(spec.cells());
-    let mut failures = Vec::new();
-    let mut chunks = results.chunks_exact(spec.reps);
-    for &scheduler in &spec.schedulers {
-        for &load in &spec.loads {
-            let chunk = chunks.next().expect("expansion is cell-major");
-            let mut summaries = Vec::with_capacity(spec.reps);
-            let mut failed = 0usize;
-            for (rep, r) in chunk.iter().enumerate() {
-                match r {
-                    Ok(s) => summaries.push(s.clone()),
-                    Err(e) => {
-                        failed += 1;
-                        failures.push(format!(
-                            "{scheduler} load {load} rep {rep} (seed {}): {e}",
-                            spec.base_seed + rep as u64
-                        ));
-                    }
-                }
-            }
-            cells.push(CellStats::from_summaries(
-                scheduler, load, &summaries, failed,
-            ));
-        }
-    }
+    let (cells, failures, skipped) = regroup_cells(
+        &spec.schedulers,
+        &spec.loads,
+        spec.reps,
+        spec.base_seed,
+        &results,
+    );
 
     Ok(SweepReport {
         cells,
@@ -1232,6 +1352,55 @@ mod tests {
             let h = cell.health.expect("telemetry sweep keeps health");
             assert_eq!(h.unresolved_starvation, 0);
         }
+    }
+
+    #[test]
+    fn sweep_cells_are_thread_count_invariant() {
+        // Work stealing reorders execution, never results: the cell table
+        // is bit-identical whether one worker walks the grid or sixteen
+        // race over it — including grids that skip on an expired budget.
+        let base = run_sweep(&tiny(), 1).expect("valid spec").to_csv();
+        for threads in [4, 16] {
+            assert_eq!(
+                base,
+                run_sweep(&tiny(), threads).expect("valid spec").to_csv(),
+                "{threads} threads"
+            );
+        }
+        let skipped = run_sweep(&tiny().with_wall_budget(0), 1)
+            .expect("valid spec")
+            .to_csv();
+        for threads in [4, 16] {
+            assert_eq!(
+                skipped,
+                run_sweep(&tiny().with_wall_budget(0), threads)
+                    .expect("valid spec")
+                    .to_csv(),
+                "{threads} threads, exhausted budget"
+            );
+        }
+    }
+
+    #[test]
+    fn lean_sweep_is_bit_identical_to_full() {
+        // Outcome streaming folds per-job metrics inside the simulator
+        // with the same estimators in the same push order as the
+        // materialized fold — every cell metric must agree to the bit.
+        let full = run_sweep(&tiny(), 2).expect("valid spec");
+        let lean = run_sweep(&tiny().with_lean(true), 2).expect("valid spec");
+        assert_eq!(full.to_csv(), lean.to_csv());
+        // Combinations lean cannot honor are rejected up front.
+        assert!(matches!(
+            tiny()
+                .with_lean(true)
+                .with_speed("tiers:0.5x64+1.0x64".parse().unwrap())
+                .validate(),
+            Err(ConfigError::BadLean(_))
+        ));
+        assert!(matches!(
+            tiny().with_lean(true).with_warmup(600).validate(),
+            Err(ConfigError::BadLean(_))
+        ));
     }
 
     #[test]

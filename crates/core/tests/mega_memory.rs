@@ -1,0 +1,68 @@
+//! Peak-memory bound for archive-scale streaming runs.
+//!
+//! `VmHWM` is a process-wide high-water mark, so this assertion lives in
+//! its own integration-test binary: nothing else may run in the process
+//! first, or their allocations would pollute the reading. It is
+//! `#[ignore]`d because a million-job simulation is only quick under
+//! `--release`; CI runs it explicitly with
+//! `cargo test --release -p sps-core --test mega_memory -- --ignored`.
+
+use sps_core::experiment::SchedulerKind;
+use sps_core::{peak_rss_kb, run_mega_sweep, MegaSweepSpec};
+use sps_workload::swf;
+use sps_workload::traces::SDSC;
+
+/// The fixed budget: machine state, read-ahead rings, and fold
+/// accumulators for one SDSC-sized machine fit in a few tens of MB; a
+/// materialized million-job trace alone would be ~100 MB and the old
+/// outcome vector another ~100 MB. The bound is generous against
+/// allocator noise but far below any O(jobs) footprint.
+const BUDGET_KB: u64 = 262_144; // 256 MB
+
+#[test]
+#[ignore = "million-job log; run with --release --ignored"]
+fn streaming_million_job_run_stays_under_fixed_rss_budget() {
+    let dir = std::env::temp_dir().join(format!("sps-mega-rss-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+
+    // The log itself is written chunk-wise (50k jobs in memory at a
+    // time) — generating it materialized would defeat the measurement.
+    let log = dir.join("million.swf");
+    swf::write_chunked(&log, SDSC, 42, 1_000_000, 50_000).expect("write log");
+    let rss_after_gen = peak_rss_kb().expect("VmHWM readable");
+
+    // A smaller run first: the 100k-job reference the million-job run's
+    // high-water mark is compared against.
+    let small = dir.join("hundredk.swf");
+    swf::write_chunked(&small, SDSC, 43, 100_000, 50_000).expect("write small log");
+    let small_spec =
+        MegaSweepSpec::new(&small, SDSC.procs).with_scheduler(SchedulerKind::Ss { sf: 2.0 });
+    let report = run_mega_sweep(&small_spec, 1).expect("valid spec");
+    assert!(report.failures.is_empty(), "{:?}", report.failures);
+    let rss_after_small = peak_rss_kb().expect("VmHWM readable");
+
+    let spec = MegaSweepSpec::new(&log, SDSC.procs).with_scheduler(SchedulerKind::Ss { sf: 2.0 });
+    let report = run_mega_sweep(&spec, 1).expect("valid spec");
+    assert!(report.failures.is_empty(), "{:?}", report.failures);
+    assert_eq!(report.cells[0].reps, 1);
+    let rss_after_million = peak_rss_kb().expect("VmHWM readable");
+
+    let _ = std::fs::remove_dir_all(&dir);
+
+    println!(
+        "peak RSS: {rss_after_gen} kB after generation, {rss_after_small} kB after 100k run, \
+         {rss_after_million} kB after 1M run"
+    );
+    assert!(
+        rss_after_million < BUDGET_KB,
+        "streaming 1M-job run peaked at {rss_after_million} kB, budget {BUDGET_KB} kB"
+    );
+    // Ten times the jobs must not cost ten times the memory: the 1M run
+    // may only add bounded overhead (I/O buffers, allocator slack) over
+    // the 100k high-water mark.
+    assert!(
+        rss_after_million < rss_after_small * 2 + 65_536,
+        "1M-job peak {rss_after_million} kB is not O(1) next to the 100k-job peak \
+         {rss_after_small} kB"
+    );
+}

@@ -1,0 +1,207 @@
+//! One-pass streaming fold over job outcomes.
+//!
+//! Mega-sweep runs simulate millions of jobs per replication; retaining a
+//! [`JobOutcome`] per job would make the sweep's footprint grow with the
+//! trace. [`OutcomeFold`] absorbs each outcome as it completes and keeps
+//! only fixed-size accumulators — the same streaming estimators
+//! ([`StreamingStats`], [`P2Quantile`]) the sweep summary uses on the
+//! materialized path, pushed in the same per-outcome order, so a lean run
+//! reports bit-identical headline metrics to a run that kept everything.
+
+use sps_simcore::{Secs, SimTime};
+
+use crate::outcome::JobOutcome;
+use crate::streaming::{P2Quantile, StreamingStats};
+
+/// Fixed-size accumulator over a stream of completed-job outcomes.
+///
+/// Mirrors exactly the per-outcome arithmetic of the sweep summary fold
+/// plus the whole-run [`utilization`](crate::utilization) /
+/// [`goodput`](crate::goodput) formulas: integer work and min/max
+/// endpoints accumulate losslessly, and the floating-point estimators see
+/// the same push sequence, so every derived value is bit-identical to the
+/// materialized computation.
+#[derive(Clone, Debug)]
+pub struct OutcomeFold {
+    slow: StreamingStats,
+    turn: StreamingStats,
+    p50: P2Quantile,
+    p99: P2Quantile,
+    /// Productive processor-seconds, summed exactly.
+    work: i64,
+    /// Earliest submission seen.
+    first_submit: SimTime,
+    /// Latest completion seen.
+    last_completion: SimTime,
+    count: usize,
+}
+
+impl Default for OutcomeFold {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OutcomeFold {
+    /// An empty fold.
+    pub fn new() -> Self {
+        OutcomeFold {
+            slow: StreamingStats::new(),
+            turn: StreamingStats::new(),
+            p50: P2Quantile::new(0.5),
+            p99: P2Quantile::new(0.99),
+            work: 0,
+            first_submit: SimTime::MAX,
+            last_completion: SimTime::ZERO,
+            count: 0,
+        }
+    }
+
+    /// Absorb one outcome. Push order (slowdown stats, then quantiles,
+    /// then turnaround) matches the materialized summary fold so the
+    /// floating-point state stays bit-identical.
+    pub fn push(&mut self, o: &JobOutcome) {
+        let s = o.slowdown();
+        self.slow.push(s);
+        self.p50.push(s);
+        self.p99.push(s);
+        self.turn.push(o.turnaround() as f64);
+        self.work += o.work();
+        self.first_submit = self.first_submit.min(o.submit);
+        self.last_completion = self.last_completion.max(o.completion);
+        self.count += 1;
+    }
+
+    /// Outcomes absorbed so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// First submission → last completion, seconds (0 while empty).
+    pub fn makespan(&self) -> Secs {
+        if self.count == 0 {
+            0
+        } else {
+            self.last_completion - self.first_submit
+        }
+    }
+
+    /// Productive utilization over the makespan — same formula (and same
+    /// exact integer work sum) as [`utilization`](crate::utilization).
+    pub fn utilization(&self, total_procs: u32) -> f64 {
+        let makespan = self.makespan();
+        if self.count == 0 || makespan <= 0 {
+            return 0.0;
+        }
+        self.work as f64 / (total_procs as f64 * makespan as f64)
+    }
+
+    /// Goodput over available capacity — same formula as
+    /// [`goodput`](crate::goodput).
+    pub fn goodput(&self, total_procs: u32, downtime: Secs) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let capacity = total_procs as f64 * self.makespan() as f64 - downtime as f64;
+        if capacity <= 0.0 {
+            return 0.0;
+        }
+        self.work as f64 / capacity
+    }
+
+    /// Mean bounded slowdown.
+    pub fn mean_slowdown(&self) -> f64 {
+        self.slow.mean()
+    }
+
+    /// Median bounded slowdown (P² estimate).
+    pub fn p50_slowdown(&self) -> f64 {
+        self.p50.value()
+    }
+
+    /// 99th-percentile bounded slowdown (P² estimate).
+    pub fn p99_slowdown(&self) -> f64 {
+        self.p99.value()
+    }
+
+    /// Worst bounded slowdown.
+    pub fn worst_slowdown(&self) -> f64 {
+        self.slow.max()
+    }
+
+    /// Mean turnaround, seconds.
+    pub fn mean_turnaround(&self) -> f64 {
+        self.turn.mean()
+    }
+
+    /// Worst turnaround, seconds.
+    pub fn worst_turnaround(&self) -> f64 {
+        self.turn.max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::utilization;
+    use crate::{goodput, P2Quantile, StreamingStats};
+    use sps_workload::Job;
+
+    fn outcome(id: u32, submit: i64, start: i64, run: i64, procs: u32) -> JobOutcome {
+        let job = Job::new(id, submit, run, run, procs);
+        JobOutcome::new(&job, SimTime::new(start), SimTime::new(start + run), 0, 0)
+    }
+
+    fn sample() -> Vec<JobOutcome> {
+        (0..50u32)
+            .map(|i| {
+                outcome(
+                    i,
+                    i as i64 * 7,
+                    i as i64 * 7 + (i as i64 * 13) % 40,
+                    30 + (i as i64 * 17) % 300,
+                    1 + i % 8,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fold_matches_materialized_pass_bit_for_bit() {
+        let outcomes = sample();
+        let mut fold = OutcomeFold::new();
+        let (mut slow, mut turn) = (StreamingStats::new(), StreamingStats::new());
+        let (mut p50, mut p99) = (P2Quantile::new(0.5), P2Quantile::new(0.99));
+        for o in &outcomes {
+            fold.push(o);
+            let s = o.slowdown();
+            slow.push(s);
+            p50.push(s);
+            p99.push(s);
+            turn.push(o.turnaround() as f64);
+        }
+        assert_eq!(fold.count(), outcomes.len());
+        assert_eq!(fold.mean_slowdown().to_bits(), slow.mean().to_bits());
+        assert_eq!(fold.worst_slowdown().to_bits(), slow.max().to_bits());
+        assert_eq!(fold.p50_slowdown().to_bits(), p50.value().to_bits());
+        assert_eq!(fold.p99_slowdown().to_bits(), p99.value().to_bits());
+        assert_eq!(fold.mean_turnaround().to_bits(), turn.mean().to_bits());
+        assert_eq!(
+            fold.utilization(16).to_bits(),
+            utilization(&outcomes, 16).to_bits()
+        );
+        assert_eq!(
+            fold.goodput(16, 1000).to_bits(),
+            goodput(&outcomes, 16, 1000).to_bits()
+        );
+    }
+
+    #[test]
+    fn empty_fold_degenerates_like_empty_slices() {
+        let fold = OutcomeFold::new();
+        assert_eq!(fold.count(), 0);
+        assert_eq!(fold.makespan(), 0);
+        assert_eq!(fold.utilization(16), utilization(&[], 16));
+        assert_eq!(fold.goodput(16, 0), goodput(&[], 16, 0));
+    }
+}

@@ -24,6 +24,7 @@
 pub mod aggregate;
 pub mod export;
 pub mod faults;
+pub mod fold;
 pub mod outcome;
 pub mod rejection;
 pub mod slowdown;
@@ -35,6 +36,7 @@ pub mod windowed;
 
 pub use aggregate::{CategoryReport, Stats};
 pub use faults::{goodput, interrupted_slowdown, FaultSummary};
+pub use fold::OutcomeFold;
 pub use outcome::JobOutcome;
 pub use rejection::RejectionSummary;
 pub use slowdown::{bounded_slowdown, SLOWDOWN_THRESHOLD};

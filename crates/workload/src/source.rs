@@ -39,8 +39,18 @@ pub trait JobSource: Send {
     /// sources only — open generators never return `None`).
     fn next_job(&mut self) -> Option<Job>;
 
-    /// Jobs left to emit, when known. Unbounded sources return `None`.
+    /// Jobs left to emit, when known. Unbounded sources return `None` —
+    /// but so do finite streams that only learn their length at EOF
+    /// (see [`JobSource::finite`]).
     fn remaining(&self) -> Option<usize>;
+
+    /// Whether the source is guaranteed to end. The default derives it
+    /// from [`JobSource::remaining`]; finite streams of unknown length
+    /// (e.g. a streaming SWF reader before EOF) override it to `true`,
+    /// which is what lets a run-until-drained simulation accept them.
+    fn finite(&self) -> bool {
+        self.remaining().is_some()
+    }
 
     /// Human-readable description for logs and reports.
     fn label(&self) -> String;
@@ -88,6 +98,81 @@ impl JobSource for TraceSource {
 
     fn label(&self) -> String {
         format!("trace[{} jobs]", self.jobs.len())
+    }
+}
+
+/// A shaping adapter over any [`JobSource`]: arrival compression to an
+/// offered-load factor, a seeded estimate-model stream, and a width clamp
+/// to the target machine. This is how a fixed SWF log becomes a
+/// (load × seed) sweep axis without materializing per-cell copies — each
+/// cell wraps its own streaming reader, and the adapter works job-by-job
+/// in O(1) memory.
+///
+/// * **Load**: submit times divide by the factor (`load > 1` compresses
+///   arrivals, raising the offered load relative to the log's native
+///   rate). The map is monotone, so nondecreasing submits stay
+///   nondecreasing and the [`JobSource`] contract holds.
+/// * **Seed**: with `Some(model)`, estimates re-draw from an
+///   [`EstimateSampler`] stream in emission order, so replications differ
+///   in estimate noise exactly the way the synthetic sweeps differ. With
+///   `None` the inner stream's estimates pass through untouched — SWF
+///   logs carry the real user requests, and replaying them as-logged is a
+///   mode of its own (seeds then change nothing; run one replication).
+/// * **Width**: jobs wider than `max_width` clamp to it (logs from
+///   larger machines stay runnable; the clamp count is the caller's
+///   business to surface via the inner source's warnings if needed).
+pub struct ShapedSource<S> {
+    inner: S,
+    load: f64,
+    estimates: Option<EstimateSampler>,
+    max_width: u32,
+}
+
+impl<S: JobSource> ShapedSource<S> {
+    /// Wrap `inner`, compressing arrivals by `load`, re-drawing estimates
+    /// from `model` under `seed` (`None` keeps the logged estimates), and
+    /// clamping widths to `max_width`.
+    pub fn new(
+        inner: S,
+        load: f64,
+        model: Option<EstimateModel>,
+        seed: u64,
+        max_width: u32,
+    ) -> Self {
+        assert!(load > 0.0 && load.is_finite(), "load factor must be > 0");
+        assert!(max_width > 0, "machine must have at least one processor");
+        ShapedSource {
+            inner,
+            load,
+            // Same convention as the closed trace path: estimates draw
+            // from `seed + 1`.
+            estimates: model.map(|m| EstimateSampler::new(m, seed.wrapping_add(1))),
+            max_width,
+        }
+    }
+}
+
+impl<S: JobSource> JobSource for ShapedSource<S> {
+    fn next_job(&mut self) -> Option<Job> {
+        let mut j = self.inner.next_job()?;
+        j.submit = SimTime::new((j.submit.secs() as f64 / self.load).round() as i64);
+        j.procs = j.procs.min(self.max_width);
+        if let Some(est) = &mut self.estimates {
+            est.apply_to(&mut j);
+        }
+        Some(j)
+    }
+
+    fn remaining(&self) -> Option<usize> {
+        self.inner.remaining()
+    }
+
+    fn finite(&self) -> bool {
+        self.inner.finite()
+    }
+
+    fn label(&self) -> String {
+        format!("{}@load{}", self.inner.label(), self.load)
     }
 }
 
@@ -523,6 +608,54 @@ mod tests {
         assert_eq!(got, jobs);
         assert_eq!(src.remaining(), Some(0));
         assert!(src.next_job().is_none(), "stays exhausted");
+    }
+
+    #[test]
+    fn shaped_source_compresses_clamps_and_keeps_estimates() {
+        let jobs = SyntheticConfig::new(SDSC, 17).with_jobs(200).generate();
+        let mut shaped = ShapedSource::new(TraceSource::new(jobs.clone()), 2.0, None, 0, 64);
+        let got: Vec<Job> = std::iter::from_fn(|| shaped.next_job()).collect();
+        assert_eq!(got.len(), jobs.len());
+        for (orig, j) in jobs.iter().zip(&got) {
+            let want = (orig.submit.secs() as f64 / 2.0).round() as i64;
+            assert_eq!(j.submit.secs(), want, "submit divides by the load");
+            assert!(j.procs <= 64, "width clamped to the target machine");
+            assert_eq!(j.run, orig.run);
+            assert_eq!(
+                j.estimate, orig.estimate,
+                "estimates pass through untouched with no model"
+            );
+        }
+        // The monotone map preserves the nondecreasing-submits contract.
+        assert!(got.windows(2).all(|w| w[0].submit <= w[1].submit));
+        assert!(shaped.label().contains("@load2"));
+        assert_eq!(shaped.remaining(), Some(0));
+    }
+
+    #[test]
+    fn shaped_source_estimates_match_batch_convention() {
+        let model = EstimateModel::paper_mixture();
+        let jobs = SyntheticConfig::new(SDSC, 23).with_jobs(150).generate();
+        let mut shaped = ShapedSource::new(
+            TraceSource::new(jobs.clone()),
+            1.0,
+            Some(model),
+            40,
+            SDSC.procs,
+        );
+        let streamed: Vec<Job> = std::iter::from_fn(|| shaped.next_job()).collect();
+        // Same convention as the closed trace path: batch-apply under
+        // seed + 1 reproduces the stream bit-for-bit.
+        let mut batch = jobs.clone();
+        model.apply(&mut batch, 41);
+        assert_eq!(
+            streamed.iter().map(|j| j.estimate).collect::<Vec<_>>(),
+            batch.iter().map(|j| j.estimate).collect::<Vec<_>>(),
+        );
+        // A different seed draws different noise.
+        let mut other = ShapedSource::new(TraceSource::new(jobs), 1.0, Some(model), 41, SDSC.procs);
+        let re: Vec<Job> = std::iter::from_fn(|| other.next_job()).collect();
+        assert_ne!(streamed, re);
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! sps report [--system SDSC] [--sched ss --sf 2] [--load 0.85]
 //!           [--loads 0.7,0.85,1.0] [--out report.md] [--prom PREFIX]
 //! sps replay --swf LOG.swf --procs 430 --sched ns [--sched tss:2 ...]
+//! sps mega  --swf LOG.swf --procs 430 --sched ss:2 [--loads 0.7,1.0]
+//!           [--reps 5] [--readahead 1024] [--threads N]
 //! sps trace --system SDSC --sched ss:2 --out trace.jsonl [--format csv]
 //! sps validate trace.jsonl [--allow-migration]
 //! sps schedulers
@@ -33,6 +35,7 @@ use selective_preemption::core::admission::AdmissionModel;
 use selective_preemption::core::checkpoint::{CheckpointModel, PreemptionMode};
 use selective_preemption::core::experiment::{default_threads, ExperimentConfig, SchedulerKind};
 use selective_preemption::core::faults::{FaultModel, RecoveryPolicy};
+use selective_preemption::core::mega::{run_mega_sweep_observed, MegaSweepSpec};
 use selective_preemption::core::overhead::OverheadModel;
 use selective_preemption::core::runner::BatchRunner;
 use selective_preemption::core::sim::{RunUntil, Simulator};
@@ -71,6 +74,10 @@ fn usage() -> ! {
     eprintln!("             [--budget MS] [--retries N]");
     eprintln!("             [--arrivals SPEC] [--until DUR|Nj] [--warmup DUR] [--admission SPEC]");
     eprintln!("             [--speed SPEC] [--speed-blind]");
+    eprintln!("  sps mega   --swf FILE --procs N --sched <SPEC> [--sched <SPEC>...]");
+    eprintln!("             [--loads F,F,...] [--reps N] [--seed N] [--threads N]");
+    eprintln!("             [--estimates accurate|mixture] [--readahead N]");
+    eprintln!("             [--budget MS] [--retries N] [--format table|csv|json] [--out FILE]");
     eprintln!("  sps report [--system <CTC|SDSC|KTH>] [--sched <SPEC>...] [--sf F]");
     eprintln!("             [--jobs N] [--load F] [--loads F,F,...] [--seed N] [--reps N]");
     eprintln!("             [--mtbf SECS] [--mttr SECS] [--out FILE] [--prom PREFIX]");
@@ -82,6 +89,11 @@ fn usage() -> ! {
     eprintln!();
     eprintln!("scheduler SPEC: fcfs | cons | ns | flex:<depth> | is | gang | ss:<sf> | tss:<sf>");
     eprintln!("                (a bare ss/tss takes its factor from --sf, default 2)");
+    eprintln!("mega: sweep an SWF log of any size with O(machine) memory — each run streams");
+    eprintln!("      the log through a bounded read-ahead ring (--readahead jobs, default 1024)");
+    eprintln!("      and folds outcomes in-simulator instead of materializing them; --loads");
+    eprintln!("      reshapes inter-arrival gaps around the log's own arrival pattern and");
+    eprintln!("      --estimates (if given) re-draws user estimates, seeded per replication");
     eprintln!("sweep: the full scheduler x load grid runs --reps seed replications per cell");
     eprintln!("       and reports per-cell means with 95% confidence half-widths;");
     eprintln!("       --threads defaults to the SPS_THREADS env var, then all cores;");
@@ -130,6 +142,8 @@ struct Args {
     load: f64,
     seed: u64,
     estimates: EstimateModel,
+    estimates_given: bool,
+    readahead: Option<usize>,
     overhead: OverheadModel,
     diurnal: f64,
     worst: bool,
@@ -262,7 +276,11 @@ fn parse_args(mut argv: std::vec::IntoIter<String>) -> Args {
                     "accurate" => EstimateModel::Accurate,
                     "mixture" => EstimateModel::paper_mixture(),
                     other => fail(&format!("unknown estimate model {other:?}")),
-                }
+                };
+                args.estimates_given = true;
+            }
+            "--readahead" => {
+                args.readahead = Some(value().parse().unwrap_or_else(|_| fail("bad --readahead")));
             }
             "--overhead" => {
                 args.overhead = match value().as_str() {
@@ -817,6 +835,79 @@ fn main() {
                 other => fail(&format!(
                     "unknown sweep format {other:?} (table, csv, json)"
                 )),
+            };
+            match &args.out {
+                Some(path) => {
+                    std::fs::write(path, &rendered)
+                        .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+                    eprintln!("wrote {path}");
+                }
+                None => print!("{rendered}"),
+            }
+            if !report.failures.is_empty() {
+                std::process::exit(1);
+            }
+        }
+        "mega" => {
+            // Archive-scale SWF sweep: every run streams the log through a
+            // bounded read-ahead ring and folds outcomes in-simulator, so
+            // memory stays O(machine) however long the log is.
+            let args = parse_args(argv.into_iter());
+            let swf_path = args
+                .swf
+                .clone()
+                .unwrap_or_else(|| fail("--swf required (an SWF log to sweep)"));
+            let procs = args.procs.unwrap_or_else(|| fail("--procs required"));
+            if args.scheds.is_empty() {
+                fail("at least one --sched required");
+            }
+            let mut spec = MegaSweepSpec::new(&swf_path, procs)
+                .with_schedulers(args.scheds.clone())
+                .with_loads(args.loads.clone().unwrap_or_else(|| vec![args.load]))
+                .with_seed(args.seed)
+                .with_reps(args.reps.unwrap_or(1))
+                .with_overhead(args.overhead);
+            if args.estimates_given {
+                spec = spec.with_estimates(Some(args.estimates));
+            }
+            if let Some(n) = args.readahead {
+                spec = spec.with_readahead(n);
+            }
+            if let Some(budget) = args.budget {
+                spec = spec.with_wall_budget(budget);
+            }
+            if let Some(retries) = args.retries {
+                spec = spec.with_retries(retries);
+            }
+            let threads = args.threads.unwrap_or_else(default_threads);
+            eprintln!(
+                "{}: {} cells x {} reps = {} streaming runs on {} threads",
+                swf_path,
+                spec.cells(),
+                spec.reps,
+                spec.runs(),
+                threads,
+            );
+            let progress = args
+                .progress
+                .unwrap_or_else(|| std::io::stderr().is_terminal());
+            let report = run_mega_sweep_observed(&spec, threads, progress_line(progress))
+                .unwrap_or_else(|e| fail(&e.to_string()));
+            if progress {
+                eprintln!();
+            }
+            for failure in &report.failures {
+                eprintln!("warning: {failure}");
+            }
+            let rendered = match args.format.as_deref().unwrap_or("table") {
+                "table" => report.render_table(),
+                "csv" => report.to_csv(),
+                "json" => {
+                    let mut s = report.to_json().render();
+                    s.push('\n');
+                    s
+                }
+                other => fail(&format!("unknown mega format {other:?} (table, csv, json)")),
             };
             match &args.out {
                 Some(path) => {
