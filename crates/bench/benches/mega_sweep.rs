@@ -21,7 +21,15 @@
 //! A full run upserts the `mega_swf` case in `BENCH_sweep.json` and
 //! appends a dated entry to its `history` array. `--smoke` (the CI step)
 //! shrinks the log to 100k jobs and the grid to 2 runs on 8 threads and
-//! does not touch the report.
+//! does not touch the report's full-run case.
+//!
+//! `--guard` gates the run on its own throughput history: streamed
+//! jobs/second must stay above half the best recorded value for the mode
+//! (`mega_swf` full, `mega_swf_smoke` smoke). A missing baseline passes
+//! and records the first entry, so the guard bootstraps itself on a
+//! fresh report. `--timeline FILE` additionally runs the sweep with span
+//! capture on and writes a Chrome-trace / Perfetto JSON timeline (one
+//! lane per batch worker, per-cell spans with nested run-loop phases).
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -81,13 +89,20 @@ fn grid(log: &PathBuf, smoke: bool) -> MegaSweepSpec {
     }
 }
 
+/// Fraction of the best recorded jobs/s a `--guard` run must reach.
+const GUARD_FLOOR: f64 = 0.5;
+
 fn main() {
     let mut smoke = false;
+    let mut guard = false;
+    let mut timeline: Option<String> = None;
     let mut jobs_override = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" | "--quick" => smoke = true,
+            "--guard" => guard = true,
+            "--timeline" => timeline = args.next(),
             "--jobs" => {
                 jobs_override = args.next().and_then(|v| v.parse::<usize>().ok());
             }
@@ -134,7 +149,7 @@ fn main() {
     );
 
     // The sweep itself, on the work-stealing batch runner.
-    let spec = grid(&log, smoke);
+    let spec = grid(&log, smoke).with_timeline(timeline.is_some());
     eprintln!(
         "mega sweep: {} cells x {} reps = {} runs of {n_jobs} jobs on {threads} threads",
         spec.cells(),
@@ -151,6 +166,96 @@ fn main() {
     println!(
         "sweep wall {sweep_wall:.1} s, peak RSS {rss_after_sweep} kB (100k-job reference {rss_after_small} kB)",
     );
+
+    if let Some(path) = &timeline {
+        let mut tl = sps_telemetry::TimelineBuilder::new();
+        tl.process_name(1, "mega_sweep bench");
+        for w in &report.workers {
+            tl.thread_name(1, w.worker as u32 + 1, &format!("worker {}", w.worker));
+        }
+        for s in &report.worker_spans {
+            tl.complete(
+                1,
+                s.worker as u32 + 1,
+                &format!("run {}", s.index),
+                s.start_ns as f64 / 1e3,
+                s.dur_ns as f64 / 1e3,
+            );
+        }
+        for (worker, spans) in &report.run_spans {
+            tl.phase_spans(1, *worker as u32 + 1, 0, spans);
+        }
+        let events = tl.len();
+        match std::fs::write(path, tl.render()) {
+            Ok(()) => eprintln!("wrote {path} ({events} trace events)"),
+            Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+        }
+    }
+
+    if guard {
+        // Gate on streamed jobs/second against the mode's own history —
+        // smoke and full runs differ in log size, grid, and thread
+        // count, so each keeps a separate case. A missing baseline
+        // passes and records, bootstrapping a fresh report.
+        let case_name = if smoke { "mega_swf_smoke" } else { "mega_swf" };
+        let jobs_per_sec = n_jobs as f64 * report.runs as f64 / sweep_wall.max(1e-9);
+        let mut doc = history::load(REPORT).unwrap_or_else(|| {
+            history::obj(vec![
+                (
+                    "benchmark",
+                    Json::Str("mega_sweep (crates/bench/benches/mega_sweep.rs)".into()),
+                ),
+                ("cases", Json::Arr(Vec::new())),
+            ])
+        });
+        let violation = match history::best_metric(&doc, case_name, "jobs_per_sec") {
+            Some(base) => {
+                let floor = base * GUARD_FLOOR;
+                println!(
+                    "guard {case_name:<20} {:>6.1}% of best prior ({jobs_per_sec:.0} vs {base:.0} jobs/s, floor {floor:.0})",
+                    jobs_per_sec / base * 100.0,
+                );
+                jobs_per_sec < floor
+            }
+            None => {
+                println!(
+                    "guard {case_name}: no jobs_per_sec baseline yet; recording {jobs_per_sec:.0} jobs/s as the first entry"
+                );
+                false
+            }
+        };
+        if history::find_case(&doc, case_name).is_none() {
+            history::upsert_case(
+                &mut doc,
+                case_name,
+                history::obj(vec![("case", Json::Str(case_name.into()))]),
+            );
+        }
+        history::append_entry(
+            &mut doc,
+            case_name,
+            history::obj(vec![
+                ("date", Json::Str(history::today())),
+                ("jobs_per_sec", Json::Num(jobs_per_sec)),
+                ("sweep_wall_s", Json::Num(sweep_wall)),
+                ("jobs", Json::Int(n_jobs as i64)),
+                ("threads", Json::Int(threads as i64)),
+            ]),
+        );
+        // Record the run — regressions too — before the gate can exit.
+        match history::store(REPORT, &doc) {
+            Ok(()) => eprintln!("appended dated {case_name} history entry to {REPORT}"),
+            Err(e) => eprintln!("warning: cannot write {REPORT}: {e}"),
+        }
+        if violation {
+            eprintln!(
+                "guard FAILED: {jobs_per_sec:.0} jobs/s is below {}% of the best prior",
+                (GUARD_FLOOR * 100.0) as u32
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+            std::process::exit(1);
+        }
+    }
 
     // Clean per-run walls for the sharding model: each grid point alone.
     let mut walls = Vec::with_capacity(spec.runs());

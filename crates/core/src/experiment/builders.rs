@@ -12,8 +12,140 @@
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use super::{ConfigError, ExperimentConfig};
+
+/// Per-worker shard counters for one batch: what each worker of the
+/// work-stealing pool actually did. Collected on a [`ShardBoard`] when
+/// the caller asks for one (the sweep and mega-sweep engines always do)
+/// and surfaced through `SweepReport::workers` and the live
+/// `SweepProgress::workers` snapshots.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ShardStats {
+    /// Worker slot (0-based).
+    pub worker: usize,
+    /// Cells this worker ran to a successful result.
+    pub cells_done: u64,
+    /// Cells this worker ran to a terminal failure (panicked after
+    /// retries, invalid, or skipped on an exhausted wall budget).
+    pub cells_failed: u64,
+    /// Pops that found the worker's own deque empty and scanned victims.
+    pub steals_attempted: u64,
+    /// Steal scans that came back with work.
+    pub steals_succeeded: u64,
+    /// Sum of own-queue depth sampled once per popped cell (after the
+    /// pop); divide by `queue_depth_samples` for the mean.
+    pub queue_depth_sum: u64,
+    /// Number of queue-depth samples taken.
+    pub queue_depth_samples: u64,
+    /// Wall time spent inside runner calls, nanoseconds.
+    pub busy_ns: u64,
+    /// Wall time spent outside runner calls (queue ops, stealing,
+    /// waiting), nanoseconds.
+    pub idle_ns: u64,
+    /// Peak resident set (VmHWM, kB) observed after this worker's cells.
+    /// Process-wide — the per-worker column shows *when* the high-water
+    /// mark moved, not a private footprint.
+    pub peak_rss_kb: u64,
+}
+
+impl ShardStats {
+    /// Mean own-queue depth over the samples taken (0.0 with no samples).
+    pub fn mean_queue_depth(&self) -> f64 {
+        if self.queue_depth_samples == 0 {
+            0.0
+        } else {
+            self.queue_depth_sum as f64 / self.queue_depth_samples as f64
+        }
+    }
+
+    /// Fraction of the worker's wall time spent inside runner calls.
+    pub fn busy_frac(&self) -> f64 {
+        let total = self.busy_ns + self.idle_ns;
+        if total == 0 {
+            0.0
+        } else {
+            self.busy_ns as f64 / total as f64
+        }
+    }
+}
+
+/// One cell execution on a worker lane, for timeline export: which worker
+/// ran batch item `index`, when (relative to the board epoch), for how
+/// long, and whether it succeeded.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WorkerSpan {
+    /// Worker slot (0-based).
+    pub worker: usize,
+    /// Batch index of the cell.
+    pub index: usize,
+    /// Start, nanoseconds since the board epoch.
+    pub start_ns: u64,
+    /// Duration, nanoseconds.
+    pub dur_ns: u64,
+    /// Whether the cell produced an `Ok` result.
+    pub ok: bool,
+}
+
+/// Bound on retained [`WorkerSpan`]s per batch: a mega-sweep has few
+/// cells but a pathological grid could have millions, and the board must
+/// stay O(small).
+const WORKER_SPAN_CAP: usize = 65_536;
+
+/// Shared telemetry board for one batch: per-worker [`ShardStats`] slots
+/// plus the worker-lane span log, all keyed to one epoch so run-loop
+/// phase spans recorded against the same epoch line up in the exported
+/// timeline.
+pub(crate) struct ShardBoard {
+    epoch: Instant,
+    shards: Vec<Mutex<ShardStats>>,
+    spans: Mutex<Vec<WorkerSpan>>,
+}
+
+impl ShardBoard {
+    pub(crate) fn new(workers: usize) -> Self {
+        ShardBoard {
+            epoch: Instant::now(),
+            shards: (0..workers.max(1))
+                .map(|w| {
+                    Mutex::new(ShardStats {
+                        worker: w,
+                        ..ShardStats::default()
+                    })
+                })
+                .collect(),
+            spans: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The instant worker-span and (shared-epoch) phase-span timestamps
+    /// are measured from.
+    pub(crate) fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Copy out the current per-worker counters (live snapshot — workers
+    /// keep updating their slots).
+    pub(crate) fn snapshot(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|m| *m.lock().expect("shard poisoned"))
+            .collect()
+    }
+
+    /// Drain the worker-lane span log.
+    pub(crate) fn take_spans(&self) -> Vec<WorkerSpan> {
+        std::mem::take(&mut *self.spans.lock().expect("spans poisoned"))
+    }
+
+    fn push_span(&self, span: WorkerSpan) {
+        let mut spans = self.spans.lock().expect("spans poisoned");
+        if spans.len() < WORKER_SPAN_CAP {
+            spans.push(span);
+        }
+    }
+}
 
 /// Why one configuration in a batch produced no result.
 #[derive(Clone, Debug)]
@@ -110,11 +242,21 @@ impl StealQueues {
 
     /// Next index for worker `me`: own front, else steal. `None` means
     /// the whole batch is finished or in flight elsewhere.
+    #[cfg_attr(not(test), allow(dead_code))]
     fn pop(&self, me: usize) -> Option<usize> {
+        self.pop_tracked(me).0
+    }
+
+    /// [`pop`](StealQueues::pop) plus steal accounting: the extra flags
+    /// say whether the pop had to scan victims (own deque empty) and
+    /// whether the scan landed work. Same dispatch order bit for bit.
+    fn pop_tracked(&self, me: usize) -> (Option<usize>, bool, bool) {
         if let Some(i) = self.queues[me].lock().expect("queue poisoned").pop_front() {
-            return Some(i);
+            return (Some(i), false, false);
         }
+        let mut attempted = false;
         for k in 1..self.queues.len() {
+            attempted = true;
             let victim = (me + k) % self.queues.len();
             let mut q = self.queues[victim].lock().expect("queue poisoned");
             let len = q.len();
@@ -127,9 +269,14 @@ impl StealQueues {
             drop(q);
             let mut mine = self.queues[me].lock().expect("queue poisoned");
             *mine = stolen;
-            return mine.pop_front();
+            return (mine.pop_front(), true, true);
         }
-        None
+        (None, attempted, false)
+    }
+
+    /// Current depth of worker `me`'s own deque.
+    fn depth(&self, me: usize) -> usize {
+        self.queues[me].lock().expect("queue poisoned").len()
     }
 }
 
@@ -194,16 +341,57 @@ pub(crate) fn run_batch_retrying<T, F, O>(
     retries: u32,
     deadline: Option<std::time::Instant>,
     runner: F,
-    mut observe: O,
+    observe: O,
 ) -> Vec<Result<T, RunError>>
 where
     T: Send,
     F: Fn(&Arc<ExperimentConfig>) -> T + Sync,
     O: FnMut(usize, &Result<T, RunError>),
 {
+    run_batch_sharded(
+        configs,
+        threads,
+        retries,
+        deadline,
+        None,
+        |_, cfg| runner(cfg),
+        observe,
+    )
+}
+
+/// The worker count [`run_batch_sharded`] actually spawns for a batch of
+/// `n` items: callers sizing a [`ShardBoard`] must use the same clamp.
+pub(crate) fn batch_workers(threads: usize, n: usize) -> usize {
+    threads.max(1).min(n.max(1))
+}
+
+/// [`run_batch_retrying`] with per-worker shard telemetry. The runner
+/// additionally receives its worker slot (so profiled runs can tag their
+/// spans), and a [`ShardBoard`] — when provided — collects per-worker
+/// counters and worker-lane spans as the batch executes. Dispatch order,
+/// results, and retry/deadline semantics are identical to the untracked
+/// path; the board only observes.
+pub(crate) fn run_batch_sharded<T, F, O>(
+    configs: Vec<ExperimentConfig>,
+    threads: usize,
+    retries: u32,
+    deadline: Option<Instant>,
+    board: Option<&ShardBoard>,
+    runner: F,
+    mut observe: O,
+) -> Vec<Result<T, RunError>>
+where
+    T: Send,
+    F: Fn(usize, &Arc<ExperimentConfig>) -> T + Sync,
+    O: FnMut(usize, &Result<T, RunError>),
+{
     let configs: Vec<Arc<ExperimentConfig>> = configs.into_iter().map(Arc::new).collect();
     let n = configs.len();
-    let workers = threads.max(1).min(n.max(1));
+    let workers = batch_workers(threads, n);
+    debug_assert!(
+        board.is_none_or(|b| b.shards.len() >= workers),
+        "shard board sized below the worker count"
+    );
     let queues = StealQueues::split(n, workers);
     let (tx, rx) = std::sync::mpsc::channel::<(usize, Result<T, RunError>)>();
     let configs_ref = &configs;
@@ -213,14 +401,29 @@ where
         for me in 0..workers {
             let tx = tx.clone();
             scope.spawn(move || {
-                while let Some(i) = queues_ref.pop(me) {
+                let worker_start = Instant::now();
+                let mut busy = Duration::ZERO;
+                loop {
+                    let (popped, steal_attempted, steal_succeeded) = queues_ref.pop_tracked(me);
+                    let Some(i) = popped else { break };
+                    if let Some(b) = board {
+                        let mut s = b.shards[me].lock().expect("shard poisoned");
+                        s.steals_attempted += u64::from(steal_attempted);
+                        s.steals_succeeded += u64::from(steal_succeeded);
+                        s.queue_depth_sum += queues_ref.depth(me) as u64;
+                        s.queue_depth_samples += 1;
+                    }
                     let cfg = &configs_ref[i];
-                    if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        if let Some(b) = board {
+                            b.shards[me].lock().expect("shard poisoned").cells_failed += 1;
+                        }
                         if tx.send((i, Err(RunError::BudgetExhausted))).is_err() {
                             break;
                         }
                         continue;
                     }
+                    let run_start = Instant::now();
                     let result = match cfg.validate() {
                         Err(e) => Err(RunError::Invalid(e)),
                         Ok(()) => {
@@ -228,7 +431,7 @@ where
                             loop {
                                 attempts += 1;
                                 match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                    runner_ref(cfg)
+                                    runner_ref(me, cfg)
                                 })) {
                                     Ok(v) => break Ok(v),
                                     Err(payload) => {
@@ -248,9 +451,35 @@ where
                             }
                         }
                     };
+                    let dur = run_start.elapsed();
+                    busy += dur;
+                    if let Some(b) = board {
+                        b.push_span(WorkerSpan {
+                            worker: me,
+                            index: i,
+                            start_ns: run_start.duration_since(b.epoch).as_nanos() as u64,
+                            dur_ns: dur.as_nanos() as u64,
+                            ok: result.is_ok(),
+                        });
+                        let mut s = b.shards[me].lock().expect("shard poisoned");
+                        if result.is_ok() {
+                            s.cells_done += 1;
+                        } else {
+                            s.cells_failed += 1;
+                        }
+                        if let Some(rss) = crate::mega::peak_rss_kb() {
+                            s.peak_rss_kb = s.peak_rss_kb.max(rss);
+                        }
+                    }
                     if tx.send((i, result)).is_err() {
                         break;
                     }
+                }
+                if let Some(b) = board {
+                    let total = worker_start.elapsed();
+                    let mut s = b.shards[me].lock().expect("shard poisoned");
+                    s.busy_ns += busy.as_nanos() as u64;
+                    s.idle_ns += total.saturating_sub(busy).as_nanos() as u64;
                 }
             });
         }
@@ -521,6 +750,99 @@ mod tests {
         }
         let shown = results[2].as_ref().unwrap_err().to_string();
         assert!(shown.contains("all 4 attempts"), "got {shown:?}");
+    }
+
+    #[test]
+    fn shard_board_accounts_every_cell_and_observes_only() {
+        let mk = || {
+            (0..6u64)
+                .map(|seed| small(SchedulerKind::Easy).with_jobs(60).with_seed(seed))
+                .collect::<Vec<_>>()
+        };
+        let threads = 2;
+        let board = ShardBoard::new(batch_workers(threads, 6));
+        let tracked = run_batch_sharded(
+            mk(),
+            threads,
+            0,
+            None,
+            Some(&board),
+            |_, cfg: &Arc<ExperimentConfig>| cfg.run().report.overall.count,
+            |_, _| {},
+        );
+        let untracked = run_batch_retrying(
+            mk(),
+            threads,
+            0,
+            None,
+            |cfg| cfg.run().report.overall.count,
+            |_, _| {},
+        );
+        assert_eq!(
+            tracked
+                .iter()
+                .map(|r| *r.as_ref().unwrap())
+                .collect::<Vec<_>>(),
+            untracked
+                .iter()
+                .map(|r| *r.as_ref().unwrap())
+                .collect::<Vec<_>>(),
+            "the board must not perturb results"
+        );
+        let shards = board.snapshot();
+        assert_eq!(shards.len(), 2);
+        assert_eq!(
+            shards.iter().map(|s| s.worker).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+        let done: u64 = shards.iter().map(|s| s.cells_done).sum();
+        let failed: u64 = shards.iter().map(|s| s.cells_failed).sum();
+        assert_eq!(done + failed, 6, "every cell lands on exactly one shard");
+        assert_eq!(failed, 0);
+        let samples: u64 = shards.iter().map(|s| s.queue_depth_samples).sum();
+        assert_eq!(samples, 6, "one depth sample per popped cell");
+        assert!(shards.iter().all(|s| s.busy_ns > 0));
+        let spans = board.take_spans();
+        assert_eq!(spans.len(), 6, "one worker span per executed cell");
+        let mut indices: Vec<usize> = spans.iter().map(|s| s.index).collect();
+        indices.sort_unstable();
+        assert_eq!(indices, (0..6).collect::<Vec<_>>());
+        assert!(spans.iter().all(|s| s.ok && s.dur_ns > 0));
+        assert!(board.take_spans().is_empty(), "take_spans drains");
+    }
+
+    #[test]
+    fn shard_board_counts_failures_and_steal_attempts() {
+        let configs = vec![
+            small(SchedulerKind::Easy).with_jobs(60),
+            small(SchedulerKind::Fcfs).with_jobs(0), // invalid
+            small(SchedulerKind::Fcfs).with_seed(777),
+        ];
+        let board = ShardBoard::new(batch_workers(1, 3));
+        let results = run_batch_sharded(
+            configs,
+            1,
+            0,
+            None,
+            Some(&board),
+            |worker, cfg: &Arc<ExperimentConfig>| {
+                assert_eq!(worker, 0, "single-threaded batch runs on worker 0");
+                if cfg.seed == 777 {
+                    panic!("injected failure");
+                }
+                cfg.run()
+            },
+            |_, _| {},
+        );
+        assert!(results[0].is_ok());
+        let shards = board.snapshot();
+        assert_eq!(shards[0].cells_done, 1);
+        assert_eq!(shards[0].cells_failed, 2, "invalid + panicked");
+        // A lone worker has no victims to scan.
+        assert_eq!(shards[0].steals_attempted, 0);
+        let spans = board.take_spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans.iter().filter(|s| s.ok).count(), 1);
     }
 
     #[test]

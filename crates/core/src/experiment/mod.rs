@@ -22,8 +22,8 @@ mod builders;
 mod config;
 mod validate;
 
-pub use builders::{default_threads, RunError};
+pub use builders::{default_threads, RunError, ShardStats, WorkerSpan};
 pub use config::{ExperimentConfig, ParseSchedulerError, RunResult, SchedulerKind};
 pub use validate::ConfigError;
 
-pub(crate) use builders::run_batch_retrying;
+pub(crate) use builders::{batch_workers, run_batch_retrying, run_batch_sharded, ShardBoard};

@@ -38,6 +38,7 @@ pub mod theory;
 
 pub use admission::AdmissionModel;
 pub use checkpoint::{CheckpointModel, PreemptionMode};
+pub use experiment::{ShardStats, WorkerSpan};
 pub use faults::{FaultInjector, FaultModel, RecoveryPolicy};
 pub use mega::{peak_rss_kb, run_mega_sweep, run_mega_sweep_observed, MegaSweepSpec};
 pub use overhead::OverheadModel;

@@ -23,13 +23,16 @@
 //! so reports render identically.
 
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use sps_simcore::Secs;
+use sps_telemetry::{SpanEvent, SpanProfiler};
 use sps_workload::{EstimateModel, ShapedSource, StreamingSwfSource, SystemPreset};
 
-use crate::experiment::{run_batch_retrying, ConfigError, ExperimentConfig, SchedulerKind};
+use crate::experiment::{
+    batch_workers, run_batch_sharded, ConfigError, ExperimentConfig, SchedulerKind, ShardBoard,
+};
 use crate::overhead::OverheadModel;
 use crate::runner::RunBuilder;
 use crate::sim::DEFAULT_TICK_PERIOD;
@@ -76,6 +79,9 @@ pub struct MegaSweepSpec {
     /// Wall-clock budget for the whole grid, milliseconds (`None` =
     /// unbounded; see [`crate::sweep::SweepSpec::with_wall_budget`]).
     pub wall_budget_ms: Option<u64>,
+    /// Capture per-run phase spans and per-cell worker spans for a
+    /// Chrome-trace export (see [`SweepReport::worker_spans`]).
+    pub timeline: bool,
 }
 
 impl MegaSweepSpec {
@@ -97,6 +103,7 @@ impl MegaSweepSpec {
             readahead: DEFAULT_MEGA_READAHEAD,
             retries: 0,
             wall_budget_ms: None,
+            timeline: false,
         }
     }
 
@@ -164,6 +171,12 @@ impl MegaSweepSpec {
     /// Cap the whole grid's wall-clock at `ms` milliseconds.
     pub fn with_wall_budget(mut self, ms: u64) -> Self {
         self.wall_budget_ms = Some(ms);
+        self
+    }
+
+    /// Capture span timelines for a Chrome-trace export.
+    pub fn with_timeline(mut self, on: bool) -> Self {
+        self.timeline = on;
         self
     }
 
@@ -261,15 +274,19 @@ where
         .map(|ms| start + Duration::from_millis(ms));
     let (swf, estimates, readahead, procs) =
         (spec.swf.clone(), spec.estimates, spec.readahead, spec.procs);
+    let timeline = spec.timeline;
 
     let mut progress = ProgressTracker::new(start, spec.runs(), spec.cells(), spec.reps);
+    let board = ShardBoard::new(batch_workers(threads, spec.runs()));
+    let run_spans: Mutex<Vec<(usize, Vec<SpanEvent>)>> = Mutex::new(Vec::new());
 
-    let results = run_batch_retrying(
+    let results = run_batch_sharded(
         spec.expand(),
         threads,
         spec.retries,
         deadline,
-        |cfg: &Arc<ExperimentConfig>| {
+        Some(&board),
+        |worker, cfg: &Arc<ExperimentConfig>| {
             // Per-run streaming pipeline: log → shaping → lean simulate.
             // An unreadable file panics (validate probed it once, but the
             // file can vanish mid-sweep); batch workers catch panics and
@@ -290,12 +307,28 @@ where
                 dog.max_wall_ms = Some(dog.max_wall_ms.map_or(cap, |w| w.min(cap)));
                 builder = builder.watchdog(dog);
             }
-            RunSummary::fold(cfg, &builder.simulate())
+            if timeline {
+                builder =
+                    builder.profiler(SpanProfiler::with_timeline(0).with_epoch(board.epoch()));
+            }
+            let mut sim = builder.simulate();
+            let summary = RunSummary::fold(cfg, &sim);
+            if let Some(spans) = sim.spans.take() {
+                run_spans
+                    .lock()
+                    .expect("spans poisoned")
+                    .push((worker, spans));
+            }
+            summary
         },
-        |i, r| observe(&progress.record(i, r)),
+        |i, r| {
+            let mut p = progress.record(i, r);
+            p.workers = Some(board.snapshot());
+            observe(&p);
+        },
     );
 
-    let (cells, failures, skipped) = regroup_cells(
+    let (cells, failures, skipped, panicked) = regroup_cells(
         &spec.schedulers,
         &spec.loads,
         spec.reps,
@@ -303,14 +336,24 @@ where
         &results,
     );
 
+    let mut worker_spans = board.take_spans();
+    worker_spans.sort_by_key(|s| (s.worker, s.start_ns, s.index));
+    let mut run_spans = run_spans.into_inner().expect("spans poisoned");
+    run_spans
+        .sort_by_key(|(worker, spans)| (*worker, spans.first().map_or(u64::MAX, |s| s.start_ns)));
+
     Ok(SweepReport {
         cells,
         runs: spec.runs(),
         failures,
         skipped,
+        panicked,
         unique_traces: 0,
         trace_hits: 0,
         wall_micros: start.elapsed().as_micros() as u64,
+        workers: board.snapshot(),
+        worker_spans,
+        run_spans,
     })
 }
 
@@ -440,9 +483,13 @@ mod tests {
             runs: 8,
             failures: vec![],
             skipped: 0,
+            panicked: 0,
             unique_traces: 0,
             trace_hits: 0,
             wall_micros: 0,
+            workers: vec![],
+            worker_spans: vec![],
+            run_spans: vec![],
         };
         assert_eq!(mega.to_csv(), by_hand.to_csv());
         let _ = std::fs::remove_dir_all(&dir);

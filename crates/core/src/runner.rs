@@ -24,7 +24,7 @@
 use std::sync::Arc;
 
 use sps_simcore::{Secs, Watchdog};
-use sps_telemetry::{NullTelemetry, TelemetrySink};
+use sps_telemetry::{NullTelemetry, SpanProfiler, TelemetrySink};
 use sps_trace::{NullSink, TraceRecord, TraceSink, TRACE_VERSION};
 use sps_workload::JobSource;
 
@@ -53,6 +53,7 @@ pub struct RunBuilder<S: TraceSink = NullSink, T: TelemetrySink = NullTelemetry>
     header: bool,
     watchdog: Watchdog,
     lean: bool,
+    profiler: Option<SpanProfiler>,
 }
 
 impl RunBuilder {
@@ -70,6 +71,7 @@ impl RunBuilder {
             header: true,
             watchdog: Watchdog::generous(),
             lean: false,
+            profiler: None,
         }
     }
 }
@@ -90,6 +92,7 @@ impl<S: TraceSink, T: TelemetrySink> RunBuilder<S, T> {
             header: self.header,
             watchdog: self.watchdog,
             lean: self.lean,
+            profiler: self.profiler,
         }
     }
 
@@ -107,6 +110,7 @@ impl<S: TraceSink, T: TelemetrySink> RunBuilder<S, T> {
             header: self.header,
             watchdog: self.watchdog,
             lean: self.lean,
+            profiler: self.profiler,
         }
     }
 
@@ -159,6 +163,16 @@ impl<S: TraceSink, T: TelemetrySink> RunBuilder<S, T> {
     /// (the run asserts no warmup window and a homogeneous machine).
     pub fn lean(mut self, on: bool) -> Self {
         self.lean = on;
+        self
+    }
+
+    /// Attach a span profiler to the run (default none): phase latency
+    /// histograms land in [`KernelStats::phases`](crate::sim::KernelStats)
+    /// and, for a timeline-enabled profiler, raw spans in
+    /// [`SimResult::spans`]. Observation only — results stay
+    /// bit-identical.
+    pub fn profiler(mut self, profiler: SpanProfiler) -> Self {
+        self.profiler = Some(profiler);
         self
     }
 
@@ -229,6 +243,9 @@ impl<S: TraceSink, T: TelemetrySink> RunBuilder<S, T> {
                  cannot be reconstructed — run heterogeneous cells full"
             );
             sim = sim.with_lean();
+        }
+        if let Some(profiler) = self.profiler {
+            sim = sim.with_profiler(profiler);
         }
         sim.run()
     }

@@ -10,7 +10,8 @@ use sps_simcore::{
     Engine, EventClass, EventQueue, RunOutcome, Secs, SimTime, Simulation, Ticker, Watchdog,
 };
 use sps_telemetry::{
-    EventClass as ObsClass, HealthSummary, NullTelemetry, Obs, TelemetryCtx, TelemetrySink,
+    EventClass as ObsClass, HealthSummary, NullTelemetry, Obs, PhaseProfile, SpanEvent, SpanPhase,
+    SpanProfiler, TelemetryCtx, TelemetrySink,
 };
 use sps_trace::{JobEvent, NullSink, ProcEvent, Reason, TraceCtx, TraceRecord, TraceSink};
 use sps_workload::{parse_secs, Job, JobId, JobSource};
@@ -128,6 +129,9 @@ pub struct KernelStats {
     /// Job-table slots reclaimed by lean-mode prefix trimming (zero for
     /// full runs, which keep every record).
     pub reclaimed_slots: u64,
+    /// Per-phase latency profile from the span profiler
+    /// ([`Simulator::with_profiler`]); `None` on unprofiled runs.
+    pub phases: Option<PhaseProfile>,
 }
 
 impl KernelStats {
@@ -184,6 +188,10 @@ pub struct SimResult {
     /// with bit-identical arithmetic to the materialized pass. `None` on
     /// ordinary runs, whose `outcomes` hold everything.
     pub lean: Option<OutcomeFold>,
+    /// Individual phase spans for timeline export, present when the run
+    /// carried a profiler built with [`SpanProfiler::with_timeline`].
+    /// Aggregate statistics live in [`KernelStats::phases`] either way.
+    pub spans: Option<Vec<SpanEvent>>,
 }
 
 /// The simulator: a trace, a machine, a policy, an overhead model.
@@ -275,6 +283,9 @@ pub struct Simulator<S: TraceSink = NullSink, T: TelemetrySink = NullTelemetry> 
     /// Admission-control knobs ([`AdmissionModel::none`] by default, in
     /// which case the admit hook is never consulted).
     admission: AdmissionModel,
+    /// Run-loop span profiler (`None` by default: the seams reduce to a
+    /// branch on a cold flag, mirroring the telemetry discipline).
+    profiler: Option<SpanProfiler>,
 }
 
 /// Preemptive policies run their preemption routine once a minute
@@ -374,6 +385,7 @@ impl<S: TraceSink> Simulator<S> {
             until: RunUntil::Drained,
             warmup: 0,
             admission: AdmissionModel::none(),
+            profiler: None,
         }
     }
 
@@ -424,6 +436,7 @@ impl<S: TraceSink> Simulator<S> {
             until: self.until,
             warmup: self.warmup,
             admission: self.admission,
+            profiler: self.profiler,
         }
     }
 }
@@ -571,6 +584,18 @@ impl<S: TraceSink, T: TelemetrySink> Simulator<S, T> {
         self
     }
 
+    /// Attach a span profiler (builder style, default none). The profiler
+    /// observes run-loop phase latencies — event drain, decide, dispatch,
+    /// lifecycle, checkpoint I/O, trace-sink writes — folding them into
+    /// [`KernelStats::phases`]; a profiler built with
+    /// [`SpanProfiler::with_timeline`] additionally keeps the individual
+    /// spans in [`SimResult::spans`] for Perfetto export. Wall-clock only:
+    /// no decision reads it, so results stay bit-identical.
+    pub fn with_profiler(mut self, profiler: SpanProfiler) -> Self {
+        self.profiler = Some(profiler);
+        self
+    }
+
     /// Enable admission control (builder style, default
     /// [`AdmissionModel::none`]). With an enabled model the policy's
     /// [`Policy::admit`] hook is consulted once per arrival; rejected jobs
@@ -678,12 +703,7 @@ impl<S: TraceSink, T: TelemetrySink> Simulator<S, T> {
         }
         let wall_start = Instant::now();
         let outcome = engine.run(&mut self, &mut queue);
-        let kernel = KernelStats {
-            events: engine.events(),
-            decide_calls: self.decide_calls,
-            wall_micros: wall_start.elapsed().as_micros() as u64,
-            reclaimed_slots: self.state.trimmed as u64,
-        };
+        let wall_micros = wall_start.elapsed().as_micros() as u64;
         let health = if self.telemetry.enabled() {
             // Close open detector integrals, then forward any final health
             // events into the trace before the engine-stats record.
@@ -694,13 +714,24 @@ impl<S: TraceSink, T: TelemetrySink> Simulator<S, T> {
             None
         };
         if self.sink.enabled() {
+            let sink_start = self.profiler.is_some().then(Instant::now);
             self.sink.record(&TraceRecord::EngineStats {
                 t: engine.now().secs(),
                 batches: engine.batches(),
                 events: engine.events(),
             });
             let _ = self.sink.flush();
+            if let Some(t0) = sink_start {
+                self.span(SpanPhase::TraceSink, t0);
+            }
         }
+        let kernel = KernelStats {
+            events: engine.events(),
+            decide_calls: self.decide_calls,
+            wall_micros,
+            reclaimed_slots: self.state.trimmed as u64,
+            phases: self.profiler.as_ref().map(|p| *p.profile()),
+        };
         let status = match outcome {
             RunOutcome::BatchLimit => RunStatus::Aborted(AbortReason::BatchLimit),
             RunOutcome::EventLimit => RunStatus::Aborted(AbortReason::EventLimit),
@@ -780,6 +811,11 @@ impl<S: TraceSink, T: TelemetrySink> Simulator<S, T> {
             rejections: self.state.rejections,
             windowed,
             lean,
+            spans: self
+                .profiler
+                .as_mut()
+                .filter(|p| p.timeline_enabled())
+                .map(|p| p.take_events()),
         }
     }
 
@@ -877,6 +913,18 @@ impl<S: TraceSink, T: TelemetrySink> Simulator<S, T> {
             }
         }
         self.arrivals_now = admitted;
+    }
+
+    /// Close one profiler span that opened at `started`. Cold and never
+    /// inlined for the same reason as the telemetry helpers: calls sit
+    /// behind a `profiler.is_some()` check, and the unprofiled run loop
+    /// keeps codegen identical to the pre-profiler kernel.
+    #[cold]
+    #[inline(never)]
+    fn span(&mut self, phase: SpanPhase, started: Instant) {
+        if let Some(p) = self.profiler.as_mut() {
+            p.record(phase, started);
+        }
     }
 
     /// Record one observation. Cold and never inlined: every call is
@@ -983,6 +1031,10 @@ impl<S: TraceSink, T: TelemetrySink> Simulator<S, T> {
     }
 
     fn apply(&mut self, queue: &mut EventQueue<Event>) {
+        // Checkpoint-writing suspensions get their own profiler phase:
+        // under [`PreemptionMode::Checkpoint`]/`Migrate` the suspend is
+        // where checkpoint I/O cost is modeled.
+        let ckpt_prof = self.profiler.is_some() && self.state.pmode.checkpoints();
         for i in 0..self.actions.len() {
             let action = self.actions[i].clone();
             let migrations_before = self.state.fault_stats.migrations;
@@ -991,7 +1043,14 @@ impl<S: TraceSink, T: TelemetrySink> Simulator<S, T> {
                 Action::StartOn(id, set) => self.state.start_on(*id, set, queue),
                 Action::Resume(id) => self.state.resume(*id, queue),
                 Action::ResumeOn(id, set) => self.state.resume_on(*id, set, queue),
-                Action::Suspend(id) => self.state.suspend(*id, queue),
+                Action::Suspend(id) => {
+                    let t0 = ckpt_prof.then(Instant::now);
+                    let ok = self.state.suspend(*id, queue);
+                    if let Some(t0) = t0 {
+                        self.span(SpanPhase::CheckpointIo, t0);
+                    }
+                    ok
+                }
             };
             if !ok {
                 self.state.dropped_actions += 1;
@@ -1222,7 +1281,9 @@ impl<S: TraceSink, T: TelemetrySink> Simulation for Simulator<S, T> {
         self.failures_now.clear();
         self.repairs_now.clear();
         let tel = self.telemetry.enabled();
+        let prof = self.profiler.is_some();
         let mut tick = false;
+        let drain_start = prof.then(Instant::now);
         for ev in batch.drain(..) {
             if tel {
                 self.tel_event(&ev);
@@ -1285,6 +1346,13 @@ impl<S: TraceSink, T: TelemetrySink> Simulation for Simulator<S, T> {
                 }
             }
         }
+        if let Some(t0) = drain_start {
+            self.span(SpanPhase::EventDrain, t0);
+        }
+
+        // Lifecycle phase: lazy job materialization and admission
+        // filtering, between the drain and the decide.
+        let lifecycle_start = prof.then(Instant::now);
 
         // Lazy mode: the group just delivered was the furthest one
         // materialized — pull the next group in before the engine forms
@@ -1299,6 +1367,9 @@ impl<S: TraceSink, T: TelemetrySink> Simulation for Simulator<S, T> {
         if self.admission.enabled() && !self.arrivals_now.is_empty() {
             self.apply_admission();
         }
+        if let Some(t0) = lifecycle_start {
+            self.span(SpanPhase::Lifecycle, t0);
+        }
 
         // One decision per instant, with complete knowledge of the instant.
         let arrivals = std::mem::take(&mut self.arrivals_now);
@@ -1312,6 +1383,7 @@ impl<S: TraceSink, T: TelemetrySink> Simulation for Simulator<S, T> {
         // decide outright.
         let skip_decide = elidable && arrivals.is_empty() && self.quiescent();
         if !skip_decide {
+            let decide_span = prof.then(Instant::now);
             let decide_start = tel.then(Instant::now);
             {
                 // The sink is lent (type-erased) into the decision context
@@ -1347,7 +1419,14 @@ impl<S: TraceSink, T: TelemetrySink> Simulation for Simulator<S, T> {
                     actions: self.actions.len() as u32,
                 });
             }
+            if let Some(t0) = decide_span {
+                self.span(SpanPhase::Decide, t0);
+            }
+            let dispatch_start = prof.then(Instant::now);
             self.apply(queue);
+            if let Some(t0) = dispatch_start {
+                self.span(SpanPhase::Dispatch, t0);
+            }
         }
         self.arrivals_now = arrivals;
         self.failures_now = failures;

@@ -36,6 +36,12 @@ pub struct HealthConfig {
     pub leak_procsecs: i64,
     /// Cap on retained `HealthEvent`s (counters keep counting past it).
     pub max_events: usize,
+    /// Warmup cutoff in sim seconds: detector inputs before this instant
+    /// are discarded, so transient startup churn (an open-system run's
+    /// fill phase) cannot open or feed steady-state episodes. Zero — the
+    /// default — gates nothing and reproduces the pre-warmup findings
+    /// bit for bit.
+    pub warmup: i64,
 }
 
 impl Default for HealthConfig {
@@ -46,6 +52,7 @@ impl Default for HealthConfig {
             thrash_window: 4 * 3600,
             leak_procsecs: 128 * 3600,
             max_events: 1024,
+            warmup: 0,
         }
     }
 }

@@ -15,9 +15,13 @@
 
 mod health;
 mod registry;
+mod spans;
+mod timeline;
 
 pub use health::{HealthConfig, HealthEvent, HealthKind, HealthReport, HealthSummary};
 pub use registry::{Buckets, CounterId, GaugeId, HistId, Registry, Schema};
+pub use spans::{PhaseProfile, SpanEvent, SpanPhase, SpanProfiler, DEFAULT_SPAN_CAP, SPAN_PHASES};
+pub use timeline::TimelineBuilder;
 
 use health::{CapacityLeak, StarvationWatch, ThrashDetector};
 use sps_trace::Json;
@@ -474,8 +478,13 @@ impl TelemetrySink for Telemetry {
             }
             Obs::JobSuspended { job, t } => {
                 self.reg.inc(self.m.suspends, 1);
-                if let Some(ev) = self.thrash.on_suspend(job, t) {
-                    self.push_health(ev);
+                // Suspensions inside the warmup window never reach the
+                // thrash detector, so transient churn cannot seed (or
+                // count toward) a steady-state episode.
+                if t >= self.cfg.warmup {
+                    if let Some(ev) = self.thrash.on_suspend(job, t) {
+                        self.push_health(ev);
+                    }
                 }
             }
             Obs::JobResumed { .. } => self.reg.inc(self.m.resumes, 1),
@@ -492,8 +501,10 @@ impl TelemetrySink for Telemetry {
             Obs::ProcFailed { .. } => self.reg.inc(self.m.proc_failures, 1),
             Obs::ProcRepaired { .. } => self.reg.inc(self.m.proc_repairs, 1),
             Obs::Starving { job, t, xfactor } => {
-                if let Some(ev) = self.starvation.observe(job, t, xfactor) {
-                    self.push_health(ev);
+                if t >= self.cfg.warmup {
+                    if let Some(ev) = self.starvation.observe(job, t, xfactor) {
+                        self.push_health(ev);
+                    }
                 }
             }
             Obs::Instant {
@@ -518,8 +529,10 @@ impl TelemetrySink for Telemetry {
                     self.reg.set(self.m.cat_xfactor[i], *xf);
                 }
                 self.reg.observe(self.m.queue_depth, queued as f64);
-                if let Some(ev) = self.leak.observe(t, claimed_idle) {
-                    self.push_health(ev);
+                if t >= self.cfg.warmup {
+                    if let Some(ev) = self.leak.observe(t, claimed_idle) {
+                        self.push_health(ev);
+                    }
                 }
             }
         }

@@ -231,19 +231,26 @@ impl Registry {
 
     /// Prometheus text exposition format (counters as `_total`-style
     /// monotonic series, histograms with cumulative `le` buckets).
+    /// `HELP` text and label values are escaped per the exposition-format
+    /// rules, so the output survives `promtool check metrics` even if a
+    /// schema ever carries a backslash, newline, or quote.
     pub fn render_prom(&self) -> String {
         let mut out = String::new();
         for (i, d) in self.schema.counters.iter().enumerate() {
             out.push_str(&format!(
                 "# HELP {} {}\n# TYPE {} counter\n{} {}\n",
-                d.name, d.help, d.name, d.name, self.counters[i]
+                d.name,
+                escape_help(d.help),
+                d.name,
+                d.name,
+                self.counters[i]
             ));
         }
         for (i, d) in self.schema.gauges.iter().enumerate() {
             out.push_str(&format!(
                 "# HELP {} {}\n# TYPE {} gauge\n{} {}\n",
                 d.name,
-                d.help,
+                escape_help(d.help),
                 d.name,
                 d.name,
                 fmt_f64(self.gauges[i])
@@ -253,7 +260,9 @@ impl Registry {
             let h = &self.hists[i];
             out.push_str(&format!(
                 "# HELP {} {}\n# TYPE {} histogram\n",
-                d.name, d.help, d.name
+                d.name,
+                escape_help(d.help),
+                d.name
             ));
             let mut cum = 0u64;
             for (slot, &c) in h.counts.iter().enumerate() {
@@ -264,7 +273,12 @@ impl Registry {
                 } else {
                     fmt_f64(le)
                 };
-                out.push_str(&format!("{}_bucket{{le=\"{}\"}} {}\n", d.name, le, cum));
+                out.push_str(&format!(
+                    "{}_bucket{{le=\"{}\"}} {}\n",
+                    d.name,
+                    escape_label(&le),
+                    cum
+                ));
             }
             out.push_str(&format!("{}_sum {}\n", d.name, fmt_f64(h.sum)));
             out.push_str(&format!("{}_count {}\n", d.name, h.count));
@@ -353,6 +367,25 @@ impl Registry {
         }
         out
     }
+}
+
+/// Escape a `HELP` comment per the Prometheus exposition format:
+/// backslash and newline only.
+fn escape_help(s: &str) -> String {
+    if !s.contains(['\\', '\n']) {
+        return s.to_string();
+    }
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escape a label *value*: backslash, newline, and double quote.
+fn escape_label(s: &str) -> String {
+    if !s.contains(['\\', '\n', '"']) {
+        return s.to_string();
+    }
+    s.replace('\\', "\\\\")
+        .replace('\n', "\\n")
+        .replace('"', "\\\"")
 }
 
 fn fmt_f64(v: f64) -> String {
@@ -454,6 +487,22 @@ mod tests {
         assert!(prom.contains("sps_test_fixed_bucket{le=\"4\"} 2"));
         assert!(prom.contains("sps_test_fixed_bucket{le=\"+Inf\"} 2"));
         assert!(prom.contains("sps_test_fixed_count 2"));
+    }
+
+    #[test]
+    fn prom_render_escapes_help_and_labels() {
+        let mut s = Schema::default();
+        let c = s.counter("sps_test_esc_total", "line one\nwith a \\ backslash");
+        let mut r = Registry::new(s);
+        r.inc(c, 1);
+        let prom = r.render_prom();
+        // The HELP line must stay single-line with escaped sequences.
+        assert!(prom.contains("# HELP sps_test_esc_total line one\\nwith a \\\\ backslash\n"));
+        assert!(!prom.contains("line one\nwith"));
+        // Label-value escaping covers quote/backslash/newline.
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_label("plain"), "plain");
+        assert_eq!(escape_help("plain"), "plain");
     }
 
     #[test]

@@ -1,0 +1,373 @@
+//! Hierarchical span profiler for the run loop.
+//!
+//! The profiler attributes wall clock to named run-loop phases (event
+//! drain, decide, dispatch, lifecycle, checkpoint I/O, trace-sink
+//! writes) with the same zero-cost-when-disabled discipline as the
+//! metric registry: the simulator holds an `Option<SpanProfiler>`, every
+//! instrumentation site is guarded by an `is_some()` test cached at the
+//! top of the batch handler, and the recording bodies live in `#[cold]
+//! #[inline(never)]` helpers — so the default `None` path's codegen is
+//! identical to the unprofiled kernel, re-checked by the `--guard` bench
+//! gate.
+//!
+//! Two outputs per run: an online [`PhaseProfile`] (per-phase counts,
+//! totals, and a log2 latency histogram exact enough for p50/p99) that
+//! folds into `KernelStats`/`RunSummary`, and — only when timeline
+//! capture is requested — a bounded [`SpanEvent`] log for the Chrome
+//! trace-event / Perfetto exporter in [`crate::timeline`].
+
+use std::time::Instant;
+
+/// A named run-loop phase the profiler attributes wall time to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum SpanPhase {
+    /// Draining the instant's event batch (arrival/completion/drain/
+    /// fault/tick bookkeeping).
+    EventDrain = 0,
+    /// The policy `decide()` call itself.
+    Decide = 1,
+    /// Applying the decide's actions to the machine (dispatch, resume,
+    /// suspend mechanics).
+    Dispatch = 2,
+    /// Lazy source pulls and admission filtering for the instant.
+    Lifecycle = 3,
+    /// Checkpoint-image accounting on suspension (checkpointing
+    /// preemption modes only).
+    CheckpointIo = 4,
+    /// End-of-run trace sink writes and flush.
+    TraceSink = 5,
+}
+
+/// Number of distinct phases (array dimension in [`PhaseProfile`]).
+pub const SPAN_PHASES: usize = 6;
+
+/// Log2 histogram buckets per phase — mirrors the registry's
+/// `Buckets::Log2 { n: 40 }` layout used for decide latency, so the
+/// two surfaces report comparable quantiles.
+const SPAN_BUCKETS: usize = 40;
+
+impl SpanPhase {
+    /// Every phase, in `repr` order.
+    pub const ALL: [SpanPhase; SPAN_PHASES] = [
+        SpanPhase::EventDrain,
+        SpanPhase::Decide,
+        SpanPhase::Dispatch,
+        SpanPhase::Lifecycle,
+        SpanPhase::CheckpointIo,
+        SpanPhase::TraceSink,
+    ];
+
+    /// Stable display name (also the span name in timeline exports).
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanPhase::EventDrain => "event_drain",
+            SpanPhase::Decide => "decide",
+            SpanPhase::Dispatch => "dispatch",
+            SpanPhase::Lifecycle => "lifecycle",
+            SpanPhase::CheckpointIo => "checkpoint_io",
+            SpanPhase::TraceSink => "trace_sink",
+        }
+    }
+}
+
+/// Bucket index for a nanosecond duration: slot 0 holds `[0, 1)`, slot
+/// `i` holds `[2^(i-1), 2^i)`, the last slot absorbs the tail — the
+/// exact indexing rule of the registry's log2 histograms.
+fn bucket_index(ns: u64) -> usize {
+    if ns == 0 {
+        return 0;
+    }
+    (ns.max(1).ilog2() as usize + 1).min(SPAN_BUCKETS - 1)
+}
+
+/// Upper bound of bucket `i` in nanoseconds (`u64::MAX` for the tail).
+fn bucket_upper(i: usize) -> u64 {
+    if i + 1 >= SPAN_BUCKETS {
+        u64::MAX
+    } else {
+        1u64 << i
+    }
+}
+
+/// Online per-phase wall-clock profile: counts, totals, and a log2
+/// latency histogram per phase. Fixed-size and `Copy`, so it rides
+/// `KernelStats` into `RunSummary` without allocation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PhaseProfile {
+    /// Spans recorded per phase.
+    pub counts: [u64; SPAN_PHASES],
+    /// Total nanoseconds per phase.
+    pub total_ns: [u64; SPAN_PHASES],
+    /// Log2 duration histogram per phase (bucket `i` = `[2^(i-1), 2^i)`
+    /// ns, slot 0 = sub-nanosecond).
+    pub hist: [[u32; SPAN_BUCKETS]; SPAN_PHASES],
+}
+
+// Derived `Default` is unavailable: std only implements `Default` for
+// arrays up to 32 elements, and the histogram rows have 40.
+impl Default for PhaseProfile {
+    fn default() -> Self {
+        PhaseProfile {
+            counts: [0; SPAN_PHASES],
+            total_ns: [0; SPAN_PHASES],
+            hist: [[0; SPAN_BUCKETS]; SPAN_PHASES],
+        }
+    }
+}
+
+impl PhaseProfile {
+    /// Fold one span duration into the profile.
+    pub fn record(&mut self, phase: SpanPhase, ns: u64) {
+        let p = phase as usize;
+        self.counts[p] += 1;
+        self.total_ns[p] += ns;
+        self.hist[p][bucket_index(ns)] += 1;
+    }
+
+    /// Merge another profile into this one (sweep-level aggregation).
+    pub fn merge(&mut self, other: &PhaseProfile) {
+        for p in 0..SPAN_PHASES {
+            self.counts[p] += other.counts[p];
+            self.total_ns[p] += other.total_ns[p];
+            for b in 0..SPAN_BUCKETS {
+                self.hist[p][b] += other.hist[p][b];
+            }
+        }
+    }
+
+    /// Spans recorded for `phase`.
+    pub fn count(&self, phase: SpanPhase) -> u64 {
+        self.counts[phase as usize]
+    }
+
+    /// Total nanoseconds attributed to `phase`.
+    pub fn total_ns(&self, phase: SpanPhase) -> u64 {
+        self.total_ns[phase as usize]
+    }
+
+    /// Mean span duration for `phase` in nanoseconds, `None` when the
+    /// phase recorded nothing.
+    pub fn mean_ns(&self, phase: SpanPhase) -> Option<f64> {
+        let p = phase as usize;
+        (self.counts[p] > 0).then(|| self.total_ns[p] as f64 / self.counts[p] as f64)
+    }
+
+    /// Histogram quantile for `phase`: the upper bound of the bucket
+    /// holding the `ceil(q * count)`-th sample — the same estimator as
+    /// the registry's `hist_quantile`, so p99 here and p99 there agree.
+    pub fn quantile_ns(&self, phase: SpanPhase, q: f64) -> Option<u64> {
+        let p = phase as usize;
+        let count = self.counts[p];
+        if count == 0 {
+            return None;
+        }
+        let target = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.hist[p].iter().enumerate() {
+            seen += n as u64;
+            if seen >= target {
+                return Some(bucket_upper(i));
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// Whether any span was recorded at all.
+    pub fn any(&self) -> bool {
+        self.counts.iter().any(|&c| c > 0)
+    }
+}
+
+/// One timeline span: a phase, its start offset from the profiler epoch,
+/// and its duration (both nanoseconds).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpanEvent {
+    pub phase: SpanPhase,
+    /// Nanoseconds since the profiler epoch.
+    pub start_ns: u64,
+    /// Span duration, nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Default per-run cap on retained timeline spans. Profiles keep
+/// folding past the cap; only the event log stops growing.
+pub const DEFAULT_SPAN_CAP: usize = 16_384;
+
+/// The per-run span recorder: an epoch, the online [`PhaseProfile`],
+/// and (when timeline capture is on) a bounded [`SpanEvent`] log.
+#[derive(Debug)]
+pub struct SpanProfiler {
+    epoch: Instant,
+    profile: PhaseProfile,
+    events: Vec<SpanEvent>,
+    cap: usize,
+    dropped: u64,
+    timeline: bool,
+}
+
+impl Default for SpanProfiler {
+    fn default() -> Self {
+        SpanProfiler::new()
+    }
+}
+
+impl SpanProfiler {
+    /// Profile-only recorder: folds per-phase statistics, retains no
+    /// event log.
+    pub fn new() -> Self {
+        SpanProfiler {
+            epoch: Instant::now(),
+            profile: PhaseProfile::default(),
+            events: Vec::new(),
+            cap: 0,
+            dropped: 0,
+            timeline: false,
+        }
+    }
+
+    /// Recorder that additionally retains up to `cap` timeline spans
+    /// for the Perfetto exporter (0 means [`DEFAULT_SPAN_CAP`]).
+    pub fn with_timeline(cap: usize) -> Self {
+        let cap = if cap == 0 { DEFAULT_SPAN_CAP } else { cap };
+        SpanProfiler {
+            epoch: Instant::now(),
+            profile: PhaseProfile::default(),
+            events: Vec::with_capacity(cap.min(1024)),
+            cap,
+            dropped: 0,
+            timeline: true,
+        }
+    }
+
+    /// Re-anchor the epoch (sweeps share one epoch across workers so
+    /// every lane's timestamps are globally comparable).
+    pub fn with_epoch(mut self, epoch: Instant) -> Self {
+        self.epoch = epoch;
+        self
+    }
+
+    /// Close a span opened at `started` and attribute it to `phase`.
+    pub fn record(&mut self, phase: SpanPhase, started: Instant) {
+        let dur_ns = started.elapsed().as_nanos() as u64;
+        self.profile.record(phase, dur_ns);
+        if self.timeline {
+            if self.events.len() < self.cap {
+                let start_ns = started.duration_since(self.epoch).as_nanos() as u64;
+                self.events.push(SpanEvent {
+                    phase,
+                    start_ns,
+                    dur_ns,
+                });
+            } else {
+                self.dropped += 1;
+            }
+        }
+    }
+
+    /// The online profile.
+    pub fn profile(&self) -> &PhaseProfile {
+        &self.profile
+    }
+
+    /// Whether timeline capture is on.
+    pub fn timeline_enabled(&self) -> bool {
+        self.timeline
+    }
+
+    /// Timeline spans dropped once the cap was reached.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Take the retained timeline spans (empty unless timeline capture
+    /// was requested).
+    pub fn take_events(&mut self) -> Vec<SpanEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indexing_mirrors_registry_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1); // [1, 2)
+        assert_eq!(bucket_index(2), 2); // [2, 4)
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3); // [4, 8)
+        assert_eq!(bucket_index(u64::MAX), SPAN_BUCKETS - 1);
+        assert_eq!(bucket_upper(0), 1);
+        assert_eq!(bucket_upper(1), 2);
+        assert_eq!(bucket_upper(SPAN_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn profile_records_and_quantiles() {
+        let mut p = PhaseProfile::default();
+        // 9 fast decides at ~100 ns, one slow one at ~1 µs.
+        for _ in 0..9 {
+            p.record(SpanPhase::Decide, 100);
+        }
+        p.record(SpanPhase::Decide, 1_000);
+        assert_eq!(p.count(SpanPhase::Decide), 10);
+        assert_eq!(p.total_ns(SpanPhase::Decide), 1_900);
+        assert_eq!(p.mean_ns(SpanPhase::Decide), Some(190.0));
+        // p50 lands in the [64, 128) bucket → upper bound 128.
+        assert_eq!(p.quantile_ns(SpanPhase::Decide, 0.5), Some(128));
+        // p99 must see the 1 µs outlier: [512, 1024) → 1024.
+        assert_eq!(p.quantile_ns(SpanPhase::Decide, 0.99), Some(1024));
+        assert_eq!(p.quantile_ns(SpanPhase::EventDrain, 0.5), None);
+        assert!(p.any());
+    }
+
+    #[test]
+    fn merge_sums_all_fields() {
+        let mut a = PhaseProfile::default();
+        let mut b = PhaseProfile::default();
+        a.record(SpanPhase::EventDrain, 10);
+        b.record(SpanPhase::EventDrain, 1_000_000);
+        b.record(SpanPhase::TraceSink, 5);
+        a.merge(&b);
+        assert_eq!(a.count(SpanPhase::EventDrain), 2);
+        assert_eq!(a.total_ns(SpanPhase::EventDrain), 1_000_010);
+        assert_eq!(a.count(SpanPhase::TraceSink), 1);
+    }
+
+    #[test]
+    fn profiler_without_timeline_keeps_no_events() {
+        let mut prof = SpanProfiler::new();
+        prof.record(SpanPhase::Decide, Instant::now());
+        assert_eq!(prof.profile().count(SpanPhase::Decide), 1);
+        assert!(prof.take_events().is_empty());
+        assert!(!prof.timeline_enabled());
+    }
+
+    #[test]
+    fn timeline_capture_caps_but_profile_continues() {
+        let mut prof = SpanProfiler::with_timeline(2);
+        for _ in 0..5 {
+            prof.record(SpanPhase::Dispatch, Instant::now());
+        }
+        assert_eq!(prof.profile().count(SpanPhase::Dispatch), 5);
+        assert_eq!(prof.dropped(), 3);
+        let events = prof.take_events();
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().all(|e| e.phase == SpanPhase::Dispatch));
+    }
+
+    #[test]
+    fn shared_epoch_orders_spans_globally() {
+        let epoch = Instant::now();
+        let mut prof = SpanProfiler::with_timeline(0).with_epoch(epoch);
+        let t0 = Instant::now();
+        prof.record(SpanPhase::EventDrain, t0);
+        let t1 = Instant::now();
+        prof.record(SpanPhase::Decide, t1);
+        let events = prof.take_events();
+        assert_eq!(events.len(), 2);
+        assert!(events[0].start_ns <= events[1].start_ns);
+    }
+}

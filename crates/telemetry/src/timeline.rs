@@ -1,0 +1,163 @@
+//! Chrome trace-event / Perfetto JSON timeline builder.
+//!
+//! Renders spans into the [trace-event format] that `ui.perfetto.dev`
+//! and `chrome://tracing` load directly: a `{"traceEvents": [...]}`
+//! document of `ph: "X"` complete events (one per span, microsecond
+//! timestamps) plus `ph: "M"` metadata events naming the lanes. Lanes
+//! map onto the format's process/thread grid — the CLI uses one thread
+//! id per sweep worker and one per run-loop scheme, so a mega sweep's
+//! stragglers show up as long bars in their worker's lane.
+//!
+//! Built on the hand-rolled [`sps_trace::Json`] codec: no external
+//! serialization crates.
+//!
+//! [trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use sps_trace::Json;
+
+use crate::spans::SpanEvent;
+
+/// Accumulates trace events and renders the final JSON document.
+#[derive(Default)]
+pub struct TimelineBuilder {
+    events: Vec<Json>,
+}
+
+impl TimelineBuilder {
+    pub fn new() -> Self {
+        TimelineBuilder::default()
+    }
+
+    /// Name a lane: emits the `thread_name` metadata event Perfetto uses
+    /// as the track label for `(pid, tid)`.
+    pub fn thread_name(&mut self, pid: u32, tid: u32, name: &str) {
+        self.events.push(obj(vec![
+            ("name", Json::Str("thread_name".into())),
+            ("ph", Json::Str("M".into())),
+            ("pid", Json::Int(pid as i64)),
+            ("tid", Json::Int(tid as i64)),
+            ("args", obj(vec![("name", Json::Str(name.to_string()))])),
+        ]));
+    }
+
+    /// Name the process row for `pid` (groups its lanes in the UI).
+    pub fn process_name(&mut self, pid: u32, name: &str) {
+        self.events.push(obj(vec![
+            ("name", Json::Str("process_name".into())),
+            ("ph", Json::Str("M".into())),
+            ("pid", Json::Int(pid as i64)),
+            ("tid", Json::Int(0)),
+            ("args", obj(vec![("name", Json::Str(name.to_string()))])),
+        ]));
+    }
+
+    /// One complete (`ph: "X"`) span on lane `(pid, tid)`. Timestamps
+    /// and durations are microseconds, per the format.
+    pub fn complete(&mut self, pid: u32, tid: u32, name: &str, ts_us: f64, dur_us: f64) {
+        self.events.push(obj(vec![
+            ("name", Json::Str(name.to_string())),
+            ("ph", Json::Str("X".into())),
+            ("pid", Json::Int(pid as i64)),
+            ("tid", Json::Int(tid as i64)),
+            ("ts", Json::Num(ts_us)),
+            ("dur", Json::Num(dur_us)),
+        ]));
+    }
+
+    /// Emit one run's phase spans onto lane `(pid, tid)`, offset by
+    /// `base_ns` (the run's start relative to the timeline epoch; zero
+    /// when the profiler already shared the global epoch).
+    pub fn phase_spans(&mut self, pid: u32, tid: u32, base_ns: u64, spans: &[SpanEvent]) {
+        for s in spans {
+            self.complete(
+                pid,
+                tid,
+                s.phase.name(),
+                (base_ns + s.start_ns) as f64 / 1e3,
+                s.dur_ns as f64 / 1e3,
+            );
+        }
+    }
+
+    /// Number of events emitted so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The final `{"traceEvents": [...]}` document.
+    pub fn build(self) -> Json {
+        obj(vec![
+            ("traceEvents", Json::Arr(self.events)),
+            ("displayTimeUnit", Json::Str("ms".into())),
+        ])
+    }
+
+    /// Rendered JSON text (what `--timeline out.json` writes).
+    pub fn render(self) -> String {
+        let mut s = self.build().render();
+        s.push('\n');
+        s
+    }
+}
+
+fn obj(pairs: Vec<(&str, Json)>) -> Json {
+    Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spans::SpanPhase;
+
+    #[test]
+    fn document_shape_is_trace_event_format() {
+        let mut tl = TimelineBuilder::new();
+        tl.process_name(1, "sweep");
+        tl.thread_name(1, 3, "worker 3");
+        tl.complete(1, 3, "run 7", 10.0, 250.5);
+        let doc = Json::parse(&tl.render()).expect("valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents array");
+        assert_eq!(events.len(), 3);
+        let meta = &events[1];
+        assert_eq!(meta.get("ph").and_then(Json::as_str), Some("M"));
+        assert_eq!(
+            meta.get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Json::as_str),
+            Some("worker 3")
+        );
+        let span = &events[2];
+        assert_eq!(span.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(span.get("ts").and_then(Json::as_f64), Some(10.0));
+        assert_eq!(span.get("dur").and_then(Json::as_f64), Some(250.5));
+        assert_eq!(span.get("tid").and_then(Json::as_f64), Some(3.0));
+    }
+
+    #[test]
+    fn phase_spans_convert_ns_to_us_with_base_offset() {
+        let mut tl = TimelineBuilder::new();
+        tl.phase_spans(
+            1,
+            2,
+            1_000_000, // run started 1 ms after the epoch
+            &[SpanEvent {
+                phase: SpanPhase::Decide,
+                start_ns: 500_000,
+                dur_ns: 2_000,
+            }],
+        );
+        let doc = tl.build();
+        let ev = &doc.get("traceEvents").and_then(Json::as_arr).unwrap()[0];
+        assert_eq!(ev.get("name").and_then(Json::as_str), Some("decide"));
+        assert_eq!(ev.get("ts").and_then(Json::as_f64), Some(1_500.0));
+        assert_eq!(ev.get("dur").and_then(Json::as_f64), Some(2.0));
+    }
+}

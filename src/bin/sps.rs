@@ -30,6 +30,7 @@
 use std::fmt::Write as _;
 use std::io::IsTerminal as _;
 
+use selective_preemption::bench::history;
 use selective_preemption::cluster::{SpeedMap, SpeedSpec};
 use selective_preemption::core::admission::AdmissionModel;
 use selective_preemption::core::checkpoint::{CheckpointModel, PreemptionMode};
@@ -39,12 +40,16 @@ use selective_preemption::core::mega::{run_mega_sweep_observed, MegaSweepSpec};
 use selective_preemption::core::overhead::OverheadModel;
 use selective_preemption::core::runner::BatchRunner;
 use selective_preemption::core::sim::{RunUntil, Simulator};
-use selective_preemption::core::sweep::{run_sweep_observed, SweepProgress, SweepSpec};
+use selective_preemption::core::sweep::{
+    run_sweep_observed, SweepProgress, SweepReport, SweepSpec,
+};
 use selective_preemption::metrics::table::render_comparison;
 use selective_preemption::metrics::{goodput, CategoryReport};
 use selective_preemption::simcore::{Secs, Watchdog};
-use selective_preemption::telemetry::Telemetry;
-use selective_preemption::trace::{validate_jsonl, CsvSink, JsonlSink, ReplayOptions};
+use selective_preemption::telemetry::{
+    PhaseProfile, SpanEvent, SpanPhase, SpanProfiler, Telemetry, TimelineBuilder,
+};
+use selective_preemption::trace::{validate_jsonl, CsvSink, Json, JsonlSink, ReplayOptions};
 use selective_preemption::workload::{
     parse_secs, swf, ArrivalSpec, EstimateModel, Job, SyntheticConfig, SystemPreset,
 };
@@ -65,19 +70,20 @@ fn usage() -> ! {
     eprintln!("             [--preemption suspend|checkpoint|migrate] [--ckpt-interval SECS]");
     eprintln!("             [--ckpt-rate MB/S] [--ckpt-contention]");
     eprintln!("             [--arrivals SPEC] [--until DUR|Nj] [--warmup DUR] [--admission SPEC]");
-    eprintln!("             [--speed SPEC] [--speed-blind]");
+    eprintln!("             [--speed SPEC] [--speed-blind] [--timeline FILE]");
     eprintln!("  sps sweep  --system <CTC|SDSC|KTH> --sched <SPEC> [--sched <SPEC>...]");
     eprintln!("             [--loads F,F,...] [--jobs N] [--seed N] [--reps N] [--threads N]");
     eprintln!("             [--estimates accurate|mixture] [--overhead none|paper]");
     eprintln!("             [--format table|csv|json] [--out FILE] [--progress|--no-progress]");
     eprintln!("             [--mtbf SECS] [--mttr SECS] [--recovery ...] [--preemption ...]");
-    eprintln!("             [--budget MS] [--retries N]");
+    eprintln!("             [--budget MS] [--retries N] [--timeline FILE] [--top]");
     eprintln!("             [--arrivals SPEC] [--until DUR|Nj] [--warmup DUR] [--admission SPEC]");
     eprintln!("             [--speed SPEC] [--speed-blind]");
     eprintln!("  sps mega   --swf FILE --procs N --sched <SPEC> [--sched <SPEC>...]");
     eprintln!("             [--loads F,F,...] [--reps N] [--seed N] [--threads N]");
     eprintln!("             [--estimates accurate|mixture] [--readahead N]");
     eprintln!("             [--budget MS] [--retries N] [--format table|csv|json] [--out FILE]");
+    eprintln!("             [--timeline FILE] [--top]");
     eprintln!("  sps report [--system <CTC|SDSC|KTH>] [--sched <SPEC>...] [--sf F]");
     eprintln!("             [--jobs N] [--load F] [--loads F,F,...] [--seed N] [--reps N]");
     eprintln!("             [--mtbf SECS] [--mttr SECS] [--out FILE] [--prom PREFIX]");
@@ -99,6 +105,11 @@ fn usage() -> ! {
     eprintln!("       --threads defaults to the SPS_THREADS env var, then all cores;");
     eprintln!("       --progress streams done/total, runs/s, ETA and the worst health");
     eprintln!("       detector to stderr (default: only when stderr is a terminal)");
+    eprintln!("observability: --timeline FILE writes a Chrome-trace / Perfetto JSON");
+    eprintln!("       timeline (run: one lane per scheme with run-loop phase spans;");
+    eprintln!("       sweep/mega: one lane per worker with per-cell spans and in-run");
+    eprintln!("       phase spans); --top redraws a live per-worker table on stderr");
+    eprintln!("       (cells, steals, queue depth, busy share, peak RSS)");
     eprintln!("report: instrumented comparison runs (default SDSC, ns vs ss vs tss) with");
     eprintln!("        per-category tables, decide-latency histogram, and health findings;");
     eprintln!("        --loads adds a telemetry sweep table; --prom writes Prometheus/JSON");
@@ -174,6 +185,8 @@ struct Args {
     admission: Option<AdmissionModel>,
     speed: Option<SpeedSpec>,
     speed_blind: bool,
+    timeline: Option<String>,
+    top: bool,
 }
 
 impl Args {
@@ -369,6 +382,8 @@ fn parse_args(mut argv: std::vec::IntoIter<String>) -> Args {
             }
             "--speed-blind" => args.speed_blind = true,
             "--worst" => args.worst = true,
+            "--timeline" => args.timeline = Some(value()),
+            "--top" => args.top = true,
             "--progress" => args.progress = Some(true),
             "--no-progress" => args.progress = Some(false),
             "--prom" => args.prom = Some(value()),
@@ -423,6 +438,7 @@ fn report(jobs: Vec<Job>, procs: u32, args: &Args) {
             let overhead = args.overhead;
             let speed = &args.speed;
             let blind = args.speed_blind;
+            let timeline = args.timeline.is_some();
             scope.spawn(move || loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= scheds.len() {
@@ -439,6 +455,9 @@ fn report(jobs: Vec<Job>, procs: u32, args: &Args) {
                 if let Some(spec) = speed {
                     sim = sim.with_speed(SpeedMap::from_spec(spec, procs).with_aware(!blind));
                 }
+                if timeline {
+                    sim = sim.with_profiler(SpanProfiler::with_timeline(0));
+                }
                 if tx.send((i, sim.run())).is_err() {
                     break;
                 }
@@ -452,8 +471,9 @@ fn report(jobs: Vec<Job>, procs: u32, args: &Args) {
         results[i] = Some(res);
     }
     let mut grids: Vec<(String, [f64; 16])> = Vec::new();
+    let mut lanes: Vec<(String, Vec<SpanEvent>)> = Vec::new();
     for (&kind, res) in args.scheds.iter().zip(results) {
-        let res = res.expect("every scheme simulated");
+        let mut res = res.expect("every scheme simulated");
         let rep = CategoryReport::from_outcomes(&res.outcomes);
         println!(
             "{:<14} overall slowdown {:>7.2}  mean turnaround {:>8.0} s  utilization {:>5.1}%  preemptions {:>6}",
@@ -476,6 +496,12 @@ fn report(jobs: Vec<Job>, procs: u32, args: &Args) {
                 None => "n/a".to_string(),
             },
         );
+        if let Some(phases) = &res.kernel.phases {
+            println!("{:<14}   {}", "", render_phase_line(phases));
+        }
+        if let Some(spans) = res.spans.take() {
+            lanes.push((kind.label(), spans));
+        }
         if res.faults.any() {
             println!(
                 "{:<14}   failures {:>4}  jobs killed {:>4}  lost work {:>9} proc-s  stranded {:>7} s  goodput {:>5.1}%",
@@ -547,6 +573,49 @@ fn report(jobs: Vec<Job>, procs: u32, args: &Args) {
         "average slowdown per category"
     };
     println!("\n{}", render_comparison(title, &named));
+    if let Some(path) = &args.timeline {
+        // One Perfetto lane per scheme; each lane holds that scheme's
+        // run-loop phase spans (every scheme's clock starts at its own
+        // profiler epoch, so lanes align at zero).
+        let mut tl = TimelineBuilder::new();
+        tl.process_name(1, "sps run");
+        for (i, (label, spans)) in lanes.iter().enumerate() {
+            let tid = i as u32 + 1;
+            tl.thread_name(1, tid, label);
+            tl.phase_spans(1, tid, 0, spans);
+        }
+        match std::fs::write(path, tl.render()) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+        }
+    }
+}
+
+/// One-line per-phase latency digest (`phase p50/p99` for every phase the
+/// profiler saw) for the `run`/`replay` kernel block.
+fn render_phase_line(phases: &PhaseProfile) -> String {
+    let mut line = String::from("phases (p50/p99):");
+    for phase in SpanPhase::ALL {
+        if phases.count(phase) == 0 {
+            continue;
+        }
+        let p50 = phases.quantile_ns(phase, 0.5).unwrap_or(0);
+        let p99 = phases.quantile_ns(phase, 0.99).unwrap_or(0);
+        let _ = write!(line, "  {} {}/{}", phase.name(), fmt_ns(p50), fmt_ns(p99));
+    }
+    line
+}
+
+/// Human-scale nanosecond rendering for the phase digest.
+fn fmt_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns >= 1e6 {
+        format!("{:.1}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.1}µs", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
 }
 
 /// `sps run --arrivals <open spec>`: stream jobs from seeded generators
@@ -673,6 +742,111 @@ fn progress_line(enabled: bool) -> impl FnMut(&SweepProgress) {
     }
 }
 
+/// `--top`: a multi-line stderr view redrawn in place (cursor-up + clear
+/// ANSI codes) with one row of live shard counters per sweep worker —
+/// cells done/failed, steal success/attempts, mean queue depth at pop,
+/// busy wall, and the process peak RSS observed from that worker.
+fn top_view() -> impl FnMut(&SweepProgress) {
+    let mut drawn = 0usize;
+    move |p: &SweepProgress| {
+        let mut out = String::new();
+        if drawn > 0 {
+            let _ = write!(out, "\x1b[{drawn}A");
+        }
+        let mut header = format!(
+            "{}/{} runs  {}/{} cells  {:.1} runs/s",
+            p.done, p.total, p.cells_done, p.cells, p.runs_per_sec
+        );
+        if p.failed > 0 {
+            let _ = write!(header, "  {} failed", p.failed);
+        }
+        if let Some(eta) = p.eta_secs {
+            let _ = write!(header, "  ETA {}", fmt_eta(eta));
+        }
+        if let Some(worst) = &p.worst_detector {
+            let _ = write!(header, "  [{worst}]");
+        }
+        let _ = writeln!(out, "\x1b[2K{header}");
+        let mut lines = 1usize;
+        if let Some(workers) = &p.workers {
+            let _ = writeln!(
+                out,
+                "\x1b[2K{:>6}  {:>5}  {:>6}  {:>11}  {:>9}  {:>8}  {:>8}",
+                "worker", "cells", "failed", "steals", "avg depth", "busy (s)", "rss (MB)"
+            );
+            lines += 1;
+            for w in workers {
+                let _ = writeln!(
+                    out,
+                    "\x1b[2K{:>6}  {:>5}  {:>6}  {:>5}/{:<5}  {:>9.1}  {:>8.1}  {:>8.1}",
+                    w.worker,
+                    w.cells_done,
+                    w.cells_failed,
+                    w.steals_succeeded,
+                    w.steals_attempted,
+                    w.mean_queue_depth(),
+                    w.busy_ns as f64 / 1e9,
+                    w.peak_rss_kb as f64 / 1024.0,
+                );
+                lines += 1;
+            }
+        }
+        eprint!("{out}");
+        drawn = lines;
+    }
+}
+
+/// Fold a grid's failure modes into one final stderr line — the streamed
+/// per-run warnings above it can be thousands of lines on a big grid.
+fn failure_summary(report: &SweepReport) {
+    if report.failures.is_empty() {
+        return;
+    }
+    let invalid = report.failures.len() - report.panicked - report.skipped;
+    eprintln!(
+        "{} of {} runs failed: {} panicked, {} invalid, {} budget-skipped",
+        report.failures.len(),
+        report.runs,
+        report.panicked,
+        invalid,
+        report.skipped,
+    );
+}
+
+/// Write a sweep/mega report's worker lanes as a Chrome-trace JSON file
+/// (load in Perfetto or `chrome://tracing`): one lane per worker holding
+/// its per-cell "run N" spans, with in-run phase spans nested inside by
+/// time containment when the sweep ran with `--timeline`.
+fn write_grid_timeline(path: &str, report: &SweepReport, process: &str) {
+    let mut tl = TimelineBuilder::new();
+    tl.process_name(1, process);
+    for w in &report.workers {
+        tl.thread_name(1, w.worker as u32 + 1, &format!("worker {}", w.worker));
+    }
+    for s in &report.worker_spans {
+        let name = if s.ok {
+            format!("run {}", s.index)
+        } else {
+            format!("run {} (failed)", s.index)
+        };
+        tl.complete(
+            1,
+            s.worker as u32 + 1,
+            &name,
+            s.start_ns as f64 / 1e3,
+            s.dur_ns as f64 / 1e3,
+        );
+    }
+    for (worker, spans) in &report.run_spans {
+        tl.phase_spans(1, *worker as u32 + 1, 0, spans);
+    }
+    let events = tl.len();
+    match std::fs::write(path, tl.render()) {
+        Ok(()) => eprintln!("wrote {path} ({events} trace events)"),
+        Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+    }
+}
+
 fn fmt_eta(secs: f64) -> String {
     let s = secs.round() as u64;
     if s >= 3600 {
@@ -705,6 +879,67 @@ fn health_cell(h: Option<selective_preemption::telemetry::HealthSummary>) -> Str
 /// File-name slug of a scheme label (`SS sf=2.0` → `ss-sf-2.0`).
 fn scheme_slug(label: &str) -> String {
     label.to_ascii_lowercase().replace([' ', '='], "-")
+}
+
+/// The `BENCH_kernel.json` case recorded for this scheme on this system,
+/// if the bench suite tracks one.
+fn bench_case(system: &SystemPreset, kind: SchedulerKind) -> Option<&'static str> {
+    let sf2 = |sf: f64| (sf - 2.0).abs() < 1e-9;
+    match kind {
+        SchedulerKind::Easy if system.name == "SDSC" => Some("sdsc_ns_hiload"),
+        SchedulerKind::Ss { sf } if system.name == "SDSC" && sf2(sf) => Some("sdsc_ss2_hiload"),
+        SchedulerKind::Tss { sf } if system.name == "SDSC" && sf2(sf) => Some("sdsc_tss2_hiload"),
+        SchedulerKind::Ss { sf } if system.name == "CTC" && sf2(sf) => Some("ctc_ss2_hiload"),
+        _ => None,
+    }
+}
+
+/// History-aware anomaly flags for the Kernel table: diff this run's
+/// throughput and decide-latency tail against the scheme's recorded
+/// bench history (best `events_per_sec` over `after` + `history`, and
+/// the `after` block's `decide_us.p99`). The thresholds are loose —
+/// half the recorded throughput, four times the recorded tail — because
+/// the report's workload need not match the bench case's exactly; the
+/// column calls out order-of-magnitude regressions, not noise.
+fn anomaly_flags(
+    doc: Option<&Json>,
+    system: &SystemPreset,
+    kind: SchedulerKind,
+    events_per_sec: Option<f64>,
+    p99_ns: Option<f64>,
+) -> String {
+    let (Some(doc), Some(case)) = (doc, bench_case(system, kind)) else {
+        return "n/a".into();
+    };
+    let mut flags = Vec::new();
+    if let (Some(rate), Some(best)) = (
+        events_per_sec,
+        history::best_metric(doc, case, "events_per_sec"),
+    ) {
+        if rate < 0.5 * best {
+            flags.push(format!(
+                "slow: {:.0}k ev/s vs best {:.0}k",
+                rate / 1e3,
+                best / 1e3
+            ));
+        }
+    }
+    let base_p99_us = history::find_case(doc, case)
+        .and_then(|c| c.get("after"))
+        .and_then(|a| a.get("decide_us"))
+        .and_then(|d| d.get("p99"))
+        .and_then(Json::as_f64);
+    if let (Some(p99_ns), Some(base)) = (p99_ns, base_p99_us) {
+        let p99_us = p99_ns / 1e3;
+        if p99_us > 4.0 * base {
+            flags.push(format!("decide p99 {p99_us:.1}µs vs baseline {base:.1}µs"));
+        }
+    }
+    if flags.is_empty() {
+        "ok".into()
+    } else {
+        flags.join("; ")
+    }
 }
 
 fn main() {
@@ -803,6 +1038,7 @@ fn main() {
             if let Some(admission) = args.admission {
                 spec = spec.with_admission(admission);
             }
+            spec = spec.with_timeline(args.timeline.is_some());
             let threads = args.threads.unwrap_or_else(default_threads);
             eprintln!(
                 "{}: {} cells x {} reps = {} runs of {} jobs on {} threads",
@@ -816,13 +1052,21 @@ fn main() {
             let progress = args
                 .progress
                 .unwrap_or_else(|| std::io::stderr().is_terminal());
-            let report = run_sweep_observed(&spec, threads, progress_line(progress))
-                .unwrap_or_else(|e| fail(&e.to_string()));
-            if progress {
+            let report = if args.top {
+                run_sweep_observed(&spec, threads, top_view())
+            } else {
+                run_sweep_observed(&spec, threads, progress_line(progress))
+            }
+            .unwrap_or_else(|e| fail(&e.to_string()));
+            if progress && !args.top {
                 eprintln!();
             }
             for failure in &report.failures {
                 eprintln!("warning: {failure}");
+            }
+            failure_summary(&report);
+            if let Some(path) = &args.timeline {
+                write_grid_timeline(path, &report, "sps sweep");
             }
             let rendered = match args.format.as_deref().unwrap_or("table") {
                 "table" => report.render_table(),
@@ -879,6 +1123,7 @@ fn main() {
             if let Some(retries) = args.retries {
                 spec = spec.with_retries(retries);
             }
+            spec = spec.with_timeline(args.timeline.is_some());
             let threads = args.threads.unwrap_or_else(default_threads);
             eprintln!(
                 "{}: {} cells x {} reps = {} streaming runs on {} threads",
@@ -891,13 +1136,21 @@ fn main() {
             let progress = args
                 .progress
                 .unwrap_or_else(|| std::io::stderr().is_terminal());
-            let report = run_mega_sweep_observed(&spec, threads, progress_line(progress))
-                .unwrap_or_else(|e| fail(&e.to_string()));
-            if progress {
+            let report = if args.top {
+                run_mega_sweep_observed(&spec, threads, top_view())
+            } else {
+                run_mega_sweep_observed(&spec, threads, progress_line(progress))
+            }
+            .unwrap_or_else(|e| fail(&e.to_string()));
+            if progress && !args.top {
                 eprintln!();
             }
             for failure in &report.failures {
                 eprintln!("warning: {failure}");
+            }
+            failure_summary(&report);
+            if let Some(path) = &args.timeline {
+                write_grid_timeline(path, &report, "sps mega");
             }
             let rendered = match args.format.as_deref().unwrap_or("table") {
                 "table" => report.render_table(),
@@ -1038,11 +1291,14 @@ fn main() {
 
             let _ = writeln!(w, "## Kernel");
             let _ = writeln!(w);
+            // Anomaly flags diff live numbers against the dated bench
+            // history (repo-root BENCH_kernel.json, when present).
+            let bench_doc = history::load("BENCH_kernel.json");
             let _ = writeln!(
                 w,
-                "| scheme | events | decides | wall (ms) | events/s | decide p50 | decide p99 |"
+                "| scheme | events | decides | wall (ms) | events/s | decide p50 | decide p99 | flags |"
             );
-            let _ = writeln!(w, "|---|---:|---:|---:|---:|---:|---:|");
+            let _ = writeln!(w, "|---|---:|---:|---:|---:|---:|---:|---|");
             for (kind, sim, _, tel) in &outs {
                 let reg = tel.registry();
                 let lat = tel.metrics().decide_latency_ns;
@@ -1054,7 +1310,7 @@ fn main() {
                 };
                 let _ = writeln!(
                     w,
-                    "| {} | {} | {} | {:.1} | {} | {} | {} |",
+                    "| {} | {} | {} | {:.1} | {} | {} | {} | {} |",
                     kind.label(),
                     sim.kernel.events,
                     sim.kernel.decide_calls,
@@ -1065,6 +1321,13 @@ fn main() {
                     },
                     q(0.5),
                     q(0.99),
+                    anomaly_flags(
+                        bench_doc.as_ref(),
+                        &system,
+                        *kind,
+                        sim.kernel.events_per_sec(),
+                        reg.hist_quantile(lat, 0.99),
+                    ),
                 );
             }
             let _ = writeln!(w);

@@ -95,6 +95,56 @@ fn thrash_detector_separates_is_from_tss() {
 }
 
 #[test]
+fn health_warmup_window_gates_transient_findings() {
+    // Open-system-style steady-state analysis discards the cold-start
+    // transient: a HealthConfig warmup suppresses every detector finding
+    // whose sim-time stamp falls inside the window, without touching
+    // anything after it. Run the same golden workload at three windows.
+    let health_at = |warmup: i64| {
+        let mut tel = Telemetry::with_config(HealthConfig {
+            warmup,
+            ..HealthConfig::default()
+        });
+        let r = golden_config().runner().telemetry(&mut tel).run();
+        (
+            r.sim.health.expect("instrumented run has health"),
+            r.sim.makespan,
+        )
+    };
+
+    // warmup 0 is the default: the golden counts reproduce exactly.
+    let (cold, makespan) = health_at(0);
+    assert_eq!(cold.starvation_onsets, 306);
+    assert_eq!(cold.thrash_events, 13);
+    assert_eq!(cold.thrashed_jobs, 12);
+    assert_eq!(cold.capacity_leak_procsecs, 31_382_583);
+
+    // A warmup past the horizon suppresses every windowed finding. The
+    // capacity-leak detector integrates leaked proc-seconds over the
+    // whole run from episode onset, so only the onset gating applies —
+    // but on this workload the leak episodes all *start* inside the
+    // horizon too, so a full-horizon warmup silences it as well.
+    let (quiet, _) = health_at(makespan + 1);
+    assert_eq!(quiet.starvation_onsets, 0, "no onsets past the horizon");
+    assert_eq!(quiet.unresolved_starvation, 0);
+    assert_eq!(quiet.thrash_events, 0);
+    assert_eq!(quiet.thrashed_jobs, 0);
+    assert_eq!(quiet.capacity_leak_procsecs, 0);
+
+    // An eighth-horizon warmup lands strictly between the two: the
+    // cold-start onsets (and with them every thrash burst and leak
+    // episode, which cluster early on this trace) are gone, but the
+    // backlog keeps starving jobs well past the window.
+    let (warm, _) = health_at(makespan / 8);
+    assert!(
+        warm.starvation_onsets > 0 && warm.starvation_onsets < cold.starvation_onsets,
+        "expected a strict subset of onsets, got {warm:?}"
+    );
+    assert_eq!(warm.thrash_events, 0);
+    assert_eq!(warm.capacity_leak_procsecs, 0);
+}
+
+#[test]
 fn telemetry_never_perturbs_a_run() {
     let cfg = golden_config();
     let plain = cfg.run();
